@@ -1,0 +1,261 @@
+// Benchmarks that regenerate every table and figure of the paper at the
+// harness' tiny scale (see internal/exp for the full-scale entry points and
+// EXPERIMENTS.md for recorded results), plus ablation benches for the
+// design decisions called out in DESIGN.md §4.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/gen"
+	"repro/internal/heap"
+	"repro/internal/iosim"
+	"repro/internal/record"
+	"repro/internal/runio"
+	"repro/internal/vfs"
+)
+
+// --- Paper tables and figures ---
+
+func BenchmarkTable2_1_Polyphase(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Table21Polyphase(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3_8_ModelDensity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig38Model(3, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5_2_RunsByDataset(b *testing.B) {
+	p := exp.Tiny()
+	p.Seeds = 1
+	for i := 0; i < b.N; i++ {
+		f, err := exp.RunFactorial(p, []gen.Kind{gen.Random}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(f.RunsByKind()[gen.Random]) == 0 {
+			b.Fatal("no observations")
+		}
+	}
+}
+
+func BenchmarkTable5_2_ANOVARandom(b *testing.B) {
+	p := exp.Tiny()
+	p.Seeds = 2
+	f, err := exp.RunFactorial(p, []gen.Kind{gen.Random}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := f.Fit(gen.Random, exp.MainEffects(), nil, -1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5_4_BufferSweep(b *testing.B) {
+	p := exp.Tiny()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig54BufferSweep(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5_13_RunLength(b *testing.B) {
+	p := exp.Tiny()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Table513(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6_1_FanIn(b *testing.B) {
+	p := exp.Tiny()
+	p.FanInRuns = 10
+	p.FanInRunRecords = 4_000
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig61FanIn(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchSweep shrinks a Chapter 6 sweep to a single representative point per
+// iteration.
+func benchSweep(b *testing.B, fig func(exp.Params) ([]exp.TimePoint, error)) {
+	b.Helper()
+	p := exp.Tiny()
+	p.TimeMemory = 2_000
+	p.TimeInput = 100_000
+	for i := 0; i < b.N; i++ {
+		pts, err := fig(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+func BenchmarkFig6_3_RandomSweep(b *testing.B)      { benchSweep(b, exp.Fig63) }
+func BenchmarkFig6_5_MixedSweep(b *testing.B)       { benchSweep(b, exp.Fig65) }
+func BenchmarkFig6_6_AlternatingSweep(b *testing.B) { benchSweep(b, exp.Fig66) }
+func BenchmarkFig6_7_ReverseSweep(b *testing.B)     { benchSweep(b, exp.Fig67) }
+
+// --- Run generation micro-benches (the engines behind every experiment) ---
+
+func benchRunGen(b *testing.B, alg Algorithm, kind DatasetKind) {
+	b.Helper()
+	recs := Dataset(kind, 100_000, 1)
+	cfg := DefaultConfig(2_000)
+	cfg.Algorithm = alg
+	b.SetBytes(int64(len(recs) * record.Size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := SortSlice(recs, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSortRS_Random(b *testing.B)    { benchRunGen(b, RS, DatasetRandom) }
+func BenchmarkSort2WRS_Random(b *testing.B)  { benchRunGen(b, TwoWayRS, DatasetRandom) }
+func BenchmarkSort2WRS_Mixed(b *testing.B)   { benchRunGen(b, TwoWayRS, DatasetMixedBalanced) }
+func BenchmarkSort2WRS_Reverse(b *testing.B) { benchRunGen(b, TwoWayRS, DatasetReverseSorted) }
+func BenchmarkSortLSS_Random(b *testing.B)   { benchRunGen(b, LoadSortStore, DatasetRandom) }
+
+// --- Ablations (DESIGN.md §4) ---
+
+// BenchmarkAblationDoubleHeapLayout compares the paper's single-array
+// DoubleHeap against two independently allocated heaps of half capacity.
+func BenchmarkAblationDoubleHeapLayout(b *testing.B) {
+	const cap = 4096
+	keys := make([]int64, cap)
+	g := gen.New(gen.Config{Kind: gen.Random, N: cap, Seed: 1})
+	for i := range keys {
+		r, _ := g.Read()
+		keys[i] = r.Key
+	}
+	b.Run("single-array", func(b *testing.B) {
+		d := heap.NewDouble(cap)
+		for i := 0; i < cap/2; i++ {
+			d.PushTop(heap.Item{Rec: record.Record{Key: keys[i]}})
+			d.PushBottom(heap.Item{Rec: record.Record{Key: -keys[i]}})
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			it := d.PopTop()
+			d.PushTop(it)
+			ib := d.PopBottom()
+			d.PushBottom(ib)
+		}
+	})
+	b.Run("two-heaps", func(b *testing.B) {
+		top := heap.New(cap/2, false)
+		bottom := heap.New(cap/2, true)
+		for i := 0; i < cap/2; i++ {
+			top.Push(heap.Item{Rec: record.Record{Key: keys[i]}})
+			bottom.Push(heap.Item{Rec: record.Record{Key: -keys[i]}})
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			it := top.Pop()
+			top.Push(it)
+			ib := bottom.Pop()
+			bottom.Push(ib)
+		}
+	})
+}
+
+// BenchmarkAblationVictimBuffer quantifies the victim buffer's value on the
+// mixed dataset: number of runs with and without it (reported as runs/op).
+func BenchmarkAblationVictimBuffer(b *testing.B) {
+	recs := gen.Generate(gen.Config{Kind: gen.MixedBalanced, N: 50_000, Seed: 1, Noise: 100})
+	run := func(b *testing.B, setup core.BufferSetup) {
+		b.Helper()
+		var runs int
+		for i := 0; i < b.N; i++ {
+			fs := vfs.NewMemFS()
+			res, err := core.Generate(record.NewSliceReader(recs), runio.NewEmitter(fs, "v"), core.Config{
+				Memory: 1_000, Setup: setup, BufferFrac: 0.02,
+				Input: core.InMean, Output: core.OutRandom, Seed: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			runs = len(res.Runs)
+		}
+		b.ReportMetric(float64(runs), "runs")
+	}
+	b.Run("with-victim", func(b *testing.B) { run(b, core.BothBuffers) })
+	b.Run("without-victim", func(b *testing.B) { run(b, core.InputBufferOnly) })
+}
+
+// BenchmarkAblationBackwardFormat compares reading a decreasing stream
+// ascending via the Appendix A backward format (forward sequential reads)
+// against naively reading a forward-written descending file backwards,
+// measured in simulated disk time per op.
+func BenchmarkAblationBackwardFormat(b *testing.B) {
+	const n = 50_000
+	b.Run("backward-format", func(b *testing.B) {
+		disk := iosim.NewDisk(iosim.Defaults2010())
+		fs := iosim.NewFS(vfs.NewMemFS(), disk)
+		w, err := runio.NewBackwardWriter(fs, "b", 0, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := n; i > 0; i-- {
+			w.Write(record.Record{Key: int64(i)})
+		}
+		w.Close()
+		files := w.Files()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r, _ := runio.NewBackwardReader(fs, "b", files, 1<<16)
+			if _, err := record.ReadAll(r); err != nil {
+				b.Fatal(err)
+			}
+			r.Close()
+		}
+		b.ReportMetric(float64(disk.Elapsed().Milliseconds())/float64(b.N), "simMs/op")
+	})
+	b.Run("reverse-read", func(b *testing.B) {
+		disk := iosim.NewDisk(iosim.Defaults2010())
+		fs := iosim.NewFS(vfs.NewMemFS(), disk)
+		f, _ := fs.Create("fwd")
+		buf := make([]byte, record.Size)
+		for i := 0; i < n; i++ {
+			record.Encode(buf, record.Record{Key: int64(n - i)})
+			f.WriteAt(buf, int64(i*record.Size))
+		}
+		f.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g, _ := fs.Open("fwd")
+			// Read page-sized chunks from the end toward the start: every
+			// read is a backward jump, i.e. a seek.
+			page := make([]byte, 4096)
+			for off := int64(n*record.Size) - 4096; off >= 0; off -= 4096 {
+				if _, err := g.ReadAt(page, off); err != nil {
+					b.Fatal(err)
+				}
+			}
+			g.Close()
+		}
+		b.ReportMetric(float64(disk.Elapsed().Milliseconds())/float64(b.N), "simMs/op")
+	})
+}

@@ -1,0 +1,275 @@
+// Command anova reproduces the statistical analysis of Chapter 5: the full
+// factorial experiment over (buffer setup α, buffer size β, input heuristic
+// γ, output heuristic δ) and the ANOVA models and Tukey tests of Tables
+// 5.2-5.12, plus the numeric data behind Figures 5.2 and 5.5-5.12.
+//
+// Usage:
+//
+//	anova -scale small
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"repro/internal/anova"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/gen"
+	"repro/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("anova: ")
+	scale := flag.String("scale", "small", "experiment scale: tiny, small, paper")
+	flag.Parse()
+	p, err := exp.ParseScale(*scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Factorial experiment: %d configurations x %d seeds per dataset (memory=%d, input=%d)\n\n",
+		len(core.BufferSetups)*len(exp.BufferFracLevels)*len(core.InputHeuristics)*len(core.OutputHeuristics),
+		p.Seeds, p.Memory, p.Input)
+	f, err := exp.RunFactorial(p, gen.Kinds, func(s string) { fmt.Fprintln(os.Stderr, s) })
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Fig 5.2: distribution of the number of runs per dataset.
+	fmt.Println("Fig 5.2 — number of runs by input dataset (min / mean / max over all configs)")
+	var rows [][]string
+	for _, kind := range gen.Kinds {
+		ys := f.RunsByKind()[kind]
+		sort.Float64s(ys)
+		rows = append(rows, []string{
+			kind.String(),
+			fmt.Sprintf("%.0f", ys[0]),
+			fmt.Sprintf("%.1f", stats.Mean(ys)),
+			fmt.Sprintf("%.0f", ys[len(ys)-1]),
+		})
+	}
+	fmt.Println(exp.RenderTable([]string{"dataset", "min", "mean", "max"}, rows))
+
+	// §5.2.1 / §5.2.2: sorted and reverse sorted are constant y = µ = 1.
+	for _, kind := range []gen.Kind{gen.Sorted, gen.ReverseSorted} {
+		ys := f.RunsByKind()[kind]
+		allOne := true
+		for _, y := range ys {
+			if y != 1 {
+				allOne = false
+				break
+			}
+		}
+		fmt.Printf("%v: y = µ = 1 for all configurations: %v\n", kind, allOne)
+	}
+	fmt.Println()
+
+	// Table 5.2: random input, main effects.
+	fmt.Println("Table 5.2 — random input, model µ+α+β+γ+δ")
+	fit52, _, err := f.Fit(gen.Random, exp.MainEffects(), nil, -1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(exp.RenderFit(fit52))
+
+	// Table 5.3: random input, β only.
+	fmt.Println("Table 5.3 — random input, model µ+β")
+	fit53, _, err := f.Fit(gen.Random, exp.SizeOnly(), nil, -1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(exp.RenderFit(fit53))
+
+	// Fig 5.5: mixed balanced, mean runs by buffer setup.
+	fmt.Println("Fig 5.5 — mixed balanced: mean number of runs by buffer setup (α)")
+	printMeans(f.Datasets[gen.MixedBalanced], []string{"input-only", "both", "victim-only"}, 0)
+
+	// Table 5.4: mixed balanced, all factors + first-order interactions.
+	fmt.Println("Table 5.4 — mixed balanced, all factors and first-order interactions")
+	fit54, _, err := f.Fit(gen.MixedBalanced, exp.AllFirstOrder(), nil, -1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(exp.RenderFit(fit54))
+
+	// Table 5.5: drop victim-less configs, drop α.
+	fmt.Println("Table 5.5 — mixed balanced, victim configs only, model β,γ,δ + interactions (MLS)")
+	fit55, _, err := f.Fit(gen.MixedBalanced, exp.FirstOrderNoAlpha(), exp.DropVictimless, -1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(exp.RenderFit(fit55))
+
+	// Fig 5.6: variance by buffer size level (the WLS weights).
+	fmt.Println("Fig 5.6 — mixed balanced: variance of runs by buffer size (β)")
+	sub, err := f.Subset(gen.MixedBalanced, exp.DropVictimless)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vars, err := sub.VarianceByLevel(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var vrows [][]string
+	for i, v := range vars {
+		vrows = append(vrows, []string{
+			fmt.Sprintf("%.2f%%", 100*exp.BufferFracLevels[i]),
+			fmt.Sprintf("%.2f", v),
+		})
+	}
+	fmt.Println(exp.RenderTable([]string{"buffer size", "variance"}, vrows))
+
+	// Table 5.6: the same model under WLS.
+	fmt.Println("Table 5.6 — mixed balanced, same model with WLS weighting (w = 1/σ²_β)")
+	fit56, ds56, err := f.Fit(gen.MixedBalanced, exp.FirstOrderNoAlpha(), exp.DropVictimless, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(exp.RenderFit(fit56))
+
+	// Fig 5.7: residual histogram of the WLS model.
+	fmt.Println("Fig 5.7 — standardized residual histogram (WLS model)")
+	counts, centers, err := stats.Histogram(fit56.StdResiduals, -5, 5, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var hrows [][]string
+	for i := range counts {
+		hrows = append(hrows, []string{fmt.Sprintf("%+.1f", centers[i]), fmt.Sprintf("%d", counts[i])})
+	}
+	fmt.Println(exp.RenderTable([]string{"residual", "count"}, hrows))
+
+	// Tables 5.7 / 5.8: Tukey pairwise comparisons of the heuristics.
+	inputLabels := labels(core.InputHeuristics)
+	outputLabels := labels(core.OutputHeuristics)
+	fmt.Println("Table 5.7 — Tukey pairwise significance of input heuristics (mixed balanced)")
+	tk7, err := anova.Tukey(ds56, fit56, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(exp.RenderTukey(tk7, inputLabels))
+	fmt.Printf("best input heuristics: %v\n\n", names(tk7.Best(0.05), inputLabels))
+
+	fmt.Println("Table 5.8 — Tukey pairwise significance of output heuristics (mixed balanced)")
+	tk8, err := anova.Tukey(ds56, fit56, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(exp.RenderTukey(tk8, outputLabels))
+	fmt.Printf("best output heuristics: %v\n\n", names(tk8.Best(0.05), outputLabels))
+
+	// Fig 5.8: mean runs per input x output heuristic.
+	fmt.Println("Fig 5.8 — mixed balanced: mean runs per (input, output) heuristic")
+	printCross(ds56, inputLabels, outputLabels)
+
+	// Tables 5.10/5.11: mixed imbalanced with second-order interactions.
+	fmt.Println("Table 5.10 — mixed imbalanced, α,β,γ,δ + α×γ, α×δ, γ×δ, α×γ×δ (MLS)")
+	fit510, _, err := f.Fit(gen.MixedImbalanced, exp.ImbalancedModel(), nil, -1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(exp.RenderFit(fit510))
+
+	fmt.Println("Table 5.11 — mixed imbalanced, same model with WLS weighting")
+	fit511, ds511, err := f.Fit(gen.MixedImbalanced, exp.ImbalancedModel(), nil, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(exp.RenderFit(fit511))
+
+	// Fig 5.11: mean runs by buffer setup for mixed imbalanced.
+	fmt.Println("Fig 5.11 — mixed imbalanced: mean runs by buffer setup (α)")
+	printMeans(ds511, []string{"input-only", "both", "victim-only"}, 0)
+
+	// Fig 5.12 / Table 5.12: interaction of setup and input heuristic.
+	fmt.Println("Fig 5.12 — mixed imbalanced: mean runs by input heuristic for each buffer setup")
+	printCross2(ds511, []string{"input-only", "both", "victim-only"}, inputLabels)
+
+	fmt.Println("Table 5.12 — Tukey over (setup, input, output) best combinations (mixed imbalanced)")
+	tk12, err := anova.Tukey(ds511, fit511, 0, 2, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	best := tk12.Best(0.05)
+	if len(best) > 12 {
+		best = best[:12]
+	}
+	var brows [][]string
+	for _, i := range best {
+		g := tk12.Groups[i]
+		brows = append(brows, []string{
+			[]string{"input-only", "both", "victim-only"}[g.Levels[0]],
+			inputLabels[g.Levels[1]],
+			outputLabels[g.Levels[2]],
+			fmt.Sprintf("%.1f", g.Mean),
+		})
+	}
+	fmt.Println(exp.RenderTable([]string{"setup", "input", "output", "mean runs"}, brows))
+}
+
+// printMeans prints group means over one factor.
+func printMeans(ds *anova.Dataset, lbls []string, factor int) {
+	var rows [][]string
+	for _, m := range ds.MeansBy(factor) {
+		rows = append(rows, []string{lbls[m.Levels[0]], fmt.Sprintf("%.1f", m.Mean)})
+	}
+	fmt.Println(exp.RenderTable([]string{"level", "mean runs"}, rows))
+}
+
+// printCross prints a table of mean runs for factor 2 (rows) × factor 3
+// (columns).
+func printCross(ds *anova.Dataset, rowLabels, colLabels []string) {
+	means := map[[2]int]float64{}
+	for _, m := range ds.MeansBy(2, 3) {
+		means[[2]int{m.Levels[0], m.Levels[1]}] = m.Mean
+	}
+	headers := append([]string{"input \\ output"}, colLabels...)
+	var rows [][]string
+	for i, rl := range rowLabels {
+		row := []string{rl}
+		for j := range colLabels {
+			row = append(row, fmt.Sprintf("%.1f", means[[2]int{i, j}]))
+		}
+		rows = append(rows, row)
+	}
+	fmt.Println(exp.RenderTable(headers, rows))
+}
+
+// printCross2 prints mean runs for factor 0 (columns) × factor 2 (rows).
+func printCross2(ds *anova.Dataset, colLabels, rowLabels []string) {
+	means := map[[2]int]float64{}
+	for _, m := range ds.MeansBy(0, 2) {
+		means[[2]int{m.Levels[0], m.Levels[1]}] = m.Mean
+	}
+	headers := append([]string{"input \\ setup"}, colLabels...)
+	var rows [][]string
+	for i, rl := range rowLabels {
+		row := []string{rl}
+		for j := range colLabels {
+			row = append(row, fmt.Sprintf("%.1f", means[[2]int{j, i}]))
+		}
+		rows = append(rows, row)
+	}
+	fmt.Println(exp.RenderTable(headers, rows))
+}
+
+func labels[T fmt.Stringer](xs []T) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = x.String()
+	}
+	return out
+}
+
+func names(idx []int, lbls []string) []string {
+	out := make([]string, len(idx))
+	for i, j := range idx {
+		out[i] = lbls[j]
+	}
+	return out
+}

@@ -1,0 +1,39 @@
+// Command model runs the §3.6 differential-equation model of replacement
+// selection and prints the Fig 3.8 density evolution plus per-run lengths
+// (which converge to 2.0x memory for uniform input, §3.6.1).
+//
+// Usage:
+//
+//	model -runs 4 -samples 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("model: ")
+	runs := flag.Int("runs", 4, "number of runs to simulate")
+	samples := flag.Int("samples", 10, "density sample points per snapshot")
+	flag.Parse()
+
+	res, err := exp.Fig38Model(*runs, *samples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Section 3.6 model of replacement selection (uniform input)")
+	fmt.Println()
+	fmt.Println(exp.RenderModel(res))
+
+	fmt.Println("\nTable 2.1 — polyphase merge of tapes {8, 10, 3, 0, 8, 11}")
+	steps, err := exp.Table21Polyphase()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(exp.RenderPolyphase(steps))
+}

@@ -1,0 +1,53 @@
+// Command runlen reproduces the run-length experiments of Chapter 5:
+// Table 5.13 (average run length relative to memory for RS and three 2WRS
+// configurations over the six datasets) and the Fig 5.4 buffer-size sweep.
+//
+// Usage:
+//
+//	runlen -scale small
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("runlen: ")
+	scale := flag.String("scale", "small", "experiment scale: tiny, small, paper")
+	flag.Parse()
+	p, err := exp.ParseScale(*scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Table 5.13 — average run length relative to memory (memory=%d records, input=%d records)\n",
+		p.Memory, p.Input)
+	fmt.Println("cfg1: input buffer 0.02% | cfg2: both buffers 20% | cfg3: both buffers 2% (recommended)")
+	fmt.Println("('inf' = the whole input fit in one run; the thesis prints the run COUNT 50 in its")
+	fmt.Println(" alternating row — §5.2.3 gives the equivalent 5x-memory average length shown here)")
+	fmt.Println()
+	rows, err := exp.Table513(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(exp.RenderTable513(rows))
+
+	fmt.Println("Fig 5.4 — run length vs buffer size (random input, both buffers)")
+	pts, err := exp.Fig54BufferSweep(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var prows [][]string
+	for _, pt := range pts {
+		prows = append(prows, []string{
+			fmt.Sprintf("%.2f%%", pt.FracPercent),
+			fmt.Sprintf("%.2f", pt.Ratio),
+		})
+	}
+	fmt.Println(exp.RenderTable([]string{"buffer size", "run length / memory"}, prows))
+}

@@ -1,0 +1,63 @@
+// Command timeperf reproduces the Chapter 6 time-performance experiments on
+// the simulated 2010 disk: the fan-in analysis (Fig 6.1) and the RS vs 2WRS
+// sweeps for random, mixed, alternating and reverse-sorted inputs
+// (Figs 6.2-6.7). Reported times are simulated I/O durations.
+//
+// Usage:
+//
+//	timeperf -scale small [-fig 6.1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("timeperf: ")
+	scale := flag.String("scale", "small", "experiment scale: tiny, small, paper")
+	fig := flag.String("fig", "", "run a single figure (6.1 … 6.7); default all")
+	flag.Parse()
+	p, err := exp.ParseScale(*scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type sweep struct {
+		id, title, xLabel string
+		run               func(exp.Params) ([]exp.TimePoint, error)
+	}
+	sweeps := []sweep{
+		{"6.2", "Fig 6.2 — random input, time vs memory", "memory (records)", exp.Fig62},
+		{"6.3", "Fig 6.3 — random input, time vs input size", "input (records)", exp.Fig63},
+		{"6.4", "Fig 6.4 — mixed input, time vs memory", "memory (records)", exp.Fig64},
+		{"6.5", "Fig 6.5 — mixed input, time vs input size", "input (records)", exp.Fig65},
+		{"6.6", "Fig 6.6 — alternating input, time vs sorted sections", "sections", exp.Fig66},
+		{"6.7", "Fig 6.7 — reverse sorted input, time vs input size", "input (records)", exp.Fig67},
+	}
+
+	if *fig == "" || *fig == "6.1" {
+		fmt.Println("Fig 6.1 — merge time vs fan-in (simulated disk)")
+		pts, err := exp.Fig61FanIn(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(exp.RenderFanIn(pts))
+		fmt.Printf("best fan-in: %d (thesis: 10)\n\n", exp.BestFanIn(pts))
+	}
+	for _, s := range sweeps {
+		if *fig != "" && *fig != s.id {
+			continue
+		}
+		fmt.Println(s.title)
+		pts, err := s.run(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(exp.RenderTimePoints(s.xLabel, pts))
+	}
+}

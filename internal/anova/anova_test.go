@@ -1,0 +1,322 @@
+package anova
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func approx(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %g, want %g (±%g)", what, got, want, tol)
+	}
+}
+
+// twoByTwo builds a balanced 2x2 design with known effects:
+// y = 10 + a·A + b·B + ab·AB + noise(seeded), n per cell.
+func twoByTwo(a, b, ab float64, n int, noise float64, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Dataset{Factors: []Factor{{Name: "A", Levels: 2}, {Name: "B", Levels: 2}}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			// Effect coding: level 0 -> +1, level 1 -> -1.
+			ca, cb := 1.0, 1.0
+			if i == 1 {
+				ca = -1
+			}
+			if j == 1 {
+				cb = -1
+			}
+			for r := 0; r < n; r++ {
+				y := 10 + a*ca + b*cb + ab*ca*cb + noise*rng.NormFloat64()
+				d.Add([]int{i, j}, y)
+			}
+		}
+	}
+	return d
+}
+
+func TestOneWayHandComputed(t *testing.T) {
+	// Classic textbook one-way ANOVA: 3 groups of 3.
+	d := &Dataset{Factors: []Factor{{Name: "G", Levels: 3}}}
+	groups := [][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}
+	for g, ys := range groups {
+		for _, y := range ys {
+			d.Add([]int{g}, y)
+		}
+	}
+	fit, err := FitModel(d, [][]int{{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grand mean 5; SS_between = 3·((2-5)² + (5-5)² + (8-5)²) = 54;
+	// SS_within = 3 groups × 2 = 6; df = (2, 6); F = 27/1 = 27.
+	approx(t, fit.GrandMean, 5, 1e-9, "grand mean")
+	approx(t, fit.Rows[0].SS, 54, 1e-9, "SS between")
+	if fit.Rows[0].DF != 2 || fit.DFE != 6 {
+		t.Fatalf("df = (%d, %d), want (2, 6)", fit.Rows[0].DF, fit.DFE)
+	}
+	approx(t, fit.SSE, 6, 1e-9, "SSE")
+	approx(t, fit.Rows[0].F, 27, 1e-9, "F")
+	approx(t, fit.SSTotal, 60, 1e-9, "SST")
+	approx(t, fit.R2, 0.9, 1e-9, "R2")
+	// Significance of F(27; 2, 6) ≈ 0.001 (textbook value).
+	if fit.Rows[0].Sig > 0.002 || fit.Rows[0].Sig < 0.0005 {
+		t.Errorf("Sig = %g, want ≈0.001", fit.Rows[0].Sig)
+	}
+}
+
+func TestSSDecompositionAddsUp(t *testing.T) {
+	d := twoByTwo(2, -1, 0.5, 10, 1, 7)
+	fit, err := FitModel(d, [][]int{{0}, {1}, {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := fit.SSE
+	for _, r := range fit.Rows {
+		sum += r.SS
+	}
+	approx(t, sum, fit.SSTotal, 1e-6, "SST = ΣSS + SSE")
+}
+
+func TestEffectRecovery(t *testing.T) {
+	// With large effects and small noise, each term's significance should
+	// reflect its true effect; the zero interaction must be insignificant.
+	d := twoByTwo(3, 2, 0, 50, 0.5, 11)
+	fit, err := FitModel(d, [][]int{{0}, {1}, {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Rows[0].Sig > 1e-6 || fit.Rows[1].Sig > 1e-6 {
+		t.Fatalf("main effects should be highly significant: %+v", fit.Rows)
+	}
+	if fit.Rows[2].Sig < 0.01 {
+		t.Fatalf("null interaction significant: sig=%g", fit.Rows[2].Sig)
+	}
+	// Balanced 2x2: SS_A = 4n·a² = 4·50·9 = 1800 (a=3).
+	approx(t, fit.Rows[0].SS, 1800, 150, "SS_A")
+	if fit.Rows[0].Power < 0.99 {
+		t.Errorf("power of a huge effect = %g, want ≈1", fit.Rows[0].Power)
+	}
+}
+
+func TestBalancedSequentialOrderInvariance(t *testing.T) {
+	// In a balanced design Type I SS do not depend on term order.
+	d := twoByTwo(1.5, -2, 1, 8, 0.8, 3)
+	fitAB, err := FitModel(d, [][]int{{0}, {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitBA, err := FitModel(d, [][]int{{1}, {0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, fitAB.Rows[0].SS, fitBA.Rows[1].SS, 1e-6, "SS_A order invariance")
+	approx(t, fitAB.Rows[1].SS, fitBA.Rows[0].SS, 1e-6, "SS_B order invariance")
+}
+
+func TestPredictionsAndResiduals(t *testing.T) {
+	d := twoByTwo(2, 1, -1, 5, 0, 1) // zero noise: perfect model
+	fit, err := FitModel(d, [][]int{{0}, {1}, {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range d.Obs {
+		approx(t, fit.Predicted[i], o.Y, 1e-9, "prediction with zero noise")
+	}
+	approx(t, fit.SSE, 0, 1e-9, "SSE with zero noise")
+	approx(t, fit.R2, 1, 1e-9, "R2 with zero noise")
+}
+
+func TestWLSDownweightsNoisyGroups(t *testing.T) {
+	// Factor A has two levels; level 1 is 100x noisier. Weighting by
+	// 1/variance must give a much better conditioned model (CV drops).
+	rng := rand.New(rand.NewSource(5))
+	d := &Dataset{Factors: []Factor{{Name: "A", Levels: 2}, {Name: "B", Levels: 2}}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			noise := 0.1
+			if i == 1 {
+				noise = 10
+			}
+			for r := 0; r < 40; r++ {
+				cb := 1.0
+				if j == 1 {
+					cb = -1
+				}
+				d.Add([]int{i, j}, 20+3*cb+noise*rng.NormFloat64())
+			}
+		}
+	}
+	plain, err := FitModel(d, [][]int{{0}, {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetWeightsByFactor(0); err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := FitModel(d, [][]int{{0}, {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weighted.CVPercent >= plain.CVPercent {
+		t.Fatalf("WLS CV %.2f%% should beat MLS CV %.2f%%", weighted.CVPercent, plain.CVPercent)
+	}
+	// The B effect must stay overwhelmingly significant under WLS.
+	if weighted.Rows[1].Sig > 1e-6 {
+		t.Fatalf("B effect lost under WLS: %+v", weighted.Rows[1])
+	}
+}
+
+func TestVarianceByLevel(t *testing.T) {
+	d := &Dataset{Factors: []Factor{{Name: "A", Levels: 2}}}
+	for _, y := range []float64{1, 2, 3} {
+		d.Add([]int{0}, y)
+	}
+	for _, y := range []float64{10, 20, 30} {
+		d.Add([]int{1}, y)
+	}
+	vars, err := d.VarianceByLevel(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, vars[0], 1, 1e-12, "var level 0")
+	approx(t, vars[1], 100, 1e-12, "var level 1")
+	if _, err := d.VarianceByLevel(5); err == nil {
+		t.Fatal("out-of-range factor should error")
+	}
+}
+
+func TestMeansBy(t *testing.T) {
+	d := &Dataset{Factors: []Factor{{Name: "A", Levels: 2}, {Name: "B", Levels: 2}}}
+	d.Add([]int{0, 0}, 1)
+	d.Add([]int{0, 0}, 3)
+	d.Add([]int{1, 1}, 10)
+	ms := d.MeansBy(0)
+	if len(ms) != 2 || ms[0].Mean != 2 || ms[0].N != 2 || ms[1].Mean != 10 {
+		t.Fatalf("MeansBy(0) = %+v", ms)
+	}
+	ms2 := d.MeansBy(0, 1)
+	if len(ms2) != 2 {
+		t.Fatalf("MeansBy(0,1) = %+v", ms2)
+	}
+}
+
+func TestTukeySeparatesDistantGroups(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	d := &Dataset{Factors: []Factor{{Name: "G", Levels: 3}}}
+	means := []float64{0, 0.05, 5} // groups 0 and 1 equal-ish, group 2 far
+	for g, m := range means {
+		for i := 0; i < 30; i++ {
+			d.Add([]int{g}, m+0.3*rng.NormFloat64())
+		}
+	}
+	fit, err := FitModel(d, [][]int{{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := Tukey(d, fit, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tk.Sig[0][1] < 0.05 {
+		t.Errorf("groups 0/1 should not separate: sig=%g", tk.Sig[0][1])
+	}
+	if tk.Sig[0][2] > 0.01 || tk.Sig[1][2] > 0.01 {
+		t.Errorf("group 2 should separate: %v", tk.Sig)
+	}
+	best := tk.Best(0.05)
+	if len(best) != 2 || best[0] != 0 || best[1] != 1 {
+		t.Errorf("Best = %v, want [0 1]", best)
+	}
+	if tk.Sig[0][0] != 1 {
+		t.Error("diagonal should be 1")
+	}
+}
+
+func TestTukeyErrors(t *testing.T) {
+	d := &Dataset{Factors: []Factor{{Name: "G", Levels: 2}}}
+	d.Add([]int{0}, 1)
+	d.Add([]int{0}, 2)
+	fit := &Fit{MSE: 1}
+	if _, err := Tukey(d, fit); err == nil {
+		t.Fatal("no factors should error")
+	}
+	if _, err := Tukey(d, fit, 0); err == nil {
+		t.Fatal("single observed group should error")
+	}
+}
+
+func TestFitModelValidation(t *testing.T) {
+	d := &Dataset{Factors: []Factor{{Name: "A", Levels: 2}}}
+	if _, err := FitModel(d, [][]int{{0}}); err == nil {
+		t.Fatal("empty dataset should error")
+	}
+	d.Add([]int{0}, 1)
+	d.Add([]int{1}, 2)
+	if _, err := FitModel(d, [][]int{{}}); err == nil {
+		t.Fatal("empty term should error")
+	}
+	if _, err := FitModel(d, [][]int{{3}}); err == nil {
+		t.Fatal("bad factor index should error")
+	}
+	if _, err := FitModel(d, [][]int{{0}}); err == nil {
+		t.Fatal("saturated model with no error df should error")
+	}
+}
+
+func TestTermNames(t *testing.T) {
+	fs := []Factor{{Name: "α", Levels: 2}, {Name: "β", Levels: 2}}
+	if n := termName(fs, []int{0}); n != "α" {
+		t.Errorf("main effect name = %q", n)
+	}
+	if n := termName(fs, []int{0, 1}); n != "(αβ)" {
+		t.Errorf("interaction name = %q", n)
+	}
+}
+
+func TestThreeWayInteractionModel(t *testing.T) {
+	// A 3x2x4 design with a known three-way structure must fit with all
+	// SS non-negative and decomposition intact.
+	rng := rand.New(rand.NewSource(13))
+	d := &Dataset{Factors: []Factor{
+		{Name: "A", Levels: 3}, {Name: "B", Levels: 2}, {Name: "C", Levels: 4},
+	}}
+	for a := 0; a < 3; a++ {
+		for b := 0; b < 2; b++ {
+			for c := 0; c < 4; c++ {
+				for r := 0; r < 5; r++ {
+					y := float64(a) + 2*float64(b)*float64(c) + 0.5*rng.NormFloat64()
+					d.Add([]int{a, b, c}, y)
+				}
+			}
+		}
+	}
+	terms := [][]int{{0}, {1}, {2}, {1, 2}, {0, 1}, {0, 2}, {0, 1, 2}}
+	fit, err := FitModel(d, terms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := fit.SSE
+	for _, r := range fit.Rows {
+		if r.SS < -1e-9 {
+			t.Fatalf("negative SS for %s: %g", r.Name, r.SS)
+		}
+		sum += r.SS
+	}
+	approx(t, sum, fit.SSTotal, 1e-6, "3-way SST decomposition")
+	// The B×C interaction dominates by construction.
+	var bc, a3 float64
+	for _, r := range fit.Rows {
+		switch r.Name {
+		case "(BC)":
+			bc = r.F
+		case "(AB)":
+			a3 = r.F
+		}
+	}
+	if bc < 100*a3 {
+		t.Errorf("(BC) F=%g should dominate null (AB) F=%g", bc, a3)
+	}
+}

@@ -1,0 +1,77 @@
+package anova
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// TukeyResult holds the pairwise comparison of the levels of one factor (or
+// of the level-combinations of an interaction): Tables 5.7-5.9 and 5.12 of
+// the thesis.
+type TukeyResult struct {
+	// Groups are the compared groups in level order.
+	Groups []GroupMean
+	// Sig[i][j] is the Tukey HSD significance of comparing groups i and j
+	// (1 on the diagonal).
+	Sig [][]float64
+}
+
+// Best returns the indices of the groups whose mean is not statistically
+// distinguishable (at level alpha) from the group with the smallest mean —
+// the thesis' notion of the set of best levels when minimising runs.
+func (t *TukeyResult) Best(alpha float64) []int {
+	if len(t.Groups) == 0 {
+		return nil
+	}
+	best := 0
+	for i, g := range t.Groups {
+		if g.Mean < t.Groups[best].Mean {
+			best = i
+		}
+	}
+	var out []int
+	for i := range t.Groups {
+		if i == best || t.Sig[best][i] > alpha {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Tukey performs Tukey HSD (with the Tukey-Kramer adjustment for unequal
+// group sizes) over the levels of the given factors, using the fitted
+// model's mean squared error.
+func Tukey(d *Dataset, fit *Fit, factors ...int) (*TukeyResult, error) {
+	if len(factors) == 0 {
+		return nil, fmt.Errorf("anova: Tukey needs at least one factor")
+	}
+	groups := d.MeansBy(factors...)
+	k := len(groups)
+	if k < 2 {
+		return nil, fmt.Errorf("anova: Tukey needs at least two groups, got %d", k)
+	}
+	res := &TukeyResult{Groups: groups, Sig: make([][]float64, k)}
+	for i := range res.Sig {
+		res.Sig[i] = make([]float64, k)
+		res.Sig[i][i] = 1
+	}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			se := math.Sqrt(fit.MSE / 2 * (1/float64(groups[i].N) + 1/float64(groups[j].N)))
+			var sig float64
+			if se == 0 {
+				if groups[i].Mean == groups[j].Mean {
+					sig = 1
+				}
+			} else {
+				q := math.Abs(groups[i].Mean-groups[j].Mean) / se
+				sig = stats.TukeySig(q, k)
+			}
+			res.Sig[i][j] = sig
+			res.Sig[j][i] = sig
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"io"
+
+	"repro/internal/record"
+)
+
+// inputBuffer is the read-ahead FIFO of §4.2. It keeps up to cap records
+// between the source and the algorithm, maintaining the running mean (and,
+// when the Median heuristic is active, a sliding median) of its contents so
+// insertion heuristics can sample the upcoming distribution.
+//
+// With capacity 0 the buffer degrades to a direct pass-through and the
+// statistics report "unknown".
+type inputBuffer struct {
+	src  record.Reader
+	ring []record.Record
+	head int
+	n    int
+	sum  int64
+	med  *windowMedian
+	seq  uint64
+	eof  bool
+}
+
+// newInputBuffer returns a FIFO of the given capacity, pre-filled from src.
+// trackMedian enables the sliding-median structure (only needed by the
+// Median heuristic).
+func newInputBuffer(src record.Reader, capacity int, trackMedian bool) (*inputBuffer, error) {
+	b := &inputBuffer{src: src}
+	if capacity > 0 {
+		b.ring = make([]record.Record, capacity)
+		if trackMedian {
+			b.med = newWindowMedian()
+		}
+	}
+	if err := b.fill(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// fill tops the FIFO up from the source.
+func (b *inputBuffer) fill() error {
+	for !b.eof && b.n < len(b.ring) {
+		rec, err := b.src.Read()
+		if err == io.EOF {
+			b.eof = true
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		pos := (b.head + b.n) % len(b.ring)
+		b.ring[pos] = rec
+		b.n++
+		b.sum += rec.Key
+		if b.med != nil {
+			b.med.Add(rec.Key, b.seq+uint64(b.n-1))
+		}
+	}
+	return nil
+}
+
+// next pops the oldest record. ok is false at end of input.
+func (b *inputBuffer) next() (record.Record, bool, error) {
+	if len(b.ring) == 0 {
+		// Pass-through mode.
+		rec, err := b.src.Read()
+		if err == io.EOF {
+			return record.Record{}, false, nil
+		}
+		if err != nil {
+			return record.Record{}, false, err
+		}
+		return rec, true, nil
+	}
+	if b.n == 0 {
+		return record.Record{}, false, nil
+	}
+	rec := b.ring[b.head]
+	b.head = (b.head + 1) % len(b.ring)
+	b.n--
+	b.sum -= rec.Key
+	if b.med != nil {
+		b.med.Remove(b.seq)
+	}
+	b.seq++
+	if err := b.fill(); err != nil {
+		return record.Record{}, false, err
+	}
+	return rec, true, nil
+}
+
+// mean returns the mean key of the buffered records; ok is false when the
+// buffer is empty or disabled.
+func (b *inputBuffer) mean() (float64, bool) {
+	if b.n == 0 {
+		return 0, false
+	}
+	return float64(b.sum) / float64(b.n), true
+}
+
+// median returns the median key of the buffered records; ok is false when
+// unavailable.
+func (b *inputBuffer) median() (int64, bool) {
+	if b.med == nil {
+		return 0, false
+	}
+	return b.med.Median()
+}

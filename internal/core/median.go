@@ -1,0 +1,132 @@
+package core
+
+import "container/heap"
+
+// windowMedian maintains the median of a sliding window of keys in
+// O(log n) amortised time per operation, supporting the Median input
+// heuristic over the input FIFO. It uses the classic two-heap scheme — a
+// max-heap `low` with the lower half and a min-heap `high` with the upper
+// half — with lazy deletion: removals mark a sequence number dead and
+// tombstones are pruned when they surface at a heap top.
+type windowMedian struct {
+	low, high medianHeap
+	side      map[uint64]int8 // seq -> which heap holds it (0 low, 1 high)
+	liveLow   int
+	liveHigh  int
+	dead      map[uint64]bool
+}
+
+type medianEntry struct {
+	key int64
+	seq uint64
+}
+
+// medianHeap is a container/heap of entries; max-heap when max is true.
+type medianHeap struct {
+	entries []medianEntry
+	max     bool
+}
+
+func (h medianHeap) Len() int { return len(h.entries) }
+func (h medianHeap) Less(i, j int) bool {
+	if h.max {
+		return h.entries[i].key > h.entries[j].key
+	}
+	return h.entries[i].key < h.entries[j].key
+}
+func (h medianHeap) Swap(i, j int)       { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
+func (h *medianHeap) Push(x interface{}) { h.entries = append(h.entries, x.(medianEntry)) }
+func (h *medianHeap) Pop() interface{} {
+	old := h.entries
+	n := len(old)
+	e := old[n-1]
+	h.entries = old[:n-1]
+	return e
+}
+
+func newWindowMedian() *windowMedian {
+	return &windowMedian{
+		low:  medianHeap{max: true},
+		side: make(map[uint64]int8),
+		dead: make(map[uint64]bool),
+	}
+}
+
+// Len returns the number of live keys in the window.
+func (m *windowMedian) Len() int { return m.liveLow + m.liveHigh }
+
+// Add inserts a key identified by a unique sequence number.
+func (m *windowMedian) Add(key int64, seq uint64) {
+	m.pruneLow()
+	if m.liveLow == 0 || key <= m.low.entries[0].key {
+		heap.Push(&m.low, medianEntry{key, seq})
+		m.side[seq] = 0
+		m.liveLow++
+	} else {
+		heap.Push(&m.high, medianEntry{key, seq})
+		m.side[seq] = 1
+		m.liveHigh++
+	}
+	m.rebalance()
+}
+
+// Remove deletes the key previously added with seq.
+func (m *windowMedian) Remove(seq uint64) {
+	s, ok := m.side[seq]
+	if !ok {
+		return
+	}
+	delete(m.side, seq)
+	m.dead[seq] = true
+	if s == 0 {
+		m.liveLow--
+	} else {
+		m.liveHigh--
+	}
+	m.rebalance()
+}
+
+// Median returns the lower median of the window; ok is false when empty.
+func (m *windowMedian) Median() (int64, bool) {
+	if m.Len() == 0 {
+		return 0, false
+	}
+	m.pruneLow()
+	return m.low.entries[0].key, true
+}
+
+// rebalance restores liveLow == liveHigh or liveLow == liveHigh+1.
+func (m *windowMedian) rebalance() {
+	for m.liveLow > m.liveHigh+1 {
+		m.pruneLow()
+		e := heap.Pop(&m.low).(medianEntry)
+		heap.Push(&m.high, e)
+		m.side[e.seq] = 1
+		m.liveLow--
+		m.liveHigh++
+	}
+	for m.liveHigh > m.liveLow {
+		m.pruneHigh()
+		e := heap.Pop(&m.high).(medianEntry)
+		heap.Push(&m.low, e)
+		m.side[e.seq] = 0
+		m.liveHigh--
+		m.liveLow++
+	}
+}
+
+// pruneLow discards tombstoned entries from the top of low.
+func (m *windowMedian) pruneLow() {
+	for len(m.low.entries) > 0 && m.dead[m.low.entries[0].seq] {
+		e := heap.Pop(&m.low).(medianEntry)
+		delete(m.dead, e.seq)
+	}
+}
+
+// pruneHigh discards tombstoned entries from the top of high.
+func (m *windowMedian) pruneHigh() {
+	for len(m.high.entries) > 0 && m.dead[m.high.entries[0].seq] {
+		e := heap.Pop(&m.high).(medianEntry)
+		delete(m.dead, e.seq)
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// naiveWindowMedian computes the lower median of a slice directly.
+func naiveWindowMedian(keys []int64) int64 {
+	s := append([]int64(nil), keys...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[(len(s)-1)/2]
+}
+
+func TestWindowMedianBasic(t *testing.T) {
+	m := newWindowMedian()
+	if _, ok := m.Median(); ok {
+		t.Fatal("empty window should have no median")
+	}
+	m.Add(5, 0)
+	if md, ok := m.Median(); !ok || md != 5 {
+		t.Fatalf("median = (%d, %v), want (5, true)", md, ok)
+	}
+	m.Add(1, 1)
+	if md, _ := m.Median(); md != 1 {
+		t.Fatalf("lower median of {1,5} = %d, want 1", md)
+	}
+	m.Add(9, 2)
+	if md, _ := m.Median(); md != 5 {
+		t.Fatalf("median of {1,5,9} = %d, want 5", md)
+	}
+	m.Remove(0) // remove the 5
+	if md, _ := m.Median(); md != 1 {
+		t.Fatalf("lower median of {1,9} = %d, want 1", md)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+}
+
+func TestWindowMedianSlidingAgainstNaive(t *testing.T) {
+	const window = 31
+	rng := rand.New(rand.NewSource(9))
+	m := newWindowMedian()
+	var keys []int64
+	seq := uint64(0)
+	head := uint64(0)
+	for step := 0; step < 2000; step++ {
+		k := rng.Int63n(1000) - 500
+		m.Add(k, seq)
+		keys = append(keys, k)
+		seq++
+		if len(keys) > window {
+			m.Remove(head)
+			head++
+			keys = keys[1:]
+		}
+		got, ok := m.Median()
+		if !ok {
+			t.Fatalf("step %d: no median with %d keys", step, len(keys))
+		}
+		if want := naiveWindowMedian(keys); got != want {
+			t.Fatalf("step %d: median = %d, want %d (window %v)", step, got, want, keys)
+		}
+	}
+}
+
+func TestWindowMedianDuplicateKeys(t *testing.T) {
+	m := newWindowMedian()
+	for i := 0; i < 10; i++ {
+		m.Add(7, uint64(i))
+	}
+	if md, _ := m.Median(); md != 7 {
+		t.Fatalf("median of constant window = %d, want 7", md)
+	}
+	for i := 0; i < 9; i++ {
+		m.Remove(uint64(i))
+		if md, _ := m.Median(); md != 7 {
+			t.Fatalf("median after %d removals = %d, want 7", i+1, md)
+		}
+	}
+}
+
+func TestWindowMedianRemoveUnknownSeqIsNoop(t *testing.T) {
+	m := newWindowMedian()
+	m.Add(1, 0)
+	m.Remove(99)
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d after removing unknown seq, want 1", m.Len())
+	}
+}
+
+func TestWindowMedianDrainCompletely(t *testing.T) {
+	m := newWindowMedian()
+	for i := 0; i < 5; i++ {
+		m.Add(int64(i), uint64(i))
+	}
+	for i := 0; i < 5; i++ {
+		m.Remove(uint64(i))
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d after draining, want 0", m.Len())
+	}
+	if _, ok := m.Median(); ok {
+		t.Fatal("drained window should have no median")
+	}
+	// Reusable after draining.
+	m.Add(42, 100)
+	if md, _ := m.Median(); md != 42 {
+		t.Fatal("window unusable after draining")
+	}
+}

@@ -1,0 +1,618 @@
+package core
+
+import (
+	"math/rand"
+	"slices"
+
+	"repro/internal/heap"
+	"repro/internal/record"
+	"repro/internal/runio"
+)
+
+// Result summarises one 2WRS run-generation pass.
+type Result struct {
+	// Runs lists the generated runs in creation order. Each run has up to
+	// four segments: streams 4, 3, 2, 1 in ascending-concatenation order.
+	Runs []runio.Run
+	// Records is the number of input records consumed.
+	Records int64
+	// OverlapRuns counts runs whose four stream ranges were not pairwise
+	// disjoint (see runio.Run.Concatenable). It is 0 whenever the insertion
+	// heuristic partitions the heaps cleanly, which is the normal case on
+	// the paper's datasets with the recommended configuration.
+	OverlapRuns int64
+	// VictimFlushes counts victim-buffer flushes (initial and active).
+	VictimFlushes int64
+}
+
+// AvgRunLength returns the mean run length in records, 0 for no runs.
+func (r Result) AvgRunLength() float64 {
+	if len(r.Runs) == 0 {
+		return 0
+	}
+	return float64(r.Records) / float64(len(r.Runs))
+}
+
+// streamRange tracks the first and last key written to a stream, used to
+// decide run concatenability at run end.
+type streamRange struct {
+	set         bool
+	first, last int64
+}
+
+func (r *streamRange) note(k int64) {
+	if !r.set {
+		r.first, r.set = k, true
+	}
+	r.last = k
+}
+
+// generator holds the full state of one 2WRS execution.
+type generator struct {
+	cfg       Config
+	em        *runio.Emitter
+	in        *inputBuffer
+	dh        *heap.DoubleHeap
+	rng       *rand.Rand
+	victimCap int
+
+	currentRun int
+
+	// Stream writers, created lazily per run.
+	s1                             *runio.Writer
+	s3                             *runio.Writer
+	s2                             *runio.BackwardWriter
+	s4                             *runio.BackwardWriter
+	s1Name, s2Name, s3Name, s4Name string
+	s1R, s2R, s3R, s4R             streamRange
+
+	// Output frontiers of the current run: t is the last key written to
+	// stream 1 (ascending) and b the last key written to stream 4
+	// (descending). A record can join the current run through the TopHeap
+	// iff its key is ≥ t and through the BottomHeap iff its key is ≤ b,
+	// exactly the RS rule applied per direction (§4.1).
+	tSet, bSet bool
+	t, b       int64
+
+	// Victim buffer state (§4.3).
+	victim       []record.Record
+	victimActive bool
+	lo, hi       int64 // exclusive valid range once active
+
+	// Heuristic state.
+	lastInputTop  bool
+	lastOutputTop bool
+	outTop        int
+	outBottom     int
+	firstOutSet   bool
+	firstOut      int64
+	// Key range observed so far: the Mean/Median fallback division point
+	// when the input buffer is empty or absent.
+	rangeSet         bool
+	minSeen, maxSeen int64
+	// Frozen per-run division point for the Mean/Median heuristics.
+	divisionSet bool
+	division    int64
+
+	res Result
+}
+
+// Generate runs two-way replacement selection over src, writing runs
+// through em.
+func Generate(src record.Reader, em *runio.Emitter, cfg Config) (Result, error) {
+	inputCap, victimCap, arena, err := cfg.sizes()
+	if err != nil {
+		return Result{}, err
+	}
+	if victimCap < 2 {
+		// A victim buffer needs at least two records to define a valid
+		// range; below that it behaves like no buffer at all (§5.2.6 makes
+		// the same observation about the 0.02% configurations).
+		victimCap = 0
+	}
+	in, err := newInputBuffer(src, inputCap, cfg.Input == InMedian)
+	if err != nil {
+		return Result{}, err
+	}
+	g := &generator{
+		cfg:       cfg,
+		em:        em,
+		in:        in,
+		dh:        heap.NewDouble(arena),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		victimCap: victimCap,
+	}
+	if victimCap > 0 {
+		g.victim = make([]record.Record, 0, victimCap)
+	}
+
+	// Fill phase (doubleHeap.fill in Algorithm 2): both heaps are eligible
+	// for every record, so the input heuristic decides each placement.
+	for !g.dh.Full() {
+		rec, ok, err := g.in.next()
+		if err != nil {
+			return g.res, err
+		}
+		if !ok {
+			break
+		}
+		g.res.Records++
+		g.insertInput(rec)
+	}
+
+	// Main loop (Algorithm 2): release one record, refill from the input.
+	for g.dh.Len() > 0 {
+		fromTop, ok := g.chooseOutputSide()
+		if !ok {
+			// Both heap tops belong to the next run: the current run ends.
+			if err := g.endRun(); err != nil {
+				return g.res, err
+			}
+			continue
+		}
+		var it heap.Item
+		if fromTop {
+			it = g.dh.PopTop()
+		} else {
+			it = g.dh.PopBottom()
+		}
+		if err := g.route(it.Rec, fromTop); err != nil {
+			return g.res, err
+		}
+		if err := g.consumeInput(); err != nil {
+			return g.res, err
+		}
+	}
+	if err := g.endRun(); err != nil {
+		return g.res, err
+	}
+	return g.res, nil
+}
+
+// chooseOutputSide picks the heap to release the next record from. ok is
+// false when neither heap has a current-run record on top.
+func (g *generator) chooseOutputSide() (fromTop, ok bool) {
+	topOK := g.dh.LenTop() > 0 && g.dh.PeekTop().Run == g.currentRun
+	botOK := g.dh.LenBottom() > 0 && g.dh.PeekBottom().Run == g.currentRun
+	switch {
+	case !topOK && !botOK:
+		return false, false
+	case topOK && !botOK:
+		return true, true
+	case botOK && !topOK:
+		return false, true
+	}
+	// Both possible: apply the output heuristic (§4.2).
+	switch g.cfg.Output {
+	case OutRandom:
+		return g.rng.Intn(2) == 0, true
+	case OutAlternate:
+		g.lastOutputTop = !g.lastOutputTop
+		return g.lastOutputTop, true
+	case OutUseful:
+		uTop := float64(g.outTop) / float64(max(1, g.dh.LenTop()))
+		uBot := float64(g.outBottom) / float64(max(1, g.dh.LenBottom()))
+		return uTop >= uBot, true
+	case OutBalancing:
+		// Keep the heaps level by draining the larger one.
+		return g.dh.LenTop() >= g.dh.LenBottom(), true
+	case OutMinDistance:
+		if !g.firstOutSet {
+			return g.rng.Intn(2) == 0, true
+		}
+		dTop := absDiff(g.dh.PeekTop().Rec.Key, g.firstOut)
+		dBot := absDiff(g.dh.PeekBottom().Rec.Key, g.firstOut)
+		return dTop <= dBot, true
+	default:
+		return true, true
+	}
+}
+
+func absDiff(a, b int64) int64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// route releases a popped record: to the victim buffer during the initial
+// collection phase, otherwise directly to the releasing heap's stream
+// (Figure 4.1: TopHeap → stream 1, BottomHeap → stream 4).
+func (g *generator) route(v record.Record, fromTop bool) error {
+	if !g.firstOutSet {
+		g.firstOut, g.firstOutSet = v.Key, true
+	}
+	g.countOut(fromTop)
+	// Initial victim phase: the first victimCap outputs of the run collect
+	// in the victim buffer so the valid range can be chosen from a larger
+	// sample than just the two heap tops (§4.3). They still advance their
+	// heap's output frontier: a staged record is an output of its heap, so
+	// later input records must not slip past it into the same heap.
+	if g.victimCap > 0 && !g.victimActive {
+		if fromTop {
+			g.t, g.tSet = v.Key, true
+		} else {
+			g.b, g.bSet = v.Key, true
+		}
+		g.victim = append(g.victim, v)
+		if len(g.victim) == g.victimCap {
+			g.sortVictim()
+			if err := g.flushVictimParts(g.largestGapIndex()); err != nil {
+				return err
+			}
+			g.victimActive = true
+			g.res.VictimFlushes++
+		}
+		return nil
+	}
+	if fromTop {
+		return g.writeS1(v)
+	}
+	return g.writeS4(v)
+}
+
+func (g *generator) countOut(fromTop bool) {
+	if fromTop {
+		g.outTop++
+	} else {
+		g.outBottom++
+	}
+}
+
+// consumeInput moves one record (or, while the victim buffer keeps fitting,
+// several) from the input into the memory structures, mirroring the inner
+// while-loop of Algorithm 2.
+func (g *generator) consumeInput() error {
+	rec, ok, err := g.in.next()
+	if err != nil || !ok {
+		return err
+	}
+	g.res.Records++
+	for g.victimActive && rec.Key > g.lo && rec.Key < g.hi {
+		if err := g.victimAdd(rec); err != nil {
+			return err
+		}
+		rec, ok, err = g.in.next()
+		if err != nil || !ok {
+			return err
+		}
+		g.res.Records++
+	}
+	g.insertInput(rec)
+	return nil
+}
+
+// insertInput places an input record in one of the heaps, tagged with the
+// run it can still join.
+func (g *generator) insertInput(rec record.Record) {
+	if !g.rangeSet {
+		g.minSeen, g.maxSeen, g.rangeSet = rec.Key, rec.Key, true
+	} else {
+		if rec.Key < g.minSeen {
+			g.minSeen = rec.Key
+		}
+		if rec.Key > g.maxSeen {
+			g.maxSeen = rec.Key
+		}
+	}
+	topElig := !g.tSet || rec.Key >= g.t
+	botElig := !g.bSet || rec.Key <= g.b
+	run := g.currentRun
+	var toTop bool
+	switch {
+	case g.cfg.Input == InTopOnly:
+		// Theorem 7's degenerate heuristic: everything goes to the TopHeap
+		// so that 2WRS reduces to exactly RS.
+		toTop = true
+		if !topElig {
+			run = g.currentRun + 1
+		}
+	case topElig && botElig:
+		toTop = g.chooseInsertSide(rec)
+	case topElig:
+		toTop = true
+	case botElig:
+		toTop = false
+	default:
+		run = g.currentRun + 1
+		toTop = g.chooseInsertSide(rec)
+	}
+	it := heap.Item{Rec: rec, Run: run}
+	if toTop {
+		g.dh.PushTop(it)
+	} else {
+		g.dh.PushBottom(it)
+	}
+}
+
+// chooseInsertSide applies the input heuristic (§4.2); true means TopHeap.
+func (g *generator) chooseInsertSide(rec record.Record) bool {
+	switch g.cfg.Input {
+	case InRandom:
+		return g.rng.Intn(2) == 0
+	case InAlternate:
+		g.lastInputTop = !g.lastInputTop
+		return g.lastInputTop
+	case InMean:
+		// The mean division point is sampled from the input buffer once
+		// per run and frozen: §4.2 uses it to "choose a good first output
+		// record" that "marks a division" between the heaps. Freezing it
+		// keeps the four stream ranges disjoint (concatenable runs);
+		// re-sampling per record would wobble the boundary and overlap
+		// them.
+		if g.divisionSet {
+			return rec.Key > g.division
+		}
+		if m, ok := g.in.mean(); ok {
+			g.division, g.divisionSet = int64(m), true
+			return rec.Key > g.division
+		}
+		if g.rangeSet {
+			g.division, g.divisionSet = g.minSeen+(g.maxSeen-g.minSeen)/2, true
+			return rec.Key > g.division
+		}
+	case InMedian:
+		// The median tracks the input buffer dynamically: on bimodal
+		// inputs (the mixed datasets) a frozen median would sit at a
+		// cluster edge rather than between the trends.
+		if md, ok := g.in.median(); ok {
+			return rec.Key > md
+		}
+	case InUseful:
+		uTop := float64(g.outTop) / float64(max(1, g.dh.LenTop()))
+		uBot := float64(g.outBottom) / float64(max(1, g.dh.LenBottom()))
+		return uTop >= uBot
+	case InBalancing:
+		return g.dh.LenTop() <= g.dh.LenBottom()
+	case InTopOnly:
+		return true
+	}
+	// Mean/Median with an empty or disabled input buffer fall back to the
+	// midpoint of the key range seen so far — a free O(1) estimate of the
+	// division point that keeps them sensible in the victim-only setup.
+	if g.rangeSet {
+		return rec.Key > g.minSeen+(g.maxSeen-g.minSeen)/2
+	}
+	g.lastInputTop = !g.lastInputTop
+	return g.lastInputTop
+}
+
+// victimAdd stores an input record in the (active) victim buffer, flushing
+// when full.
+func (g *generator) victimAdd(rec record.Record) error {
+	g.victim = append(g.victim, rec)
+	if len(g.victim) == g.victimCap {
+		g.sortVictim()
+		if err := g.flushVictimParts(g.largestGapIndex()); err != nil {
+			return err
+		}
+		g.res.VictimFlushes++
+	}
+	return nil
+}
+
+// sortVictim orders the victim contents ascending.
+func (g *generator) sortVictim() {
+	slices.SortFunc(g.victim, record.Compare)
+}
+
+// largestGapIndex returns i maximising victim[i].Key - victim[i-1].Key over
+// the sorted victim contents.
+func (g *generator) largestGapIndex() int {
+	best, bestGap := 1, int64(-1)
+	for i := 1; i < len(g.victim); i++ {
+		if gap := g.victim[i].Key - g.victim[i-1].Key; gap > bestGap {
+			best, bestGap = i, gap
+		}
+	}
+	return best
+}
+
+// flushVictimParts writes victim[:cut] to stream 3 ascending and
+// victim[cut:] to stream 2 descending, then sets the valid range to the gap
+// between them and empties the buffer (§4.3).
+func (g *generator) flushVictimParts(cut int) error {
+	for _, r := range g.victim[:cut] {
+		if err := g.writeS3(r); err != nil {
+			return err
+		}
+	}
+	for i := len(g.victim) - 1; i >= cut; i-- {
+		if err := g.writeS2(g.victim[i]); err != nil {
+			return err
+		}
+	}
+	if cut > 0 {
+		g.lo = g.victim[cut-1].Key
+	}
+	if cut < len(g.victim) {
+		g.hi = g.victim[cut].Key
+	} else {
+		g.hi = g.lo
+	}
+	g.victim = g.victim[:0]
+	return nil
+}
+
+// concatenable reports whether the four stream ranges are pairwise disjoint
+// in concatenation order (4, 3, 2, 1), i.e. whether reading the streams back
+// to back yields one sorted run.
+func (g *generator) concatenable() bool {
+	// Per-stream (min, max) in concatenation order. Descending streams were
+	// written largest-first, so their first key is the max.
+	type mm struct {
+		set      bool
+		min, max int64
+	}
+	chain := []mm{
+		{g.s4R.set, g.s4R.last, g.s4R.first},
+		{g.s3R.set, g.s3R.first, g.s3R.last},
+		{g.s2R.set, g.s2R.last, g.s2R.first},
+		{g.s1R.set, g.s1R.first, g.s1R.last},
+	}
+	prevSet := false
+	var prevMax int64
+	for _, c := range chain {
+		if !c.set {
+			continue
+		}
+		if prevSet && c.min < prevMax {
+			return false
+		}
+		prevMax, prevSet = c.max, true
+	}
+	return true
+}
+
+// endRun flushes the victim buffer, closes the four stream writers, records
+// the run manifest and resets all per-run state.
+func (g *generator) endRun() error {
+	if len(g.victim) > 0 {
+		g.sortVictim()
+		if !g.victimActive && len(g.victim) >= 2 {
+			// The run ended before the victim ever filled: still split at
+			// the largest gap so both extra streams stay balanced.
+			if err := g.flushVictimParts(g.largestGapIndex()); err != nil {
+				return err
+			}
+		} else {
+			// Active phase (contents strictly inside (lo,hi)) or a single
+			// record: appending everything to stream 3 keeps it ascending
+			// and inside the gap.
+			for _, r := range g.victim {
+				if err := g.writeS3(r); err != nil {
+					return err
+				}
+			}
+			g.victim = g.victim[:0]
+		}
+		g.res.VictimFlushes++
+	}
+
+	var segs []runio.Segment
+	var total int64
+	if g.s4 != nil {
+		if err := g.s4.Close(); err != nil {
+			return err
+		}
+		segs = append(segs, runio.Segment{Name: g.s4Name, Records: g.s4.Count(), Backward: true, Files: g.s4.Files()})
+		total += g.s4.Count()
+	}
+	if g.s3 != nil {
+		if err := g.s3.Close(); err != nil {
+			return err
+		}
+		segs = append(segs, runio.Segment{Name: g.s3Name, Records: g.s3.Count()})
+		total += g.s3.Count()
+	}
+	if g.s2 != nil {
+		if err := g.s2.Close(); err != nil {
+			return err
+		}
+		segs = append(segs, runio.Segment{Name: g.s2Name, Records: g.s2.Count(), Backward: true, Files: g.s2.Files()})
+		total += g.s2.Count()
+	}
+	if g.s1 != nil {
+		if err := g.s1.Close(); err != nil {
+			return err
+		}
+		segs = append(segs, runio.Segment{Name: g.s1Name, Records: g.s1.Count()})
+		total += g.s1.Count()
+	}
+	if total > 0 {
+		concat := g.concatenable()
+		if !concat {
+			g.res.OverlapRuns++
+		}
+		g.res.Runs = append(g.res.Runs, runio.Run{Segments: segs, Records: total, Concatenable: concat})
+	}
+
+	g.s1, g.s2, g.s3, g.s4 = nil, nil, nil, nil
+	g.s1R, g.s2R, g.s3R, g.s4R = streamRange{}, streamRange{}, streamRange{}, streamRange{}
+	g.currentRun++
+	g.tSet, g.bSet = false, false
+	g.victimActive = false
+	g.outTop, g.outBottom = 0, 0
+	g.firstOutSet = false
+	g.divisionSet = false
+
+	if g.cfg.Input == InBalancing {
+		g.rebalanceHeaps()
+	}
+	return nil
+}
+
+// rebalanceHeaps levels the two heap sizes at the start of a run, as the
+// Balancing input heuristic prescribes (§4.2).
+func (g *generator) rebalanceHeaps() {
+	for g.dh.LenTop() > g.dh.LenBottom()+1 {
+		g.dh.PushBottom(g.dh.PopTop())
+	}
+	for g.dh.LenBottom() > g.dh.LenTop()+1 {
+		g.dh.PushTop(g.dh.PopBottom())
+	}
+}
+
+// Stream write helpers.
+
+func (g *generator) writeS1(v record.Record) error {
+	if g.s1 == nil {
+		name, w, err := g.em.Forward("s1")
+		if err != nil {
+			return err
+		}
+		g.s1Name, g.s1 = name, w
+	}
+	if err := g.s1.Write(v); err != nil {
+		return err
+	}
+	g.t, g.tSet = v.Key, true
+	g.s1R.note(v.Key)
+	return nil
+}
+
+func (g *generator) writeS4(v record.Record) error {
+	if g.s4 == nil {
+		name, w, err := g.em.Backward("s4")
+		if err != nil {
+			return err
+		}
+		g.s4Name, g.s4 = name, w
+	}
+	if err := g.s4.Write(v); err != nil {
+		return err
+	}
+	g.b, g.bSet = v.Key, true
+	g.s4R.note(v.Key)
+	return nil
+}
+
+func (g *generator) writeS3(v record.Record) error {
+	if g.s3 == nil {
+		name, w, err := g.em.Forward("s3")
+		if err != nil {
+			return err
+		}
+		g.s3Name, g.s3 = name, w
+	}
+	if err := g.s3.Write(v); err != nil {
+		return err
+	}
+	g.s3R.note(v.Key)
+	return nil
+}
+
+func (g *generator) writeS2(v record.Record) error {
+	if g.s2 == nil {
+		name, w, err := g.em.Backward("s2")
+		if err != nil {
+			return err
+		}
+		g.s2Name, g.s2 = name, w
+	}
+	if err := g.s2.Write(v); err != nil {
+		return err
+	}
+	g.s2R.note(v.Key)
+	return nil
+}

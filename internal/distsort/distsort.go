@@ -1,0 +1,267 @@
+// Package distsort implements the external distribution (bucket) sort of
+// §2.2 of the thesis, the other classic approach to external sorting: a
+// partition pass routes records into key-range buckets whose ranges do not
+// overlap, oversized buckets recurse, and in-memory sorting of each bucket
+// followed by concatenation yields the result — no merge phase at all.
+//
+// Bucket boundaries are sampled quantiles of a memory-sized prefix, the
+// standard defence against the clustering problem §2.2 warns about.
+package distsort
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/heap"
+	"repro/internal/record"
+	"repro/internal/runio"
+	"repro/internal/vfs"
+)
+
+// Config parameterises the sort.
+type Config struct {
+	// Memory is the in-memory budget in records; buckets at most this
+	// large are sorted in memory.
+	Memory int
+	// Buckets is the partition fan-out (default 10, mirroring the merge
+	// fan-in of the thesis experiments).
+	Buckets int
+	// MaxDepth bounds the recursion (default 64, enough for the
+	// guaranteed-progress midpoint splits to exhaust an int64 key range).
+	MaxDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Buckets < 2 {
+		c.Buckets = 10
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 64
+	}
+	return c
+}
+
+// Stats reports the work done.
+type Stats struct {
+	// Records sorted.
+	Records int64
+	// Partitions is the number of partition passes executed (including
+	// recursive ones).
+	Partitions int
+	// MaxDepth is the deepest recursion level reached.
+	MaxDepth int
+}
+
+// bucketFile is an unordered spill file of records.
+type bucketFile struct {
+	name  string
+	f     vfs.File
+	buf   []byte
+	used  int
+	off   int64
+	count int64
+	min   int64
+	max   int64
+}
+
+func newBucketFile(fs vfs.FS, name string) (*bucketFile, error) {
+	f, err := fs.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &bucketFile{name: name, f: f, buf: make([]byte, 64*record.Size)}, nil
+}
+
+func (b *bucketFile) write(r record.Record) error {
+	if b.count == 0 || r.Key < b.min {
+		b.min = r.Key
+	}
+	if b.count == 0 || r.Key > b.max {
+		b.max = r.Key
+	}
+	record.Encode(b.buf[b.used:], r)
+	b.used += record.Size
+	b.count++
+	if b.used == len(b.buf) {
+		return b.flush()
+	}
+	return nil
+}
+
+func (b *bucketFile) flush() error {
+	if b.used == 0 {
+		return nil
+	}
+	if _, err := b.f.WriteAt(b.buf[:b.used], b.off); err != nil {
+		return err
+	}
+	b.off += int64(b.used)
+	b.used = 0
+	return nil
+}
+
+func (b *bucketFile) close() error {
+	if err := b.flush(); err != nil {
+		b.f.Close()
+		return err
+	}
+	return b.f.Close()
+}
+
+// Sort distribution-sorts src into dst using temporary bucket files on fs.
+func Sort(src record.Reader, dst record.Writer, fs vfs.FS, cfg Config) (Stats, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Memory <= 0 {
+		return Stats{}, fmt.Errorf("distsort: memory must be positive, got %d", cfg.Memory)
+	}
+	var stats Stats
+	namer := runio.NewNamer("bucket")
+	err := sortStream(src, dst, fs, namer, cfg, 0, false, 0, 0, &stats)
+	return stats, err
+}
+
+// sortStream sorts one record stream: in memory when it fits, otherwise by
+// partitioning into buckets and recursing. When the stream's key range is
+// known (rangeKnown with lo..hi), a midpoint split guarantees progress even
+// if the sampled quantiles degenerate on heavily duplicated keys.
+func sortStream(src record.Reader, dst record.Writer, fs vfs.FS, namer *runio.Namer, cfg Config, depth int, rangeKnown bool, lo, hi int64, stats *Stats) error {
+	if depth > stats.MaxDepth {
+		stats.MaxDepth = depth
+	}
+	if depth > cfg.MaxDepth {
+		return fmt.Errorf("distsort: recursion depth %d exceeded (pathological key distribution)", depth)
+	}
+	// Buffer up to Memory records; if the stream ends first, sort in memory.
+	sample := make([]record.Record, 0, cfg.Memory)
+	for len(sample) < cfg.Memory {
+		rec, err := src.Read()
+		if err == io.EOF {
+			heap.Sort(sample)
+			if depth == 0 {
+				stats.Records += int64(len(sample))
+			}
+			return record.WriteAll(dst, sample)
+		}
+		if err != nil {
+			return err
+		}
+		sample = append(sample, rec)
+	}
+
+	// The stream exceeds memory: choose bucket boundaries as quantiles of
+	// the sampled prefix, then distribute the prefix and the rest.
+	stats.Partitions++
+	sorted := append([]record.Record(nil), sample...)
+	heap.Sort(sorted)
+	nb := cfg.Buckets
+	// Candidate bounds: sample quantiles, deduplicated and strictly
+	// increasing (duplicated keys collapse quantiles). bucket i holds keys
+	// < bounds[i]; the last bucket is unbounded above.
+	var bounds []int64
+	for i := 1; i < nb; i++ {
+		b := sorted[len(sorted)*i/nb].Key
+		if b > sorted[0].Key && (len(bounds) == 0 || b > bounds[len(bounds)-1]) {
+			bounds = append(bounds, b)
+		}
+	}
+	if len(bounds) == 0 && rangeKnown && hi > lo {
+		// Degenerate sample (all one key) over a known non-trivial range:
+		// split the range down the middle — both halves are non-empty
+		// because the range endpoints were observed, so this always makes
+		// progress.
+		bounds = []int64{lo + (hi-lo)/2 + 1}
+	}
+	if len(bounds) == 0 {
+		// Sample all-equal and no known range: separate the sampled key
+		// from anything above it; the recursion will have a known range.
+		bounds = []int64{sorted[0].Key + 1}
+	}
+
+	buckets := make([]*bucketFile, len(bounds)+1)
+	for i := range buckets {
+		b, err := newBucketFile(fs, namer.Next(fmt.Sprintf("d%d", depth)))
+		if err != nil {
+			return err
+		}
+		buckets[i] = b
+	}
+	route := func(r record.Record) error {
+		i := sort.Search(len(bounds), func(j int) bool { return r.Key < bounds[j] })
+		return buckets[i].write(r)
+	}
+	for _, r := range sample {
+		if err := route(r); err != nil {
+			return err
+		}
+	}
+	for {
+		rec, err := src.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if err := route(rec); err != nil {
+			return err
+		}
+	}
+	var total int64
+	for _, b := range buckets {
+		if err := b.close(); err != nil {
+			return err
+		}
+		total += b.count
+	}
+	if depth == 0 {
+		stats.Records = total
+	}
+
+	// Sort each bucket in range order and stream it to dst.
+	for _, b := range buckets {
+		if b.count == 0 {
+			if err := fs.Remove(b.name); err != nil {
+				return err
+			}
+			continue
+		}
+		rc, err := runio.NewReader(fs, b.name, 1<<16)
+		if err != nil {
+			return err
+		}
+		switch {
+		case b.min == b.max:
+			// A constant-key bucket is sorted by definition; stream it
+			// through regardless of size (this is what caps recursion on
+			// heavily duplicated keys).
+			if _, err := record.Copy(dst, rc); err != nil {
+				rc.Close()
+				return err
+			}
+		case b.count <= int64(cfg.Memory):
+			recs, err := record.ReadAll(rc)
+			if err != nil {
+				rc.Close()
+				return err
+			}
+			heap.Sort(recs)
+			if err := record.WriteAll(dst, recs); err != nil {
+				rc.Close()
+				return err
+			}
+		default:
+			if err := sortStream(rc, dst, fs, namer, cfg, depth+1, true, b.min, b.max, stats); err != nil {
+				rc.Close()
+				return err
+			}
+		}
+		if err := rc.Close(); err != nil {
+			return err
+		}
+		if err := fs.Remove(b.name); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package distsort
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/record"
+	"repro/internal/vfs"
+)
+
+func sortAll(t *testing.T, recs []record.Record, cfg Config) ([]record.Record, Stats) {
+	t.Helper()
+	fs := vfs.NewMemFS()
+	var out record.SliceWriter
+	stats, err := Sort(record.NewSliceReader(recs), &out, fs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, _ := fs.Names()
+	if len(names) != 0 {
+		t.Fatalf("bucket files left behind: %v", names)
+	}
+	return out.Recs, stats
+}
+
+func TestDistsortAllDatasets(t *testing.T) {
+	for _, kind := range gen.Kinds {
+		recs := gen.Generate(gen.Config{Kind: kind, N: 20000, Seed: 4, Noise: 100})
+		out, stats := sortAll(t, recs, Config{Memory: 1000})
+		if !record.IsSorted(out) {
+			t.Fatalf("%v: output not sorted", kind)
+		}
+		if !record.NewMultiset(out).Equal(record.NewMultiset(recs)) {
+			t.Fatalf("%v: output is not a permutation", kind)
+		}
+		if stats.Records != 20000 {
+			t.Fatalf("%v: stats.Records = %d", kind, stats.Records)
+		}
+		if stats.Partitions == 0 {
+			t.Fatalf("%v: expected at least one partition pass", kind)
+		}
+	}
+}
+
+func TestDistsortFitsInMemory(t *testing.T) {
+	recs := gen.Generate(gen.Config{Kind: gen.Random, N: 100, Seed: 1})
+	out, stats := sortAll(t, recs, Config{Memory: 1000})
+	if !record.IsSorted(out) || len(out) != 100 {
+		t.Fatal("in-memory path wrong")
+	}
+	if stats.Partitions != 0 {
+		t.Fatalf("in-memory sort should not partition, got %d", stats.Partitions)
+	}
+}
+
+func TestDistsortRecursesOnSkew(t *testing.T) {
+	// 90% of keys inside a narrow band forces an oversized bucket.
+	recs := make([]record.Record, 30000)
+	g := gen.New(gen.Config{Kind: gen.Random, N: 30000, Seed: 7})
+	for i := range recs {
+		r, _ := g.Read()
+		if i%10 != 0 {
+			r.Key = 5_000_000 + r.Key%1000 // narrow band
+		}
+		r.Aux = uint64(i)
+		recs[i] = r
+	}
+	out, stats := sortAll(t, recs, Config{Memory: 1000, Buckets: 4})
+	if !record.IsSorted(out) || len(out) != len(recs) {
+		t.Fatal("skewed sort wrong")
+	}
+	if stats.MaxDepth < 1 {
+		t.Fatalf("expected recursion on skewed data, depth = %d", stats.MaxDepth)
+	}
+}
+
+func TestDistsortConstantKeys(t *testing.T) {
+	// All-equal keys larger than memory: the constant-bucket fast path
+	// must prevent infinite recursion.
+	recs := make([]record.Record, 5000)
+	for i := range recs {
+		recs[i] = record.Record{Key: 42, Aux: uint64(i)}
+	}
+	out, _ := sortAll(t, recs, Config{Memory: 500})
+	if len(out) != 5000 || !record.IsSorted(out) {
+		t.Fatal("constant-key sort wrong")
+	}
+	if !record.NewMultiset(out).Equal(record.NewMultiset(recs)) {
+		t.Fatal("constant-key sort lost records")
+	}
+}
+
+func TestDistsortEmpty(t *testing.T) {
+	out, stats := sortAll(t, nil, Config{Memory: 100})
+	if len(out) != 0 || stats.Records != 0 {
+		t.Fatal("empty sort wrong")
+	}
+}
+
+func TestDistsortRejectsBadMemory(t *testing.T) {
+	var out record.SliceWriter
+	if _, err := Sort(record.NewSliceReader(nil), &out, vfs.NewMemFS(), Config{}); err == nil {
+		t.Fatal("memory 0 should be rejected")
+	}
+}
+
+func TestDistsortTwoBuckets(t *testing.T) {
+	recs := gen.Generate(gen.Config{Kind: gen.Random, N: 10000, Seed: 8})
+	out, _ := sortAll(t, recs, Config{Memory: 500, Buckets: 2})
+	if !record.IsSorted(out) || len(out) != len(recs) {
+		t.Fatal("two-bucket sort wrong")
+	}
+}

@@ -1,0 +1,341 @@
+package exp
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/stats"
+)
+
+func TestTable513Shape(t *testing.T) {
+	rows, err := Table513(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows, want 6", len(rows))
+	}
+	byKind := map[gen.Kind]RunLengthRow{}
+	for _, r := range rows {
+		byKind[r.Kind] = r
+	}
+	// Sorted: every column is a single run ("inf").
+	for i := 0; i < 4; i++ {
+		if byKind[gen.Sorted].Runs[i] != 1 {
+			t.Errorf("sorted col %d: runs = %d, want 1", i, byKind[gen.Sorted].Runs[i])
+		}
+	}
+	// Reverse: RS ratio ≈ 1.0, all 2WRS columns single run.
+	if r := byKind[gen.ReverseSorted]; math.Abs(r.Ratio[0]-1.0) > 0.05 {
+		t.Errorf("reverse RS ratio = %.2f, want ≈1.0", r.Ratio[0])
+	}
+	for i := 1; i < 4; i++ {
+		if byKind[gen.ReverseSorted].Runs[i] != 1 {
+			t.Errorf("reverse 2WRS col %d: runs = %d, want 1", i, byKind[gen.ReverseSorted].Runs[i])
+		}
+	}
+	// Alternating: RS ≈ 2.0; 2WRS one run per monotone section, i.e.
+	// ratio = section length / memory = 5 (Theorem 6; the thesis' Table
+	// 5.13 prints the run count 50 in this cell, its §5.2.3 text gives the
+	// 5× memory average length — see EXPERIMENTS.md).
+	alt := byKind[gen.Alternating]
+	if alt.Ratio[0] < 1.5 || alt.Ratio[0] > 2.6 {
+		t.Errorf("alternating RS ratio = %.2f, want ≈2", alt.Ratio[0])
+	}
+	for i := 2; i < 4; i++ {
+		if alt.Ratio[i] < 4.0 {
+			t.Errorf("alternating 2WRS cfg%d ratio = %.2f, want ≈5 (Theorem 6)", i, alt.Ratio[i])
+		}
+	}
+	// Random: RS ≈ 2.0; cfg2 (20%% buffers) noticeably below cfg3.
+	rnd := byKind[gen.Random]
+	if rnd.Ratio[0] < 1.6 || rnd.Ratio[0] > 2.4 {
+		t.Errorf("random RS ratio = %.2f, want ≈2", rnd.Ratio[0])
+	}
+	if rnd.Ratio[2] >= rnd.Ratio[3] {
+		t.Errorf("random cfg2 (20%% buffers, %.2f) should trail cfg3 (2%%, %.2f)",
+			rnd.Ratio[2], rnd.Ratio[3])
+	}
+	// Mixed balanced: RS ≈ 2.0, victim configs (cfg2, cfg3) much longer.
+	mx := byKind[gen.MixedBalanced]
+	if mx.Ratio[0] < 1.5 || mx.Ratio[0] > 2.6 {
+		t.Errorf("mixed RS ratio = %.2f, want ≈2", mx.Ratio[0])
+	}
+	if mx.Ratio[2] < 3*mx.Ratio[0] && mx.Runs[2] != 1 {
+		t.Errorf("mixed cfg2 ratio = %.2f, want >> RS", mx.Ratio[2])
+	}
+	// Rendering includes "inf" entries.
+	text := RenderTable513(rows)
+	if !strings.Contains(text, "inf") {
+		t.Error("rendered table should contain inf rows")
+	}
+}
+
+func TestFig54LinearDegradation(t *testing.T) {
+	pts, err := Fig54BufferSweep(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ratio at the smallest buffer ≈ 2.0; at 20% clearly lower; monotone-ish.
+	first, last := pts[0], pts[len(pts)-1]
+	if first.Ratio < 1.6 || first.Ratio > 2.4 {
+		t.Errorf("tiny-buffer ratio = %.2f, want ≈2", first.Ratio)
+	}
+	if last.Ratio >= first.Ratio-0.2 {
+		t.Errorf("20%%-buffer ratio %.2f should be clearly below %.2f", last.Ratio, first.Ratio)
+	}
+}
+
+func TestFactorialAndANOVAModels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("factorial sweep is slow")
+	}
+	p := Tiny()
+	f, err := RunFactorial(p, []gen.Kind{gen.Sorted, gen.ReverseSorted, gen.Random, gen.MixedBalanced}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// §5.2.1/5.2.2: sorted and reverse generate 1 run in every config.
+	for _, kind := range []gen.Kind{gen.Sorted, gen.ReverseSorted} {
+		for _, y := range f.RunsByKind()[kind] {
+			if y != 1 {
+				t.Fatalf("%v: a configuration generated %v runs, want 1", kind, y)
+			}
+		}
+	}
+
+	// Table 5.2: on random input the main-effects model has β (buffer
+	// size) as the dominant factor. At this tiny scale (buffers of 0-40
+	// records) the heuristics contribute more relative noise than at the
+	// paper's scale, so the thresholds here are loose; EXPERIMENTS.md
+	// records the small-scale values.
+	fit, _, err := f.Fit(gen.Random, MainEffects(), nil, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.R2 < 0.7 {
+		t.Errorf("random main-effects R2 = %.3f, want > 0.7", fit.R2)
+	}
+	var fBeta, fOthers float64
+	for _, r := range fit.Rows {
+		if r.Name == "β" {
+			fBeta = r.F
+		} else if r.F > fOthers {
+			fOthers = r.F
+		}
+	}
+	if fBeta < 2*fOthers {
+		t.Errorf("β F=%.1f should dominate other factors (max other F=%.1f)", fBeta, fOthers)
+	}
+
+	// Table 5.3: the β-only model still captures the dominant effect.
+	fit53, _, err := f.Fit(gen.Random, SizeOnly(), nil, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit53.Rows[0].Sig > 0.001 {
+		t.Errorf("size-only model: β sig = %g, want ≈0", fit53.Rows[0].Sig)
+	}
+
+	// §5.2.5: on mixed input, victim-less configurations behave much
+	// worse (Fig 5.5): compare group means over α.
+	ds := f.Datasets[gen.MixedBalanced]
+	means := ds.MeansBy(0)
+	if len(means) != 3 {
+		t.Fatalf("expected 3 buffer setups, got %d", len(means))
+	}
+	inputOnly, both := means[0].Mean, means[1].Mean
+	if inputOnly < 1.3*both {
+		t.Errorf("victimless mixed mean runs %.1f should far exceed both-buffers %.1f", inputOnly, both)
+	}
+
+	// Tables 5.4-5.6: the mixed model fits acceptably once victim-less
+	// configs are dropped, and WLS improves the CV.
+	mls, _, err := f.Fit(gen.MixedBalanced, FirstOrderNoAlpha(), DropVictimless, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wls, dsW, err := f.Fit(gen.MixedBalanced, FirstOrderNoAlpha(), DropVictimless, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wls.CVPercent >= mls.CVPercent {
+		t.Errorf("WLS CV %.2f%% should improve on MLS %.2f%%", wls.CVPercent, mls.CVPercent)
+	}
+	_ = dsW
+
+	// Residual histogram (Fig 5.7) must be computable.
+	counts, _, err := stats.Histogram(wls.StdResiduals, -5, 5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != len(dsW.Obs) {
+		t.Errorf("histogram covers %d of %d residuals", total, len(dsW.Obs))
+	}
+}
+
+func TestFig61FanInUShape(t *testing.T) {
+	pts, err := Fig61FanIn(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := BestFanIn(pts)
+	// The thesis finds the optimum at 10; at tiny scale the exact argmin
+	// may shift a little, but it must be interior (neither 2 nor 18).
+	if best <= 2 || best >= 18 {
+		t.Errorf("best fan-in = %d, want an interior optimum", best)
+	}
+	// U-shape: the extremes are worse than the optimum.
+	var bestT = pts[0].SimTime
+	for _, p := range pts {
+		if p.SimTime < bestT {
+			bestT = p.SimTime
+		}
+	}
+	if pts[0].SimTime < 11*bestT/10 || pts[len(pts)-1].SimTime <= bestT {
+		t.Errorf("expected U-shape, got %v", pts)
+	}
+	if RenderFanIn(pts) == "" {
+		t.Error("rendering empty")
+	}
+}
+
+func TestFig38ModelExperiment(t *testing.T) {
+	res, err := Fig38Model(4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RunLengths) != 4 || len(res.Densities) != 4 {
+		t.Fatalf("unexpected sizes: %d runs, %d densities", len(res.RunLengths), len(res.Densities))
+	}
+	if math.Abs(res.RunLengths[3]-2) > 0.05 {
+		t.Errorf("model run 4 length = %.3f, want ≈2", res.RunLengths[3])
+	}
+	if RenderModel(res) == "" {
+		t.Error("rendering empty")
+	}
+}
+
+func TestTable21Experiment(t *testing.T) {
+	steps, err := Table21Polyphase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 7 {
+		t.Fatalf("got %d steps, want 7", len(steps))
+	}
+	out := RenderPolyphase(steps)
+	if !strings.Contains(out, "Tape 6") {
+		t.Error("rendered table incomplete")
+	}
+}
+
+func TestTimeSweepsShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("time sweeps are slow")
+	}
+	p := Tiny()
+
+	// Fig 6.3: random input — the algorithms stay comparable. At tiny run
+	// sizes 2WRS pays a small page-granularity premium (its four streams
+	// each need whole-page reads), so the acceptance band sits slightly
+	// below 1; the thesis reports near-equality at its scale.
+	pts, err := Fig63(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range pts {
+		s := pt.Speedup()
+		if s < 0.55 || s > 1.45 {
+			t.Errorf("fig63 x=%v: random speedup %.2f, want ≈1 (±)", pt.X, s)
+		}
+	}
+
+	// Fig 6.5: mixed input — 2WRS clearly faster (thesis: ≈3×), and
+	// increasingly so as the input grows relative to memory.
+	pts, err = Fig65(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxSpeed := 0.0
+	for _, pt := range pts {
+		if pt.Speedup() < 1.1 {
+			t.Errorf("fig65 x=%v: mixed speedup %.2f, want > 1.1", pt.X, pt.Speedup())
+		}
+		if pt.Speedup() > maxSpeed {
+			maxSpeed = pt.Speedup()
+		}
+	}
+	if maxSpeed < 2.5 {
+		t.Errorf("fig65 max speedup %.2f, want ≥ 2.5", maxSpeed)
+	}
+
+	// Fig 6.7: reverse sorted — 2WRS clearly faster (thesis: ≈2.5×).
+	pts, err = Fig67(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range pts {
+		if pt.Speedup() < 2 {
+			t.Errorf("fig67 x=%v: reverse speedup %.2f, want > 2", pt.X, pt.Speedup())
+		}
+	}
+
+	// Fig 6.6: alternating — large speedup for few sections (thesis: up to
+	// ≈3), approaching parity as sections multiply.
+	pts, err = Fig66(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].Speedup() < 2 {
+		t.Errorf("fig66 first point speedup %.2f, want > 2", pts[0].Speedup())
+	}
+	last := pts[len(pts)-1].Speedup()
+	if last < 0.6 || last > 1.3 {
+		t.Errorf("fig66 last point speedup %.2f, want ≈1", last)
+	}
+	if pts[0].Speedup() <= last {
+		t.Errorf("fig66: speedup should shrink with sections: first %.2f last %.2f",
+			pts[0].Speedup(), last)
+	}
+	if RenderTimePoints("x", pts) == "" {
+		t.Error("rendering empty")
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	for _, s := range []string{"tiny", "small", "paper"} {
+		if _, err := ParseScale(s); err != nil {
+			t.Fatalf("ParseScale(%q): %v", s, err)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Fatal("unknown scale should error")
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	out := RenderTable([]string{"a", "bb"}, [][]string{{"1", "2"}, {"333", "4"}})
+	if !strings.Contains(out, "333") || !strings.Contains(out, "bb") {
+		t.Fatalf("render wrong: %q", out)
+	}
+}
+
+func TestFormatRatio(t *testing.T) {
+	if FormatRatio(125, true) != "inf" {
+		t.Error("single run should render inf")
+	}
+	if FormatRatio(1.96, false) != "1.96" {
+		t.Error("ratio should render with 2 decimals")
+	}
+	if FormatRatio(math.Inf(1), false) != "inf" {
+		t.Error("infinite ratio should render inf")
+	}
+}

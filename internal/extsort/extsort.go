@@ -1,0 +1,210 @@
+// Package extsort ties run generation and the merge phase into a complete
+// external sort, the end-to-end system the paper's Chapter 6 measures.
+package extsort
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/merge"
+	"repro/internal/record"
+	"repro/internal/rs"
+	"repro/internal/runio"
+	"repro/internal/vfs"
+)
+
+// Algorithm selects the run-generation strategy.
+type Algorithm int
+
+// The run generation algorithms this library implements.
+const (
+	// TwoWayRS is two-way replacement selection, the paper's contribution.
+	TwoWayRS Algorithm = iota
+	// RS is classic replacement selection (Goetz 1963).
+	RS
+	// LoadSortStore fills memory, sorts and stores (§2.1.1).
+	LoadSortStore
+)
+
+var algNames = map[Algorithm]string{
+	TwoWayRS:      "2wrs",
+	RS:            "rs",
+	LoadSortStore: "lss",
+}
+
+func (a Algorithm) String() string {
+	if n, ok := algNames[a]; ok {
+		return n
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// ParseAlgorithm resolves a CLI name.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	for a, n := range algNames {
+		if strings.EqualFold(s, n) {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("extsort: unknown algorithm %q (want 2wrs, rs or lss)", s)
+}
+
+// Config parameterises a complete external sort.
+type Config struct {
+	// Algorithm is the run generation strategy.
+	Algorithm Algorithm
+	// Memory is the memory budget in records, used by both phases: the run
+	// generation data structures, and (converted to bytes) the merge
+	// buffers.
+	Memory int
+	// FanIn is the merge fan-in (thesis optimum: 10).
+	FanIn int
+	// TWRS carries the 2WRS-specific knobs; its Memory field is ignored in
+	// favour of Config.Memory. Zero value means the recommended §5.3
+	// configuration.
+	TWRS core.Config
+	// Engine selects the k-way merge implementation.
+	Engine merge.Engine
+	// PageSize and PagesPerFile configure run storage (0: defaults).
+	PageSize     int
+	PagesPerFile int
+	// Prefix names the temporary files of this sort (default "sort").
+	Prefix string
+	// Clock, when set, samples a simulated clock (e.g. iosim.Disk.Elapsed)
+	// around each phase so Stats can report simulated I/O time.
+	Clock func() time.Duration
+}
+
+// Recommended returns the paper's recommended end-to-end configuration:
+// 2WRS (§5.3 parameters) with fan-in 10.
+func Recommended(memory int) Config {
+	return Config{
+		Algorithm: TwoWayRS,
+		Memory:    memory,
+		FanIn:     10,
+		TWRS:      core.Recommended(memory),
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.FanIn == 0 {
+		c.FanIn = 10
+	}
+	if c.Prefix == "" {
+		c.Prefix = "sort"
+	}
+	twrs := c.TWRS
+	if twrs == (core.Config{}) {
+		twrs = core.Recommended(c.Memory)
+	}
+	twrs.Memory = c.Memory
+	c.TWRS = twrs
+	return c
+}
+
+// Stats reports everything the experiments measure about one sort.
+type Stats struct {
+	// Records is the number of records sorted.
+	Records int64
+	// Runs is the number of runs generated; AvgRunLength is Records/Runs.
+	Runs         int
+	AvgRunLength float64
+	// OverlapRuns counts 2WRS runs whose streams had to merge separately.
+	OverlapRuns int64
+	// MergeInputs, MergePasses and MergeOps describe the merge phase.
+	MergeInputs int
+	MergePasses int
+	MergeOps    int
+	// RunGenWall and MergeWall are wall-clock phase durations.
+	RunGenWall time.Duration
+	MergeWall  time.Duration
+	// RunGenSim and MergeSim are simulated-clock phase durations when
+	// Config.Clock was provided (e.g. backed by iosim.Disk).
+	RunGenSim time.Duration
+	MergeSim  time.Duration
+}
+
+// TotalWall returns the end-to-end wall-clock duration.
+func (s Stats) TotalWall() time.Duration { return s.RunGenWall + s.MergeWall }
+
+// TotalSim returns the end-to-end simulated duration.
+func (s Stats) TotalSim() time.Duration { return s.RunGenSim + s.MergeSim }
+
+// Sort reads all records from src, sorts them externally using temporary
+// files on fs, and writes the sorted stream to dst.
+func Sort(src record.Reader, dst record.Writer, fs vfs.FS, cfg Config) (Stats, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Memory <= 0 {
+		return Stats{}, fmt.Errorf("extsort: memory must be positive, got %d", cfg.Memory)
+	}
+	em := runio.NewEmitter(fs, cfg.Prefix)
+	em.PageSize = cfg.PageSize
+	em.PagesPerFile = cfg.PagesPerFile
+
+	clock := cfg.Clock
+	if clock == nil {
+		clock = func() time.Duration { return 0 }
+	}
+
+	var stats Stats
+	simStart, wallStart := clock(), time.Now()
+
+	var runs []runio.Run
+	switch cfg.Algorithm {
+	case RS:
+		res, err := rs.Generate(src, em, cfg.Memory)
+		if err != nil {
+			return stats, err
+		}
+		runs, stats.Records = res.Runs, res.Records
+	case LoadSortStore:
+		res, err := rs.GenerateLSS(src, em, cfg.Memory)
+		if err != nil {
+			return stats, err
+		}
+		runs, stats.Records = res.Runs, res.Records
+	case TwoWayRS:
+		res, err := core.Generate(src, em, cfg.TWRS)
+		if err != nil {
+			return stats, err
+		}
+		runs, stats.Records = res.Runs, res.Records
+		stats.OverlapRuns = res.OverlapRuns
+	default:
+		return stats, fmt.Errorf("extsort: unknown algorithm %v", cfg.Algorithm)
+	}
+	stats.Runs = len(runs)
+	if stats.Runs > 0 {
+		stats.AvgRunLength = float64(stats.Records) / float64(stats.Runs)
+	}
+	stats.RunGenWall = time.Since(wallStart)
+	stats.RunGenSim = clock() - simStart
+
+	// Every run — concatenable or not — is one merge input: runio.Run.Open
+	// interleaves overlapping streams on the fly.
+	simStart, wallStart = clock(), time.Now()
+	ms, err := merge.Merge(fs, em, runs, dst, merge.Config{
+		FanIn:       cfg.FanIn,
+		MemoryBytes: cfg.Memory * record.Size,
+		Engine:      cfg.Engine,
+	})
+	if err != nil {
+		return stats, err
+	}
+	stats.MergeInputs = ms.Inputs
+	stats.MergePasses = ms.Passes
+	stats.MergeOps = ms.Merges
+	stats.MergeWall = time.Since(wallStart)
+	stats.MergeSim = clock() - simStart
+	return stats, nil
+}
+
+// SortSlice sorts records in memory-bounded fashion through a MemFS and
+// returns a new sorted slice; a convenience for tests and examples.
+func SortSlice(recs []record.Record, cfg Config) ([]record.Record, Stats, error) {
+	var out record.SliceWriter
+	stats, err := Sort(record.NewSliceReader(recs), &out, vfs.NewMemFS(), cfg)
+	return out.Recs, stats, err
+}

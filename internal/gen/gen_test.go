@@ -1,0 +1,225 @@
+package gen
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/record"
+)
+
+func TestSortedShape(t *testing.T) {
+	recs := Generate(Config{Kind: Sorted, N: 1000})
+	if len(recs) != 1000 {
+		t.Fatalf("got %d records, want 1000", len(recs))
+	}
+	if !record.IsSorted(recs) {
+		t.Fatal("sorted dataset is not sorted")
+	}
+	// With noise the macro shape must survive because Step >> Noise.
+	noisy := Generate(Config{Kind: Sorted, N: 1000, Noise: 1000, Seed: 1})
+	if !record.IsSorted(noisy) {
+		t.Fatal("noisy sorted dataset lost its order (Step should dominate Noise)")
+	}
+}
+
+func TestReverseSortedShape(t *testing.T) {
+	recs := Generate(Config{Kind: ReverseSorted, N: 1000, Noise: 1000, Seed: 1})
+	if !record.IsReverseSorted(recs) {
+		t.Fatal("reverse dataset is not reverse sorted")
+	}
+}
+
+func TestAlternatingShape(t *testing.T) {
+	const n, sections = 10000, 50
+	recs := Generate(Config{Kind: Alternating, N: n, Sections: sections})
+	// Count direction changes; a triangle wave with 50 monotone intervals
+	// has 49 direction flips.
+	flips := 0
+	dir := 0 // +1 ascending, -1 descending
+	for i := 1; i < n; i++ {
+		d := 0
+		if recs[i].Key > recs[i-1].Key {
+			d = 1
+		} else if recs[i].Key < recs[i-1].Key {
+			d = -1
+		}
+		if d == 0 {
+			continue
+		}
+		if dir != 0 && d != dir {
+			flips++
+		}
+		dir = d
+	}
+	if flips < sections-2 || flips > sections {
+		t.Fatalf("alternating dataset has %d direction flips, want ≈%d", flips, sections-1)
+	}
+}
+
+func TestRandomIsDeterministicPerSeed(t *testing.T) {
+	a := Generate(Config{Kind: Random, N: 500, Seed: 7})
+	b := Generate(Config{Kind: Random, N: 500, Seed: 7})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must generate identical data")
+		}
+	}
+	c := Generate(Config{Kind: Random, N: 500, Seed: 8})
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should generate different data")
+	}
+}
+
+func TestRandomIsRoughlyUniform(t *testing.T) {
+	const n = 100000
+	recs := Generate(Config{Kind: Random, N: n, Seed: 3})
+	// Split the key range into 10 buckets and check no bucket deviates
+	// more than 10% from the expected share.
+	maxKey := int64(n) * 1000
+	counts := make([]int, 10)
+	for _, r := range recs {
+		b := int(r.Key * 10 / maxKey)
+		if b > 9 {
+			b = 9
+		}
+		counts[b]++
+	}
+	for i, c := range counts {
+		if c < n/10*9/10 || c > n/10*11/10 {
+			t.Fatalf("bucket %d has %d records, want ≈%d", i, c, n/10)
+		}
+	}
+}
+
+func TestMixedBalancedShape(t *testing.T) {
+	const n = 1000
+	recs := Generate(Config{Kind: MixedBalanced, N: n})
+	// Even positions form an ascending sequence, odd a descending one.
+	for i := 2; i < n; i += 2 {
+		if recs[i].Key <= recs[i-2].Key {
+			t.Fatalf("ascending subsequence broken at %d", i)
+		}
+	}
+	for i := 3; i < n; i += 2 {
+		if recs[i].Key >= recs[i-2].Key {
+			t.Fatalf("descending subsequence broken at %d", i)
+		}
+	}
+	// The two trends cross: the first descending key is far above the
+	// first ascending key, and the last descending key is far below the
+	// last ascending key... they converge toward the middle range.
+	if recs[1].Key <= recs[0].Key {
+		t.Fatal("descending sequence should start above ascending start")
+	}
+}
+
+func TestMixedImbalancedShape(t *testing.T) {
+	const n = 1000
+	recs := Generate(Config{Kind: MixedImbalanced, N: n})
+	// Positions ≡ 0 (mod 4) ascend.
+	for i := 4; i < n; i += 4 {
+		if recs[i].Key <= recs[i-4].Key {
+			t.Fatalf("ascending subsequence broken at %d", i)
+		}
+	}
+	// All other positions form one descending sequence.
+	var prev int64
+	first := true
+	for i := 0; i < n; i++ {
+		if i%4 == 0 {
+			continue
+		}
+		if !first && recs[i].Key >= prev {
+			t.Fatalf("descending subsequence broken at %d", i)
+		}
+		prev = recs[i].Key
+		first = false
+	}
+	// Imbalance: three descending records per ascending one.
+	asc := (n + 3) / 4
+	if desc := n - asc; desc < 3*asc-4 || desc > 3*asc+4 {
+		t.Fatalf("imbalance wrong: %d ascending vs %d descending", asc, desc)
+	}
+}
+
+func TestGeneratorStreamsAndEOFs(t *testing.T) {
+	g := New(Config{Kind: Sorted, N: 3})
+	if g.Remaining() != 3 {
+		t.Fatalf("Remaining = %d, want 3", g.Remaining())
+	}
+	for i := 0; i < 3; i++ {
+		r, err := g.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Aux != uint64(i) {
+			t.Fatalf("aux = %d, want %d", r.Aux, i)
+		}
+	}
+	if _, err := g.Read(); err != io.EOF {
+		t.Fatalf("read past end = %v, want io.EOF", err)
+	}
+}
+
+func TestAuxIsSequential(t *testing.T) {
+	for _, k := range Kinds {
+		recs := Generate(Config{Kind: k, N: 100, Seed: 1, Noise: 10})
+		for i, r := range recs {
+			if r.Aux != uint64(i) {
+				t.Fatalf("%v: aux[%d] = %d", k, i, r.Aux)
+			}
+		}
+	}
+}
+
+func TestNoiseBounds(t *testing.T) {
+	base := Generate(Config{Kind: Sorted, N: 100})
+	noisy := Generate(Config{Kind: Sorted, N: 100, Noise: 1000, Seed: 5})
+	for i := range base {
+		d := noisy[i].Key - base[i].Key
+		if d < 1 || d > 1000 {
+			t.Fatalf("noise delta %d out of [1,1000]", d)
+		}
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, k := range Kinds {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Fatalf("ParseKind(%q) = (%v, %v)", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("zipf"); err == nil {
+		t.Fatal("ParseKind should reject unknown names")
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind should still print")
+	}
+}
+
+func TestAlternatingSectionsDefault(t *testing.T) {
+	// Sections=0 means the thesis default of 50.
+	recs := Generate(Config{Kind: Alternating, N: 5000})
+	if len(recs) != 5000 {
+		t.Fatal("default sections should still generate N records")
+	}
+}
+
+func TestTinyDatasets(t *testing.T) {
+	for _, k := range Kinds {
+		for _, n := range []int{0, 1, 2, 3} {
+			recs := Generate(Config{Kind: k, N: n, Seed: 1})
+			if len(recs) != n {
+				t.Fatalf("%v N=%d: got %d records", k, n, len(recs))
+			}
+		}
+	}
+}

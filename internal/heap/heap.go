@@ -1,0 +1,270 @@
+// Package heap implements the run-tagged binary heaps used by replacement
+// selection (Chapter 3 of the thesis) and the single-array double heap of
+// two-way replacement selection (§4.1).
+//
+// Items carry a run number in addition to their record. A record marked for
+// a later run always orders after every record of the current run (in either
+// direction), which is exactly the trick RS uses to keep next-run records at
+// the bottom of the heap: priority is the pair (run, key).
+package heap
+
+import (
+	"fmt"
+
+	"repro/internal/record"
+)
+
+// Item is a record tagged with the run it belongs to.
+type Item struct {
+	Rec record.Record
+	Run int
+}
+
+// side is a binary heap laid out over a shared backing array. A mirrored
+// side stores its logical index i at physical position len(arr)-1-i, which
+// is how the TopHeap and BottomHeap of 2WRS share one allocation and trade
+// capacity 1:1 (§4.1, Figures 4.3-4.5).
+type side struct {
+	arr    []Item
+	n      int
+	mirror bool // grow from the end of arr downward
+	desc   bool // max-heap by key (BottomHeap); min-heap otherwise
+}
+
+// before reports whether a has strictly higher priority than b: lower run
+// first, then key in the side's direction.
+func (s *side) before(a, b Item) bool {
+	if a.Run != b.Run {
+		return a.Run < b.Run
+	}
+	if s.desc {
+		return a.Rec.Key > b.Rec.Key
+	}
+	return a.Rec.Key < b.Rec.Key
+}
+
+func (s *side) phys(i int) int {
+	if s.mirror {
+		return len(s.arr) - 1 - i
+	}
+	return i
+}
+
+func (s *side) at(i int) Item      { return s.arr[s.phys(i)] }
+func (s *side) set(i int, it Item) { s.arr[s.phys(i)] = it }
+func (s *side) swap(i, j int) {
+	pi, pj := s.phys(i), s.phys(j)
+	s.arr[pi], s.arr[pj] = s.arr[pj], s.arr[pi]
+}
+func (s *side) len() int     { return s.n }
+func (s *side) push(it Item) { s.set(s.n, it); s.n++; s.siftUp(s.n - 1) }
+func (s *side) peek() Item   { return s.at(0) }
+
+func (s *side) pop() Item {
+	top := s.at(0)
+	s.n--
+	if s.n > 0 {
+		s.set(0, s.at(s.n))
+		s.siftDown(0)
+	}
+	s.set(s.n, Item{}) // clear the vacated slot so DoubleHeap slots stay tidy
+	return top
+}
+
+func (s *side) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.before(s.at(i), s.at(parent)) {
+			return
+		}
+		s.swap(i, parent)
+		i = parent
+	}
+}
+
+func (s *side) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < s.n && s.before(s.at(l), s.at(best)) {
+			best = l
+		}
+		if r < s.n && s.before(s.at(r), s.at(best)) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		s.swap(i, best)
+		i = best
+	}
+}
+
+// valid reports whether the heap property holds everywhere; used by tests.
+func (s *side) valid() bool {
+	for i := 1; i < s.n; i++ {
+		if s.before(s.at(i), s.at((i-1)/2)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Heap is a single run-tagged binary heap of fixed capacity, as used by
+// classic replacement selection.
+type Heap struct {
+	s side
+}
+
+// New returns a heap of the given capacity. If desc is true the heap is a
+// max-heap by key (within a run); otherwise a min-heap.
+func New(capacity int, desc bool) *Heap {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("heap: capacity must be positive, got %d", capacity))
+	}
+	return &Heap{s: side{arr: make([]Item, capacity), desc: desc}}
+}
+
+// Len returns the number of items currently stored.
+func (h *Heap) Len() int { return h.s.len() }
+
+// Cap returns the fixed capacity.
+func (h *Heap) Cap() int { return len(h.s.arr) }
+
+// Full reports whether the heap is at capacity.
+func (h *Heap) Full() bool { return h.s.n == len(h.s.arr) }
+
+// Push adds an item. It panics if the heap is full: run generation
+// algorithms are responsible for popping before pushing, and overflowing
+// the memory budget is a programming error, not a runtime condition.
+func (h *Heap) Push(it Item) {
+	if h.Full() {
+		panic("heap: push on full heap")
+	}
+	h.s.push(it)
+}
+
+// Pop removes and returns the highest-priority item. It panics on an empty
+// heap.
+func (h *Heap) Pop() Item {
+	if h.s.n == 0 {
+		panic("heap: pop on empty heap")
+	}
+	return h.s.pop()
+}
+
+// Peek returns the highest-priority item without removing it.
+func (h *Heap) Peek() Item {
+	if h.s.n == 0 {
+		panic("heap: peek on empty heap")
+	}
+	return h.s.peek()
+}
+
+// Reset empties the heap, retaining its backing array.
+func (h *Heap) Reset() {
+	clear(h.s.arr[:h.s.n])
+	h.s.n = 0
+}
+
+// Valid reports whether the heap property currently holds; it exists for
+// tests and invariant checks.
+func (h *Heap) Valid() bool { return h.s.valid() }
+
+// DoubleHeap is the 2WRS memory arena: a max-heap (BottomHeap) growing from
+// index 0 upward and a min-heap (TopHeap) growing from the last index
+// downward, sharing one fixed array so that either can grow at the expense
+// of the other (§4.1).
+type DoubleHeap struct {
+	arr    []Item
+	bottom side
+	top    side
+}
+
+// NewDouble returns a DoubleHeap with the given total capacity shared by the
+// two heaps.
+func NewDouble(capacity int) *DoubleHeap {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("heap: capacity must be positive, got %d", capacity))
+	}
+	arr := make([]Item, capacity)
+	return &DoubleHeap{
+		arr:    arr,
+		bottom: side{arr: arr, desc: true},
+		top:    side{arr: arr, mirror: true},
+	}
+}
+
+// Len returns the combined number of items stored in both heaps.
+func (d *DoubleHeap) Len() int { return d.bottom.n + d.top.n }
+
+// Cap returns the shared capacity.
+func (d *DoubleHeap) Cap() int { return len(d.arr) }
+
+// Full reports whether the combined heaps are at capacity.
+func (d *DoubleHeap) Full() bool { return d.Len() == len(d.arr) }
+
+// LenTop and LenBottom return the sizes of the individual heaps.
+func (d *DoubleHeap) LenTop() int    { return d.top.n }
+func (d *DoubleHeap) LenBottom() int { return d.bottom.n }
+
+// PushTop inserts into the TopHeap (min-heap). Panics when full.
+func (d *DoubleHeap) PushTop(it Item) {
+	if d.Full() {
+		panic("heap: push on full double heap")
+	}
+	d.top.push(it)
+}
+
+// PushBottom inserts into the BottomHeap (max-heap). Panics when full.
+func (d *DoubleHeap) PushBottom(it Item) {
+	if d.Full() {
+		panic("heap: push on full double heap")
+	}
+	d.bottom.push(it)
+}
+
+// PopTop removes the smallest current item of the TopHeap.
+func (d *DoubleHeap) PopTop() Item {
+	if d.top.n == 0 {
+		panic("heap: pop on empty top heap")
+	}
+	return d.top.pop()
+}
+
+// PopBottom removes the largest current item of the BottomHeap.
+func (d *DoubleHeap) PopBottom() Item {
+	if d.bottom.n == 0 {
+		panic("heap: pop on empty bottom heap")
+	}
+	return d.bottom.pop()
+}
+
+// PeekTop returns the smallest item of the TopHeap without removing it.
+func (d *DoubleHeap) PeekTop() Item {
+	if d.top.n == 0 {
+		panic("heap: peek on empty top heap")
+	}
+	return d.top.peek()
+}
+
+// PeekBottom returns the largest item of the BottomHeap without removing it.
+func (d *DoubleHeap) PeekBottom() Item {
+	if d.bottom.n == 0 {
+		panic("heap: peek on empty bottom heap")
+	}
+	return d.bottom.peek()
+}
+
+// Valid reports whether both heap properties hold and the two sides do not
+// overlap; it exists for tests.
+func (d *DoubleHeap) Valid() bool {
+	return d.Len() <= len(d.arr) && d.bottom.valid() && d.top.valid()
+}
+
+// Reset empties both heaps.
+func (d *DoubleHeap) Reset() {
+	clear(d.arr)
+	d.bottom.n = 0
+	d.top.n = 0
+}

@@ -1,0 +1,214 @@
+package iosim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/vfs"
+)
+
+// testParams uses round numbers so expected costs are exact: 10 ms per seek
+// (seek + rotation combined as 6+4), 1 MB/s transfer = 1 µs per byte.
+// WriteThrough makes writes observable for the head-movement tests; the
+// cached default is covered by TestCachedWrites.
+func testParams() Params {
+	return Params{
+		Seek:         6 * time.Millisecond,
+		HalfRotation: 4 * time.Millisecond,
+		TransferRate: 1e6,
+		WriteThrough: true,
+	}
+}
+
+func TestCachedWritesChargeTransferOnly(t *testing.T) {
+	p := testParams()
+	p.WriteThrough = false
+	d := NewDisk(p)
+	fs := NewFS(vfs.NewMemFS(), d)
+	f, _ := fs.Create("a")
+	defer f.Close()
+	// Scattered writes: backward, forward, far away — no seeks charged.
+	f.WriteAt(make([]byte, 1000), 8000)
+	f.WriteAt(make([]byte, 1000), 0)
+	f.WriteAt(make([]byte, 1000), 4000)
+	st := d.Stats()
+	if st.Seeks != 0 {
+		t.Fatalf("cached writes incurred %d seeks, want 0", st.Seeks)
+	}
+	if want := 3 * time.Millisecond; d.Elapsed() != want {
+		t.Fatalf("Elapsed = %v, want %v (transfer only)", d.Elapsed(), want)
+	}
+	// A read afterwards still pays its positioning seek.
+	f.ReadAt(make([]byte, 100), 0)
+	if d.Stats().Seeks != 1 {
+		t.Fatalf("read after cached writes should seek once, got %d", d.Stats().Seeks)
+	}
+}
+
+func newTestFS() (*FS, *Disk) {
+	d := NewDisk(testParams())
+	return NewFS(vfs.NewMemFS(), d), d
+}
+
+func TestSequentialWriteChargesOneSeek(t *testing.T) {
+	fs, d := newTestFS()
+	f, err := fs.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 1000)
+	for i := 0; i < 10; i++ {
+		if _, err := f.WriteAt(buf, int64(i*1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := d.Stats()
+	if st.Seeks != 1 {
+		t.Fatalf("sequential writes incurred %d seeks, want 1 (initial positioning)", st.Seeks)
+	}
+	if st.Writes != 10 || st.BytesWritten != 10000 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// 1 seek (10ms) + 10000 bytes at 1 byte/µs = 10ms.
+	want := 20 * time.Millisecond
+	if got := d.Elapsed(); got != want {
+		t.Fatalf("Elapsed = %v, want %v", got, want)
+	}
+}
+
+func TestAlternatingFilesChargeSeeks(t *testing.T) {
+	fs, d := newTestFS()
+	fa, _ := fs.Create("a")
+	fb, _ := fs.Create("b")
+	defer fa.Close()
+	defer fb.Close()
+	buf := make([]byte, 100)
+	for i := 0; i < 5; i++ {
+		fa.WriteAt(buf, int64(i*100))
+		fb.WriteAt(buf, int64(i*100))
+	}
+	st := d.Stats()
+	// Every access lands on the other file, so all 10 accesses seek.
+	if st.Seeks != 10 {
+		t.Fatalf("alternating writes incurred %d seeks, want 10", st.Seeks)
+	}
+}
+
+func TestSequentialReadAfterWriteSeeksOnce(t *testing.T) {
+	fs, d := newTestFS()
+	f, _ := fs.Create("a")
+	defer f.Close()
+	buf := make([]byte, 4096)
+	f.WriteAt(buf, 0)
+	d.Reset()
+
+	for off := int64(0); off < 4096; off += 1024 {
+		if _, err := f.ReadAt(make([]byte, 1024), off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := d.Stats()
+	if st.Seeks != 1 {
+		t.Fatalf("sequential reads incurred %d seeks, want 1", st.Seeks)
+	}
+	if st.Reads != 4 || st.BytesRead != 4096 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestResetClearsClockAndStatsButKeepsLayout(t *testing.T) {
+	fs, d := newTestFS()
+	f, _ := fs.Create("a")
+	defer f.Close()
+	f.WriteAt(make([]byte, 10), 0)
+	if d.Elapsed() == 0 {
+		t.Fatal("expected nonzero elapsed before reset")
+	}
+	d.Reset()
+	if d.Elapsed() != 0 || d.Stats() != (Stats{}) {
+		t.Fatal("Reset did not clear state")
+	}
+	// Head position survives reset: continuing the same sequential write
+	// pattern costs no new seek.
+	f.WriteAt(make([]byte, 10), 10)
+	if got := d.Stats().Seeks; got != 0 {
+		t.Fatalf("post-reset sequential write seeks = %d, want 0", got)
+	}
+}
+
+func TestZeroLengthAccessIsFree(t *testing.T) {
+	fs, d := newTestFS()
+	f, _ := fs.Create("a")
+	defer f.Close()
+	f.WriteAt(nil, 0)
+	if d.Elapsed() != 0 || d.Stats().Ops() != 0 {
+		t.Fatal("zero-length access should not be charged")
+	}
+}
+
+func TestReopenKeepsExtent(t *testing.T) {
+	fs, d := newTestFS()
+	f, _ := fs.Create("a")
+	f.WriteAt(make([]byte, 100), 0)
+	f.Close()
+	g, err := fs.Open("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	// Reading from offset 100 continues exactly where the write ended, so
+	// the same extent must be reused and no seek charged.
+	before := d.Stats().Seeks
+	g.ReadAt(make([]byte, 1), 100)
+	if got := d.Stats().Seeks - before; got != 0 {
+		t.Fatalf("re-opened sequential access charged %d seeks, want 0", got)
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	s := Stats{Reads: 2, Writes: 3, BytesRead: 10, BytesWritten: 20}
+	if s.Ops() != 5 {
+		t.Fatalf("Ops = %d, want 5", s.Ops())
+	}
+	if s.Bytes() != 30 {
+		t.Fatalf("Bytes = %d, want 30", s.Bytes())
+	}
+	if s.String() == "" {
+		t.Fatal("String should not be empty")
+	}
+}
+
+func TestDefaults2010AreSane(t *testing.T) {
+	p := Defaults2010()
+	if p.Seek <= 0 || p.HalfRotation <= 0 || p.TransferRate <= 0 {
+		t.Fatalf("defaults not positive: %+v", p)
+	}
+	// A full sequential scan of 60 MB at the default rate takes about one
+	// second; sanity-check the unit handling end to end.
+	d := NewDisk(p)
+	fs := NewFS(vfs.NewMemFS(), d)
+	f, _ := fs.Create("big")
+	defer f.Close()
+	chunk := make([]byte, 1<<20)
+	for i := 0; i < 60; i++ {
+		f.WriteAt(chunk, int64(i)<<20)
+	}
+	got := d.Elapsed()
+	if got < 900*time.Millisecond || got > 1100*time.Millisecond {
+		t.Fatalf("60 MB sequential write took %v simulated, want ≈1s", got)
+	}
+}
+
+func TestFSPassesThroughErrors(t *testing.T) {
+	fs, _ := newTestFS()
+	if _, err := fs.Open("missing"); err == nil {
+		t.Fatal("Open(missing) should fail")
+	}
+	if err := fs.Remove("missing"); err == nil {
+		t.Fatal("Remove(missing) should fail")
+	}
+	if _, err := fs.Names(); err != nil {
+		t.Fatal(err)
+	}
+}

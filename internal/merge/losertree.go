@@ -1,0 +1,251 @@
+// Package merge implements the merge phase of external mergesort
+// (§2.1.2 of the thesis): a k-way merge built on a loser tree, a multi-pass
+// driver with configurable fan-in, and polyphase merge over a tape
+// abstraction (Table 2.1).
+package merge
+
+import (
+	"io"
+
+	"repro/internal/record"
+)
+
+// Source is a sorted record stream being merged.
+type Source interface {
+	record.Reader
+	Close() error
+}
+
+// LoserTree is a tournament tree over k sorted sources. Compared with a
+// heap of sources it performs exactly ⌈log2 k⌉ comparisons per record (the
+// winner replays only its own path), which is why database sorters prefer
+// it; BenchmarkAblationMergeEngine quantifies the difference.
+type LoserTree struct {
+	srcs []Source
+	// cur[i] is the head record of source i; done[i] marks exhaustion.
+	cur  []record.Record
+	done []bool
+	// tree[j] holds the loser of the match at internal node j; tree[0]
+	// holds the overall winner.
+	tree   []int
+	k      int
+	closed bool
+}
+
+// NewLoserTree builds a tree over the given sources, priming each one.
+func NewLoserTree(srcs []Source) (*LoserTree, error) {
+	k := len(srcs)
+	t := &LoserTree{
+		srcs: srcs,
+		cur:  make([]record.Record, k),
+		done: make([]bool, k),
+		tree: make([]int, k),
+		k:    k,
+	}
+	for i := range srcs {
+		if err := t.advance(i); err != nil {
+			t.Close()
+			return nil, err
+		}
+	}
+	t.build()
+	return t, nil
+}
+
+// advance pulls the next record from source i.
+func (t *LoserTree) advance(i int) error {
+	rec, err := t.srcs[i].Read()
+	if err == io.EOF {
+		t.done[i] = true
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	t.cur[i] = rec
+	return nil
+}
+
+// less reports whether source a's head orders before source b's; exhausted
+// sources order last.
+func (t *LoserTree) less(a, b int) bool {
+	if t.done[a] {
+		return false
+	}
+	if t.done[b] {
+		return true
+	}
+	return t.cur[a].Key < t.cur[b].Key
+}
+
+// build runs the initial tournament, filling tree with losers and tree[0]
+// with the winner.
+func (t *LoserTree) build() {
+	if t.k == 0 {
+		return
+	}
+	// Play the tournament bottom-up: winner[j] for internal node j over
+	// leaves k..2k-1 (leaf j represents source j-k).
+	winner := make([]int, 2*t.k)
+	for j := t.k; j < 2*t.k; j++ {
+		winner[j] = j - t.k
+	}
+	for j := t.k - 1; j >= 1; j-- {
+		a, b := winner[2*j], winner[2*j+1]
+		if t.less(a, b) {
+			winner[j] = a
+			t.tree[j] = b
+		} else {
+			winner[j] = b
+			t.tree[j] = a
+		}
+	}
+	t.tree[0] = winner[1]
+}
+
+// Read returns the next record in global sorted order, or io.EOF once all
+// sources are exhausted.
+func (t *LoserTree) Read() (record.Record, error) {
+	if t.closed {
+		return record.Record{}, record.ErrClosed
+	}
+	if t.k == 0 {
+		return record.Record{}, io.EOF
+	}
+	w := t.tree[0]
+	if t.done[w] {
+		return record.Record{}, io.EOF
+	}
+	rec := t.cur[w]
+	if err := t.advance(w); err != nil {
+		return record.Record{}, err
+	}
+	// Replay the winner's path to the root: at each internal node the new
+	// contender either stays winner or swaps with the stored loser.
+	j := (w + t.k) / 2
+	for j >= 1 {
+		if t.less(t.tree[j], w) {
+			t.tree[j], w = w, t.tree[j]
+		}
+		j /= 2
+	}
+	t.tree[0] = w
+	return rec, nil
+}
+
+// Close closes every source, returning the first error encountered.
+func (t *LoserTree) Close() error {
+	if t.closed {
+		return record.ErrClosed
+	}
+	t.closed = true
+	var first error
+	for _, s := range t.srcs {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// HeapMerger is the naive alternative: a binary heap of sources, costing up
+// to 2·log2 k comparisons per record. It exists as the ablation baseline
+// for the loser tree.
+type HeapMerger struct {
+	srcs   []Source
+	heap   []int // source indices ordered by head record
+	cur    []record.Record
+	closed bool
+}
+
+// NewHeapMerger builds a heap-based merger over the sources.
+func NewHeapMerger(srcs []Source) (*HeapMerger, error) {
+	m := &HeapMerger{srcs: srcs, cur: make([]record.Record, len(srcs))}
+	for i := range srcs {
+		rec, err := srcs[i].Read()
+		if err == io.EOF {
+			continue
+		}
+		if err != nil {
+			m.Close()
+			return nil, err
+		}
+		m.cur[i] = rec
+		m.heap = append(m.heap, i)
+		m.up(len(m.heap) - 1)
+	}
+	return m, nil
+}
+
+func (m *HeapMerger) less(i, j int) bool { return m.cur[m.heap[i]].Key < m.cur[m.heap[j]].Key }
+
+func (m *HeapMerger) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !m.less(i, p) {
+			return
+		}
+		m.heap[i], m.heap[p] = m.heap[p], m.heap[i]
+		i = p
+	}
+}
+
+func (m *HeapMerger) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < len(m.heap) && m.less(l, best) {
+			best = l
+		}
+		if r < len(m.heap) && m.less(r, best) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		m.heap[i], m.heap[best] = m.heap[best], m.heap[i]
+		i = best
+	}
+}
+
+// Read returns the next record in global sorted order.
+func (m *HeapMerger) Read() (record.Record, error) {
+	if m.closed {
+		return record.Record{}, record.ErrClosed
+	}
+	if len(m.heap) == 0 {
+		return record.Record{}, io.EOF
+	}
+	src := m.heap[0]
+	rec := m.cur[src]
+	next, err := m.srcs[src].Read()
+	if err == io.EOF {
+		last := len(m.heap) - 1
+		m.heap[0] = m.heap[last]
+		m.heap = m.heap[:last]
+		if len(m.heap) > 0 {
+			m.down(0)
+		}
+	} else if err != nil {
+		return record.Record{}, err
+	} else {
+		m.cur[src] = next
+		m.down(0)
+	}
+	return rec, nil
+}
+
+// Close closes every source.
+func (m *HeapMerger) Close() error {
+	if m.closed {
+		return record.ErrClosed
+	}
+	m.closed = true
+	var first error
+	for _, s := range m.srcs {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

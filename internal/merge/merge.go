@@ -1,0 +1,227 @@
+package merge
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/record"
+	"repro/internal/runio"
+	"repro/internal/vfs"
+)
+
+// Engine selects the k-way merge implementation.
+type Engine int
+
+// Available merge engines.
+const (
+	// EngineLoserTree is the default production engine.
+	EngineLoserTree Engine = iota
+	// EngineHeap is the ablation baseline.
+	EngineHeap
+)
+
+// Config parameterises the merge phase.
+type Config struct {
+	// FanIn is the number of inputs merged simultaneously (thesis optimum:
+	// 10, §6.1.1).
+	FanIn int
+	// MemoryBytes is the buffer memory available to the merge phase; it is
+	// divided evenly among the FanIn input readers and one output writer.
+	MemoryBytes int
+	// Engine selects the k-way implementation.
+	Engine Engine
+}
+
+// bufBytes returns the per-stream buffer budget for a merge of the given
+// width: an equal share of the merge memory across the inputs plus the
+// output, floored at one file system page — no real device transfers less
+// than a page per request.
+func (c Config) bufBytes(width int) int {
+	if width < 1 {
+		width = 1
+	}
+	b := c.MemoryBytes / (width + 1)
+	if b < runio.DefaultPageSize {
+		b = runio.DefaultPageSize
+	}
+	return b
+}
+
+// Stats reports what the merge phase did.
+type Stats struct {
+	// Passes is the depth of the merge tree: the maximum number of merge
+	// operations any record flowed through (0 when the input was a single
+	// run already).
+	Passes int
+	// Merges is the number of k-way merge operations performed.
+	Merges int
+	// RecordsMoved counts records read+written through intermediate runs,
+	// excluding the final pass to the destination.
+	RecordsMoved int64
+	// Inputs is the initial number of merge inputs.
+	Inputs int
+}
+
+// newTree builds the configured merge engine over the inputs.
+func newEngine(cfg Config, srcs []Source) (Source, error) {
+	switch cfg.Engine {
+	case EngineHeap:
+		return NewHeapMerger(srcs)
+	default:
+		return NewLoserTree(srcs)
+	}
+}
+
+// openInputs opens each run with the per-stream buffer budget.
+func openInputs(fs vfs.FS, runs []runio.Run, bufBytes int) ([]Source, error) {
+	srcs := make([]Source, 0, len(runs))
+	for _, r := range runs {
+		rc, err := r.Open(fs, bufBytes)
+		if err != nil {
+			for _, s := range srcs {
+				s.Close()
+			}
+			return nil, err
+		}
+		srcs = append(srcs, rc)
+	}
+	return srcs, nil
+}
+
+// Merge combines the given sorted inputs into dst using repeated FanIn-way
+// merges scheduled smallest-first — the optimal merge pattern (Knuth vol. 3
+// §5.4.9): merging the smallest runs first minimises the total volume moved
+// through intermediate files, which matters for 2WRS because its victim
+// streams are tiny compared to the heap streams. The first merge takes
+// ((n-1) mod (FanIn-1)) + 1 runs so that every later merge is full-width.
+// Intermediate runs are deleted as soon as they are consumed; the final
+// merge streams directly to dst.
+//
+// Each input is one sorted stream when opened: a 2WRS run with overlapping
+// stream ranges interleaves its segments on the fly (runio.Run.Open), so
+// callers pass runs as-is.
+func Merge(fs vfs.FS, em *runio.Emitter, inputs []runio.Run, dst record.Writer, cfg Config) (Stats, error) {
+	if cfg.FanIn < 2 {
+		return Stats{}, fmt.Errorf("merge: fan-in must be at least 2, got %d", cfg.FanIn)
+	}
+	stats := Stats{Inputs: len(inputs)}
+	if len(inputs) == 0 {
+		return stats, nil
+	}
+
+	type depthRun struct {
+		run   runio.Run
+		depth int
+	}
+	queue := make([]depthRun, 0, len(inputs))
+	for _, r := range inputs {
+		queue = append(queue, depthRun{run: r})
+	}
+	bySize := func() {
+		sort.SliceStable(queue, func(i, j int) bool { return queue[i].run.Records < queue[j].run.Records })
+	}
+	bySize()
+
+	// Width of the first internal merge so all later ones are full.
+	firstWidth := (len(queue)-1)%(cfg.FanIn-1) + 1
+	for len(queue) > cfg.FanIn {
+		width := cfg.FanIn
+		if firstWidth > 1 {
+			width = firstWidth
+		}
+		firstWidth = 0
+		group := make([]runio.Run, 0, width)
+		depth := 0
+		for _, dr := range queue[:width] {
+			group = append(group, dr.run)
+			if dr.depth > depth {
+				depth = dr.depth
+			}
+		}
+		queue = queue[width:]
+		out, err := mergeGroup(fs, em, group, cfg.bufBytes(width), cfg)
+		if err != nil {
+			return stats, err
+		}
+		stats.Merges++
+		stats.RecordsMoved += out.Records
+		queue = append(queue, depthRun{run: out, depth: depth + 1})
+		bySize()
+	}
+
+	// Final merge: straight into dst.
+	finals := make([]runio.Run, 0, len(queue))
+	depth := 0
+	for _, dr := range queue {
+		finals = append(finals, dr.run)
+		if dr.depth > depth {
+			depth = dr.depth
+		}
+	}
+	srcs, err := openInputs(fs, finals, cfg.bufBytes(len(finals)))
+	if err != nil {
+		return stats, err
+	}
+	var eng Source
+	if len(finals) == 1 {
+		eng = srcs[0]
+		stats.Passes = depth
+	} else {
+		eng, err = newEngine(cfg, srcs)
+		if err != nil {
+			return stats, err
+		}
+		stats.Merges++
+		stats.Passes = depth + 1
+	}
+	if _, err := record.Copy(dst, eng); err != nil {
+		eng.Close()
+		return stats, err
+	}
+	if err := eng.Close(); err != nil {
+		return stats, err
+	}
+	for _, r := range finals {
+		if err := r.Remove(fs); err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}
+
+// mergeGroup merges one group of runs into a fresh intermediate run and
+// deletes the consumed inputs.
+func mergeGroup(fs vfs.FS, em *runio.Emitter, group []runio.Run, bufBytes int, cfg Config) (runio.Run, error) {
+	srcs, err := openInputs(fs, group, bufBytes)
+	if err != nil {
+		return runio.Run{}, err
+	}
+	eng, err := newEngine(cfg, srcs)
+	if err != nil {
+		return runio.Run{}, err
+	}
+	name := em.Namer.Next("merge")
+	w, err := runio.NewWriter(fs, name, bufBytes)
+	if err != nil {
+		eng.Close()
+		return runio.Run{}, err
+	}
+	if _, err := record.Copy(w, eng); err != nil {
+		eng.Close()
+		w.Close()
+		return runio.Run{}, err
+	}
+	if err := eng.Close(); err != nil {
+		w.Close()
+		return runio.Run{}, err
+	}
+	if err := w.Close(); err != nil {
+		return runio.Run{}, err
+	}
+	for _, r := range group {
+		if err := r.Remove(fs); err != nil {
+			return runio.Run{}, err
+		}
+	}
+	return runio.SingleRun(name, w.Count()), nil
+}

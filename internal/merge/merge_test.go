@@ -1,0 +1,425 @@
+package merge
+
+import (
+	"io"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/record"
+	"repro/internal/runio"
+	"repro/internal/vfs"
+)
+
+// sliceSource adapts a slice to the Source interface.
+type sliceSource struct {
+	*record.SliceReader
+	closed bool
+}
+
+func (s *sliceSource) Close() error {
+	s.closed = true
+	return nil
+}
+
+func srcOf(keys ...int64) *sliceSource {
+	return &sliceSource{SliceReader: record.NewSliceReader(record.FromKeys(keys...))}
+}
+
+func drain(t *testing.T, s Source) []int64 {
+	t.Helper()
+	var keys []int64
+	for {
+		rec, err := s.Read()
+		if err == io.EOF {
+			return keys
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, rec.Key)
+	}
+}
+
+func TestLoserTreeThreeWayExample(t *testing.T) {
+	// The 3-way merge example of §2.1 (Figures 2.1-2.3).
+	srcs := []Source{
+		srcOf(2, 8, 12, 16),
+		srcOf(3, 13, 14, 17),
+		srcOf(1, 7, 9, 18),
+	}
+	lt, err := NewLoserTree(srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, lt)
+	want := []int64{1, 2, 3, 7, 8, 9, 12, 13, 14, 16, 17, 18}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if err := lt.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergersRandomizedAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		k := 1 + rng.Intn(9)
+		var all []int64
+		build := func() []Source {
+			srcs := make([]Source, k)
+			// Rebuild identical sources for each engine.
+			r2 := rand.New(rand.NewSource(int64(trial)))
+			all = all[:0]
+			for i := 0; i < k; i++ {
+				n := r2.Intn(50)
+				keys := make([]int64, n)
+				for j := range keys {
+					keys[j] = r2.Int63n(1000)
+				}
+				sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+				all = append(all, keys...)
+				srcs[i] = srcOf(keys...)
+			}
+			return srcs
+		}
+
+		lt, err := NewLoserTree(build())
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotLT := drain(t, lt)
+		lt.Close()
+
+		hm, err := NewHeapMerger(build())
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotHM := drain(t, hm)
+		hm.Close()
+
+		sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+		if len(gotLT) != len(all) || len(gotHM) != len(all) {
+			t.Fatalf("trial %d: lengths lt=%d hm=%d want=%d", trial, len(gotLT), len(gotHM), len(all))
+		}
+		for i := range all {
+			if gotLT[i] != all[i] {
+				t.Fatalf("trial %d: loser tree wrong at %d", trial, i)
+			}
+			if gotHM[i] != all[i] {
+				t.Fatalf("trial %d: heap merger wrong at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestMergersEmptyAndSingle(t *testing.T) {
+	lt, err := NewLoserTree(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lt.Read(); err != io.EOF {
+		t.Fatalf("empty loser tree read = %v, want io.EOF", err)
+	}
+	lt.Close()
+
+	lt2, _ := NewLoserTree([]Source{srcOf(), srcOf(5), srcOf()})
+	got := drain(t, lt2)
+	if len(got) != 1 || got[0] != 5 {
+		t.Fatalf("got %v, want [5]", got)
+	}
+	lt2.Close()
+
+	hm, _ := NewHeapMerger([]Source{srcOf()})
+	if _, err := hm.Read(); err != io.EOF {
+		t.Fatalf("heap merger over empty source = %v, want io.EOF", err)
+	}
+	hm.Close()
+}
+
+func TestMergersDuplicateKeys(t *testing.T) {
+	srcs := []Source{srcOf(1, 1, 1), srcOf(1, 1), srcOf(1)}
+	lt, _ := NewLoserTree(srcs)
+	got := drain(t, lt)
+	if len(got) != 6 {
+		t.Fatalf("got %d records, want 6", len(got))
+	}
+	lt.Close()
+}
+
+func TestReadAfterClose(t *testing.T) {
+	lt, _ := NewLoserTree([]Source{srcOf(1)})
+	lt.Close()
+	if _, err := lt.Read(); err != record.ErrClosed {
+		t.Fatalf("read after close = %v, want ErrClosed", err)
+	}
+	if err := lt.Close(); err != record.ErrClosed {
+		t.Fatalf("double close = %v, want ErrClosed", err)
+	}
+	hm, _ := NewHeapMerger([]Source{srcOf(1)})
+	hm.Close()
+	if _, err := hm.Read(); err != record.ErrClosed {
+		t.Fatalf("heap read after close = %v, want ErrClosed", err)
+	}
+}
+
+// makeRuns writes n runs of the given length onto fs.
+func makeRuns(t *testing.T, fs vfs.FS, em *runio.Emitter, n, length int, seed int64) ([]runio.Run, []record.Record) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var runs []runio.Run
+	var all []record.Record
+	for i := 0; i < n; i++ {
+		keys := make([]int64, length)
+		for j := range keys {
+			keys[j] = rng.Int63n(1 << 30)
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		name, w, err := em.Forward("run")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, k := range keys {
+			rec := record.Record{Key: k, Aux: uint64(i*length + j)}
+			all = append(all, rec)
+			if err := w.Write(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, runio.SingleRun(name, int64(length)))
+	}
+	return runs, all
+}
+
+func TestMergeSinglePass(t *testing.T) {
+	fs := vfs.NewMemFS()
+	em := runio.NewEmitter(fs, "m")
+	runs, all := makeRuns(t, fs, em, 5, 100, 1)
+	var out record.SliceWriter
+	stats, err := Merge(fs, em, runs, &out, Config{FanIn: 10, MemoryBytes: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Passes != 1 || stats.Merges != 1 || stats.Inputs != 5 {
+		t.Fatalf("stats = %+v, want single pass", stats)
+	}
+	if stats.RecordsMoved != 0 {
+		t.Fatalf("single pass should not move records through intermediates, moved %d", stats.RecordsMoved)
+	}
+	if !record.IsSorted(out.Recs) {
+		t.Fatal("merged output not sorted")
+	}
+	if !record.NewMultiset(out.Recs).Equal(record.NewMultiset(all)) {
+		t.Fatal("merge lost records")
+	}
+	// All run files must be deleted after the merge.
+	names, _ := fs.Names()
+	if len(names) != 0 {
+		t.Fatalf("files left after merge: %v", names)
+	}
+}
+
+func TestMergeMultiPass(t *testing.T) {
+	fs := vfs.NewMemFS()
+	em := runio.NewEmitter(fs, "m")
+	runs, all := makeRuns(t, fs, em, 23, 50, 2)
+	var out record.SliceWriter
+	stats, err := Merge(fs, em, runs, &out, Config{FanIn: 3, MemoryBytes: 1 << 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 23 runs at fan-in 3: 23 -> 8 -> 3 -> 1, i.e. 3 passes.
+	if stats.Passes != 3 {
+		t.Fatalf("passes = %d, want 3", stats.Passes)
+	}
+	if !record.IsSorted(out.Recs) || len(out.Recs) != len(all) {
+		t.Fatal("multi-pass merge output wrong")
+	}
+	if !record.NewMultiset(out.Recs).Equal(record.NewMultiset(all)) {
+		t.Fatal("multi-pass merge lost records")
+	}
+	names, _ := fs.Names()
+	if len(names) != 0 {
+		t.Fatalf("files left after merge: %v", names)
+	}
+}
+
+func TestMergeSingleRunPassThrough(t *testing.T) {
+	fs := vfs.NewMemFS()
+	em := runio.NewEmitter(fs, "m")
+	runs, all := makeRuns(t, fs, em, 1, 64, 3)
+	var out record.SliceWriter
+	stats, err := Merge(fs, em, runs, &out, Config{FanIn: 10, MemoryBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Passes != 0 || stats.Merges != 0 {
+		t.Fatalf("single run should stream through, stats = %+v", stats)
+	}
+	if len(out.Recs) != len(all) {
+		t.Fatal("records lost")
+	}
+}
+
+func TestMergeNoInputs(t *testing.T) {
+	fs := vfs.NewMemFS()
+	em := runio.NewEmitter(fs, "m")
+	var out record.SliceWriter
+	stats, err := Merge(fs, em, nil, &out, Config{FanIn: 4, MemoryBytes: 4096})
+	if err != nil || stats.Inputs != 0 || len(out.Recs) != 0 {
+		t.Fatalf("empty merge = (%+v, %v)", stats, err)
+	}
+}
+
+func TestMergeRejectsBadFanIn(t *testing.T) {
+	fs := vfs.NewMemFS()
+	em := runio.NewEmitter(fs, "m")
+	var out record.SliceWriter
+	if _, err := Merge(fs, em, nil, &out, Config{FanIn: 1}); err == nil {
+		t.Fatal("fan-in 1 should be rejected")
+	}
+}
+
+func TestMergeHeapEngine(t *testing.T) {
+	fs := vfs.NewMemFS()
+	em := runio.NewEmitter(fs, "m")
+	runs, all := makeRuns(t, fs, em, 7, 40, 4)
+	var out record.SliceWriter
+	if _, err := Merge(fs, em, runs, &out, Config{FanIn: 3, MemoryBytes: 8192, Engine: EngineHeap}); err != nil {
+		t.Fatal(err)
+	}
+	if !record.IsSorted(out.Recs) || len(out.Recs) != len(all) {
+		t.Fatal("heap engine merge wrong")
+	}
+}
+
+func TestPolyphaseCountsTable21(t *testing.T) {
+	// Table 2.1 of the thesis, verbatim.
+	steps, err := PolyphaseCounts([]int{8, 10, 3, 0, 8, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{
+		{8, 10, 3, 0, 8, 11},
+		{5, 7, 0, 3, 5, 8},
+		{2, 4, 3, 0, 2, 5},
+		{0, 2, 1, 2, 0, 3},
+		{1, 1, 0, 1, 0, 2},
+		{0, 0, 1, 0, 0, 1},
+		{1, 0, 0, 0, 0, 0},
+	}
+	if len(steps) != len(want) {
+		t.Fatalf("got %d steps, want %d", len(steps), len(want))
+	}
+	for i, w := range want {
+		for j, c := range w {
+			if steps[i].RunsPerTape[j] != c {
+				t.Fatalf("step %d tape %d = %d, want %d (full: %v)",
+					i, j, steps[i].RunsPerTape[j], c, steps[i].RunsPerTape)
+			}
+		}
+	}
+}
+
+func TestPolyphaseCountsNeedsEmptyTape(t *testing.T) {
+	if _, err := PolyphaseCounts([]int{1, 2, 3}); err == nil {
+		t.Fatal("expected error without an empty tape")
+	}
+}
+
+func TestPolyphaseRecordLevel(t *testing.T) {
+	fs := vfs.NewMemFS()
+	em := runio.NewEmitter(fs, "p")
+	// Fibonacci-ish distribution over 3 tapes: {2, 1, 0}.
+	runsA, allA := makeRuns(t, fs, em, 2, 30, 5)
+	runsB, allB := makeRuns(t, fs, em, 1, 30, 6)
+	tapes := []*Tape{{Runs: runsA}, {Runs: runsB}, {}}
+	var out record.SliceWriter
+	if err := Polyphase(fs, em, tapes, &out, 4096, Config{FanIn: 10, MemoryBytes: 1 << 14}); err != nil {
+		t.Fatal(err)
+	}
+	all := append(append([]record.Record(nil), allA...), allB...)
+	if !record.IsSorted(out.Recs) || len(out.Recs) != len(all) {
+		t.Fatalf("polyphase output wrong: %d records", len(out.Recs))
+	}
+	if !record.NewMultiset(out.Recs).Equal(record.NewMultiset(all)) {
+		t.Fatal("polyphase lost records")
+	}
+}
+
+func TestPolyphaseDegenerateDistribution(t *testing.T) {
+	// {2,2,0} is not Fibonacci-shaped and would ping-pong in a naive
+	// implementation; the fallback must still converge.
+	fs := vfs.NewMemFS()
+	em := runio.NewEmitter(fs, "p")
+	runsA, allA := makeRuns(t, fs, em, 2, 20, 7)
+	runsB, allB := makeRuns(t, fs, em, 2, 20, 8)
+	tapes := []*Tape{{Runs: runsA}, {Runs: runsB}, {}}
+	var out record.SliceWriter
+	if err := Polyphase(fs, em, tapes, &out, 4096, Config{FanIn: 10, MemoryBytes: 1 << 14}); err != nil {
+		t.Fatal(err)
+	}
+	all := append(append([]record.Record(nil), allA...), allB...)
+	if !record.IsSorted(out.Recs) || len(out.Recs) != len(all) {
+		t.Fatal("degenerate polyphase output wrong")
+	}
+}
+
+func TestPolyphaseNeedsEmptyTape(t *testing.T) {
+	fs := vfs.NewMemFS()
+	em := runio.NewEmitter(fs, "p")
+	runs, _ := makeRuns(t, fs, em, 2, 10, 9)
+	tapes := []*Tape{{Runs: runs[:1]}, {Runs: runs[1:]}}
+	var out record.SliceWriter
+	if err := Polyphase(fs, em, tapes, &out, 4096, Config{FanIn: 10, MemoryBytes: 1 << 14}); err == nil {
+		t.Fatal("expected error without an empty tape")
+	}
+}
+
+func BenchmarkAblationMergeEngine(b *testing.B) {
+	const k, n = 10, 1000
+	build := func() []Source {
+		rng := rand.New(rand.NewSource(1))
+		srcs := make([]Source, k)
+		for i := 0; i < k; i++ {
+			keys := make([]int64, n)
+			for j := range keys {
+				keys[j] = rng.Int63n(1 << 30)
+			}
+			sort.Slice(keys, func(a, bb int) bool { return keys[a] < keys[bb] })
+			srcs[i] = srcOf(keys...)
+		}
+		return srcs
+	}
+	b.Run("losertree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			lt, _ := NewLoserTree(build())
+			for {
+				if _, err := lt.Read(); err == io.EOF {
+					break
+				}
+			}
+			lt.Close()
+		}
+	})
+	b.Run("heap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hm, _ := NewHeapMerger(build())
+			for {
+				if _, err := hm.Read(); err == io.EOF {
+					break
+				}
+			}
+			hm.Close()
+		}
+	})
+}

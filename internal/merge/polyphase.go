@@ -1,0 +1,186 @@
+package merge
+
+import (
+	"fmt"
+
+	"repro/internal/record"
+	"repro/internal/runio"
+	"repro/internal/vfs"
+)
+
+// Polyphase merge (§2.1.2, Gilstad 1960): k+1 tapes, one initially empty.
+// Each step performs k-way merges of one run from every non-empty tape into
+// the output tape until some input tape empties; that tape becomes the next
+// output. The process ends when a single run remains.
+//
+// Tapes are modelled as ordered lists of runs on a vfs.FS, which is exactly
+// how magnetic tape stored them: sequentially, one run after another.
+
+// Tape is an ordered list of runs.
+type Tape struct {
+	Runs []runio.Run
+}
+
+// PolyphaseStep describes the tape state after one polyphase step, matching
+// the rows of Table 2.1.
+type PolyphaseStep struct {
+	// RunsPerTape[i] is the number of runs on tape i after the step.
+	RunsPerTape []int
+}
+
+// PolyphaseCounts simulates the run-count evolution of a polyphase merge
+// without touching data, reproducing Table 2.1. initial gives the starting
+// run counts per tape; exactly one entry should be zero (the output tape).
+// The returned slice includes the initial state as step 0.
+func PolyphaseCounts(initial []int) ([]PolyphaseStep, error) {
+	counts := append([]int(nil), initial...)
+	out := -1
+	for i, c := range counts {
+		if c == 0 {
+			out = i
+			break
+		}
+	}
+	if out == -1 {
+		return nil, fmt.Errorf("merge: polyphase needs an empty output tape, got %v", initial)
+	}
+	steps := []PolyphaseStep{{RunsPerTape: append([]int(nil), counts...)}}
+	for {
+		total, nonEmpty := 0, 0
+		for _, c := range counts {
+			total += c
+			if c > 0 {
+				nonEmpty++
+			}
+		}
+		if total <= 1 {
+			return steps, nil
+		}
+		// Number of merge operations this step: the smallest non-empty
+		// input tape count (the step ends when a tape empties).
+		s := 0
+		for i, c := range counts {
+			if i == out || c == 0 {
+				continue
+			}
+			if s == 0 || c < s {
+				s = c
+			}
+		}
+		if s == 0 {
+			// Only the output tape holds runs; rotate it into an input.
+			return steps, fmt.Errorf("merge: polyphase stuck with counts %v", counts)
+		}
+		// Every tape that was non-empty loses s runs; the first one that
+		// thereby empties becomes the next output tape.
+		next := -1
+		for i := range counts {
+			if i == out || counts[i] == 0 {
+				continue
+			}
+			counts[i] -= s
+			if counts[i] == 0 && next == -1 {
+				next = i
+			}
+		}
+		counts[out] += s
+		steps = append(steps, PolyphaseStep{RunsPerTape: append([]int(nil), counts...)})
+		out = next
+	}
+}
+
+// Polyphase performs a record-level polyphase merge of the given tapes into
+// a single run written to dst. One tape must start empty. bufBytes is the
+// per-stream buffer budget.
+func Polyphase(fs vfs.FS, em *runio.Emitter, tapes []*Tape, dst record.Writer, bufBytes int, cfg Config) error {
+	out := -1
+	for i, tp := range tapes {
+		if len(tp.Runs) == 0 {
+			out = i
+			break
+		}
+	}
+	if out == -1 {
+		return fmt.Errorf("merge: polyphase needs an empty output tape")
+	}
+	for {
+		total := 0
+		var lastRun runio.Run
+		for _, tp := range tapes {
+			total += len(tp.Runs)
+			if len(tp.Runs) > 0 {
+				lastRun = tp.Runs[0]
+			}
+		}
+		if total == 0 {
+			return nil
+		}
+		if total == 1 {
+			// Stream the final run to the destination.
+			rc, err := lastRun.Open(fs, bufBytes)
+			if err != nil {
+				return err
+			}
+			if _, err := record.Copy(dst, rc); err != nil {
+				rc.Close()
+				return err
+			}
+			if err := rc.Close(); err != nil {
+				return err
+			}
+			return lastRun.Remove(fs)
+		}
+		// One step: merge one run from every participating tape until one
+		// of them empties. Tapes already empty at step start do not
+		// participate and cannot become the next output tape.
+		participating := make([]bool, len(tapes))
+		anyInput := false
+		for i, tp := range tapes {
+			if i != out && len(tp.Runs) > 0 {
+				participating[i] = true
+				anyInput = true
+			}
+		}
+		if !anyInput {
+			return fmt.Errorf("merge: polyphase stuck (all runs on the output tape)")
+		}
+		next := -1
+		for next == -1 {
+			var group []runio.Run
+			solo := -1
+			for i, tp := range tapes {
+				if !participating[i] || len(tp.Runs) == 0 {
+					continue
+				}
+				group = append(group, tp.Runs[0])
+				tp.Runs = tp.Runs[1:]
+				solo = i
+			}
+			if len(group) == 1 && len(tapes[solo].Runs) > 0 {
+				// Degenerate distribution (not Fibonacci-shaped): a lone
+				// input tape would ping-pong runs forever. Take a second
+				// run from it so every operation reduces the run count.
+				group = append(group, tapes[solo].Runs[0])
+				tapes[solo].Runs = tapes[solo].Runs[1:]
+			}
+			var merged runio.Run
+			var err error
+			if len(group) == 1 {
+				merged = group[0]
+			} else {
+				merged, err = mergeGroup(fs, em, group, bufBytes, cfg)
+				if err != nil {
+					return err
+				}
+			}
+			tapes[out].Runs = append(tapes[out].Runs, merged)
+			for i, tp := range tapes {
+				if participating[i] && len(tp.Runs) == 0 {
+					next = i
+					break
+				}
+			}
+		}
+		out = next
+	}
+}

@@ -1,0 +1,164 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestUniformConvergesToTwo(t *testing.T) {
+	// §3.6.1: with uniform input the run length converges to 2× memory.
+	lengths, _, err := EstimateRunLengths(Config{Cells: 2048}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first run starts from a uniform memory fill, not the stable
+	// profile, so it differs; by the third run it must be ≈2.0.
+	for i := 2; i < len(lengths); i++ {
+		if math.Abs(lengths[i]-2) > 0.02 {
+			t.Errorf("run %d length = %.4f, want ≈2.0", i, lengths[i])
+		}
+	}
+}
+
+func TestUniformDensityConvergesToStable(t *testing.T) {
+	// Fig 3.8: after three runs the density is indistinguishable from
+	// 2 − 2x at the run start.
+	s, err := New(Config{Cells: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 3; r++ {
+		s.NextRun()
+	}
+	if dev := s.MaxDeviationFromStable(); dev > 0.05 {
+		t.Errorf("max deviation from 2-2x after 3 runs = %.4f, want < 0.05", dev)
+	}
+}
+
+func TestMemoryConserved(t *testing.T) {
+	// Equation 3.12 with equality: the memory stays exactly full.
+	s, err := New(Config{Cells: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := s.Memory(); math.Abs(m-1) > 1e-9 {
+		t.Fatalf("initial memory = %g, want 1", m)
+	}
+	for r := 0; r < 4; r++ {
+		s.NextRun()
+		if m := s.Memory(); math.Abs(m-1) > 1e-6 {
+			t.Fatalf("memory after run %d = %g, want 1 (conservation broken)", r, m)
+		}
+	}
+}
+
+func TestFirstRunFromUniformFillIsShorter(t *testing.T) {
+	// Starting from m(x,0)=1 the first run is shorter than the stable 2.0
+	// (the plow starts into a flat profile), and lengths increase toward 2.
+	lengths, _, err := EstimateRunLengths(Config{Cells: 1024}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lengths[0] >= 2 {
+		t.Errorf("first run = %.3f, want < 2", lengths[0])
+	}
+	if lengths[0] >= lengths[2] {
+		t.Errorf("run lengths should approach 2 from below: %v", lengths)
+	}
+}
+
+func TestSnapshotsMatchFig38Shape(t *testing.T) {
+	// The Fig 3.8 sequence: flat at run 0, nearly triangular afterwards.
+	_, snaps, err := EstimateRunLengths(Config{Cells: 1024}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := snaps[0]
+	if math.Abs(first[10]-first[900]) > 1e-9 {
+		t.Error("first snapshot should be flat (uniform initial fill)")
+	}
+	later := snaps[3]
+	// Triangular: density near x=0 ≈ 2, near x=1 ≈ 0, midpoint ≈ 1.
+	n := len(later)
+	if math.Abs(later[n/100]-2) > 0.1 {
+		t.Errorf("density near 0 = %.3f, want ≈2", later[n/100])
+	}
+	if later[n-1-n/100] > 0.1 {
+		t.Errorf("density near 1 = %.3f, want ≈0", later[n-1-n/100])
+	}
+	if math.Abs(later[n/2]-1) > 0.1 {
+		t.Errorf("density at 1/2 = %.3f, want ≈1", later[n/2])
+	}
+}
+
+func TestNonUniformDistributions(t *testing.T) {
+	// A triangular data distribution still conserves memory and produces
+	// positive runs (no analytic solution is claimed, §7.1 leaves it open).
+	cfg := Config{
+		Cells: 512,
+		Data:  func(x float64) float64 { return 2 * x },
+	}
+	lengths, _, err := EstimateRunLengths(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range lengths {
+		if l <= 0 || math.IsNaN(l) {
+			t.Fatalf("run %d length = %g", i, l)
+		}
+	}
+	s, _ := New(cfg)
+	for r := 0; r < 3; r++ {
+		s.NextRun()
+	}
+	if m := s.Memory(); math.Abs(m-1) > 1e-6 {
+		t.Errorf("memory = %g, want 1", m)
+	}
+}
+
+func TestSteadyStateTwoForStationaryDistributions(t *testing.T) {
+	// A noteworthy prediction of the model: the steady-state run length is
+	// ≈2× memory for ANY stationary input distribution — the snowplow
+	// argument does not actually need uniformity, only stationarity. The
+	// distributions differ only in their transients.
+	for name, d := range map[string]Density{
+		"frontload": func(x float64) float64 { return math.Pow(1-x, 8) },
+		"backload":  func(x float64) float64 { return math.Pow(x, 8) },
+		"center":    func(x float64) float64 { return math.Exp(-50 * (x - 0.5) * (x - 0.5)) },
+	} {
+		lens, _, err := EstimateRunLengths(Config{Cells: 1024, Data: d}, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(lens[7]-2) > 0.05 {
+			t.Errorf("%s: steady-state run length = %.4f, want ≈2.0", name, lens[7])
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Cells: 1}); err == nil {
+		t.Fatal("1 cell should be rejected")
+	}
+	if _, err := New(Config{Data: func(float64) float64 { return 0 }}); err == nil {
+		t.Fatal("zero data density should be rejected")
+	}
+	if _, err := New(Config{InitialM: func(float64) float64 { return 0 }}); err == nil {
+		t.Fatal("zero initial memory should be rejected")
+	}
+}
+
+func TestStableUniformDensity(t *testing.T) {
+	if StableUniformDensity(0) != 2 || StableUniformDensity(1) != 0 || StableUniformDensity(0.5) != 1 {
+		t.Fatal("stable density formula wrong")
+	}
+}
+
+func TestPositionWraps(t *testing.T) {
+	s, _ := New(Config{Cells: 128})
+	start := s.Position()
+	s.NextRun()
+	if math.Abs(s.Position()-start) > 1e-9 {
+		t.Fatalf("position after a full lap = %g, want %g", s.Position(), start)
+	}
+}

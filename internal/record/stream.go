@@ -1,0 +1,142 @@
+package record
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrClosed is returned by stream operations after Close.
+var ErrClosed = errors.New("record: stream closed")
+
+// Reader is the minimal record-at-a-time input interface consumed by all run
+// generation algorithms. Read returns io.EOF when the stream is exhausted.
+type Reader interface {
+	Read() (Record, error)
+}
+
+// Writer is the record-at-a-time output interface produced by run
+// generation and consumed by the merge phase.
+type Writer interface {
+	Write(Record) error
+}
+
+// SliceReader adapts an in-memory slice to the Reader interface.
+type SliceReader struct {
+	recs []Record
+	pos  int
+}
+
+// NewSliceReader returns a Reader over recs. The slice is not copied; the
+// caller must not mutate it while reading.
+func NewSliceReader(recs []Record) *SliceReader {
+	return &SliceReader{recs: recs}
+}
+
+// Read returns the next record or io.EOF.
+func (s *SliceReader) Read() (Record, error) {
+	if s.pos >= len(s.recs) {
+		return Record{}, io.EOF
+	}
+	r := s.recs[s.pos]
+	s.pos++
+	return r, nil
+}
+
+// Remaining reports how many records have not been read yet.
+func (s *SliceReader) Remaining() int { return len(s.recs) - s.pos }
+
+// Reset rewinds the reader to the beginning of the slice.
+func (s *SliceReader) Reset() { s.pos = 0 }
+
+// SliceWriter collects written records in memory.
+type SliceWriter struct {
+	Recs []Record
+}
+
+// Write appends r.
+func (s *SliceWriter) Write(r Record) error {
+	s.Recs = append(s.Recs, r)
+	return nil
+}
+
+// ReadAll drains r into a slice. It is intended for tests and examples where
+// the stream is known to fit in memory.
+func ReadAll(r Reader) ([]Record, error) {
+	var out []Record
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// WriteAll writes every record of recs to w, stopping at the first error.
+func WriteAll(w Writer, recs []Record) error {
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Copy streams records from r to w until EOF, returning the number copied.
+func Copy(w Writer, r Reader) (int64, error) {
+	var n int64
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		if err := w.Write(rec); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// ByteReader decodes records from an io.Reader carrying the binary record
+// encoding. It buffers internally in whole-record units.
+type ByteReader struct {
+	src io.Reader
+	buf [Size]byte
+}
+
+// NewByteReader returns a Reader decoding records from src.
+func NewByteReader(src io.Reader) *ByteReader { return &ByteReader{src: src} }
+
+// Read decodes the next record. A trailing partial record surfaces as
+// io.ErrUnexpectedEOF.
+func (b *ByteReader) Read() (Record, error) {
+	if _, err := io.ReadFull(b.src, b.buf[:]); err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, err
+	}
+	return Decode(b.buf[:]), nil
+}
+
+// ByteWriter encodes records onto an io.Writer.
+type ByteWriter struct {
+	dst io.Writer
+	buf [Size]byte
+}
+
+// NewByteWriter returns a Writer encoding records to dst.
+func NewByteWriter(dst io.Writer) *ByteWriter { return &ByteWriter{dst: dst} }
+
+// Write encodes r to the underlying writer.
+func (b *ByteWriter) Write(r Record) error {
+	Encode(b.buf[:], r)
+	_, err := b.dst.Write(b.buf[:])
+	return err
+}

@@ -1,0 +1,152 @@
+package rs
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/heap"
+	"repro/internal/record"
+	"repro/internal/runio"
+)
+
+// GenerateBatched is batched replacement selection (Larson 2003, §3.7.1 of
+// the thesis): instead of pushing every input record through the heap,
+// records are read in batches that are sorted into "miniruns", and the heap
+// selects among the minirun heads only. The heap therefore stays small
+// (one entry per minirun) and cache-resident while the memory budget is
+// spent on the miniruns themselves.
+//
+// memory is the total budget in records; batch is the minirun size (0
+// selects memory/64, floored at 64). Runs come out shorter than classic
+// RS's — once a minirun's head is tagged for the next run the rest of that
+// minirun is blocked for the current one, so coarser batches cost run
+// length (about half of classic at batch = memory/16 on random input). The
+// win Larson reports is CPU: fewer heap levels touched per record and far
+// better cache locality, which BenchmarkBatchedVsClassic quantifies.
+func GenerateBatched(src record.Reader, em *runio.Emitter, memory, batch int) (Result, error) {
+	if memory <= 0 {
+		return Result{}, fmt.Errorf("rs: memory must be positive, got %d", memory)
+	}
+	if batch <= 0 {
+		batch = memory / 64
+	}
+	if batch < 64 {
+		batch = 64
+	}
+	if batch > memory {
+		batch = memory
+	}
+	nMini := memory / batch
+	if nMini < 1 {
+		nMini = 1
+	}
+
+	var res Result
+	// minirun i occupies recs[i]; pos[i] is its cursor.
+	miniruns := make([][]record.Record, nMini)
+	pos := make([]int, nMini)
+
+	// fill reads and sorts the next batch into slot i; reports whether any
+	// records were loaded.
+	fill := func(i int) (bool, error) {
+		buf := miniruns[i][:0]
+		if buf == nil {
+			buf = make([]record.Record, 0, batch)
+		}
+		for len(buf) < batch {
+			rec, err := src.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return false, err
+			}
+			buf = append(buf, rec)
+		}
+		miniruns[i] = buf
+		pos[i] = 0
+		res.Records += int64(len(buf))
+		if len(buf) == 0 {
+			return false, nil
+		}
+		heap.Sort(miniruns[i])
+		return true, nil
+	}
+
+	// The selection heap holds one head per live minirun; Aux carries the
+	// minirun index.
+	h := heap.New(nMini, false)
+	for i := 0; i < nMini; i++ {
+		ok, err := fill(i)
+		if err != nil {
+			return res, err
+		}
+		if !ok {
+			break
+		}
+		h.Push(heap.Item{Rec: record.Record{Key: miniruns[i][0].Key, Aux: uint64(i)}, Run: 0})
+		pos[i] = 1
+	}
+
+	currentRun := 0
+	var w *runio.Writer
+	var name string
+	var last int64
+	haveLast := false
+	closeRun := func() error {
+		if w == nil {
+			return nil
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+		res.Runs = append(res.Runs, runio.SingleRun(name, w.Count()))
+		w = nil
+		return nil
+	}
+
+	for h.Len() > 0 {
+		it := h.Pop()
+		if it.Run > currentRun {
+			if err := closeRun(); err != nil {
+				return res, err
+			}
+			currentRun = it.Run
+		}
+		mi := int(it.Rec.Aux)
+		out := miniruns[mi][pos[mi]-1] // the record whose key is in the heap entry
+		if w == nil {
+			var err error
+			name, w, err = em.Forward("brs")
+			if err != nil {
+				return res, err
+			}
+		}
+		if err := w.Write(out); err != nil {
+			return res, err
+		}
+		last, haveLast = out.Key, true
+
+		// Advance the minirun, refilling it from the input when drained.
+		if pos[mi] >= len(miniruns[mi]) {
+			ok, err := fill(mi)
+			if err != nil {
+				return res, err
+			}
+			if !ok {
+				continue // minirun retired
+			}
+		}
+		next := miniruns[mi][pos[mi]]
+		pos[mi]++
+		run := currentRun
+		if haveLast && next.Key < last {
+			run = currentRun + 1
+		}
+		h.Push(heap.Item{Rec: record.Record{Key: next.Key, Aux: uint64(mi)}, Run: run})
+	}
+	if err := closeRun(); err != nil {
+		return res, err
+	}
+	return res, nil
+}

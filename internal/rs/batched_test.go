@@ -1,0 +1,112 @@
+package rs
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/record"
+	"repro/internal/runio"
+	"repro/internal/vfs"
+)
+
+func generateBatched(t *testing.T, recs []record.Record, memory, batch int) (Result, vfs.FS) {
+	t.Helper()
+	fs := vfs.NewMemFS()
+	res, err := GenerateBatched(record.NewSliceReader(recs), runio.NewEmitter(fs, "b"), memory, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, fs
+}
+
+func TestBatchedProducesValidRuns(t *testing.T) {
+	for _, kind := range gen.Kinds {
+		recs := gen.Generate(gen.Config{Kind: kind, N: 20000, Seed: 3, Noise: 100})
+		res, fs := generateBatched(t, recs, 1024, 128)
+		verify(t, fs, res.Runs, recs)
+		if res.Records != 20000 {
+			t.Fatalf("%v: consumed %d records", kind, res.Records)
+		}
+	}
+}
+
+func TestBatchedRunLengthTradeoff(t *testing.T) {
+	// Batching trades run length for CPU: runs stay within a factor ~2 of
+	// classic RS (at batch = memory/16) and always at least memory-sized
+	// on a memory-filling input, i.e. no worse than Load-Sort-Store.
+	const n, m = 100000, 2048
+	recs := gen.Generate(gen.Config{Kind: gen.Random, N: n, Seed: 9})
+	classic, _ := generate(t, recs, m)
+	batched, fs := generateBatched(t, recs, m, 128)
+	verify(t, fs, batched.Runs, recs)
+	if batched.AvgRunLength() < 0.4*classic.AvgRunLength() {
+		t.Fatalf("batched avg %f too far below classic %f",
+			batched.AvgRunLength(), classic.AvgRunLength())
+	}
+	if batched.AvgRunLength() < 0.9*float64(m) {
+		t.Fatalf("batched avg %f below memory size %d", batched.AvgRunLength(), m)
+	}
+	// Finer batches recover run length.
+	fine, _ := generateBatched(t, recs, m, 64)
+	if fine.AvgRunLength() < batched.AvgRunLength() {
+		t.Logf("note: finer batch gave %f vs %f", fine.AvgRunLength(), batched.AvgRunLength())
+	}
+}
+
+func TestBatchedSortedInputOneRun(t *testing.T) {
+	recs := gen.Generate(gen.Config{Kind: gen.Sorted, N: 10000, Noise: 50, Seed: 1})
+	res, fs := generateBatched(t, recs, 512, 64)
+	if len(res.Runs) != 1 {
+		t.Fatalf("sorted input produced %d runs, want 1", len(res.Runs))
+	}
+	verify(t, fs, res.Runs, recs)
+}
+
+func TestBatchedSmallAndEmptyInput(t *testing.T) {
+	res, _ := generateBatched(t, nil, 256, 64)
+	if len(res.Runs) != 0 {
+		t.Fatalf("empty input: %+v", res)
+	}
+	recs := record.FromKeys(3, 1, 2)
+	res, fs := generateBatched(t, recs, 256, 64)
+	if len(res.Runs) != 1 {
+		t.Fatalf("tiny input produced %d runs", len(res.Runs))
+	}
+	verify(t, fs, res.Runs, recs)
+}
+
+func TestBatchedBatchDefaults(t *testing.T) {
+	recs := gen.Generate(gen.Config{Kind: gen.Random, N: 5000, Seed: 2})
+	// batch 0 selects a default; batch larger than memory is clamped.
+	for _, batch := range []int{0, 1 << 20} {
+		res, fs := generateBatched(t, recs, 512, batch)
+		verify(t, fs, res.Runs, recs)
+	}
+}
+
+func TestBatchedRejectsBadMemory(t *testing.T) {
+	fs := vfs.NewMemFS()
+	if _, err := GenerateBatched(record.NewSliceReader(nil), runio.NewEmitter(fs, "b"), 0, 0); err == nil {
+		t.Fatal("memory 0 should be rejected")
+	}
+}
+
+func BenchmarkBatchedVsClassic(b *testing.B) {
+	recs := gen.Generate(gen.Config{Kind: gen.Random, N: 200000, Seed: 1})
+	b.Run("classic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fs := vfs.NewMemFS()
+			if _, err := Generate(record.NewSliceReader(recs), runio.NewEmitter(fs, "c"), 8192); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fs := vfs.NewMemFS()
+			if _, err := GenerateBatched(record.NewSliceReader(recs), runio.NewEmitter(fs, "b"), 8192, 256); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

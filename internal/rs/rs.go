@@ -1,0 +1,160 @@
+// Package rs implements the classic run-generation baselines the paper
+// compares against: replacement selection (Goetz 1963, Algorithm 1 of the
+// thesis) and Load-Sort-Store.
+//
+// Replacement selection keeps a min-heap of `memory` records. Each step pops
+// the smallest current-run record to the output run and replaces it with the
+// next input record, which joins the current run if it is not smaller than
+// the record just written and is otherwise tagged for the next run. A run
+// ends when the heap's top belongs to the next run. On random input the
+// expected run length is twice the memory (§3.5); on ascending input a
+// single run is produced; on descending input every run has exactly
+// `memory` records — the weakness 2WRS removes.
+package rs
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/heap"
+	"repro/internal/record"
+	"repro/internal/runio"
+)
+
+// Result summarises a run-generation pass.
+type Result struct {
+	// Runs lists the generated runs in creation order.
+	Runs []runio.Run
+	// Records is the total number of input records consumed.
+	Records int64
+}
+
+// AvgRunLength returns the mean run length in records, 0 for no runs.
+func (r Result) AvgRunLength() float64 {
+	if len(r.Runs) == 0 {
+		return 0
+	}
+	return float64(r.Records) / float64(len(r.Runs))
+}
+
+// Generate runs replacement selection over src with a heap of `memory`
+// records, writing runs through em.
+func Generate(src record.Reader, em *runio.Emitter, memory int) (Result, error) {
+	if memory <= 0 {
+		return Result{}, fmt.Errorf("rs: memory must be positive, got %d", memory)
+	}
+	h := heap.New(memory, false)
+	var res Result
+
+	// Fill phase: load the heap from the input (heap.fill in Algorithm 1).
+	for !h.Full() {
+		rec, err := src.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return res, err
+		}
+		h.Push(heap.Item{Rec: rec, Run: 0})
+		res.Records++
+	}
+
+	currentRun := 0
+	var w *runio.Writer
+	var name string
+	closeRun := func() error {
+		if w == nil {
+			return nil
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+		res.Runs = append(res.Runs, runio.SingleRun(name, w.Count()))
+		w = nil
+		return nil
+	}
+
+	for h.Len() > 0 {
+		it := h.Pop()
+		if it.Run > currentRun {
+			// All records in the heap belong to a later run (§3.3): close
+			// the current run and start the next.
+			if err := closeRun(); err != nil {
+				return res, err
+			}
+			currentRun = it.Run
+		}
+		if w == nil {
+			var err error
+			name, w, err = em.Forward("rs")
+			if err != nil {
+				return res, err
+			}
+		}
+		if err := w.Write(it.Rec); err != nil {
+			return res, err
+		}
+		// Read the next input record and insert it tagged with the run it
+		// can still join.
+		rec, err := src.Read()
+		if err == io.EOF {
+			continue
+		}
+		if err != nil {
+			return res, err
+		}
+		res.Records++
+		run := currentRun
+		if rec.Key < it.Rec.Key {
+			run = currentRun + 1
+		}
+		h.Push(heap.Item{Rec: rec, Run: run})
+	}
+	if err := closeRun(); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// GenerateLSS is the Load-Sort-Store baseline (§2.1.1): fill memory, sort it
+// with any internal sort, store it as a run. Every run has exactly `memory`
+// records except possibly the last.
+func GenerateLSS(src record.Reader, em *runio.Emitter, memory int) (Result, error) {
+	if memory <= 0 {
+		return Result{}, fmt.Errorf("rs: memory must be positive, got %d", memory)
+	}
+	buf := make([]record.Record, 0, memory)
+	var res Result
+	for {
+		buf = buf[:0]
+		for len(buf) < memory {
+			rec, err := src.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return res, err
+			}
+			buf = append(buf, rec)
+		}
+		if len(buf) == 0 {
+			return res, nil
+		}
+		res.Records += int64(len(buf))
+		heap.Sort(buf)
+		name, w, err := em.Forward("lss")
+		if err != nil {
+			return res, err
+		}
+		if err := record.WriteAll(w, buf); err != nil {
+			return res, err
+		}
+		if err := w.Close(); err != nil {
+			return res, err
+		}
+		res.Runs = append(res.Runs, runio.SingleRun(name, int64(len(buf))))
+		if len(buf) < memory {
+			return res, nil
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package rs
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/record"
+	"repro/internal/runio"
+	"repro/internal/vfs"
+)
+
+func generate(t *testing.T, recs []record.Record, memory int) (Result, vfs.FS) {
+	t.Helper()
+	fs := vfs.NewMemFS()
+	res, err := Generate(record.NewSliceReader(recs), runio.NewEmitter(fs, "rs"), memory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, fs
+}
+
+func verify(t *testing.T, fs vfs.FS, runs []runio.Run, input []record.Record) {
+	t.Helper()
+	union := make(record.Multiset)
+	for i, run := range runs {
+		r, err := run.Open(fs, 1024)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		recs, err := record.ReadAll(r)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		r.Close()
+		if !record.IsSorted(recs) {
+			t.Fatalf("run %d not sorted", i)
+		}
+		if int64(len(recs)) != run.Records {
+			t.Fatalf("run %d: manifest %d vs read %d", i, run.Records, len(recs))
+		}
+		for _, rec := range recs {
+			union[rec]++
+		}
+	}
+	if !union.Equal(record.NewMultiset(input)) {
+		t.Fatal("runs are not a permutation of the input")
+	}
+}
+
+func TestTheorem1SortedInputOneRun(t *testing.T) {
+	recs := gen.Generate(gen.Config{Kind: gen.Sorted, N: 5000, Noise: 100, Seed: 1})
+	res, fs := generate(t, recs, 100)
+	if len(res.Runs) != 1 {
+		t.Fatalf("sorted input produced %d runs, want 1", len(res.Runs))
+	}
+	verify(t, fs, res.Runs, recs)
+}
+
+func TestTheorem3ReverseSortedMinimalRuns(t *testing.T) {
+	const n, m = 2000, 100
+	recs := gen.Generate(gen.Config{Kind: gen.ReverseSorted, N: n})
+	res, fs := generate(t, recs, m)
+	if len(res.Runs) != n/m {
+		t.Fatalf("reverse input produced %d runs, want %d", len(res.Runs), n/m)
+	}
+	for i, run := range res.Runs {
+		if run.Records != m {
+			t.Fatalf("run %d has %d records, want exactly memory (%d)", i, run.Records, m)
+		}
+	}
+	verify(t, fs, res.Runs, recs)
+}
+
+func TestRandomInputTwiceMemory(t *testing.T) {
+	// §3.5 (Knuth's snowplow): expected run length is 2× memory.
+	const n, m = 50000, 500
+	recs := gen.Generate(gen.Config{Kind: gen.Random, N: n, Seed: 7})
+	res, fs := generate(t, recs, m)
+	verify(t, fs, res.Runs, recs)
+	ratio := res.AvgRunLength() / float64(m)
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Fatalf("avg run length = %.2f× memory, want ≈2.0", ratio)
+	}
+}
+
+func TestTheorem5AlternatingAboutTwiceMemory(t *testing.T) {
+	// Chunks of k ascending + k descending with m << k: RS averages ≈2m.
+	const n, m, sections = 40000, 200, 10
+	recs := gen.Generate(gen.Config{Kind: gen.Alternating, N: n, Sections: sections})
+	res, fs := generate(t, recs, m)
+	verify(t, fs, res.Runs, recs)
+	ratio := res.AvgRunLength() / float64(m)
+	if ratio < 1.5 || ratio > 3.0 {
+		t.Fatalf("alternating avg run length = %.2f× memory, want ≈2", ratio)
+	}
+}
+
+func TestFirstRunAtLeastMemory(t *testing.T) {
+	// Every RS run is at least as long as memory... the guarantee is that
+	// the FIRST run always is (the heap starts full) and no run is empty.
+	recs := gen.Generate(gen.Config{Kind: gen.Random, N: 5000, Seed: 2})
+	res, _ := generate(t, recs, 250)
+	if res.Runs[0].Records < 250 {
+		t.Fatalf("first run has %d records, want ≥ memory", res.Runs[0].Records)
+	}
+	for i, r := range res.Runs {
+		if r.Records == 0 {
+			t.Fatalf("run %d is empty", i)
+		}
+	}
+}
+
+func TestSmallInputSingleRun(t *testing.T) {
+	recs := gen.Generate(gen.Config{Kind: gen.Random, N: 10, Seed: 1})
+	res, fs := generate(t, recs, 100)
+	if len(res.Runs) != 1 {
+		t.Fatalf("in-memory input produced %d runs, want 1", len(res.Runs))
+	}
+	verify(t, fs, res.Runs, recs)
+}
+
+func TestEmptyInputNoRuns(t *testing.T) {
+	res, _ := generate(t, nil, 10)
+	if len(res.Runs) != 0 || res.Records != 0 {
+		t.Fatalf("empty input: %+v", res)
+	}
+	if res.AvgRunLength() != 0 {
+		t.Fatal("AvgRunLength of no runs should be 0")
+	}
+}
+
+func TestInvalidMemory(t *testing.T) {
+	fs := vfs.NewMemFS()
+	if _, err := Generate(record.NewSliceReader(nil), runio.NewEmitter(fs, "rs"), 0); err == nil {
+		t.Fatal("memory 0 should be rejected")
+	}
+	if _, err := GenerateLSS(record.NewSliceReader(nil), runio.NewEmitter(fs, "lss"), -1); err == nil {
+		t.Fatal("negative memory should be rejected")
+	}
+}
+
+func TestLSSRunsExactlyMemorySized(t *testing.T) {
+	const n, m = 1050, 100
+	recs := gen.Generate(gen.Config{Kind: gen.Random, N: n, Seed: 3})
+	fs := vfs.NewMemFS()
+	res, err := GenerateLSS(record.NewSliceReader(recs), runio.NewEmitter(fs, "lss"), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 11 {
+		t.Fatalf("LSS produced %d runs, want 11", len(res.Runs))
+	}
+	for i, run := range res.Runs[:10] {
+		if run.Records != m {
+			t.Fatalf("LSS run %d has %d records, want %d", i, run.Records, m)
+		}
+	}
+	if res.Runs[10].Records != 50 {
+		t.Fatalf("last LSS run has %d records, want 50", res.Runs[10].Records)
+	}
+	verify(t, fs, res.Runs, recs)
+}
+
+func TestLSSExactMultiple(t *testing.T) {
+	recs := gen.Generate(gen.Config{Kind: gen.Random, N: 300, Seed: 3})
+	fs := vfs.NewMemFS()
+	res, err := GenerateLSS(record.NewSliceReader(recs), runio.NewEmitter(fs, "lss"), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 3 {
+		t.Fatalf("LSS produced %d runs, want 3", len(res.Runs))
+	}
+	verify(t, fs, res.Runs, recs)
+}
+
+func TestRSBeatsLSSOnRandom(t *testing.T) {
+	// RS's 2× memory run length beats LSS's 1× (§2.1.1).
+	const n, m = 20000, 200
+	recs := gen.Generate(gen.Config{Kind: gen.Random, N: n, Seed: 8})
+	rsRes, _ := generate(t, recs, m)
+	fs := vfs.NewMemFS()
+	lssRes, err := GenerateLSS(record.NewSliceReader(recs), runio.NewEmitter(fs, "lss"), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rsRes.AvgRunLength() <= 1.5*lssRes.AvgRunLength() {
+		t.Fatalf("RS avg %f should clearly beat LSS avg %f", rsRes.AvgRunLength(), lssRes.AvgRunLength())
+	}
+}
+
+func TestAllDatasetsValid(t *testing.T) {
+	for _, kind := range gen.Kinds {
+		recs := gen.Generate(gen.Config{Kind: kind, N: 3000, Seed: 4, Noise: 50})
+		res, fs := generate(t, recs, 128)
+		verify(t, fs, res.Runs, recs)
+		if res.Records != 3000 {
+			t.Fatalf("%v: consumed %d records", kind, res.Records)
+		}
+	}
+}

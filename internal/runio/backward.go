@@ -1,0 +1,342 @@
+package runio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/record"
+	"repro/internal/vfs"
+)
+
+// backwardMagic identifies a backward-format file (Appendix A).
+const backwardMagic = 0x32575253 // "2WRS"
+
+// headerSize is the number of meaningful bytes in the header page.
+const headerSize = 32
+
+// header is the metadata stored in page 0 of every backward-format file.
+type header struct {
+	index     uint32 // position of this file in the chain (creation order)
+	pages     uint32 // total pages including the header page
+	pageSize  uint32
+	startPage uint32 // first page holding data ("page two ... for all files except possibly the last one")
+	startPos  uint32 // byte offset of the first record within startPage
+	records   uint64 // records stored in this file
+}
+
+func (h header) encode(buf []byte) {
+	binary.LittleEndian.PutUint32(buf[0:4], backwardMagic)
+	binary.LittleEndian.PutUint32(buf[4:8], h.index)
+	binary.LittleEndian.PutUint32(buf[8:12], h.pages)
+	binary.LittleEndian.PutUint32(buf[12:16], h.pageSize)
+	binary.LittleEndian.PutUint32(buf[16:20], h.startPage)
+	binary.LittleEndian.PutUint32(buf[20:24], h.startPos)
+	binary.LittleEndian.PutUint64(buf[24:32], h.records)
+}
+
+func decodeHeader(buf []byte) (header, error) {
+	if binary.LittleEndian.Uint32(buf[0:4]) != backwardMagic {
+		return header{}, fmt.Errorf("runio: bad backward file magic %#x", binary.LittleEndian.Uint32(buf[0:4]))
+	}
+	return header{
+		index:     binary.LittleEndian.Uint32(buf[4:8]),
+		pages:     binary.LittleEndian.Uint32(buf[8:12]),
+		pageSize:  binary.LittleEndian.Uint32(buf[12:16]),
+		startPage: binary.LittleEndian.Uint32(buf[16:20]),
+		startPos:  binary.LittleEndian.Uint32(buf[20:24]),
+		records:   binary.LittleEndian.Uint64(buf[24:32]),
+	}, nil
+}
+
+// backwardFileName names the i-th file of the chain, matching the thesis'
+// "same name followed by a different number" scheme.
+func backwardFileName(base string, i int) string { return fmt.Sprintf("%s.%d", base, i) }
+
+// BackwardWriter writes a stream of records arriving in *descending* key
+// order so that each file reads ascending front-to-back. Records fill a
+// one-page buffer from its end; full pages are written at decreasing page
+// positions; when page 1 is reached a header is stamped on page 0 and the
+// next chain file is started.
+type BackwardWriter struct {
+	fs           vfs.FS
+	base         string
+	pageSize     int
+	pagesPerFile int
+
+	cur         vfs.File
+	curIndex    int
+	page        []byte
+	posInPage   int
+	pageIdx     int
+	fileRecords uint64
+
+	count  int64
+	files  int
+	last   int64
+	closed bool
+}
+
+// NewBackwardWriter returns a writer for a descending stream stored under
+// the given base name. pageSize and pagesPerFile of 0 mean the defaults;
+// pagesPerFile must leave room for the header page plus one data page.
+func NewBackwardWriter(fs vfs.FS, base string, pageSize, pagesPerFile int) (*BackwardWriter, error) {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	if pagesPerFile <= 0 {
+		pagesPerFile = DefaultPagesPerFile
+	}
+	if pageSize%record.Size != 0 || pageSize < headerSize {
+		return nil, fmt.Errorf("runio: page size %d must be a multiple of the record size and hold a header", pageSize)
+	}
+	if pagesPerFile < 2 {
+		return nil, fmt.Errorf("runio: pagesPerFile %d must be at least 2 (header + data)", pagesPerFile)
+	}
+	return &BackwardWriter{
+		fs:           fs,
+		base:         base,
+		pageSize:     pageSize,
+		pagesPerFile: pagesPerFile,
+		page:         make([]byte, pageSize),
+		posInPage:    pageSize,
+	}, nil
+}
+
+// Write appends r, which must not exceed the previous key.
+func (w *BackwardWriter) Write(r record.Record) error {
+	if w.closed {
+		return record.ErrClosed
+	}
+	if w.count > 0 && r.Key > w.last {
+		return fmt.Errorf("%w: backward run got key %d after %d", ErrOutOfOrder, r.Key, w.last)
+	}
+	w.last = r.Key
+	if w.cur == nil {
+		if err := w.openNextFile(); err != nil {
+			return err
+		}
+	}
+	w.posInPage -= record.Size
+	record.Encode(w.page[w.posInPage:], r)
+	w.count++
+	w.fileRecords++
+	if w.posInPage == 0 {
+		if err := w.flushPage(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *BackwardWriter) openNextFile() error {
+	f, err := w.fs.Create(backwardFileName(w.base, w.files))
+	if err != nil {
+		return err
+	}
+	w.cur = f
+	w.curIndex = w.files
+	w.files++
+	w.pageIdx = w.pagesPerFile - 1
+	w.posInPage = w.pageSize
+	w.fileRecords = 0
+	return nil
+}
+
+// flushPage writes the full page buffer at the current page position and,
+// when the file has no data pages left, finalizes it.
+func (w *BackwardWriter) flushPage() error {
+	if _, err := w.cur.WriteAt(w.page, int64(w.pageIdx)*int64(w.pageSize)); err != nil {
+		return err
+	}
+	w.posInPage = w.pageSize
+	w.pageIdx--
+	if w.pageIdx == 0 {
+		return w.finalizeFile()
+	}
+	return nil
+}
+
+// finalizeFile stamps the header and closes the current file. The next
+// Write opens the following chain file.
+func (w *BackwardWriter) finalizeFile() error {
+	startPage := w.pageIdx + 1
+	startPos := w.posInPage
+	if startPos == w.pageSize {
+		// Nothing pending in the buffer: data starts at the first flushed page.
+		startPos = 0
+	} else {
+		// A partial page still sits in the buffer (only possible at Close):
+		// write it in place; data starts inside it.
+		if _, err := w.cur.WriteAt(w.page[w.posInPage:], int64(w.pageIdx)*int64(w.pageSize)+int64(w.posInPage)); err != nil {
+			return err
+		}
+		startPage = w.pageIdx
+	}
+	hdr := make([]byte, headerSize)
+	header{
+		index:     uint32(w.curIndex),
+		pages:     uint32(w.pagesPerFile),
+		pageSize:  uint32(w.pageSize),
+		startPage: uint32(startPage),
+		startPos:  uint32(startPos),
+		records:   w.fileRecords,
+	}.encode(hdr)
+	if _, err := w.cur.WriteAt(hdr, 0); err != nil {
+		return err
+	}
+	err := w.cur.Close()
+	w.cur = nil
+	return err
+}
+
+// Count returns the number of records written so far.
+func (w *BackwardWriter) Count() int64 { return w.count }
+
+// Files returns the number of chain files created so far.
+func (w *BackwardWriter) Files() int { return w.files }
+
+// Close flushes the partially filled file, if any, and finalizes the chain.
+func (w *BackwardWriter) Close() error {
+	if w.closed {
+		return record.ErrClosed
+	}
+	w.closed = true
+	if w.cur == nil {
+		return nil
+	}
+	return w.finalizeFile()
+}
+
+// BackwardReader reads a backward-format chain in ascending key order: files
+// in reverse creation order, each scanned forward from its header's start
+// position.
+type BackwardReader struct {
+	fs       vfs.FS
+	base     string
+	bufBytes int
+
+	nextFile int // next chain index to open, counting down; -1 when done
+	cur      vfs.File
+	off      int64
+	end      int64
+	buf      []byte
+	have     int
+	pos      int
+	closed   bool
+}
+
+// NewBackwardReader opens a chain of `files` backward files under base.
+// bufBytes of 0 means DefaultPageSize.
+func NewBackwardReader(fs vfs.FS, base string, files int, bufBytes int) (*BackwardReader, error) {
+	if bufBytes <= 0 {
+		bufBytes = DefaultPageSize
+	}
+	bufBytes -= bufBytes % record.Size
+	if bufBytes < record.Size {
+		bufBytes = record.Size
+	}
+	return &BackwardReader{
+		fs:       fs,
+		base:     base,
+		bufBytes: bufBytes,
+		nextFile: files - 1,
+	}, nil
+}
+
+// openNext opens the next file in reverse creation order. It returns io.EOF
+// when the chain is exhausted.
+func (r *BackwardReader) openNext() error {
+	if r.nextFile < 0 {
+		return io.EOF
+	}
+	f, err := r.fs.Open(backwardFileName(r.base, r.nextFile))
+	if err != nil {
+		return err
+	}
+	hdrBuf := make([]byte, headerSize)
+	if _, err := f.ReadAt(hdrBuf, 0); err != nil && err != io.EOF {
+		f.Close()
+		return err
+	}
+	hdr, err := decodeHeader(hdrBuf)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if hdr.index != uint32(r.nextFile) {
+		f.Close()
+		return fmt.Errorf("runio: backward file %s has index %d, want %d",
+			backwardFileName(r.base, r.nextFile), hdr.index, r.nextFile)
+	}
+	r.cur = f
+	r.off = int64(hdr.startPage)*int64(hdr.pageSize) + int64(hdr.startPos)
+	r.end = int64(hdr.pages) * int64(hdr.pageSize)
+	r.buf = make([]byte, r.bufBytes)
+	r.have, r.pos = 0, 0
+	r.nextFile--
+	return nil
+}
+
+// Read returns the next record in ascending order or io.EOF.
+func (r *BackwardReader) Read() (record.Record, error) {
+	if r.closed {
+		return record.Record{}, record.ErrClosed
+	}
+	for {
+		if r.pos < r.have {
+			rec := record.Decode(r.buf[r.pos:])
+			r.pos += record.Size
+			return rec, nil
+		}
+		if r.cur != nil && r.off < r.end {
+			want := int64(len(r.buf))
+			if remaining := r.end - r.off; remaining < want {
+				want = remaining
+			}
+			n, err := r.cur.ReadAt(r.buf[:want], r.off)
+			if err != nil && err != io.EOF {
+				return record.Record{}, err
+			}
+			n -= n % record.Size
+			if n > 0 {
+				r.off += int64(n)
+				r.have, r.pos = n, 0
+				continue
+			}
+			// Short file (possible only for corrupt chains): fall through
+			// to the next file.
+		}
+		if r.cur != nil {
+			if err := r.cur.Close(); err != nil {
+				return record.Record{}, err
+			}
+			r.cur = nil
+		}
+		if err := r.openNext(); err != nil {
+			return record.Record{}, err
+		}
+	}
+}
+
+// Close releases the currently open file, if any.
+func (r *BackwardReader) Close() error {
+	if r.closed {
+		return record.ErrClosed
+	}
+	r.closed = true
+	if r.cur != nil {
+		return r.cur.Close()
+	}
+	return nil
+}
+
+// RemoveBackward deletes the files of a backward chain.
+func RemoveBackward(fs vfs.FS, base string, files int) error {
+	for i := 0; i < files; i++ {
+		if err := fs.Remove(backwardFileName(base, i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+package runio
+
+import "repro/internal/vfs"
+
+// Emitter centralises the parameters run-generation algorithms need to
+// create run files: the file system, a name allocator, and buffer/layout
+// sizes.
+type Emitter struct {
+	// FS is where run files are created.
+	FS vfs.FS
+	// Namer allocates unique file names.
+	Namer *Namer
+	// WriteBuf is the writer buffer size in bytes (0: DefaultPageSize).
+	WriteBuf int
+	// PageSize and PagesPerFile configure the backward file format
+	// (0: defaults).
+	PageSize     int
+	PagesPerFile int
+}
+
+// NewEmitter returns an Emitter with default sizes.
+func NewEmitter(fs vfs.FS, prefix string) *Emitter {
+	return &Emitter{FS: fs, Namer: NewNamer(prefix)}
+}
+
+// Forward creates a fresh forward run file; role distinguishes streams in
+// file names (e.g. "rs", "s1").
+func (e *Emitter) Forward(role string) (string, *Writer, error) {
+	name := e.Namer.Next(role)
+	w, err := NewWriter(e.FS, name, e.WriteBuf)
+	return name, w, err
+}
+
+// Backward creates a fresh backward (decreasing) stream.
+func (e *Emitter) Backward(role string) (string, *BackwardWriter, error) {
+	name := e.Namer.Next(role)
+	w, err := NewBackwardWriter(e.FS, name, e.PageSize, e.PagesPerFile)
+	return name, w, err
+}

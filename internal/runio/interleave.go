@@ -1,0 +1,88 @@
+package runio
+
+import (
+	"io"
+
+	"repro/internal/record"
+)
+
+// interleaveReader merges a handful of sorted streams (the ≤4 streams of a
+// 2WRS run whose ranges overlap) into one sorted stream. With so few
+// sources a linear minimum scan beats tournament structures.
+type interleaveReader struct {
+	srcs   []ReadCloser
+	heads  []record.Record
+	alive  []bool
+	n      int
+	closed bool
+}
+
+// newInterleaveReader primes each source. It takes ownership of the
+// sources and closes them all on Close or on a priming error.
+func newInterleaveReader(srcs []ReadCloser) (ReadCloser, error) {
+	ir := &interleaveReader{
+		srcs:  srcs,
+		heads: make([]record.Record, len(srcs)),
+		alive: make([]bool, len(srcs)),
+	}
+	for i, s := range srcs {
+		rec, err := s.Read()
+		if err == io.EOF {
+			continue
+		}
+		if err != nil {
+			ir.Close()
+			return nil, err
+		}
+		ir.heads[i] = rec
+		ir.alive[i] = true
+		ir.n++
+	}
+	return ir, nil
+}
+
+// Read returns the minimum head across sources.
+func (ir *interleaveReader) Read() (record.Record, error) {
+	if ir.closed {
+		return record.Record{}, record.ErrClosed
+	}
+	if ir.n == 0 {
+		return record.Record{}, io.EOF
+	}
+	best := -1
+	for i, ok := range ir.alive {
+		if !ok {
+			continue
+		}
+		if best == -1 || ir.heads[i].Key < ir.heads[best].Key {
+			best = i
+		}
+	}
+	out := ir.heads[best]
+	rec, err := ir.srcs[best].Read()
+	switch {
+	case err == io.EOF:
+		ir.alive[best] = false
+		ir.n--
+	case err != nil:
+		return record.Record{}, err
+	default:
+		ir.heads[best] = rec
+	}
+	return out, nil
+}
+
+// Close closes every source.
+func (ir *interleaveReader) Close() error {
+	if ir.closed {
+		return record.ErrClosed
+	}
+	ir.closed = true
+	var first error
+	for _, s := range ir.srcs {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,207 @@
+package runio
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/record"
+	"repro/internal/vfs"
+)
+
+// Segment is one physical piece of a logical run: either a forward file or a
+// backward file chain, always read in ascending key order.
+type Segment struct {
+	// Name is the file name (forward) or the chain base name (backward).
+	Name string
+	// Records is the number of records stored in the segment.
+	Records int64
+	// Backward marks the Appendix A decreasing-stream layout.
+	Backward bool
+	// Files is the chain length for backward segments (0 or 1 file chains
+	// are legal); it is ignored for forward segments.
+	Files int
+}
+
+// Open returns an ascending reader over the segment with the given buffer
+// size in bytes.
+func (s Segment) Open(fs vfs.FS, bufBytes int) (ReadCloser, error) {
+	if s.Backward {
+		return NewBackwardReader(fs, s.Name, s.Files, bufBytes)
+	}
+	return NewReader(fs, s.Name, bufBytes)
+}
+
+// Remove deletes the segment's files.
+func (s Segment) Remove(fs vfs.FS) error {
+	if s.Backward {
+		return RemoveBackward(fs, s.Name, s.Files)
+	}
+	return fs.Remove(s.Name)
+}
+
+// Run is a logical sorted run: the ascending concatenation of its segments.
+// A run produced by RS has one forward segment; a run produced by 2WRS has
+// up to four segments (streams 4, 3, 2, 1 in that order, the backward ones
+// read ascending).
+type Run struct {
+	Segments []Segment
+	// Records is the total record count across segments.
+	Records int64
+	// Concatenable reports that the segments' key ranges are pairwise
+	// disjoint in segment order, so reading them back to back yields one
+	// sorted sequence. 2WRS guarantees each stream is sorted but the four
+	// ranges can overlap slightly when an insertion heuristic misjudges
+	// the division point; such runs must be merged as separate inputs.
+	Concatenable bool
+}
+
+// Inputs returns the individually sorted streams of the run: the whole run
+// when concatenable, otherwise one entry per non-empty segment. It exists
+// for diagnostics and tests; the merge phase itself always treats a run as
+// a single input (Open interleaves overlapping segments on the fly).
+func (r Run) Inputs() []Run {
+	if r.Concatenable {
+		return []Run{r}
+	}
+	var ins []Run
+	for _, s := range r.Segments {
+		if s.Records == 0 {
+			continue
+		}
+		ins = append(ins, Run{Segments: []Segment{s}, Records: s.Records, Concatenable: true})
+	}
+	return ins
+}
+
+// SingleRun describes a run stored as one forward file.
+func SingleRun(name string, records int64) Run {
+	return Run{Segments: []Segment{{Name: name, Records: records}}, Records: records, Concatenable: true}
+}
+
+// Open returns an ascending reader over the whole run within the given
+// buffer budget in bytes. Concatenable runs read their segments back to
+// back (one open segment at a time, so the whole budget buffers it); runs
+// with overlapping stream ranges open every segment at once — splitting the
+// budget — and interleave-merge them on the fly, so a run is always a
+// single sorted merge input either way. Because overlaps are narrow, the
+// interleaved read pattern still drains mostly one file at a time and stays
+// nearly sequential on disk.
+func (r Run) Open(fs vfs.FS, bufBytes int) (ReadCloser, error) {
+	if r.Concatenable {
+		return &runReader{fs: fs, segments: r.Segments, bufBytes: bufBytes}, nil
+	}
+	var open []ReadCloser
+	nonEmpty := 0
+	for _, s := range r.Segments {
+		if s.Records > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty == 0 {
+		return &runReader{fs: fs, bufBytes: bufBytes}, nil
+	}
+	per := bufBytes / nonEmpty
+	if per < DefaultPageSize {
+		per = DefaultPageSize
+	}
+	for _, s := range r.Segments {
+		if s.Records == 0 {
+			continue
+		}
+		rc, err := s.Open(fs, per)
+		if err != nil {
+			for _, o := range open {
+				o.Close()
+			}
+			return nil, err
+		}
+		open = append(open, rc)
+	}
+	return newInterleaveReader(open)
+}
+
+// Remove deletes all files of the run.
+func (r Run) Remove(fs vfs.FS) error {
+	for _, s := range r.Segments {
+		if s.Records == 0 {
+			continue
+		}
+		if err := s.Remove(fs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runReader concatenates ascending reads of a run's segments, skipping
+// empty ones and opening at most one segment at a time.
+type runReader struct {
+	fs       vfs.FS
+	segments []Segment
+	bufBytes int
+	cur      ReadCloser
+	closed   bool
+}
+
+// Read implements record.Reader.
+func (r *runReader) Read() (record.Record, error) {
+	if r.closed {
+		return record.Record{}, record.ErrClosed
+	}
+	for {
+		if r.cur != nil {
+			rec, err := r.cur.Read()
+			if err == nil {
+				return rec, nil
+			}
+			if err != io.EOF {
+				return record.Record{}, err
+			}
+			if err := r.cur.Close(); err != nil {
+				return record.Record{}, err
+			}
+			r.cur = nil
+		}
+		// Advance to the next non-empty segment.
+		for len(r.segments) > 0 && r.segments[0].Records == 0 {
+			r.segments = r.segments[1:]
+		}
+		if len(r.segments) == 0 {
+			return record.Record{}, io.EOF
+		}
+		seg := r.segments[0]
+		r.segments = r.segments[1:]
+		cur, err := seg.Open(r.fs, r.bufBytes)
+		if err != nil {
+			return record.Record{}, err
+		}
+		r.cur = cur
+	}
+}
+
+// Close releases the currently open segment, if any.
+func (r *runReader) Close() error {
+	if r.closed {
+		return record.ErrClosed
+	}
+	r.closed = true
+	if r.cur != nil {
+		return r.cur.Close()
+	}
+	return nil
+}
+
+// Namer hands out unique file names for runs and streams within one sort.
+type Namer struct {
+	prefix string
+	n      int
+}
+
+// NewNamer returns a namer whose names start with prefix.
+func NewNamer(prefix string) *Namer { return &Namer{prefix: prefix} }
+
+// Next returns a fresh name with the given role suffix.
+func (nm *Namer) Next(role string) string {
+	nm.n++
+	return fmt.Sprintf("%s-%04d-%s", nm.prefix, nm.n, role)
+}

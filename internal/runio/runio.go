@@ -1,0 +1,190 @@
+// Package runio stores sorted runs on a vfs.FS.
+//
+// Two on-disk layouts are provided:
+//
+//   - Forward runs: a single file of records in ascending key order, written
+//     and read sequentially through a page-sized buffer.
+//
+//   - Backward runs (Appendix A of the thesis): streams produced in
+//     *descending* order (streams 2 and 4 of 2WRS) are laid out so the merge
+//     phase can later read them sequentially *forward* in ascending order,
+//     because disks favour forward sequential access. Each backward stream is
+//     a chain of fixed-size files of k pages; records are written from the
+//     tail of the file toward its head through a one-page buffer, page 0
+//     holds a header {index, pages, startPage, startPos, records}, and files
+//     are named "base.N" in creation order. Ascending reads open the files in
+//     reverse creation order and scan forward from the header's start
+//     position.
+//
+// A Run is an ordered list of segments (forward or backward); opening a run
+// concatenates ascending reads of its segments, which is how the four 2WRS
+// output streams become one logical sorted run: rev(4) + 3 + rev(2) + 1.
+package runio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/record"
+	"repro/internal/vfs"
+)
+
+// DefaultPageSize is the file-system page size assumed by the thesis (ext3).
+const DefaultPageSize = 4096
+
+// DefaultPagesPerFile is the thesis' k = 1000 pages (≈4 MB files at 4 KB
+// pages; the thesis reports 40 MB with its larger pages).
+const DefaultPagesPerFile = 1000
+
+// ErrOutOfOrder reports a record written against the run's sort direction,
+// which always means a bug or corruption upstream.
+var ErrOutOfOrder = errors.New("runio: record out of order")
+
+// ReadCloser is a record stream with a Close method.
+type ReadCloser interface {
+	record.Reader
+	Close() error
+}
+
+// Writer writes an ascending forward run to a single file through a
+// page-sized buffer.
+type Writer struct {
+	f      vfs.File
+	buf    []byte
+	used   int
+	off    int64
+	count  int64
+	last   int64
+	closed bool
+}
+
+// NewWriter creates the named file on fs and returns a Writer with the given
+// buffer size in bytes (0 means DefaultPageSize).
+func NewWriter(fs vfs.FS, name string, bufBytes int) (*Writer, error) {
+	if bufBytes <= 0 {
+		bufBytes = DefaultPageSize
+	}
+	bufBytes -= bufBytes % record.Size
+	if bufBytes < record.Size {
+		bufBytes = record.Size
+	}
+	f, err := fs.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Writer{f: f, buf: make([]byte, bufBytes)}, nil
+}
+
+// Write appends r to the run. Records must arrive in non-decreasing key
+// order.
+func (w *Writer) Write(r record.Record) error {
+	if w.closed {
+		return record.ErrClosed
+	}
+	if w.count > 0 && r.Key < w.last {
+		return fmt.Errorf("%w: forward run got key %d after %d", ErrOutOfOrder, r.Key, w.last)
+	}
+	w.last = r.Key
+	record.Encode(w.buf[w.used:], r)
+	w.used += record.Size
+	w.count++
+	if w.used == len(w.buf) {
+		return w.flush()
+	}
+	return nil
+}
+
+func (w *Writer) flush() error {
+	if w.used == 0 {
+		return nil
+	}
+	if _, err := w.f.WriteAt(w.buf[:w.used], w.off); err != nil {
+		return err
+	}
+	w.off += int64(w.used)
+	w.used = 0
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (w *Writer) Count() int64 { return w.count }
+
+// Close flushes buffered records and closes the underlying file.
+func (w *Writer) Close() error {
+	if w.closed {
+		return record.ErrClosed
+	}
+	w.closed = true
+	if err := w.flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// Reader reads a forward run sequentially through a buffer of the given
+// size.
+type Reader struct {
+	f      vfs.File
+	buf    []byte
+	have   int // valid bytes in buf
+	pos    int // consumed bytes in buf
+	off    int64
+	eof    bool
+	closed bool
+}
+
+// NewReader opens the named forward run on fs with a read buffer of bufBytes
+// (0 means DefaultPageSize).
+func NewReader(fs vfs.FS, name string, bufBytes int) (*Reader, error) {
+	f, err := fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	if bufBytes <= 0 {
+		bufBytes = DefaultPageSize
+	}
+	bufBytes -= bufBytes % record.Size
+	if bufBytes < record.Size {
+		bufBytes = record.Size
+	}
+	return &Reader{f: f, buf: make([]byte, bufBytes)}, nil
+}
+
+// Read returns the next record or io.EOF.
+func (r *Reader) Read() (record.Record, error) {
+	if r.closed {
+		return record.Record{}, record.ErrClosed
+	}
+	if r.pos == r.have {
+		if r.eof {
+			return record.Record{}, io.EOF
+		}
+		n, err := r.f.ReadAt(r.buf, r.off)
+		if err == io.EOF {
+			r.eof = true
+		} else if err != nil {
+			return record.Record{}, err
+		}
+		n -= n % record.Size // a trailing partial record means corruption; surface as EOF below
+		if n == 0 {
+			return record.Record{}, io.EOF
+		}
+		r.off += int64(n)
+		r.have = n
+		r.pos = 0
+	}
+	rec := record.Decode(r.buf[r.pos:])
+	r.pos += record.Size
+	return rec, nil
+}
+
+// Close releases the underlying file.
+func (r *Reader) Close() error {
+	if r.closed {
+		return record.ErrClosed
+	}
+	r.closed = true
+	return r.f.Close()
+}

@@ -1,0 +1,429 @@
+package runio
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/record"
+	"repro/internal/vfs"
+)
+
+func writeForward(t *testing.T, fs vfs.FS, name string, keys []int64) {
+	t.Helper()
+	w, err := NewWriter(fs, name, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		if err := w.Write(record.Record{Key: k, Aux: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readAllClosing(t *testing.T, r ReadCloser) []record.Record {
+	t.Helper()
+	recs, err := record.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func TestForwardRoundTrip(t *testing.T) {
+	fs := vfs.NewMemFS()
+	keys := []int64{1, 2, 2, 3, 10, 100}
+	writeForward(t, fs, "r1", keys)
+	r, err := NewReader(fs, "r1", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := readAllClosing(t, r)
+	if len(got) != len(keys) {
+		t.Fatalf("got %d records, want %d", len(got), len(keys))
+	}
+	for i, k := range keys {
+		if got[i].Key != k || got[i].Aux != uint64(i) {
+			t.Fatalf("record %d = %v, want key %d aux %d", i, got[i], k, i)
+		}
+	}
+}
+
+func TestForwardWriterRejectsOutOfOrder(t *testing.T) {
+	fs := vfs.NewMemFS()
+	w, _ := NewWriter(fs, "r", 0)
+	defer w.Close()
+	w.Write(record.Record{Key: 5})
+	err := w.Write(record.Record{Key: 4})
+	if !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("out-of-order write = %v, want ErrOutOfOrder", err)
+	}
+}
+
+func TestForwardWriterCount(t *testing.T) {
+	fs := vfs.NewMemFS()
+	w, _ := NewWriter(fs, "r", 0)
+	for i := 0; i < 7; i++ {
+		w.Write(record.Record{Key: int64(i)})
+	}
+	if w.Count() != 7 {
+		t.Fatalf("Count = %d, want 7", w.Count())
+	}
+	w.Close()
+	if err := w.Close(); err != record.ErrClosed {
+		t.Fatalf("double close = %v, want ErrClosed", err)
+	}
+}
+
+func TestForwardEmptyRun(t *testing.T) {
+	fs := vfs.NewMemFS()
+	writeForward(t, fs, "empty", nil)
+	r, err := NewReader(fs, "empty", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("read of empty run = %v, want io.EOF", err)
+	}
+	r.Close()
+}
+
+func TestForwardTinyBuffer(t *testing.T) {
+	// A 1-byte requested buffer must be rounded up to one record.
+	fs := vfs.NewMemFS()
+	w, err := NewWriter(fs, "r", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := w.Write(record.Record{Key: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	r, err := NewReader(fs, "r", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := readAllClosing(t, r)
+	if len(got) != 10 || !record.IsSorted(got) {
+		t.Fatalf("tiny buffer round trip broken: %v", got)
+	}
+}
+
+func TestBackwardRoundTripSingleFile(t *testing.T) {
+	fs := vfs.NewMemFS()
+	w, err := NewBackwardWriter(fs, "b", 64, 4) // 4 records per page, 3 data pages
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Descending input 9..0 fits in 10 records < 12 capacity.
+	for i := 9; i >= 0; i-- {
+		if err := w.Write(record.Record{Key: int64(i), Aux: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Files() != 1 {
+		t.Fatalf("Files = %d, want 1", w.Files())
+	}
+	r, err := NewBackwardReader(fs, "b", w.Files(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := readAllClosing(t, r)
+	if len(got) != 10 {
+		t.Fatalf("got %d records, want 10", len(got))
+	}
+	for i, rec := range got {
+		if rec.Key != int64(i) {
+			t.Fatalf("record %d has key %d, want ascending order", i, rec.Key)
+		}
+	}
+}
+
+func TestBackwardRoundTripMultiFile(t *testing.T) {
+	fs := vfs.NewMemFS()
+	// 2 data pages x 4 records = 8 records per file; 30 records -> 4 files.
+	w, err := NewBackwardWriter(fs, "b", 64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 29; i >= 0; i-- {
+		if err := w.Write(record.Record{Key: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Files() != 4 {
+		t.Fatalf("Files = %d, want 4", w.Files())
+	}
+	r, _ := NewBackwardReader(fs, "b", w.Files(), 64)
+	got := readAllClosing(t, r)
+	if len(got) != 30 {
+		t.Fatalf("got %d records, want 30", len(got))
+	}
+	if !record.IsSorted(got) {
+		t.Fatal("backward chain did not read ascending")
+	}
+	if got[0].Key != 0 || got[29].Key != 29 {
+		t.Fatalf("range wrong: first %d last %d", got[0].Key, got[29].Key)
+	}
+}
+
+func TestBackwardExactlyFullFile(t *testing.T) {
+	fs := vfs.NewMemFS()
+	// Exactly one full file: 2 data pages x 4 records.
+	w, _ := NewBackwardWriter(fs, "b", 64, 3)
+	for i := 7; i >= 0; i-- {
+		w.Write(record.Record{Key: int64(i)})
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Files() != 1 {
+		t.Fatalf("Files = %d, want 1", w.Files())
+	}
+	r, _ := NewBackwardReader(fs, "b", 1, 0)
+	got := readAllClosing(t, r)
+	if len(got) != 8 || !record.IsSorted(got) {
+		t.Fatalf("full-file chain broken: %v", got)
+	}
+}
+
+func TestBackwardEmptyStream(t *testing.T) {
+	fs := vfs.NewMemFS()
+	w, _ := NewBackwardWriter(fs, "b", 64, 3)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Files() != 0 {
+		t.Fatalf("Files = %d, want 0", w.Files())
+	}
+	r, _ := NewBackwardReader(fs, "b", 0, 0)
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("empty chain read = %v, want io.EOF", err)
+	}
+	r.Close()
+}
+
+func TestBackwardWriterRejectsAscending(t *testing.T) {
+	fs := vfs.NewMemFS()
+	w, _ := NewBackwardWriter(fs, "b", 64, 3)
+	w.Write(record.Record{Key: 5})
+	if err := w.Write(record.Record{Key: 6}); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("ascending write = %v, want ErrOutOfOrder", err)
+	}
+}
+
+func TestBackwardValidatesConfig(t *testing.T) {
+	fs := vfs.NewMemFS()
+	if _, err := NewBackwardWriter(fs, "b", 63, 3); err == nil {
+		t.Fatal("page size not multiple of record size should fail")
+	}
+	if _, err := NewBackwardWriter(fs, "b", 64, 1); err == nil {
+		t.Fatal("pagesPerFile < 2 should fail")
+	}
+}
+
+func TestBackwardHeaderCorruptionDetected(t *testing.T) {
+	fs := vfs.NewMemFS()
+	w, _ := NewBackwardWriter(fs, "b", 64, 3)
+	for i := 5; i >= 0; i-- {
+		w.Write(record.Record{Key: int64(i)})
+	}
+	w.Close()
+	// Smash the magic number.
+	f, _ := fs.Open("b.0")
+	// vfs.File opened via Open on MemFS shares data, so write through a
+	// fresh create-less handle: MemFS Open returns a writable handle.
+	if _, err := f.WriteAt([]byte{0, 0, 0, 0}, 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	r, _ := NewBackwardReader(fs, "b", 1, 0)
+	if _, err := r.Read(); err == nil {
+		t.Fatal("corrupt header should fail the read")
+	}
+	r.Close()
+}
+
+func TestBackwardLargeRandomDescending(t *testing.T) {
+	fs := vfs.NewMemFS()
+	rng := rand.New(rand.NewSource(11))
+	keys := make([]int64, 5000)
+	for i := range keys {
+		keys[i] = rng.Int63n(1 << 40)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] > keys[j] })
+	w, _ := NewBackwardWriter(fs, "b", 256, 5)
+	for _, k := range keys {
+		if err := w.Write(record.Record{Key: k}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := NewBackwardReader(fs, "b", w.Files(), 1024)
+	got := readAllClosing(t, r)
+	if len(got) != len(keys) {
+		t.Fatalf("got %d records, want %d", len(got), len(keys))
+	}
+	if !record.IsSorted(got) {
+		t.Fatal("not ascending")
+	}
+	want := record.NewMultiset(record.FromKeys()) // empty; rebuild below
+	_ = want
+	wantSet := make(map[int64]int)
+	for _, k := range keys {
+		wantSet[k]++
+	}
+	for _, rec := range got {
+		wantSet[rec.Key]--
+	}
+	for k, n := range wantSet {
+		if n != 0 {
+			t.Fatalf("key %d count mismatch %d", k, n)
+		}
+	}
+}
+
+func TestRemoveBackward(t *testing.T) {
+	fs := vfs.NewMemFS()
+	w, _ := NewBackwardWriter(fs, "b", 64, 3)
+	for i := 20; i >= 0; i-- {
+		w.Write(record.Record{Key: int64(i)})
+	}
+	w.Close()
+	if err := RemoveBackward(fs, "b", w.Files()); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := fs.Names()
+	if len(names) != 0 {
+		t.Fatalf("files left after remove: %v", names)
+	}
+}
+
+func TestRunConcatenatesSegments(t *testing.T) {
+	fs := vfs.NewMemFS()
+	// Build the four 2WRS streams of the §4.5 example shape:
+	// stream4 desc {38,37,36}, stream3 asc {39,40}, stream2 desc {51,50},
+	// stream1 asc {52,53,54}.
+	w4, _ := NewBackwardWriter(fs, "s4", 64, 3)
+	for _, k := range []int64{38, 37, 36} {
+		w4.Write(record.Record{Key: k})
+	}
+	w4.Close()
+	writeForward(t, fs, "s3", []int64{39, 40})
+	w2, _ := NewBackwardWriter(fs, "s2", 64, 3)
+	for _, k := range []int64{51, 50} {
+		w2.Write(record.Record{Key: k})
+	}
+	w2.Close()
+	writeForward(t, fs, "s1", []int64{52, 53, 54})
+
+	run := Run{
+		Segments: []Segment{
+			{Name: "s4", Records: 3, Backward: true, Files: w4.Files()},
+			{Name: "s3", Records: 2},
+			{Name: "s2", Records: 2, Backward: true, Files: w2.Files()},
+			{Name: "s1", Records: 3},
+		},
+		Records: 10,
+	}
+	r, err := run.Open(fs, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := readAllClosing(t, r)
+	want := []int64{36, 37, 38, 39, 40, 50, 51, 52, 53, 54}
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i, k := range want {
+		if got[i].Key != k {
+			t.Fatalf("record %d = %d, want %d", i, got[i].Key, k)
+		}
+	}
+}
+
+func TestRunSkipsEmptySegments(t *testing.T) {
+	fs := vfs.NewMemFS()
+	writeForward(t, fs, "s1", []int64{1, 2})
+	run := Run{
+		Segments: []Segment{
+			{Name: "missing-backward", Records: 0, Backward: true},
+			{Name: "s1", Records: 2},
+			{Name: "missing-forward", Records: 0},
+		},
+		Records: 2,
+	}
+	r, _ := run.Open(fs, 0)
+	got := readAllClosing(t, r)
+	if len(got) != 2 {
+		t.Fatalf("got %d records, want 2", len(got))
+	}
+}
+
+func TestRunRemove(t *testing.T) {
+	fs := vfs.NewMemFS()
+	writeForward(t, fs, "s1", []int64{1})
+	w, _ := NewBackwardWriter(fs, "s4", 64, 3)
+	w.Write(record.Record{Key: 0})
+	w.Close()
+	run := Run{Segments: []Segment{
+		{Name: "s4", Records: 1, Backward: true, Files: 1},
+		{Name: "s1", Records: 1},
+		{Name: "ghost", Records: 0}, // empty segments have no files
+	}}
+	if err := run.Remove(fs); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := fs.Names()
+	if len(names) != 0 {
+		t.Fatalf("files left: %v", names)
+	}
+}
+
+func TestSingleRun(t *testing.T) {
+	run := SingleRun("x", 42)
+	if run.Records != 42 || len(run.Segments) != 1 || run.Segments[0].Name != "x" {
+		t.Fatalf("SingleRun wrong: %+v", run)
+	}
+}
+
+func TestNamerUniqueNames(t *testing.T) {
+	nm := NewNamer("sort1")
+	a := nm.Next("s1")
+	b := nm.Next("s1")
+	if a == b {
+		t.Fatalf("namer returned duplicate %q", a)
+	}
+}
+
+func TestReaderClosedSemantics(t *testing.T) {
+	fs := vfs.NewMemFS()
+	writeForward(t, fs, "r", []int64{1})
+	r, _ := NewReader(fs, "r", 0)
+	r.Close()
+	if _, err := r.Read(); err != record.ErrClosed {
+		t.Fatalf("read after close = %v, want ErrClosed", err)
+	}
+	if err := r.Close(); err != record.ErrClosed {
+		t.Fatalf("double close = %v, want ErrClosed", err)
+	}
+}

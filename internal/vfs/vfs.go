@@ -1,0 +1,240 @@
+// Package vfs provides the small file-system abstraction that all run
+// storage in this library is written against.
+//
+// Two implementations are provided: OSFS stores files on the real file
+// system (what a production deployment uses) and MemFS stores them in
+// memory (deterministic, used by tests and as the backing store for the
+// simulated disk in internal/iosim).
+package vfs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// File is a random-access file handle. Run storage only ever performs
+// positional I/O, which keeps the interface trivially implementable by both
+// real files and in-memory buffers, and lets the disk simulator observe the
+// exact (offset, length) of every access.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	io.Closer
+	// Size returns the current length of the file in bytes.
+	Size() (int64, error)
+}
+
+// FS creates, opens and removes named files. Implementations must allow
+// re-opening a file that was created and closed earlier.
+type FS interface {
+	// Create creates or truncates the named file for read/write access.
+	Create(name string) (File, error)
+	// Open opens an existing file for reading.
+	Open(name string) (File, error)
+	// Remove deletes the named file.
+	Remove(name string) error
+	// Names returns the names of all files currently in the file system,
+	// sorted. It exists so temp-space accounting and cleanup can be tested.
+	Names() ([]string, error)
+}
+
+// OSFS is an FS rooted at a directory on the operating system's file system.
+type OSFS struct {
+	dir string
+}
+
+// NewOSFS returns an FS storing files under dir, which must exist.
+func NewOSFS(dir string) *OSFS { return &OSFS{dir: dir} }
+
+type osFile struct{ *os.File }
+
+func (f osFile) Size() (int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// Create implements FS.
+func (fs *OSFS) Create(name string) (File, error) {
+	f, err := os.OpenFile(filepath.Join(fs.dir, name), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// Open implements FS.
+func (fs *OSFS) Open(name string) (File, error) {
+	f, err := os.Open(filepath.Join(fs.dir, name))
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// Remove implements FS.
+func (fs *OSFS) Remove(name string) error {
+	return os.Remove(filepath.Join(fs.dir, name))
+}
+
+// Names implements FS.
+func (fs *OSFS) Names() ([]string, error) {
+	entries, err := os.ReadDir(fs.dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// MemFS is an in-memory FS. It is safe for concurrent use.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memData
+}
+
+type memData struct {
+	mu   sync.Mutex
+	data []byte
+}
+
+// NewMemFS returns an empty in-memory file system.
+func NewMemFS() *MemFS { return &MemFS{files: make(map[string]*memData)} }
+
+type memFile struct {
+	d      *memData
+	closed bool
+}
+
+// Create implements FS.
+func (fs *MemFS) Create(name string) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	d := &memData{}
+	fs.files[name] = d
+	return &memFile{d: d}, nil
+}
+
+// Open implements FS.
+func (fs *MemFS) Open(name string) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	d, ok := fs.files[name]
+	if !ok {
+		return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+	}
+	return &memFile{d: d}, nil
+}
+
+// Remove implements FS.
+func (fs *MemFS) Remove(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[name]; !ok {
+		return &os.PathError{Op: "remove", Path: name, Err: os.ErrNotExist}
+	}
+	delete(fs.files, name)
+	return nil
+}
+
+// Names implements FS.
+func (fs *MemFS) Names() ([]string, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	names := make([]string, 0, len(fs.files))
+	for n := range fs.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// TotalBytes reports the sum of all file sizes, used by temp-space tests.
+func (fs *MemFS) TotalBytes() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var total int64
+	for _, d := range fs.files {
+		d.mu.Lock()
+		total += int64(len(d.data))
+		d.mu.Unlock()
+	}
+	return total
+}
+
+func (f *memFile) ReadAt(p []byte, off int64) (int, error) {
+	if f.closed {
+		return 0, os.ErrClosed
+	}
+	f.d.mu.Lock()
+	defer f.d.mu.Unlock()
+	if off < 0 {
+		return 0, fmt.Errorf("vfs: negative offset %d", off)
+	}
+	if off >= int64(len(f.d.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.d.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (f *memFile) WriteAt(p []byte, off int64) (int, error) {
+	if f.closed {
+		return 0, os.ErrClosed
+	}
+	f.d.mu.Lock()
+	defer f.d.mu.Unlock()
+	if off < 0 {
+		return 0, fmt.Errorf("vfs: negative offset %d", off)
+	}
+	end := off + int64(len(p))
+	if end > int64(len(f.d.data)) {
+		if end > int64(cap(f.d.data)) {
+			// Grow geometrically so append-style write patterns stay
+			// amortised O(1) per byte instead of O(size) per write.
+			newCap := 2 * int64(cap(f.d.data))
+			if newCap < end {
+				newCap = end
+			}
+			grown := make([]byte, end, newCap)
+			copy(grown, f.d.data)
+			f.d.data = grown
+		} else {
+			f.d.data = f.d.data[:end]
+		}
+	}
+	copy(f.d.data[off:end], p)
+	return len(p), nil
+}
+
+func (f *memFile) Close() error {
+	if f.closed {
+		return os.ErrClosed
+	}
+	f.closed = true
+	return nil
+}
+
+func (f *memFile) Size() (int64, error) {
+	if f.closed {
+		return 0, os.ErrClosed
+	}
+	f.d.mu.Lock()
+	defer f.d.mu.Unlock()
+	return int64(len(f.d.data)), nil
+}

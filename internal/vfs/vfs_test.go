@@ -1,0 +1,209 @@
+package vfs
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"testing"
+)
+
+// fsImpls returns one instance of every FS implementation for table tests.
+func fsImpls(t *testing.T) map[string]FS {
+	t.Helper()
+	return map[string]FS{
+		"mem": NewMemFS(),
+		"os":  NewOSFS(t.TempDir()),
+	}
+}
+
+func TestCreateWriteReadRoundTrip(t *testing.T) {
+	for name, fs := range fsImpls(t) {
+		t.Run(name, func(t *testing.T) {
+			f, err := fs.Create("a.run")
+			if err != nil {
+				t.Fatal(err)
+			}
+			payload := []byte("hello external sorting")
+			if _, err := f.WriteAt(payload, 0); err != nil {
+				t.Fatal(err)
+			}
+			sz, err := f.Size()
+			if err != nil || sz != int64(len(payload)) {
+				t.Fatalf("Size = (%d, %v), want (%d, nil)", sz, err, len(payload))
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			g, err := fs.Open("a.run")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer g.Close()
+			buf := make([]byte, len(payload))
+			if _, err := g.ReadAt(buf, 0); err != nil && err != io.EOF {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf, payload) {
+				t.Fatalf("read %q, want %q", buf, payload)
+			}
+		})
+	}
+}
+
+func TestWriteAtExtendsWithZeros(t *testing.T) {
+	for name, fs := range fsImpls(t) {
+		t.Run(name, func(t *testing.T) {
+			f, err := fs.Create("sparse")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			if _, err := f.WriteAt([]byte{0xff}, 10); err != nil {
+				t.Fatal(err)
+			}
+			sz, _ := f.Size()
+			if sz != 11 {
+				t.Fatalf("Size = %d, want 11", sz)
+			}
+			buf := make([]byte, 11)
+			if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+				t.Fatal(err)
+			}
+			for i := 0; i < 10; i++ {
+				if buf[i] != 0 {
+					t.Fatalf("byte %d = %d, want 0", i, buf[i])
+				}
+			}
+			if buf[10] != 0xff {
+				t.Fatalf("byte 10 = %d, want 0xff", buf[10])
+			}
+		})
+	}
+}
+
+func TestReadPastEOF(t *testing.T) {
+	for name, fs := range fsImpls(t) {
+		t.Run(name, func(t *testing.T) {
+			f, err := fs.Create("short")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			if _, err := f.WriteAt([]byte("abc"), 0); err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]byte, 10)
+			n, err := f.ReadAt(buf, 0)
+			if n != 3 || err != io.EOF {
+				t.Fatalf("short read = (%d, %v), want (3, io.EOF)", n, err)
+			}
+			n, err = f.ReadAt(buf, 100)
+			if n != 0 || err != io.EOF {
+				t.Fatalf("read past end = (%d, %v), want (0, io.EOF)", n, err)
+			}
+		})
+	}
+}
+
+func TestOpenMissingFile(t *testing.T) {
+	for name, fs := range fsImpls(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, err := fs.Open("nope"); !os.IsNotExist(err) {
+				t.Fatalf("Open(missing) = %v, want not-exist", err)
+			}
+			if err := fs.Remove("nope"); !os.IsNotExist(err) {
+				t.Fatalf("Remove(missing) = %v, want not-exist", err)
+			}
+		})
+	}
+}
+
+func TestRemoveAndNames(t *testing.T) {
+	for name, fs := range fsImpls(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, n := range []string{"b", "a", "c"} {
+				f, err := fs.Create(n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				f.Close()
+			}
+			names, err := fs.Names()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(names) != 3 || names[0] != "a" || names[1] != "b" || names[2] != "c" {
+				t.Fatalf("Names = %v, want [a b c]", names)
+			}
+			if err := fs.Remove("b"); err != nil {
+				t.Fatal(err)
+			}
+			names, _ = fs.Names()
+			if len(names) != 2 {
+				t.Fatalf("after remove, Names = %v", names)
+			}
+		})
+	}
+}
+
+func TestCreateTruncatesExisting(t *testing.T) {
+	for name, fs := range fsImpls(t) {
+		t.Run(name, func(t *testing.T) {
+			f, _ := fs.Create("x")
+			f.WriteAt([]byte("0123456789"), 0)
+			f.Close()
+			g, err := fs.Create("x")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer g.Close()
+			sz, _ := g.Size()
+			if sz != 0 {
+				t.Fatalf("recreated file size = %d, want 0", sz)
+			}
+		})
+	}
+}
+
+func TestMemFSClosedFile(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("x")
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ReadAt(make([]byte, 1), 0); err != os.ErrClosed {
+		t.Fatalf("ReadAt after close = %v, want os.ErrClosed", err)
+	}
+	if _, err := f.WriteAt([]byte{1}, 0); err != os.ErrClosed {
+		t.Fatalf("WriteAt after close = %v, want os.ErrClosed", err)
+	}
+	if err := f.Close(); err != os.ErrClosed {
+		t.Fatalf("double close = %v, want os.ErrClosed", err)
+	}
+}
+
+func TestMemFSTotalBytes(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("x")
+	f.WriteAt(make([]byte, 100), 0)
+	f.Close()
+	g, _ := fs.Create("y")
+	g.WriteAt(make([]byte, 50), 0)
+	g.Close()
+	if got := fs.TotalBytes(); got != 150 {
+		t.Fatalf("TotalBytes = %d, want 150", got)
+	}
+}
+
+func TestMemFSNegativeOffset(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("x")
+	defer f.Close()
+	if _, err := f.ReadAt(make([]byte, 1), -1); err == nil {
+		t.Fatal("ReadAt(-1) should fail")
+	}
+	if _, err := f.WriteAt([]byte{1}, -1); err == nil {
+		t.Fatal("WriteAt(-1) should fail")
+	}
+}

@@ -1,0 +1,248 @@
+// Package repro is a production-quality Go implementation of Two-way
+// Replacement Selection (2WRS), the external-sorting run-generation
+// algorithm of Martínez Palau, Domínguez-Sal and Larriba-Pey (VLDB 2010),
+// together with every substrate the paper builds on: classic replacement
+// selection and Load-Sort-Store baselines, a loser-tree k-way merge phase
+// with configurable fan-in, polyphase merge, the Appendix A backward file
+// format for decreasing streams, the paper's six benchmark datasets, the
+// snowplow differential-equation model of RS, and the factorial-ANOVA
+// machinery used for the paper's statistical analysis.
+//
+// The public API sorts arbitrary streams of fixed-size records under a
+// configurable memory budget:
+//
+//	cfg := repro.DefaultConfig(1 << 20) // one million records of memory
+//	stats, err := repro.Sort(src, dst, cfg)
+//
+// See examples/ for runnable programs and DESIGN.md for the system map.
+package repro
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/extsort"
+	"repro/internal/gen"
+	"repro/internal/record"
+	"repro/internal/vfs"
+)
+
+// Record is the unit of sorting: a 64-bit key ordered ascending and a
+// 64-bit auxiliary payload carried along unchanged.
+type Record = record.Record
+
+// Reader yields records; it returns io.EOF at end of stream.
+type Reader = record.Reader
+
+// Writer consumes records.
+type Writer = record.Writer
+
+// Stats reports what a sort did: run counts, average run length, merge
+// passes, and per-phase timings.
+type Stats = extsort.Stats
+
+// Algorithm selects the run-generation strategy.
+type Algorithm = extsort.Algorithm
+
+// Run generation algorithms.
+const (
+	// TwoWayRS is two-way replacement selection, the paper's contribution.
+	TwoWayRS = extsort.TwoWayRS
+	// RS is classic replacement selection.
+	RS = extsort.RS
+	// LoadSortStore is the fill-sort-store baseline.
+	LoadSortStore = extsort.LoadSortStore
+)
+
+// InputHeuristic decides which heap stores a record when both could.
+type InputHeuristic = core.InputHeuristic
+
+// Input heuristics (§4.2 of the paper).
+const (
+	InputRandom    = core.InRandom
+	InputAlternate = core.InAlternate
+	InputMean      = core.InMean
+	InputMedian    = core.InMedian
+	InputUseful    = core.InUseful
+	InputBalancing = core.InBalancing
+)
+
+// OutputHeuristic decides which heap releases the next record.
+type OutputHeuristic = core.OutputHeuristic
+
+// Output heuristics (§4.2 of the paper).
+const (
+	OutputRandom      = core.OutRandom
+	OutputAlternate   = core.OutAlternate
+	OutputUseful      = core.OutUseful
+	OutputBalancing   = core.OutBalancing
+	OutputMinDistance = core.OutMinDistance
+)
+
+// BufferSetup selects which auxiliary 2WRS buffers exist.
+type BufferSetup = core.BufferSetup
+
+// Buffer setups.
+const (
+	InputBufferOnly  = core.InputBufferOnly
+	BothBuffers      = core.BothBuffers
+	VictimBufferOnly = core.VictimBufferOnly
+)
+
+// Config controls a sort. The zero value is not valid; start from
+// DefaultConfig.
+type Config struct {
+	// Algorithm is the run-generation strategy (default TwoWayRS).
+	Algorithm Algorithm
+	// MemoryRecords is the memory budget in records for both phases.
+	MemoryRecords int
+	// FanIn is the merge fan-in (the paper's optimum is 10).
+	FanIn int
+	// Setup, BufferFraction, Input and Output tune 2WRS; they are ignored
+	// by the other algorithms. The defaults are the paper's recommended
+	// configuration (§5.3): both buffers, 2%, Mean input, Random output.
+	Setup          BufferSetup
+	BufferFraction float64
+	Input          InputHeuristic
+	Output         OutputHeuristic
+	// Seed drives the randomised heuristics.
+	Seed int64
+	// TempDir, when non-empty, stores temporary runs in that directory on
+	// the real file system; otherwise runs live in process memory (fine up
+	// to a few GB and fastest for tests).
+	TempDir string
+}
+
+// DefaultConfig returns the paper's recommended configuration with the
+// given memory budget in records.
+func DefaultConfig(memoryRecords int) Config {
+	return Config{
+		Algorithm:      TwoWayRS,
+		MemoryRecords:  memoryRecords,
+		FanIn:          10,
+		Setup:          BothBuffers,
+		BufferFraction: 0.02,
+		Input:          InputMean,
+		Output:         OutputRandom,
+	}
+}
+
+// toInternal converts the public Config to the internal driver config.
+func (c Config) toInternal() extsort.Config {
+	return extsort.Config{
+		Algorithm: c.Algorithm,
+		Memory:    c.MemoryRecords,
+		FanIn:     c.FanIn,
+		TWRS: core.Config{
+			Memory:     c.MemoryRecords,
+			Setup:      c.Setup,
+			BufferFrac: c.BufferFraction,
+			Input:      c.Input,
+			Output:     c.Output,
+			Seed:       c.Seed,
+		},
+	}
+}
+
+// Sort reads every record from src, sorts them externally within the
+// configured memory budget, and writes the ascending result to dst.
+func Sort(src Reader, dst Writer, cfg Config) (Stats, error) {
+	var fs vfs.FS
+	if cfg.TempDir != "" {
+		if err := os.MkdirAll(cfg.TempDir, 0o755); err != nil {
+			return Stats{}, fmt.Errorf("repro: temp dir: %w", err)
+		}
+		fs = vfs.NewOSFS(cfg.TempDir)
+	} else {
+		fs = vfs.NewMemFS()
+	}
+	return extsort.Sort(src, dst, fs, cfg.toInternal())
+}
+
+// SortSlice sorts a slice through the external-sort machinery and returns a
+// new sorted slice. It is a convenience for small inputs and examples.
+func SortSlice(recs []Record, cfg Config) ([]Record, Stats, error) {
+	var out record.SliceWriter
+	stats, err := Sort(record.NewSliceReader(recs), &out, cfg)
+	return out.Recs, stats, err
+}
+
+// SortFile sorts a binary record file (16-byte little-endian records as
+// written by WriteFile or cmd/gendata) into a new file.
+func SortFile(inPath, outPath string, cfg Config) (Stats, error) {
+	in, err := os.Open(inPath)
+	if err != nil {
+		return Stats{}, err
+	}
+	defer in.Close()
+	out, err := os.Create(outPath)
+	if err != nil {
+		return Stats{}, err
+	}
+	w := bufio.NewWriterSize(out, 1<<20)
+	stats, err := Sort(record.NewByteReader(bufio.NewReaderSize(in, 1<<20)), record.NewByteWriter(w), cfg)
+	if err != nil {
+		out.Close()
+		return stats, err
+	}
+	if err := w.Flush(); err != nil {
+		out.Close()
+		return stats, err
+	}
+	return stats, out.Close()
+}
+
+// WriteFile writes records to a binary record file readable by SortFile.
+func WriteFile(path string, recs []Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	if err := record.WriteAll(record.NewByteWriter(w), recs); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a whole binary record file into memory.
+func ReadFile(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return record.ReadAll(record.NewByteReader(bufio.NewReaderSize(f, 1<<20)))
+}
+
+// DatasetKind identifies one of the paper's six input distributions.
+type DatasetKind = gen.Kind
+
+// The six distributions of Figure 5.1 of the thesis.
+const (
+	DatasetSorted          = gen.Sorted
+	DatasetReverseSorted   = gen.ReverseSorted
+	DatasetAlternating     = gen.Alternating
+	DatasetRandom          = gen.Random
+	DatasetMixedBalanced   = gen.MixedBalanced
+	DatasetMixedImbalanced = gen.MixedImbalanced
+)
+
+// Dataset generates n records of one of the paper's benchmark
+// distributions, deterministically for a given seed.
+func Dataset(kind DatasetKind, n int, seed int64) []Record {
+	return gen.Generate(gen.Config{Kind: kind, N: n, Seed: seed, Noise: 1000})
+}
+
+// DatasetReader streams one of the paper's benchmark distributions without
+// materialising it, for inputs larger than memory.
+func DatasetReader(kind DatasetKind, n int, seed int64) Reader {
+	return gen.New(gen.Config{Kind: kind, N: n, Seed: seed, Noise: 1000})
+}

@@ -1,0 +1,135 @@
+package repro
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/record"
+)
+
+func TestSortSliceDefault(t *testing.T) {
+	recs := Dataset(DatasetRandom, 10000, 1)
+	out, stats, err := SortSlice(recs, DefaultConfig(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !record.IsSorted(out) {
+		t.Fatal("output not sorted")
+	}
+	if !record.NewMultiset(out).Equal(record.NewMultiset(recs)) {
+		t.Fatal("not a permutation")
+	}
+	if stats.Records != 10000 || stats.Runs == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestSortAllAlgorithms(t *testing.T) {
+	recs := Dataset(DatasetMixedBalanced, 5000, 2)
+	for _, alg := range []Algorithm{TwoWayRS, RS, LoadSortStore} {
+		cfg := DefaultConfig(200)
+		cfg.Algorithm = alg
+		out, _, err := SortSlice(recs, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if !record.IsSorted(out) || len(out) != len(recs) {
+			t.Fatalf("%v: bad output", alg)
+		}
+	}
+}
+
+func TestSortWithTempDir(t *testing.T) {
+	recs := Dataset(DatasetReverseSorted, 5000, 3)
+	cfg := DefaultConfig(100)
+	cfg.TempDir = filepath.Join(t.TempDir(), "runs")
+	out, stats, err := SortSlice(recs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !record.IsSorted(out) {
+		t.Fatal("output not sorted")
+	}
+	if stats.Runs != 1 {
+		t.Fatalf("2WRS on reverse input: runs = %d, want 1", stats.Runs)
+	}
+	// Temp dir must be clean afterwards.
+	entries, err := os.ReadDir(cfg.TempDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("temp files left: %v", entries)
+	}
+}
+
+func TestSortFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.rec")
+	out := filepath.Join(dir, "out.rec")
+	recs := Dataset(DatasetAlternating, 5000, 4)
+	if err := WriteFile(in, recs); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := SortFile(in, out, DefaultConfig(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 5000 {
+		t.Fatalf("records = %d", stats.Records)
+	}
+	got, err := ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !record.IsSorted(got) || len(got) != len(recs) {
+		t.Fatal("sorted file wrong")
+	}
+	if !record.NewMultiset(got).Equal(record.NewMultiset(recs)) {
+		t.Fatal("sorted file lost records")
+	}
+}
+
+func TestDatasetReaderStreams(t *testing.T) {
+	r := DatasetReader(DatasetSorted, 100, 5)
+	got, err := record.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 || !record.IsSorted(got) {
+		t.Fatal("dataset reader wrong")
+	}
+	// Deterministic per seed and matching the materialised form.
+	mat := Dataset(DatasetSorted, 100, 5)
+	for i := range mat {
+		if mat[i] != got[i] {
+			t.Fatal("reader and slice forms differ")
+		}
+	}
+}
+
+func TestDefaultConfigIsRecommended(t *testing.T) {
+	cfg := DefaultConfig(1000)
+	if cfg.Algorithm != TwoWayRS || cfg.FanIn != 10 || cfg.Setup != BothBuffers ||
+		cfg.BufferFraction != 0.02 || cfg.Input != InputMean || cfg.Output != OutputRandom {
+		t.Fatalf("DefaultConfig = %+v, not the paper's §5.3 recommendation", cfg)
+	}
+}
+
+func TestHeuristicConfigurations(t *testing.T) {
+	recs := Dataset(DatasetMixedImbalanced, 3000, 6)
+	for _, in := range []InputHeuristic{InputRandom, InputAlternate, InputMean, InputMedian, InputUseful, InputBalancing} {
+		for _, out := range []OutputHeuristic{OutputRandom, OutputAlternate, OutputUseful, OutputBalancing, OutputMinDistance} {
+			cfg := DefaultConfig(100)
+			cfg.Input, cfg.Output = in, out
+			sorted, _, err := SortSlice(recs, cfg)
+			if err != nil {
+				t.Fatalf("in=%v out=%v: %v", in, out, err)
+			}
+			if !record.IsSorted(sorted) || len(sorted) != len(recs) {
+				t.Fatalf("in=%v out=%v: bad output", in, out)
+			}
+		}
+	}
+}
