@@ -7,6 +7,7 @@ package repro
 import (
 	"testing"
 
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/gen"
@@ -151,10 +152,10 @@ func BenchmarkAblationDoubleHeapLayout(b *testing.B) {
 		keys[i] = r.Key
 	}
 	b.Run("single-array", func(b *testing.B) {
-		d := heap.NewDouble(cap)
+		d := heap.NewDouble(cap, record.Less)
 		for i := 0; i < cap/2; i++ {
-			d.PushTop(heap.Item{Rec: record.Record{Key: keys[i]}})
-			d.PushBottom(heap.Item{Rec: record.Record{Key: -keys[i]}})
+			d.PushTop(heap.Item[record.Record]{Rec: record.Record{Key: keys[i]}})
+			d.PushBottom(heap.Item[record.Record]{Rec: record.Record{Key: -keys[i]}})
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -165,11 +166,11 @@ func BenchmarkAblationDoubleHeapLayout(b *testing.B) {
 		}
 	})
 	b.Run("two-heaps", func(b *testing.B) {
-		top := heap.New(cap/2, false)
-		bottom := heap.New(cap/2, true)
+		top := heap.New(cap/2, false, record.Less)
+		bottom := heap.New(cap/2, true, record.Less)
 		for i := 0; i < cap/2; i++ {
-			top.Push(heap.Item{Rec: record.Record{Key: keys[i]}})
-			bottom.Push(heap.Item{Rec: record.Record{Key: -keys[i]}})
+			top.Push(heap.Item[record.Record]{Rec: record.Record{Key: keys[i]}})
+			bottom.Push(heap.Item[record.Record]{Rec: record.Record{Key: -keys[i]}})
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -190,10 +191,10 @@ func BenchmarkAblationVictimBuffer(b *testing.B) {
 		var runs int
 		for i := 0; i < b.N; i++ {
 			fs := vfs.NewMemFS()
-			res, err := core.Generate(record.NewSliceReader(recs), runio.NewEmitter(fs, "v"), core.Config{
+			res, err := core.Generate(record.NewSliceReader(recs), runio.RecordEmitter(fs, "v"), core.Config{
 				Memory: 1_000, Setup: setup, BufferFrac: 0.02,
 				Input: core.InMean, Output: core.OutRandom, Seed: 1,
-			})
+			}, record.Key)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -214,7 +215,7 @@ func BenchmarkAblationBackwardFormat(b *testing.B) {
 	b.Run("backward-format", func(b *testing.B) {
 		disk := iosim.NewDisk(iosim.Defaults2010())
 		fs := iosim.NewFS(vfs.NewMemFS(), disk)
-		w, err := runio.NewBackwardWriter(fs, "b", 0, 64)
+		w, err := runio.NewBackwardWriter(fs, "b", 0, 64, codec.Record16{}, record.Less)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -225,7 +226,7 @@ func BenchmarkAblationBackwardFormat(b *testing.B) {
 		files := w.Files()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			r, _ := runio.NewBackwardReader(fs, "b", files, 1<<16)
+			r, _ := runio.NewBackwardReader(fs, "b", files, 1<<16, codec.Record16{})
 			if _, err := record.ReadAll(r); err != nil {
 				b.Fatal(err)
 			}

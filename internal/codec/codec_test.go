@@ -1,0 +1,136 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/record"
+)
+
+// roundTrip encodes a batch of values back to back and decodes them again.
+func roundTrip[T any](t *testing.T, c Codec[T], vals []T, eq func(a, b T) bool) {
+	t.Helper()
+	var buf []byte
+	for _, v := range vals {
+		buf = c.Append(buf, v)
+	}
+	pos := 0
+	for i, want := range vals {
+		got, n, err := c.Decode(buf[pos:])
+		if err != nil {
+			t.Fatalf("value %d: decode error %v", i, err)
+		}
+		if !eq(got, want) {
+			t.Fatalf("value %d: round trip %v != %v", i, got, want)
+		}
+		pos += n
+	}
+	if pos != len(buf) {
+		t.Fatalf("decoded %d of %d bytes", pos, len(buf))
+	}
+}
+
+func TestRecord16RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]record.Record, 200)
+	for i := range vals {
+		vals[i] = record.Record{Key: rng.Int63() - rng.Int63(), Aux: rng.Uint64()}
+	}
+	roundTrip[record.Record](t, Record16{}, vals, func(a, b record.Record) bool { return a == b })
+	if (Record16{}).FixedSize() != record.Size {
+		t.Fatal("Record16 fixed size wrong")
+	}
+}
+
+func TestFixedCodecsRoundTrip(t *testing.T) {
+	roundTrip[int64](t, Int64{}, []int64{0, 1, -1, math.MaxInt64, math.MinInt64},
+		func(a, b int64) bool { return a == b })
+	roundTrip[uint64](t, Uint64{}, []uint64{0, 1, math.MaxUint64},
+		func(a, b uint64) bool { return a == b })
+	roundTrip[float64](t, Float64{}, []float64{0, -1.5, math.Inf(1), math.SmallestNonzeroFloat64},
+		func(a, b float64) bool { return a == b })
+}
+
+func TestStringCodecQuickRoundTrip(t *testing.T) {
+	// The satellite property test for the variable-width codec: any batch
+	// of machine-generated strings round-trips exactly.
+	f := func(vals []string) bool {
+		var buf []byte
+		for _, v := range vals {
+			buf = String{}.Append(buf, v)
+		}
+		pos := 0
+		for _, want := range vals {
+			got, n, err := String{}.Decode(buf[pos:])
+			if err != nil || got != want {
+				return false
+			}
+			pos += n
+		}
+		return pos == len(buf)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytesCodecQuickRoundTrip(t *testing.T) {
+	f := func(vals [][]byte) bool {
+		var buf []byte
+		for _, v := range vals {
+			buf = Bytes{}.Append(buf, v)
+		}
+		pos := 0
+		for _, want := range vals {
+			got, n, err := Bytes{}.Decode(buf[pos:])
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+			pos += n
+		}
+		return pos == len(buf)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytesDecodeCopies(t *testing.T) {
+	buf := Bytes{}.Append(nil, []byte("hello"))
+	got, _, err := Bytes{}.Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[1] ^= 0xff // clobber the source buffer
+	if string(got) != "hello" {
+		t.Fatal("decoded bytes alias the source buffer")
+	}
+}
+
+func TestShortBuffers(t *testing.T) {
+	full := String{}.Append(nil, "variable width")
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, err := (String{}).Decode(full[:cut]); !errors.Is(err, ErrShort) {
+			t.Fatalf("cut %d: err = %v, want ErrShort", cut, err)
+		}
+	}
+	if _, _, err := (Int64{}).Decode(make([]byte, 7)); !errors.Is(err, ErrShort) {
+		t.Fatal("short fixed decode should report ErrShort")
+	}
+	if _, _, err := (Record16{}).Decode(make([]byte, record.Size-1)); !errors.Is(err, ErrShort) {
+		t.Fatal("short record decode should report ErrShort")
+	}
+}
+
+func TestCorruptLengthPrefixRejected(t *testing.T) {
+	buf := binary.AppendUvarint(nil, uint64(MaxElement)+1)
+	buf = append(buf, make([]byte, 16)...)
+	if _, _, err := (String{}).Decode(buf); err == nil || errors.Is(err, ErrShort) {
+		t.Fatalf("oversized length prefix: err = %v, want corruption error", err)
+	}
+}

@@ -3,36 +3,39 @@ package core
 import (
 	"io"
 
-	"repro/internal/record"
+	"repro/internal/stream"
 )
 
-// inputBuffer is the read-ahead FIFO of §4.2. It keeps up to cap records
-// between the source and the algorithm, maintaining the running mean (and,
-// when the Median heuristic is active, a sliding median) of its contents so
-// insertion heuristics can sample the upcoming distribution.
+// inputBuffer is the read-ahead FIFO of §4.2. It keeps up to cap elements
+// between the source and the algorithm, maintaining the running mean of the
+// key projections (when a projection exists) and, when the Median heuristic
+// is active, a sliding median of its contents so insertion heuristics can
+// sample the upcoming distribution.
 //
 // With capacity 0 the buffer degrades to a direct pass-through and the
 // statistics report "unknown".
-type inputBuffer struct {
-	src  record.Reader
-	ring []record.Record
+type inputBuffer[T any] struct {
+	src  stream.Reader[T]
+	ring []T
 	head int
 	n    int
-	sum  int64
-	med  *windowMedian
+	key  func(T) float64 // optional numeric projection; nil disables mean
+	sum  float64
+	med  *windowMedian[T]
 	seq  uint64
 	eof  bool
 }
 
 // newInputBuffer returns a FIFO of the given capacity, pre-filled from src.
-// trackMedian enables the sliding-median structure (only needed by the
-// Median heuristic).
-func newInputBuffer(src record.Reader, capacity int, trackMedian bool) (*inputBuffer, error) {
-	b := &inputBuffer{src: src}
+// key, when non-nil, enables the running mean. trackMedian enables the
+// sliding-median structure (needed by the Median heuristic and by the
+// comparator-only Mean fallback), ordered by less.
+func newInputBuffer[T any](src stream.Reader[T], capacity int, key func(T) float64, trackMedian bool, less func(a, b T) bool) (*inputBuffer[T], error) {
+	b := &inputBuffer[T]{src: src, key: key}
 	if capacity > 0 {
-		b.ring = make([]record.Record, capacity)
+		b.ring = make([]T, capacity)
 		if trackMedian {
-			b.med = newWindowMedian()
+			b.med = newWindowMedian[T](less)
 		}
 	}
 	if err := b.fill(); err != nil {
@@ -42,7 +45,7 @@ func newInputBuffer(src record.Reader, capacity int, trackMedian bool) (*inputBu
 }
 
 // fill tops the FIFO up from the source.
-func (b *inputBuffer) fill() error {
+func (b *inputBuffer[T]) fill() error {
 	for !b.eof && b.n < len(b.ring) {
 		rec, err := b.src.Read()
 		if err == io.EOF {
@@ -55,58 +58,64 @@ func (b *inputBuffer) fill() error {
 		pos := (b.head + b.n) % len(b.ring)
 		b.ring[pos] = rec
 		b.n++
-		b.sum += rec.Key
+		if b.key != nil {
+			b.sum += b.key(rec)
+		}
 		if b.med != nil {
-			b.med.Add(rec.Key, b.seq+uint64(b.n-1))
+			b.med.Add(rec, b.seq+uint64(b.n-1))
 		}
 	}
 	return nil
 }
 
-// next pops the oldest record. ok is false at end of input.
-func (b *inputBuffer) next() (record.Record, bool, error) {
+// next pops the oldest element. ok is false at end of input.
+func (b *inputBuffer[T]) next() (T, bool, error) {
+	var zero T
 	if len(b.ring) == 0 {
 		// Pass-through mode.
 		rec, err := b.src.Read()
 		if err == io.EOF {
-			return record.Record{}, false, nil
+			return zero, false, nil
 		}
 		if err != nil {
-			return record.Record{}, false, err
+			return zero, false, err
 		}
 		return rec, true, nil
 	}
 	if b.n == 0 {
-		return record.Record{}, false, nil
+		return zero, false, nil
 	}
 	rec := b.ring[b.head]
 	b.head = (b.head + 1) % len(b.ring)
 	b.n--
-	b.sum -= rec.Key
+	if b.key != nil {
+		b.sum -= b.key(rec)
+	}
 	if b.med != nil {
 		b.med.Remove(b.seq)
 	}
 	b.seq++
 	if err := b.fill(); err != nil {
-		return record.Record{}, false, err
+		return zero, false, err
 	}
 	return rec, true, nil
 }
 
-// mean returns the mean key of the buffered records; ok is false when the
-// buffer is empty or disabled.
-func (b *inputBuffer) mean() (float64, bool) {
-	if b.n == 0 {
+// mean returns the mean key projection of the buffered elements; ok is
+// false when the buffer is empty or disabled, or no projection exists.
+func (b *inputBuffer[T]) mean() (float64, bool) {
+	if b.key == nil || b.n == 0 {
 		return 0, false
 	}
-	return float64(b.sum) / float64(b.n), true
+	return b.sum / float64(b.n), true
 }
 
-// median returns the median key of the buffered records; ok is false when
+// median returns the median element of the buffer; ok is false when
 // unavailable.
-func (b *inputBuffer) median() (int64, bool) {
+func (b *inputBuffer[T]) median() (T, bool) {
 	if b.med == nil {
-		return 0, false
+		var zero T
+		return zero, false
 	}
 	return b.med.Median()
 }

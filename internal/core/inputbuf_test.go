@@ -8,7 +8,7 @@ import (
 
 func TestInputBufferPassThrough(t *testing.T) {
 	src := record.NewSliceReader(record.FromKeys(3, 1, 2))
-	b, err := newInputBuffer(src, 0, false)
+	b, err := newInputBuffer(src, 0, record.Key, false, record.Less)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +39,7 @@ func TestInputBufferPassThrough(t *testing.T) {
 
 func TestInputBufferFIFOOrder(t *testing.T) {
 	src := record.NewSliceReader(record.FromKeys(10, 20, 30, 40, 50))
-	b, err := newInputBuffer(src, 3, false)
+	b, err := newInputBuffer(src, 3, record.Key, false, record.Less)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,27 +71,27 @@ func TestInputBufferFIFOOrder(t *testing.T) {
 
 func TestInputBufferMedianTracking(t *testing.T) {
 	src := record.NewSliceReader(record.FromKeys(5, 1, 9, 3, 7))
-	b, err := newInputBuffer(src, 3, true)
+	b, err := newInputBuffer(src, 3, record.Key, true, record.Less)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Contents {5,1,9}: lower median 5.
-	if md, ok := b.median(); !ok || md != 5 {
-		t.Fatalf("median = (%d, %v), want (5, true)", md, ok)
+	if md, ok := b.median(); !ok || md.Key != 5 {
+		t.Fatalf("median = (%v, %v), want (5, true)", md, ok)
 	}
 	b.next() // consume 5; contents {1,9,3}: median 3
-	if md, _ := b.median(); md != 3 {
-		t.Fatalf("median = %d, want 3", md)
+	if md, _ := b.median(); md.Key != 3 {
+		t.Fatalf("median = %v, want 3", md)
 	}
 	b.next() // consume 1; contents {9,3,7}: median 7
-	if md, _ := b.median(); md != 7 {
-		t.Fatalf("median = %d, want 7", md)
+	if md, _ := b.median(); md.Key != 7 {
+		t.Fatalf("median = %v, want 7", md)
 	}
 }
 
 func TestInputBufferShorterThanCapacity(t *testing.T) {
 	src := record.NewSliceReader(record.FromKeys(1, 2))
-	b, err := newInputBuffer(src, 10, false)
+	b, err := newInputBuffer(src, 10, record.Key, false, record.Less)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +112,7 @@ func TestInputBufferShorterThanCapacity(t *testing.T) {
 }
 
 func TestInputBufferEmptySource(t *testing.T) {
-	b, err := newInputBuffer(record.NewSliceReader(nil), 4, true)
+	b, err := newInputBuffer(record.NewSliceReader(nil), 4, record.Key, true, record.Less)
 	if err != nil {
 		t.Fatal(err)
 	}

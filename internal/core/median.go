@@ -2,41 +2,43 @@ package core
 
 import "container/heap"
 
-// windowMedian maintains the median of a sliding window of keys in
+// windowMedian maintains the median of a sliding window of elements in
 // O(log n) amortised time per operation, supporting the Median input
 // heuristic over the input FIFO. It uses the classic two-heap scheme — a
 // max-heap `low` with the lower half and a min-heap `high` with the upper
 // half — with lazy deletion: removals mark a sequence number dead and
-// tombstones are pruned when they surface at a heap top.
-type windowMedian struct {
-	low, high medianHeap
+// tombstones are pruned when they surface at a heap top. Ordering is by a
+// caller-supplied comparator, so the structure works for any element type.
+type windowMedian[T any] struct {
+	low, high medianHeap[T]
 	side      map[uint64]int8 // seq -> which heap holds it (0 low, 1 high)
 	liveLow   int
 	liveHigh  int
 	dead      map[uint64]bool
 }
 
-type medianEntry struct {
-	key int64
+type medianEntry[T any] struct {
+	val T
 	seq uint64
 }
 
 // medianHeap is a container/heap of entries; max-heap when max is true.
-type medianHeap struct {
-	entries []medianEntry
+type medianHeap[T any] struct {
+	entries []medianEntry[T]
+	less    func(a, b T) bool
 	max     bool
 }
 
-func (h medianHeap) Len() int { return len(h.entries) }
-func (h medianHeap) Less(i, j int) bool {
+func (h medianHeap[T]) Len() int { return len(h.entries) }
+func (h medianHeap[T]) Less(i, j int) bool {
 	if h.max {
-		return h.entries[i].key > h.entries[j].key
+		return h.less(h.entries[j].val, h.entries[i].val)
 	}
-	return h.entries[i].key < h.entries[j].key
+	return h.less(h.entries[i].val, h.entries[j].val)
 }
-func (h medianHeap) Swap(i, j int)       { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
-func (h *medianHeap) Push(x interface{}) { h.entries = append(h.entries, x.(medianEntry)) }
-func (h *medianHeap) Pop() interface{} {
+func (h medianHeap[T]) Swap(i, j int)       { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
+func (h *medianHeap[T]) Push(x interface{}) { h.entries = append(h.entries, x.(medianEntry[T])) }
+func (h *medianHeap[T]) Pop() interface{} {
 	old := h.entries
 	n := len(old)
 	e := old[n-1]
@@ -44,34 +46,35 @@ func (h *medianHeap) Pop() interface{} {
 	return e
 }
 
-func newWindowMedian() *windowMedian {
-	return &windowMedian{
-		low:  medianHeap{max: true},
+func newWindowMedian[T any](less func(a, b T) bool) *windowMedian[T] {
+	return &windowMedian[T]{
+		low:  medianHeap[T]{max: true, less: less},
+		high: medianHeap[T]{less: less},
 		side: make(map[uint64]int8),
 		dead: make(map[uint64]bool),
 	}
 }
 
-// Len returns the number of live keys in the window.
-func (m *windowMedian) Len() int { return m.liveLow + m.liveHigh }
+// Len returns the number of live elements in the window.
+func (m *windowMedian[T]) Len() int { return m.liveLow + m.liveHigh }
 
-// Add inserts a key identified by a unique sequence number.
-func (m *windowMedian) Add(key int64, seq uint64) {
+// Add inserts an element identified by a unique sequence number.
+func (m *windowMedian[T]) Add(val T, seq uint64) {
 	m.pruneLow()
-	if m.liveLow == 0 || key <= m.low.entries[0].key {
-		heap.Push(&m.low, medianEntry{key, seq})
+	if m.liveLow == 0 || !m.low.less(m.low.entries[0].val, val) {
+		heap.Push(&m.low, medianEntry[T]{val, seq})
 		m.side[seq] = 0
 		m.liveLow++
 	} else {
-		heap.Push(&m.high, medianEntry{key, seq})
+		heap.Push(&m.high, medianEntry[T]{val, seq})
 		m.side[seq] = 1
 		m.liveHigh++
 	}
 	m.rebalance()
 }
 
-// Remove deletes the key previously added with seq.
-func (m *windowMedian) Remove(seq uint64) {
+// Remove deletes the element previously added with seq.
+func (m *windowMedian[T]) Remove(seq uint64) {
 	s, ok := m.side[seq]
 	if !ok {
 		return
@@ -87,19 +90,20 @@ func (m *windowMedian) Remove(seq uint64) {
 }
 
 // Median returns the lower median of the window; ok is false when empty.
-func (m *windowMedian) Median() (int64, bool) {
+func (m *windowMedian[T]) Median() (T, bool) {
 	if m.Len() == 0 {
-		return 0, false
+		var zero T
+		return zero, false
 	}
 	m.pruneLow()
-	return m.low.entries[0].key, true
+	return m.low.entries[0].val, true
 }
 
 // rebalance restores liveLow == liveHigh or liveLow == liveHigh+1.
-func (m *windowMedian) rebalance() {
+func (m *windowMedian[T]) rebalance() {
 	for m.liveLow > m.liveHigh+1 {
 		m.pruneLow()
-		e := heap.Pop(&m.low).(medianEntry)
+		e := heap.Pop(&m.low).(medianEntry[T])
 		heap.Push(&m.high, e)
 		m.side[e.seq] = 1
 		m.liveLow--
@@ -107,7 +111,7 @@ func (m *windowMedian) rebalance() {
 	}
 	for m.liveHigh > m.liveLow {
 		m.pruneHigh()
-		e := heap.Pop(&m.high).(medianEntry)
+		e := heap.Pop(&m.high).(medianEntry[T])
 		heap.Push(&m.low, e)
 		m.side[e.seq] = 0
 		m.liveHigh--
@@ -116,17 +120,17 @@ func (m *windowMedian) rebalance() {
 }
 
 // pruneLow discards tombstoned entries from the top of low.
-func (m *windowMedian) pruneLow() {
+func (m *windowMedian[T]) pruneLow() {
 	for len(m.low.entries) > 0 && m.dead[m.low.entries[0].seq] {
-		e := heap.Pop(&m.low).(medianEntry)
+		e := heap.Pop(&m.low).(medianEntry[T])
 		delete(m.dead, e.seq)
 	}
 }
 
 // pruneHigh discards tombstoned entries from the top of high.
-func (m *windowMedian) pruneHigh() {
+func (m *windowMedian[T]) pruneHigh() {
 	for len(m.high.entries) > 0 && m.dead[m.high.entries[0].seq] {
-		e := heap.Pop(&m.high).(medianEntry)
+		e := heap.Pop(&m.high).(medianEntry[T])
 		delete(m.dead, e.seq)
 	}
 }

@@ -14,7 +14,7 @@ func naiveWindowMedian(keys []int64) int64 {
 }
 
 func TestWindowMedianBasic(t *testing.T) {
-	m := newWindowMedian()
+	m := newWindowMedian[int64](func(a, b int64) bool { return a < b })
 	if _, ok := m.Median(); ok {
 		t.Fatal("empty window should have no median")
 	}
@@ -42,7 +42,7 @@ func TestWindowMedianBasic(t *testing.T) {
 func TestWindowMedianSlidingAgainstNaive(t *testing.T) {
 	const window = 31
 	rng := rand.New(rand.NewSource(9))
-	m := newWindowMedian()
+	m := newWindowMedian[int64](func(a, b int64) bool { return a < b })
 	var keys []int64
 	seq := uint64(0)
 	head := uint64(0)
@@ -67,7 +67,7 @@ func TestWindowMedianSlidingAgainstNaive(t *testing.T) {
 }
 
 func TestWindowMedianDuplicateKeys(t *testing.T) {
-	m := newWindowMedian()
+	m := newWindowMedian[int64](func(a, b int64) bool { return a < b })
 	for i := 0; i < 10; i++ {
 		m.Add(7, uint64(i))
 	}
@@ -83,7 +83,7 @@ func TestWindowMedianDuplicateKeys(t *testing.T) {
 }
 
 func TestWindowMedianRemoveUnknownSeqIsNoop(t *testing.T) {
-	m := newWindowMedian()
+	m := newWindowMedian[int64](func(a, b int64) bool { return a < b })
 	m.Add(1, 0)
 	m.Remove(99)
 	if m.Len() != 1 {
@@ -92,7 +92,7 @@ func TestWindowMedianRemoveUnknownSeqIsNoop(t *testing.T) {
 }
 
 func TestWindowMedianDrainCompletely(t *testing.T) {
-	m := newWindowMedian()
+	m := newWindowMedian[int64](func(a, b int64) bool { return a < b })
 	for i := 0; i < 5; i++ {
 		m.Add(int64(i), uint64(i))
 	}

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/codec"
 	"repro/internal/record"
 	"repro/internal/runio"
 	"repro/internal/vfs"
@@ -27,17 +28,17 @@ func TestQuickArbitraryInputsProduceValidRuns(t *testing.T) {
 			Seed:       int64(memSel),
 		}
 		fs := vfs.NewMemFS()
-		em := runio.NewEmitter(fs, "q")
+		em := runio.RecordEmitter(fs, "q")
 		em.PageSize = 64
 		em.PagesPerFile = 4
-		res, err := Generate(record.NewSliceReader(recs), em, cfg)
+		res, err := Generate(record.NewSliceReader(recs), em, cfg, record.Key)
 		if err != nil {
 			t.Logf("generate failed: %v", err)
 			return false
 		}
 		union := make(record.Multiset)
 		for _, run := range res.Runs {
-			rc, err := run.Open(fs, 512)
+			rc, err := runio.OpenRun(fs, run, 512, codec.Record16{}, record.Less)
 			if err != nil {
 				t.Logf("open failed: %v", err)
 				return false

@@ -13,7 +13,7 @@ import (
 func ratioFor(t *testing.T, recs []record.Record, cfg Config) float64 {
 	t.Helper()
 	fs := vfs.NewMemFS()
-	res, err := Generate(record.NewSliceReader(recs), runio.NewEmitter(fs, "t"), cfg)
+	res, err := Generate(record.NewSliceReader(recs), runio.RecordEmitter(fs, "t"), cfg, record.Key)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,8 +63,8 @@ func TestOverlapRunsMergeCleanly(t *testing.T) {
 	const n, m = 10000, 200
 	recs := gen.Generate(gen.Config{Kind: gen.Random, N: n, Seed: 3})
 	fs := vfs.NewMemFS()
-	res, err := Generate(record.NewSliceReader(recs), runio.NewEmitter(fs, "t"),
-		cfgFor(m, BothBuffers, 0.02, InRandom, OutRandom))
+	res, err := Generate(record.NewSliceReader(recs), runio.RecordEmitter(fs, "t"),
+		cfgFor(m, BothBuffers, 0.02, InRandom, OutRandom), record.Key)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,12 +1,13 @@
 package core
 
 import (
+	"math"
 	"math/rand"
 	"slices"
 
 	"repro/internal/heap"
-	"repro/internal/record"
 	"repro/internal/runio"
+	"repro/internal/stream"
 )
 
 // Result summarises one 2WRS run-generation pass.
@@ -33,51 +34,57 @@ func (r Result) AvgRunLength() float64 {
 	return float64(r.Records) / float64(len(r.Runs))
 }
 
-// streamRange tracks the first and last key written to a stream, used to
-// decide run concatenability at run end.
-type streamRange struct {
+// streamRange tracks the first and last element written to a stream, used
+// to decide run concatenability at run end.
+type streamRange[T any] struct {
 	set         bool
-	first, last int64
+	first, last T
 }
 
-func (r *streamRange) note(k int64) {
+func (r *streamRange[T]) note(v T) {
 	if !r.set {
-		r.first, r.set = k, true
+		r.first, r.set = v, true
 	}
-	r.last = k
+	r.last = v
 }
 
 // generator holds the full state of one 2WRS execution.
-type generator struct {
-	cfg       Config
-	em        *runio.Emitter
-	in        *inputBuffer
-	dh        *heap.DoubleHeap
+type generator[T any] struct {
+	cfg  Config
+	less func(a, b T) bool
+	// key optionally projects elements onto the real line. The numeric
+	// heuristics (Mean division point, victim gap split, MinDistance
+	// output) use it when present; comparator-only element types degrade
+	// to order-based fallbacks (buffer median, middle split, Random).
+	key       func(T) float64
+	em        *runio.Emitter[T]
+	in        *inputBuffer[T]
+	dh        *heap.DoubleHeap[T]
 	rng       *rand.Rand
 	victimCap int
 
 	currentRun int
 
 	// Stream writers, created lazily per run.
-	s1                             *runio.Writer
-	s3                             *runio.Writer
-	s2                             *runio.BackwardWriter
-	s4                             *runio.BackwardWriter
+	s1                             *runio.Writer[T]
+	s3                             *runio.Writer[T]
+	s2                             *runio.BackwardWriter[T]
+	s4                             *runio.BackwardWriter[T]
 	s1Name, s2Name, s3Name, s4Name string
-	s1R, s2R, s3R, s4R             streamRange
+	s1R, s2R, s3R, s4R             streamRange[T]
 
-	// Output frontiers of the current run: t is the last key written to
-	// stream 1 (ascending) and b the last key written to stream 4
-	// (descending). A record can join the current run through the TopHeap
-	// iff its key is ≥ t and through the BottomHeap iff its key is ≤ b,
-	// exactly the RS rule applied per direction (§4.1).
+	// Output frontiers of the current run: t is the last element written to
+	// stream 1 (ascending) and b the last written to stream 4 (descending).
+	// A record can join the current run through the TopHeap iff it is ≥ t
+	// and through the BottomHeap iff it is ≤ b, exactly the RS rule applied
+	// per direction (§4.1).
 	tSet, bSet bool
-	t, b       int64
+	t, b       T
 
 	// Victim buffer state (§4.3).
-	victim       []record.Record
+	victim       []T
 	victimActive bool
-	lo, hi       int64 // exclusive valid range once active
+	lo, hi       T // exclusive valid range once active
 
 	// Heuristic state.
 	lastInputTop  bool
@@ -85,21 +92,28 @@ type generator struct {
 	outTop        int
 	outBottom     int
 	firstOutSet   bool
-	firstOut      int64
+	firstOut      float64 // key projection of the run's first output
 	// Key range observed so far: the Mean/Median fallback division point
-	// when the input buffer is empty or absent.
+	// when the input buffer is empty or absent. Tracked only with a key
+	// projection.
 	rangeSet         bool
-	minSeen, maxSeen int64
-	// Frozen per-run division point for the Mean/Median heuristics.
+	minSeen, maxSeen float64
+	// Frozen per-run division point for the Mean heuristic: a numeric
+	// threshold when a key projection exists, otherwise a sampled division
+	// element compared with less.
 	divisionSet bool
-	division    int64
+	division    float64
+	divRecSet   bool
+	divRec      T
 
 	res Result
 }
 
 // Generate runs two-way replacement selection over src, writing runs
-// through em.
-func Generate(src record.Reader, em *runio.Emitter, cfg Config) (Result, error) {
+// through em and ordering elements with em.Less. key, when non-nil,
+// projects elements onto the real line for the numeric heuristics; pass
+// nil for comparator-only element types.
+func Generate[T any](src stream.Reader[T], em *runio.Emitter[T], cfg Config, key func(T) float64) (Result, error) {
 	inputCap, victimCap, arena, err := cfg.sizes()
 	if err != nil {
 		return Result{}, err
@@ -110,20 +124,24 @@ func Generate(src record.Reader, em *runio.Emitter, cfg Config) (Result, error) 
 		// the same observation about the 0.02% configurations).
 		victimCap = 0
 	}
-	in, err := newInputBuffer(src, inputCap, cfg.Input == InMedian)
+	less := em.Less
+	trackMedian := cfg.Input == InMedian || (cfg.Input == InMean && key == nil)
+	in, err := newInputBuffer(src, inputCap, key, trackMedian, less)
 	if err != nil {
 		return Result{}, err
 	}
-	g := &generator{
+	g := &generator[T]{
 		cfg:       cfg,
+		less:      less,
+		key:       key,
 		em:        em,
 		in:        in,
-		dh:        heap.NewDouble(arena),
+		dh:        heap.NewDouble(arena, less),
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		victimCap: victimCap,
 	}
 	if victimCap > 0 {
-		g.victim = make([]record.Record, 0, victimCap)
+		g.victim = make([]T, 0, victimCap)
 	}
 
 	// Fill phase (doubleHeap.fill in Algorithm 2): both heaps are eligible
@@ -150,7 +168,7 @@ func Generate(src record.Reader, em *runio.Emitter, cfg Config) (Result, error) 
 			}
 			continue
 		}
-		var it heap.Item
+		var it heap.Item[T]
 		if fromTop {
 			it = g.dh.PopTop()
 		} else {
@@ -171,7 +189,7 @@ func Generate(src record.Reader, em *runio.Emitter, cfg Config) (Result, error) 
 
 // chooseOutputSide picks the heap to release the next record from. ok is
 // false when neither heap has a current-run record on top.
-func (g *generator) chooseOutputSide() (fromTop, ok bool) {
+func (g *generator[T]) chooseOutputSide() (fromTop, ok bool) {
 	topOK := g.dh.LenTop() > 0 && g.dh.PeekTop().Run == g.currentRun
 	botOK := g.dh.LenBottom() > 0 && g.dh.PeekBottom().Run == g.currentRun
 	switch {
@@ -197,30 +215,28 @@ func (g *generator) chooseOutputSide() (fromTop, ok bool) {
 		// Keep the heaps level by draining the larger one.
 		return g.dh.LenTop() >= g.dh.LenBottom(), true
 	case OutMinDistance:
-		if !g.firstOutSet {
+		// Distance needs a numeric projection; without one the heuristic
+		// degrades to Random.
+		if g.key == nil || !g.firstOutSet {
 			return g.rng.Intn(2) == 0, true
 		}
-		dTop := absDiff(g.dh.PeekTop().Rec.Key, g.firstOut)
-		dBot := absDiff(g.dh.PeekBottom().Rec.Key, g.firstOut)
+		dTop := math.Abs(g.key(g.dh.PeekTop().Rec) - g.firstOut)
+		dBot := math.Abs(g.key(g.dh.PeekBottom().Rec) - g.firstOut)
 		return dTop <= dBot, true
 	default:
 		return true, true
 	}
 }
 
-func absDiff(a, b int64) int64 {
-	if a > b {
-		return a - b
-	}
-	return b - a
-}
-
 // route releases a popped record: to the victim buffer during the initial
 // collection phase, otherwise directly to the releasing heap's stream
 // (Figure 4.1: TopHeap → stream 1, BottomHeap → stream 4).
-func (g *generator) route(v record.Record, fromTop bool) error {
+func (g *generator[T]) route(v T, fromTop bool) error {
 	if !g.firstOutSet {
-		g.firstOut, g.firstOutSet = v.Key, true
+		g.firstOutSet = true
+		if g.key != nil {
+			g.firstOut = g.key(v)
+		}
 	}
 	g.countOut(fromTop)
 	// Initial victim phase: the first victimCap outputs of the run collect
@@ -230,9 +246,9 @@ func (g *generator) route(v record.Record, fromTop bool) error {
 	// later input records must not slip past it into the same heap.
 	if g.victimCap > 0 && !g.victimActive {
 		if fromTop {
-			g.t, g.tSet = v.Key, true
+			g.t, g.tSet = v, true
 		} else {
-			g.b, g.bSet = v.Key, true
+			g.b, g.bSet = v, true
 		}
 		g.victim = append(g.victim, v)
 		if len(g.victim) == g.victimCap {
@@ -251,7 +267,7 @@ func (g *generator) route(v record.Record, fromTop bool) error {
 	return g.writeS4(v)
 }
 
-func (g *generator) countOut(fromTop bool) {
+func (g *generator[T]) countOut(fromTop bool) {
 	if fromTop {
 		g.outTop++
 	} else {
@@ -262,13 +278,13 @@ func (g *generator) countOut(fromTop bool) {
 // consumeInput moves one record (or, while the victim buffer keeps fitting,
 // several) from the input into the memory structures, mirroring the inner
 // while-loop of Algorithm 2.
-func (g *generator) consumeInput() error {
+func (g *generator[T]) consumeInput() error {
 	rec, ok, err := g.in.next()
 	if err != nil || !ok {
 		return err
 	}
 	g.res.Records++
-	for g.victimActive && rec.Key > g.lo && rec.Key < g.hi {
+	for g.victimActive && g.less(g.lo, rec) && g.less(rec, g.hi) {
 		if err := g.victimAdd(rec); err != nil {
 			return err
 		}
@@ -284,19 +300,22 @@ func (g *generator) consumeInput() error {
 
 // insertInput places an input record in one of the heaps, tagged with the
 // run it can still join.
-func (g *generator) insertInput(rec record.Record) {
-	if !g.rangeSet {
-		g.minSeen, g.maxSeen, g.rangeSet = rec.Key, rec.Key, true
-	} else {
-		if rec.Key < g.minSeen {
-			g.minSeen = rec.Key
-		}
-		if rec.Key > g.maxSeen {
-			g.maxSeen = rec.Key
+func (g *generator[T]) insertInput(rec T) {
+	if g.key != nil {
+		k := g.key(rec)
+		if !g.rangeSet {
+			g.minSeen, g.maxSeen, g.rangeSet = k, k, true
+		} else {
+			if k < g.minSeen {
+				g.minSeen = k
+			}
+			if k > g.maxSeen {
+				g.maxSeen = k
+			}
 		}
 	}
-	topElig := !g.tSet || rec.Key >= g.t
-	botElig := !g.bSet || rec.Key <= g.b
+	topElig := !g.tSet || !g.less(rec, g.t)
+	botElig := !g.bSet || !g.less(g.b, rec)
 	run := g.currentRun
 	var toTop bool
 	switch {
@@ -317,7 +336,7 @@ func (g *generator) insertInput(rec record.Record) {
 		run = g.currentRun + 1
 		toTop = g.chooseInsertSide(rec)
 	}
-	it := heap.Item{Rec: rec, Run: run}
+	it := heap.Item[T]{Rec: rec, Run: run}
 	if toTop {
 		g.dh.PushTop(it)
 	} else {
@@ -326,7 +345,7 @@ func (g *generator) insertInput(rec record.Record) {
 }
 
 // chooseInsertSide applies the input heuristic (§4.2); true means TopHeap.
-func (g *generator) chooseInsertSide(rec record.Record) bool {
+func (g *generator[T]) chooseInsertSide(rec T) bool {
 	switch g.cfg.Input {
 	case InRandom:
 		return g.rng.Intn(2) == 0
@@ -339,24 +358,35 @@ func (g *generator) chooseInsertSide(rec record.Record) bool {
 		// record" that "marks a division" between the heaps. Freezing it
 		// keeps the four stream ranges disjoint (concatenable runs);
 		// re-sampling per record would wobble the boundary and overlap
-		// them.
-		if g.divisionSet {
-			return rec.Key > g.division
-		}
-		if m, ok := g.in.mean(); ok {
-			g.division, g.divisionSet = int64(m), true
-			return rec.Key > g.division
-		}
-		if g.rangeSet {
-			g.division, g.divisionSet = g.minSeen+(g.maxSeen-g.minSeen)/2, true
-			return rec.Key > g.division
+		// them. Without a key projection the frozen sample is the input
+		// buffer's median element instead of its numeric mean.
+		if g.key != nil {
+			if g.divisionSet {
+				return g.key(rec) > g.division
+			}
+			if m, ok := g.in.mean(); ok {
+				g.division, g.divisionSet = m, true
+				return g.key(rec) > g.division
+			}
+			if g.rangeSet {
+				g.division, g.divisionSet = g.minSeen+(g.maxSeen-g.minSeen)/2, true
+				return g.key(rec) > g.division
+			}
+		} else {
+			if g.divRecSet {
+				return g.less(g.divRec, rec)
+			}
+			if md, ok := g.in.median(); ok {
+				g.divRec, g.divRecSet = md, true
+				return g.less(g.divRec, rec)
+			}
 		}
 	case InMedian:
 		// The median tracks the input buffer dynamically: on bimodal
 		// inputs (the mixed datasets) a frozen median would sit at a
 		// cluster edge rather than between the trends.
 		if md, ok := g.in.median(); ok {
-			return rec.Key > md
+			return g.less(md, rec)
 		}
 	case InUseful:
 		uTop := float64(g.outTop) / float64(max(1, g.dh.LenTop()))
@@ -370,8 +400,9 @@ func (g *generator) chooseInsertSide(rec record.Record) bool {
 	// Mean/Median with an empty or disabled input buffer fall back to the
 	// midpoint of the key range seen so far — a free O(1) estimate of the
 	// division point that keeps them sensible in the victim-only setup.
-	if g.rangeSet {
-		return rec.Key > g.minSeen+(g.maxSeen-g.minSeen)/2
+	// Comparator-only element types alternate instead.
+	if g.key != nil && g.rangeSet {
+		return g.key(rec) > g.minSeen+(g.maxSeen-g.minSeen)/2
 	}
 	g.lastInputTop = !g.lastInputTop
 	return g.lastInputTop
@@ -379,7 +410,7 @@ func (g *generator) chooseInsertSide(rec record.Record) bool {
 
 // victimAdd stores an input record in the (active) victim buffer, flushing
 // when full.
-func (g *generator) victimAdd(rec record.Record) error {
+func (g *generator[T]) victimAdd(rec T) error {
 	g.victim = append(g.victim, rec)
 	if len(g.victim) == g.victimCap {
 		g.sortVictim()
@@ -392,16 +423,29 @@ func (g *generator) victimAdd(rec record.Record) error {
 }
 
 // sortVictim orders the victim contents ascending.
-func (g *generator) sortVictim() {
-	slices.SortFunc(g.victim, record.Compare)
+func (g *generator[T]) sortVictim() {
+	slices.SortFunc(g.victim, func(a, b T) int {
+		switch {
+		case g.less(a, b):
+			return -1
+		case g.less(b, a):
+			return 1
+		default:
+			return 0
+		}
+	})
 }
 
-// largestGapIndex returns i maximising victim[i].Key - victim[i-1].Key over
-// the sorted victim contents.
-func (g *generator) largestGapIndex() int {
-	best, bestGap := 1, int64(-1)
+// largestGapIndex returns i maximising the key gap between victim[i] and
+// victim[i-1] over the sorted victim contents. Without a key projection it
+// splits in the middle, which keeps the two extra streams balanced.
+func (g *generator[T]) largestGapIndex() int {
+	if g.key == nil {
+		return len(g.victim) / 2
+	}
+	best, bestGap := 1, math.Inf(-1)
 	for i := 1; i < len(g.victim); i++ {
-		if gap := g.victim[i].Key - g.victim[i-1].Key; gap > bestGap {
+		if gap := g.key(g.victim[i]) - g.key(g.victim[i-1]); gap > bestGap {
 			best, bestGap = i, gap
 		}
 	}
@@ -411,7 +455,7 @@ func (g *generator) largestGapIndex() int {
 // flushVictimParts writes victim[:cut] to stream 3 ascending and
 // victim[cut:] to stream 2 descending, then sets the valid range to the gap
 // between them and empties the buffer (§4.3).
-func (g *generator) flushVictimParts(cut int) error {
+func (g *generator[T]) flushVictimParts(cut int) error {
 	for _, r := range g.victim[:cut] {
 		if err := g.writeS3(r); err != nil {
 			return err
@@ -423,10 +467,10 @@ func (g *generator) flushVictimParts(cut int) error {
 		}
 	}
 	if cut > 0 {
-		g.lo = g.victim[cut-1].Key
+		g.lo = g.victim[cut-1]
 	}
 	if cut < len(g.victim) {
-		g.hi = g.victim[cut].Key
+		g.hi = g.victim[cut]
 	} else {
 		g.hi = g.lo
 	}
@@ -437,12 +481,12 @@ func (g *generator) flushVictimParts(cut int) error {
 // concatenable reports whether the four stream ranges are pairwise disjoint
 // in concatenation order (4, 3, 2, 1), i.e. whether reading the streams back
 // to back yields one sorted run.
-func (g *generator) concatenable() bool {
+func (g *generator[T]) concatenable() bool {
 	// Per-stream (min, max) in concatenation order. Descending streams were
-	// written largest-first, so their first key is the max.
+	// written largest-first, so their first element is the max.
 	type mm struct {
 		set      bool
-		min, max int64
+		min, max T
 	}
 	chain := []mm{
 		{g.s4R.set, g.s4R.last, g.s4R.first},
@@ -451,12 +495,12 @@ func (g *generator) concatenable() bool {
 		{g.s1R.set, g.s1R.first, g.s1R.last},
 	}
 	prevSet := false
-	var prevMax int64
+	var prevMax T
 	for _, c := range chain {
 		if !c.set {
 			continue
 		}
-		if prevSet && c.min < prevMax {
+		if prevSet && g.less(c.min, prevMax) {
 			return false
 		}
 		prevMax, prevSet = c.max, true
@@ -466,7 +510,7 @@ func (g *generator) concatenable() bool {
 
 // endRun flushes the victim buffer, closes the four stream writers, records
 // the run manifest and resets all per-run state.
-func (g *generator) endRun() error {
+func (g *generator[T]) endRun() error {
 	if len(g.victim) > 0 {
 		g.sortVictim()
 		if !g.victimActive && len(g.victim) >= 2 {
@@ -528,13 +572,14 @@ func (g *generator) endRun() error {
 	}
 
 	g.s1, g.s2, g.s3, g.s4 = nil, nil, nil, nil
-	g.s1R, g.s2R, g.s3R, g.s4R = streamRange{}, streamRange{}, streamRange{}, streamRange{}
+	g.s1R, g.s2R, g.s3R, g.s4R = streamRange[T]{}, streamRange[T]{}, streamRange[T]{}, streamRange[T]{}
 	g.currentRun++
 	g.tSet, g.bSet = false, false
 	g.victimActive = false
 	g.outTop, g.outBottom = 0, 0
 	g.firstOutSet = false
 	g.divisionSet = false
+	g.divRecSet = false
 
 	if g.cfg.Input == InBalancing {
 		g.rebalanceHeaps()
@@ -544,7 +589,7 @@ func (g *generator) endRun() error {
 
 // rebalanceHeaps levels the two heap sizes at the start of a run, as the
 // Balancing input heuristic prescribes (§4.2).
-func (g *generator) rebalanceHeaps() {
+func (g *generator[T]) rebalanceHeaps() {
 	for g.dh.LenTop() > g.dh.LenBottom()+1 {
 		g.dh.PushBottom(g.dh.PopTop())
 	}
@@ -555,7 +600,7 @@ func (g *generator) rebalanceHeaps() {
 
 // Stream write helpers.
 
-func (g *generator) writeS1(v record.Record) error {
+func (g *generator[T]) writeS1(v T) error {
 	if g.s1 == nil {
 		name, w, err := g.em.Forward("s1")
 		if err != nil {
@@ -566,12 +611,12 @@ func (g *generator) writeS1(v record.Record) error {
 	if err := g.s1.Write(v); err != nil {
 		return err
 	}
-	g.t, g.tSet = v.Key, true
-	g.s1R.note(v.Key)
+	g.t, g.tSet = v, true
+	g.s1R.note(v)
 	return nil
 }
 
-func (g *generator) writeS4(v record.Record) error {
+func (g *generator[T]) writeS4(v T) error {
 	if g.s4 == nil {
 		name, w, err := g.em.Backward("s4")
 		if err != nil {
@@ -582,12 +627,12 @@ func (g *generator) writeS4(v record.Record) error {
 	if err := g.s4.Write(v); err != nil {
 		return err
 	}
-	g.b, g.bSet = v.Key, true
-	g.s4R.note(v.Key)
+	g.b, g.bSet = v, true
+	g.s4R.note(v)
 	return nil
 }
 
-func (g *generator) writeS3(v record.Record) error {
+func (g *generator[T]) writeS3(v T) error {
 	if g.s3 == nil {
 		name, w, err := g.em.Forward("s3")
 		if err != nil {
@@ -598,11 +643,11 @@ func (g *generator) writeS3(v record.Record) error {
 	if err := g.s3.Write(v); err != nil {
 		return err
 	}
-	g.s3R.note(v.Key)
+	g.s3R.note(v)
 	return nil
 }
 
-func (g *generator) writeS2(v record.Record) error {
+func (g *generator[T]) writeS2(v T) error {
 	if g.s2 == nil {
 		name, w, err := g.em.Backward("s2")
 		if err != nil {
@@ -613,6 +658,6 @@ func (g *generator) writeS2(v record.Record) error {
 	if err := g.s2.Write(v); err != nil {
 		return err
 	}
-	g.s2R.note(v.Key)
+	g.s2R.note(v)
 	return nil
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"repro/internal/codec"
 	"repro/internal/gen"
 	"repro/internal/record"
 	"repro/internal/rs"
@@ -15,10 +16,10 @@ import (
 func runTWRS(t *testing.T, recs []record.Record, cfg Config) (Result, vfs.FS) {
 	t.Helper()
 	fs := vfs.NewMemFS()
-	em := runio.NewEmitter(fs, "t")
+	em := runio.RecordEmitter(fs, "t")
 	em.PageSize = 64
 	em.PagesPerFile = 8
-	res, err := Generate(record.NewSliceReader(recs), em, cfg)
+	res, err := Generate(record.NewSliceReader(recs), em, cfg, record.Key)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +34,7 @@ func verifyRuns(t *testing.T, fs vfs.FS, runs []runio.Run, input []record.Record
 	union := make(record.Multiset)
 	var total int64
 	for i, run := range runs {
-		r, err := run.Open(fs, 4096)
+		r, err := runio.OpenRun(fs, run, 4096, codec.Record16{}, record.Less)
 		if err != nil {
 			t.Fatalf("run %d: %v", i, err)
 		}
@@ -56,7 +57,7 @@ func verifyRuns(t *testing.T, fs vfs.FS, runs []runio.Run, input []record.Record
 		}
 		// Each individual stream must also be sorted on its own.
 		for j, in := range run.Inputs() {
-			rc, err := in.Open(fs, 1024)
+			rc, err := runio.OpenRun(fs, in, 1024, codec.Record16{}, record.Less)
 			if err != nil {
 				t.Fatalf("run %d input %d: %v", i, j, err)
 			}
@@ -112,7 +113,7 @@ func TestTheorem3And4RSvs2WRSOnReverse(t *testing.T) {
 	recs := gen.Generate(gen.Config{Kind: gen.ReverseSorted, N: n})
 
 	fs := vfs.NewMemFS()
-	rsRes, err := rs.Generate(record.NewSliceReader(recs), runio.NewEmitter(fs, "rs"), m)
+	rsRes, err := rs.Generate(record.NewSliceReader(recs), runio.RecordEmitter(fs, "rs"), m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestTheorem6AlternatingRunsOfSectionLength(t *testing.T) {
 	}
 	// And it must beat RS by a wide margin (RS ≈ n/(2m) runs here).
 	fs2 := vfs.NewMemFS()
-	rsRes, err := rs.Generate(record.NewSliceReader(recs), runio.NewEmitter(fs2, "rs"), 200)
+	rsRes, err := rs.Generate(record.NewSliceReader(recs), runio.RecordEmitter(fs2, "rs"), 200)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ func TestTheorem7TopOnlyEqualsRS(t *testing.T) {
 	for _, kind := range gen.Kinds {
 		recs := gen.Generate(gen.Config{Kind: kind, N: 3000, Seed: 3, Noise: 500})
 		fs := vfs.NewMemFS()
-		rsRes, err := rs.Generate(record.NewSliceReader(recs), runio.NewEmitter(fs, "rs"), 128)
+		rsRes, err := rs.Generate(record.NewSliceReader(recs), runio.RecordEmitter(fs, "rs"), 128)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -195,7 +196,7 @@ func TestMixedBalancedLongRuns(t *testing.T) {
 	}
 	// RS gets ≈ n/(2m) = 20 runs on the same input.
 	fs2 := vfs.NewMemFS()
-	rsRes, _ := rs.Generate(record.NewSliceReader(recs), runio.NewEmitter(fs2, "rs"), m)
+	rsRes, _ := rs.Generate(record.NewSliceReader(recs), runio.RecordEmitter(fs2, "rs"), m)
 	if len(rsRes.Runs) < 3*len(res.Runs) {
 		t.Fatalf("2WRS (%d runs) should beat RS (%d runs) by ≥3× on mixed input",
 			len(res.Runs), len(rsRes.Runs))
@@ -385,8 +386,8 @@ func TestParseHeuristics(t *testing.T) {
 }
 
 func TestInvalidMemoryRejected(t *testing.T) {
-	_, err := Generate(record.NewSliceReader(nil), runio.NewEmitter(vfs.NewMemFS(), "t"),
-		Config{Memory: 0})
+	_, err := Generate(record.NewSliceReader(nil), runio.RecordEmitter(vfs.NewMemFS(), "t"),
+		Config{Memory: 0}, record.Key)
 	if err == nil {
 		t.Fatal("memory 0 should be rejected")
 	}

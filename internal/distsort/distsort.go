@@ -13,6 +13,7 @@ import (
 	"io"
 	"sort"
 
+	"repro/internal/codec"
 	"repro/internal/heap"
 	"repro/internal/record"
 	"repro/internal/runio"
@@ -137,7 +138,7 @@ func sortStream(src record.Reader, dst record.Writer, fs vfs.FS, namer *runio.Na
 	for len(sample) < cfg.Memory {
 		rec, err := src.Read()
 		if err == io.EOF {
-			heap.Sort(sample)
+			heap.Sort(sample, record.Less)
 			if depth == 0 {
 				stats.Records += int64(len(sample))
 			}
@@ -153,7 +154,7 @@ func sortStream(src record.Reader, dst record.Writer, fs vfs.FS, namer *runio.Na
 	// the sampled prefix, then distribute the prefix and the rest.
 	stats.Partitions++
 	sorted := append([]record.Record(nil), sample...)
-	heap.Sort(sorted)
+	heap.Sort(sorted, record.Less)
 	nb := cfg.Buckets
 	// Candidate bounds: sample quantiles, deduplicated and strictly
 	// increasing (duplicated keys collapse quantiles). bucket i holds keys
@@ -226,7 +227,7 @@ func sortStream(src record.Reader, dst record.Writer, fs vfs.FS, namer *runio.Na
 			}
 			continue
 		}
-		rc, err := runio.NewReader(fs, b.name, 1<<16)
+		rc, err := runio.NewReader(fs, b.name, 1<<16, codec.Record16{})
 		if err != nil {
 			return err
 		}
@@ -245,7 +246,7 @@ func sortStream(src record.Reader, dst record.Writer, fs vfs.FS, namer *runio.Na
 				rc.Close()
 				return err
 			}
-			heap.Sort(recs)
+			heap.Sort(recs, record.Less)
 			if err := record.WriteAll(dst, recs); err != nil {
 				rc.Close()
 				return err

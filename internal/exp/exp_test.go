@@ -182,6 +182,9 @@ func TestFactorialAndANOVAModels(t *testing.T) {
 }
 
 func TestFig61FanInUShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping benchmark-scale experiment in -short mode")
+	}
 	pts, err := Fig61FanIn(Tiny())
 	if err != nil {
 		t.Fatal(err)

@@ -6,6 +6,7 @@ import (
 	"repro/internal/anova"
 	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/record"
 	"repro/internal/runio"
 	"repro/internal/vfs"
 )
@@ -87,9 +88,9 @@ func RunFactorial(p Params, kinds []gen.Kind, progress func(string)) (*Factorial
 // countRuns executes one 2WRS configuration and returns the number of runs.
 func countRuns(kind gen.Kind, p Params, cfg core.Config, seed int64) (int, error) {
 	fs := vfs.NewMemFS()
-	em := runio.NewEmitter(fs, "f")
+	em := runio.RecordEmitter(fs, "f")
 	src := gen.New(gen.Config{Kind: kind, N: p.Input, Seed: seed, Noise: 1000, Sections: p.Sections()})
-	res, err := core.Generate(src, em, cfg)
+	res, err := core.Generate(src, em, cfg, record.Key)
 	if err != nil {
 		return 0, err
 	}

@@ -98,4 +98,4 @@ func RenderPolyphase(steps []merge.PolyphaseStep) string {
 
 // sortRecords sorts a record slice ascending by key using the library's own
 // heapsort substrate.
-func sortRecords(recs []record.Record) { heap.Sort(recs) }
+func sortRecords(recs []record.Record) { heap.Sort(recs, record.Less) }

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/record"
@@ -45,7 +46,7 @@ func Table513(p Params) ([]RunLengthRow, error) {
 		gcfg := gen.Config{Kind: kind, N: p.Input, Seed: 1, Noise: 1000, Sections: p.Sections()}
 		// Column 0: classic RS.
 		fs := vfs.NewMemFS()
-		res, err := rs.Generate(gen.New(gcfg), runio.NewEmitter(fs, "rs"), p.Memory)
+		res, err := rs.Generate(gen.New(gcfg), runio.RecordEmitter(fs, "rs"), p.Memory)
 		if err != nil {
 			return nil, err
 		}
@@ -54,7 +55,7 @@ func Table513(p Params) ([]RunLengthRow, error) {
 		// Columns 1-3: the three 2WRS configurations.
 		for i, cfg := range table513Configs(p.Memory) {
 			fs := vfs.NewMemFS()
-			tw, err := core.Generate(gen.New(gcfg), runio.NewEmitter(fs, "tw"), cfg)
+			tw, err := core.Generate(gen.New(gcfg), runio.RecordEmitter(fs, "tw"), cfg, record.Key)
 			if err != nil {
 				return nil, err
 			}
@@ -94,10 +95,10 @@ func Fig54BufferSweep(p Params) ([]BufferSweepPoint, error) {
 	for _, frac := range []float64{0.0002, 0.002, 0.02, 0.05, 0.1, 0.2} {
 		fs := vfs.NewMemFS()
 		src := gen.New(gen.Config{Kind: gen.Random, N: p.Input, Seed: 1, Noise: 1000})
-		res, err := core.Generate(src, runio.NewEmitter(fs, "b"), core.Config{
+		res, err := core.Generate(src, runio.RecordEmitter(fs, "b"), core.Config{
 			Memory: p.Memory, Setup: core.BothBuffers, BufferFrac: frac,
 			Input: core.InMean, Output: core.OutRandom, Seed: 1,
-		})
+		}, record.Key)
 		if err != nil {
 			return nil, err
 		}
@@ -114,7 +115,7 @@ func Fig54BufferSweep(p Params) ([]BufferSweepPoint, error) {
 func verifySorted(fs vfs.FS, runs []runio.Run) (bool, error) {
 	for _, run := range runs {
 		for _, in := range run.Inputs() {
-			rc, err := in.Open(fs, 1<<16)
+			rc, err := runio.OpenRun(fs, in, 1<<16, codec.Record16{}, record.Less)
 			if err != nil {
 				return false, err
 			}

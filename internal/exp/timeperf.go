@@ -47,7 +47,7 @@ func timedSort(kind gen.Kind, n, memory, sections int, alg extsort.Algorithm) (r
 	cfg.Algorithm = alg
 	cfg.Clock = disk.Elapsed
 	src := gen.New(gen.Config{Kind: kind, N: n, Seed: 1, Noise: 1000, Sections: sections})
-	stats, err := extsort.Sort(src, discardWriter{}, fs, cfg)
+	stats, err := extsort.Sort[record.Record](src, discardWriter{}, fs, cfg, extsort.RecordOps())
 	if err != nil {
 		return 0, 0, err
 	}
@@ -186,7 +186,7 @@ func Fig61FanIn(p Params) ([]FanInPoint, error) {
 	for _, fanIn := range []int{2, 3, 4, 6, 8, 10, 12, 14, 16, 18} {
 		disk := iosim.NewDisk(iosim.Defaults2010())
 		fs := iosim.NewFS(vfs.NewMemFS(), disk)
-		em := runio.NewEmitter(fs, "fan")
+		em := runio.RecordEmitter(fs, "fan")
 		runs, err := makeSortedRuns(fs, em, p.FanInRuns, p.FanInRunRecords)
 		if err != nil {
 			return nil, err
@@ -217,7 +217,7 @@ func BestFanIn(pts []FanInPoint) int {
 
 // makeSortedRuns writes n runs of `length` uniformly distributed sorted
 // records each.
-func makeSortedRuns(fs vfs.FS, em *runio.Emitter, n, length int) ([]runio.Run, error) {
+func makeSortedRuns(fs vfs.FS, em *runio.Emitter[record.Record], n, length int) ([]runio.Run, error) {
 	var runs []runio.Run
 	for i := 0; i < n; i++ {
 		g := gen.New(gen.Config{Kind: gen.Random, N: length, Seed: int64(i + 1)})

@@ -1,5 +1,8 @@
 // Package extsort ties run generation and the merge phase into a complete
-// external sort, the end-to-end system the paper's Chapter 6 measures.
+// external sort, the end-to-end system the paper's Chapter 6 measures. The
+// driver is generic over the element type: an Ops bundle supplies the
+// comparator, the storage codec and (optionally) a numeric key projection
+// for the 2WRS heuristics.
 package extsort
 
 import (
@@ -7,11 +10,13 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/merge"
 	"repro/internal/record"
 	"repro/internal/rs"
 	"repro/internal/runio"
+	"repro/internal/stream"
 	"repro/internal/vfs"
 )
 
@@ -49,6 +54,48 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 		}
 	}
 	return 0, fmt.Errorf("extsort: unknown algorithm %q (want 2wrs, rs or lss)", s)
+}
+
+// Ops bundles the element-type-specific hooks a sort needs.
+type Ops[T any] struct {
+	// Less orders elements; required.
+	Less func(a, b T) bool
+	// Codec stores elements in run files; required.
+	Codec codec.Codec[T]
+	// Key optionally projects elements onto the real line for the numeric
+	// 2WRS heuristics; nil selects comparator-only fallbacks.
+	Key func(T) float64
+	// ElementBytes estimates the stored size of one element for converting
+	// the record-denominated memory budget into merge buffer bytes. 0 uses
+	// Codec.FixedSize, falling back to 32 for variable-width codecs.
+	ElementBytes int
+}
+
+func (o Ops[T]) validate() error {
+	if o.Less == nil {
+		return fmt.Errorf("extsort: Ops.Less must be set")
+	}
+	if o.Codec == nil {
+		return fmt.Errorf("extsort: Ops.Codec must be set")
+	}
+	return nil
+}
+
+// elementBytes resolves the per-element size estimate.
+func (o Ops[T]) elementBytes() int {
+	if o.ElementBytes > 0 {
+		return o.ElementBytes
+	}
+	if f := o.Codec.FixedSize(); f > 0 {
+		return f
+	}
+	return 32
+}
+
+// RecordOps returns the Ops for the historical fixed 16-byte Record
+// streams, the instantiation every legacy caller uses.
+func RecordOps() Ops[record.Record] {
+	return Ops[record.Record]{Less: record.Less, Codec: codec.Record16{}, Key: record.Key}
 }
 
 // Config parameterises a complete external sort.
@@ -132,14 +179,18 @@ func (s Stats) TotalWall() time.Duration { return s.RunGenWall + s.MergeWall }
 // TotalSim returns the end-to-end simulated duration.
 func (s Stats) TotalSim() time.Duration { return s.RunGenSim + s.MergeSim }
 
-// Sort reads all records from src, sorts them externally using temporary
-// files on fs, and writes the sorted stream to dst.
-func Sort(src record.Reader, dst record.Writer, fs vfs.FS, cfg Config) (Stats, error) {
+// Sort reads all elements from src, sorts them externally using temporary
+// files on fs, and writes the sorted stream to dst. Ordering, storage and
+// heuristics come from ops.
+func Sort[T any](src stream.Reader[T], dst stream.Writer[T], fs vfs.FS, cfg Config, ops Ops[T]) (Stats, error) {
 	cfg = cfg.withDefaults()
+	if err := ops.validate(); err != nil {
+		return Stats{}, err
+	}
 	if cfg.Memory <= 0 {
 		return Stats{}, fmt.Errorf("extsort: memory must be positive, got %d", cfg.Memory)
 	}
-	em := runio.NewEmitter(fs, cfg.Prefix)
+	em := runio.NewEmitter(fs, cfg.Prefix, ops.Codec, ops.Less)
 	em.PageSize = cfg.PageSize
 	em.PagesPerFile = cfg.PagesPerFile
 
@@ -166,7 +217,7 @@ func Sort(src record.Reader, dst record.Writer, fs vfs.FS, cfg Config) (Stats, e
 		}
 		runs, stats.Records = res.Runs, res.Records
 	case TwoWayRS:
-		res, err := core.Generate(src, em, cfg.TWRS)
+		res, err := core.Generate(src, em, cfg.TWRS, ops.Key)
 		if err != nil {
 			return stats, err
 		}
@@ -182,12 +233,12 @@ func Sort(src record.Reader, dst record.Writer, fs vfs.FS, cfg Config) (Stats, e
 	stats.RunGenWall = time.Since(wallStart)
 	stats.RunGenSim = clock() - simStart
 
-	// Every run — concatenable or not — is one merge input: runio.Run.Open
+	// Every run — concatenable or not — is one merge input: runio.OpenRun
 	// interleaves overlapping streams on the fly.
 	simStart, wallStart = clock(), time.Now()
 	ms, err := merge.Merge(fs, em, runs, dst, merge.Config{
 		FanIn:       cfg.FanIn,
-		MemoryBytes: cfg.Memory * record.Size,
+		MemoryBytes: cfg.Memory * ops.elementBytes(),
 		Engine:      cfg.Engine,
 	})
 	if err != nil {
@@ -201,10 +252,10 @@ func Sort(src record.Reader, dst record.Writer, fs vfs.FS, cfg Config) (Stats, e
 	return stats, nil
 }
 
-// SortSlice sorts records in memory-bounded fashion through a MemFS and
+// SortSlice sorts elements in memory-bounded fashion through a MemFS and
 // returns a new sorted slice; a convenience for tests and examples.
-func SortSlice(recs []record.Record, cfg Config) ([]record.Record, Stats, error) {
-	var out record.SliceWriter
-	stats, err := Sort(record.NewSliceReader(recs), &out, vfs.NewMemFS(), cfg)
-	return out.Recs, stats, err
+func SortSlice[T any](vals []T, cfg Config, ops Ops[T]) ([]T, Stats, error) {
+	var out stream.SliceWriter[T]
+	stats, err := Sort[T](stream.NewSliceReader(vals), &out, vfs.NewMemFS(), cfg, ops)
+	return out.Vals, stats, err
 }

@@ -14,7 +14,7 @@ import (
 
 func sortAndCheck(t *testing.T, recs []record.Record, cfg Config) Stats {
 	t.Helper()
-	out, stats, err := SortSlice(recs, cfg)
+	out, stats, err := SortSlice(recs, cfg, RecordOps())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,10 +78,10 @@ func TestSortSingleRecord(t *testing.T) {
 }
 
 func TestSortRejectsBadConfig(t *testing.T) {
-	if _, _, err := SortSlice(nil, Config{Memory: 0}); err == nil {
+	if _, _, err := SortSlice[record.Record](nil, Config{Memory: 0}, RecordOps()); err == nil {
 		t.Fatal("memory 0 should fail")
 	}
-	if _, _, err := SortSlice(nil, Config{Memory: 100, Algorithm: Algorithm(42)}); err == nil {
+	if _, _, err := SortSlice[record.Record](nil, Config{Memory: 100, Algorithm: Algorithm(42)}, RecordOps()); err == nil {
 		t.Fatal("unknown algorithm should fail")
 	}
 }
@@ -90,7 +90,7 @@ func TestSortCleansUpTempFiles(t *testing.T) {
 	recs := gen.Generate(gen.Config{Kind: gen.Random, N: 5000, Seed: 4})
 	fs := vfs.NewMemFS()
 	var out record.SliceWriter
-	if _, err := Sort(record.NewSliceReader(recs), &out, fs, Recommended(100)); err != nil {
+	if _, err := Sort(record.NewSliceReader(recs), &out, fs, Recommended(100), RecordOps()); err != nil {
 		t.Fatal(err)
 	}
 	names, _ := fs.Names()
@@ -106,7 +106,7 @@ func TestSortWithSimulatedDisk(t *testing.T) {
 	cfg := Recommended(200)
 	cfg.Clock = disk.Elapsed
 	var out record.SliceWriter
-	stats, err := Sort(record.NewSliceReader(recs), &out, fs, cfg)
+	stats, err := Sort(record.NewSliceReader(recs), &out, fs, cfg, RecordOps())
 	if err != nil {
 		t.Fatal(err)
 	}

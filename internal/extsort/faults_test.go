@@ -54,7 +54,7 @@ func TestSortSurfacesWriteFailures(t *testing.T) {
 	for _, budget := range []int64{0, 1, 5, 50, 120} {
 		fs := &faultFS{FS: vfs.NewMemFS(), writesLeft: budget}
 		var out record.SliceWriter
-		_, err := Sort(record.NewSliceReader(recs), &out, fs, Recommended(200))
+		_, err := Sort(record.NewSliceReader(recs), &out, fs, Recommended(200), RecordOps())
 		if !errors.Is(err, errInjected) {
 			t.Fatalf("budget %d: error = %v, want injected failure", budget, err)
 		}
@@ -67,14 +67,14 @@ func TestSortSucceedsWithExactBudget(t *testing.T) {
 	// sort succeeds with exactly that budget (no off-by-one retries).
 	counter := &faultFS{FS: vfs.NewMemFS(), writesLeft: 1 << 30}
 	var out record.SliceWriter
-	if _, err := Sort(record.NewSliceReader(recs), &out, counter, Recommended(200)); err != nil {
+	if _, err := Sort(record.NewSliceReader(recs), &out, counter, Recommended(200), RecordOps()); err != nil {
 		t.Fatal(err)
 	}
 	used := (1 << 30) - atomic.LoadInt64(&counter.writesLeft)
 
 	exact := &faultFS{FS: vfs.NewMemFS(), writesLeft: used}
 	var out2 record.SliceWriter
-	if _, err := Sort(record.NewSliceReader(recs), &out2, exact, Recommended(200)); err != nil {
+	if _, err := Sort(record.NewSliceReader(recs), &out2, exact, Recommended(200), RecordOps()); err != nil {
 		t.Fatalf("sort with exact write budget %d failed: %v", used, err)
 	}
 	if !record.IsSorted(out2.Recs) || len(out2.Recs) != len(recs) {

@@ -2,21 +2,19 @@
 // selection (Chapter 3 of the thesis) and the single-array double heap of
 // two-way replacement selection (§4.1).
 //
-// Items carry a run number in addition to their record. A record marked for
-// a later run always orders after every record of the current run (in either
-// direction), which is exactly the trick RS uses to keep next-run records at
-// the bottom of the heap: priority is the pair (run, key).
+// The heaps are generic over the element type T and ordered by a caller
+// supplied comparator. Items carry a run number in addition to their
+// element. An element marked for a later run always orders after every
+// element of the current run (in either direction), which is exactly the
+// trick RS uses to keep next-run records at the bottom of the heap: priority
+// is the pair (run, element).
 package heap
 
-import (
-	"fmt"
+import "fmt"
 
-	"repro/internal/record"
-)
-
-// Item is a record tagged with the run it belongs to.
-type Item struct {
-	Rec record.Record
+// Item is an element tagged with the run it belongs to.
+type Item[T any] struct {
+	Rec T
 	Run int
 }
 
@@ -24,54 +22,55 @@ type Item struct {
 // side stores its logical index i at physical position len(arr)-1-i, which
 // is how the TopHeap and BottomHeap of 2WRS share one allocation and trade
 // capacity 1:1 (§4.1, Figures 4.3-4.5).
-type side struct {
-	arr    []Item
+type side[T any] struct {
+	arr    []Item[T]
+	less   func(a, b T) bool
 	n      int
 	mirror bool // grow from the end of arr downward
-	desc   bool // max-heap by key (BottomHeap); min-heap otherwise
+	desc   bool // max-heap by element (BottomHeap); min-heap otherwise
 }
 
 // before reports whether a has strictly higher priority than b: lower run
-// first, then key in the side's direction.
-func (s *side) before(a, b Item) bool {
+// first, then the element order in the side's direction.
+func (s *side[T]) before(a, b Item[T]) bool {
 	if a.Run != b.Run {
 		return a.Run < b.Run
 	}
 	if s.desc {
-		return a.Rec.Key > b.Rec.Key
+		return s.less(b.Rec, a.Rec)
 	}
-	return a.Rec.Key < b.Rec.Key
+	return s.less(a.Rec, b.Rec)
 }
 
-func (s *side) phys(i int) int {
+func (s *side[T]) phys(i int) int {
 	if s.mirror {
 		return len(s.arr) - 1 - i
 	}
 	return i
 }
 
-func (s *side) at(i int) Item      { return s.arr[s.phys(i)] }
-func (s *side) set(i int, it Item) { s.arr[s.phys(i)] = it }
-func (s *side) swap(i, j int) {
+func (s *side[T]) at(i int) Item[T]      { return s.arr[s.phys(i)] }
+func (s *side[T]) set(i int, it Item[T]) { s.arr[s.phys(i)] = it }
+func (s *side[T]) swap(i, j int) {
 	pi, pj := s.phys(i), s.phys(j)
 	s.arr[pi], s.arr[pj] = s.arr[pj], s.arr[pi]
 }
-func (s *side) len() int     { return s.n }
-func (s *side) push(it Item) { s.set(s.n, it); s.n++; s.siftUp(s.n - 1) }
-func (s *side) peek() Item   { return s.at(0) }
+func (s *side[T]) len() int        { return s.n }
+func (s *side[T]) push(it Item[T]) { s.set(s.n, it); s.n++; s.siftUp(s.n - 1) }
+func (s *side[T]) peek() Item[T]   { return s.at(0) }
 
-func (s *side) pop() Item {
+func (s *side[T]) pop() Item[T] {
 	top := s.at(0)
 	s.n--
 	if s.n > 0 {
 		s.set(0, s.at(s.n))
 		s.siftDown(0)
 	}
-	s.set(s.n, Item{}) // clear the vacated slot so DoubleHeap slots stay tidy
+	s.set(s.n, Item[T]{}) // clear the vacated slot so DoubleHeap slots stay tidy
 	return top
 }
 
-func (s *side) siftUp(i int) {
+func (s *side[T]) siftUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
 		if !s.before(s.at(i), s.at(parent)) {
@@ -82,7 +81,7 @@ func (s *side) siftUp(i int) {
 	}
 }
 
-func (s *side) siftDown(i int) {
+func (s *side[T]) siftDown(i int) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		best := i
@@ -101,7 +100,7 @@ func (s *side) siftDown(i int) {
 }
 
 // valid reports whether the heap property holds everywhere; used by tests.
-func (s *side) valid() bool {
+func (s *side[T]) valid() bool {
 	for i := 1; i < s.n; i++ {
 		if s.before(s.at(i), s.at((i-1)/2)) {
 			return false
@@ -112,32 +111,35 @@ func (s *side) valid() bool {
 
 // Heap is a single run-tagged binary heap of fixed capacity, as used by
 // classic replacement selection.
-type Heap struct {
-	s side
+type Heap[T any] struct {
+	s side[T]
 }
 
-// New returns a heap of the given capacity. If desc is true the heap is a
-// max-heap by key (within a run); otherwise a min-heap.
-func New(capacity int, desc bool) *Heap {
+// New returns a heap of the given capacity ordered by less. If desc is true
+// the heap is a max-heap by element (within a run); otherwise a min-heap.
+func New[T any](capacity int, desc bool, less func(a, b T) bool) *Heap[T] {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("heap: capacity must be positive, got %d", capacity))
 	}
-	return &Heap{s: side{arr: make([]Item, capacity), desc: desc}}
+	if less == nil {
+		panic("heap: nil comparator")
+	}
+	return &Heap[T]{s: side[T]{arr: make([]Item[T], capacity), desc: desc, less: less}}
 }
 
 // Len returns the number of items currently stored.
-func (h *Heap) Len() int { return h.s.len() }
+func (h *Heap[T]) Len() int { return h.s.len() }
 
 // Cap returns the fixed capacity.
-func (h *Heap) Cap() int { return len(h.s.arr) }
+func (h *Heap[T]) Cap() int { return len(h.s.arr) }
 
 // Full reports whether the heap is at capacity.
-func (h *Heap) Full() bool { return h.s.n == len(h.s.arr) }
+func (h *Heap[T]) Full() bool { return h.s.n == len(h.s.arr) }
 
 // Push adds an item. It panics if the heap is full: run generation
 // algorithms are responsible for popping before pushing, and overflowing
 // the memory budget is a programming error, not a runtime condition.
-func (h *Heap) Push(it Item) {
+func (h *Heap[T]) Push(it Item[T]) {
 	if h.Full() {
 		panic("heap: push on full heap")
 	}
@@ -146,7 +148,7 @@ func (h *Heap) Push(it Item) {
 
 // Pop removes and returns the highest-priority item. It panics on an empty
 // heap.
-func (h *Heap) Pop() Item {
+func (h *Heap[T]) Pop() Item[T] {
 	if h.s.n == 0 {
 		panic("heap: pop on empty heap")
 	}
@@ -154,7 +156,7 @@ func (h *Heap) Pop() Item {
 }
 
 // Peek returns the highest-priority item without removing it.
-func (h *Heap) Peek() Item {
+func (h *Heap[T]) Peek() Item[T] {
 	if h.s.n == 0 {
 		panic("heap: peek on empty heap")
 	}
@@ -162,54 +164,57 @@ func (h *Heap) Peek() Item {
 }
 
 // Reset empties the heap, retaining its backing array.
-func (h *Heap) Reset() {
+func (h *Heap[T]) Reset() {
 	clear(h.s.arr[:h.s.n])
 	h.s.n = 0
 }
 
 // Valid reports whether the heap property currently holds; it exists for
 // tests and invariant checks.
-func (h *Heap) Valid() bool { return h.s.valid() }
+func (h *Heap[T]) Valid() bool { return h.s.valid() }
 
 // DoubleHeap is the 2WRS memory arena: a max-heap (BottomHeap) growing from
 // index 0 upward and a min-heap (TopHeap) growing from the last index
 // downward, sharing one fixed array so that either can grow at the expense
 // of the other (§4.1).
-type DoubleHeap struct {
-	arr    []Item
-	bottom side
-	top    side
+type DoubleHeap[T any] struct {
+	arr    []Item[T]
+	bottom side[T]
+	top    side[T]
 }
 
 // NewDouble returns a DoubleHeap with the given total capacity shared by the
-// two heaps.
-func NewDouble(capacity int) *DoubleHeap {
+// two heaps, both ordered by less.
+func NewDouble[T any](capacity int, less func(a, b T) bool) *DoubleHeap[T] {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("heap: capacity must be positive, got %d", capacity))
 	}
-	arr := make([]Item, capacity)
-	return &DoubleHeap{
+	if less == nil {
+		panic("heap: nil comparator")
+	}
+	arr := make([]Item[T], capacity)
+	return &DoubleHeap[T]{
 		arr:    arr,
-		bottom: side{arr: arr, desc: true},
-		top:    side{arr: arr, mirror: true},
+		bottom: side[T]{arr: arr, desc: true, less: less},
+		top:    side[T]{arr: arr, mirror: true, less: less},
 	}
 }
 
 // Len returns the combined number of items stored in both heaps.
-func (d *DoubleHeap) Len() int { return d.bottom.n + d.top.n }
+func (d *DoubleHeap[T]) Len() int { return d.bottom.n + d.top.n }
 
 // Cap returns the shared capacity.
-func (d *DoubleHeap) Cap() int { return len(d.arr) }
+func (d *DoubleHeap[T]) Cap() int { return len(d.arr) }
 
 // Full reports whether the combined heaps are at capacity.
-func (d *DoubleHeap) Full() bool { return d.Len() == len(d.arr) }
+func (d *DoubleHeap[T]) Full() bool { return d.Len() == len(d.arr) }
 
 // LenTop and LenBottom return the sizes of the individual heaps.
-func (d *DoubleHeap) LenTop() int    { return d.top.n }
-func (d *DoubleHeap) LenBottom() int { return d.bottom.n }
+func (d *DoubleHeap[T]) LenTop() int    { return d.top.n }
+func (d *DoubleHeap[T]) LenBottom() int { return d.bottom.n }
 
 // PushTop inserts into the TopHeap (min-heap). Panics when full.
-func (d *DoubleHeap) PushTop(it Item) {
+func (d *DoubleHeap[T]) PushTop(it Item[T]) {
 	if d.Full() {
 		panic("heap: push on full double heap")
 	}
@@ -217,7 +222,7 @@ func (d *DoubleHeap) PushTop(it Item) {
 }
 
 // PushBottom inserts into the BottomHeap (max-heap). Panics when full.
-func (d *DoubleHeap) PushBottom(it Item) {
+func (d *DoubleHeap[T]) PushBottom(it Item[T]) {
 	if d.Full() {
 		panic("heap: push on full double heap")
 	}
@@ -225,7 +230,7 @@ func (d *DoubleHeap) PushBottom(it Item) {
 }
 
 // PopTop removes the smallest current item of the TopHeap.
-func (d *DoubleHeap) PopTop() Item {
+func (d *DoubleHeap[T]) PopTop() Item[T] {
 	if d.top.n == 0 {
 		panic("heap: pop on empty top heap")
 	}
@@ -233,7 +238,7 @@ func (d *DoubleHeap) PopTop() Item {
 }
 
 // PopBottom removes the largest current item of the BottomHeap.
-func (d *DoubleHeap) PopBottom() Item {
+func (d *DoubleHeap[T]) PopBottom() Item[T] {
 	if d.bottom.n == 0 {
 		panic("heap: pop on empty bottom heap")
 	}
@@ -241,7 +246,7 @@ func (d *DoubleHeap) PopBottom() Item {
 }
 
 // PeekTop returns the smallest item of the TopHeap without removing it.
-func (d *DoubleHeap) PeekTop() Item {
+func (d *DoubleHeap[T]) PeekTop() Item[T] {
 	if d.top.n == 0 {
 		panic("heap: peek on empty top heap")
 	}
@@ -249,7 +254,7 @@ func (d *DoubleHeap) PeekTop() Item {
 }
 
 // PeekBottom returns the largest item of the BottomHeap without removing it.
-func (d *DoubleHeap) PeekBottom() Item {
+func (d *DoubleHeap[T]) PeekBottom() Item[T] {
 	if d.bottom.n == 0 {
 		panic("heap: peek on empty bottom heap")
 	}
@@ -258,12 +263,12 @@ func (d *DoubleHeap) PeekBottom() Item {
 
 // Valid reports whether both heap properties hold and the two sides do not
 // overlap; it exists for tests.
-func (d *DoubleHeap) Valid() bool {
+func (d *DoubleHeap[T]) Valid() bool {
 	return d.Len() <= len(d.arr) && d.bottom.valid() && d.top.valid()
 }
 
 // Reset empties both heaps.
-func (d *DoubleHeap) Reset() {
+func (d *DoubleHeap[T]) Reset() {
 	clear(d.arr)
 	d.bottom.n = 0
 	d.top.n = 0

@@ -9,12 +9,12 @@ import (
 	"repro/internal/record"
 )
 
-func item(key int64, run int) Item {
-	return Item{Rec: record.Record{Key: key}, Run: run}
+func item(key int64, run int) Item[record.Record] {
+	return Item[record.Record]{Rec: record.Record{Key: key}, Run: run}
 }
 
 func TestMinHeapPopsAscending(t *testing.T) {
-	h := New(16, false)
+	h := New(16, false, record.Less)
 	keys := []int64{5, 3, 8, 1, 9, 2, 7, 4, 6, 0}
 	for _, k := range keys {
 		h.Push(item(k, 0))
@@ -37,7 +37,7 @@ func TestMinHeapPopsAscending(t *testing.T) {
 }
 
 func TestMaxHeapPopsDescending(t *testing.T) {
-	h := New(16, true)
+	h := New(16, true, record.Less)
 	for _, k := range []int64{5, 3, 8, 1, 9} {
 		h.Push(item(k, 0))
 	}
@@ -52,14 +52,14 @@ func TestMaxHeapPopsDescending(t *testing.T) {
 func TestRunTagDominatesKey(t *testing.T) {
 	// A huge key in the current run must still pop before a tiny key in the
 	// next run — in both directions.
-	min := New(4, false)
+	min := New(4, false, record.Less)
 	min.Push(item(1000, 0))
 	min.Push(item(-1000, 1))
 	if got := min.Pop(); got.Run != 0 || got.Rec.Key != 1000 {
 		t.Fatalf("min heap popped %v, want current-run record", got)
 	}
 
-	max := New(4, true)
+	max := New(4, true, record.Less)
 	max.Push(item(-1000, 0))
 	max.Push(item(1000, 1))
 	if got := max.Pop(); got.Run != 0 || got.Rec.Key != -1000 {
@@ -68,7 +68,7 @@ func TestRunTagDominatesKey(t *testing.T) {
 }
 
 func TestPushFullPanics(t *testing.T) {
-	h := New(1, false)
+	h := New(1, false, record.Less)
 	h.Push(item(1, 0))
 	defer func() {
 		if recover() == nil {
@@ -79,7 +79,7 @@ func TestPushFullPanics(t *testing.T) {
 }
 
 func TestPopEmptyPanics(t *testing.T) {
-	h := New(1, false)
+	h := New(1, false, record.Less)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic on empty pop")
@@ -89,7 +89,7 @@ func TestPopEmptyPanics(t *testing.T) {
 }
 
 func TestPeekDoesNotRemove(t *testing.T) {
-	h := New(4, false)
+	h := New(4, false, record.Less)
 	h.Push(item(2, 0))
 	h.Push(item(1, 0))
 	if h.Peek().Rec.Key != 1 || h.Len() != 2 {
@@ -98,7 +98,7 @@ func TestPeekDoesNotRemove(t *testing.T) {
 }
 
 func TestReset(t *testing.T) {
-	h := New(4, false)
+	h := New(4, false, record.Less)
 	h.Push(item(1, 0))
 	h.Reset()
 	if h.Len() != 0 {
@@ -116,7 +116,7 @@ func TestNewZeroCapacityPanics(t *testing.T) {
 			t.Fatal("expected panic for zero capacity")
 		}
 	}()
-	New(0, false)
+	New(0, false, record.Less)
 }
 
 func TestHeapQuickSortedDrain(t *testing.T) {
@@ -124,7 +124,7 @@ func TestHeapQuickSortedDrain(t *testing.T) {
 		if len(keys) == 0 {
 			return true
 		}
-		h := New(len(keys), false)
+		h := New(len(keys), false, record.Less)
 		for _, k := range keys {
 			h.Push(item(k, 0))
 		}
@@ -144,7 +144,7 @@ func TestHeapQuickSortedDrain(t *testing.T) {
 }
 
 func TestDoubleHeapBasics(t *testing.T) {
-	d := NewDouble(8)
+	d := NewDouble(8, record.Less)
 	if d.Cap() != 8 || d.Len() != 0 || d.Full() {
 		t.Fatal("fresh double heap state wrong")
 	}
@@ -167,7 +167,7 @@ func TestDoubleHeapBasics(t *testing.T) {
 }
 
 func TestDoubleHeapSharedCapacity(t *testing.T) {
-	d := NewDouble(4)
+	d := NewDouble(4, record.Less)
 	d.PushTop(item(1, 0))
 	d.PushTop(item(2, 0))
 	d.PushTop(item(3, 0))
@@ -186,7 +186,7 @@ func TestDoubleHeapSharedCapacity(t *testing.T) {
 func TestDoubleHeapOneSideCanTakeAll(t *testing.T) {
 	// §4.1: "If the TopHeap grows to occupy the whole memory while the
 	// BottomHeap is kept at size 0, the algorithm is equivalent to RS."
-	d := NewDouble(32)
+	d := NewDouble(32, record.Less)
 	for i := 0; i < 32; i++ {
 		d.PushTop(item(int64(31-i), 0))
 	}
@@ -202,7 +202,7 @@ func TestDoubleHeapOneSideCanTakeAll(t *testing.T) {
 
 func TestDoubleHeapGrowShrinkInterleaved(t *testing.T) {
 	// One heap grows at the expense of the other, as in Figures 4.4/4.5.
-	d := NewDouble(6)
+	d := NewDouble(6, record.Less)
 	for i := 0; i < 3; i++ {
 		d.PushBottom(item(int64(-i), 0))
 		d.PushTop(item(int64(100+i), 0))
@@ -223,7 +223,7 @@ func TestDoubleHeapGrowShrinkInterleaved(t *testing.T) {
 
 func TestDoubleHeapRandomizedBothSidesSorted(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
-	d := NewDouble(128)
+	d := NewDouble(128, record.Less)
 	var topKeys, bottomKeys []int64
 	for i := 0; i < 128; i++ {
 		k := rng.Int63n(10000) - 5000
@@ -253,7 +253,7 @@ func TestDoubleHeapRandomizedBothSidesSorted(t *testing.T) {
 }
 
 func TestDoubleHeapPanics(t *testing.T) {
-	d := NewDouble(2)
+	d := NewDouble(2, record.Less)
 	for name, fn := range map[string]func(){
 		"pop top empty":     func() { d.PopTop() },
 		"pop bottom empty":  func() { d.PopBottom() },
@@ -272,7 +272,7 @@ func TestDoubleHeapPanics(t *testing.T) {
 }
 
 func TestDoubleHeapReset(t *testing.T) {
-	d := NewDouble(4)
+	d := NewDouble(4, record.Less)
 	d.PushTop(item(1, 0))
 	d.PushBottom(item(-1, 0))
 	d.Reset()
@@ -294,7 +294,7 @@ func TestHeapsortMatchesStdlib(t *testing.T) {
 			recs[i] = record.Record{Key: rng.Int63n(50) - 25, Aux: uint64(i)}
 		}
 		want := record.NewMultiset(recs)
-		Sort(recs)
+		Sort(recs, record.Less)
 		if !record.IsSorted(recs) {
 			t.Fatalf("trial %d: heapsort output not sorted", trial)
 		}
@@ -305,21 +305,21 @@ func TestHeapsortMatchesStdlib(t *testing.T) {
 }
 
 func TestHeapsortEdgeCases(t *testing.T) {
-	Sort(nil) // must not panic
+	Sort[record.Record](nil, record.Less) // must not panic
 	one := record.FromKeys(42)
-	Sort(one)
+	Sort(one, record.Less)
 	if one[0].Key != 42 {
 		t.Fatal("single-element sort broke")
 	}
 	dup := record.FromKeys(3, 3, 3, 3)
-	Sort(dup)
+	Sort(dup, record.Less)
 	if !record.IsSorted(dup) {
 		t.Fatal("all-equal sort broke")
 	}
 }
 
 func BenchmarkHeapPushPop(b *testing.B) {
-	h := New(1024, false)
+	h := New(1024, false, record.Less)
 	rng := rand.New(rand.NewSource(1))
 	for i := 0; i < 1024; i++ {
 		h.Push(item(rng.Int63(), 0))
@@ -333,7 +333,7 @@ func BenchmarkHeapPushPop(b *testing.B) {
 }
 
 func BenchmarkDoubleHeapPushPop(b *testing.B) {
-	d := NewDouble(1024)
+	d := NewDouble(1024, record.Less)
 	rng := rand.New(rand.NewSource(1))
 	for i := 0; i < 512; i++ {
 		d.PushTop(item(rng.Int63n(1<<30), 0))

@@ -1,40 +1,38 @@
 package heap
 
-import "repro/internal/record"
-
-// Sort sorts recs in ascending key order using in-place heapsort (§3.2 of
-// the thesis). It is the internal sorting algorithm replacement selection is
-// built from and serves as a baseline in tests; production callers that just
-// need an in-memory sort should prefer the standard library.
-func Sort(recs []record.Record) {
-	n := len(recs)
+// Sort sorts vals in ascending order by less using in-place heapsort (§3.2
+// of the thesis). It is the internal sorting algorithm replacement selection
+// is built from and serves as a baseline in tests; production callers that
+// just need an in-memory sort should prefer the standard library.
+func Sort[T any](vals []T, less func(a, b T) bool) {
+	n := len(vals)
 	// Build a max-heap bottom-up (Floyd's construction).
 	for i := n/2 - 1; i >= 0; i-- {
-		downMax(recs, i, n)
+		downMax(vals, i, n, less)
 	}
 	// Repeatedly move the maximum to the end of the shrinking prefix.
 	for end := n - 1; end > 0; end-- {
-		recs[0], recs[end] = recs[end], recs[0]
-		downMax(recs, 0, end)
+		vals[0], vals[end] = vals[end], vals[0]
+		downMax(vals, 0, end, less)
 	}
 }
 
 // downMax restores the max-heap property for the subtree rooted at i within
-// recs[:n].
-func downMax(recs []record.Record, i, n int) {
+// vals[:n].
+func downMax[T any](vals []T, i, n int, less func(a, b T) bool) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		largest := i
-		if l < n && recs[l].Key > recs[largest].Key {
+		if l < n && less(vals[largest], vals[l]) {
 			largest = l
 		}
-		if r < n && recs[r].Key > recs[largest].Key {
+		if r < n && less(vals[largest], vals[r]) {
 			largest = r
 		}
 		if largest == i {
 			return
 		}
-		recs[i], recs[largest] = recs[largest], recs[i]
+		vals[i], vals[largest] = vals[largest], vals[i]
 		i = largest
 	}
 }

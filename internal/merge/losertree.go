@@ -1,18 +1,19 @@
 // Package merge implements the merge phase of external mergesort
 // (§2.1.2 of the thesis): a k-way merge built on a loser tree, a multi-pass
 // driver with configurable fan-in, and polyphase merge over a tape
-// abstraction (Table 2.1).
+// abstraction (Table 2.1). Everything is generic over the element type,
+// ordered by a caller-supplied comparator.
 package merge
 
 import (
 	"io"
 
-	"repro/internal/record"
+	"repro/internal/stream"
 )
 
-// Source is a sorted record stream being merged.
-type Source interface {
-	record.Reader
+// Source is a sorted element stream being merged.
+type Source[T any] interface {
+	stream.Reader[T]
 	Close() error
 }
 
@@ -20,10 +21,11 @@ type Source interface {
 // heap of sources it performs exactly ⌈log2 k⌉ comparisons per record (the
 // winner replays only its own path), which is why database sorters prefer
 // it; BenchmarkAblationMergeEngine quantifies the difference.
-type LoserTree struct {
-	srcs []Source
-	// cur[i] is the head record of source i; done[i] marks exhaustion.
-	cur  []record.Record
+type LoserTree[T any] struct {
+	srcs []Source[T]
+	cmp  func(a, b T) bool
+	// cur[i] is the head element of source i; done[i] marks exhaustion.
+	cur  []T
 	done []bool
 	// tree[j] holds the loser of the match at internal node j; tree[0]
 	// holds the overall winner.
@@ -33,11 +35,12 @@ type LoserTree struct {
 }
 
 // NewLoserTree builds a tree over the given sources, priming each one.
-func NewLoserTree(srcs []Source) (*LoserTree, error) {
+func NewLoserTree[T any](srcs []Source[T], less func(a, b T) bool) (*LoserTree[T], error) {
 	k := len(srcs)
-	t := &LoserTree{
+	t := &LoserTree[T]{
 		srcs: srcs,
-		cur:  make([]record.Record, k),
+		cmp:  less,
+		cur:  make([]T, k),
 		done: make([]bool, k),
 		tree: make([]int, k),
 		k:    k,
@@ -52,8 +55,8 @@ func NewLoserTree(srcs []Source) (*LoserTree, error) {
 	return t, nil
 }
 
-// advance pulls the next record from source i.
-func (t *LoserTree) advance(i int) error {
+// advance pulls the next element from source i.
+func (t *LoserTree[T]) advance(i int) error {
 	rec, err := t.srcs[i].Read()
 	if err == io.EOF {
 		t.done[i] = true
@@ -68,19 +71,19 @@ func (t *LoserTree) advance(i int) error {
 
 // less reports whether source a's head orders before source b's; exhausted
 // sources order last.
-func (t *LoserTree) less(a, b int) bool {
+func (t *LoserTree[T]) less(a, b int) bool {
 	if t.done[a] {
 		return false
 	}
 	if t.done[b] {
 		return true
 	}
-	return t.cur[a].Key < t.cur[b].Key
+	return t.cmp(t.cur[a], t.cur[b])
 }
 
 // build runs the initial tournament, filling tree with losers and tree[0]
 // with the winner.
-func (t *LoserTree) build() {
+func (t *LoserTree[T]) build() {
 	if t.k == 0 {
 		return
 	}
@@ -103,22 +106,23 @@ func (t *LoserTree) build() {
 	t.tree[0] = winner[1]
 }
 
-// Read returns the next record in global sorted order, or io.EOF once all
+// Read returns the next element in global sorted order, or io.EOF once all
 // sources are exhausted.
-func (t *LoserTree) Read() (record.Record, error) {
+func (t *LoserTree[T]) Read() (T, error) {
+	var zero T
 	if t.closed {
-		return record.Record{}, record.ErrClosed
+		return zero, stream.ErrClosed
 	}
 	if t.k == 0 {
-		return record.Record{}, io.EOF
+		return zero, io.EOF
 	}
 	w := t.tree[0]
 	if t.done[w] {
-		return record.Record{}, io.EOF
+		return zero, io.EOF
 	}
 	rec := t.cur[w]
 	if err := t.advance(w); err != nil {
-		return record.Record{}, err
+		return zero, err
 	}
 	// Replay the winner's path to the root: at each internal node the new
 	// contender either stays winner or swaps with the stored loser.
@@ -134,9 +138,9 @@ func (t *LoserTree) Read() (record.Record, error) {
 }
 
 // Close closes every source, returning the first error encountered.
-func (t *LoserTree) Close() error {
+func (t *LoserTree[T]) Close() error {
 	if t.closed {
-		return record.ErrClosed
+		return stream.ErrClosed
 	}
 	t.closed = true
 	var first error
@@ -151,16 +155,17 @@ func (t *LoserTree) Close() error {
 // HeapMerger is the naive alternative: a binary heap of sources, costing up
 // to 2·log2 k comparisons per record. It exists as the ablation baseline
 // for the loser tree.
-type HeapMerger struct {
-	srcs   []Source
-	heap   []int // source indices ordered by head record
-	cur    []record.Record
+type HeapMerger[T any] struct {
+	srcs   []Source[T]
+	cmp    func(a, b T) bool
+	heap   []int // source indices ordered by head element
+	cur    []T
 	closed bool
 }
 
 // NewHeapMerger builds a heap-based merger over the sources.
-func NewHeapMerger(srcs []Source) (*HeapMerger, error) {
-	m := &HeapMerger{srcs: srcs, cur: make([]record.Record, len(srcs))}
+func NewHeapMerger[T any](srcs []Source[T], less func(a, b T) bool) (*HeapMerger[T], error) {
+	m := &HeapMerger[T]{srcs: srcs, cmp: less, cur: make([]T, len(srcs))}
 	for i := range srcs {
 		rec, err := srcs[i].Read()
 		if err == io.EOF {
@@ -177,9 +182,9 @@ func NewHeapMerger(srcs []Source) (*HeapMerger, error) {
 	return m, nil
 }
 
-func (m *HeapMerger) less(i, j int) bool { return m.cur[m.heap[i]].Key < m.cur[m.heap[j]].Key }
+func (m *HeapMerger[T]) less(i, j int) bool { return m.cmp(m.cur[m.heap[i]], m.cur[m.heap[j]]) }
 
-func (m *HeapMerger) up(i int) {
+func (m *HeapMerger[T]) up(i int) {
 	for i > 0 {
 		p := (i - 1) / 2
 		if !m.less(i, p) {
@@ -190,7 +195,7 @@ func (m *HeapMerger) up(i int) {
 	}
 }
 
-func (m *HeapMerger) down(i int) {
+func (m *HeapMerger[T]) down(i int) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		best := i
@@ -208,13 +213,14 @@ func (m *HeapMerger) down(i int) {
 	}
 }
 
-// Read returns the next record in global sorted order.
-func (m *HeapMerger) Read() (record.Record, error) {
+// Read returns the next element in global sorted order.
+func (m *HeapMerger[T]) Read() (T, error) {
+	var zero T
 	if m.closed {
-		return record.Record{}, record.ErrClosed
+		return zero, stream.ErrClosed
 	}
 	if len(m.heap) == 0 {
-		return record.Record{}, io.EOF
+		return zero, io.EOF
 	}
 	src := m.heap[0]
 	rec := m.cur[src]
@@ -227,7 +233,7 @@ func (m *HeapMerger) Read() (record.Record, error) {
 			m.down(0)
 		}
 	} else if err != nil {
-		return record.Record{}, err
+		return zero, err
 	} else {
 		m.cur[src] = next
 		m.down(0)
@@ -236,9 +242,9 @@ func (m *HeapMerger) Read() (record.Record, error) {
 }
 
 // Close closes every source.
-func (m *HeapMerger) Close() error {
+func (m *HeapMerger[T]) Close() error {
 	if m.closed {
-		return record.ErrClosed
+		return stream.ErrClosed
 	}
 	m.closed = true
 	var first error

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/record"
 	"repro/internal/runio"
+	"repro/internal/stream"
 	"repro/internal/vfs"
 )
 
@@ -62,21 +62,21 @@ type Stats struct {
 	Inputs int
 }
 
-// newTree builds the configured merge engine over the inputs.
-func newEngine(cfg Config, srcs []Source) (Source, error) {
+// newEngine builds the configured merge engine over the inputs.
+func newEngine[T any](cfg Config, srcs []Source[T], less func(a, b T) bool) (Source[T], error) {
 	switch cfg.Engine {
 	case EngineHeap:
-		return NewHeapMerger(srcs)
+		return NewHeapMerger(srcs, less)
 	default:
-		return NewLoserTree(srcs)
+		return NewLoserTree(srcs, less)
 	}
 }
 
 // openInputs opens each run with the per-stream buffer budget.
-func openInputs(fs vfs.FS, runs []runio.Run, bufBytes int) ([]Source, error) {
-	srcs := make([]Source, 0, len(runs))
+func openInputs[T any](em *runio.Emitter[T], runs []runio.Run, bufBytes int) ([]Source[T], error) {
+	srcs := make([]Source[T], 0, len(runs))
 	for _, r := range runs {
-		rc, err := r.Open(fs, bufBytes)
+		rc, err := em.Open(r, bufBytes)
 		if err != nil {
 			for _, s := range srcs {
 				s.Close()
@@ -98,9 +98,9 @@ func openInputs(fs vfs.FS, runs []runio.Run, bufBytes int) ([]Source, error) {
 // merge streams directly to dst.
 //
 // Each input is one sorted stream when opened: a 2WRS run with overlapping
-// stream ranges interleaves its segments on the fly (runio.Run.Open), so
-// callers pass runs as-is.
-func Merge(fs vfs.FS, em *runio.Emitter, inputs []runio.Run, dst record.Writer, cfg Config) (Stats, error) {
+// stream ranges interleaves its segments on the fly (runio.OpenRun), so
+// callers pass runs as-is. The element codec and comparator come from em.
+func Merge[T any](fs vfs.FS, em *runio.Emitter[T], inputs []runio.Run, dst stream.Writer[T], cfg Config) (Stats, error) {
 	if cfg.FanIn < 2 {
 		return Stats{}, fmt.Errorf("merge: fan-in must be at least 2, got %d", cfg.FanIn)
 	}
@@ -158,23 +158,23 @@ func Merge(fs vfs.FS, em *runio.Emitter, inputs []runio.Run, dst record.Writer, 
 			depth = dr.depth
 		}
 	}
-	srcs, err := openInputs(fs, finals, cfg.bufBytes(len(finals)))
+	srcs, err := openInputs(em, finals, cfg.bufBytes(len(finals)))
 	if err != nil {
 		return stats, err
 	}
-	var eng Source
+	var eng Source[T]
 	if len(finals) == 1 {
 		eng = srcs[0]
 		stats.Passes = depth
 	} else {
-		eng, err = newEngine(cfg, srcs)
+		eng, err = newEngine(cfg, srcs, em.Less)
 		if err != nil {
 			return stats, err
 		}
 		stats.Merges++
 		stats.Passes = depth + 1
 	}
-	if _, err := record.Copy(dst, eng); err != nil {
+	if _, err := stream.Copy(dst, eng); err != nil {
 		eng.Close()
 		return stats, err
 	}
@@ -191,22 +191,22 @@ func Merge(fs vfs.FS, em *runio.Emitter, inputs []runio.Run, dst record.Writer, 
 
 // mergeGroup merges one group of runs into a fresh intermediate run and
 // deletes the consumed inputs.
-func mergeGroup(fs vfs.FS, em *runio.Emitter, group []runio.Run, bufBytes int, cfg Config) (runio.Run, error) {
-	srcs, err := openInputs(fs, group, bufBytes)
+func mergeGroup[T any](fs vfs.FS, em *runio.Emitter[T], group []runio.Run, bufBytes int, cfg Config) (runio.Run, error) {
+	srcs, err := openInputs(em, group, bufBytes)
 	if err != nil {
 		return runio.Run{}, err
 	}
-	eng, err := newEngine(cfg, srcs)
+	eng, err := newEngine(cfg, srcs, em.Less)
 	if err != nil {
 		return runio.Run{}, err
 	}
 	name := em.Namer.Next("merge")
-	w, err := runio.NewWriter(fs, name, bufBytes)
+	w, err := runio.NewWriter(fs, name, bufBytes, em.Codec, em.Less)
 	if err != nil {
 		eng.Close()
 		return runio.Run{}, err
 	}
-	if _, err := record.Copy(w, eng); err != nil {
+	if _, err := stream.Copy[T](w, eng); err != nil {
 		eng.Close()
 		w.Close()
 		return runio.Run{}, err

@@ -26,7 +26,7 @@ func srcOf(keys ...int64) *sliceSource {
 	return &sliceSource{SliceReader: record.NewSliceReader(record.FromKeys(keys...))}
 }
 
-func drain(t *testing.T, s Source) []int64 {
+func drain(t *testing.T, s Source[record.Record]) []int64 {
 	t.Helper()
 	var keys []int64
 	for {
@@ -43,12 +43,12 @@ func drain(t *testing.T, s Source) []int64 {
 
 func TestLoserTreeThreeWayExample(t *testing.T) {
 	// The 3-way merge example of §2.1 (Figures 2.1-2.3).
-	srcs := []Source{
+	srcs := []Source[record.Record]{
 		srcOf(2, 8, 12, 16),
 		srcOf(3, 13, 14, 17),
 		srcOf(1, 7, 9, 18),
 	}
-	lt, err := NewLoserTree(srcs)
+	lt, err := NewLoserTree(srcs, record.Less)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,8 +72,8 @@ func TestMergersRandomizedAgainstSort(t *testing.T) {
 	for trial := 0; trial < 30; trial++ {
 		k := 1 + rng.Intn(9)
 		var all []int64
-		build := func() []Source {
-			srcs := make([]Source, k)
+		build := func() []Source[record.Record] {
+			srcs := make([]Source[record.Record], k)
 			// Rebuild identical sources for each engine.
 			r2 := rand.New(rand.NewSource(int64(trial)))
 			all = all[:0]
@@ -90,14 +90,14 @@ func TestMergersRandomizedAgainstSort(t *testing.T) {
 			return srcs
 		}
 
-		lt, err := NewLoserTree(build())
+		lt, err := NewLoserTree(build(), record.Less)
 		if err != nil {
 			t.Fatal(err)
 		}
 		gotLT := drain(t, lt)
 		lt.Close()
 
-		hm, err := NewHeapMerger(build())
+		hm, err := NewHeapMerger(build(), record.Less)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -120,7 +120,7 @@ func TestMergersRandomizedAgainstSort(t *testing.T) {
 }
 
 func TestMergersEmptyAndSingle(t *testing.T) {
-	lt, err := NewLoserTree(nil)
+	lt, err := NewLoserTree(nil, record.Less)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,14 +129,14 @@ func TestMergersEmptyAndSingle(t *testing.T) {
 	}
 	lt.Close()
 
-	lt2, _ := NewLoserTree([]Source{srcOf(), srcOf(5), srcOf()})
+	lt2, _ := NewLoserTree([]Source[record.Record]{srcOf(), srcOf(5), srcOf()}, record.Less)
 	got := drain(t, lt2)
 	if len(got) != 1 || got[0] != 5 {
 		t.Fatalf("got %v, want [5]", got)
 	}
 	lt2.Close()
 
-	hm, _ := NewHeapMerger([]Source{srcOf()})
+	hm, _ := NewHeapMerger([]Source[record.Record]{srcOf()}, record.Less)
 	if _, err := hm.Read(); err != io.EOF {
 		t.Fatalf("heap merger over empty source = %v, want io.EOF", err)
 	}
@@ -144,8 +144,8 @@ func TestMergersEmptyAndSingle(t *testing.T) {
 }
 
 func TestMergersDuplicateKeys(t *testing.T) {
-	srcs := []Source{srcOf(1, 1, 1), srcOf(1, 1), srcOf(1)}
-	lt, _ := NewLoserTree(srcs)
+	srcs := []Source[record.Record]{srcOf(1, 1, 1), srcOf(1, 1), srcOf(1)}
+	lt, _ := NewLoserTree(srcs, record.Less)
 	got := drain(t, lt)
 	if len(got) != 6 {
 		t.Fatalf("got %d records, want 6", len(got))
@@ -154,7 +154,7 @@ func TestMergersDuplicateKeys(t *testing.T) {
 }
 
 func TestReadAfterClose(t *testing.T) {
-	lt, _ := NewLoserTree([]Source{srcOf(1)})
+	lt, _ := NewLoserTree([]Source[record.Record]{srcOf(1)}, record.Less)
 	lt.Close()
 	if _, err := lt.Read(); err != record.ErrClosed {
 		t.Fatalf("read after close = %v, want ErrClosed", err)
@@ -162,7 +162,7 @@ func TestReadAfterClose(t *testing.T) {
 	if err := lt.Close(); err != record.ErrClosed {
 		t.Fatalf("double close = %v, want ErrClosed", err)
 	}
-	hm, _ := NewHeapMerger([]Source{srcOf(1)})
+	hm, _ := NewHeapMerger([]Source[record.Record]{srcOf(1)}, record.Less)
 	hm.Close()
 	if _, err := hm.Read(); err != record.ErrClosed {
 		t.Fatalf("heap read after close = %v, want ErrClosed", err)
@@ -170,7 +170,7 @@ func TestReadAfterClose(t *testing.T) {
 }
 
 // makeRuns writes n runs of the given length onto fs.
-func makeRuns(t *testing.T, fs vfs.FS, em *runio.Emitter, n, length int, seed int64) ([]runio.Run, []record.Record) {
+func makeRuns(t *testing.T, fs vfs.FS, em *runio.Emitter[record.Record], n, length int, seed int64) ([]runio.Run, []record.Record) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	var runs []runio.Run
@@ -202,7 +202,7 @@ func makeRuns(t *testing.T, fs vfs.FS, em *runio.Emitter, n, length int, seed in
 
 func TestMergeSinglePass(t *testing.T) {
 	fs := vfs.NewMemFS()
-	em := runio.NewEmitter(fs, "m")
+	em := runio.RecordEmitter(fs, "m")
 	runs, all := makeRuns(t, fs, em, 5, 100, 1)
 	var out record.SliceWriter
 	stats, err := Merge(fs, em, runs, &out, Config{FanIn: 10, MemoryBytes: 1 << 16})
@@ -230,7 +230,7 @@ func TestMergeSinglePass(t *testing.T) {
 
 func TestMergeMultiPass(t *testing.T) {
 	fs := vfs.NewMemFS()
-	em := runio.NewEmitter(fs, "m")
+	em := runio.RecordEmitter(fs, "m")
 	runs, all := makeRuns(t, fs, em, 23, 50, 2)
 	var out record.SliceWriter
 	stats, err := Merge(fs, em, runs, &out, Config{FanIn: 3, MemoryBytes: 1 << 14})
@@ -255,7 +255,7 @@ func TestMergeMultiPass(t *testing.T) {
 
 func TestMergeSingleRunPassThrough(t *testing.T) {
 	fs := vfs.NewMemFS()
-	em := runio.NewEmitter(fs, "m")
+	em := runio.RecordEmitter(fs, "m")
 	runs, all := makeRuns(t, fs, em, 1, 64, 3)
 	var out record.SliceWriter
 	stats, err := Merge(fs, em, runs, &out, Config{FanIn: 10, MemoryBytes: 4096})
@@ -272,7 +272,7 @@ func TestMergeSingleRunPassThrough(t *testing.T) {
 
 func TestMergeNoInputs(t *testing.T) {
 	fs := vfs.NewMemFS()
-	em := runio.NewEmitter(fs, "m")
+	em := runio.RecordEmitter(fs, "m")
 	var out record.SliceWriter
 	stats, err := Merge(fs, em, nil, &out, Config{FanIn: 4, MemoryBytes: 4096})
 	if err != nil || stats.Inputs != 0 || len(out.Recs) != 0 {
@@ -282,7 +282,7 @@ func TestMergeNoInputs(t *testing.T) {
 
 func TestMergeRejectsBadFanIn(t *testing.T) {
 	fs := vfs.NewMemFS()
-	em := runio.NewEmitter(fs, "m")
+	em := runio.RecordEmitter(fs, "m")
 	var out record.SliceWriter
 	if _, err := Merge(fs, em, nil, &out, Config{FanIn: 1}); err == nil {
 		t.Fatal("fan-in 1 should be rejected")
@@ -291,7 +291,7 @@ func TestMergeRejectsBadFanIn(t *testing.T) {
 
 func TestMergeHeapEngine(t *testing.T) {
 	fs := vfs.NewMemFS()
-	em := runio.NewEmitter(fs, "m")
+	em := runio.RecordEmitter(fs, "m")
 	runs, all := makeRuns(t, fs, em, 7, 40, 4)
 	var out record.SliceWriter
 	if _, err := Merge(fs, em, runs, &out, Config{FanIn: 3, MemoryBytes: 8192, Engine: EngineHeap}); err != nil {
@@ -338,7 +338,7 @@ func TestPolyphaseCountsNeedsEmptyTape(t *testing.T) {
 
 func TestPolyphaseRecordLevel(t *testing.T) {
 	fs := vfs.NewMemFS()
-	em := runio.NewEmitter(fs, "p")
+	em := runio.RecordEmitter(fs, "p")
 	// Fibonacci-ish distribution over 3 tapes: {2, 1, 0}.
 	runsA, allA := makeRuns(t, fs, em, 2, 30, 5)
 	runsB, allB := makeRuns(t, fs, em, 1, 30, 6)
@@ -360,7 +360,7 @@ func TestPolyphaseDegenerateDistribution(t *testing.T) {
 	// {2,2,0} is not Fibonacci-shaped and would ping-pong in a naive
 	// implementation; the fallback must still converge.
 	fs := vfs.NewMemFS()
-	em := runio.NewEmitter(fs, "p")
+	em := runio.RecordEmitter(fs, "p")
 	runsA, allA := makeRuns(t, fs, em, 2, 20, 7)
 	runsB, allB := makeRuns(t, fs, em, 2, 20, 8)
 	tapes := []*Tape{{Runs: runsA}, {Runs: runsB}, {}}
@@ -376,7 +376,7 @@ func TestPolyphaseDegenerateDistribution(t *testing.T) {
 
 func TestPolyphaseNeedsEmptyTape(t *testing.T) {
 	fs := vfs.NewMemFS()
-	em := runio.NewEmitter(fs, "p")
+	em := runio.RecordEmitter(fs, "p")
 	runs, _ := makeRuns(t, fs, em, 2, 10, 9)
 	tapes := []*Tape{{Runs: runs[:1]}, {Runs: runs[1:]}}
 	var out record.SliceWriter
@@ -387,9 +387,9 @@ func TestPolyphaseNeedsEmptyTape(t *testing.T) {
 
 func BenchmarkAblationMergeEngine(b *testing.B) {
 	const k, n = 10, 1000
-	build := func() []Source {
+	build := func() []Source[record.Record] {
 		rng := rand.New(rand.NewSource(1))
-		srcs := make([]Source, k)
+		srcs := make([]Source[record.Record], k)
 		for i := 0; i < k; i++ {
 			keys := make([]int64, n)
 			for j := range keys {
@@ -402,7 +402,7 @@ func BenchmarkAblationMergeEngine(b *testing.B) {
 	}
 	b.Run("losertree", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			lt, _ := NewLoserTree(build())
+			lt, _ := NewLoserTree(build(), record.Less)
 			for {
 				if _, err := lt.Read(); err == io.EOF {
 					break
@@ -413,7 +413,7 @@ func BenchmarkAblationMergeEngine(b *testing.B) {
 	})
 	b.Run("heap", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			hm, _ := NewHeapMerger(build())
+			hm, _ := NewHeapMerger(build(), record.Less)
 			for {
 				if _, err := hm.Read(); err == io.EOF {
 					break

@@ -3,8 +3,8 @@ package merge
 import (
 	"fmt"
 
-	"repro/internal/record"
 	"repro/internal/runio"
+	"repro/internal/stream"
 	"repro/internal/vfs"
 )
 
@@ -92,7 +92,7 @@ func PolyphaseCounts(initial []int) ([]PolyphaseStep, error) {
 // Polyphase performs a record-level polyphase merge of the given tapes into
 // a single run written to dst. One tape must start empty. bufBytes is the
 // per-stream buffer budget.
-func Polyphase(fs vfs.FS, em *runio.Emitter, tapes []*Tape, dst record.Writer, bufBytes int, cfg Config) error {
+func Polyphase[T any](fs vfs.FS, em *runio.Emitter[T], tapes []*Tape, dst stream.Writer[T], bufBytes int, cfg Config) error {
 	out := -1
 	for i, tp := range tapes {
 		if len(tp.Runs) == 0 {
@@ -117,11 +117,11 @@ func Polyphase(fs vfs.FS, em *runio.Emitter, tapes []*Tape, dst record.Writer, b
 		}
 		if total == 1 {
 			// Stream the final run to the destination.
-			rc, err := lastRun.Open(fs, bufBytes)
+			rc, err := em.Open(lastRun, bufBytes)
 			if err != nil {
 				return err
 			}
-			if _, err := record.Copy(dst, rc); err != nil {
+			if _, err := stream.Copy[T](dst, rc); err != nil {
 				rc.Close()
 				return err
 			}

@@ -28,6 +28,16 @@ type Record struct {
 // Less reports whether r orders strictly before other.
 func (r Record) Less(other Record) bool { return r.Key < other.Key }
 
+// Less reports whether a orders strictly before b; it is the comparator the
+// generic layers are instantiated with for Record streams.
+func Less(a, b Record) bool { return a.Key < b.Key }
+
+// Key projects a record onto the real line. The numeric heuristics of 2WRS
+// (Mean division point, victim-gap split, MinDistance output) consume this
+// projection when sorting records; comparator-only element types fall back
+// to order-based heuristics.
+func Key(r Record) float64 { return float64(r.Key) }
+
 // String implements fmt.Stringer for debugging output.
 func (r Record) String() string { return fmt.Sprintf("{%d/%d}", r.Key, r.Aux) }
 

@@ -1,24 +1,23 @@
 package record
 
 import (
-	"errors"
 	"io"
+
+	"repro/internal/stream"
 )
 
-// ErrClosed is returned by stream operations after Close.
-var ErrClosed = errors.New("record: stream closed")
+// ErrClosed is returned by stream operations after Close. It is the shared
+// stream.ErrClosed so generic and Record-specific layers agree.
+var ErrClosed = stream.ErrClosed
 
 // Reader is the minimal record-at-a-time input interface consumed by all run
 // generation algorithms. Read returns io.EOF when the stream is exhausted.
-type Reader interface {
-	Read() (Record, error)
-}
+// It is the Record instantiation of the generic stream.Reader.
+type Reader = stream.Reader[Record]
 
 // Writer is the record-at-a-time output interface produced by run
 // generation and consumed by the merge phase.
-type Writer interface {
-	Write(Record) error
-}
+type Writer = stream.Writer[Record]
 
 // SliceReader adapts an in-memory slice to the Reader interface.
 type SliceReader struct {

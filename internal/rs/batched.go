@@ -5,9 +5,16 @@ import (
 	"io"
 
 	"repro/internal/heap"
-	"repro/internal/record"
 	"repro/internal/runio"
+	"repro/internal/stream"
 )
+
+// miniHead is a selection-heap entry for batched RS: the head element of a
+// minirun together with the index of the minirun it came from.
+type miniHead[T any] struct {
+	rec T
+	mi  int
+}
 
 // GenerateBatched is batched replacement selection (Larson 2003, §3.7.1 of
 // the thesis): instead of pushing every input record through the heap,
@@ -23,7 +30,7 @@ import (
 // length (about half of classic at batch = memory/16 on random input). The
 // win Larson reports is CPU: fewer heap levels touched per record and far
 // better cache locality, which BenchmarkBatchedVsClassic quantifies.
-func GenerateBatched(src record.Reader, em *runio.Emitter, memory, batch int) (Result, error) {
+func GenerateBatched[T any](src stream.Reader[T], em *runio.Emitter[T], memory, batch int) (Result, error) {
 	if memory <= 0 {
 		return Result{}, fmt.Errorf("rs: memory must be positive, got %d", memory)
 	}
@@ -41,9 +48,12 @@ func GenerateBatched(src record.Reader, em *runio.Emitter, memory, batch int) (R
 		nMini = 1
 	}
 
+	less := em.Less
+	headLess := func(a, b miniHead[T]) bool { return less(a.rec, b.rec) }
+
 	var res Result
-	// minirun i occupies recs[i]; pos[i] is its cursor.
-	miniruns := make([][]record.Record, nMini)
+	// minirun i occupies miniruns[i]; pos[i] is its cursor.
+	miniruns := make([][]T, nMini)
 	pos := make([]int, nMini)
 
 	// fill reads and sorts the next batch into slot i; reports whether any
@@ -51,7 +61,7 @@ func GenerateBatched(src record.Reader, em *runio.Emitter, memory, batch int) (R
 	fill := func(i int) (bool, error) {
 		buf := miniruns[i][:0]
 		if buf == nil {
-			buf = make([]record.Record, 0, batch)
+			buf = make([]T, 0, batch)
 		}
 		for len(buf) < batch {
 			rec, err := src.Read()
@@ -69,13 +79,13 @@ func GenerateBatched(src record.Reader, em *runio.Emitter, memory, batch int) (R
 		if len(buf) == 0 {
 			return false, nil
 		}
-		heap.Sort(miniruns[i])
+		heap.Sort(miniruns[i], less)
 		return true, nil
 	}
 
-	// The selection heap holds one head per live minirun; Aux carries the
-	// minirun index.
-	h := heap.New(nMini, false)
+	// The selection heap holds one head per live minirun, tagged with the
+	// minirun index it came from.
+	h := heap.New(nMini, false, headLess)
 	for i := 0; i < nMini; i++ {
 		ok, err := fill(i)
 		if err != nil {
@@ -84,14 +94,14 @@ func GenerateBatched(src record.Reader, em *runio.Emitter, memory, batch int) (R
 		if !ok {
 			break
 		}
-		h.Push(heap.Item{Rec: record.Record{Key: miniruns[i][0].Key, Aux: uint64(i)}, Run: 0})
+		h.Push(heap.Item[miniHead[T]]{Rec: miniHead[T]{rec: miniruns[i][0], mi: i}, Run: 0})
 		pos[i] = 1
 	}
 
 	currentRun := 0
-	var w *runio.Writer
+	var w *runio.Writer[T]
 	var name string
-	var last int64
+	var last T
 	haveLast := false
 	closeRun := func() error {
 		if w == nil {
@@ -113,8 +123,8 @@ func GenerateBatched(src record.Reader, em *runio.Emitter, memory, batch int) (R
 			}
 			currentRun = it.Run
 		}
-		mi := int(it.Rec.Aux)
-		out := miniruns[mi][pos[mi]-1] // the record whose key is in the heap entry
+		mi := it.Rec.mi
+		out := it.Rec.rec
 		if w == nil {
 			var err error
 			name, w, err = em.Forward("brs")
@@ -125,7 +135,7 @@ func GenerateBatched(src record.Reader, em *runio.Emitter, memory, batch int) (R
 		if err := w.Write(out); err != nil {
 			return res, err
 		}
-		last, haveLast = out.Key, true
+		last, haveLast = out, true
 
 		// Advance the minirun, refilling it from the input when drained.
 		if pos[mi] >= len(miniruns[mi]) {
@@ -140,10 +150,10 @@ func GenerateBatched(src record.Reader, em *runio.Emitter, memory, batch int) (R
 		next := miniruns[mi][pos[mi]]
 		pos[mi]++
 		run := currentRun
-		if haveLast && next.Key < last {
+		if haveLast && less(next, last) {
 			run = currentRun + 1
 		}
-		h.Push(heap.Item{Rec: record.Record{Key: next.Key, Aux: uint64(mi)}, Run: run})
+		h.Push(heap.Item[miniHead[T]]{Rec: miniHead[T]{rec: next, mi: mi}, Run: run})
 	}
 	if err := closeRun(); err != nil {
 		return res, err

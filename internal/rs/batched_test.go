@@ -12,7 +12,7 @@ import (
 func generateBatched(t *testing.T, recs []record.Record, memory, batch int) (Result, vfs.FS) {
 	t.Helper()
 	fs := vfs.NewMemFS()
-	res, err := GenerateBatched(record.NewSliceReader(recs), runio.NewEmitter(fs, "b"), memory, batch)
+	res, err := GenerateBatched(record.NewSliceReader(recs), runio.RecordEmitter(fs, "b"), memory, batch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func TestBatchedBatchDefaults(t *testing.T) {
 
 func TestBatchedRejectsBadMemory(t *testing.T) {
 	fs := vfs.NewMemFS()
-	if _, err := GenerateBatched(record.NewSliceReader(nil), runio.NewEmitter(fs, "b"), 0, 0); err == nil {
+	if _, err := GenerateBatched(record.NewSliceReader(nil), runio.RecordEmitter(fs, "b"), 0, 0); err == nil {
 		t.Fatal("memory 0 should be rejected")
 	}
 }
@@ -96,7 +96,7 @@ func BenchmarkBatchedVsClassic(b *testing.B) {
 	b.Run("classic", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			fs := vfs.NewMemFS()
-			if _, err := Generate(record.NewSliceReader(recs), runio.NewEmitter(fs, "c"), 8192); err != nil {
+			if _, err := Generate(record.NewSliceReader(recs), runio.RecordEmitter(fs, "c"), 8192); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -104,7 +104,7 @@ func BenchmarkBatchedVsClassic(b *testing.B) {
 	b.Run("batched", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			fs := vfs.NewMemFS()
-			if _, err := GenerateBatched(record.NewSliceReader(recs), runio.NewEmitter(fs, "b"), 8192, 256); err != nil {
+			if _, err := GenerateBatched(record.NewSliceReader(recs), runio.RecordEmitter(fs, "b"), 8192, 256); err != nil {
 				b.Fatal(err)
 			}
 		}

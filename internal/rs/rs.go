@@ -1,6 +1,7 @@
 // Package rs implements the classic run-generation baselines the paper
 // compares against: replacement selection (Goetz 1963, Algorithm 1 of the
-// thesis) and Load-Sort-Store.
+// thesis) and Load-Sort-Store. All generators are generic over the element
+// type: the comparator comes from the Emitter they write runs through.
 //
 // Replacement selection keeps a min-heap of `memory` records. Each step pops
 // the smallest current-run record to the output run and replaces it with the
@@ -17,8 +18,8 @@ import (
 	"io"
 
 	"repro/internal/heap"
-	"repro/internal/record"
 	"repro/internal/runio"
+	"repro/internal/stream"
 )
 
 // Result summarises a run-generation pass.
@@ -38,12 +39,13 @@ func (r Result) AvgRunLength() float64 {
 }
 
 // Generate runs replacement selection over src with a heap of `memory`
-// records, writing runs through em.
-func Generate(src record.Reader, em *runio.Emitter, memory int) (Result, error) {
+// elements, writing runs through em and ordering by em.Less.
+func Generate[T any](src stream.Reader[T], em *runio.Emitter[T], memory int) (Result, error) {
 	if memory <= 0 {
 		return Result{}, fmt.Errorf("rs: memory must be positive, got %d", memory)
 	}
-	h := heap.New(memory, false)
+	less := em.Less
+	h := heap.New(memory, false, less)
 	var res Result
 
 	// Fill phase: load the heap from the input (heap.fill in Algorithm 1).
@@ -55,12 +57,12 @@ func Generate(src record.Reader, em *runio.Emitter, memory int) (Result, error) 
 		if err != nil {
 			return res, err
 		}
-		h.Push(heap.Item{Rec: rec, Run: 0})
+		h.Push(heap.Item[T]{Rec: rec, Run: 0})
 		res.Records++
 	}
 
 	currentRun := 0
-	var w *runio.Writer
+	var w *runio.Writer[T]
 	var name string
 	closeRun := func() error {
 		if w == nil {
@@ -105,10 +107,10 @@ func Generate(src record.Reader, em *runio.Emitter, memory int) (Result, error) 
 		}
 		res.Records++
 		run := currentRun
-		if rec.Key < it.Rec.Key {
+		if less(rec, it.Rec) {
 			run = currentRun + 1
 		}
-		h.Push(heap.Item{Rec: rec, Run: run})
+		h.Push(heap.Item[T]{Rec: rec, Run: run})
 	}
 	if err := closeRun(); err != nil {
 		return res, err
@@ -119,11 +121,11 @@ func Generate(src record.Reader, em *runio.Emitter, memory int) (Result, error) 
 // GenerateLSS is the Load-Sort-Store baseline (§2.1.1): fill memory, sort it
 // with any internal sort, store it as a run. Every run has exactly `memory`
 // records except possibly the last.
-func GenerateLSS(src record.Reader, em *runio.Emitter, memory int) (Result, error) {
+func GenerateLSS[T any](src stream.Reader[T], em *runio.Emitter[T], memory int) (Result, error) {
 	if memory <= 0 {
 		return Result{}, fmt.Errorf("rs: memory must be positive, got %d", memory)
 	}
-	buf := make([]record.Record, 0, memory)
+	buf := make([]T, 0, memory)
 	var res Result
 	for {
 		buf = buf[:0]
@@ -141,12 +143,12 @@ func GenerateLSS(src record.Reader, em *runio.Emitter, memory int) (Result, erro
 			return res, nil
 		}
 		res.Records += int64(len(buf))
-		heap.Sort(buf)
+		heap.Sort(buf, em.Less)
 		name, w, err := em.Forward("lss")
 		if err != nil {
 			return res, err
 		}
-		if err := record.WriteAll(w, buf); err != nil {
+		if err := stream.WriteAll[T](w, buf); err != nil {
 			return res, err
 		}
 		if err := w.Close(); err != nil {

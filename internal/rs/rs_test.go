@@ -3,6 +3,7 @@ package rs
 import (
 	"testing"
 
+	"repro/internal/codec"
 	"repro/internal/gen"
 	"repro/internal/record"
 	"repro/internal/runio"
@@ -12,7 +13,7 @@ import (
 func generate(t *testing.T, recs []record.Record, memory int) (Result, vfs.FS) {
 	t.Helper()
 	fs := vfs.NewMemFS()
-	res, err := Generate(record.NewSliceReader(recs), runio.NewEmitter(fs, "rs"), memory)
+	res, err := Generate(record.NewSliceReader(recs), runio.RecordEmitter(fs, "rs"), memory)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,7 +24,7 @@ func verify(t *testing.T, fs vfs.FS, runs []runio.Run, input []record.Record) {
 	t.Helper()
 	union := make(record.Multiset)
 	for i, run := range runs {
-		r, err := run.Open(fs, 1024)
+		r, err := runio.OpenRun(fs, run, 1024, codec.Record16{}, record.Less)
 		if err != nil {
 			t.Fatalf("run %d: %v", i, err)
 		}
@@ -131,10 +132,10 @@ func TestEmptyInputNoRuns(t *testing.T) {
 
 func TestInvalidMemory(t *testing.T) {
 	fs := vfs.NewMemFS()
-	if _, err := Generate(record.NewSliceReader(nil), runio.NewEmitter(fs, "rs"), 0); err == nil {
+	if _, err := Generate(record.NewSliceReader(nil), runio.RecordEmitter(fs, "rs"), 0); err == nil {
 		t.Fatal("memory 0 should be rejected")
 	}
-	if _, err := GenerateLSS(record.NewSliceReader(nil), runio.NewEmitter(fs, "lss"), -1); err == nil {
+	if _, err := GenerateLSS(record.NewSliceReader(nil), runio.RecordEmitter(fs, "lss"), -1); err == nil {
 		t.Fatal("negative memory should be rejected")
 	}
 }
@@ -143,7 +144,7 @@ func TestLSSRunsExactlyMemorySized(t *testing.T) {
 	const n, m = 1050, 100
 	recs := gen.Generate(gen.Config{Kind: gen.Random, N: n, Seed: 3})
 	fs := vfs.NewMemFS()
-	res, err := GenerateLSS(record.NewSliceReader(recs), runio.NewEmitter(fs, "lss"), m)
+	res, err := GenerateLSS(record.NewSliceReader(recs), runio.RecordEmitter(fs, "lss"), m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func TestLSSRunsExactlyMemorySized(t *testing.T) {
 func TestLSSExactMultiple(t *testing.T) {
 	recs := gen.Generate(gen.Config{Kind: gen.Random, N: 300, Seed: 3})
 	fs := vfs.NewMemFS()
-	res, err := GenerateLSS(record.NewSliceReader(recs), runio.NewEmitter(fs, "lss"), 100)
+	res, err := GenerateLSS(record.NewSliceReader(recs), runio.RecordEmitter(fs, "lss"), 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +181,7 @@ func TestRSBeatsLSSOnRandom(t *testing.T) {
 	recs := gen.Generate(gen.Config{Kind: gen.Random, N: n, Seed: 8})
 	rsRes, _ := generate(t, recs, m)
 	fs := vfs.NewMemFS()
-	lssRes, err := GenerateLSS(record.NewSliceReader(recs), runio.NewEmitter(fs, "lss"), m)
+	lssRes, err := GenerateLSS(record.NewSliceReader(recs), runio.RecordEmitter(fs, "lss"), m)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,10 +2,12 @@ package runio
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 
-	"repro/internal/record"
+	"repro/internal/codec"
+	"repro/internal/stream"
 	"repro/internal/vfs"
 )
 
@@ -21,8 +23,8 @@ type header struct {
 	pages     uint32 // total pages including the header page
 	pageSize  uint32
 	startPage uint32 // first page holding data ("page two ... for all files except possibly the last one")
-	startPos  uint32 // byte offset of the first record within startPage
-	records   uint64 // records stored in this file
+	startPos  uint32 // byte offset of the first data byte within startPage
+	records   uint64 // elements whose write began in this file
 }
 
 func (h header) encode(buf []byte) {
@@ -53,14 +55,19 @@ func decodeHeader(buf []byte) (header, error) {
 // "same name followed by a different number" scheme.
 func backwardFileName(base string, i int) string { return fmt.Sprintf("%s.%d", base, i) }
 
-// BackwardWriter writes a stream of records arriving in *descending* key
-// order so that each file reads ascending front-to-back. Records fill a
+// BackwardWriter writes a stream of elements arriving in *descending* order
+// so that each file reads ascending front-to-back. Encoded bytes fill a
 // one-page buffer from its end; full pages are written at decreasing page
 // positions; when page 1 is reached a header is stamped on page 0 and the
-// next chain file is started.
-type BackwardWriter struct {
+// next chain file is started. With a variable-width codec an element's
+// encoding may span pages and even files: the continuation bytes land at
+// the tail of the next chain file, which is exactly where an ascending read
+// (files in reverse creation order, each scanned forward) expects them.
+type BackwardWriter[T any] struct {
 	fs           vfs.FS
 	base         string
+	c            codec.Codec[T]
+	less         func(a, b T) bool
 	pageSize     int
 	pagesPerFile int
 
@@ -71,31 +78,39 @@ type BackwardWriter struct {
 	pageIdx     int
 	fileRecords uint64
 
-	count  int64
-	files  int
-	last   int64
-	closed bool
+	scratch []byte
+	count   int64
+	files   int
+	last    T
+	closed  bool
 }
 
 // NewBackwardWriter returns a writer for a descending stream stored under
 // the given base name. pageSize and pagesPerFile of 0 mean the defaults;
-// pagesPerFile must leave room for the header page plus one data page.
-func NewBackwardWriter(fs vfs.FS, base string, pageSize, pagesPerFile int) (*BackwardWriter, error) {
+// pagesPerFile must leave room for the header page plus one data page. For
+// fixed-width codecs the page size must hold a whole number of elements,
+// preserving the historical non-spanning layout.
+func NewBackwardWriter[T any](fs vfs.FS, base string, pageSize, pagesPerFile int, c codec.Codec[T], less func(a, b T) bool) (*BackwardWriter[T], error) {
 	if pageSize <= 0 {
 		pageSize = DefaultPageSize
 	}
 	if pagesPerFile <= 0 {
 		pagesPerFile = DefaultPagesPerFile
 	}
-	if pageSize%record.Size != 0 || pageSize < headerSize {
-		return nil, fmt.Errorf("runio: page size %d must be a multiple of the record size and hold a header", pageSize)
+	if fixed := c.FixedSize(); fixed > 0 && pageSize%fixed != 0 {
+		return nil, fmt.Errorf("runio: page size %d must be a multiple of the element size %d", pageSize, fixed)
+	}
+	if pageSize < headerSize {
+		return nil, fmt.Errorf("runio: page size %d must hold a %d-byte header", pageSize, headerSize)
 	}
 	if pagesPerFile < 2 {
 		return nil, fmt.Errorf("runio: pagesPerFile %d must be at least 2 (header + data)", pagesPerFile)
 	}
-	return &BackwardWriter{
+	return &BackwardWriter[T]{
 		fs:           fs,
 		base:         base,
+		c:            c,
+		less:         less,
 		pageSize:     pageSize,
 		pagesPerFile: pagesPerFile,
 		page:         make([]byte, pageSize),
@@ -103,33 +118,50 @@ func NewBackwardWriter(fs vfs.FS, base string, pageSize, pagesPerFile int) (*Bac
 	}, nil
 }
 
-// Write appends r, which must not exceed the previous key.
-func (w *BackwardWriter) Write(r record.Record) error {
+// Write appends r, which must not exceed the previous element.
+func (w *BackwardWriter[T]) Write(r T) error {
 	if w.closed {
-		return record.ErrClosed
+		return stream.ErrClosed
 	}
-	if w.count > 0 && r.Key > w.last {
-		return fmt.Errorf("%w: backward run got key %d after %d", ErrOutOfOrder, r.Key, w.last)
+	if w.count > 0 && w.less(w.last, r) {
+		return fmt.Errorf("%w: backward run got %v after %v", ErrOutOfOrder, r, w.last)
 	}
-	w.last = r.Key
+	w.last = r
 	if w.cur == nil {
 		if err := w.openNextFile(); err != nil {
 			return err
 		}
 	}
-	w.posInPage -= record.Size
-	record.Encode(w.page[w.posInPage:], r)
 	w.count++
 	w.fileRecords++
-	if w.posInPage == 0 {
-		if err := w.flushPage(); err != nil {
-			return err
+	// Lay the encoding down back-to-front: its tail bytes go just below the
+	// current position, continuing into lower pages (and, on rollover, the
+	// next chain file) until the whole element is placed.
+	pending := w.c.Append(w.scratch[:0], r)
+	w.scratch = pending[:0]
+	for len(pending) > 0 {
+		if w.cur == nil {
+			if err := w.openNextFile(); err != nil {
+				return err
+			}
+		}
+		k := len(pending)
+		if k > w.posInPage {
+			k = w.posInPage
+		}
+		copy(w.page[w.posInPage-k:w.posInPage], pending[len(pending)-k:])
+		w.posInPage -= k
+		pending = pending[:len(pending)-k]
+		if w.posInPage == 0 {
+			if err := w.flushPage(); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
 }
 
-func (w *BackwardWriter) openNextFile() error {
+func (w *BackwardWriter[T]) openNextFile() error {
 	f, err := w.fs.Create(backwardFileName(w.base, w.files))
 	if err != nil {
 		return err
@@ -145,7 +177,7 @@ func (w *BackwardWriter) openNextFile() error {
 
 // flushPage writes the full page buffer at the current page position and,
 // when the file has no data pages left, finalizes it.
-func (w *BackwardWriter) flushPage() error {
+func (w *BackwardWriter[T]) flushPage() error {
 	if _, err := w.cur.WriteAt(w.page, int64(w.pageIdx)*int64(w.pageSize)); err != nil {
 		return err
 	}
@@ -158,8 +190,8 @@ func (w *BackwardWriter) flushPage() error {
 }
 
 // finalizeFile stamps the header and closes the current file. The next
-// Write opens the following chain file.
-func (w *BackwardWriter) finalizeFile() error {
+// write opens the following chain file.
+func (w *BackwardWriter[T]) finalizeFile() error {
 	startPage := w.pageIdx + 1
 	startPos := w.posInPage
 	if startPos == w.pageSize {
@@ -190,16 +222,16 @@ func (w *BackwardWriter) finalizeFile() error {
 	return err
 }
 
-// Count returns the number of records written so far.
-func (w *BackwardWriter) Count() int64 { return w.count }
+// Count returns the number of elements written so far.
+func (w *BackwardWriter[T]) Count() int64 { return w.count }
 
 // Files returns the number of chain files created so far.
-func (w *BackwardWriter) Files() int { return w.files }
+func (w *BackwardWriter[T]) Files() int { return w.files }
 
 // Close flushes the partially filled file, if any, and finalizes the chain.
-func (w *BackwardWriter) Close() error {
+func (w *BackwardWriter[T]) Close() error {
 	if w.closed {
-		return record.ErrClosed
+		return stream.ErrClosed
 	}
 	w.closed = true
 	if w.cur == nil {
@@ -208,12 +240,14 @@ func (w *BackwardWriter) Close() error {
 	return w.finalizeFile()
 }
 
-// BackwardReader reads a backward-format chain in ascending key order: files
-// in reverse creation order, each scanned forward from its header's start
-// position.
-type BackwardReader struct {
+// BackwardReader reads a backward-format chain in ascending order: files in
+// reverse creation order, each scanned forward from its header's start
+// position. Elements that span file boundaries are reassembled across the
+// transition.
+type BackwardReader[T any] struct {
 	fs       vfs.FS
 	base     string
+	c        codec.Codec[T]
 	bufBytes int
 
 	nextFile int // next chain index to open, counting down; -1 when done
@@ -228,25 +262,19 @@ type BackwardReader struct {
 
 // NewBackwardReader opens a chain of `files` backward files under base.
 // bufBytes of 0 means DefaultPageSize.
-func NewBackwardReader(fs vfs.FS, base string, files int, bufBytes int) (*BackwardReader, error) {
-	if bufBytes <= 0 {
-		bufBytes = DefaultPageSize
-	}
-	bufBytes -= bufBytes % record.Size
-	if bufBytes < record.Size {
-		bufBytes = record.Size
-	}
-	return &BackwardReader{
+func NewBackwardReader[T any](fs vfs.FS, base string, files, bufBytes int, c codec.Codec[T]) (*BackwardReader[T], error) {
+	return &BackwardReader[T]{
 		fs:       fs,
 		base:     base,
-		bufBytes: bufBytes,
+		c:        c,
+		bufBytes: bufSize(bufBytes, c.FixedSize()),
 		nextFile: files - 1,
 	}, nil
 }
 
 // openNext opens the next file in reverse creation order. It returns io.EOF
 // when the chain is exhausted.
-func (r *BackwardReader) openNext() error {
+func (r *BackwardReader[T]) openNext() error {
 	if r.nextFile < 0 {
 		return io.EOF
 	}
@@ -272,57 +300,77 @@ func (r *BackwardReader) openNext() error {
 	r.cur = f
 	r.off = int64(hdr.startPage)*int64(hdr.pageSize) + int64(hdr.startPos)
 	r.end = int64(hdr.pages) * int64(hdr.pageSize)
-	r.buf = make([]byte, r.bufBytes)
-	r.have, r.pos = 0, 0
+	if r.buf == nil {
+		r.buf = make([]byte, r.bufBytes)
+	}
 	r.nextFile--
 	return nil
 }
 
-// Read returns the next record in ascending order or io.EOF.
-func (r *BackwardReader) Read() (record.Record, error) {
+// Read returns the next element in ascending order or io.EOF.
+func (r *BackwardReader[T]) Read() (T, error) {
+	var zero T
 	if r.closed {
-		return record.Record{}, record.ErrClosed
+		return zero, stream.ErrClosed
 	}
 	for {
 		if r.pos < r.have {
-			rec := record.Decode(r.buf[r.pos:])
-			r.pos += record.Size
-			return rec, nil
+			v, n, err := r.c.Decode(r.buf[r.pos:r.have])
+			if err == nil {
+				r.pos += n
+				return v, nil
+			}
+			if !errors.Is(err, codec.ErrShort) {
+				return zero, err
+			}
+		}
+		// Compact the partial element and pull more bytes from the current
+		// file, crossing to the next chain file when it is drained so that
+		// file-spanning elements reassemble seamlessly.
+		rem := r.have - r.pos
+		if rem > 0 {
+			copy(r.buf, r.buf[r.pos:r.have])
+		}
+		r.pos, r.have = 0, rem
+		if r.buf != nil && rem == len(r.buf) {
+			r.buf = append(r.buf, make([]byte, len(r.buf))...)
 		}
 		if r.cur != nil && r.off < r.end {
-			want := int64(len(r.buf))
+			want := int64(len(r.buf) - r.have)
 			if remaining := r.end - r.off; remaining < want {
 				want = remaining
 			}
-			n, err := r.cur.ReadAt(r.buf[:want], r.off)
+			n, err := r.cur.ReadAt(r.buf[r.have:r.have+int(want)], r.off)
 			if err != nil && err != io.EOF {
-				return record.Record{}, err
+				return zero, err
 			}
-			n -= n % record.Size
 			if n > 0 {
 				r.off += int64(n)
-				r.have, r.pos = n, 0
+				r.have += n
 				continue
 			}
 			// Short file (possible only for corrupt chains): fall through
 			// to the next file.
+			r.off = r.end
 		}
 		if r.cur != nil {
 			if err := r.cur.Close(); err != nil {
-				return record.Record{}, err
+				return zero, err
 			}
 			r.cur = nil
 		}
 		if err := r.openNext(); err != nil {
-			return record.Record{}, err
+			// io.EOF with a partial element pending means a truncated chain;
+			// surface as a clean EOF, matching the forward reader.
+			return zero, err
 		}
 	}
 }
 
 // Close releases the currently open file, if any.
-func (r *BackwardReader) Close() error {
+func (r *BackwardReader[T]) Close() error {
 	if r.closed {
-		return record.ErrClosed
+		return stream.ErrClosed
 	}
 	r.closed = true
 	if r.cur != nil {

@@ -1,15 +1,23 @@
 package runio
 
-import "repro/internal/vfs"
+import (
+	"repro/internal/codec"
+	"repro/internal/record"
+	"repro/internal/vfs"
+)
 
 // Emitter centralises the parameters run-generation algorithms need to
-// create run files: the file system, a name allocator, and buffer/layout
-// sizes.
-type Emitter struct {
+// create run files: the file system, a name allocator, the element codec
+// and comparator, and buffer/layout sizes.
+type Emitter[T any] struct {
 	// FS is where run files are created.
 	FS vfs.FS
 	// Namer allocates unique file names.
 	Namer *Namer
+	// Codec encodes elements for storage.
+	Codec codec.Codec[T]
+	// Less orders elements; writers use it to validate run order.
+	Less func(a, b T) bool
 	// WriteBuf is the writer buffer size in bytes (0: DefaultPageSize).
 	WriteBuf int
 	// PageSize and PagesPerFile configure the backward file format
@@ -19,21 +27,33 @@ type Emitter struct {
 }
 
 // NewEmitter returns an Emitter with default sizes.
-func NewEmitter(fs vfs.FS, prefix string) *Emitter {
-	return &Emitter{FS: fs, Namer: NewNamer(prefix)}
+func NewEmitter[T any](fs vfs.FS, prefix string, c codec.Codec[T], less func(a, b T) bool) *Emitter[T] {
+	return &Emitter[T]{FS: fs, Namer: NewNamer(prefix), Codec: c, Less: less}
+}
+
+// RecordEmitter returns an Emitter for the historical fixed 16-byte Record
+// streams, the instantiation every legacy caller uses.
+func RecordEmitter(fs vfs.FS, prefix string) *Emitter[record.Record] {
+	return NewEmitter[record.Record](fs, prefix, codec.Record16{}, record.Less)
 }
 
 // Forward creates a fresh forward run file; role distinguishes streams in
 // file names (e.g. "rs", "s1").
-func (e *Emitter) Forward(role string) (string, *Writer, error) {
+func (e *Emitter[T]) Forward(role string) (string, *Writer[T], error) {
 	name := e.Namer.Next(role)
-	w, err := NewWriter(e.FS, name, e.WriteBuf)
+	w, err := NewWriter(e.FS, name, e.WriteBuf, e.Codec, e.Less)
 	return name, w, err
 }
 
 // Backward creates a fresh backward (decreasing) stream.
-func (e *Emitter) Backward(role string) (string, *BackwardWriter, error) {
+func (e *Emitter[T]) Backward(role string) (string, *BackwardWriter[T], error) {
 	name := e.Namer.Next(role)
-	w, err := NewBackwardWriter(e.FS, name, e.PageSize, e.PagesPerFile)
+	w, err := NewBackwardWriter(e.FS, name, e.PageSize, e.PagesPerFile, e.Codec, e.Less)
 	return name, w, err
+}
+
+// Open returns an ascending reader over the run using the emitter's codec
+// and comparator.
+func (e *Emitter[T]) Open(r Run, bufBytes int) (ReadCloser[T], error) {
+	return OpenRun(e.FS, r, bufBytes, e.Codec, e.Less)
 }

@@ -3,15 +3,16 @@ package runio
 import (
 	"io"
 
-	"repro/internal/record"
+	"repro/internal/stream"
 )
 
 // interleaveReader merges a handful of sorted streams (the ≤4 streams of a
 // 2WRS run whose ranges overlap) into one sorted stream. With so few
 // sources a linear minimum scan beats tournament structures.
-type interleaveReader struct {
-	srcs   []ReadCloser
-	heads  []record.Record
+type interleaveReader[T any] struct {
+	srcs   []ReadCloser[T]
+	less   func(a, b T) bool
+	heads  []T
 	alive  []bool
 	n      int
 	closed bool
@@ -19,10 +20,11 @@ type interleaveReader struct {
 
 // newInterleaveReader primes each source. It takes ownership of the
 // sources and closes them all on Close or on a priming error.
-func newInterleaveReader(srcs []ReadCloser) (ReadCloser, error) {
-	ir := &interleaveReader{
+func newInterleaveReader[T any](srcs []ReadCloser[T], less func(a, b T) bool) (ReadCloser[T], error) {
+	ir := &interleaveReader[T]{
 		srcs:  srcs,
-		heads: make([]record.Record, len(srcs)),
+		less:  less,
+		heads: make([]T, len(srcs)),
 		alive: make([]bool, len(srcs)),
 	}
 	for i, s := range srcs {
@@ -42,19 +44,20 @@ func newInterleaveReader(srcs []ReadCloser) (ReadCloser, error) {
 }
 
 // Read returns the minimum head across sources.
-func (ir *interleaveReader) Read() (record.Record, error) {
+func (ir *interleaveReader[T]) Read() (T, error) {
+	var zero T
 	if ir.closed {
-		return record.Record{}, record.ErrClosed
+		return zero, stream.ErrClosed
 	}
 	if ir.n == 0 {
-		return record.Record{}, io.EOF
+		return zero, io.EOF
 	}
 	best := -1
 	for i, ok := range ir.alive {
 		if !ok {
 			continue
 		}
-		if best == -1 || ir.heads[i].Key < ir.heads[best].Key {
+		if best == -1 || ir.less(ir.heads[i], ir.heads[best]) {
 			best = i
 		}
 	}
@@ -65,7 +68,7 @@ func (ir *interleaveReader) Read() (record.Record, error) {
 		ir.alive[best] = false
 		ir.n--
 	case err != nil:
-		return record.Record{}, err
+		return zero, err
 	default:
 		ir.heads[best] = rec
 	}
@@ -73,9 +76,9 @@ func (ir *interleaveReader) Read() (record.Record, error) {
 }
 
 // Close closes every source.
-func (ir *interleaveReader) Close() error {
+func (ir *interleaveReader[T]) Close() error {
 	if ir.closed {
-		return record.ErrClosed
+		return stream.ErrClosed
 	}
 	ir.closed = true
 	var first error

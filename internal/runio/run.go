@@ -4,16 +4,17 @@ import (
 	"fmt"
 	"io"
 
-	"repro/internal/record"
+	"repro/internal/codec"
+	"repro/internal/stream"
 	"repro/internal/vfs"
 )
 
 // Segment is one physical piece of a logical run: either a forward file or a
-// backward file chain, always read in ascending key order.
+// backward file chain, always read in ascending order.
 type Segment struct {
 	// Name is the file name (forward) or the chain base name (backward).
 	Name string
-	// Records is the number of records stored in the segment.
+	// Records is the number of elements stored in the segment.
 	Records int64
 	// Backward marks the Appendix A decreasing-stream layout.
 	Backward bool
@@ -22,13 +23,13 @@ type Segment struct {
 	Files int
 }
 
-// Open returns an ascending reader over the segment with the given buffer
-// size in bytes.
-func (s Segment) Open(fs vfs.FS, bufBytes int) (ReadCloser, error) {
+// OpenSegment returns an ascending reader over the segment with the given
+// buffer size in bytes, decoding elements with c.
+func OpenSegment[T any](fs vfs.FS, s Segment, bufBytes int, c codec.Codec[T]) (ReadCloser[T], error) {
 	if s.Backward {
-		return NewBackwardReader(fs, s.Name, s.Files, bufBytes)
+		return NewBackwardReader(fs, s.Name, s.Files, bufBytes, c)
 	}
-	return NewReader(fs, s.Name, bufBytes)
+	return NewReader(fs, s.Name, bufBytes, c)
 }
 
 // Remove deletes the segment's files.
@@ -42,10 +43,11 @@ func (s Segment) Remove(fs vfs.FS) error {
 // Run is a logical sorted run: the ascending concatenation of its segments.
 // A run produced by RS has one forward segment; a run produced by 2WRS has
 // up to four segments (streams 4, 3, 2, 1 in that order, the backward ones
-// read ascending).
+// read ascending). Run is pure metadata; OpenRun attaches the codec and
+// comparator needed to read it.
 type Run struct {
 	Segments []Segment
-	// Records is the total record count across segments.
+	// Records is the total element count across segments.
 	Records int64
 	// Concatenable reports that the segments' key ranges are pairwise
 	// disjoint in segment order, so reading them back to back yields one
@@ -58,7 +60,7 @@ type Run struct {
 // Inputs returns the individually sorted streams of the run: the whole run
 // when concatenable, otherwise one entry per non-empty segment. It exists
 // for diagnostics and tests; the merge phase itself always treats a run as
-// a single input (Open interleaves overlapping segments on the fly).
+// a single input (OpenRun interleaves overlapping segments on the fly).
 func (r Run) Inputs() []Run {
 	if r.Concatenable {
 		return []Run{r}
@@ -78,7 +80,7 @@ func SingleRun(name string, records int64) Run {
 	return Run{Segments: []Segment{{Name: name, Records: records}}, Records: records, Concatenable: true}
 }
 
-// Open returns an ascending reader over the whole run within the given
+// OpenRun returns an ascending reader over the whole run within the given
 // buffer budget in bytes. Concatenable runs read their segments back to
 // back (one open segment at a time, so the whole budget buffers it); runs
 // with overlapping stream ranges open every segment at once — splitting the
@@ -86,11 +88,11 @@ func SingleRun(name string, records int64) Run {
 // single sorted merge input either way. Because overlaps are narrow, the
 // interleaved read pattern still drains mostly one file at a time and stays
 // nearly sequential on disk.
-func (r Run) Open(fs vfs.FS, bufBytes int) (ReadCloser, error) {
+func OpenRun[T any](fs vfs.FS, r Run, bufBytes int, c codec.Codec[T], less func(a, b T) bool) (ReadCloser[T], error) {
 	if r.Concatenable {
-		return &runReader{fs: fs, segments: r.Segments, bufBytes: bufBytes}, nil
+		return &runReader[T]{fs: fs, c: c, segments: r.Segments, bufBytes: bufBytes}, nil
 	}
-	var open []ReadCloser
+	var open []ReadCloser[T]
 	nonEmpty := 0
 	for _, s := range r.Segments {
 		if s.Records > 0 {
@@ -98,7 +100,7 @@ func (r Run) Open(fs vfs.FS, bufBytes int) (ReadCloser, error) {
 		}
 	}
 	if nonEmpty == 0 {
-		return &runReader{fs: fs, bufBytes: bufBytes}, nil
+		return &runReader[T]{fs: fs, c: c, bufBytes: bufBytes}, nil
 	}
 	per := bufBytes / nonEmpty
 	if per < DefaultPageSize {
@@ -108,7 +110,7 @@ func (r Run) Open(fs vfs.FS, bufBytes int) (ReadCloser, error) {
 		if s.Records == 0 {
 			continue
 		}
-		rc, err := s.Open(fs, per)
+		rc, err := OpenSegment(fs, s, per, c)
 		if err != nil {
 			for _, o := range open {
 				o.Close()
@@ -117,7 +119,7 @@ func (r Run) Open(fs vfs.FS, bufBytes int) (ReadCloser, error) {
 		}
 		open = append(open, rc)
 	}
-	return newInterleaveReader(open)
+	return newInterleaveReader(open, less)
 }
 
 // Remove deletes all files of the run.
@@ -135,18 +137,20 @@ func (r Run) Remove(fs vfs.FS) error {
 
 // runReader concatenates ascending reads of a run's segments, skipping
 // empty ones and opening at most one segment at a time.
-type runReader struct {
+type runReader[T any] struct {
 	fs       vfs.FS
+	c        codec.Codec[T]
 	segments []Segment
 	bufBytes int
-	cur      ReadCloser
+	cur      ReadCloser[T]
 	closed   bool
 }
 
-// Read implements record.Reader.
-func (r *runReader) Read() (record.Record, error) {
+// Read implements stream.Reader.
+func (r *runReader[T]) Read() (T, error) {
+	var zero T
 	if r.closed {
-		return record.Record{}, record.ErrClosed
+		return zero, stream.ErrClosed
 	}
 	for {
 		if r.cur != nil {
@@ -155,10 +159,10 @@ func (r *runReader) Read() (record.Record, error) {
 				return rec, nil
 			}
 			if err != io.EOF {
-				return record.Record{}, err
+				return zero, err
 			}
 			if err := r.cur.Close(); err != nil {
-				return record.Record{}, err
+				return zero, err
 			}
 			r.cur = nil
 		}
@@ -167,22 +171,22 @@ func (r *runReader) Read() (record.Record, error) {
 			r.segments = r.segments[1:]
 		}
 		if len(r.segments) == 0 {
-			return record.Record{}, io.EOF
+			return zero, io.EOF
 		}
 		seg := r.segments[0]
 		r.segments = r.segments[1:]
-		cur, err := seg.Open(r.fs, r.bufBytes)
+		cur, err := OpenSegment(r.fs, seg, r.bufBytes, r.c)
 		if err != nil {
-			return record.Record{}, err
+			return zero, err
 		}
 		r.cur = cur
 	}
 }
 
 // Close releases the currently open segment, if any.
-func (r *runReader) Close() error {
+func (r *runReader[T]) Close() error {
 	if r.closed {
-		return record.ErrClosed
+		return stream.ErrClosed
 	}
 	r.closed = true
 	if r.cur != nil {

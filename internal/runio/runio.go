@@ -1,15 +1,22 @@
 // Package runio stores sorted runs on a vfs.FS.
 //
+// All readers and writers are generic over the element type T: a
+// codec.Codec[T] turns elements into bytes and back, and a caller-supplied
+// comparator validates that runs really are written in run order. Fixed
+// width codecs reproduce the library's historical on-disk layout exactly;
+// variable-width codecs store length-prefixed elements that may span page
+// and file boundaries.
+//
 // Two on-disk layouts are provided:
 //
-//   - Forward runs: a single file of records in ascending key order, written
+//   - Forward runs: a single file of elements in ascending order, written
 //     and read sequentially through a page-sized buffer.
 //
 //   - Backward runs (Appendix A of the thesis): streams produced in
 //     *descending* order (streams 2 and 4 of 2WRS) are laid out so the merge
 //     phase can later read them sequentially *forward* in ascending order,
 //     because disks favour forward sequential access. Each backward stream is
-//     a chain of fixed-size files of k pages; records are written from the
+//     a chain of fixed-size files of k pages; bytes are written from the
 //     tail of the file toward its head through a one-page buffer, page 0
 //     holds a header {index, pages, startPage, startPos, records}, and files
 //     are named "base.N" in creation order. Ascending reads open the files in
@@ -26,7 +33,8 @@ import (
 	"fmt"
 	"io"
 
-	"repro/internal/record"
+	"repro/internal/codec"
+	"repro/internal/stream"
 	"repro/internal/vfs"
 )
 
@@ -37,83 +45,93 @@ const DefaultPageSize = 4096
 // pages; the thesis reports 40 MB with its larger pages).
 const DefaultPagesPerFile = 1000
 
-// ErrOutOfOrder reports a record written against the run's sort direction,
+// ErrOutOfOrder reports an element written against the run's sort direction,
 // which always means a bug or corruption upstream.
 var ErrOutOfOrder = errors.New("runio: record out of order")
 
-// ReadCloser is a record stream with a Close method.
-type ReadCloser interface {
-	record.Reader
+// ReadCloser is an element stream with a Close method.
+type ReadCloser[T any] interface {
+	stream.Reader[T]
 	Close() error
+}
+
+// bufSize normalizes a requested buffer size: defaults, then for fixed-width
+// codecs rounds down to a whole number of elements (floored at one).
+func bufSize(bufBytes, fixed int) int {
+	if bufBytes <= 0 {
+		bufBytes = DefaultPageSize
+	}
+	if fixed > 0 {
+		bufBytes -= bufBytes % fixed
+		if bufBytes < fixed {
+			bufBytes = fixed
+		}
+	}
+	return bufBytes
 }
 
 // Writer writes an ascending forward run to a single file through a
 // page-sized buffer.
-type Writer struct {
+type Writer[T any] struct {
 	f      vfs.File
+	c      codec.Codec[T]
+	less   func(a, b T) bool
 	buf    []byte
-	used   int
+	target int
 	off    int64
 	count  int64
-	last   int64
+	last   T
 	closed bool
 }
 
 // NewWriter creates the named file on fs and returns a Writer with the given
-// buffer size in bytes (0 means DefaultPageSize).
-func NewWriter(fs vfs.FS, name string, bufBytes int) (*Writer, error) {
-	if bufBytes <= 0 {
-		bufBytes = DefaultPageSize
-	}
-	bufBytes -= bufBytes % record.Size
-	if bufBytes < record.Size {
-		bufBytes = record.Size
-	}
+// buffer size in bytes (0 means DefaultPageSize), encoding elements with c
+// and validating write order with less.
+func NewWriter[T any](fs vfs.FS, name string, bufBytes int, c codec.Codec[T], less func(a, b T) bool) (*Writer[T], error) {
+	target := bufSize(bufBytes, c.FixedSize())
 	f, err := fs.Create(name)
 	if err != nil {
 		return nil, err
 	}
-	return &Writer{f: f, buf: make([]byte, bufBytes)}, nil
+	return &Writer[T]{f: f, c: c, less: less, buf: make([]byte, 0, target), target: target}, nil
 }
 
-// Write appends r to the run. Records must arrive in non-decreasing key
-// order.
-func (w *Writer) Write(r record.Record) error {
+// Write appends r to the run. Elements must arrive in non-decreasing order.
+func (w *Writer[T]) Write(r T) error {
 	if w.closed {
-		return record.ErrClosed
+		return stream.ErrClosed
 	}
-	if w.count > 0 && r.Key < w.last {
-		return fmt.Errorf("%w: forward run got key %d after %d", ErrOutOfOrder, r.Key, w.last)
+	if w.count > 0 && w.less(r, w.last) {
+		return fmt.Errorf("%w: forward run got %v after %v", ErrOutOfOrder, r, w.last)
 	}
-	w.last = r.Key
-	record.Encode(w.buf[w.used:], r)
-	w.used += record.Size
+	w.last = r
+	w.buf = w.c.Append(w.buf, r)
 	w.count++
-	if w.used == len(w.buf) {
+	if len(w.buf) >= w.target {
 		return w.flush()
 	}
 	return nil
 }
 
-func (w *Writer) flush() error {
-	if w.used == 0 {
+func (w *Writer[T]) flush() error {
+	if len(w.buf) == 0 {
 		return nil
 	}
-	if _, err := w.f.WriteAt(w.buf[:w.used], w.off); err != nil {
+	if _, err := w.f.WriteAt(w.buf, w.off); err != nil {
 		return err
 	}
-	w.off += int64(w.used)
-	w.used = 0
+	w.off += int64(len(w.buf))
+	w.buf = w.buf[:0]
 	return nil
 }
 
-// Count returns the number of records written so far.
-func (w *Writer) Count() int64 { return w.count }
+// Count returns the number of elements written so far.
+func (w *Writer[T]) Count() int64 { return w.count }
 
-// Close flushes buffered records and closes the underlying file.
-func (w *Writer) Close() error {
+// Close flushes buffered elements and closes the underlying file.
+func (w *Writer[T]) Close() error {
 	if w.closed {
-		return record.ErrClosed
+		return stream.ErrClosed
 	}
 	w.closed = true
 	if err := w.flush(); err != nil {
@@ -125,8 +143,9 @@ func (w *Writer) Close() error {
 
 // Reader reads a forward run sequentially through a buffer of the given
 // size.
-type Reader struct {
+type Reader[T any] struct {
 	f      vfs.File
+	c      codec.Codec[T]
 	buf    []byte
 	have   int // valid bytes in buf
 	pos    int // consumed bytes in buf
@@ -136,54 +155,62 @@ type Reader struct {
 }
 
 // NewReader opens the named forward run on fs with a read buffer of bufBytes
-// (0 means DefaultPageSize).
-func NewReader(fs vfs.FS, name string, bufBytes int) (*Reader, error) {
+// (0 means DefaultPageSize), decoding elements with c.
+func NewReader[T any](fs vfs.FS, name string, bufBytes int, c codec.Codec[T]) (*Reader[T], error) {
 	f, err := fs.Open(name)
 	if err != nil {
 		return nil, err
 	}
-	if bufBytes <= 0 {
-		bufBytes = DefaultPageSize
-	}
-	bufBytes -= bufBytes % record.Size
-	if bufBytes < record.Size {
-		bufBytes = record.Size
-	}
-	return &Reader{f: f, buf: make([]byte, bufBytes)}, nil
+	return &Reader[T]{f: f, c: c, buf: make([]byte, bufSize(bufBytes, c.FixedSize()))}, nil
 }
 
-// Read returns the next record or io.EOF.
-func (r *Reader) Read() (record.Record, error) {
+// Read returns the next element or io.EOF.
+func (r *Reader[T]) Read() (T, error) {
+	var zero T
 	if r.closed {
-		return record.Record{}, record.ErrClosed
+		return zero, stream.ErrClosed
 	}
-	if r.pos == r.have {
-		if r.eof {
-			return record.Record{}, io.EOF
+	for {
+		if r.pos < r.have {
+			v, n, err := r.c.Decode(r.buf[r.pos:r.have])
+			if err == nil {
+				r.pos += n
+				return v, nil
+			}
+			if !errors.Is(err, codec.ErrShort) {
+				return zero, err
+			}
 		}
-		n, err := r.f.ReadAt(r.buf, r.off)
+		if r.eof {
+			// A trailing partial element means corruption upstream; surface
+			// as a clean EOF, matching the historical fixed-width behavior.
+			return zero, io.EOF
+		}
+		// Compact the partial element to the front and refill behind it,
+		// growing the buffer when a single element exceeds it.
+		rem := r.have - r.pos
+		if rem > 0 {
+			copy(r.buf, r.buf[r.pos:r.have])
+		}
+		r.pos, r.have = 0, rem
+		if rem == len(r.buf) {
+			r.buf = append(r.buf, make([]byte, len(r.buf))...)
+		}
+		n, err := r.f.ReadAt(r.buf[r.have:], r.off)
 		if err == io.EOF {
 			r.eof = true
 		} else if err != nil {
-			return record.Record{}, err
-		}
-		n -= n % record.Size // a trailing partial record means corruption; surface as EOF below
-		if n == 0 {
-			return record.Record{}, io.EOF
+			return zero, err
 		}
 		r.off += int64(n)
-		r.have = n
-		r.pos = 0
+		r.have += n
 	}
-	rec := record.Decode(r.buf[r.pos:])
-	r.pos += record.Size
-	return rec, nil
 }
 
 // Close releases the underlying file.
-func (r *Reader) Close() error {
+func (r *Reader[T]) Close() error {
 	if r.closed {
-		return record.ErrClosed
+		return stream.ErrClosed
 	}
 	r.closed = true
 	return r.f.Close()

@@ -7,13 +7,14 @@ import (
 	"sort"
 	"testing"
 
+	"repro/internal/codec"
 	"repro/internal/record"
 	"repro/internal/vfs"
 )
 
 func writeForward(t *testing.T, fs vfs.FS, name string, keys []int64) {
 	t.Helper()
-	w, err := NewWriter(fs, name, 64)
+	w, err := NewWriter(fs, name, 64, codec.Record16{}, record.Less)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,7 +28,7 @@ func writeForward(t *testing.T, fs vfs.FS, name string, keys []int64) {
 	}
 }
 
-func readAllClosing(t *testing.T, r ReadCloser) []record.Record {
+func readAllClosing(t *testing.T, r ReadCloser[record.Record]) []record.Record {
 	t.Helper()
 	recs, err := record.ReadAll(r)
 	if err != nil {
@@ -43,7 +44,7 @@ func TestForwardRoundTrip(t *testing.T) {
 	fs := vfs.NewMemFS()
 	keys := []int64{1, 2, 2, 3, 10, 100}
 	writeForward(t, fs, "r1", keys)
-	r, err := NewReader(fs, "r1", 64)
+	r, err := NewReader(fs, "r1", 64, codec.Record16{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestForwardRoundTrip(t *testing.T) {
 
 func TestForwardWriterRejectsOutOfOrder(t *testing.T) {
 	fs := vfs.NewMemFS()
-	w, _ := NewWriter(fs, "r", 0)
+	w, _ := NewWriter(fs, "r", 0, codec.Record16{}, record.Less)
 	defer w.Close()
 	w.Write(record.Record{Key: 5})
 	err := w.Write(record.Record{Key: 4})
@@ -71,7 +72,7 @@ func TestForwardWriterRejectsOutOfOrder(t *testing.T) {
 
 func TestForwardWriterCount(t *testing.T) {
 	fs := vfs.NewMemFS()
-	w, _ := NewWriter(fs, "r", 0)
+	w, _ := NewWriter(fs, "r", 0, codec.Record16{}, record.Less)
 	for i := 0; i < 7; i++ {
 		w.Write(record.Record{Key: int64(i)})
 	}
@@ -87,7 +88,7 @@ func TestForwardWriterCount(t *testing.T) {
 func TestForwardEmptyRun(t *testing.T) {
 	fs := vfs.NewMemFS()
 	writeForward(t, fs, "empty", nil)
-	r, err := NewReader(fs, "empty", 0)
+	r, err := NewReader(fs, "empty", 0, codec.Record16{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestForwardEmptyRun(t *testing.T) {
 func TestForwardTinyBuffer(t *testing.T) {
 	// A 1-byte requested buffer must be rounded up to one record.
 	fs := vfs.NewMemFS()
-	w, err := NewWriter(fs, "r", 1)
+	w, err := NewWriter(fs, "r", 1, codec.Record16{}, record.Less)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestForwardTinyBuffer(t *testing.T) {
 		}
 	}
 	w.Close()
-	r, err := NewReader(fs, "r", 1)
+	r, err := NewReader(fs, "r", 1, codec.Record16{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestForwardTinyBuffer(t *testing.T) {
 
 func TestBackwardRoundTripSingleFile(t *testing.T) {
 	fs := vfs.NewMemFS()
-	w, err := NewBackwardWriter(fs, "b", 64, 4) // 4 records per page, 3 data pages
+	w, err := NewBackwardWriter(fs, "b", 64, 4, codec.Record16{}, record.Less) // 4 records per page, 3 data pages
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestBackwardRoundTripSingleFile(t *testing.T) {
 	if w.Files() != 1 {
 		t.Fatalf("Files = %d, want 1", w.Files())
 	}
-	r, err := NewBackwardReader(fs, "b", w.Files(), 64)
+	r, err := NewBackwardReader(fs, "b", w.Files(), 64, codec.Record16{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestBackwardRoundTripSingleFile(t *testing.T) {
 func TestBackwardRoundTripMultiFile(t *testing.T) {
 	fs := vfs.NewMemFS()
 	// 2 data pages x 4 records = 8 records per file; 30 records -> 4 files.
-	w, err := NewBackwardWriter(fs, "b", 64, 3)
+	w, err := NewBackwardWriter(fs, "b", 64, 3, codec.Record16{}, record.Less)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +172,7 @@ func TestBackwardRoundTripMultiFile(t *testing.T) {
 	if w.Files() != 4 {
 		t.Fatalf("Files = %d, want 4", w.Files())
 	}
-	r, _ := NewBackwardReader(fs, "b", w.Files(), 64)
+	r, _ := NewBackwardReader(fs, "b", w.Files(), 64, codec.Record16{})
 	got := readAllClosing(t, r)
 	if len(got) != 30 {
 		t.Fatalf("got %d records, want 30", len(got))
@@ -187,7 +188,7 @@ func TestBackwardRoundTripMultiFile(t *testing.T) {
 func TestBackwardExactlyFullFile(t *testing.T) {
 	fs := vfs.NewMemFS()
 	// Exactly one full file: 2 data pages x 4 records.
-	w, _ := NewBackwardWriter(fs, "b", 64, 3)
+	w, _ := NewBackwardWriter(fs, "b", 64, 3, codec.Record16{}, record.Less)
 	for i := 7; i >= 0; i-- {
 		w.Write(record.Record{Key: int64(i)})
 	}
@@ -197,7 +198,7 @@ func TestBackwardExactlyFullFile(t *testing.T) {
 	if w.Files() != 1 {
 		t.Fatalf("Files = %d, want 1", w.Files())
 	}
-	r, _ := NewBackwardReader(fs, "b", 1, 0)
+	r, _ := NewBackwardReader(fs, "b", 1, 0, codec.Record16{})
 	got := readAllClosing(t, r)
 	if len(got) != 8 || !record.IsSorted(got) {
 		t.Fatalf("full-file chain broken: %v", got)
@@ -206,14 +207,14 @@ func TestBackwardExactlyFullFile(t *testing.T) {
 
 func TestBackwardEmptyStream(t *testing.T) {
 	fs := vfs.NewMemFS()
-	w, _ := NewBackwardWriter(fs, "b", 64, 3)
+	w, _ := NewBackwardWriter(fs, "b", 64, 3, codec.Record16{}, record.Less)
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
 	if w.Files() != 0 {
 		t.Fatalf("Files = %d, want 0", w.Files())
 	}
-	r, _ := NewBackwardReader(fs, "b", 0, 0)
+	r, _ := NewBackwardReader(fs, "b", 0, 0, codec.Record16{})
 	if _, err := r.Read(); err != io.EOF {
 		t.Fatalf("empty chain read = %v, want io.EOF", err)
 	}
@@ -222,7 +223,7 @@ func TestBackwardEmptyStream(t *testing.T) {
 
 func TestBackwardWriterRejectsAscending(t *testing.T) {
 	fs := vfs.NewMemFS()
-	w, _ := NewBackwardWriter(fs, "b", 64, 3)
+	w, _ := NewBackwardWriter(fs, "b", 64, 3, codec.Record16{}, record.Less)
 	w.Write(record.Record{Key: 5})
 	if err := w.Write(record.Record{Key: 6}); !errors.Is(err, ErrOutOfOrder) {
 		t.Fatalf("ascending write = %v, want ErrOutOfOrder", err)
@@ -231,17 +232,17 @@ func TestBackwardWriterRejectsAscending(t *testing.T) {
 
 func TestBackwardValidatesConfig(t *testing.T) {
 	fs := vfs.NewMemFS()
-	if _, err := NewBackwardWriter(fs, "b", 63, 3); err == nil {
+	if _, err := NewBackwardWriter(fs, "b", 63, 3, codec.Record16{}, record.Less); err == nil {
 		t.Fatal("page size not multiple of record size should fail")
 	}
-	if _, err := NewBackwardWriter(fs, "b", 64, 1); err == nil {
+	if _, err := NewBackwardWriter(fs, "b", 64, 1, codec.Record16{}, record.Less); err == nil {
 		t.Fatal("pagesPerFile < 2 should fail")
 	}
 }
 
 func TestBackwardHeaderCorruptionDetected(t *testing.T) {
 	fs := vfs.NewMemFS()
-	w, _ := NewBackwardWriter(fs, "b", 64, 3)
+	w, _ := NewBackwardWriter(fs, "b", 64, 3, codec.Record16{}, record.Less)
 	for i := 5; i >= 0; i-- {
 		w.Write(record.Record{Key: int64(i)})
 	}
@@ -254,7 +255,7 @@ func TestBackwardHeaderCorruptionDetected(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	r, _ := NewBackwardReader(fs, "b", 1, 0)
+	r, _ := NewBackwardReader(fs, "b", 1, 0, codec.Record16{})
 	if _, err := r.Read(); err == nil {
 		t.Fatal("corrupt header should fail the read")
 	}
@@ -269,7 +270,7 @@ func TestBackwardLargeRandomDescending(t *testing.T) {
 		keys[i] = rng.Int63n(1 << 40)
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] > keys[j] })
-	w, _ := NewBackwardWriter(fs, "b", 256, 5)
+	w, _ := NewBackwardWriter(fs, "b", 256, 5, codec.Record16{}, record.Less)
 	for _, k := range keys {
 		if err := w.Write(record.Record{Key: k}); err != nil {
 			t.Fatal(err)
@@ -278,7 +279,7 @@ func TestBackwardLargeRandomDescending(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	r, _ := NewBackwardReader(fs, "b", w.Files(), 1024)
+	r, _ := NewBackwardReader(fs, "b", w.Files(), 1024, codec.Record16{})
 	got := readAllClosing(t, r)
 	if len(got) != len(keys) {
 		t.Fatalf("got %d records, want %d", len(got), len(keys))
@@ -304,7 +305,7 @@ func TestBackwardLargeRandomDescending(t *testing.T) {
 
 func TestRemoveBackward(t *testing.T) {
 	fs := vfs.NewMemFS()
-	w, _ := NewBackwardWriter(fs, "b", 64, 3)
+	w, _ := NewBackwardWriter(fs, "b", 64, 3, codec.Record16{}, record.Less)
 	for i := 20; i >= 0; i-- {
 		w.Write(record.Record{Key: int64(i)})
 	}
@@ -323,13 +324,13 @@ func TestRunConcatenatesSegments(t *testing.T) {
 	// Build the four 2WRS streams of the §4.5 example shape:
 	// stream4 desc {38,37,36}, stream3 asc {39,40}, stream2 desc {51,50},
 	// stream1 asc {52,53,54}.
-	w4, _ := NewBackwardWriter(fs, "s4", 64, 3)
+	w4, _ := NewBackwardWriter(fs, "s4", 64, 3, codec.Record16{}, record.Less)
 	for _, k := range []int64{38, 37, 36} {
 		w4.Write(record.Record{Key: k})
 	}
 	w4.Close()
 	writeForward(t, fs, "s3", []int64{39, 40})
-	w2, _ := NewBackwardWriter(fs, "s2", 64, 3)
+	w2, _ := NewBackwardWriter(fs, "s2", 64, 3, codec.Record16{}, record.Less)
 	for _, k := range []int64{51, 50} {
 		w2.Write(record.Record{Key: k})
 	}
@@ -345,7 +346,7 @@ func TestRunConcatenatesSegments(t *testing.T) {
 		},
 		Records: 10,
 	}
-	r, err := run.Open(fs, 256)
+	r, err := OpenRun(fs, run, 256, codec.Record16{}, record.Less)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -372,7 +373,7 @@ func TestRunSkipsEmptySegments(t *testing.T) {
 		},
 		Records: 2,
 	}
-	r, _ := run.Open(fs, 0)
+	r, _ := OpenRun(fs, run, 0, codec.Record16{}, record.Less)
 	got := readAllClosing(t, r)
 	if len(got) != 2 {
 		t.Fatalf("got %d records, want 2", len(got))
@@ -382,7 +383,7 @@ func TestRunSkipsEmptySegments(t *testing.T) {
 func TestRunRemove(t *testing.T) {
 	fs := vfs.NewMemFS()
 	writeForward(t, fs, "s1", []int64{1})
-	w, _ := NewBackwardWriter(fs, "s4", 64, 3)
+	w, _ := NewBackwardWriter(fs, "s4", 64, 3, codec.Record16{}, record.Less)
 	w.Write(record.Record{Key: 0})
 	w.Close()
 	run := Run{Segments: []Segment{
@@ -418,7 +419,7 @@ func TestNamerUniqueNames(t *testing.T) {
 func TestReaderClosedSemantics(t *testing.T) {
 	fs := vfs.NewMemFS()
 	writeForward(t, fs, "r", []int64{1})
-	r, _ := NewReader(fs, "r", 0)
+	r, _ := NewReader(fs, "r", 0, codec.Record16{})
 	r.Close()
 	if _, err := r.Read(); err != record.ErrClosed {
 		t.Fatalf("read after close = %v, want ErrClosed", err)

@@ -1,0 +1,121 @@
+// Package stream defines the generic record-at-a-time stream interfaces the
+// whole library is built on, together with in-memory adapters and copy
+// helpers. Every layer of the sorter — run generation, run storage, the
+// merge phase and the public API — moves values of an arbitrary element type
+// T through these two interfaces.
+package stream
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrClosed is returned by stream operations after Close.
+var ErrClosed = errors.New("stream: closed")
+
+// Reader yields elements one at a time; Read returns io.EOF when the stream
+// is exhausted.
+type Reader[T any] interface {
+	Read() (T, error)
+}
+
+// Writer consumes elements one at a time.
+type Writer[T any] interface {
+	Write(T) error
+}
+
+// SliceReader adapts an in-memory slice to the Reader interface.
+type SliceReader[T any] struct {
+	vals []T
+	pos  int
+}
+
+// NewSliceReader returns a Reader over vals. The slice is not copied; the
+// caller must not mutate it while reading.
+func NewSliceReader[T any](vals []T) *SliceReader[T] {
+	return &SliceReader[T]{vals: vals}
+}
+
+// Read returns the next element or io.EOF.
+func (s *SliceReader[T]) Read() (T, error) {
+	if s.pos >= len(s.vals) {
+		var zero T
+		return zero, io.EOF
+	}
+	v := s.vals[s.pos]
+	s.pos++
+	return v, nil
+}
+
+// Remaining reports how many elements have not been read yet.
+func (s *SliceReader[T]) Remaining() int { return len(s.vals) - s.pos }
+
+// Reset rewinds the reader to the beginning of the slice.
+func (s *SliceReader[T]) Reset() { s.pos = 0 }
+
+// SliceWriter collects written elements in memory.
+type SliceWriter[T any] struct {
+	Vals []T
+}
+
+// Write appends v.
+func (s *SliceWriter[T]) Write(v T) error {
+	s.Vals = append(s.Vals, v)
+	return nil
+}
+
+// ReadAll drains r into a slice. It is intended for tests and examples where
+// the stream is known to fit in memory.
+func ReadAll[T any](r Reader[T]) ([]T, error) {
+	var out []T
+	for {
+		v, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, v)
+	}
+}
+
+// WriteAll writes every element of vals to w, stopping at the first error.
+func WriteAll[T any](w Writer[T], vals []T) error {
+	for _, v := range vals {
+		if err := w.Write(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Copy streams elements from r to w until EOF, returning the number copied.
+func Copy[T any](w Writer[T], r Reader[T]) (int64, error) {
+	var n int64
+	for {
+		v, err := r.Read()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		if err := w.Write(v); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// Func adapts a function to the Reader interface.
+type Func[T any] func() (T, error)
+
+// Read calls the function.
+func (f Func[T]) Read() (T, error) { return f() }
+
+// WriterFunc adapts a function to the Writer interface.
+type WriterFunc[T any] func(T) error
+
+// Write calls the function.
+func (f WriterFunc[T]) Write(v T) error { return f(v) }

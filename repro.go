@@ -8,8 +8,30 @@
 // snowplow differential-equation model of RS, and the factorial-ANOVA
 // machinery used for the paper's statistical analysis.
 //
-// The public API sorts arbitrary streams of fixed-size records under a
-// configurable memory budget:
+// # The generic API
+//
+// The primary entry point is the generic Sorter, which externally sorts
+// streams of any element type under a configurable memory budget. A Sorter
+// is built from a comparator plus functional options and driven with a
+// context:
+//
+//	s, err := repro.New(func(a, b string) bool { return a < b },
+//	    repro.WithMemoryRecords(1<<16),
+//	    repro.WithTempDir("/tmp/sort"))
+//	stats, err := s.Sort(ctx, src, dst) // src yields strings, dst receives them sorted
+//
+// Elements spill to disk through a pluggable Codec: fixed-width codecs
+// reproduce the paper's record layout, and the built-in length-prefixed
+// variable-width codecs handle strings and byte slices of any length.
+// Codecs for common element types are inferred automatically; custom types
+// supply WithCodec (and optionally WithKey, which unlocks the paper's
+// numeric heuristics). Cancellation is honoured between batches in both
+// the run-generation and merge phases.
+//
+// # The classic record API
+//
+// The original fixed-record API remains as thin wrappers over
+// Sorter[Record]:
 //
 //	cfg := repro.DefaultConfig(1 << 20) // one million records of memory
 //	stats, err := repro.Sort(src, dst, cfg)
@@ -19,6 +41,7 @@ package repro
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"os"
 
@@ -26,11 +49,10 @@ import (
 	"repro/internal/extsort"
 	"repro/internal/gen"
 	"repro/internal/record"
-	"repro/internal/vfs"
 )
 
-// Record is the unit of sorting: a 64-bit key ordered ascending and a
-// 64-bit auxiliary payload carried along unchanged.
+// Record is the unit of the classic API: a 64-bit key ordered ascending and
+// a 64-bit auxiliary payload carried along unchanged.
 type Record = record.Record
 
 // Reader yields records; it returns io.EOF at end of stream.
@@ -92,7 +114,7 @@ const (
 )
 
 // Config controls a sort. The zero value is not valid; start from
-// DefaultConfig.
+// DefaultConfig or build a Sorter through New with options.
 type Config struct {
 	// Algorithm is the run-generation strategy (default TwoWayRS).
 	Algorithm Algorithm
@@ -103,6 +125,7 @@ type Config struct {
 	// Setup, BufferFraction, Input and Output tune 2WRS; they are ignored
 	// by the other algorithms. The defaults are the paper's recommended
 	// configuration (§5.3): both buffers, 2%, Mean input, Random output.
+	// BufferFraction must lie in (0, 0.5].
 	Setup          BufferSetup
 	BufferFraction float64
 	Input          InputHeuristic
@@ -129,6 +152,41 @@ func DefaultConfig(memoryRecords int) Config {
 	}
 }
 
+// Validate reports a descriptive error for configurations that cannot
+// sort correctly or would silently misbehave.
+func (c Config) Validate() error {
+	switch c.Algorithm {
+	case TwoWayRS, RS, LoadSortStore:
+	default:
+		return fmt.Errorf("repro: unknown algorithm %v", c.Algorithm)
+	}
+	if c.MemoryRecords < 3 {
+		return fmt.Errorf("repro: memory budget of %d records is too small (need ≥ 3)", c.MemoryRecords)
+	}
+	if c.FanIn < 2 {
+		return fmt.Errorf("repro: merge fan-in must be at least 2, got %d", c.FanIn)
+	}
+	if c.BufferFraction <= 0 || c.BufferFraction > 0.5 {
+		return fmt.Errorf("repro: buffer fraction %v outside (0, 0.5]", c.BufferFraction)
+	}
+	switch c.Setup {
+	case InputBufferOnly, BothBuffers, VictimBufferOnly:
+	default:
+		return fmt.Errorf("repro: unknown buffer setup %v", c.Setup)
+	}
+	switch c.Input {
+	case InputRandom, InputAlternate, InputMean, InputMedian, InputUseful, InputBalancing, core.InTopOnly:
+	default:
+		return fmt.Errorf("repro: unknown input heuristic %v", c.Input)
+	}
+	switch c.Output {
+	case OutputRandom, OutputAlternate, OutputUseful, OutputBalancing, OutputMinDistance:
+	default:
+		return fmt.Errorf("repro: unknown output heuristic %v", c.Output)
+	}
+	return nil
+}
+
 // toInternal converts the public Config to the internal driver config.
 func (c Config) toInternal() extsort.Config {
 	return extsort.Config{
@@ -146,27 +204,48 @@ func (c Config) toInternal() extsort.Config {
 	}
 }
 
-// Sort reads every record from src, sorts them externally within the
-// configured memory budget, and writes the ascending result to dst.
-func Sort(src Reader, dst Writer, cfg Config) (Stats, error) {
-	var fs vfs.FS
-	if cfg.TempDir != "" {
-		if err := os.MkdirAll(cfg.TempDir, 0o755); err != nil {
-			return Stats{}, fmt.Errorf("repro: temp dir: %w", err)
-		}
-		fs = vfs.NewOSFS(cfg.TempDir)
-	} else {
-		fs = vfs.NewMemFS()
+// withLegacyDefaults fills zero-valued knobs that the pre-generic driver
+// used to default internally, so hand-built legacy configs keep working
+// through the classic wrappers: an unset FanIn becomes the paper's optimum
+// and an unset BufferFraction the recommended 2%.
+func (c Config) withLegacyDefaults() Config {
+	if c.FanIn == 0 {
+		c.FanIn = 10
 	}
-	return extsort.Sort(src, dst, fs, cfg.toInternal())
+	if c.BufferFraction == 0 {
+		c.BufferFraction = 0.02
+	}
+	return c
+}
+
+// recordSorter builds the Sorter[Record] behind the classic API.
+func recordSorter(cfg Config) (*Sorter[Record], error) {
+	return New(record.Less,
+		WithConfig(cfg.withLegacyDefaults()),
+		WithCodec(RecordCodec()),
+		WithKey(record.Key))
+}
+
+// Sort reads every record from src, sorts them externally within the
+// configured memory budget, and writes the ascending result to dst. It is
+// a thin wrapper over Sorter[Record]; use New for other element types or
+// for context cancellation.
+func Sort(src Reader, dst Writer, cfg Config) (Stats, error) {
+	s, err := recordSorter(cfg)
+	if err != nil {
+		return Stats{}, err
+	}
+	return s.Sort(context.Background(), src, dst)
 }
 
 // SortSlice sorts a slice through the external-sort machinery and returns a
 // new sorted slice. It is a convenience for small inputs and examples.
 func SortSlice(recs []Record, cfg Config) ([]Record, Stats, error) {
-	var out record.SliceWriter
-	stats, err := Sort(record.NewSliceReader(recs), &out, cfg)
-	return out.Recs, stats, err
+	s, err := recordSorter(cfg)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return s.SortSlice(context.Background(), recs)
 }
 
 // SortFile sorts a binary record file (16-byte little-endian records as

@@ -1,0 +1,357 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"repro/internal/codec"
+	"repro/internal/extsort"
+	"repro/internal/record"
+	"repro/internal/stream"
+	"repro/internal/vfs"
+)
+
+// Source yields elements one at a time; Read returns io.EOF at end of
+// stream. Any type with this shape (including every Reader in this package
+// and the internal stream readers) satisfies it.
+type Source[T any] interface {
+	Read() (T, error)
+}
+
+// Sink consumes elements one at a time.
+type Sink[T any] interface {
+	Write(T) error
+}
+
+// Codec encodes and decodes elements of type T when runs spill to disk.
+//
+// Append encodes v onto buf and returns the extended slice. Decode reads
+// one element from the front of buf, returning it and the number of bytes
+// consumed; when buf holds only a prefix of an element it must return
+// ErrShortCodec (possibly wrapped), and the storage layer retries with
+// more bytes. FixedSize returns the constant encoded size for fixed-width
+// codecs and 0 for variable-width ones.
+type Codec[T any] interface {
+	Append(buf []byte, v T) []byte
+	Decode(buf []byte) (v T, n int, err error)
+	FixedSize() int
+}
+
+// ErrShortCodec is the sentinel a Codec's Decode returns when the buffer
+// ends mid-element.
+var ErrShortCodec = codec.ErrShort
+
+// Built-in codecs.
+
+// RecordCodec stores Record elements in the library's historical fixed
+// 16-byte little-endian layout.
+func RecordCodec() Codec[Record] { return codec.Record16{} }
+
+// StringCodec stores strings with a uvarint length prefix, enabling
+// variable-length keys.
+func StringCodec() Codec[string] { return codec.String{} }
+
+// BytesCodec stores byte slices with a uvarint length prefix.
+func BytesCodec() Codec[[]byte] { return codec.Bytes{} }
+
+// Int64Codec stores int64 elements as fixed 8-byte words.
+func Int64Codec() Codec[int64] { return codec.Int64{} }
+
+// Uint64Codec stores uint64 elements as fixed 8-byte words.
+func Uint64Codec() Codec[uint64] { return codec.Uint64{} }
+
+// Float64Codec stores float64 elements as fixed 8-byte words.
+func Float64Codec() Codec[float64] { return codec.Float64{} }
+
+// sorterConfig accumulates options before New freezes them into a Sorter.
+// The codec and key hooks are stashed untyped so that the Option type stays
+// non-generic (ergonomic at call sites); New type-checks them against T.
+type sorterConfig struct {
+	cfg          Config
+	codec        any
+	key          any
+	elementBytes int
+}
+
+// Option configures a Sorter under construction. Options are shared across
+// element types; the type-specific ones (WithCodec, WithKey) verify at New
+// time that they match the Sorter's element type.
+type Option func(*sorterConfig) error
+
+// WithConfig replaces the whole configuration in one call; later options
+// still apply on top.
+func WithConfig(cfg Config) Option {
+	return func(s *sorterConfig) error { s.cfg = cfg; return nil }
+}
+
+// WithAlgorithm selects the run-generation strategy (default TwoWayRS).
+func WithAlgorithm(a Algorithm) Option {
+	return func(s *sorterConfig) error { s.cfg.Algorithm = a; return nil }
+}
+
+// WithMemoryRecords sets the memory budget, in elements, shared by run
+// generation and (converted to bytes) the merge buffers.
+func WithMemoryRecords(n int) Option {
+	return func(s *sorterConfig) error { s.cfg.MemoryRecords = n; return nil }
+}
+
+// WithFanIn sets the merge fan-in (the paper's optimum is 10).
+func WithFanIn(n int) Option {
+	return func(s *sorterConfig) error { s.cfg.FanIn = n; return nil }
+}
+
+// WithBufferSetup selects which auxiliary 2WRS buffers exist.
+func WithBufferSetup(setup BufferSetup) Option {
+	return func(s *sorterConfig) error { s.cfg.Setup = setup; return nil }
+}
+
+// WithBufferFraction sets the fraction of memory dedicated to the auxiliary
+// buffers, in (0, 0.5].
+func WithBufferFraction(frac float64) Option {
+	return func(s *sorterConfig) error { s.cfg.BufferFraction = frac; return nil }
+}
+
+// WithHeuristics selects the 2WRS insertion and release heuristics (§4.2).
+func WithHeuristics(in InputHeuristic, out OutputHeuristic) Option {
+	return func(s *sorterConfig) error { s.cfg.Input, s.cfg.Output = in, out; return nil }
+}
+
+// WithTempDir stores temporary runs in the given directory on the real file
+// system; the default keeps them in process memory.
+func WithTempDir(dir string) Option {
+	return func(s *sorterConfig) error { s.cfg.TempDir = dir; return nil }
+}
+
+// WithSeed seeds the randomised heuristics, making a sort deterministic.
+func WithSeed(seed int64) Option {
+	return func(s *sorterConfig) error { s.cfg.Seed = seed; return nil }
+}
+
+// WithCodec supplies the codec used to spill runs to disk. Without it, New
+// infers a built-in codec for Record, string, []byte, int64, uint64 and
+// float64 element types and fails for anything else.
+func WithCodec[T any](c Codec[T]) Option {
+	return func(s *sorterConfig) error {
+		if c == nil {
+			return fmt.Errorf("repro: WithCodec(nil)")
+		}
+		s.codec = c
+		return nil
+	}
+}
+
+// WithKey supplies a numeric projection of elements onto the real line,
+// enabling the paper's numeric 2WRS heuristics (Mean division point,
+// victim-gap split, MinDistance output) for custom element types. Without
+// it, New infers a projection for numeric element types and Record;
+// comparator-only types use order-based fallbacks.
+func WithKey[T any](key func(T) float64) Option {
+	return func(s *sorterConfig) error {
+		s.key = key
+		return nil
+	}
+}
+
+// WithElementBytes estimates the stored size of one element, used to size
+// merge buffers for variable-width codecs (default 32).
+func WithElementBytes(n int) Option {
+	return func(s *sorterConfig) error {
+		if n <= 0 {
+			return fmt.Errorf("repro: element bytes must be positive, got %d", n)
+		}
+		s.elementBytes = n
+		return nil
+	}
+}
+
+// defaultCodecFor infers a built-in codec for well-known element types.
+func defaultCodecFor[T any]() (Codec[T], error) {
+	var zero T
+	var c any
+	switch any(zero).(type) {
+	case Record:
+		c = codec.Record16{}
+	case string:
+		c = codec.String{}
+	case []byte:
+		c = codec.Bytes{}
+	case int64:
+		c = codec.Int64{}
+	case uint64:
+		c = codec.Uint64{}
+	case float64:
+		c = codec.Float64{}
+	default:
+		return nil, fmt.Errorf("repro: no built-in codec for element type %T; pass WithCodec", zero)
+	}
+	return c.(Codec[T]), nil
+}
+
+// defaultKeyFor infers a numeric projection for well-known element types;
+// nil (with no error) means the type is comparator-only.
+func defaultKeyFor[T any]() func(T) float64 {
+	var zero T
+	var k any
+	switch any(zero).(type) {
+	case Record:
+		k = record.Key
+	case int64:
+		k = func(v int64) float64 { return float64(v) }
+	case uint64:
+		k = func(v uint64) float64 { return float64(v) }
+	case float64:
+		k = func(v float64) float64 { return v }
+	default:
+		return nil
+	}
+	return k.(func(T) float64)
+}
+
+// Sorter is a reusable, configured external sorter for elements of type T.
+// A Sorter is immutable after New and safe to use for several consecutive
+// sorts (concurrent Sort calls each get their own temporary namespace only
+// when TempDir is unset; with a shared TempDir, run them sequentially).
+type Sorter[T any] struct {
+	less         func(a, b T) bool
+	cfg          Config
+	codec        Codec[T]
+	key          func(T) float64
+	elementBytes int
+}
+
+// New builds a Sorter ordering elements with less. Options supply the
+// memory budget, algorithm, heuristics, codec and numeric key projection;
+// the defaults are the paper's recommended configuration with a budget of
+// 2^20 elements. New validates the resulting configuration and reports
+// descriptive errors for nonsense values.
+func New[T any](less func(a, b T) bool, opts ...Option) (*Sorter[T], error) {
+	if less == nil {
+		return nil, fmt.Errorf("repro: New requires a comparator")
+	}
+	sc := sorterConfig{cfg: DefaultConfig(1 << 20)}
+	for _, opt := range opts {
+		if opt == nil {
+			continue
+		}
+		if err := opt(&sc); err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Sorter[T]{less: less, cfg: sc.cfg, elementBytes: sc.elementBytes}
+	if sc.codec != nil {
+		c, ok := sc.codec.(Codec[T])
+		if !ok {
+			var zero T
+			return nil, fmt.Errorf("repro: WithCodec got %T, which does not encode element type %T", sc.codec, zero)
+		}
+		s.codec = c
+	} else {
+		c, err := defaultCodecFor[T]()
+		if err != nil {
+			return nil, err
+		}
+		s.codec = c
+	}
+	if sc.key != nil {
+		k, ok := sc.key.(func(T) float64)
+		if !ok {
+			var zero T
+			return nil, fmt.Errorf("repro: WithKey got %T, which does not project element type %T", sc.key, zero)
+		}
+		s.key = k
+	} else {
+		s.key = defaultKeyFor[T]()
+	}
+	return s, nil
+}
+
+// Config returns the sorter's frozen configuration.
+func (s *Sorter[T]) Config() Config { return s.cfg }
+
+// ctxBatch is how many stream operations pass between context checks: the
+// sort honours cancellation between batches rather than per element, so the
+// hot path stays branch-cheap.
+const ctxBatch = 1024
+
+// ctxReader checks the context every ctxBatch reads.
+type ctxReader[T any] struct {
+	ctx context.Context
+	src Source[T]
+	n   int
+}
+
+func (r *ctxReader[T]) Read() (T, error) {
+	if r.n%ctxBatch == 0 {
+		if err := r.ctx.Err(); err != nil {
+			var zero T
+			return zero, err
+		}
+	}
+	r.n++
+	return r.src.Read()
+}
+
+// ctxWriter checks the context every ctxBatch writes.
+type ctxWriter[T any] struct {
+	ctx context.Context
+	dst Sink[T]
+	n   int
+}
+
+func (w *ctxWriter[T]) Write(v T) error {
+	if w.n%ctxBatch == 0 {
+		if err := w.ctx.Err(); err != nil {
+			return err
+		}
+	}
+	w.n++
+	return w.dst.Write(v)
+}
+
+// filesystem resolves the configured run storage.
+func (c Config) filesystem() (vfs.FS, error) {
+	if c.TempDir == "" {
+		return vfs.NewMemFS(), nil
+	}
+	if err := os.MkdirAll(c.TempDir, 0o755); err != nil {
+		return nil, fmt.Errorf("repro: temp dir: %w", err)
+	}
+	return vfs.NewOSFS(c.TempDir), nil
+}
+
+// Sort reads every element from src, sorts them externally within the
+// configured memory budget, and writes the ascending result to dst. The
+// context is honoured between batches in both phases: a cancelled context
+// aborts the sort promptly with ctx.Err().
+func (s *Sorter[T]) Sort(ctx context.Context, src Source[T], dst Sink[T]) (Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	fs, err := s.cfg.filesystem()
+	if err != nil {
+		return Stats{}, err
+	}
+	stats, err := extsort.Sort[T](
+		&ctxReader[T]{ctx: ctx, src: src},
+		&ctxWriter[T]{ctx: ctx, dst: dst},
+		fs,
+		s.cfg.toInternal(),
+		extsort.Ops[T]{Less: s.less, Codec: s.codec, Key: s.key, ElementBytes: s.elementBytes},
+	)
+	if err != nil && ctx.Err() != nil {
+		return stats, ctx.Err()
+	}
+	return stats, err
+}
+
+// SortSlice sorts a slice through the external-sort machinery and returns a
+// new sorted slice; a convenience for small inputs, tests and examples.
+func (s *Sorter[T]) SortSlice(ctx context.Context, vals []T) ([]T, Stats, error) {
+	var out stream.SliceWriter[T]
+	stats, err := s.Sort(ctx, stream.NewSliceReader(vals), &out)
+	return out.Vals, stats, err
+}

@@ -1,0 +1,413 @@
+package repro
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// small memory budgets so every property test spills multiple runs to the
+// (in-memory) file system and exercises both phases.
+const testMemory = 256
+
+var testAlgorithms = []Algorithm{TwoWayRS, RS, LoadSortStore}
+
+// checkSortedPermutation verifies out is sorted by less and is a
+// permutation of in.
+func checkSortedPermutation[T comparable](t *testing.T, in, out []T, less func(a, b T) bool) {
+	t.Helper()
+	if len(out) != len(in) {
+		t.Fatalf("output has %d elements, input %d", len(out), len(in))
+	}
+	for i := 1; i < len(out); i++ {
+		if less(out[i], out[i-1]) {
+			t.Fatalf("output not sorted at %d: %v after %v", i, out[i], out[i-1])
+		}
+	}
+	counts := make(map[T]int, len(in))
+	for _, v := range in {
+		counts[v]++
+	}
+	for _, v := range out {
+		counts[v]--
+	}
+	for v, n := range counts {
+		if n != 0 {
+			t.Fatalf("element %v count off by %d", v, n)
+		}
+	}
+}
+
+func TestSorterInt64AllAlgorithms(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	in := make([]int64, 20000)
+	for i := range in {
+		in[i] = rng.Int63n(1 << 40)
+	}
+	less := func(a, b int64) bool { return a < b }
+	for _, alg := range testAlgorithms {
+		s, err := New(less, WithAlgorithm(alg), WithMemoryRecords(testMemory), WithSeed(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, stats, err := s.SortSlice(context.Background(), in)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		checkSortedPermutation(t, in, out, less)
+		if stats.Records != int64(len(in)) || stats.Runs < 2 {
+			t.Fatalf("%v: stats = %+v, want a genuine external sort", alg, stats)
+		}
+	}
+}
+
+func TestSorterStringAllAlgorithms(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	in := make([]string, 20000)
+	for i := range in {
+		l := 1 + rng.Intn(40)
+		var sb strings.Builder
+		for j := 0; j < l; j++ {
+			sb.WriteByte(byte('a' + rng.Intn(26)))
+		}
+		in[i] = sb.String()
+	}
+	less := func(a, b string) bool { return a < b }
+	for _, alg := range testAlgorithms {
+		s, err := New(less, WithAlgorithm(alg), WithMemoryRecords(testMemory), WithSeed(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, stats, err := s.SortSlice(context.Background(), in)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		checkSortedPermutation(t, in, out, less)
+		if stats.Runs < 2 {
+			t.Fatalf("%v: only %d runs; memory budget did not force spilling", alg, stats.Runs)
+		}
+	}
+}
+
+// pair is a struct element with a composite (string, int64) key, exercising
+// a custom codec and comparator end to end.
+type pair struct {
+	Name string
+	N    int64
+}
+
+func pairLess(a, b pair) bool {
+	if a.Name != b.Name {
+		return a.Name < b.Name
+	}
+	return a.N < b.N
+}
+
+// pairCodec stores a pair as a length-prefixed name followed by a fixed
+// 8-byte count.
+type pairCodec struct{}
+
+func (pairCodec) Append(buf []byte, v pair) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(v.Name)))
+	buf = append(buf, v.Name...)
+	return binary.LittleEndian.AppendUint64(buf, uint64(v.N))
+}
+
+func (pairCodec) Decode(buf []byte) (pair, int, error) {
+	l, p := binary.Uvarint(buf)
+	if p <= 0 || len(buf) < p+int(l)+8 {
+		return pair{}, 0, ErrShortCodec
+	}
+	name := string(buf[p : p+int(l)])
+	n := int64(binary.LittleEndian.Uint64(buf[p+int(l):]))
+	return pair{Name: name, N: n}, p + int(l) + 8, nil
+}
+
+func (pairCodec) FixedSize() int { return 0 }
+
+func TestSorterStructAllAlgorithms(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	in := make([]pair, 15000)
+	for i := range in {
+		in[i] = pair{
+			Name: fmt.Sprintf("user-%03d", rng.Intn(500)),
+			N:    rng.Int63n(1000),
+		}
+	}
+	for _, alg := range testAlgorithms {
+		s, err := New(pairLess,
+			WithAlgorithm(alg),
+			WithMemoryRecords(testMemory),
+			WithCodec[pair](pairCodec{}),
+			WithSeed(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, stats, err := s.SortSlice(context.Background(), in)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		checkSortedPermutation(t, in, out, pairLess)
+		if stats.Runs < 2 {
+			t.Fatalf("%v: only %d runs", alg, stats.Runs)
+		}
+	}
+}
+
+func TestSorterHeuristicsAndSetupsOnStrings(t *testing.T) {
+	// The full 2WRS heuristic surface over a comparator-only type: the
+	// numeric heuristics must fall back cleanly and stay correct.
+	rng := rand.New(rand.NewSource(14))
+	in := make([]string, 4000)
+	for i := range in {
+		in[i] = fmt.Sprintf("%06x", rng.Intn(1<<22))
+	}
+	less := func(a, b string) bool { return a < b }
+	for _, setup := range []BufferSetup{InputBufferOnly, BothBuffers, VictimBufferOnly} {
+		for _, in2 := range []InputHeuristic{InputRandom, InputAlternate, InputMean, InputMedian, InputUseful, InputBalancing} {
+			for _, out2 := range []OutputHeuristic{OutputRandom, OutputAlternate, OutputUseful, OutputBalancing, OutputMinDistance} {
+				s, err := New(less,
+					WithMemoryRecords(128),
+					WithBufferSetup(setup),
+					WithBufferFraction(0.1),
+					WithHeuristics(in2, out2),
+					WithSeed(4))
+				if err != nil {
+					t.Fatal(err)
+				}
+				out, _, err := s.SortSlice(context.Background(), in)
+				if err != nil {
+					t.Fatalf("setup=%v in=%v out=%v: %v", setup, in2, out2, err)
+				}
+				checkSortedPermutation(t, in, out, less)
+			}
+		}
+	}
+}
+
+func TestSorterContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	less := func(a, b int64) bool { return a < b }
+	s, err := New(less, WithMemoryRecords(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An endless source; the sort can only terminate through cancellation.
+	n := 0
+	src := sourceFunc[int64](func() (int64, error) {
+		n++
+		if n == 10000 {
+			cancel()
+		}
+		return int64(n % 977), nil
+	})
+	var out discardSink[int64]
+	_, err = s.Sort(ctx, src, &out)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sort returned %v, want context.Canceled", err)
+	}
+	if n > 10000+2048 {
+		t.Fatalf("source read %d times after cancellation; batch checks not honoured", n)
+	}
+}
+
+func TestSorterAlreadyCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s, err := New(func(a, b int64) bool { return a < b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.SortSlice(ctx, []int64{3, 1, 2}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+type sourceFunc[T any] func() (T, error)
+
+func (f sourceFunc[T]) Read() (T, error) { return f() }
+
+type discardSink[T any] struct{ n int64 }
+
+func (d *discardSink[T]) Write(T) error { d.n++; return nil }
+
+func TestSorterTempDirStrings(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	in := make([]string, 5000)
+	for i := range in {
+		in[i] = fmt.Sprintf("%08d-%d", rng.Intn(1<<20), i)
+	}
+	less := func(a, b string) bool { return a < b }
+	s, err := New(less, WithMemoryRecords(200), WithTempDir(t.TempDir()+"/runs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := s.SortSlice(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSortedPermutation(t, in, out, less)
+}
+
+func TestNewRejectsBadInputs(t *testing.T) {
+	lessInt := func(a, b int64) bool { return a < b }
+	if _, err := New[int64](nil); err == nil {
+		t.Fatal("nil comparator should be rejected")
+	}
+	if _, err := New(func(a, b struct{ X int }) bool { return a.X < b.X }); err == nil {
+		t.Fatal("unknown element type without WithCodec should be rejected")
+	}
+	if _, err := New(lessInt, WithCodec(StringCodec())); err == nil {
+		t.Fatal("codec/element type mismatch should be rejected")
+	}
+	if _, err := New(lessInt, WithKey(func(s string) float64 { return 0 })); err == nil {
+		t.Fatal("key/element type mismatch should be rejected")
+	}
+	if _, err := New(lessInt, WithElementBytes(-4)); err == nil {
+		t.Fatal("negative element bytes should be rejected")
+	}
+}
+
+func TestConfigValidateTable(t *testing.T) {
+	valid := DefaultConfig(1000)
+	cases := []struct {
+		name    string
+		mutate  func(*Config)
+		wantErr string
+	}{
+		{"default ok", func(c *Config) {}, ""},
+		{"zero value invalid", func(c *Config) { *c = Config{} }, "memory"},
+		{"negative memory", func(c *Config) { c.MemoryRecords = -5 }, "memory"},
+		{"tiny memory", func(c *Config) { c.MemoryRecords = 2 }, "too small"},
+		{"fan-in one", func(c *Config) { c.FanIn = 1 }, "fan-in"},
+		{"fan-in zero", func(c *Config) { c.FanIn = 0 }, "fan-in"},
+		{"fraction zero", func(c *Config) { c.BufferFraction = 0 }, "fraction"},
+		{"fraction negative", func(c *Config) { c.BufferFraction = -0.1 }, "fraction"},
+		{"fraction too large", func(c *Config) { c.BufferFraction = 0.6 }, "fraction"},
+		{"fraction at bound ok", func(c *Config) { c.BufferFraction = 0.5 }, ""},
+		{"unknown algorithm", func(c *Config) { c.Algorithm = Algorithm(42) }, "algorithm"},
+		{"unknown setup", func(c *Config) { c.Setup = BufferSetup(9) }, "setup"},
+		{"unknown input heuristic", func(c *Config) { c.Input = InputHeuristic(99) }, "input heuristic"},
+		{"unknown output heuristic", func(c *Config) { c.Output = OutputHeuristic(99) }, "output heuristic"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := valid
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate() = %v, want error mentioning %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestNewValidatesConfig(t *testing.T) {
+	less := func(a, b int64) bool { return a < b }
+	if _, err := New(less, WithFanIn(1)); err == nil {
+		t.Fatal("New should validate fan-in")
+	}
+	if _, err := New(less, WithMemoryRecords(0)); err == nil {
+		t.Fatal("New should validate memory")
+	}
+	if _, err := New(less, WithBufferFraction(0.9)); err == nil {
+		t.Fatal("New should validate buffer fraction")
+	}
+}
+
+func TestLegacySortRejectsBadConfig(t *testing.T) {
+	if _, _, err := SortSlice(nil, Config{}); err == nil {
+		t.Fatal("zero config should be rejected")
+	}
+}
+
+func TestLegacyHandBuiltConfigStillSorts(t *testing.T) {
+	// Seed-era behavior: a hand-built config with zero FanIn/BufferFraction
+	// relied on downstream defaulting. The wrappers must keep accepting it.
+	recs := Dataset(DatasetRandom, 3000, 1)
+	out, _, err := SortSlice(recs, Config{Algorithm: RS, MemoryRecords: 1000})
+	if err != nil || len(out) != len(recs) {
+		t.Fatalf("seed-era hand-built config: err=%v len=%d", err, len(out))
+	}
+}
+
+// TestSorterLargeVariableStrings is a scaled-down version of
+// examples/strings: many variable-length strings under a memory budget far
+// smaller than the input, through the variable-width codec.
+func TestSorterLargeVariableStrings(t *testing.T) {
+	n := 30000
+	if testing.Short() {
+		n = 5000
+	}
+	rng := rand.New(rand.NewSource(16))
+	in := make([]string, n)
+	for i := range in {
+		l := 4 + rng.Intn(60)
+		b := make([]byte, l)
+		for j := range b {
+			b[j] = byte('!' + rng.Intn(90))
+		}
+		in[i] = string(b)
+	}
+	less := func(a, b string) bool { return a < b }
+	s, err := New(less, WithMemoryRecords(512), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, stats, err := s.SortSlice(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSortedPermutation(t, in, out, less)
+	if want := n / (4 * 512); stats.Runs < max(2, want) {
+		t.Fatalf("expected ≥%d runs under the small budget, got %d", max(2, want), stats.Runs)
+	}
+}
+
+// TestSorterStreamsMatchIO verifies the generic Sort streams from a Source
+// to a Sink rather than materialising, by feeding it from a reader and
+// checking EOF semantics.
+func TestSorterSourceSinkStreaming(t *testing.T) {
+	less := func(a, b int64) bool { return a < b }
+	s, err := New(less, WithMemoryRecords(64), WithSeed(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10000
+	i := 0
+	src := sourceFunc[int64](func() (int64, error) {
+		if i == n {
+			return 0, io.EOF
+		}
+		i++
+		return int64((i * 7919) % 104729), nil
+	})
+	var got []int64
+	dst := sinkFunc[int64](func(v int64) error { got = append(got, v); return nil })
+	stats, err := s.Sort(context.Background(), src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != n || len(got) != n {
+		t.Fatalf("streamed %d records, stats %+v", len(got), stats)
+	}
+	if !sort.SliceIsSorted(got, func(a, b int) bool { return got[a] < got[b] }) {
+		t.Fatal("streamed output not sorted")
+	}
+}
+
+type sinkFunc[T any] func(T) error
+
+func (f sinkFunc[T]) Write(v T) error { return f(v) }
