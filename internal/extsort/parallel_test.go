@@ -1,0 +1,148 @@
+package extsort
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/record"
+	"repro/internal/rs"
+	"repro/internal/runio"
+	"repro/internal/vfs"
+)
+
+// readFile returns the full contents of a MemFS file.
+func readFile(t *testing.T, fs vfs.FS, name string) []byte {
+	t.Helper()
+	f, err := fs.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, size)
+	if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+// fsFingerprint snapshots every file of the FS by name.
+func fsFingerprint(t *testing.T, fs vfs.FS) map[string][]byte {
+	t.Helper()
+	names, err := fs.Names()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string][]byte, len(names))
+	for _, n := range names {
+		out[n] = readFile(t, fs, n)
+	}
+	return out
+}
+
+// TestRunFilesByteIdenticalAsync is the on-disk-format fixture: for a fixed
+// seed, run generation through a synchronous emitter and through an
+// asynchronous one (what Parallelism > 1 enables) must produce exactly the
+// same files with exactly the same bytes, for both 2WRS and RS.
+func TestRunFilesByteIdenticalAsync(t *testing.T) {
+	recs := gen.Generate(gen.Config{Kind: gen.MixedBalanced, N: 20000, Seed: 7, Noise: 100})
+
+	generate := func(async bool, alg Algorithm) map[string][]byte {
+		fs := vfs.NewMemFS()
+		em := runio.RecordEmitter(fs, "fix")
+		em.Async = async
+		em.PagesPerFile = 64
+		var err error
+		switch alg {
+		case TwoWayRS:
+			_, err = core.Generate[record.Record](record.NewSliceReader(recs), em, core.Config{
+				Memory: 500, Setup: core.BothBuffers, BufferFrac: 0.02,
+				Input: core.InMean, Output: core.OutRandom, Seed: 11,
+			}, record.Key)
+		case RS:
+			_, err = rs.Generate[record.Record](record.NewSliceReader(recs), em, 500)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fsFingerprint(t, fs)
+	}
+
+	for _, alg := range []Algorithm{TwoWayRS, RS} {
+		sync := generate(false, alg)
+		async := generate(true, alg)
+		if len(sync) == 0 {
+			t.Fatalf("%v: no run files produced", alg)
+		}
+		if len(sync) != len(async) {
+			t.Fatalf("%v: file sets differ: %d sync vs %d async", alg, len(sync), len(async))
+		}
+		for name, want := range sync {
+			got, ok := async[name]
+			if !ok {
+				t.Fatalf("%v: file %s missing from async run", alg, name)
+			}
+			if !bytes.Equal(want, got) {
+				t.Fatalf("%v: file %s differs between sync and async spill", alg, name)
+			}
+		}
+	}
+}
+
+// TestSortParallelismEquivalence runs the same sort at Parallelism 1 and 4
+// (and the default) and requires identical sorted output and identical
+// run-generation statistics — concurrency must change only the schedule.
+func TestSortParallelismEquivalence(t *testing.T) {
+	recs := gen.Generate(gen.Config{Kind: gen.Random, N: 30000, Seed: 9})
+
+	run := func(par int) ([]record.Record, Stats) {
+		cfg := Recommended(300) // ~100 runs: several intermediate merge passes
+		cfg.Parallelism = par
+		out, stats, err := SortSlice(recs, cfg, RecordOps())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out, stats
+	}
+
+	base, baseStats := run(1)
+	if !record.IsSorted(base) || len(base) != len(recs) {
+		t.Fatal("sequential output wrong")
+	}
+	for _, par := range []int{0, 4} {
+		out, stats := run(par)
+		if len(out) != len(base) {
+			t.Fatalf("parallelism %d: output length %d, want %d", par, len(out), len(base))
+		}
+		for i := range out {
+			if out[i] != base[i] {
+				t.Fatalf("parallelism %d: output diverges at %d", par, i)
+			}
+		}
+		if stats.Runs != baseStats.Runs || stats.Records != baseStats.Records {
+			t.Fatalf("parallelism %d: run generation stats diverged: %+v vs %+v", par, stats, baseStats)
+		}
+	}
+}
+
+// TestSortParallelWriteFailure verifies error propagation through the
+// worker pool and the async spill writers.
+func TestSortParallelWriteFailure(t *testing.T) {
+	recs := gen.Generate(gen.Config{Kind: gen.Random, N: 20000, Seed: 1})
+	for _, budget := range []int64{0, 1, 5, 50, 120} {
+		fs := &faultFS{FS: vfs.NewMemFS(), writesLeft: budget}
+		cfg := Recommended(200)
+		cfg.Parallelism = 4
+		var out record.SliceWriter
+		_, err := Sort(record.NewSliceReader(recs), &out, fs, cfg, RecordOps())
+		if err == nil {
+			t.Fatalf("budget %d: parallel sort swallowed the injected failure", budget)
+		}
+	}
+}

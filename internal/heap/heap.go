@@ -18,91 +18,125 @@ type Item[T any] struct {
 	Run int
 }
 
-// side is a binary heap laid out over a shared backing array. A mirrored
+// arity is the branching factor of the heaps. With a caller-supplied
+// comparator the dominant sift cost is the indirect comparison call, and
+// binary heaps driven by bottom-up sifting perform the fewest comparisons
+// per pop (≈log2 n, versus (d−1)·logd n for a d-ary layout), which
+// measures faster end to end than wider nodes despite the deeper walk.
+const arity = 2
+
+// side is a d-ary heap laid out over a shared backing array. A mirrored
 // side stores its logical index i at physical position len(arr)-1-i, which
 // is how the TopHeap and BottomHeap of 2WRS share one allocation and trade
-// capacity 1:1 (§4.1, Figures 4.3-4.5).
+// capacity 1:1 (§4.1, Figures 4.3-4.5). The mapping is kept branchless as
+// physical = base + stride·logical (forward: base 0, stride +1; mirrored:
+// base len-1, stride −1), because these accessors are the hottest
+// instructions of the whole sorter.
 type side[T any] struct {
 	arr    []Item[T]
 	less   func(a, b T) bool
 	n      int
-	mirror bool // grow from the end of arr downward
+	base   int  // physical index of logical slot 0
+	stride int  // +1 forward, -1 mirrored
 	desc   bool // max-heap by element (BottomHeap); min-heap otherwise
 }
 
-// before reports whether a has strictly higher priority than b: lower run
-// first, then the element order in the side's direction.
-func (s *side[T]) before(a, b Item[T]) bool {
+// beforeItem reports whether a has strictly higher priority than b: lower
+// run first, then the element order in the side's direction. It is a free
+// function over hoisted locals so the hot sift loops inline it.
+func beforeItem[T any](a, b Item[T], less func(a, b T) bool, desc bool) bool {
 	if a.Run != b.Run {
 		return a.Run < b.Run
 	}
-	if s.desc {
-		return s.less(b.Rec, a.Rec)
+	if desc {
+		return less(b.Rec, a.Rec)
 	}
-	return s.less(a.Rec, b.Rec)
+	return less(a.Rec, b.Rec)
 }
 
-func (s *side[T]) phys(i int) int {
-	if s.mirror {
-		return len(s.arr) - 1 - i
-	}
-	return i
+// before reports whether a has strictly higher priority than b.
+func (s *side[T]) before(a, b Item[T]) bool {
+	return beforeItem(a, b, s.less, s.desc)
 }
 
-func (s *side[T]) at(i int) Item[T]      { return s.arr[s.phys(i)] }
-func (s *side[T]) set(i int, it Item[T]) { s.arr[s.phys(i)] = it }
-func (s *side[T]) swap(i, j int) {
-	pi, pj := s.phys(i), s.phys(j)
-	s.arr[pi], s.arr[pj] = s.arr[pj], s.arr[pi]
-}
-func (s *side[T]) len() int        { return s.n }
-func (s *side[T]) push(it Item[T]) { s.set(s.n, it); s.n++; s.siftUp(s.n - 1) }
-func (s *side[T]) peek() Item[T]   { return s.at(0) }
+func (s *side[T]) at(i int) Item[T]      { return s.arr[s.base+s.stride*i] }
+func (s *side[T]) set(i int, it Item[T]) { s.arr[s.base+s.stride*i] = it }
+func (s *side[T]) len() int              { return s.n }
+func (s *side[T]) peek() Item[T]         { return s.at(0) }
 
-func (s *side[T]) pop() Item[T] {
-	top := s.at(0)
-	s.n--
-	if s.n > 0 {
-		s.set(0, s.at(s.n))
-		s.siftDown(0)
-	}
-	s.set(s.n, Item[T]{}) // clear the vacated slot so DoubleHeap slots stay tidy
-	return top
-}
-
-func (s *side[T]) siftUp(i int) {
+// push inserts by walking a hole up from the new leaf: ancestors move down
+// one slot each until the item's position is found, writing each slot once
+// (no swaps). State is hoisted into locals so the loop compiles to direct
+// loads and stores.
+func (s *side[T]) push(it Item[T]) {
+	arr, base, stride, less, desc := s.arr, s.base, s.stride, s.less, s.desc
+	i := s.n
+	s.n++
 	for i > 0 {
-		parent := (i - 1) / 2
-		if !s.before(s.at(i), s.at(parent)) {
-			return
+		parent := (i - 1) / arity
+		p := arr[base+stride*parent]
+		if !beforeItem(it, p, less, desc) {
+			break
 		}
-		s.swap(i, parent)
+		arr[base+stride*i] = p
 		i = parent
 	}
+	arr[base+stride*i] = it
 }
 
-func (s *side[T]) siftDown(i int) {
+// pop removes the root using bottom-up sifting (Wegener): the hole left at
+// the root walks down the best-child path to a leaf — one comparison per
+// level instead of two, each level reading both children exactly once and
+// writing once — and the former last leaf is then sifted up from there,
+// which on replacement-selection workloads almost always terminates
+// immediately because a leaf is low-priority. Vacated slots are not zeroed;
+// they are invisible to both sides and overwritten by later pushes.
+func (s *side[T]) pop() Item[T] {
+	arr, base, stride, less, desc := s.arr, s.base, s.stride, s.less, s.desc
+	n := s.n - 1
+	s.n = n
+	top := arr[base]
+	if n == 0 {
+		return top
+	}
+	it := arr[base+stride*n] // former last leaf, to be re-placed
+	i := 0
 	for {
-		l, r := 2*i+1, 2*i+2
-		best := i
-		if l < s.n && s.before(s.at(l), s.at(best)) {
-			best = l
+		l := arity*i + 1
+		if l >= n {
+			break
 		}
-		if r < s.n && s.before(s.at(r), s.at(best)) {
-			best = r
+		hi := l + arity
+		if hi > n {
+			hi = n
 		}
-		if best == i {
-			return
+		best, bi := l, arr[base+stride*l]
+		for c := l + 1; c < hi; c++ {
+			ci := arr[base+stride*c]
+			if beforeItem(ci, bi, less, desc) {
+				best, bi = c, ci
+			}
 		}
-		s.swap(i, best)
+		arr[base+stride*i] = bi
 		i = best
 	}
+	for i > 0 {
+		parent := (i - 1) / arity
+		p := arr[base+stride*parent]
+		if !beforeItem(it, p, less, desc) {
+			break
+		}
+		arr[base+stride*i] = p
+		i = parent
+	}
+	arr[base+stride*i] = it
+	return top
 }
 
 // valid reports whether the heap property holds everywhere; used by tests.
 func (s *side[T]) valid() bool {
 	for i := 1; i < s.n; i++ {
-		if s.before(s.at(i), s.at((i-1)/2)) {
+		if s.before(s.at(i), s.at((i-1)/arity)) {
 			return false
 		}
 	}
@@ -124,7 +158,7 @@ func New[T any](capacity int, desc bool, less func(a, b T) bool) *Heap[T] {
 	if less == nil {
 		panic("heap: nil comparator")
 	}
-	return &Heap[T]{s: side[T]{arr: make([]Item[T], capacity), desc: desc, less: less}}
+	return &Heap[T]{s: side[T]{arr: make([]Item[T], capacity), stride: 1, desc: desc, less: less}}
 }
 
 // Len returns the number of items currently stored.
@@ -163,9 +197,11 @@ func (h *Heap[T]) Peek() Item[T] {
 	return h.s.peek()
 }
 
-// Reset empties the heap, retaining its backing array.
+// Reset empties the heap, retaining its backing array. The whole array is
+// cleared — pop leaves vacated slots populated — so retained references are
+// released here.
 func (h *Heap[T]) Reset() {
-	clear(h.s.arr[:h.s.n])
+	clear(h.s.arr)
 	h.s.n = 0
 }
 
@@ -195,8 +231,8 @@ func NewDouble[T any](capacity int, less func(a, b T) bool) *DoubleHeap[T] {
 	arr := make([]Item[T], capacity)
 	return &DoubleHeap[T]{
 		arr:    arr,
-		bottom: side[T]{arr: arr, desc: true, less: less},
-		top:    side[T]{arr: arr, mirror: true, less: less},
+		bottom: side[T]{arr: arr, stride: 1, desc: true, less: less},
+		top:    side[T]{arr: arr, base: capacity - 1, stride: -1, less: less},
 	}
 }
 

@@ -17,28 +17,94 @@ type Source[T any] interface {
 	Close() error
 }
 
+// leafBatch is the element count of the per-input refill buffers both merge
+// engines keep: each leaf advance is an array index, and the underlying
+// run-reader stack is entered once per leafBatch elements.
+const leafBatch = 256
+
+// leaves holds the per-source refill buffers shared by both engines.
+type leaves[T any] struct {
+	srcs []Source[T]
+	brs  []stream.BatchReader[T]
+	bufs [][]T
+	pos  []int
+	cnt  []int
+}
+
+func newLeaves[T any](srcs []Source[T]) *leaves[T] {
+	k := len(srcs)
+	l := &leaves[T]{
+		srcs: srcs,
+		brs:  make([]stream.BatchReader[T], k),
+		bufs: make([][]T, k),
+		pos:  make([]int, k),
+		cnt:  make([]int, k),
+	}
+	for i, s := range srcs {
+		l.brs[i] = stream.AsBatchReader[T](s)
+		l.bufs[i] = make([]T, leafBatch)
+	}
+	return l
+}
+
+// next pulls the next element of source i from its batch buffer, refilling
+// from the source once per leafBatch elements. ok is false at end of the
+// source's stream.
+func (l *leaves[T]) next(i int) (v T, ok bool, err error) {
+	if l.pos[i] < l.cnt[i] {
+		v = l.bufs[i][l.pos[i]]
+		l.pos[i]++
+		return v, true, nil
+	}
+	n, err := l.brs[i].ReadBatch(l.bufs[i])
+	if err == io.EOF || (err == nil && n == 0) {
+		var zero T
+		return zero, false, nil
+	}
+	if err != nil {
+		var zero T
+		return zero, false, err
+	}
+	l.pos[i], l.cnt[i] = 1, n
+	return l.bufs[i][0], true, nil
+}
+
+// closeAll closes every source, returning the first error.
+func (l *leaves[T]) closeAll() error {
+	var first error
+	for _, s := range l.srcs {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 // LoserTree is a tournament tree over k sorted sources. Compared with a
 // heap of sources it performs exactly ⌈log2 k⌉ comparisons per record (the
 // winner replays only its own path), which is why database sorters prefer
-// it; BenchmarkAblationMergeEngine quantifies the difference.
+// it; BenchmarkAblationMergeEngine quantifies the difference. Leaves are
+// refilled from per-input batch buffers, so source dispatch is paid once
+// per leafBatch elements.
 type LoserTree[T any] struct {
-	srcs []Source[T]
-	cmp  func(a, b T) bool
+	lv  *leaves[T]
+	cmp func(a, b T) bool
 	// cur[i] is the head element of source i; done[i] marks exhaustion.
 	cur  []T
 	done []bool
 	// tree[j] holds the loser of the match at internal node j; tree[0]
 	// holds the overall winner.
-	tree   []int
-	k      int
-	closed bool
+	tree    []int
+	k       int
+	closed  bool
+	pendErr error // error deferred by ReadBatch after a partial batch
 }
 
 // NewLoserTree builds a tree over the given sources, priming each one.
 func NewLoserTree[T any](srcs []Source[T], less func(a, b T) bool) (*LoserTree[T], error) {
 	k := len(srcs)
 	t := &LoserTree[T]{
-		srcs: srcs,
+		lv:   newLeaves(srcs),
 		cmp:  less,
 		cur:  make([]T, k),
 		done: make([]bool, k),
@@ -55,15 +121,15 @@ func NewLoserTree[T any](srcs []Source[T], less func(a, b T) bool) (*LoserTree[T
 	return t, nil
 }
 
-// advance pulls the next element from source i.
+// advance pulls the next element from source i's leaf buffer.
 func (t *LoserTree[T]) advance(i int) error {
-	rec, err := t.srcs[i].Read()
-	if err == io.EOF {
-		t.done[i] = true
-		return nil
-	}
+	rec, ok, err := t.lv.next(i)
 	if err != nil {
 		return err
+	}
+	if !ok {
+		t.done[i] = true
+		return nil
 	}
 	t.cur[i] = rec
 	return nil
@@ -137,43 +203,48 @@ func (t *LoserTree[T]) Read() (T, error) {
 	return rec, nil
 }
 
+// ReadBatch fills dst with the next elements in global sorted order per the
+// stream.BatchReader contract, replaying the winner path once per element
+// but paying the interface dispatch to the caller only once per batch.
+func (t *LoserTree[T]) ReadBatch(dst []T) (int, error) {
+	if t.closed {
+		return 0, stream.ErrClosed
+	}
+	return stream.ReadBatchElems[T](t, &t.pendErr, dst)
+}
+
 // Close closes every source, returning the first error encountered.
 func (t *LoserTree[T]) Close() error {
 	if t.closed {
 		return stream.ErrClosed
 	}
 	t.closed = true
-	var first error
-	for _, s := range t.srcs {
-		if err := s.Close(); err != nil && first == nil {
-			first = err
-		}
-	}
-	return first
+	return t.lv.closeAll()
 }
 
 // HeapMerger is the naive alternative: a binary heap of sources, costing up
 // to 2·log2 k comparisons per record. It exists as the ablation baseline
 // for the loser tree.
 type HeapMerger[T any] struct {
-	srcs   []Source[T]
-	cmp    func(a, b T) bool
-	heap   []int // source indices ordered by head element
-	cur    []T
-	closed bool
+	lv      *leaves[T]
+	cmp     func(a, b T) bool
+	heap    []int // source indices ordered by head element
+	cur     []T
+	closed  bool
+	pendErr error // error deferred by ReadBatch after a partial batch
 }
 
 // NewHeapMerger builds a heap-based merger over the sources.
 func NewHeapMerger[T any](srcs []Source[T], less func(a, b T) bool) (*HeapMerger[T], error) {
-	m := &HeapMerger[T]{srcs: srcs, cmp: less, cur: make([]T, len(srcs))}
+	m := &HeapMerger[T]{lv: newLeaves(srcs), cmp: less, cur: make([]T, len(srcs))}
 	for i := range srcs {
-		rec, err := srcs[i].Read()
-		if err == io.EOF {
-			continue
-		}
+		rec, ok, err := m.lv.next(i)
 		if err != nil {
 			m.Close()
 			return nil, err
+		}
+		if !ok {
+			continue
 		}
 		m.cur[i] = rec
 		m.heap = append(m.heap, i)
@@ -224,21 +295,31 @@ func (m *HeapMerger[T]) Read() (T, error) {
 	}
 	src := m.heap[0]
 	rec := m.cur[src]
-	next, err := m.srcs[src].Read()
-	if err == io.EOF {
+	next, ok, err := m.lv.next(src)
+	if err != nil {
+		return zero, err
+	}
+	if !ok {
 		last := len(m.heap) - 1
 		m.heap[0] = m.heap[last]
 		m.heap = m.heap[:last]
 		if len(m.heap) > 0 {
 			m.down(0)
 		}
-	} else if err != nil {
-		return zero, err
 	} else {
 		m.cur[src] = next
 		m.down(0)
 	}
 	return rec, nil
+}
+
+// ReadBatch fills dst with the next elements in global sorted order per the
+// stream.BatchReader contract.
+func (m *HeapMerger[T]) ReadBatch(dst []T) (int, error) {
+	if m.closed {
+		return 0, stream.ErrClosed
+	}
+	return stream.ReadBatchElems[T](m, &m.pendErr, dst)
 }
 
 // Close closes every source.
@@ -247,11 +328,5 @@ func (m *HeapMerger[T]) Close() error {
 		return stream.ErrClosed
 	}
 	m.closed = true
-	var first error
-	for _, s := range m.srcs {
-		if err := s.Close(); err != nil && first == nil {
-			first = err
-		}
-	}
-	return first
+	return m.lv.closeAll()
 }

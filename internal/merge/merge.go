@@ -2,7 +2,9 @@ package merge
 
 import (
 	"fmt"
+	"io"
 	"sort"
+	"sync"
 
 	"repro/internal/runio"
 	"repro/internal/stream"
@@ -20,6 +22,12 @@ const (
 	EngineHeap
 )
 
+// batchLen is the element count of the engine→writer copy buffer (the
+// engines keep their own per-input leaf buffers, see leafBatch). 256
+// elements amortise interface dispatch to noise while costing only a few
+// KB on top of the byte buffers.
+const batchLen = 256
+
 // Config parameterises the merge phase.
 type Config struct {
 	// FanIn is the number of inputs merged simultaneously (thesis optimum:
@@ -30,6 +38,15 @@ type Config struct {
 	MemoryBytes int
 	// Engine selects the k-way implementation.
 	Engine Engine
+	// Workers bounds how many independent intermediate merges run
+	// concurrently. ≤1 reproduces the sequential smallest-first schedule
+	// exactly; above 1 each intermediate pass is planned up front and its
+	// merge operations execute on a worker pool.
+	Workers int
+	// Cancel, when set, is polled between batches of every merge operation;
+	// a non-nil return aborts the merge with that error. The driver wires
+	// it to ctx.Err so cancellation fires promptly mid-merge.
+	Cancel func() error
 }
 
 // bufBytes returns the per-stream buffer budget for a merge of the given
@@ -45,6 +62,13 @@ func (c Config) bufBytes(width int) int {
 		b = runio.DefaultPageSize
 	}
 	return b
+}
+
+func (c Config) cancelled() error {
+	if c.Cancel == nil {
+		return nil
+	}
+	return c.Cancel()
 }
 
 // Stats reports what the merge phase did.
@@ -88,6 +112,16 @@ func openInputs[T any](em *runio.Emitter[T], runs []runio.Run, bufBytes int) ([]
 	return srcs, nil
 }
 
+// depthRun pairs a run with the depth of the merge tree that produced it.
+type depthRun struct {
+	run   runio.Run
+	depth int
+}
+
+func sortBySize(queue []depthRun) {
+	sort.SliceStable(queue, func(i, j int) bool { return queue[i].run.Records < queue[j].run.Records })
+}
+
 // Merge combines the given sorted inputs into dst using repeated FanIn-way
 // merges scheduled smallest-first — the optimal merge pattern (Knuth vol. 3
 // §5.4.9): merging the smallest runs first minimises the total volume moved
@@ -96,6 +130,12 @@ func openInputs[T any](em *runio.Emitter[T], runs []runio.Run, bufBytes int) ([]
 // ((n-1) mod (FanIn-1)) + 1 runs so that every later merge is full-width.
 // Intermediate runs are deleted as soon as they are consumed; the final
 // merge streams directly to dst.
+//
+// With Workers > 1 the intermediate merges of each pass are independent —
+// they touch disjoint input runs and write distinct output files — and run
+// concurrently on a bounded worker pool. The result stream is identical;
+// only the wall-clock schedule (and, slightly, the grouping of runs into
+// merge operations) changes.
 //
 // Each input is one sorted stream when opened: a 2WRS run with overlapping
 // stream ranges interleaves its segments on the fly (runio.OpenRun), so
@@ -109,44 +149,19 @@ func Merge[T any](fs vfs.FS, em *runio.Emitter[T], inputs []runio.Run, dst strea
 		return stats, nil
 	}
 
-	type depthRun struct {
-		run   runio.Run
-		depth int
-	}
 	queue := make([]depthRun, 0, len(inputs))
 	for _, r := range inputs {
 		queue = append(queue, depthRun{run: r})
 	}
-	bySize := func() {
-		sort.SliceStable(queue, func(i, j int) bool { return queue[i].run.Records < queue[j].run.Records })
-	}
-	bySize()
 
-	// Width of the first internal merge so all later ones are full.
-	firstWidth := (len(queue)-1)%(cfg.FanIn-1) + 1
-	for len(queue) > cfg.FanIn {
-		width := cfg.FanIn
-		if firstWidth > 1 {
-			width = firstWidth
-		}
-		firstWidth = 0
-		group := make([]runio.Run, 0, width)
-		depth := 0
-		for _, dr := range queue[:width] {
-			group = append(group, dr.run)
-			if dr.depth > depth {
-				depth = dr.depth
-			}
-		}
-		queue = queue[width:]
-		out, err := mergeGroup(fs, em, group, cfg.bufBytes(width), cfg)
-		if err != nil {
-			return stats, err
-		}
-		stats.Merges++
-		stats.RecordsMoved += out.Records
-		queue = append(queue, depthRun{run: out, depth: depth + 1})
-		bySize()
+	var err error
+	if cfg.Workers > 1 {
+		queue, err = reduceParallel(fs, em, queue, cfg, &stats)
+	} else {
+		queue, err = reduceSequential(fs, em, queue, cfg, &stats)
+	}
+	if err != nil {
+		return stats, err
 	}
 
 	// Final merge: straight into dst.
@@ -174,7 +189,7 @@ func Merge[T any](fs vfs.FS, em *runio.Emitter[T], inputs []runio.Run, dst strea
 		stats.Merges++
 		stats.Passes = depth + 1
 	}
-	if _, err := stream.Copy(dst, eng); err != nil {
+	if _, err := copyCancel[T](dst, eng, cfg); err != nil {
 		eng.Close()
 		return stats, err
 	}
@@ -189,9 +204,169 @@ func Merge[T any](fs vfs.FS, em *runio.Emitter[T], inputs []runio.Run, dst strea
 	return stats, nil
 }
 
-// mergeGroup merges one group of runs into a fresh intermediate run and
-// deletes the consumed inputs.
-func mergeGroup[T any](fs vfs.FS, em *runio.Emitter[T], group []runio.Run, bufBytes int, cfg Config) (runio.Run, error) {
+// reduceSequential is the historical schedule: one merge at a time,
+// smallest runs first, the queue re-sorted after every operation so
+// intermediate outputs compete on size with the remaining originals.
+func reduceSequential[T any](fs vfs.FS, em *runio.Emitter[T], queue []depthRun, cfg Config, stats *Stats) ([]depthRun, error) {
+	sortBySize(queue)
+	// Width of the first internal merge so all later ones are full.
+	firstWidth := (len(queue)-1)%(cfg.FanIn-1) + 1
+	for len(queue) > cfg.FanIn {
+		if err := cfg.cancelled(); err != nil {
+			return queue, err
+		}
+		width := cfg.FanIn
+		if firstWidth > 1 {
+			width = firstWidth
+		}
+		firstWidth = 0
+		group := make([]runio.Run, 0, width)
+		depth := 0
+		for _, dr := range queue[:width] {
+			group = append(group, dr.run)
+			if dr.depth > depth {
+				depth = dr.depth
+			}
+		}
+		queue = queue[width:]
+		out, err := mergeGroup(fs, em, group, em.Namer.Next("merge"), cfg.bufBytes(width), cfg)
+		if err != nil {
+			return queue, err
+		}
+		stats.Merges++
+		stats.RecordsMoved += out.Records
+		queue = append(queue, depthRun{run: out, depth: depth + 1})
+		sortBySize(queue)
+	}
+	return queue, nil
+}
+
+// reduceParallel reduces the queue to ≤ FanIn runs in planned passes. Each
+// pass groups the currently smallest runs exactly like the sequential
+// schedule would, pre-allocates the output file names, and executes the
+// groups — which touch disjoint runs — concurrently on a pool of at most
+// cfg.Workers goroutines.
+func reduceParallel[T any](fs vfs.FS, em *runio.Emitter[T], queue []depthRun, cfg Config, stats *Stats) ([]depthRun, error) {
+	type group struct {
+		runs  []runio.Run
+		width int
+		depth int
+		name  string
+	}
+	firstWidth := (len(queue)-1)%(cfg.FanIn-1) + 1
+	for len(queue) > cfg.FanIn {
+		if err := cfg.cancelled(); err != nil {
+			return queue, err
+		}
+		sortBySize(queue)
+		// Plan this pass from the current queue only: every group is
+		// independent of the pass's own outputs.
+		var groups []group
+		total, i := len(queue), 0
+		for total > cfg.FanIn && i < len(queue) {
+			width := cfg.FanIn
+			if firstWidth > 1 {
+				width = firstWidth
+			}
+			firstWidth = 0
+			if width > len(queue)-i {
+				width = len(queue) - i
+			}
+			if width < 2 {
+				break
+			}
+			g := group{width: width, name: em.Namer.Next("merge")}
+			for _, dr := range queue[i : i+width] {
+				g.runs = append(g.runs, dr.run)
+				if dr.depth > g.depth {
+					g.depth = dr.depth
+				}
+			}
+			groups = append(groups, g)
+			i += width
+			total -= width - 1
+		}
+		rest := append([]depthRun(nil), queue[i:]...)
+
+		// The configured merge memory is a budget for the whole phase:
+		// divide it across the merges that actually run concurrently so
+		// Workers×MemoryBytes is never allocated.
+		concurrent := cfg.Workers
+		if len(groups) < concurrent {
+			concurrent = len(groups)
+		}
+		if concurrent < 1 {
+			concurrent = 1
+		}
+		share := cfg
+		share.MemoryBytes = cfg.MemoryBytes / concurrent
+
+		outs := make([]depthRun, len(groups))
+		sem := make(chan struct{}, cfg.Workers)
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		var firstErr error
+		for gi := range groups {
+			wg.Add(1)
+			go func(gi int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				g := groups[gi]
+				out, err := mergeGroup(fs, em, g.runs, g.name, share.bufBytes(g.width), cfg)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				outs[gi] = depthRun{run: out, depth: g.depth + 1}
+			}(gi)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return rest, firstErr
+		}
+		for _, o := range outs {
+			stats.Merges++
+			stats.RecordsMoved += o.run.Records
+		}
+		queue = append(rest, outs...)
+	}
+	return queue, nil
+}
+
+// copyCancel streams eng into dst in batches, polling cfg.Cancel between
+// batches so a cancelled sort aborts mid-merge rather than at its end.
+func copyCancel[T any](dst stream.Writer[T], eng Source[T], cfg Config) (int64, error) {
+	br, bw := stream.AsBatchReader[T](eng), stream.AsBatchWriter(dst)
+	buf := make([]T, batchLen)
+	var n int64
+	for {
+		if err := cfg.cancelled(); err != nil {
+			return n, err
+		}
+		k, err := br.ReadBatch(buf)
+		if k > 0 {
+			if werr := bw.WriteBatch(buf[:k]); werr != nil {
+				return n, werr
+			}
+			n += int64(k)
+		}
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+	}
+}
+
+// mergeGroup merges one group of runs into a fresh intermediate run under
+// the given pre-allocated name and deletes the consumed inputs.
+func mergeGroup[T any](fs vfs.FS, em *runio.Emitter[T], group []runio.Run, name string, bufBytes int, cfg Config) (runio.Run, error) {
 	srcs, err := openInputs(em, group, bufBytes)
 	if err != nil {
 		return runio.Run{}, err
@@ -200,13 +375,12 @@ func mergeGroup[T any](fs vfs.FS, em *runio.Emitter[T], group []runio.Run, bufBy
 	if err != nil {
 		return runio.Run{}, err
 	}
-	name := em.Namer.Next("merge")
-	w, err := runio.NewWriter(fs, name, bufBytes, em.Codec, em.Less)
+	w, err := em.NewWriter(name, bufBytes)
 	if err != nil {
 		eng.Close()
 		return runio.Run{}, err
 	}
-	if _, err := stream.Copy[T](w, eng); err != nil {
+	if _, err := copyCancel[T](w, eng, cfg); err != nil {
 		eng.Close()
 		w.Close()
 		return runio.Run{}, err

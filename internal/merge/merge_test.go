@@ -423,3 +423,63 @@ func BenchmarkAblationMergeEngine(b *testing.B) {
 		}
 	})
 }
+
+func TestMergeParallelWorkers(t *testing.T) {
+	for _, workers := range []int{2, 4, 8} {
+		fs := vfs.NewMemFS()
+		em := runio.RecordEmitter(fs, "m")
+		runs, all := makeRuns(t, fs, em, 37, 40, int64(workers))
+		var out record.SliceWriter
+		stats, err := Merge(fs, em, runs, &out, Config{FanIn: 3, MemoryBytes: 1 << 14, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !record.IsSorted(out.Recs) || len(out.Recs) != len(all) {
+			t.Fatalf("workers %d: parallel merge output wrong", workers)
+		}
+		if !record.NewMultiset(out.Recs).Equal(record.NewMultiset(all)) {
+			t.Fatalf("workers %d: parallel merge lost records", workers)
+		}
+		// 37 runs at fan-in 3 still takes 18 merge operations regardless of
+		// the schedule: every merge removes width-1 runs, the first is
+		// width-aligned, and the final 3-way streams to the destination.
+		if stats.Merges != 18 {
+			t.Fatalf("workers %d: merges = %d, want 18", workers, stats.Merges)
+		}
+		names, _ := fs.Names()
+		if len(names) != 0 {
+			t.Fatalf("workers %d: files left after merge: %v", workers, names)
+		}
+	}
+}
+
+// cancelNow is a Cancel hook that trips after a fixed number of polls.
+type cancelNow struct {
+	polls int
+	after int
+	err   error
+}
+
+func (c *cancelNow) hook() error {
+	c.polls++
+	if c.polls > c.after {
+		return c.err
+	}
+	return nil
+}
+
+func TestMergeCancelAborts(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		fs := vfs.NewMemFS()
+		em := runio.RecordEmitter(fs, "m")
+		runs, _ := makeRuns(t, fs, em, 23, 50, 5)
+		cn := &cancelNow{after: 3, err: io.ErrClosedPipe}
+		var out record.SliceWriter
+		_, err := Merge(fs, em, runs, &out, Config{
+			FanIn: 3, MemoryBytes: 1 << 14, Workers: workers, Cancel: cn.hook,
+		})
+		if err != io.ErrClosedPipe {
+			t.Fatalf("workers %d: err = %v, want the cancel error", workers, err)
+		}
+	}
+}

@@ -168,7 +168,7 @@ func Polyphase[T any](fs vfs.FS, em *runio.Emitter[T], tapes []*Tape, dst stream
 			if len(group) == 1 {
 				merged = group[0]
 			} else {
-				merged, err = mergeGroup(fs, em, group, bufBytes, cfg)
+				merged, err = mergeGroup(fs, em, group, em.Namer.Next("merge"), bufBytes, cfg)
 				if err != nil {
 					return err
 				}

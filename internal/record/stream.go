@@ -41,6 +41,19 @@ func (s *SliceReader) Read() (Record, error) {
 	return r, nil
 }
 
+// ReadBatch copies up to len(dst) records into dst.
+func (s *SliceReader) ReadBatch(dst []Record) (int, error) {
+	if s.pos >= len(s.recs) {
+		if len(dst) == 0 {
+			return 0, nil
+		}
+		return 0, io.EOF
+	}
+	n := copy(dst, s.recs[s.pos:])
+	s.pos += n
+	return n, nil
+}
+
 // Remaining reports how many records have not been read yet.
 func (s *SliceReader) Remaining() int { return len(s.recs) - s.pos }
 
@@ -58,55 +71,37 @@ func (s *SliceWriter) Write(r Record) error {
 	return nil
 }
 
-// ReadAll drains r into a slice. It is intended for tests and examples where
-// the stream is known to fit in memory.
+// WriteBatch appends src.
+func (s *SliceWriter) WriteBatch(src []Record) error {
+	s.Recs = append(s.Recs, src...)
+	return nil
+}
+
+// ReadAll drains r into a slice. It is intended for tests and examples
+// where the stream is known to fit in memory; sized sources get a
+// pre-sized result.
 func ReadAll(r Reader) ([]Record, error) {
-	var out []Record
-	for {
-		rec, err := r.Read()
-		if err == io.EOF {
-			return out, nil
-		}
-		if err != nil {
-			return out, err
-		}
-		out = append(out, rec)
-	}
+	return stream.ReadAll[Record](r)
 }
 
 // WriteAll writes every record of recs to w, stopping at the first error.
 func WriteAll(w Writer, recs []Record) error {
-	for _, r := range recs {
-		if err := w.Write(r); err != nil {
-			return err
-		}
-	}
-	return nil
+	return stream.WriteAll[Record](w, recs)
 }
 
 // Copy streams records from r to w until EOF, returning the number copied.
+// Batches move whole when either side supports the batch protocol.
 func Copy(w Writer, r Reader) (int64, error) {
-	var n int64
-	for {
-		rec, err := r.Read()
-		if err == io.EOF {
-			return n, nil
-		}
-		if err != nil {
-			return n, err
-		}
-		if err := w.Write(rec); err != nil {
-			return n, err
-		}
-		n++
-	}
+	return stream.Copy[Record](w, r)
 }
 
 // ByteReader decodes records from an io.Reader carrying the binary record
 // encoding. It buffers internally in whole-record units.
 type ByteReader struct {
-	src io.Reader
-	buf [Size]byte
+	src     io.Reader
+	buf     [Size]byte
+	slab    []byte // batch decode scratch
+	pendErr error  // error deferred by ReadBatch after a partial batch
 }
 
 // NewByteReader returns a Reader decoding records from src.
@@ -124,10 +119,46 @@ func (b *ByteReader) Read() (Record, error) {
 	return Decode(b.buf[:]), nil
 }
 
+// ReadBatch decodes up to len(dst) records from one slab read of the
+// underlying byte stream.
+func (b *ByteReader) ReadBatch(dst []Record) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	if b.pendErr != nil {
+		err := b.pendErr
+		b.pendErr = nil
+		return 0, err
+	}
+	want := len(dst) * Size
+	if cap(b.slab) < want {
+		b.slab = make([]byte, want)
+	}
+	slab := b.slab[:want]
+	n, err := io.ReadFull(b.src, slab)
+	recs := n / Size
+	for i := 0; i < recs; i++ {
+		dst[i] = Decode(slab[i*Size:])
+	}
+	if err == io.ErrUnexpectedEOF && n%Size == 0 {
+		// The stream ended cleanly on a record boundary mid-slab.
+		err = io.EOF
+	}
+	if err != nil {
+		if recs > 0 {
+			b.pendErr = err
+			return recs, nil
+		}
+		return 0, err
+	}
+	return recs, nil
+}
+
 // ByteWriter encodes records onto an io.Writer.
 type ByteWriter struct {
-	dst io.Writer
-	buf [Size]byte
+	dst  io.Writer
+	buf  [Size]byte
+	slab []byte // batch encode scratch
 }
 
 // NewByteWriter returns a Writer encoding records to dst.
@@ -137,5 +168,20 @@ func NewByteWriter(dst io.Writer) *ByteWriter { return &ByteWriter{dst: dst} }
 func (b *ByteWriter) Write(r Record) error {
 	Encode(b.buf[:], r)
 	_, err := b.dst.Write(b.buf[:])
+	return err
+}
+
+// WriteBatch encodes src into one slab and hands it to the underlying
+// writer in a single call.
+func (b *ByteWriter) WriteBatch(src []Record) error {
+	want := len(src) * Size
+	if cap(b.slab) < want {
+		b.slab = make([]byte, want)
+	}
+	slab := b.slab[:want]
+	for i, r := range src {
+		Encode(slab[i*Size:], r)
+	}
+	_, err := b.dst.Write(slab)
 	return err
 }

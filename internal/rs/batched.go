@@ -50,33 +50,37 @@ func GenerateBatched[T any](src stream.Reader[T], em *runio.Emitter[T], memory, 
 
 	less := em.Less
 	headLess := func(a, b miniHead[T]) bool { return less(a.rec, b.rec) }
+	br := stream.AsBatchReader(src)
 
 	var res Result
 	// minirun i occupies miniruns[i]; pos[i] is its cursor.
 	miniruns := make([][]T, nMini)
 	pos := make([]int, nMini)
 
-	// fill reads and sorts the next batch into slot i; reports whether any
-	// records were loaded.
+	// fill reads (in whole batches) and sorts the next minirun into slot i;
+	// reports whether any records were loaded.
 	fill := func(i int) (bool, error) {
-		buf := miniruns[i][:0]
-		if buf == nil {
-			buf = make([]T, 0, batch)
+		buf := miniruns[i]
+		if cap(buf) < batch {
+			buf = make([]T, batch)
 		}
-		for len(buf) < batch {
-			rec, err := src.Read()
+		buf = buf[:batch]
+		n, eof := 0, false
+		for n < batch && !eof {
+			k, err := br.ReadBatch(buf[n:batch])
 			if err == io.EOF {
+				eof = true
 				break
 			}
 			if err != nil {
 				return false, err
 			}
-			buf = append(buf, rec)
+			n += k
 		}
-		miniruns[i] = buf
+		miniruns[i] = buf[:n]
 		pos[i] = 0
-		res.Records += int64(len(buf))
-		if len(buf) == 0 {
+		res.Records += int64(n)
+		if n == 0 {
 			return false, nil
 		}
 		heap.Sort(miniruns[i], less)

@@ -22,6 +22,20 @@ import (
 	"repro/internal/stream"
 )
 
+// fetchLen sizes the batched input fetch buffer for a generator with the
+// given memory budget: large enough to amortise dispatch, small next to the
+// budget itself.
+func fetchLen(memory int) int {
+	n := memory / 8
+	if n < 64 {
+		n = 64
+	}
+	if n > stream.DefaultBatchLen {
+		n = stream.DefaultBatchLen
+	}
+	return n
+}
+
 // Result summarises a run-generation pass.
 type Result struct {
 	// Runs lists the generated runs in creation order.
@@ -47,15 +61,18 @@ func Generate[T any](src stream.Reader[T], em *runio.Emitter[T], memory int) (Re
 	less := em.Less
 	h := heap.New(memory, false, less)
 	var res Result
+	// All input flows through a batched fetch buffer: one ReadBatch per
+	// fetchLen elements instead of an interface call per record.
+	in := stream.NewFetcher(src, fetchLen(memory))
 
 	// Fill phase: load the heap from the input (heap.fill in Algorithm 1).
 	for !h.Full() {
-		rec, err := src.Read()
-		if err == io.EOF {
-			break
-		}
+		rec, ok, err := in.Next()
 		if err != nil {
 			return res, err
+		}
+		if !ok {
+			break
 		}
 		h.Push(heap.Item[T]{Rec: rec, Run: 0})
 		res.Records++
@@ -98,12 +115,12 @@ func Generate[T any](src stream.Reader[T], em *runio.Emitter[T], memory int) (Re
 		}
 		// Read the next input record and insert it tagged with the run it
 		// can still join.
-		rec, err := src.Read()
-		if err == io.EOF {
-			continue
-		}
+		rec, ok, err := in.Next()
 		if err != nil {
 			return res, err
+		}
+		if !ok {
+			continue
 		}
 		res.Records++
 		run := currentRun
@@ -125,20 +142,24 @@ func GenerateLSS[T any](src stream.Reader[T], em *runio.Emitter[T], memory int) 
 	if memory <= 0 {
 		return Result{}, fmt.Errorf("rs: memory must be positive, got %d", memory)
 	}
-	buf := make([]T, 0, memory)
+	buf := make([]T, memory)
+	br := stream.AsBatchReader(src)
 	var res Result
 	for {
-		buf = buf[:0]
-		for len(buf) < memory {
-			rec, err := src.Read()
+		// Fill the load buffer with whole batches.
+		fill, eof := 0, false
+		for fill < memory && !eof {
+			n, err := br.ReadBatch(buf[fill:memory])
 			if err == io.EOF {
+				eof = true
 				break
 			}
 			if err != nil {
 				return res, err
 			}
-			buf = append(buf, rec)
+			fill += n
 		}
+		buf := buf[:fill]
 		if len(buf) == 0 {
 			return res, nil
 		}

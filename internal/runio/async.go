@@ -1,0 +1,82 @@
+package runio
+
+import (
+	"sync"
+
+	"repro/internal/vfs"
+)
+
+// asyncFlusher moves a forward writer's page flushes onto a background
+// goroutine behind a double-buffered channel: while one page buffer is in
+// flight to the file, the writer keeps encoding into the other, so heap and
+// codec work overlap file I/O. Pages are written strictly sequentially from
+// the single flusher goroutine, which keeps the on-disk layout byte-for-byte
+// identical to the synchronous path.
+type asyncFlusher struct {
+	ch   chan []byte   // filled pages awaiting write, capacity 1
+	free chan []byte   // recycled page buffers, capacity 2
+	done chan struct{} // closed when the flusher goroutine exits
+
+	mu  sync.Mutex
+	err error // first write failure, surfaced on submit and close
+}
+
+// newAsyncFlusher starts a flusher writing sequentially to f from offset 0.
+// bufCap sizes the spare page buffer handed back on the first submit.
+func newAsyncFlusher(f vfs.File, bufCap int) *asyncFlusher {
+	a := &asyncFlusher{
+		ch:   make(chan []byte, 1),
+		free: make(chan []byte, 2),
+		done: make(chan struct{}),
+	}
+	a.free <- make([]byte, 0, bufCap)
+	go a.run(f)
+	return a
+}
+
+func (a *asyncFlusher) run(f vfs.File) {
+	defer close(a.done)
+	var off int64
+	for b := range a.ch {
+		if a.getErr() == nil {
+			if _, err := f.WriteAt(b, off); err != nil {
+				a.setErr(err)
+			}
+		}
+		off += int64(len(b))
+		a.free <- b[:0]
+	}
+}
+
+func (a *asyncFlusher) getErr() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.err
+}
+
+func (a *asyncFlusher) setErr(err error) {
+	a.mu.Lock()
+	if a.err == nil {
+		a.err = err
+	}
+	a.mu.Unlock()
+}
+
+// submit hands a filled page to the flusher and returns an empty buffer to
+// fill next (the one whose write just completed, or the initial spare). A
+// failure of an earlier write surfaces here before the page is queued.
+func (a *asyncFlusher) submit(b []byte) ([]byte, error) {
+	if err := a.getErr(); err != nil {
+		return b, err
+	}
+	a.ch <- b
+	return <-a.free, nil
+}
+
+// close drains pending pages, stops the goroutine and reports the first
+// write failure, if any.
+func (a *asyncFlusher) close() error {
+	close(a.ch)
+	<-a.done
+	return a.getErr()
+}

@@ -161,6 +161,17 @@ func (w *BackwardWriter[T]) Write(r T) error {
 	return nil
 }
 
+// WriteBatch appends every element of src in order (descending). The byte
+// layout is identical to element-at-a-time writes.
+func (w *BackwardWriter[T]) WriteBatch(src []T) error {
+	for _, r := range src {
+		if err := w.Write(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func (w *BackwardWriter[T]) openNextFile() error {
 	f, err := w.fs.Create(backwardFileName(w.base, w.files))
 	if err != nil {
@@ -258,6 +269,7 @@ type BackwardReader[T any] struct {
 	have     int
 	pos      int
 	closed   bool
+	pendErr  error // error deferred by ReadBatch after a partial batch
 }
 
 // NewBackwardReader opens a chain of `files` backward files under base.
@@ -365,6 +377,15 @@ func (r *BackwardReader[T]) Read() (T, error) {
 			return zero, err
 		}
 	}
+}
+
+// ReadBatch fills dst per the stream.BatchReader contract, deferring an
+// error met after a partial batch to the following call.
+func (r *BackwardReader[T]) ReadBatch(dst []T) (int, error) {
+	if r.closed {
+		return 0, stream.ErrClosed
+	}
+	return stream.ReadBatchElems[T](r, &r.pendErr, dst)
 }
 
 // Close releases the currently open file, if any.

@@ -24,6 +24,11 @@ type Emitter[T any] struct {
 	// (0: defaults).
 	PageSize     int
 	PagesPerFile int
+	// Async moves forward-writer page flushes onto a background goroutine
+	// (double-buffered), overlapping run-generation and merge CPU work with
+	// file I/O. The driver enables it when Parallelism > 1; the bytes
+	// written are identical either way.
+	Async bool
 }
 
 // NewEmitter returns an Emitter with default sizes.
@@ -41,8 +46,23 @@ func RecordEmitter(fs vfs.FS, prefix string) *Emitter[record.Record] {
 // file names (e.g. "rs", "s1").
 func (e *Emitter[T]) Forward(role string) (string, *Writer[T], error) {
 	name := e.Namer.Next(role)
-	w, err := NewWriter(e.FS, name, e.WriteBuf, e.Codec, e.Less)
+	w, err := e.NewWriter(name, e.WriteBuf)
 	return name, w, err
+}
+
+// NewWriter creates a forward writer on the named file with an explicit
+// buffer size, honouring the emitter's Async setting. Unlike Forward it
+// does not touch the Namer, so concurrent merge workers can use it with
+// pre-allocated names.
+func (e *Emitter[T]) NewWriter(name string, bufBytes int) (*Writer[T], error) {
+	w, err := NewWriter(e.FS, name, bufBytes, e.Codec, e.Less)
+	if err != nil {
+		return nil, err
+	}
+	if e.Async {
+		w.Async()
+	}
+	return w, nil
 }
 
 // Backward creates a fresh backward (decreasing) stream.

@@ -10,12 +10,13 @@ import (
 // 2WRS run whose ranges overlap) into one sorted stream. With so few
 // sources a linear minimum scan beats tournament structures.
 type interleaveReader[T any] struct {
-	srcs   []ReadCloser[T]
-	less   func(a, b T) bool
-	heads  []T
-	alive  []bool
-	n      int
-	closed bool
+	srcs    []ReadCloser[T]
+	less    func(a, b T) bool
+	heads   []T
+	alive   []bool
+	n       int
+	closed  bool
+	pendErr error // error deferred by ReadBatch after a partial batch
 }
 
 // newInterleaveReader primes each source. It takes ownership of the
@@ -73,6 +74,15 @@ func (ir *interleaveReader[T]) Read() (T, error) {
 		ir.heads[best] = rec
 	}
 	return out, nil
+}
+
+// ReadBatch fills dst per the stream.BatchReader contract, deferring an
+// error met after a partial batch to the following call.
+func (ir *interleaveReader[T]) ReadBatch(dst []T) (int, error) {
+	if ir.closed {
+		return 0, stream.ErrClosed
+	}
+	return stream.ReadBatchElems[T](ir, &ir.pendErr, dst)
 }
 
 // Close closes every source.

@@ -143,7 +143,35 @@ type runReader[T any] struct {
 	segments []Segment
 	bufBytes int
 	cur      ReadCloser[T]
+	curBatch stream.BatchReader[T]
 	closed   bool
+	pendErr  error // error deferred by ReadBatch after a partial batch
+}
+
+// openNextSegment advances to the next non-empty segment; it returns io.EOF
+// when the run is exhausted.
+func (r *runReader[T]) openNextSegment() error {
+	for len(r.segments) > 0 && r.segments[0].Records == 0 {
+		r.segments = r.segments[1:]
+	}
+	if len(r.segments) == 0 {
+		return io.EOF
+	}
+	seg := r.segments[0]
+	r.segments = r.segments[1:]
+	cur, err := OpenSegment(r.fs, seg, r.bufBytes, r.c)
+	if err != nil {
+		return err
+	}
+	r.cur = cur
+	r.curBatch = stream.AsBatchReader[T](cur)
+	return nil
+}
+
+func (r *runReader[T]) closeCurrent() error {
+	err := r.cur.Close()
+	r.cur, r.curBatch = nil, nil
+	return err
 }
 
 // Read implements stream.Reader.
@@ -161,26 +189,60 @@ func (r *runReader[T]) Read() (T, error) {
 			if err != io.EOF {
 				return zero, err
 			}
-			if err := r.cur.Close(); err != nil {
+			if err := r.closeCurrent(); err != nil {
 				return zero, err
 			}
-			r.cur = nil
 		}
-		// Advance to the next non-empty segment.
-		for len(r.segments) > 0 && r.segments[0].Records == 0 {
-			r.segments = r.segments[1:]
-		}
-		if len(r.segments) == 0 {
-			return zero, io.EOF
-		}
-		seg := r.segments[0]
-		r.segments = r.segments[1:]
-		cur, err := OpenSegment(r.fs, seg, r.bufBytes, r.c)
-		if err != nil {
+		if err := r.openNextSegment(); err != nil {
 			return zero, err
 		}
-		r.cur = cur
 	}
+}
+
+// ReadBatch fills dst per the stream.BatchReader contract, delegating to
+// the open segment's batch reader and crossing segment boundaries within
+// one call.
+func (r *runReader[T]) ReadBatch(dst []T) (int, error) {
+	if r.closed {
+		return 0, stream.ErrClosed
+	}
+	if r.pendErr != nil {
+		err := r.pendErr
+		r.pendErr = nil
+		return 0, err
+	}
+	filled := 0
+	for filled < len(dst) {
+		if r.cur == nil {
+			if err := r.openNextSegment(); err != nil {
+				if filled > 0 {
+					r.pendErr = err
+					return filled, nil
+				}
+				return 0, err
+			}
+		}
+		n, err := r.curBatch.ReadBatch(dst[filled:])
+		filled += n
+		if err == io.EOF {
+			if cerr := r.closeCurrent(); cerr != nil {
+				if filled > 0 {
+					r.pendErr = cerr
+					return filled, nil
+				}
+				return 0, cerr
+			}
+			continue
+		}
+		if err != nil {
+			if filled > 0 {
+				r.pendErr = err
+				return filled, nil
+			}
+			return 0, err
+		}
+	}
+	return filled, nil
 }
 
 // Close releases the currently open segment, if any.

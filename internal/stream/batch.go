@@ -1,0 +1,254 @@
+package stream
+
+import "io"
+
+// DefaultBatchLen is the element count the adapters and copy helpers use
+// for internal batch buffers when the caller does not pick one. One
+// interface call per 1024 elements makes dynamic-dispatch overhead
+// unmeasurable while keeping the buffer well inside L2 for small elements.
+const DefaultBatchLen = 1024
+
+// BatchReader is the batch half of the streaming protocol: ReadBatch fills
+// dst with up to len(dst) elements and returns how many it stored.
+//
+// The contract mirrors a strict io.Reader: when n > 0 the error is always
+// nil — an error (including io.EOF) discovered after some elements were
+// already read is held back and returned by the next call with n == 0.
+// ReadBatch with an empty dst returns (0, nil). Callers therefore loop:
+//
+//	n, err := br.ReadBatch(buf)
+//	// process buf[:n]
+//	if err == io.EOF { done }
+type BatchReader[T any] interface {
+	ReadBatch(dst []T) (n int, err error)
+}
+
+// BatchWriter consumes elements a batch at a time. WriteBatch must not
+// retain src, which the caller will reuse.
+type BatchWriter[T any] interface {
+	WriteBatch(src []T) error
+}
+
+// Sized is implemented by sources that know how many elements remain
+// (e.g. SliceReader); consumers use it to pre-size output slices.
+type Sized interface {
+	Remaining() int
+}
+
+// AsBatchReader returns r itself when it already implements BatchReader,
+// otherwise an adapter that fills each batch with element-at-a-time reads,
+// so batch-oriented code can consume any Reader.
+func AsBatchReader[T any](r Reader[T]) BatchReader[T] {
+	if br, ok := r.(BatchReader[T]); ok {
+		return br
+	}
+	return &readerBatcher[T]{r: r}
+}
+
+// readerBatcher adapts an element reader to the batch protocol, deferring
+// a mid-batch error to the following call as the contract requires.
+type readerBatcher[T any] struct {
+	r   Reader[T]
+	err error
+}
+
+func (b *readerBatcher[T]) ReadBatch(dst []T) (int, error) {
+	if b.err != nil {
+		err := b.err
+		b.err = nil
+		return 0, err
+	}
+	n := 0
+	for n < len(dst) {
+		v, err := b.r.Read()
+		if err != nil {
+			if n > 0 {
+				b.err = err
+				return n, nil
+			}
+			return 0, err
+		}
+		dst[n] = v
+		n++
+	}
+	return n, nil
+}
+
+// ReadBatchElems implements the ReadBatch contract over an element reader
+// for concrete types that keep their own deferred-error slot: it fills dst
+// by repeated Read calls and parks a mid-batch error in *pend, returning
+// it — per the contract — on the next call with n == 0. It exists so the
+// element-loop + pendErr pattern lives in exactly one place.
+func ReadBatchElems[T any](r Reader[T], pend *error, dst []T) (int, error) {
+	if *pend != nil {
+		err := *pend
+		*pend = nil
+		return 0, err
+	}
+	n := 0
+	for n < len(dst) {
+		v, err := r.Read()
+		if err != nil {
+			if n > 0 {
+				*pend = err
+				return n, nil
+			}
+			return 0, err
+		}
+		dst[n] = v
+		n++
+	}
+	return n, nil
+}
+
+// AsBatchWriter returns w itself when it already implements BatchWriter,
+// otherwise an adapter that writes the batch element by element.
+func AsBatchWriter[T any](w Writer[T]) BatchWriter[T] {
+	if bw, ok := w.(BatchWriter[T]); ok {
+		return bw
+	}
+	return writerBatcher[T]{w: w}
+}
+
+type writerBatcher[T any] struct {
+	w Writer[T]
+}
+
+func (b writerBatcher[T]) WriteBatch(src []T) error {
+	for _, v := range src {
+		if err := b.w.Write(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ElementReader adapts a batch reader back to the element-at-a-time Reader
+// interface through an internal buffer, for callers that still consume one
+// element per call.
+type ElementReader[T any] struct {
+	br  BatchReader[T]
+	buf []T
+	pos int
+	n   int
+}
+
+// NewElementReader returns a Reader over br buffering batchLen elements at
+// a time (0 means DefaultBatchLen).
+func NewElementReader[T any](br BatchReader[T], batchLen int) *ElementReader[T] {
+	if batchLen <= 0 {
+		batchLen = DefaultBatchLen
+	}
+	return &ElementReader[T]{br: br, buf: make([]T, batchLen)}
+}
+
+// Read returns the next element or the batch reader's error.
+func (r *ElementReader[T]) Read() (T, error) {
+	if r.pos >= r.n {
+		n, err := r.br.ReadBatch(r.buf)
+		if err != nil {
+			var zero T
+			return zero, err
+		}
+		r.pos, r.n = 0, n
+	}
+	v := r.buf[r.pos]
+	r.pos++
+	return v, nil
+}
+
+// ElementWriter adapts a batch writer back to the element-at-a-time Writer
+// interface, accumulating writes into batches. The caller must Flush when
+// done; Write errors reflect the most recent batch handed downstream.
+type ElementWriter[T any] struct {
+	bw  BatchWriter[T]
+	buf []T
+}
+
+// NewElementWriter returns a Writer over bw batching batchLen elements per
+// downstream call (0 means DefaultBatchLen).
+func NewElementWriter[T any](bw BatchWriter[T], batchLen int) *ElementWriter[T] {
+	if batchLen <= 0 {
+		batchLen = DefaultBatchLen
+	}
+	return &ElementWriter[T]{bw: bw, buf: make([]T, 0, batchLen)}
+}
+
+// Write buffers v, forwarding a full batch downstream.
+func (w *ElementWriter[T]) Write(v T) error {
+	w.buf = append(w.buf, v)
+	if len(w.buf) == cap(w.buf) {
+		return w.Flush()
+	}
+	return nil
+}
+
+// Flush forwards any buffered elements downstream. On failure the buffer
+// is retained, so a later Flush retries the same batch.
+func (w *ElementWriter[T]) Flush() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	if err := w.bw.WriteBatch(w.buf); err != nil {
+		return err
+	}
+	w.buf = w.buf[:0]
+	return nil
+}
+
+// Fetcher pulls elements from a source through an internal batch buffer,
+// turning the per-element interface dispatch of hot consumer loops (run
+// generation, merging) into an array index plus one batched call per
+// DefaultBatchLen elements.
+type Fetcher[T any] struct {
+	br   BatchReader[T]
+	buf  []T
+	pos  int
+	n    int
+	done bool
+	err  error
+}
+
+// NewFetcher returns a Fetcher over r with the given batch length (0 means
+// DefaultBatchLen).
+func NewFetcher[T any](r Reader[T], batchLen int) *Fetcher[T] {
+	if batchLen <= 0 {
+		batchLen = DefaultBatchLen
+	}
+	return &Fetcher[T]{br: AsBatchReader(r), buf: make([]T, batchLen)}
+}
+
+// Next returns the next element; ok is false once the source is exhausted
+// or failed (err carries the failure, nil for a plain end of stream).
+func (f *Fetcher[T]) Next() (T, bool, error) {
+	if f.pos < f.n {
+		v := f.buf[f.pos]
+		f.pos++
+		return v, true, nil
+	}
+	return f.refill()
+}
+
+func (f *Fetcher[T]) refill() (T, bool, error) {
+	var zero T
+	if f.done {
+		return zero, false, f.err
+	}
+	n, err := f.br.ReadBatch(f.buf)
+	if err == io.EOF {
+		f.done = true
+		return zero, false, nil
+	}
+	if err != nil {
+		f.done, f.err = true, err
+		return zero, false, err
+	}
+	if n == 0 {
+		// A batch reader never legitimately returns (0, nil) for a non-empty
+		// dst; treat it as end of stream rather than spinning.
+		f.done = true
+		return zero, false, nil
+	}
+	f.pos, f.n = 1, n
+	return f.buf[0], true, nil
+}

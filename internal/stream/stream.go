@@ -1,8 +1,14 @@
-// Package stream defines the generic record-at-a-time stream interfaces the
-// whole library is built on, together with in-memory adapters and copy
-// helpers. Every layer of the sorter — run generation, run storage, the
-// merge phase and the public API — moves values of an arbitrary element type
-// T through these two interfaces.
+// Package stream defines the generic stream interfaces the whole library is
+// built on, together with in-memory adapters and copy helpers. Every layer
+// of the sorter — run generation, run storage, the merge phase and the
+// public API — moves values of an arbitrary element type T through these
+// interfaces.
+//
+// Two protocols coexist: the element-at-a-time Reader/Writer pair, and the
+// batch-at-a-time BatchReader/BatchWriter pair (batch.go). The batch
+// protocol is the data plane's fast path — it amortises dynamic dispatch
+// over whole pages of elements — and AsBatchReader/AsBatchWriter adapt any
+// element stream into it, so the two interoperate freely.
 package stream
 
 import (
@@ -47,6 +53,19 @@ func (s *SliceReader[T]) Read() (T, error) {
 	return v, nil
 }
 
+// ReadBatch copies up to len(dst) elements into dst.
+func (s *SliceReader[T]) ReadBatch(dst []T) (int, error) {
+	if s.pos >= len(s.vals) {
+		if len(dst) == 0 {
+			return 0, nil
+		}
+		return 0, io.EOF
+	}
+	n := copy(dst, s.vals[s.pos:])
+	s.pos += n
+	return n, nil
+}
+
 // Remaining reports how many elements have not been read yet.
 func (s *SliceReader[T]) Remaining() int { return len(s.vals) - s.pos }
 
@@ -64,47 +83,62 @@ func (s *SliceWriter[T]) Write(v T) error {
 	return nil
 }
 
+// WriteBatch appends src.
+func (s *SliceWriter[T]) WriteBatch(src []T) error {
+	s.Vals = append(s.Vals, src...)
+	return nil
+}
+
 // ReadAll drains r into a slice. It is intended for tests and examples where
-// the stream is known to fit in memory.
+// the stream is known to fit in memory. Sources that report their Remaining
+// length get a pre-sized output slice instead of append-doubling.
 func ReadAll[T any](r Reader[T]) ([]T, error) {
 	var out []T
+	if s, ok := r.(Sized); ok {
+		if n := s.Remaining(); n > 0 {
+			out = make([]T, 0, n)
+		}
+	}
+	br := AsBatchReader(r)
+	buf := make([]T, DefaultBatchLen)
 	for {
-		v, err := r.Read()
+		n, err := br.ReadBatch(buf)
+		out = append(out, buf[:n]...)
 		if err == io.EOF {
 			return out, nil
 		}
 		if err != nil {
 			return out, err
 		}
-		out = append(out, v)
 	}
 }
 
 // WriteAll writes every element of vals to w, stopping at the first error.
 func WriteAll[T any](w Writer[T], vals []T) error {
-	for _, v := range vals {
-		if err := w.Write(v); err != nil {
-			return err
-		}
-	}
-	return nil
+	return AsBatchWriter(w).WriteBatch(vals)
 }
 
 // Copy streams elements from r to w until EOF, returning the number copied.
+// It moves whole batches when either side supports the batch protocol,
+// adapting the other side as needed.
 func Copy[T any](w Writer[T], r Reader[T]) (int64, error) {
+	br, bw := AsBatchReader(r), AsBatchWriter(w)
+	buf := make([]T, DefaultBatchLen)
 	var n int64
 	for {
-		v, err := r.Read()
+		k, err := br.ReadBatch(buf)
+		if k > 0 {
+			if werr := bw.WriteBatch(buf[:k]); werr != nil {
+				return n, werr
+			}
+			n += int64(k)
+		}
 		if err == io.EOF {
 			return n, nil
 		}
 		if err != nil {
 			return n, err
 		}
-		if err := w.Write(v); err != nil {
-			return n, err
-		}
-		n++
 	}
 }
 

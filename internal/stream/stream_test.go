@@ -1,0 +1,339 @@
+package stream
+
+import (
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestSliceReaderElementAndBatch(t *testing.T) {
+	vals := []int{1, 2, 3, 4, 5}
+	r := NewSliceReader(vals)
+	if got := r.Remaining(); got != 5 {
+		t.Fatalf("Remaining = %d, want 5", got)
+	}
+	v, err := r.Read()
+	if err != nil || v != 1 {
+		t.Fatalf("Read = %v, %v", v, err)
+	}
+	buf := make([]int, 3)
+	n, err := r.ReadBatch(buf)
+	if err != nil || n != 3 || buf[0] != 2 || buf[2] != 4 {
+		t.Fatalf("ReadBatch = %d, %v, %v", n, err, buf)
+	}
+	if got := r.Remaining(); got != 1 {
+		t.Fatalf("Remaining = %d, want 1", got)
+	}
+	// Short batch at the tail, then EOF.
+	n, err = r.ReadBatch(buf)
+	if err != nil || n != 1 || buf[0] != 5 {
+		t.Fatalf("tail ReadBatch = %d, %v, %v", n, err, buf)
+	}
+	if n, err = r.ReadBatch(buf); n != 0 || err != io.EOF {
+		t.Fatalf("exhausted ReadBatch = %d, %v, want 0, EOF", n, err)
+	}
+	if _, err = r.Read(); err != io.EOF {
+		t.Fatalf("exhausted Read err = %v, want EOF", err)
+	}
+	r.Reset()
+	if got := r.Remaining(); got != 5 {
+		t.Fatalf("Remaining after Reset = %d, want 5", got)
+	}
+}
+
+func TestSliceReaderEmptyDst(t *testing.T) {
+	r := NewSliceReader([]int{1})
+	if n, err := r.ReadBatch(nil); n != 0 || err != nil {
+		t.Fatalf("empty dst = %d, %v, want 0, nil", n, err)
+	}
+	r2 := NewSliceReader([]int(nil))
+	if n, err := r2.ReadBatch(nil); n != 0 || err != nil {
+		t.Fatalf("empty dst on empty source = %d, %v, want 0, nil", n, err)
+	}
+}
+
+func TestSliceWriterBatch(t *testing.T) {
+	var w SliceWriter[string]
+	if err := w.Write("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteBatch([]string{"b", "c"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Vals) != 3 || w.Vals[2] != "c" {
+		t.Fatalf("Vals = %v", w.Vals)
+	}
+}
+
+// errReader yields vals and then a terminal error (or io.EOF).
+type errReader[T any] struct {
+	vals []T
+	err  error
+}
+
+func (e *errReader[T]) Read() (T, error) {
+	if len(e.vals) == 0 {
+		var zero T
+		return zero, e.err
+	}
+	v := e.vals[0]
+	e.vals = e.vals[1:]
+	return v, nil
+}
+
+func TestAsBatchReaderPassthrough(t *testing.T) {
+	r := NewSliceReader([]int{1, 2})
+	if br := AsBatchReader[int](r); br != BatchReader[int](r) {
+		t.Fatal("AsBatchReader wrapped a reader that already batches")
+	}
+}
+
+func TestAsBatchReaderAdapterDefersMidBatchError(t *testing.T) {
+	boom := errors.New("boom")
+	br := AsBatchReader[int](&errReader[int]{vals: []int{7, 8}, err: boom})
+	buf := make([]int, 4)
+	// First call: the two elements arrive, the error is held back.
+	n, err := br.ReadBatch(buf)
+	if n != 2 || err != nil || buf[0] != 7 || buf[1] != 8 {
+		t.Fatalf("first ReadBatch = %d, %v, %v", n, err, buf[:2])
+	}
+	// Second call: the deferred error, with n == 0.
+	if n, err = br.ReadBatch(buf); n != 0 || err != boom {
+		t.Fatalf("second ReadBatch = %d, %v, want 0, boom", n, err)
+	}
+}
+
+func TestAsBatchReaderAdapterEOF(t *testing.T) {
+	br := AsBatchReader[int](&errReader[int]{vals: []int{1, 2, 3}, err: io.EOF})
+	buf := make([]int, 2)
+	n, err := br.ReadBatch(buf)
+	if n != 2 || err != nil {
+		t.Fatalf("full batch = %d, %v", n, err)
+	}
+	n, err = br.ReadBatch(buf)
+	if n != 1 || err != nil {
+		t.Fatalf("short batch = %d, %v", n, err)
+	}
+	if n, err = br.ReadBatch(buf); n != 0 || err != io.EOF {
+		t.Fatalf("end = %d, %v, want 0, EOF", n, err)
+	}
+}
+
+// errWriter fails after accepting `accept` elements.
+type errWriter[T any] struct {
+	accept int
+	got    []T
+	err    error
+}
+
+func (e *errWriter[T]) Write(v T) error {
+	if len(e.got) >= e.accept {
+		return e.err
+	}
+	e.got = append(e.got, v)
+	return nil
+}
+
+func TestAsBatchWriterAdapter(t *testing.T) {
+	boom := errors.New("disk full")
+	w := &errWriter[int]{accept: 2, err: boom}
+	bw := AsBatchWriter[int](w)
+	if err := bw.WriteBatch([]int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.WriteBatch([]int{3}); err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if len(w.got) != 2 {
+		t.Fatalf("accepted %d elements, want 2", len(w.got))
+	}
+	var sw SliceWriter[int]
+	if bw := AsBatchWriter[int](&sw); bw != BatchWriter[int](&sw) {
+		t.Fatal("AsBatchWriter wrapped a writer that already batches")
+	}
+}
+
+func TestElementReader(t *testing.T) {
+	src := NewSliceReader([]int{1, 2, 3, 4, 5})
+	er := NewElementReader[int](src, 2) // force several refills
+	var got []int
+	for {
+		v, err := er.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, v)
+	}
+	if len(got) != 5 || got[4] != 5 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestElementReaderError(t *testing.T) {
+	boom := errors.New("boom")
+	er := NewElementReader[int](AsBatchReader[int](&errReader[int]{vals: []int{9}, err: boom}), 4)
+	if v, err := er.Read(); v != 9 || err != nil {
+		t.Fatalf("Read = %v, %v", v, err)
+	}
+	if _, err := er.Read(); err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestElementWriterFlush(t *testing.T) {
+	var sw SliceWriter[int]
+	ew := NewElementWriter[int](&sw, 2)
+	for i := 1; i <= 5; i++ {
+		if err := ew.Write(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two full batches went through; the fifth element is still buffered.
+	if len(sw.Vals) != 4 {
+		t.Fatalf("pre-flush Vals = %v", sw.Vals)
+	}
+	if err := ew.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Vals) != 5 || sw.Vals[4] != 5 {
+		t.Fatalf("post-flush Vals = %v", sw.Vals)
+	}
+	if err := ew.Flush(); err != nil { // idempotent on empty buffer
+		t.Fatal(err)
+	}
+}
+
+func TestFetcher(t *testing.T) {
+	f := NewFetcher[int](NewSliceReader([]int{1, 2, 3}), 2)
+	var got []int
+	for {
+		v, ok, err := f.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		got = append(got, v)
+	}
+	if len(got) != 3 || got[2] != 3 {
+		t.Fatalf("got %v", got)
+	}
+	// Exhaustion is sticky.
+	if _, ok, err := f.Next(); ok || err != nil {
+		t.Fatalf("post-EOF Next = %v, %v", ok, err)
+	}
+}
+
+func TestFetcherError(t *testing.T) {
+	boom := errors.New("boom")
+	f := NewFetcher[int](&errReader[int]{vals: []int{5}, err: boom}, 3)
+	if v, ok, err := f.Next(); v != 5 || !ok || err != nil {
+		t.Fatalf("Next = %v, %v, %v", v, ok, err)
+	}
+	if _, ok, err := f.Next(); ok || err != boom {
+		t.Fatalf("Next after error = %v, %v, want false, boom", ok, err)
+	}
+	// The failure is sticky too.
+	if _, ok, err := f.Next(); ok || err != boom {
+		t.Fatalf("sticky Next = %v, %v, want false, boom", ok, err)
+	}
+}
+
+func TestReadAllPreSizes(t *testing.T) {
+	vals := make([]int, 3000)
+	for i := range vals {
+		vals[i] = i
+	}
+	out, err := ReadAll[int](NewSliceReader(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(vals) || out[2999] != 2999 {
+		t.Fatalf("out len %d", len(out))
+	}
+	if cap(out) != len(vals) {
+		t.Fatalf("ReadAll did not pre-size: cap %d, want %d", cap(out), len(vals))
+	}
+}
+
+func TestReadAllError(t *testing.T) {
+	boom := errors.New("boom")
+	out, err := ReadAll[int](&errReader[int]{vals: []int{1, 2}, err: boom})
+	if err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("partial out = %v", out)
+	}
+}
+
+func TestWriteAll(t *testing.T) {
+	var sw SliceWriter[int]
+	if err := WriteAll[int](&sw, []int{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Vals) != 3 {
+		t.Fatalf("Vals = %v", sw.Vals)
+	}
+	boom := errors.New("boom")
+	if err := WriteAll[int](&errWriter[int]{accept: 1, err: boom}, []int{1, 2}); err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestCopy(t *testing.T) {
+	vals := make([]int, 2500) // spans multiple internal batches
+	for i := range vals {
+		vals[i] = i
+	}
+	var sw SliceWriter[int]
+	n, err := Copy[int](&sw, NewSliceReader(vals))
+	if err != nil || n != 2500 {
+		t.Fatalf("Copy = %d, %v", n, err)
+	}
+	for i, v := range sw.Vals {
+		if v != i {
+			t.Fatalf("Vals[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestCopyPropagatesErrors(t *testing.T) {
+	boom := errors.New("read fail")
+	var sw SliceWriter[int]
+	if _, err := Copy[int](&sw, &errReader[int]{vals: []int{1}, err: boom}); err != boom {
+		t.Fatalf("read err = %v, want boom", err)
+	}
+	wboom := errors.New("write fail")
+	n, err := Copy[int](&errWriter[int]{accept: 0, err: wboom}, NewSliceReader([]int{1, 2}))
+	if err != wboom || n != 0 {
+		t.Fatalf("write err = %d, %v, want 0, write fail", n, err)
+	}
+}
+
+func TestFuncAdapters(t *testing.T) {
+	i := 0
+	r := Func[int](func() (int, error) {
+		if i == 2 {
+			return 0, io.EOF
+		}
+		i++
+		return i, nil
+	})
+	out, err := ReadAll[int](r)
+	if err != nil || len(out) != 2 {
+		t.Fatalf("ReadAll = %v, %v", out, err)
+	}
+	var got []int
+	w := WriterFunc[int](func(v int) error { got = append(got, v); return nil })
+	if err := WriteAll[int](w, []int{4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1] != 5 {
+		t.Fatalf("got %v", got)
+	}
+}

@@ -136,6 +136,12 @@ type Config struct {
 	// the real file system; otherwise runs live in process memory (fine up
 	// to a few GB and fastest for tests).
 	TempDir string
+	// Parallelism bounds the sort's concurrency: above 1, run spilling
+	// overlaps file I/O on background writer goroutines and independent
+	// intermediate merges run on a worker pool of this size. 1 forces the
+	// fully sequential behaviour; 0 (the default) uses GOMAXPROCS. Output
+	// and on-disk run format are identical at every setting.
+	Parallelism int
 }
 
 // DefaultConfig returns the paper's recommended configuration with the
@@ -184,15 +190,19 @@ func (c Config) Validate() error {
 	default:
 		return fmt.Errorf("repro: unknown output heuristic %v", c.Output)
 	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("repro: parallelism must be non-negative, got %d", c.Parallelism)
+	}
 	return nil
 }
 
 // toInternal converts the public Config to the internal driver config.
 func (c Config) toInternal() extsort.Config {
 	return extsort.Config{
-		Algorithm: c.Algorithm,
-		Memory:    c.MemoryRecords,
-		FanIn:     c.FanIn,
+		Algorithm:   c.Algorithm,
+		Memory:      c.MemoryRecords,
+		FanIn:       c.FanIn,
+		Parallelism: c.Parallelism,
 		TWRS: core.Config{
 			Memory:     c.MemoryRecords,
 			Setup:      c.Setup,

@@ -123,6 +123,22 @@ func WithTempDir(dir string) Option {
 	return func(s *sorterConfig) error { s.cfg.TempDir = dir; return nil }
 }
 
+// WithParallelism bounds the sort's concurrency: above 1, run spilling
+// overlaps file I/O on background writer goroutines and independent
+// intermediate merges run on a worker pool of this size. 1 forces the
+// fully sequential behaviour (the paper's cost model); 0, the default,
+// uses GOMAXPROCS. The on-disk run format and the sorted output are
+// identical at every setting.
+func WithParallelism(n int) Option {
+	return func(s *sorterConfig) error {
+		if n < 0 {
+			return fmt.Errorf("repro: parallelism must be non-negative, got %d", n)
+		}
+		s.cfg.Parallelism = n
+		return nil
+	}
+}
+
 // WithSeed seeds the randomised heuristics, making a sort deterministic.
 func WithSeed(seed int64) Option {
 	return func(s *sorterConfig) error { s.cfg.Seed = seed; return nil }
@@ -272,15 +288,19 @@ func New[T any](less func(a, b T) bool, opts ...Option) (*Sorter[T], error) {
 // Config returns the sorter's frozen configuration.
 func (s *Sorter[T]) Config() Config { return s.cfg }
 
-// ctxBatch is how many stream operations pass between context checks: the
-// sort honours cancellation between batches rather than per element, so the
-// hot path stays branch-cheap.
+// ctxBatch is how many element-at-a-time stream operations pass between
+// context checks on the legacy Read/Write paths. The batch paths check at
+// every batch boundary instead, which is both cheaper and at least as
+// prompt: a batch never exceeds stream.DefaultBatchLen elements.
 const ctxBatch = 1024
 
-// ctxReader checks the context every ctxBatch reads.
+// ctxReader checks the context at batch boundaries (ReadBatch) or every
+// ctxBatch reads (legacy Read), forwarding the batch protocol and the
+// Remaining-length hint of the wrapped source.
 type ctxReader[T any] struct {
 	ctx context.Context
 	src Source[T]
+	br  stream.BatchReader[T] // lazily built batch view of src
 	n   int
 }
 
@@ -295,10 +315,43 @@ func (r *ctxReader[T]) Read() (T, error) {
 	return r.src.Read()
 }
 
-// ctxWriter checks the context every ctxBatch writes.
+// ReadBatch checks the context once per batch, then delegates: directly to
+// the source when it speaks the batch protocol itself, otherwise through
+// the element-loop adapter.
+func (r *ctxReader[T]) ReadBatch(dst []T) (int, error) {
+	if err := r.ctx.Err(); err != nil {
+		return 0, err
+	}
+	if r.br == nil {
+		if br, ok := r.src.(stream.BatchReader[T]); ok {
+			r.br = br
+		} else {
+			r.br = stream.AsBatchReader[T](streamReader[T]{r.src})
+		}
+	}
+	return r.br.ReadBatch(dst)
+}
+
+// Remaining forwards the wrapped source's length hint; -1 means unknown.
+func (r *ctxReader[T]) Remaining() int {
+	if s, ok := r.src.(stream.Sized); ok {
+		return s.Remaining()
+	}
+	return -1
+}
+
+// streamReader adapts the public Source to the internal stream.Reader
+// interface for the batch adapters.
+type streamReader[T any] struct{ src Source[T] }
+
+func (s streamReader[T]) Read() (T, error) { return s.src.Read() }
+
+// ctxWriter checks the context at batch boundaries (WriteBatch) or every
+// ctxBatch writes (legacy Write).
 type ctxWriter[T any] struct {
 	ctx context.Context
 	dst Sink[T]
+	bw  stream.BatchWriter[T]
 	n   int
 }
 
@@ -311,6 +364,29 @@ func (w *ctxWriter[T]) Write(v T) error {
 	w.n++
 	return w.dst.Write(v)
 }
+
+// WriteBatch checks the context once per batch, then delegates: directly
+// to the sink when it speaks the batch protocol itself, otherwise through
+// the element-loop adapter.
+func (w *ctxWriter[T]) WriteBatch(src []T) error {
+	if err := w.ctx.Err(); err != nil {
+		return err
+	}
+	if w.bw == nil {
+		if bw, ok := w.dst.(stream.BatchWriter[T]); ok {
+			w.bw = bw
+		} else {
+			w.bw = stream.AsBatchWriter[T](streamWriter[T]{w.dst})
+		}
+	}
+	return w.bw.WriteBatch(src)
+}
+
+// streamWriter adapts the public Sink to the internal stream.Writer
+// interface for the batch adapters.
+type streamWriter[T any] struct{ dst Sink[T] }
+
+func (s streamWriter[T]) Write(v T) error { return s.dst.Write(v) }
 
 // filesystem resolves the configured run storage.
 func (c Config) filesystem() (vfs.FS, error) {
@@ -335,11 +411,13 @@ func (s *Sorter[T]) Sort(ctx context.Context, src Source[T], dst Sink[T]) (Stats
 	if err != nil {
 		return Stats{}, err
 	}
+	icfg := s.cfg.toInternal()
+	icfg.Cancel = ctx.Err
 	stats, err := extsort.Sort[T](
 		&ctxReader[T]{ctx: ctx, src: src},
 		&ctxWriter[T]{ctx: ctx, dst: dst},
 		fs,
-		s.cfg.toInternal(),
+		icfg,
 		extsort.Ops[T]{Less: s.less, Codec: s.codec, Key: s.key, ElementBytes: s.elementBytes},
 	)
 	if err != nil && ctx.Err() != nil {
@@ -349,9 +427,10 @@ func (s *Sorter[T]) Sort(ctx context.Context, src Source[T], dst Sink[T]) (Stats
 }
 
 // SortSlice sorts a slice through the external-sort machinery and returns a
-// new sorted slice; a convenience for small inputs, tests and examples.
+// new sorted slice; a convenience for small inputs, tests and examples. The
+// output slice is pre-sized to the input length.
 func (s *Sorter[T]) SortSlice(ctx context.Context, vals []T) ([]T, Stats, error) {
-	var out stream.SliceWriter[T]
+	out := stream.SliceWriter[T]{Vals: make([]T, 0, len(vals))}
 	stats, err := s.Sort(ctx, stream.NewSliceReader(vals), &out)
 	return out.Vals, stats, err
 }

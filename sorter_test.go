@@ -411,3 +411,76 @@ func TestSorterSourceSinkStreaming(t *testing.T) {
 type sinkFunc[T any] func(T) error
 
 func (f sinkFunc[T]) Write(v T) error { return f(v) }
+
+// TestSorterCancellationMidMerge interrupts a large multi-pass sort during
+// the merge phase and requires the prompt context error plus a bounded
+// amount of output after the cancellation — the batched cancellation
+// checks must fire at the next batch boundary, not at the end of the sort.
+func TestSorterCancellationMidMerge(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	less := func(a, b int64) bool { return a < b }
+	// A small memory budget and fan-in force several intermediate merge
+	// passes over ~100 runs.
+	s, err := New(less, WithMemoryRecords(512), WithFanIn(4), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100_000
+	i := 0
+	src := sourceFunc[int64](func() (int64, error) {
+		if i == n {
+			return 0, io.EOF
+		}
+		i++
+		return int64((i * 7919) % 104729), nil
+	})
+	// Cancel as soon as the first sorted element arrives: the sort is then
+	// mid-merge, streaming the final pass.
+	writes := 0
+	dst := sinkFunc[int64](func(int64) error {
+		if writes == 0 {
+			cancel()
+		}
+		writes++
+		return nil
+	})
+	_, err = s.Sort(ctx, src, dst)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sort returned %v, want context.Canceled", err)
+	}
+	// The batch in flight when the context died may drain, nothing more.
+	if writes > 2048 {
+		t.Fatalf("%d elements written after cancellation; merge ignored the context", writes)
+	}
+}
+
+// TestSorterCancelledBeforeMerge cancels exactly when run generation
+// exhausts the source: the merge phase must abort without producing any
+// output, proving the intermediate merge passes poll the context too.
+func TestSorterCancelledBeforeMerge(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	less := func(a, b int64) bool { return a < b }
+	s, err := New(less, WithMemoryRecords(512), WithFanIn(4), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50_000
+	i := 0
+	src := sourceFunc[int64](func() (int64, error) {
+		if i == n {
+			cancel() // run generation is done; the merge is about to start
+			return 0, io.EOF
+		}
+		i++
+		return int64((i * 104729) % 7919), nil
+	})
+	writes := 0
+	dst := sinkFunc[int64](func(int64) error { writes++; return nil })
+	_, err = s.Sort(ctx, src, dst)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sort returned %v, want context.Canceled", err)
+	}
+	if writes != 0 {
+		t.Fatalf("%d elements written although the context died before the merge", writes)
+	}
+}
