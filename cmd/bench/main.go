@@ -1,8 +1,11 @@
-// Command bench runs the repository's tier-1 sort benchmarks and emits a
-// machine-readable BENCH_<n>.json, so the performance trajectory of the
-// library is tracked commit to commit. The headline number is the
-// 1M-record SortSlice throughput in the paper-style external configuration
-// (memory far smaller than the input, multi-pass merge).
+// Command bench runs the repository's tier-1 sort and operator benchmarks
+// and emits a machine-readable BENCH_<n>.json, so the performance
+// trajectory of the library is tracked commit to commit. The headline
+// numbers are the 1M-record SortSlice throughput in the paper-style
+// external configuration (memory far smaller than the input, multi-pass
+// merge) and the 1M-record operator suite (distinct / top-k / merge join)
+// built on the same machinery. The previous report's results ride along as
+// this report's baseline.
 //
 // Usage:
 //
@@ -46,6 +49,7 @@ type report struct {
 	Baseline     []result  `json:"baseline"`
 	BaselineNote string    `json:"baseline_note"`
 	Results      []result  `json:"results"`
+	Notes        []string  `json:"notes,omitempty"`
 }
 
 // elementOnlyReader hides the batch protocol of the wrapped source, forcing
@@ -60,6 +64,13 @@ func (e *elementOnlyReader) Read() (record.Record, error) { return e.r.Read() }
 type elementOnlyWriter struct{ w *record.SliceWriter }
 
 func (e *elementOnlyWriter) Write(r record.Record) error { return e.w.Write(r) }
+
+// discard counts writes of any element type and drops them.
+type discard[T any] struct{ n int64 }
+
+func (d *discard[T]) Write(T) error { d.n++; return nil }
+
+func (d *discard[T]) WriteBatch(src []T) error { d.n += int64(len(src)); return nil }
 
 func measure(name string, records, elemBytes int, f func() error) result {
 	r := testing.Benchmark(func(b *testing.B) {
@@ -82,20 +93,38 @@ func measure(name string, records, elemBytes int, f func() error) result {
 	return res
 }
 
-func nextBenchFile() string {
-	for n := 1; ; n++ {
-		name := fmt.Sprintf("BENCH_%d.json", n)
-		if _, err := os.Stat(name); os.IsNotExist(err) {
-			return name
+// benchSeq finds the highest existing BENCH_<n>.json: the next report is
+// numbered one past it and baselines against it by default, so the report
+// number and baseline track the committed sequence instead of being
+// hardcoded. The sequence may start anywhere (the repo's begins at 2).
+func benchSeq() (next int, latest string) {
+	ents, err := os.ReadDir(".")
+	if err != nil {
+		return 1, ""
+	}
+	maxN := 0
+	for _, e := range ents {
+		var n int
+		if _, err := fmt.Sscanf(e.Name(), "BENCH_%d.json", &n); err == nil && n > maxN {
+			maxN = n
 		}
 	}
+	if maxN == 0 {
+		return 1, ""
+	}
+	return maxN + 1, fmt.Sprintf("BENCH_%d.json", maxN)
 }
 
 func main() {
 	out := flag.String("out", "", "output JSON path (default: next free BENCH_<n>.json)")
 	n := flag.Int("n", 1_000_000, "records per sort")
 	mem := flag.Int("mem", 1<<13, "memory budget in records")
+	basePath := flag.String("baseline", "", "prior report whose results become this report's baseline (default: latest existing BENCH_<n>.json)")
 	flag.Parse()
+	benchNum, latest := benchSeq()
+	if *basePath == "" {
+		*basePath = latest
+	}
 
 	recs := repro.Dataset(repro.DatasetRandom, *n, 42)
 	cfg := repro.DefaultConfig(*mem)
@@ -122,7 +151,7 @@ func main() {
 	}
 
 	rep := report{
-		Bench:      2,
+		Bench:      benchNum,
 		Date:       time.Now().UTC(),
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
@@ -130,13 +159,27 @@ func main() {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Records:    *n,
 		Memory:     *mem,
-		BaselineNote: "pre-refactor seed (commit 3358d7a): element-at-a-time data plane, " +
-			"single-threaded, measured with this harness' workload on the same machine class",
-		Baseline: []result{
-			// Recorded before the batched-data-plane refactor landed.
-			{Name: "sortslice_1m_pre_refactor", Iters: 6, NsPerOp: 1_042_000_000, MBPerS: 15.4, RecordsPerS: 960_000},
-			{Name: "sortslice_1m_mem64k_pre_refactor", Iters: 6, NsPerOp: 510_000_000, MBPerS: 31.4, RecordsPerS: 1_960_000},
-		},
+	}
+	// Carry the previous report's results as this one's baseline, so every
+	// BENCH_<n>.json is comparable against its predecessor in isolation.
+	if buf, err := os.ReadFile(*basePath); err == nil {
+		var prior struct {
+			Bench   int      `json:"bench"`
+			Results []result `json:"results"`
+		}
+		if json.Unmarshal(buf, &prior) == nil {
+			rep.Baseline = prior.Results
+			rep.BaselineNote = fmt.Sprintf(
+				"results of BENCH_%d (%s), measured with this harness on the same machine class",
+				prior.Bench, *basePath)
+		}
+	}
+	if rep.BaselineNote == "" {
+		if *basePath == "" {
+			rep.BaselineNote = "no prior BENCH_<n>.json report found"
+		} else {
+			rep.BaselineNote = fmt.Sprintf("no prior report found at %s", *basePath)
+		}
 	}
 
 	rep.Results = append(rep.Results,
@@ -152,6 +195,85 @@ func main() {
 		return err
 	}))
 
+	// Operator suite on 1M records. Keys are folded to 1/16th of the input
+	// size so duplicate elimination, grouping and the join have real
+	// multiplicity; the sort-backed operators inherit the external
+	// configuration above.
+	fold := func(in []record.Record, mod int64) []record.Record {
+		if mod < 1 {
+			mod = 1
+		}
+		out := make([]record.Record, len(in))
+		for i, r := range in {
+			k := r.Key % mod
+			if k < 0 {
+				k += mod
+			}
+			out[i] = record.Record{Key: k, Aux: r.Aux}
+		}
+		return out
+	}
+	dupRecs := fold(recs, int64(*n/16))
+	opSorter := func() (*repro.Sorter[record.Record], error) {
+		return repro.New(record.Less,
+			repro.WithConfig(cfg),
+			repro.WithCodec(repro.RecordCodec()),
+			repro.WithKey(record.Key))
+	}
+	rep.Results = append(rep.Results, measure("distinct_1m", *n, record.Size, func() error {
+		s, err := opSorter()
+		if err != nil {
+			return err
+		}
+		var out discard[record.Record]
+		_, err = s.Distinct(nil, record.NewSliceReader(dupRecs), &out)
+		return err
+	}))
+
+	// Top-k with k ≪ N: the bounded-heap selection path. The comparison
+	// against sortslice_1m in the same report is the "skipped the merge"
+	// evidence — the input is identical, only the query differs.
+	var topkStats repro.OpStats
+	rep.Results = append(rep.Results, measure("topk100_1m", *n, record.Size, func() error {
+		s, err := opSorter()
+		if err != nil {
+			return err
+		}
+		var out discard[record.Record]
+		topkStats, err = s.TopK(nil, record.NewSliceReader(recs), 100, &out)
+		return err
+	}))
+
+	left, right := fold(recs[:*n/2], int64(*n/10)), fold(recs[*n/2:], int64(*n/10))
+	rep.Results = append(rep.Results, measure("join_500kx500k", *n, record.Size, func() error {
+		ls, err := opSorter()
+		if err != nil {
+			return err
+		}
+		rs, err := opSorter()
+		if err != nil {
+			return err
+		}
+		var out discard[record.Record]
+		_, err = repro.MergeJoin(nil,
+			ls, record.NewSliceReader(left),
+			rs, record.NewSliceReader(right),
+			func(l, r record.Record) int {
+				switch {
+				case l.Key < r.Key:
+					return -1
+				case l.Key > r.Key:
+					return 1
+				}
+				return 0
+			},
+			func(l, r record.Record) record.Record {
+				return record.Record{Key: l.Key, Aux: l.Aux + r.Aux}
+			},
+			&out)
+		return err
+	}))
+
 	// stream protocol microbenches: the raw batch-vs-element copy cost.
 	vals := make([]int64, 1<<20)
 	for i := range vals {
@@ -163,9 +285,26 @@ func main() {
 		return err
 	}))
 
+	var sortNs, topkNs int64
+	for _, r := range rep.Results {
+		switch r.Name {
+		case "sortslice_1m":
+			sortNs = r.NsPerOp
+		case "topk100_1m":
+			topkNs = r.NsPerOp
+		}
+	}
+	if sortNs > 0 && topkNs > 0 {
+		rep.Notes = append(rep.Notes, fmt.Sprintf(
+			"topk100_1m avoided the full merge: OpStats{Sorted:%v, Runs:%d, MergeOps:%d} "+
+				"(bounded-heap selection, nothing spilled), %.1fx faster than sortslice_1m on the same input",
+			topkStats.Sorted, topkStats.Sort.Runs, topkStats.Sort.MergeOps,
+			float64(sortNs)/float64(topkNs)))
+	}
+
 	path := *out
 	if path == "" {
-		path = nextBenchFile()
+		path = fmt.Sprintf("BENCH_%d.json", benchNum)
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

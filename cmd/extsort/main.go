@@ -1,13 +1,23 @@
-// Command extsort sorts a binary record file externally with a bounded
-// memory budget, using 2WRS (default), classic replacement selection or
-// Load-Sort-Store, and prints the phase statistics the paper reports.
+// Command extsort sorts and queries binary record files externally with a
+// bounded memory budget, using 2WRS (default), classic replacement
+// selection or Load-Sort-Store.
 //
-// Usage:
+// Subcommands:
 //
-//	extsort -alg 2wrs -memory 100000 -in input.rec -out sorted.rec
+//	extsort sort     -in input.rec -out sorted.rec   # full external sort (default)
+//	extsort distinct -in input.rec -out distinct.rec # one record per key, ascending
+//	extsort topk     -k 100 -in input.rec -out top.rec
+//	extsort join     -left a.rec -right b.rec -out joined.rec
+//
+// Invoking extsort with flags directly (no subcommand) behaves like
+// "extsort sort", preserving the historical CLI. Every subcommand prints
+// the phase statistics the paper reports; the operator subcommands also
+// print what they consumed and emitted.
 package main
 
 import (
+	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -16,82 +26,301 @@ import (
 	"repro"
 	"repro/internal/core"
 	"repro/internal/extsort"
+	"repro/internal/record"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("extsort: ")
-	var (
-		algName = flag.String("alg", "2wrs", "run generation algorithm: 2wrs, rs, lss")
-		memory  = flag.Int("memory", 100_000, "memory budget in records")
-		fanIn   = flag.Int("fanin", 10, "merge fan-in")
-		inPath  = flag.String("in", "", "input record file (required)")
-		outPath = flag.String("out", "", "output record file (required)")
-		tempDir = flag.String("tmp", "", "directory for temporary runs (default: system temp)")
-		setup   = flag.String("buffers", "both", "2WRS buffer setup: input, both, victim")
-		frac    = flag.Float64("buffrac", 0.02, "fraction of memory for 2WRS buffers")
-		inH     = flag.String("inheur", "mean", "2WRS input heuristic")
-		outH    = flag.String("outheur", "random", "2WRS output heuristic")
-		seed    = flag.Int64("seed", 1, "seed for randomised heuristics")
-	)
-	flag.Parse()
-	if *inPath == "" || *outPath == "" {
-		flag.Usage()
-		os.Exit(2)
+	args := os.Args[1:]
+	cmd := "sort"
+	if len(args) > 0 && len(args[0]) > 0 && args[0][0] != '-' {
+		cmd, args = args[0], args[1:]
 	}
-	alg, err := extsort.ParseAlgorithm(*algName)
-	if err != nil {
-		log.Fatal(err)
+	switch cmd {
+	case "sort":
+		runSort(args)
+	case "distinct", "topk":
+		runUnaryOp(cmd, args)
+	case "join":
+		runJoin(args)
+	default:
+		log.Fatalf("unknown subcommand %q (want sort, distinct, topk or join)", cmd)
 	}
-	bufSetup, err := core.ParseBufferSetup(*setup)
-	if err != nil {
-		log.Fatal(err)
-	}
-	inHeur, err := core.ParseInputHeuristic(*inH)
-	if err != nil {
-		log.Fatal(err)
-	}
-	outHeur, err := core.ParseOutputHeuristic(*outH)
-	if err != nil {
-		log.Fatal(err)
-	}
+}
 
+// sortFlags declares the flags shared by every subcommand that sorts.
+type sortFlags struct {
+	alg     *string
+	memory  *int
+	fanIn   *int
+	tempDir *string
+	setup   *string
+	frac    *float64
+	inH     *string
+	outH    *string
+	seed    *int64
+}
+
+func newSortFlags(fs *flag.FlagSet) *sortFlags {
+	return &sortFlags{
+		alg:     fs.String("alg", "2wrs", "run generation algorithm: 2wrs, rs, lss"),
+		memory:  fs.Int("memory", 100_000, "memory budget in records"),
+		fanIn:   fs.Int("fanin", 10, "merge fan-in"),
+		tempDir: fs.String("tmp", "", "directory for temporary runs (default: system temp)"),
+		setup:   fs.String("buffers", "both", "2WRS buffer setup: input, both, victim"),
+		frac:    fs.Float64("buffrac", 0.02, "fraction of memory for 2WRS buffers"),
+		inH:     fs.String("inheur", "mean", "2WRS input heuristic"),
+		outH:    fs.String("outheur", "random", "2WRS output heuristic"),
+		seed:    fs.Int64("seed", 1, "seed for randomised heuristics"),
+	}
+}
+
+// config resolves the flag values into a repro.Config, allocating (and
+// returning a cleanup for) a temp dir when none was given.
+func (f *sortFlags) config() (repro.Config, func(), error) {
+	alg, err := extsort.ParseAlgorithm(*f.alg)
+	if err != nil {
+		return repro.Config{}, nil, err
+	}
+	bufSetup, err := core.ParseBufferSetup(*f.setup)
+	if err != nil {
+		return repro.Config{}, nil, err
+	}
+	inHeur, err := core.ParseInputHeuristic(*f.inH)
+	if err != nil {
+		return repro.Config{}, nil, err
+	}
+	outHeur, err := core.ParseOutputHeuristic(*f.outH)
+	if err != nil {
+		return repro.Config{}, nil, err
+	}
 	cfg := repro.Config{
 		Algorithm:      alg,
-		MemoryRecords:  *memory,
-		FanIn:          *fanIn,
+		MemoryRecords:  *f.memory,
+		FanIn:          *f.fanIn,
 		Setup:          bufSetup,
-		BufferFraction: *frac,
+		BufferFraction: *f.frac,
 		Input:          inHeur,
 		Output:         outHeur,
-		Seed:           *seed,
+		Seed:           *f.seed,
 	}
-	tmp := *tempDir
-	if tmp == "" {
+	cleanup := func() {}
+	cfg.TempDir = *f.tempDir
+	if cfg.TempDir == "" {
 		d, err := os.MkdirTemp("", "extsort")
 		if err != nil {
-			log.Fatal(err)
+			return repro.Config{}, nil, err
 		}
-		defer os.RemoveAll(d)
-		tmp = d
+		cfg.TempDir = d
+		cleanup = func() { os.RemoveAll(d) }
 	}
-	cfg.TempDir = tmp
+	return cfg, cleanup, nil
+}
 
-	stats, err := repro.SortFile(*inPath, *outPath, cfg)
+// sorter builds the record sorter every subcommand drives: classic key
+// order, classic codec.
+func sorter(cfg repro.Config) (*repro.Sorter[repro.Record], error) {
+	return repro.New(record.Less,
+		repro.WithConfig(cfg),
+		repro.WithCodec(repro.RecordCodec()),
+		repro.WithKey(record.Key))
+}
+
+// openIn opens a binary record file as a streaming source.
+func openIn(path string) (*record.ByteReader, func(), error) {
+	f, err := os.Open(path)
 	if err != nil {
-		log.Fatal(err)
+		return nil, nil, err
 	}
+	return record.NewByteReader(bufio.NewReaderSize(f, 1<<20)), func() { f.Close() }, nil
+}
+
+// outFile wraps a buffered record file destination.
+type outFile struct {
+	f *os.File
+	w *bufio.Writer
+	r *record.ByteWriter
+}
+
+func createOut(path string) (*outFile, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	return &outFile{f: f, w: w, r: record.NewByteWriter(w)}, nil
+}
+
+func (o *outFile) close() error {
+	if err := o.w.Flush(); err != nil {
+		o.f.Close()
+		return err
+	}
+	return o.f.Close()
+}
+
+func printSortStats(alg string, memory int, stats repro.Stats) {
 	fmt.Printf("algorithm:        %v\n", alg)
 	fmt.Printf("records:          %d\n", stats.Records)
 	fmt.Printf("runs:             %d\n", stats.Runs)
-	fmt.Printf("avg run length:   %.1f records (%.2fx memory)\n",
-		stats.AvgRunLength, stats.AvgRunLength/float64(*memory))
+	if stats.Runs > 0 {
+		fmt.Printf("avg run length:   %.1f records (%.2fx memory)\n",
+			stats.AvgRunLength, stats.AvgRunLength/float64(memory))
+	}
 	if stats.OverlapRuns > 0 {
 		fmt.Printf("overlapping runs: %d (merged as separate streams)\n", stats.OverlapRuns)
 	}
 	fmt.Printf("merge passes:     %d (%d merge ops over %d inputs)\n",
 		stats.MergePasses, stats.MergeOps, stats.MergeInputs)
+}
+
+func runSort(args []string) {
+	fs := flag.NewFlagSet("sort", flag.ExitOnError)
+	sf := newSortFlags(fs)
+	inPath := fs.String("in", "", "input record file (required)")
+	outPath := fs.String("out", "", "output record file (required)")
+	fs.Parse(args)
+	if *inPath == "" || *outPath == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	cfg, cleanup, err := sf.config()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cleanup()
+	stats, err := repro.SortFile(*inPath, *outPath, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printSortStats(*sf.alg, *sf.memory, stats)
 	fmt.Printf("run generation:   %v\n", stats.RunGenWall.Round(1e6))
 	fmt.Printf("merge phase:      %v\n", stats.MergeWall.Round(1e6))
 	fmt.Printf("total:            %v\n", stats.TotalWall().Round(1e6))
+}
+
+// runUnaryOp drives distinct and topk, which share the single-input shape.
+func runUnaryOp(name string, args []string) {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	sf := newSortFlags(fs)
+	inPath := fs.String("in", "", "input record file (required)")
+	outPath := fs.String("out", "", "output record file (required)")
+	var k *int
+	if name == "topk" {
+		k = fs.Int("k", 100, "number of smallest records to keep")
+	}
+	fs.Parse(args)
+	if *inPath == "" || *outPath == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	cfg, cleanup, err := sf.config()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cleanup()
+	s, err := sorter(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src, closeIn, err := openIn(*inPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer closeIn()
+	out, err := createOut(*outPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var st repro.OpStats
+	switch name {
+	case "distinct":
+		st, err = s.Distinct(context.Background(), src, out.r)
+	case "topk":
+		st, err = s.TopK(context.Background(), src, *k, out.r)
+	}
+	if err != nil {
+		out.f.Close()
+		log.Fatal(err)
+	}
+	if err := out.close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("operator:         %s\n", name)
+	fmt.Printf("consumed:         %d records\n", st.In)
+	fmt.Printf("emitted:          %d records\n", st.Out)
+	if st.Sorted {
+		printSortStats(*sf.alg, *sf.memory, st.Sort)
+	} else {
+		fmt.Printf("selection:        bounded heap, no external sort (0 runs spilled)\n")
+	}
+}
+
+func runJoin(args []string) {
+	fs := flag.NewFlagSet("join", flag.ExitOnError)
+	sf := newSortFlags(fs)
+	leftPath := fs.String("left", "", "left input record file (required)")
+	rightPath := fs.String("right", "", "right input record file (required)")
+	outPath := fs.String("out", "", "output record file (required); each matching pair "+
+		"(l, r) on key emits {Key, l.Aux + r.Aux}")
+	fs.Parse(args)
+	if *leftPath == "" || *rightPath == "" || *outPath == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	cfg, cleanup, err := sf.config()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cleanup()
+	ls, err := sorter(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rs, err := sorter(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lsrc, closeL, err := openIn(*leftPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer closeL()
+	rsrc, closeR, err := openIn(*rightPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer closeR()
+	out, err := createOut(*outPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cmp := func(l, r repro.Record) int {
+		switch {
+		case l.Key < r.Key:
+			return -1
+		case l.Key > r.Key:
+			return 1
+		}
+		return 0
+	}
+	join := func(l, r repro.Record) repro.Record {
+		return repro.Record{Key: l.Key, Aux: l.Aux + r.Aux}
+	}
+	st, err := repro.MergeJoin(context.Background(), ls, lsrc, rs, rsrc, cmp, join, out.r)
+	if err != nil {
+		out.f.Close()
+		log.Fatal(err)
+	}
+	if err := out.close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("operator:         join\n")
+	fmt.Printf("left consumed:    %d records (%d runs)\n", st.LeftIn, st.Left.Runs)
+	fmt.Printf("right consumed:   %d records (%d runs)\n", st.RightIn, st.Right.Runs)
+	fmt.Printf("emitted:          %d records\n", st.Out)
+	fmt.Printf("largest key group: %d records\n", st.MaxGroup)
 }

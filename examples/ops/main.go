@@ -1,0 +1,252 @@
+// Ops: the sorted-stream operator layer in one program. A synthetic page
+// view log (page, visitor, dwell time) streams through all four operators:
+//
+//   - Distinct: the set of pages ever visited
+//   - GroupBy:  views and total dwell time per page
+//   - TopK:     the 10 longest dwell times — selected through a bounded
+//     heap without running the external sort at all
+//   - MergeJoin: page metadata ⋈ per-page aggregates, two independently
+//     sorted inputs joined on the page id
+//
+// Everything runs under a memory budget far below the input size, so the
+// sort-backed operators genuinely spill runs and merge them back.
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+
+	"repro"
+)
+
+const (
+	views  = 500_000 // page-view events
+	pages  = 1_200   // distinct page ids
+	memory = 4_096   // sorter budget, in records
+)
+
+// view is one log event. The operators order views differently per query,
+// so each query builds its own Sorter with the comparator it needs.
+type view struct {
+	Page    int64
+	Visitor int64
+	Dwell   int64 // milliseconds
+}
+
+// viewCodec stores a view as four fixed 8-byte words (one of them padding:
+// the backward run format wants the page size to be a multiple of the
+// element size, and 32 divides the 4 KB page where 24 would not).
+type viewCodec struct{}
+
+func (viewCodec) Append(buf []byte, v view) []byte {
+	for _, x := range [4]int64{v.Page, v.Visitor, v.Dwell, 0} {
+		for i := 0; i < 8; i++ {
+			buf = append(buf, byte(uint64(x)>>(8*i)))
+		}
+	}
+	return buf
+}
+
+func (viewCodec) Decode(buf []byte) (view, int, error) {
+	if len(buf) < 32 {
+		return view{}, 0, repro.ErrShortCodec
+	}
+	word := func(off int) int64 {
+		var u uint64
+		for i := 0; i < 8; i++ {
+			u |= uint64(buf[off+i]) << (8 * i)
+		}
+		return int64(u)
+	}
+	return view{Page: word(0), Visitor: word(8), Dwell: word(16)}, 32, nil
+}
+
+func (viewCodec) FixedSize() int { return 32 }
+
+// viewSource streams the synthetic log without materialising it.
+type viewSource struct {
+	rng  *rand.Rand
+	left int
+}
+
+func newViews() *viewSource { return &viewSource{rng: rand.New(rand.NewSource(7)), left: views} }
+
+func (s *viewSource) Read() (view, error) {
+	if s.left == 0 {
+		return view{}, io.EOF
+	}
+	s.left--
+	// Zipf-ish page popularity: low page ids dominate.
+	p := s.rng.Int63n(int64(pages))
+	p = (p * p) / int64(pages)
+	return view{
+		Page:    p,
+		Visitor: s.rng.Int63n(50_000),
+		Dwell:   50 + s.rng.Int63n(60_000),
+	}, nil
+}
+
+func sorterBy(less func(a, b view) bool) *repro.Sorter[view] {
+	s, err := repro.New(less,
+		repro.WithMemoryRecords(memory),
+		repro.WithCodec[view](viewCodec{}),
+		repro.WithKey(func(v view) float64 { return float64(v.Page) }))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return s
+}
+
+// collect buffers operator output in memory (small per query here).
+type collect[T any] struct{ vals []T }
+
+func (c *collect[T]) Write(v T) error { c.vals = append(c.vals, v); return nil }
+
+func main() {
+	ctx := context.Background()
+	byPage := func(a, b view) bool { return a.Page < b.Page }
+
+	// Distinct pages: order by page, one representative per page id.
+	var pagesSeen collect[view]
+	st, err := sorterBy(byPage).Distinct(ctx, newViews(), &pagesSeen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("distinct: %d views → %d pages (%d runs spilled, %d merge ops)\n",
+		st.In, st.Out, st.Sort.Runs, st.Sort.MergeOps)
+
+	// Per-page aggregate: fold count into Visitor, dwell sum into Dwell.
+	samePage := func(a, b view) bool { return a.Page == b.Page }
+	aggregate := func(acc, v view) view {
+		return view{Page: acc.Page, Visitor: acc.Visitor + 1, Dwell: acc.Dwell + v.Dwell}
+	}
+	seed := func(v view) view { return view{Page: v.Page, Visitor: 1, Dwell: v.Dwell} }
+	// GroupBy seeds the accumulator with the group's first element, so the
+	// source is pre-mapped into aggregate space.
+	mapped := &mapSource{src: newViews(), f: seed}
+	var perPage collect[view]
+	st, err = sorterBy(byPage).GroupBy(ctx, mapped, samePage, aggregate, &perPage)
+	if err != nil {
+		log.Fatal(err)
+	}
+	busiest := perPage.vals[0]
+	for _, p := range perPage.vals {
+		if p.Visitor > busiest.Visitor {
+			busiest = p
+		}
+	}
+	fmt.Printf("groupby:  %d groups; busiest page %d with %d views, %.1f s mean dwell\n",
+		st.Groups, busiest.Page, busiest.Visitor,
+		float64(busiest.Dwell)/float64(busiest.Visitor)/1000)
+
+	// Top 10 by dwell time: k ≪ N, so this never sorts and never spills.
+	longest := sorterBy(func(a, b view) bool { return a.Dwell > b.Dwell })
+	var top collect[view]
+	st, err = longest.TopK(ctx, newViews(), 10, &top)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("topk:     scanned %d views for the top %d dwell times (sorted=%v, runs=%d) — head %dms\n",
+		st.In, len(top.vals), st.Sorted, st.Sort.Runs, top.vals[0].Dwell)
+
+	// Join page metadata (title length as a stand-in) with the aggregates.
+	metaSorter, err := repro.New(func(a, b meta) bool { return a.Page < b.Page },
+		repro.WithMemoryRecords(memory),
+		repro.WithCodec[meta](metaCodec{}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	metaSrc := &sliceSource[meta]{}
+	for p := int64(0); p < pages; p += 2 { // metadata for every other page
+		metaSrc.vals = append(metaSrc.vals, meta{Page: p, TitleLen: 10 + p%40})
+	}
+	var rows collect[joined]
+	js, err := repro.MergeJoin(ctx,
+		metaSorter, metaSrc,
+		sorterBy(byPage), &sliceSource[view]{vals: perPage.vals},
+		func(l meta, r view) int {
+			switch {
+			case l.Page < r.Page:
+				return -1
+			case l.Page > r.Page:
+				return 1
+			}
+			return 0
+		},
+		func(l meta, r view) joined { return joined{Page: l.Page, TitleLen: l.TitleLen, Views: r.Visitor} },
+		&rows)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("join:     %d metadata rows ⋈ %d aggregates → %d joined rows\n",
+		js.LeftIn, js.RightIn, js.Out)
+}
+
+// mapSource applies f to every element of src.
+type mapSource struct {
+	src repro.Source[view]
+	f   func(view) view
+}
+
+func (m *mapSource) Read() (view, error) {
+	v, err := m.src.Read()
+	if err != nil {
+		return v, err
+	}
+	return m.f(v), nil
+}
+
+// sliceSource replays a slice.
+type sliceSource[T any] struct {
+	vals []T
+	pos  int
+}
+
+func (s *sliceSource[T]) Read() (T, error) {
+	if s.pos >= len(s.vals) {
+		var zero T
+		return zero, io.EOF
+	}
+	v := s.vals[s.pos]
+	s.pos++
+	return v, nil
+}
+
+// meta is a page's metadata row, the join's left side; joined is the
+// join's output row.
+type meta struct{ Page, TitleLen int64 }
+
+type joined struct{ Page, TitleLen, Views int64 }
+
+// metaCodec stores a meta as two fixed 8-byte words.
+type metaCodec struct{}
+
+func (metaCodec) Append(buf []byte, v meta) []byte {
+	for _, x := range [2]int64{v.Page, v.TitleLen} {
+		for i := 0; i < 8; i++ {
+			buf = append(buf, byte(uint64(x)>>(8*i)))
+		}
+	}
+	return buf
+}
+
+func (metaCodec) Decode(buf []byte) (meta, int, error) {
+	var v meta
+	if len(buf) < 16 {
+		return v, 0, repro.ErrShortCodec
+	}
+	word := func(off int) int64 {
+		var u uint64
+		for i := 0; i < 8; i++ {
+			u |= uint64(buf[off+i]) << (8 * i)
+		}
+		return int64(u)
+	}
+	v.Page, v.TitleLen = word(0), word(8)
+	return v, 16, nil
+}
+
+func (metaCodec) FixedSize() int { return 16 }

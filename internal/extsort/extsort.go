@@ -6,7 +6,9 @@
 package extsort
 
 import (
+	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"strings"
 	"time"
@@ -227,16 +229,35 @@ func (s Stats) TotalWall() time.Duration { return s.RunGenWall + s.MergeWall }
 // TotalSim returns the end-to-end simulated duration.
 func (s Stats) TotalSim() time.Duration { return s.RunGenSim + s.MergeSim }
 
-// Sort reads all elements from src, sorts them externally using temporary
-// files on fs, and writes the sorted stream to dst. Ordering, storage and
-// heuristics come from ops.
-func Sort[T any](src stream.Reader[T], dst stream.Writer[T], fs vfs.FS, cfg Config, ops Ops[T]) (Stats, error) {
+// RunSet is the boundary between the sort's two phases: the sorted runs one
+// generation pass produced, plus everything needed to merge them — the file
+// system, the emitter (codec, comparator, layout sizes) and the frozen
+// configuration. Sort is GenerateRuns followed by RunSet.Merge; the operator
+// layer instead calls RunSet.OpenMerged to pull the globally sorted order as
+// a stream, filtering or abandoning it without materialising an output file.
+//
+// A RunSet owns its run files until exactly one of Merge, OpenMerged (whose
+// Stream then owns them) or Discard is called.
+type RunSet[T any] struct {
+	fs    vfs.FS
+	em    *runio.Emitter[T]
+	runs  []runio.Run
+	cfg   Config
+	ops   Ops[T]
+	clock func() time.Duration
+	stats Stats // run-generation half; Merge fills the merge half
+}
+
+// GenerateRuns runs phase one only: it consumes src and writes sorted runs
+// to temporary files on fs, returning the RunSet to merge, stream or
+// discard. Configuration defaulting and validation match Sort exactly.
+func GenerateRuns[T any](src stream.Reader[T], fs vfs.FS, cfg Config, ops Ops[T]) (*RunSet[T], error) {
 	cfg = cfg.withDefaults()
 	if err := ops.validate(); err != nil {
-		return Stats{}, err
+		return nil, err
 	}
 	if cfg.Memory <= 0 {
-		return Stats{}, fmt.Errorf("extsort: memory must be positive, got %d", cfg.Memory)
+		return nil, fmt.Errorf("extsort: memory must be positive, got %d", cfg.Memory)
 	}
 	em := runio.NewEmitter(fs, cfg.Prefix, ops.Codec, ops.Less)
 	em.PageSize = cfg.PageSize
@@ -256,59 +277,114 @@ func Sort[T any](src stream.Reader[T], dst stream.Writer[T], fs vfs.FS, cfg Conf
 		clock = func() time.Duration { return 0 }
 	}
 
-	var stats Stats
+	rset := &RunSet[T]{fs: fs, em: em, cfg: cfg, ops: ops, clock: clock}
 	simStart, wallStart := clock(), time.Now()
 
-	var runs []runio.Run
 	switch cfg.Algorithm {
 	case RS:
 		res, err := rs.Generate(src, em, cfg.Memory)
 		if err != nil {
-			return stats, err
+			return nil, err
 		}
-		runs, stats.Records = res.Runs, res.Records
+		rset.runs, rset.stats.Records = res.Runs, res.Records
 	case LoadSortStore:
 		res, err := rs.GenerateLSS(src, em, cfg.Memory)
 		if err != nil {
-			return stats, err
+			return nil, err
 		}
-		runs, stats.Records = res.Runs, res.Records
+		rset.runs, rset.stats.Records = res.Runs, res.Records
 	case TwoWayRS:
 		res, err := core.Generate(src, em, cfg.TWRS, ops.Key)
 		if err != nil {
-			return stats, err
+			return nil, err
 		}
-		runs, stats.Records = res.Runs, res.Records
-		stats.OverlapRuns = res.OverlapRuns
+		rset.runs, rset.stats.Records = res.Runs, res.Records
+		rset.stats.OverlapRuns = res.OverlapRuns
 	default:
-		return stats, fmt.Errorf("extsort: unknown algorithm %v", cfg.Algorithm)
+		return nil, fmt.Errorf("extsort: unknown algorithm %v", cfg.Algorithm)
 	}
-	stats.Runs = len(runs)
-	if stats.Runs > 0 {
-		stats.AvgRunLength = float64(stats.Records) / float64(stats.Runs)
+	rset.stats.Runs = len(rset.runs)
+	if rset.stats.Runs > 0 {
+		rset.stats.AvgRunLength = float64(rset.stats.Records) / float64(rset.stats.Runs)
 	}
-	stats.RunGenWall = time.Since(wallStart)
-	stats.RunGenSim = clock() - simStart
+	rset.stats.RunGenWall = time.Since(wallStart)
+	rset.stats.RunGenSim = clock() - simStart
+	return rset, nil
+}
 
+// Runs returns the run manifests of the set; callers must not mutate them.
+func (r *RunSet[T]) Runs() []runio.Run { return r.runs }
+
+// Stats returns the statistics accumulated so far: the run-generation half
+// after GenerateRuns, both halves after Merge.
+func (r *RunSet[T]) Stats() Stats { return r.stats }
+
+// mergeConfig assembles the merge-phase configuration from the sort's.
+func (r *RunSet[T]) mergeConfig() merge.Config {
+	return merge.Config{
+		FanIn:       r.cfg.FanIn,
+		MemoryBytes: r.cfg.Memory * r.ops.elementBytes(),
+		Engine:      r.cfg.Engine,
+		Workers:     r.cfg.Parallelism,
+		Cancel:      r.cfg.Cancel,
+	}
+}
+
+// OpenMerged runs the intermediate merge passes and returns the final merge
+// as a pull stream in globally sorted order. The returned Stream owns the
+// remaining run files and must be Closed, fully drained or not; the merge
+// half of the RunSet's Stats stays zero — the Stream reports its own.
+//
+// Note that simulated-clock accounting (Config.Clock) covers only the
+// intermediate passes here, since the final merge's I/O happens at the
+// caller's pace; Merge accounts for the whole phase.
+func (r *RunSet[T]) OpenMerged() (*merge.Stream[T], error) {
 	// Every run — concatenable or not — is one merge input: runio.OpenRun
 	// interleaves overlapping streams on the fly.
-	simStart, wallStart = clock(), time.Now()
-	ms, err := merge.Merge(fs, em, runs, dst, merge.Config{
-		FanIn:       cfg.FanIn,
-		MemoryBytes: cfg.Memory * ops.elementBytes(),
-		Engine:      cfg.Engine,
-		Workers:     cfg.Parallelism,
-		Cancel:      cfg.Cancel,
-	})
+	return merge.NewStream(r.fs, r.em, r.runs, r.mergeConfig())
+}
+
+// Merge completes the sort: it merges the run set into dst and returns the
+// full two-phase statistics.
+func (r *RunSet[T]) Merge(dst stream.Writer[T]) (Stats, error) {
+	simStart, wallStart := r.clock(), time.Now()
+	ms, err := merge.Merge(r.fs, r.em, r.runs, dst, r.mergeConfig())
 	if err != nil {
-		return stats, err
+		return r.stats, err
 	}
-	stats.MergeInputs = ms.Inputs
-	stats.MergePasses = ms.Passes
-	stats.MergeOps = ms.Merges
-	stats.MergeWall = time.Since(wallStart)
-	stats.MergeSim = clock() - simStart
-	return stats, nil
+	r.stats.MergeInputs = ms.Inputs
+	r.stats.MergePasses = ms.Passes
+	r.stats.MergeOps = ms.Merges
+	r.stats.MergeWall = time.Since(wallStart)
+	r.stats.MergeSim = r.clock() - simStart
+	return r.stats, nil
+}
+
+// Discard deletes the run files without merging them, for callers that
+// abandon the sort after phase one. Runs already consumed — a failed
+// OpenMerged may have merged and removed some of them before erroring —
+// are skipped silently; like a failed Merge, intermediate files a partial
+// reduce created are left to the caller's file-system cleanup.
+func (r *RunSet[T]) Discard() error {
+	var first error
+	for _, run := range r.runs {
+		if err := run.Remove(r.fs); err != nil && first == nil && !errors.Is(err, os.ErrNotExist) {
+			first = err
+		}
+	}
+	r.runs = nil
+	return first
+}
+
+// Sort reads all elements from src, sorts them externally using temporary
+// files on fs, and writes the sorted stream to dst. Ordering, storage and
+// heuristics come from ops. It is GenerateRuns followed by RunSet.Merge.
+func Sort[T any](src stream.Reader[T], dst stream.Writer[T], fs vfs.FS, cfg Config, ops Ops[T]) (Stats, error) {
+	rset, err := GenerateRuns(src, fs, cfg, ops)
+	if err != nil {
+		return Stats{}, err
+	}
+	return rset.Merge(dst)
 }
 
 // SortSlice sorts elements in memory-bounded fashion through a MemFS and

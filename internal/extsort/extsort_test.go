@@ -188,3 +188,112 @@ func TestRSvsTwoWayOnReverse(t *testing.T) {
 			twStats.MergePasses, rsStats.MergePasses)
 	}
 }
+
+// TestGenerateRunsBoundary exercises the run-set boundary directly: phase
+// one alone, then the three ways to dispose of a RunSet — OpenMerged,
+// Merge, Discard — with file-system cleanliness pinned after each.
+func TestGenerateRunsBoundary(t *testing.T) {
+	recs := gen.Generate(gen.Config{Kind: gen.Random, N: 20_000, Seed: 3, Noise: 1000})
+	mk := func() (*RunSet[record.Record], vfs.FS) {
+		fs := vfs.NewMemFS()
+		rset, err := GenerateRuns[record.Record](record.NewSliceReader(recs), fs, Recommended(512), RecordOps())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rset, fs
+	}
+
+	// Phase-one stats are complete before any merge work happens.
+	rset, fs := mk()
+	st := rset.Stats()
+	if st.Records != 20_000 || st.Runs < 2 || st.MergeOps != 0 || st.MergeInputs != 0 {
+		t.Fatalf("run-generation stats %+v, want runs and no merge half", st)
+	}
+	if len(rset.Runs()) != st.Runs {
+		t.Fatalf("Runs() has %d entries, stats say %d", len(rset.Runs()), st.Runs)
+	}
+
+	// OpenMerged streams the globally sorted order.
+	ms, err := rset.OpenMerged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev record.Record
+	n := 0
+	for {
+		r, err := ms.Read()
+		if err != nil {
+			break
+		}
+		if n > 0 && record.Less(r, prev) {
+			t.Fatalf("merged stream out of order at %d", n)
+		}
+		prev = r
+		n++
+	}
+	if n != 20_000 {
+		t.Fatalf("streamed %d records, want 20000", n)
+	}
+	if err := ms.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if names, _ := fs.Names(); len(names) != 0 {
+		t.Fatalf("files left after streamed merge: %v", names)
+	}
+
+	// Merge completes the sort with full two-phase stats.
+	rset, fs = mk()
+	var out record.SliceWriter
+	st, err = rset.Merge(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !record.IsSorted(out.Recs) || st.MergeInputs != st.Runs {
+		t.Fatalf("Merge stats %+v over %d records", st, len(out.Recs))
+	}
+	if names, _ := fs.Names(); len(names) != 0 {
+		t.Fatalf("files left after Merge: %v", names)
+	}
+
+	// Discard deletes everything without merging.
+	rset, fs = mk()
+	if err := rset.Discard(); err != nil {
+		t.Fatal(err)
+	}
+	if names, _ := fs.Names(); len(names) != 0 {
+		t.Fatalf("files left after Discard: %v", names)
+	}
+}
+
+// TestSortEqualsGenerateRunsPlusMerge pins that Sort is exactly the
+// composition of the two halves of the boundary.
+func TestSortEqualsGenerateRunsPlusMerge(t *testing.T) {
+	recs := gen.Generate(gen.Config{Kind: gen.MixedBalanced, N: 10_000, Seed: 4, Noise: 1000})
+	cfg := Recommended(256)
+	cfg.Parallelism = 1
+
+	direct, dstats, err := SortSlice(recs, cfg, RecordOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rset, err := GenerateRuns[record.Record](record.NewSliceReader(recs), vfs.NewMemFS(), cfg, RecordOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out record.SliceWriter
+	cstats, err := rset.Merge(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct) != len(out.Recs) {
+		t.Fatalf("composed sort has %d records, direct %d", len(out.Recs), len(direct))
+	}
+	for i := range direct {
+		if direct[i] != out.Recs[i] {
+			t.Fatalf("record %d differs: %v vs %v", i, direct[i], out.Recs[i])
+		}
+	}
+	if dstats.Runs != cstats.Runs || dstats.MergeOps != cstats.MergeOps || dstats.MergePasses != cstats.MergePasses {
+		t.Fatalf("stats diverge: direct %+v, composed %+v", dstats, cstats)
+	}
+}

@@ -2,7 +2,6 @@ package merge
 
 import (
 	"fmt"
-	"io"
 	"sort"
 	"sync"
 
@@ -21,12 +20,6 @@ const (
 	// EngineHeap is the ablation baseline.
 	EngineHeap
 )
-
-// batchLen is the element count of the engine→writer copy buffer (the
-// engines keep their own per-input leaf buffers, see leafBatch). 256
-// elements amortise interface dispatch to noise while costing only a few
-// KB on top of the byte buffers.
-const batchLen = 256
 
 // Config parameterises the merge phase.
 type Config struct {
@@ -122,6 +115,11 @@ func sortBySize(queue []depthRun) {
 	sort.SliceStable(queue, func(i, j int) bool { return queue[i].run.Records < queue[j].run.Records })
 }
 
+// errBadFanIn reports a fan-in below the minimum merge width.
+func errBadFanIn(fanIn int) error {
+	return fmt.Errorf("merge: fan-in must be at least 2, got %d", fanIn)
+}
+
 // Merge combines the given sorted inputs into dst using repeated FanIn-way
 // merges scheduled smallest-first — the optimal merge pattern (Knuth vol. 3
 // §5.4.9): merging the smallest runs first minimises the total volume moved
@@ -140,68 +138,20 @@ func sortBySize(queue []depthRun) {
 // Each input is one sorted stream when opened: a 2WRS run with overlapping
 // stream ranges interleaves its segments on the fly (runio.OpenRun), so
 // callers pass runs as-is. The element codec and comparator come from em.
+//
+// Merge is NewStream followed by a batched copy into dst: callers that want
+// the merged order as a pull stream instead of a materialised output use
+// NewStream directly.
 func Merge[T any](fs vfs.FS, em *runio.Emitter[T], inputs []runio.Run, dst stream.Writer[T], cfg Config) (Stats, error) {
-	if cfg.FanIn < 2 {
-		return Stats{}, fmt.Errorf("merge: fan-in must be at least 2, got %d", cfg.FanIn)
-	}
-	stats := Stats{Inputs: len(inputs)}
-	if len(inputs) == 0 {
-		return stats, nil
-	}
-
-	queue := make([]depthRun, 0, len(inputs))
-	for _, r := range inputs {
-		queue = append(queue, depthRun{run: r})
-	}
-
-	var err error
-	if cfg.Workers > 1 {
-		queue, err = reduceParallel(fs, em, queue, cfg, &stats)
-	} else {
-		queue, err = reduceSequential(fs, em, queue, cfg, &stats)
-	}
+	st, err := NewStream(fs, em, inputs, cfg)
 	if err != nil {
-		return stats, err
+		return Stats{Inputs: len(inputs)}, err
 	}
-
-	// Final merge: straight into dst.
-	finals := make([]runio.Run, 0, len(queue))
-	depth := 0
-	for _, dr := range queue {
-		finals = append(finals, dr.run)
-		if dr.depth > depth {
-			depth = dr.depth
-		}
+	if _, err := stream.CopyCancel[T](dst, st, cfg.Cancel); err != nil {
+		st.Close()
+		return st.Stats(), err
 	}
-	srcs, err := openInputs(em, finals, cfg.bufBytes(len(finals)))
-	if err != nil {
-		return stats, err
-	}
-	var eng Source[T]
-	if len(finals) == 1 {
-		eng = srcs[0]
-		stats.Passes = depth
-	} else {
-		eng, err = newEngine(cfg, srcs, em.Less)
-		if err != nil {
-			return stats, err
-		}
-		stats.Merges++
-		stats.Passes = depth + 1
-	}
-	if _, err := copyCancel[T](dst, eng, cfg); err != nil {
-		eng.Close()
-		return stats, err
-	}
-	if err := eng.Close(); err != nil {
-		return stats, err
-	}
-	for _, r := range finals {
-		if err := r.Remove(fs); err != nil {
-			return stats, err
-		}
-	}
-	return stats, nil
+	return st.Stats(), st.Close()
 }
 
 // reduceSequential is the historical schedule: one merge at a time,
@@ -338,32 +288,6 @@ func reduceParallel[T any](fs vfs.FS, em *runio.Emitter[T], queue []depthRun, cf
 	return queue, nil
 }
 
-// copyCancel streams eng into dst in batches, polling cfg.Cancel between
-// batches so a cancelled sort aborts mid-merge rather than at its end.
-func copyCancel[T any](dst stream.Writer[T], eng Source[T], cfg Config) (int64, error) {
-	br, bw := stream.AsBatchReader[T](eng), stream.AsBatchWriter(dst)
-	buf := make([]T, batchLen)
-	var n int64
-	for {
-		if err := cfg.cancelled(); err != nil {
-			return n, err
-		}
-		k, err := br.ReadBatch(buf)
-		if k > 0 {
-			if werr := bw.WriteBatch(buf[:k]); werr != nil {
-				return n, werr
-			}
-			n += int64(k)
-		}
-		if err == io.EOF {
-			return n, nil
-		}
-		if err != nil {
-			return n, err
-		}
-	}
-}
-
 // mergeGroup merges one group of runs into a fresh intermediate run under
 // the given pre-allocated name and deletes the consumed inputs.
 func mergeGroup[T any](fs vfs.FS, em *runio.Emitter[T], group []runio.Run, name string, bufBytes int, cfg Config) (runio.Run, error) {
@@ -380,7 +304,7 @@ func mergeGroup[T any](fs vfs.FS, em *runio.Emitter[T], group []runio.Run, name 
 		eng.Close()
 		return runio.Run{}, err
 	}
-	if _, err := copyCancel[T](w, eng, cfg); err != nil {
+	if _, err := stream.CopyCancel[T](w, eng, cfg.Cancel); err != nil {
 		eng.Close()
 		w.Close()
 		return runio.Run{}, err

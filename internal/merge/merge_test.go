@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/record"
 	"repro/internal/runio"
+	"repro/internal/stream"
 	"repro/internal/vfs"
 )
 
@@ -482,4 +483,107 @@ func TestMergeCancelAborts(t *testing.T) {
 			t.Fatalf("workers %d: err = %v, want the cancel error", workers, err)
 		}
 	}
+}
+
+// TestNewStreamMatchesMerge pins the streaming view against the
+// materialising Merge: identical order, identical stats, identical file
+// cleanup once the Stream is closed.
+func TestNewStreamMatchesMerge(t *testing.T) {
+	fs := vfs.NewMemFS()
+	em := runio.RecordEmitter(fs, "m")
+	runs, all := makeRuns(t, fs, em, 23, 50, 9)
+	st, err := NewStream(fs, em, runs, Config{FanIn: 3, MemoryBytes: 1 << 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := stream.ReadAll[record.Record](st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !record.IsSorted(got) {
+		t.Fatal("streamed merge not sorted")
+	}
+	if !record.NewMultiset(got).Equal(record.NewMultiset(all)) {
+		t.Fatal("streamed merge lost records")
+	}
+	ms := st.Stats()
+	if ms.Inputs != 23 || ms.Passes < 2 || ms.Merges < 2 {
+		t.Fatalf("stream stats %+v, want a genuine multi-pass merge", ms)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := fs.Names()
+	if len(names) != 0 {
+		t.Fatalf("files left after close: %v", names)
+	}
+	if _, err := st.Read(); err != stream.ErrClosed {
+		t.Fatalf("read after close: %v, want ErrClosed", err)
+	}
+}
+
+// TestStreamPartialDrainCleansUp abandons a stream after a few elements:
+// Close must still delete every remaining run file — that early abandonment
+// is exactly how TopK skips the tail of the final merge.
+func TestStreamPartialDrainCleansUp(t *testing.T) {
+	fs := vfs.NewMemFS()
+	em := runio.RecordEmitter(fs, "m")
+	runs, all := makeRuns(t, fs, em, 7, 200, 10)
+	st, err := NewStream(fs, em, runs, Config{FanIn: 10, MemoryBytes: 1 << 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]record.Record(nil), all...)
+	sort.Slice(want, func(i, j int) bool { return record.Less(want[i], want[j]) })
+	for i := 0; i < 5; i++ {
+		got, err := st.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Key != want[i].Key {
+			t.Fatalf("element %d: key %d, want %d", i, got.Key, want[i].Key)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := fs.Names()
+	if len(names) != 0 {
+		t.Fatalf("files left after partial drain: %v", names)
+	}
+}
+
+// TestStreamEmptyAndCancel covers the empty input stream and mid-stream
+// cancellation through the batch path.
+func TestStreamEmptyAndCancel(t *testing.T) {
+	fs := vfs.NewMemFS()
+	em := runio.RecordEmitter(fs, "m")
+	st, err := NewStream(fs, em, nil, Config{FanIn: 4, MemoryBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Read(); err != io.EOF {
+		t.Fatalf("empty stream Read = %v, want EOF", err)
+	}
+	if n, err := st.ReadBatch(make([]record.Record, 4)); n != 0 || err != io.EOF {
+		t.Fatalf("empty stream ReadBatch = %d, %v, want EOF", n, err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	runs, _ := makeRuns(t, fs, em, 3, 100, 11)
+	cn := &cancelNow{after: 1, err: io.ErrClosedPipe}
+	st, err = NewStream(fs, em, runs, Config{FanIn: 4, MemoryBytes: 4096, Cancel: cn.hook})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]record.Record, 8)
+	if _, err := st.ReadBatch(buf); err != nil {
+		t.Fatalf("first batch should pass, got %v", err)
+	}
+	if _, err := st.ReadBatch(buf); err != io.ErrClosedPipe {
+		t.Fatalf("second batch = %v, want the cancel error", err)
+	}
+	st.Close()
 }

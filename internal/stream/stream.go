@@ -93,6 +93,14 @@ func (s *SliceWriter[T]) WriteBatch(src []T) error {
 // the stream is known to fit in memory. Sources that report their Remaining
 // length get a pre-sized output slice instead of append-doubling.
 func ReadAll[T any](r Reader[T]) ([]T, error) {
+	return ReadAllCancel(r, nil)
+}
+
+// ReadAllCancel is ReadAll with a cancellation hook: cancel (nil means never)
+// is polled before every batch, so an element-at-a-time source is abandoned
+// within DefaultBatchLen reads of cancellation — the same 1024-op cadence the
+// public API's context wrappers guarantee.
+func ReadAllCancel[T any](r Reader[T], cancel func() error) ([]T, error) {
 	var out []T
 	if s, ok := r.(Sized); ok {
 		if n := s.Remaining(); n > 0 {
@@ -102,6 +110,11 @@ func ReadAll[T any](r Reader[T]) ([]T, error) {
 	br := AsBatchReader(r)
 	buf := make([]T, DefaultBatchLen)
 	for {
+		if cancel != nil {
+			if err := cancel(); err != nil {
+				return out, err
+			}
+		}
 		n, err := br.ReadBatch(buf)
 		out = append(out, buf[:n]...)
 		if err == io.EOF {
@@ -122,10 +135,24 @@ func WriteAll[T any](w Writer[T], vals []T) error {
 // It moves whole batches when either side supports the batch protocol,
 // adapting the other side as needed.
 func Copy[T any](w Writer[T], r Reader[T]) (int64, error) {
+	return CopyCancel(w, r, nil)
+}
+
+// CopyCancel is Copy with a cancellation hook: cancel (nil means never) is
+// polled before every batch, bounding the work done after cancellation to one
+// DefaultBatchLen batch even when both endpoints are element-at-a-time
+// streams — the 1024-op cadence DESIGN.md documents. The merge phase and the
+// operator layer use it to honour context cancellation mid-stream.
+func CopyCancel[T any](w Writer[T], r Reader[T], cancel func() error) (int64, error) {
 	br, bw := AsBatchReader(r), AsBatchWriter(w)
 	buf := make([]T, DefaultBatchLen)
 	var n int64
 	for {
+		if cancel != nil {
+			if err := cancel(); err != nil {
+				return n, err
+			}
+		}
 		k, err := br.ReadBatch(buf)
 		if k > 0 {
 			if werr := bw.WriteBatch(buf[:k]); werr != nil {

@@ -337,3 +337,71 @@ func TestFuncAdapters(t *testing.T) {
 		t.Fatalf("got %v", got)
 	}
 }
+
+// TestCopyCancelElementPathCadence is the regression test for the
+// cancellation audit: CopyCancel over two element-at-a-time endpoints (the
+// compatibility path — neither side speaks the batch protocol) must abandon
+// the stream within one DefaultBatchLen batch of the hook firing, the
+// 1024-op cadence DESIGN.md documents. Before CopyCancel existed, plain
+// Copy had no cancellation hook at all and would spin on an endless
+// element source forever.
+func TestCopyCancelElementPathCadence(t *testing.T) {
+	sentinel := errors.New("cancelled")
+	reads := 0
+	endless := Func[int](func() (int, error) { reads++; return reads, nil })
+	writes := 0
+	w := WriterFunc[int](func(int) error { writes++; return nil })
+	// Let exactly one batch through, then fire: the copy must stop at the
+	// next batch boundary.
+	polls := 0
+	cancel := func() error {
+		polls++
+		if polls > 1 {
+			return sentinel
+		}
+		return nil
+	}
+	n, err := CopyCancel[int](w, endless, cancel)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the cancel sentinel", err)
+	}
+	if n != DefaultBatchLen || writes != DefaultBatchLen {
+		t.Fatalf("copied %d (writes %d), want exactly one %d-element batch", n, writes, DefaultBatchLen)
+	}
+	if reads > 2*DefaultBatchLen {
+		t.Fatalf("source read %d times; cadence after cancellation not honoured", reads)
+	}
+}
+
+// TestReadAllCancelElementPathCadence pins the same cadence for ReadAll's
+// cancellable form.
+func TestReadAllCancelElementPathCadence(t *testing.T) {
+	sentinel := errors.New("cancelled")
+	reads := 0
+	endless := Func[int](func() (int, error) { reads++; return reads, nil })
+	polls := 0
+	out, err := ReadAllCancel[int](endless, func() error {
+		polls++
+		if polls > 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the cancel sentinel", err)
+	}
+	if len(out) != 2*DefaultBatchLen || reads > 3*DefaultBatchLen {
+		t.Fatalf("drained %d elements over %d reads before stopping", len(out), reads)
+	}
+}
+
+// TestCopyCancelNilNeverPolls pins that Copy and a nil hook behave
+// identically to the historical Copy.
+func TestCopyCancelNilNeverPolls(t *testing.T) {
+	vals := []int{3, 1, 2}
+	var w SliceWriter[int]
+	n, err := CopyCancel[int](&w, NewSliceReader(vals), nil)
+	if err != nil || n != 3 || len(w.Vals) != 3 {
+		t.Fatalf("CopyCancel(nil) = %d, %v, %v", n, err, w.Vals)
+	}
+}

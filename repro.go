@@ -28,6 +28,22 @@
 // numeric heuristics). Cancellation is honoured between batches in both
 // the run-generation and merge phases.
 //
+// # The operator layer
+//
+// Beyond producing a sorted stream, a Sorter answers the queries sorted
+// runs make cheap, streaming the merged order through relational
+// operators instead of materialising it:
+//
+//	s.Distinct(ctx, src, dst)                    // one element per equivalence class
+//	s.GroupBy(ctx, src, sameGroup, reduce, dst)  // grouped aggregation
+//	s.TopK(ctx, src, k, dst)                     // k smallest, ascending
+//	repro.MergeJoin(ctx, ls, lsrc, rs, rsrc, cmp, join, dst)
+//
+// TopK with k within the memory budget never sorts at all: a bounded
+// max-heap tracks the selection threshold and nothing spills
+// (OpStats.Sorted reports which path ran). See DESIGN.md §"Operator
+// layer" for the data flow and cost model.
+//
 // # The classic record API
 //
 // The original fixed-record API remains as thin wrappers over
