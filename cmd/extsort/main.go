@@ -1,10 +1,13 @@
 // Command extsort sorts and queries binary record files externally with a
 // bounded memory budget, using 2WRS (default), classic replacement
-// selection or Load-Sort-Store.
+// selection or Load-Sort-Store — or, via -policy, one of the named run
+// generation policies including the adaptive "auto", which probes the
+// input and switches generators at run boundaries mid-stream.
 //
 // Subcommands:
 //
 //	extsort sort     -in input.rec -out sorted.rec   # full external sort (default)
+//	extsort sort     -policy auto -in input.rec -out sorted.rec
 //	extsort distinct -in input.rec -out distinct.rec # one record per key, ascending
 //	extsort topk     -k 100 -in input.rec -out top.rec
 //	extsort join     -left a.rec -right b.rec -out joined.rec
@@ -22,10 +25,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"repro"
 	"repro/internal/core"
 	"repro/internal/extsort"
+	"repro/internal/policy"
 	"repro/internal/record"
 )
 
@@ -52,6 +57,7 @@ func main() {
 // sortFlags declares the flags shared by every subcommand that sorts.
 type sortFlags struct {
 	alg     *string
+	policy  *string
 	memory  *int
 	fanIn   *int
 	tempDir *string
@@ -64,7 +70,9 @@ type sortFlags struct {
 
 func newSortFlags(fs *flag.FlagSet) *sortFlags {
 	return &sortFlags{
-		alg:     fs.String("alg", "2wrs", "run generation algorithm: 2wrs, rs, lss"),
+		alg: fs.String("alg", "2wrs", "run generation algorithm: 2wrs, rs, lss (ignored when -policy is set)"),
+		policy: fs.String("policy", "", "run generation policy: "+strings.Join(policy.Names(), ", ")+
+			"; overrides -alg, and 'auto' adapts to the input, switching generators at run boundaries (default: use -alg)"),
 		memory:  fs.Int("memory", 100_000, "memory budget in records"),
 		fanIn:   fs.Int("fanin", 10, "merge fan-in"),
 		tempDir: fs.String("tmp", "", "directory for temporary runs (default: system temp)"),
@@ -95,8 +103,16 @@ func (f *sortFlags) config() (repro.Config, func(), error) {
 	if err != nil {
 		return repro.Config{}, nil, err
 	}
+	if *f.policy != "" {
+		// Reject typos here with the full list of valid policies, matching
+		// Config.Validate, instead of silently sorting with a default.
+		if _, err := policy.Parse(*f.policy); err != nil {
+			return repro.Config{}, nil, err
+		}
+	}
 	cfg := repro.Config{
 		Algorithm:      alg,
+		Policy:         *f.policy,
 		MemoryRecords:  *f.memory,
 		FanIn:          *f.fanIn,
 		Setup:          bufSetup,
@@ -161,7 +177,14 @@ func (o *outFile) close() error {
 }
 
 func printSortStats(alg string, memory int, stats repro.Stats) {
-	fmt.Printf("algorithm:        %v\n", alg)
+	name := stats.Policy
+	if name == "" {
+		name = alg
+	}
+	fmt.Printf("policy:           %v\n", name)
+	if stats.PolicySwitches > 0 {
+		fmt.Printf("policy switches:  %d (mid-stream, at run boundaries)\n", stats.PolicySwitches)
+	}
 	fmt.Printf("records:          %d\n", stats.Records)
 	fmt.Printf("runs:             %d\n", stats.Runs)
 	if stats.Runs > 0 {

@@ -1,0 +1,171 @@
+package repro_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"repro"
+)
+
+// errEOF is what a Source returns at end of stream.
+var errEOF = io.EOF
+
+// The generic constructor: a comparator plus options. Codecs for common
+// element types (here string) are inferred; the run-generation policy
+// defaults to "auto".
+func ExampleNew() {
+	s, err := repro.New(func(a, b string) bool { return a < b },
+		repro.WithMemoryRecords(1024))
+	if err != nil {
+		panic(err)
+	}
+	sorted, _, err := s.SortSlice(context.Background(), []string{"pear", "apple", "quince", "fig"})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(sorted)
+	// Output: [apple fig pear quince]
+}
+
+// Selecting a fixed run-generation policy by name. Classic replacement
+// selection collapses an already-ascending stream into a single run.
+func ExampleWithPolicy() {
+	in := make([]int64, 10000)
+	for i := range in {
+		in[i] = int64(i)
+	}
+	s, err := repro.New(func(a, b int64) bool { return a < b },
+		repro.WithPolicy("rs"),
+		repro.WithMemoryRecords(512))
+	if err != nil {
+		panic(err)
+	}
+	_, stats, err := s.SortSlice(context.Background(), in)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("policy=%s runs=%d\n", stats.Policy, stats.Runs)
+	// Output: policy=rs runs=1
+}
+
+// TopK with k within the memory budget never sorts: a bounded max-heap
+// selects the k smallest in one pass and nothing spills.
+func ExampleSorter_TopK() {
+	in := []int64{42, 7, 19, 3, 88, 1, 56, 23}
+	s, err := repro.New(func(a, b int64) bool { return a < b })
+	if err != nil {
+		panic(err)
+	}
+	var out sliceSink[int64]
+	stats, err := s.TopK(context.Background(), sliceSource(in), 3, &out)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(out.vals, "sorted externally:", stats.Sorted)
+	// Output: [1 3 7] sorted externally: false
+}
+
+// Distinct emits one element per equivalence class of the comparator, in
+// ascending order.
+func ExampleSorter_Distinct() {
+	in := []int64{5, 3, 5, 1, 3, 3, 1}
+	s, err := repro.New(func(a, b int64) bool { return a < b })
+	if err != nil {
+		panic(err)
+	}
+	var out sliceSink[int64]
+	if _, err := s.Distinct(context.Background(), sliceSource(in), &out); err != nil {
+		panic(err)
+	}
+	fmt.Println(out.vals)
+	// Output: [1 3 5]
+}
+
+// GroupBy folds each run of same-key elements into one: here, summing the
+// Aux payloads of records sharing a key.
+func ExampleSorter_GroupBy() {
+	in := []repro.Record{
+		{Key: 2, Aux: 10}, {Key: 1, Aux: 1}, {Key: 2, Aux: 5}, {Key: 1, Aux: 2},
+	}
+	s, err := repro.New(func(a, b repro.Record) bool { return a.Key < b.Key })
+	if err != nil {
+		panic(err)
+	}
+	reduce := func(acc, v repro.Record) repro.Record { acc.Aux += v.Aux; return acc }
+	var out sliceSink[repro.Record]
+	st, err := s.GroupBy(context.Background(), sliceSource(in), nil, reduce, &out)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%v groups=%d\n", out.vals, st.Groups)
+	// Output: [{1/3} {2/15}] groups=2
+}
+
+// MergeJoin externally sorts both inputs and inner-joins them on a
+// cross-type comparator.
+func ExampleMergeJoin() {
+	users := []repro.Record{{Key: 1, Aux: 100}, {Key: 2, Aux: 200}}
+	orders := []repro.Record{{Key: 2, Aux: 7}, {Key: 1, Aux: 3}, {Key: 2, Aux: 8}}
+	byKey := func(a, b repro.Record) bool { return a.Key < b.Key }
+	ls, err := repro.New(byKey)
+	if err != nil {
+		panic(err)
+	}
+	rs, err := repro.New(byKey)
+	if err != nil {
+		panic(err)
+	}
+	cmp := func(l, r repro.Record) int {
+		switch {
+		case l.Key < r.Key:
+			return -1
+		case l.Key > r.Key:
+			return 1
+		}
+		return 0
+	}
+	join := func(l, r repro.Record) repro.Record { return repro.Record{Key: l.Key, Aux: l.Aux + r.Aux} }
+	var out sliceSink[repro.Record]
+	st, err := repro.MergeJoin(context.Background(), ls, sliceSource(users), rs, sliceSource(orders), cmp, join, &out)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%v pairs=%d\n", out.vals, st.Out)
+	// Output: [{1/103} {2/207} {2/208}] pairs=3
+}
+
+// The classic fixed-record API remains as thin wrappers over
+// Sorter[Record].
+func ExampleSortSlice() {
+	recs := []repro.Record{{Key: 9}, {Key: 4}, {Key: 7}}
+	sorted, stats, err := repro.SortSlice(recs, repro.DefaultConfig(1000))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(sorted[0].Key, sorted[1].Key, sorted[2].Key, "records:", stats.Records)
+	// Output: 4 7 9 records: 3
+}
+
+// sliceSource adapts a slice to the Source interface for the examples.
+type sliceReader[T any] struct {
+	vals []T
+	pos  int
+}
+
+func sliceSource[T any](vals []T) *sliceReader[T] { return &sliceReader[T]{vals: vals} }
+
+func (s *sliceReader[T]) Read() (T, error) {
+	if s.pos >= len(s.vals) {
+		var zero T
+		return zero, errEOF
+	}
+	v := s.vals[s.pos]
+	s.pos++
+	return v, nil
+}
+
+// sliceSink collects written elements for the examples.
+type sliceSink[T any] struct{ vals []T }
+
+func (s *sliceSink[T]) Write(v T) error { s.vals = append(s.vals, v); return nil }

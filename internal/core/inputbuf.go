@@ -117,6 +117,28 @@ func (b *inputBuffer[T]) next() (T, bool, error) {
 	return rec, true, nil
 }
 
+// drain removes and returns every element buffered in the FIFO and in its
+// fetch read-ahead, without reading anything more from the source. The
+// buffer is left empty but remains usable; policy switches use drain to
+// hand buffered input to a successor generator.
+func (b *inputBuffer[T]) drain() []T {
+	out := make([]T, 0, b.n)
+	for b.n > 0 {
+		rec := b.ring[b.head]
+		b.head = (b.head + 1) % len(b.ring)
+		b.n--
+		if b.key != nil {
+			b.sum -= b.key(rec)
+		}
+		if b.med != nil {
+			b.med.Remove(b.seq)
+		}
+		b.seq++
+		out = append(out, rec)
+	}
+	return append(out, b.src.Drain()...)
+}
+
 // mean returns the mean key projection of the buffered elements; ok is
 // false when the buffer is empty or disabled, or no projection exists.
 func (b *inputBuffer[T]) mean() (float64, bool) {

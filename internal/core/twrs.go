@@ -109,14 +109,27 @@ type generator[T any] struct {
 	res Result
 }
 
-// Generate runs two-way replacement selection over src, writing runs
-// through em and ordering elements with em.Less. key, when non-nil,
-// projects elements onto the real line for the numeric heuristics; pass
-// nil for comparator-only element types.
-func Generate[T any](src stream.Reader[T], em *runio.Emitter[T], cfg Config, key func(T) float64) (Result, error) {
+// Stepper runs two-way replacement selection one run at a time: each
+// NextRun call drives Algorithm 2 until the current run closes. Between
+// calls the double heap holds the records already tagged for the next run
+// and the input buffer its read-ahead, so a caller may stop after any run
+// and either continue later or hand the buffered state to a different
+// generator via Carry — the contract internal/policy's adaptive engine
+// builds on.
+type Stepper[T any] struct {
+	g        *generator[T]
+	filled   bool
+	finished bool
+}
+
+// NewStepper builds a 2WRS stepper over src, writing runs through em and
+// ordering elements with em.Less. key, when non-nil, projects elements
+// onto the real line for the numeric heuristics; pass nil for
+// comparator-only element types.
+func NewStepper[T any](src stream.Reader[T], em *runio.Emitter[T], cfg Config, key func(T) float64) (*Stepper[T], error) {
 	inputCap, victimCap, arena, err := cfg.sizes()
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	if victimCap < 2 {
 		// A victim buffer needs at least two records to define a valid
@@ -128,7 +141,7 @@ func Generate[T any](src stream.Reader[T], em *runio.Emitter[T], cfg Config, key
 	trackMedian := cfg.Input == InMedian || (cfg.Input == InMean && key == nil)
 	in, err := newInputBuffer(src, inputCap, cfg.Memory, key, trackMedian, less)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	g := &generator[T]{
 		cfg:       cfg,
@@ -143,13 +156,24 @@ func Generate[T any](src stream.Reader[T], em *runio.Emitter[T], cfg Config, key
 	if victimCap > 0 {
 		g.victim = make([]T, 0, victimCap)
 	}
+	return &Stepper[T]{g: g}, nil
+}
 
-	// Fill phase (doubleHeap.fill in Algorithm 2): both heaps are eligible
-	// for every record, so the input heuristic decides each placement.
+// Records returns the number of input elements consumed so far.
+func (s *Stepper[T]) Records() int64 { return s.g.res.Records }
+
+// Result returns the statistics accumulated so far, including every run
+// emitted by NextRun.
+func (s *Stepper[T]) Result() Result { return s.g.res }
+
+// fill is the fill phase (doubleHeap.fill in Algorithm 2): both heaps are
+// eligible for every record, so the input heuristic decides each placement.
+func (s *Stepper[T]) fill() error {
+	g := s.g
 	for !g.dh.Full() {
 		rec, ok, err := g.in.next()
 		if err != nil {
-			return g.res, err
+			return err
 		}
 		if !ok {
 			break
@@ -157,14 +181,30 @@ func Generate[T any](src stream.Reader[T], em *runio.Emitter[T], cfg Config, key
 		g.res.Records++
 		g.insertInput(rec)
 	}
+	return nil
+}
 
-	// Main loop (Algorithm 2): release one record, refill from the input.
+// NextRun drives the main loop of Algorithm 2 — release one record, refill
+// from the input — until the current run ends, and returns that run's
+// manifest; ok is false once input and heaps are exhausted.
+func (s *Stepper[T]) NextRun() (runio.Run, bool, error) {
+	g := s.g
+	if !s.filled {
+		if err := s.fill(); err != nil {
+			return runio.Run{}, false, err
+		}
+		s.filled = true
+	}
 	for g.dh.Len() > 0 {
 		fromTop, ok := g.chooseOutputSide()
 		if !ok {
 			// Both heap tops belong to the next run: the current run ends.
+			n := len(g.res.Runs)
 			if err := g.endRun(); err != nil {
-				return g.res, err
+				return runio.Run{}, false, err
+			}
+			if len(g.res.Runs) > n {
+				return g.res.Runs[n], true, nil
 			}
 			continue
 		}
@@ -175,16 +215,62 @@ func Generate[T any](src stream.Reader[T], em *runio.Emitter[T], cfg Config, key
 			it = g.dh.PopBottom()
 		}
 		if err := g.route(it.Rec, fromTop); err != nil {
-			return g.res, err
+			return runio.Run{}, false, err
 		}
 		if err := g.consumeInput(); err != nil {
-			return g.res, err
+			return runio.Run{}, false, err
 		}
 	}
-	if err := g.endRun(); err != nil {
-		return g.res, err
+	if s.finished {
+		return runio.Run{}, false, nil
 	}
-	return g.res, nil
+	s.finished = true
+	n := len(g.res.Runs)
+	if err := g.endRun(); err != nil {
+		return runio.Run{}, false, err
+	}
+	if len(g.res.Runs) > n {
+		return g.res.Runs[n], true, nil
+	}
+	return runio.Run{}, false, nil
+}
+
+// Carry removes and returns every element the stepper has buffered — both
+// heaps, the input FIFO and its fetch read-ahead — leaving it empty. Run
+// tags are dropped: a successor generator re-derives run membership. It is
+// meant to be called at a run boundary (right after NextRun returns a
+// run), where the victim buffer is guaranteed empty; any victim residue is
+// drained too as a defensive measure.
+func (s *Stepper[T]) Carry() []T {
+	g := s.g
+	out := make([]T, 0, g.dh.Len()+len(g.victim))
+	for g.dh.LenTop() > 0 {
+		out = append(out, g.dh.PopTop().Rec)
+	}
+	for g.dh.LenBottom() > 0 {
+		out = append(out, g.dh.PopBottom().Rec)
+	}
+	out = append(out, g.victim...)
+	g.victim = g.victim[:0]
+	return append(out, g.in.drain()...)
+}
+
+// Generate runs two-way replacement selection over src, writing runs
+// through em and ordering elements with em.Less. key, when non-nil,
+// projects elements onto the real line for the numeric heuristics; pass
+// nil for comparator-only element types. It is a Stepper driven to
+// exhaustion.
+func Generate[T any](src stream.Reader[T], em *runio.Emitter[T], cfg Config, key func(T) float64) (Result, error) {
+	s, err := NewStepper(src, em, cfg, key)
+	if err != nil {
+		return Result{}, err
+	}
+	for {
+		_, ok, err := s.NextRun()
+		if err != nil || !ok {
+			return s.Result(), err
+		}
+	}
 }
 
 // chooseOutputSide picks the heap to release the next record from. ok is

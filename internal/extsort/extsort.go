@@ -16,6 +16,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/merge"
+	"repro/internal/policy"
 	"repro/internal/record"
 	"repro/internal/rs"
 	"repro/internal/runio"
@@ -124,8 +125,15 @@ func RecordOps() Ops[record.Record] {
 
 // Config parameterises a complete external sort.
 type Config struct {
-	// Algorithm is the run generation strategy.
+	// Algorithm is the run generation strategy when no Policy is selected.
 	Algorithm Algorithm
+	// Policy, when not policy.None, selects run generation through the
+	// policy engine (internal/policy) instead of Algorithm: one of the
+	// fixed generators (2wrs, rs, alternating, quick) or the adaptive
+	// policy.Auto, which probes the input and may switch generators at run
+	// boundaries mid-stream. The zero value preserves the legacy
+	// Algorithm-driven behaviour exactly.
+	Policy policy.Kind
 	// Memory is the memory budget in records, used by both phases: the run
 	// generation data structures, and (converted to bytes) the merge
 	// buffers.
@@ -208,6 +216,12 @@ type Stats struct {
 	// Runs is the number of runs generated; AvgRunLength is Records/Runs.
 	Runs         int
 	AvgRunLength float64
+	// Policy names the run-generation policy that ran ("2wrs", "rs",
+	// "alternating", "quick", "auto"; legacy Algorithm-driven sorts report
+	// the algorithm's name). PolicySwitches counts the mid-stream generator
+	// changes the auto policy made (0 for every fixed policy).
+	Policy         string
+	PolicySwitches int
 	// OverlapRuns counts 2WRS runs whose streams had to merge separately.
 	OverlapRuns int64
 	// MergeInputs, MergePasses and MergeOps describe the merge phase.
@@ -239,13 +253,14 @@ func (s Stats) TotalSim() time.Duration { return s.RunGenSim + s.MergeSim }
 // A RunSet owns its run files until exactly one of Merge, OpenMerged (whose
 // Stream then owns them) or Discard is called.
 type RunSet[T any] struct {
-	fs    vfs.FS
-	em    *runio.Emitter[T]
-	runs  []runio.Run
-	cfg   Config
-	ops   Ops[T]
-	clock func() time.Duration
-	stats Stats // run-generation half; Merge fills the merge half
+	fs       vfs.FS
+	em       *runio.Emitter[T]
+	runs     []runio.Run
+	policies []string // policies[i] names the generator that produced runs[i]
+	cfg      Config
+	ops      Ops[T]
+	clock    func() time.Duration
+	stats    Stats // run-generation half; Merge fills the merge half
 }
 
 // GenerateRuns runs phase one only: it consumes src and writes sorted runs
@@ -280,28 +295,55 @@ func GenerateRuns[T any](src stream.Reader[T], fs vfs.FS, cfg Config, ops Ops[T]
 	rset := &RunSet[T]{fs: fs, em: em, cfg: cfg, ops: ops, clock: clock}
 	simStart, wallStart := clock(), time.Now()
 
-	switch cfg.Algorithm {
-	case RS:
-		res, err := rs.Generate(src, em, cfg.Memory)
+	if cfg.Policy != policy.None {
+		// Policy-selected run generation: the engine drives one of the four
+		// fixed generators, or the adaptive auto policy that may switch
+		// generators at run boundaries.
+		pres, err := policy.Generate(cfg.Policy, src, em, policy.Config{Memory: cfg.Memory, TWRS: cfg.TWRS}, ops.Key)
 		if err != nil {
 			return nil, err
 		}
-		rset.runs, rset.stats.Records = res.Runs, res.Records
-	case LoadSortStore:
-		res, err := rs.GenerateLSS(src, em, cfg.Memory)
-		if err != nil {
-			return nil, err
+		rset.runs, rset.stats.Records = pres.Runs, pres.Records
+		rset.policies = make([]string, len(pres.Policies))
+		for i, k := range pres.Policies {
+			rset.policies[i] = k.String()
 		}
-		rset.runs, rset.stats.Records = res.Runs, res.Records
-	case TwoWayRS:
-		res, err := core.Generate(src, em, cfg.TWRS, ops.Key)
-		if err != nil {
-			return nil, err
+		for _, run := range pres.Runs {
+			if !run.Concatenable {
+				rset.stats.OverlapRuns++
+			}
 		}
-		rset.runs, rset.stats.Records = res.Runs, res.Records
-		rset.stats.OverlapRuns = res.OverlapRuns
-	default:
-		return nil, fmt.Errorf("extsort: unknown algorithm %v", cfg.Algorithm)
+		rset.stats.Policy = cfg.Policy.String()
+		rset.stats.PolicySwitches = pres.Switches
+	} else {
+		switch cfg.Algorithm {
+		case RS:
+			res, err := rs.Generate(src, em, cfg.Memory)
+			if err != nil {
+				return nil, err
+			}
+			rset.runs, rset.stats.Records = res.Runs, res.Records
+		case LoadSortStore:
+			res, err := rs.GenerateLSS(src, em, cfg.Memory)
+			if err != nil {
+				return nil, err
+			}
+			rset.runs, rset.stats.Records = res.Runs, res.Records
+		case TwoWayRS:
+			res, err := core.Generate(src, em, cfg.TWRS, ops.Key)
+			if err != nil {
+				return nil, err
+			}
+			rset.runs, rset.stats.Records = res.Runs, res.Records
+			rset.stats.OverlapRuns = res.OverlapRuns
+		default:
+			return nil, fmt.Errorf("extsort: unknown algorithm %v", cfg.Algorithm)
+		}
+		rset.stats.Policy = cfg.Algorithm.String()
+		rset.policies = make([]string, len(rset.runs))
+		for i := range rset.policies {
+			rset.policies[i] = rset.stats.Policy
+		}
 	}
 	rset.stats.Runs = len(rset.runs)
 	if rset.stats.Runs > 0 {
@@ -314,6 +356,13 @@ func GenerateRuns[T any](src stream.Reader[T], fs vfs.FS, cfg Config, ops Ops[T]
 
 // Runs returns the run manifests of the set; callers must not mutate them.
 func (r *RunSet[T]) Runs() []runio.Run { return r.runs }
+
+// RunPolicies returns, parallel to Runs, the name of the run-generation
+// policy that produced each run. Under a fixed policy (or the legacy
+// Algorithm selection) every entry is the same; under the auto policy the
+// sequence records where the engine switched generators mid-stream.
+// Callers must not mutate the returned slice.
+func (r *RunSet[T]) RunPolicies() []string { return r.policies }
 
 // Stats returns the statistics accumulated so far: the run-generation half
 // after GenerateRuns, both halves after Merge.

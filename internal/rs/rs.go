@@ -1,7 +1,10 @@
-// Package rs implements the classic run-generation baselines the paper
-// compares against: replacement selection (Goetz 1963, Algorithm 1 of the
-// thesis) and Load-Sort-Store. All generators are generic over the element
-// type: the comparator comes from the Emitter they write runs through.
+// Package rs implements the heap-based run-generation baselines the paper
+// compares against — replacement selection (Goetz 1963, Algorithm 1 of the
+// thesis) and Load-Sort-Store — together with two generators the policy
+// layer (internal/policy) adds on top of them: alternating up/down runs
+// (Bender et al., "Run Generation Revisited") and memory-sized quicksort
+// batches. All generators are generic over the element type: the comparator
+// comes from the Emitter they write runs through.
 //
 // Replacement selection keeps a min-heap of `memory` records. Each step pops
 // the smallest current-run record to the output run and replaces it with the
@@ -10,7 +13,13 @@
 // ends when the heap's top belongs to the next run. On random input the
 // expected run length is twice the memory (§3.5); on ascending input a
 // single run is produced; on descending input every run has exactly
-// `memory` records — the weakness 2WRS removes.
+// `memory` records — the weakness 2WRS (and the alternating generator)
+// removes.
+//
+// Every generator is exposed two ways: a one-shot Generate* function that
+// drains the source, and a Stepper that emits one run per NextRun call and
+// can surrender its buffered state through Carry — the contract the adaptive
+// policy engine uses to switch generators at run boundaries mid-stream.
 package rs
 
 import (
@@ -52,87 +61,128 @@ func (r Result) AvgRunLength() float64 {
 	return float64(r.Records) / float64(len(r.Runs))
 }
 
-// Generate runs replacement selection over src with a heap of `memory`
-// elements, writing runs through em and ordering by em.Less.
-func Generate[T any](src stream.Reader[T], em *runio.Emitter[T], memory int) (Result, error) {
+// Stepper runs classic replacement selection one run at a time: each
+// NextRun call writes exactly one run through the emitter. Between calls
+// the heap holds the records already tagged for the next run, so a caller
+// may stop after any run and either continue later or hand the buffered
+// state to a different generator via Carry.
+type Stepper[T any] struct {
+	em         *runio.Emitter[T]
+	in         *stream.Fetcher[T]
+	h          *heap.Heap[T]
+	currentRun int
+	records    int64
+}
+
+// NewStepper returns a Stepper generating replacement-selection runs over
+// src with a heap of `memory` elements, writing through em and ordering by
+// em.Less.
+func NewStepper[T any](src stream.Reader[T], em *runio.Emitter[T], memory int) (*Stepper[T], error) {
 	if memory <= 0 {
-		return Result{}, fmt.Errorf("rs: memory must be positive, got %d", memory)
+		return nil, fmt.Errorf("rs: memory must be positive, got %d", memory)
 	}
-	less := em.Less
-	h := heap.New(memory, false, less)
-	var res Result
-	// All input flows through a batched fetch buffer: one ReadBatch per
-	// fetchLen elements instead of an interface call per record.
-	in := stream.NewFetcher(src, fetchLen(memory))
+	return &Stepper[T]{
+		em: em,
+		// All input flows through a batched fetch buffer: one ReadBatch per
+		// fetchLen elements instead of an interface call per record.
+		in: stream.NewFetcher(src, fetchLen(memory)),
+		h:  heap.New(memory, false, em.Less),
+	}, nil
+}
 
-	// Fill phase: load the heap from the input (heap.fill in Algorithm 1).
-	for !h.Full() {
-		rec, ok, err := in.Next()
+// Records returns the number of input elements consumed so far.
+func (s *Stepper[T]) Records() int64 { return s.records }
+
+// fill tops the heap up from the input (heap.fill in Algorithm 1). After
+// the initial fill it is a no-op until Carry empties the heap.
+func (s *Stepper[T]) fill() error {
+	for !s.h.Full() {
+		rec, ok, err := s.in.Next()
 		if err != nil {
-			return res, err
-		}
-		if !ok {
-			break
-		}
-		h.Push(heap.Item[T]{Rec: rec, Run: 0})
-		res.Records++
-	}
-
-	currentRun := 0
-	var w *runio.Writer[T]
-	var name string
-	closeRun := func() error {
-		if w == nil {
-			return nil
-		}
-		if err := w.Close(); err != nil {
 			return err
 		}
-		res.Runs = append(res.Runs, runio.SingleRun(name, w.Count()))
-		w = nil
-		return nil
+		if !ok {
+			return nil
+		}
+		s.h.Push(heap.Item[T]{Rec: rec, Run: s.currentRun})
+		s.records++
 	}
+	return nil
+}
 
-	for h.Len() > 0 {
-		it := h.Pop()
-		if it.Run > currentRun {
-			// All records in the heap belong to a later run (§3.3): close
-			// the current run and start the next.
-			if err := closeRun(); err != nil {
-				return res, err
-			}
-			currentRun = it.Run
-		}
-		if w == nil {
-			var err error
-			name, w, err = em.Forward("rs")
-			if err != nil {
-				return res, err
-			}
-		}
+// NextRun writes the next run and returns its manifest; ok is false once
+// the input and the heap are both exhausted.
+func (s *Stepper[T]) NextRun() (runio.Run, bool, error) {
+	if err := s.fill(); err != nil {
+		return runio.Run{}, false, err
+	}
+	if s.h.Len() == 0 {
+		return runio.Run{}, false, nil
+	}
+	// The heap orders by (run, element), so every record of the current run
+	// pops before the first record of the next: a run ends exactly when the
+	// top's tag advances (§3.3).
+	s.currentRun = s.h.Peek().Run
+	less := s.em.Less
+	name, w, err := s.em.Forward("rs")
+	if err != nil {
+		return runio.Run{}, false, err
+	}
+	for s.h.Len() > 0 && s.h.Peek().Run == s.currentRun {
+		it := s.h.Pop()
 		if err := w.Write(it.Rec); err != nil {
-			return res, err
+			return runio.Run{}, false, err
 		}
 		// Read the next input record and insert it tagged with the run it
 		// can still join.
-		rec, ok, err := in.Next()
+		rec, ok, err := s.in.Next()
 		if err != nil {
-			return res, err
+			return runio.Run{}, false, err
 		}
 		if !ok {
 			continue
 		}
-		res.Records++
-		run := currentRun
+		s.records++
+		run := s.currentRun
 		if less(rec, it.Rec) {
-			run = currentRun + 1
+			run = s.currentRun + 1
 		}
-		h.Push(heap.Item[T]{Rec: rec, Run: run})
+		s.h.Push(heap.Item[T]{Rec: rec, Run: run})
 	}
-	if err := closeRun(); err != nil {
-		return res, err
+	if err := w.Close(); err != nil {
+		return runio.Run{}, false, err
 	}
-	return res, nil
+	return runio.SingleRun(name, w.Count()), true, nil
+}
+
+// Carry removes and returns every element the Stepper has buffered — the
+// heap contents plus the fetch buffer's read-ahead — leaving it empty. The
+// run tags are dropped: a successor generator re-derives run membership
+// itself.
+func (s *Stepper[T]) Carry() []T {
+	out := make([]T, 0, s.h.Len())
+	for s.h.Len() > 0 {
+		out = append(out, s.h.Pop().Rec)
+	}
+	return append(out, s.in.Drain()...)
+}
+
+// Generate runs replacement selection over src with a heap of `memory`
+// elements, writing runs through em and ordering by em.Less.
+func Generate[T any](src stream.Reader[T], em *runio.Emitter[T], memory int) (Result, error) {
+	s, err := NewStepper(src, em, memory)
+	if err != nil {
+		return Result{}, err
+	}
+	var res Result
+	for {
+		run, ok, err := s.NextRun()
+		res.Records = s.Records()
+		if err != nil || !ok {
+			return res, err
+		}
+		res.Runs = append(res.Runs, run)
+	}
 }
 
 // GenerateLSS is the Load-Sort-Store baseline (§2.1.1): fill memory, sort it

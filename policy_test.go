@@ -1,0 +1,118 @@
+package repro
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestValidateRejectsUnknownPolicy pins the no-silent-default contract: a
+// typoed policy name must fail validation with an error that lists every
+// valid policy, not fall back to some default generator.
+func TestValidateRejectsUnknownPolicy(t *testing.T) {
+	cfg := DefaultConfig(1000)
+	cfg.Policy = "quicksort"
+	err := cfg.Validate()
+	if err == nil {
+		t.Fatal("unknown policy name passed Validate")
+	}
+	for _, name := range Policies() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list valid policy %q", err, name)
+		}
+	}
+	if _, err := New(func(a, b int64) bool { return a < b }, WithPolicy("quicksort")); err == nil {
+		t.Fatal("New accepted an unknown policy name")
+	}
+}
+
+func TestPoliciesListsAll(t *testing.T) {
+	want := []string{"2wrs", "rs", "alternating", "quick", "auto"}
+	got := Policies()
+	if len(got) != len(want) {
+		t.Fatalf("Policies() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Policies() = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestNewDefaultsToAuto: the generic constructor adapts by default, while
+// WithAlgorithm and WithConfig opt back into the fixed legacy generators.
+func TestNewDefaultsToAuto(t *testing.T) {
+	less := func(a, b int64) bool { return a < b }
+	s, err := New(less)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Config().Policy; got != "auto" {
+		t.Fatalf("default policy = %q, want auto", got)
+	}
+	s, err = New(less, WithAlgorithm(RS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Config().Policy; got != "" {
+		t.Fatalf("WithAlgorithm left policy %q, want empty (legacy algorithm)", got)
+	}
+	s, err = New(less, WithConfig(DefaultConfig(1000)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Config().Policy; got != "" {
+		t.Fatalf("WithConfig left policy %q, want the config's own (empty)", got)
+	}
+}
+
+// TestWithPolicyFixedSelection checks that the named fixed policies really
+// drive run generation: classic RS collapses an ascending stream into one
+// run, and the stats name the policy that ran.
+func TestWithPolicyFixedSelection(t *testing.T) {
+	less := func(a, b int64) bool { return a < b }
+	in := make([]int64, 10000)
+	for i := range in {
+		in[i] = int64(i)
+	}
+	for _, name := range []string{"rs", "2wrs", "auto"} {
+		s, err := New(less, WithPolicy(name), WithMemoryRecords(500))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, stats, err := s.SortSlice(context.Background(), in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != len(in) {
+			t.Fatalf("%s: %d records out", name, len(out))
+		}
+		if stats.Runs != 1 {
+			t.Fatalf("%s on sorted input: %d runs, want 1", name, stats.Runs)
+		}
+		if stats.Policy != name {
+			t.Fatalf("Stats.Policy = %q, want %q", stats.Policy, name)
+		}
+	}
+	// The descending contrast: alternating absorbs the trend that pins
+	// classic RS to memory-sized runs.
+	rev := make([]int64, 10000)
+	for i := range rev {
+		rev[i] = int64(len(rev) - i)
+	}
+	runs := map[string]int{}
+	for _, name := range []string{"rs", "alternating"} {
+		s, err := New(less, WithPolicy(name), WithMemoryRecords(500))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, stats, err := s.SortSlice(context.Background(), rev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs[name] = stats.Runs
+	}
+	if runs["rs"] < 3*runs["alternating"] {
+		t.Fatalf("descending input: rs=%d runs vs alternating=%d, want ≥3x contrast", runs["rs"], runs["alternating"])
+	}
+}

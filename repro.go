@@ -28,6 +28,18 @@
 // numeric heuristics). Cancellation is honoured between batches in both
 // the run-generation and merge phases.
 //
+// # Run-generation policies
+//
+// Run generation itself is pluggable (WithPolicy): the paper's 2WRS,
+// classic replacement selection, alternating up/down runs and quicksort
+// batches sit behind one policy boundary, and the default "auto" policy
+// probes the input's order statistics — inversion ratio, monotone run
+// structure — to pick the generator the data favours, switching at run
+// boundaries if the regime changes mid-stream. Stats.Policy and
+// Stats.PolicySwitches report what ran; Policies lists the valid names,
+// and Config.Validate rejects unknown ones outright. See DESIGN.md §9 for
+// the cost model.
+//
 // # The operator layer
 //
 // Beyond producing a sorted stream, a Sorter answers the queries sorted
@@ -60,10 +72,12 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/extsort"
 	"repro/internal/gen"
+	"repro/internal/policy"
 	"repro/internal/record"
 )
 
@@ -132,20 +146,35 @@ const (
 // Config controls a sort. The zero value is not valid; start from
 // DefaultConfig or build a Sorter through New with options.
 type Config struct {
-	// Algorithm is the run-generation strategy (default TwoWayRS).
+	// Algorithm is the run-generation strategy (default TwoWayRS). It is
+	// consulted only while Policy is empty.
 	Algorithm Algorithm
+	// Policy, when non-empty, selects run generation through the adaptive
+	// policy engine instead of Algorithm. Valid names are listed by
+	// Policies(): "2wrs", "rs", "alternating" (alias "alt"), "quick" and
+	// "auto" — the adaptive policy that probes the input's order structure
+	// and may switch generators at run boundaries mid-stream. Unknown
+	// names are rejected by Validate, never silently defaulted. The
+	// generic constructor New defaults to "auto"; the classic wrappers and
+	// hand-built configs default to the empty string, preserving their
+	// historical Algorithm-driven behaviour.
+	Policy string
 	// MemoryRecords is the memory budget in records for both phases.
 	MemoryRecords int
 	// FanIn is the merge fan-in (the paper's optimum is 10).
 	FanIn int
-	// Setup, BufferFraction, Input and Output tune 2WRS; they are ignored
-	// by the other algorithms. The defaults are the paper's recommended
+	// Setup selects which auxiliary 2WRS buffers exist. Setup,
+	// BufferFraction, Input and Output tune 2WRS and are ignored by the
+	// other generators; the defaults are the paper's recommended
 	// configuration (§5.3): both buffers, 2%, Mean input, Random output.
-	// BufferFraction must lie in (0, 0.5].
-	Setup          BufferSetup
+	Setup BufferSetup
+	// BufferFraction is the fraction of memory dedicated to the auxiliary
+	// 2WRS buffers, in (0, 0.5].
 	BufferFraction float64
-	Input          InputHeuristic
-	Output         OutputHeuristic
+	// Input is the 2WRS insertion heuristic (§4.2).
+	Input InputHeuristic
+	// Output is the 2WRS release heuristic (§4.2).
+	Output OutputHeuristic
 	// Seed drives the randomised heuristics.
 	Seed int64
 	// TempDir, when non-empty, stores temporary runs in that directory on
@@ -182,6 +211,11 @@ func (c Config) Validate() error {
 	default:
 		return fmt.Errorf("repro: unknown algorithm %v", c.Algorithm)
 	}
+	if c.Policy != "" {
+		if _, err := policy.Parse(c.Policy); err != nil {
+			return fmt.Errorf("repro: unknown policy %q (valid policies: %s)", c.Policy, strings.Join(Policies(), ", "))
+		}
+	}
 	if c.MemoryRecords < 3 {
 		return fmt.Errorf("repro: memory budget of %d records is too small (need ≥ 3)", c.MemoryRecords)
 	}
@@ -212,10 +246,22 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// Policies lists the valid run-generation policy names accepted by
+// Config.Policy and WithPolicy, in presentation order.
+func Policies() []string { return policy.Names() }
+
 // toInternal converts the public Config to the internal driver config.
 func (c Config) toInternal() extsort.Config {
+	kind := policy.None
+	if c.Policy != "" {
+		// Validate has already vetted the name; an unparsable one can only
+		// reach here through a caller that skipped validation, and then the
+		// zero Kind falls back to the Algorithm field.
+		kind, _ = policy.Parse(c.Policy)
+	}
 	return extsort.Config{
 		Algorithm:   c.Algorithm,
+		Policy:      kind,
 		Memory:      c.MemoryRecords,
 		FanIn:       c.FanIn,
 		Parallelism: c.Parallelism,

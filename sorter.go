@@ -85,9 +85,22 @@ func WithConfig(cfg Config) Option {
 	return func(s *sorterConfig) error { s.cfg = cfg; return nil }
 }
 
-// WithAlgorithm selects the run-generation strategy (default TwoWayRS).
+// WithAlgorithm pins the run-generation strategy to one fixed legacy
+// algorithm (TwoWayRS, RS or LoadSortStore), clearing any policy so the
+// chosen algorithm really runs. Most callers are better served by
+// WithPolicy, which also offers the alternating generator and the adaptive
+// "auto" policy (New's default).
 func WithAlgorithm(a Algorithm) Option {
-	return func(s *sorterConfig) error { s.cfg.Algorithm = a; return nil }
+	return func(s *sorterConfig) error { s.cfg.Algorithm, s.cfg.Policy = a, ""; return nil }
+}
+
+// WithPolicy selects the run-generation policy by name: "2wrs", "rs",
+// "alternating" (alias "alt"), "quick", or "auto" (the default for New),
+// which probes the input's order structure and switches generators at run
+// boundaries when the regime changes mid-stream. Unknown names fail at
+// New with an error listing the valid policies (see Policies).
+func WithPolicy(name string) Option {
+	return func(s *sorterConfig) error { s.cfg.Policy = name; return nil }
 }
 
 // WithMemoryRecords sets the memory budget, in elements, shared by run
@@ -237,15 +250,19 @@ type Sorter[T any] struct {
 }
 
 // New builds a Sorter ordering elements with less. Options supply the
-// memory budget, algorithm, heuristics, codec and numeric key projection;
-// the defaults are the paper's recommended configuration with a budget of
-// 2^20 elements. New validates the resulting configuration and reports
-// descriptive errors for nonsense values.
+// memory budget, run-generation policy, heuristics, codec and numeric key
+// projection; the defaults are a budget of 2^20 elements and the adaptive
+// "auto" policy, which picks (and mid-stream, re-picks) the run generator
+// matching the input's order structure. WithConfig and WithAlgorithm
+// instead select the paper's fixed legacy behaviour. New validates the
+// resulting configuration and reports descriptive errors for nonsense
+// values.
 func New[T any](less func(a, b T) bool, opts ...Option) (*Sorter[T], error) {
 	if less == nil {
 		return nil, fmt.Errorf("repro: New requires a comparator")
 	}
 	sc := sorterConfig{cfg: DefaultConfig(1 << 20)}
+	sc.cfg.Policy = "auto"
 	for _, opt := range opts {
 		if opt == nil {
 			continue
