@@ -15,6 +15,7 @@ import (
 	"repro/internal/iosim"
 	"repro/internal/record"
 	"repro/internal/runio"
+	"repro/internal/storage"
 	"repro/internal/vfs"
 )
 
@@ -231,7 +232,7 @@ func BenchmarkAblationBackwardFormat(b *testing.B) {
 	b.Run("backward-format", func(b *testing.B) {
 		disk := iosim.NewDisk(iosim.Defaults2010())
 		fs := iosim.NewFS(vfs.NewMemFS(), disk)
-		w, err := runio.NewBackwardWriter(fs, "b", 0, 64, codec.Record16{}, record.Less)
+		w, err := runio.NewBackwardWriter(storage.NewRaw(fs), "b", 0, 64, codec.Record16{}, record.Less)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -242,7 +243,7 @@ func BenchmarkAblationBackwardFormat(b *testing.B) {
 		files := w.Files()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			r, _ := runio.NewBackwardReader(fs, "b", files, 1<<16, codec.Record16{})
+			r, _ := runio.NewBackwardReader(storage.NewRaw(fs), "b", files, 1<<16, codec.Record16{})
 			if _, err := record.ReadAll(r); err != nil {
 				b.Fatal(err)
 			}

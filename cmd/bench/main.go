@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"testing"
@@ -36,6 +37,23 @@ type result struct {
 	RecordsPerS float64 `json:"records_per_s"`
 }
 
+// storageCell is one cell of the storage matrix: one spill backend sorting
+// one distribution, with the backend's byte accounting attached. Ratio is
+// raw/stored spilled bytes — the backend's compression win.
+type storageCell struct {
+	Dataset        string  `json:"dataset"`
+	Compression    string  `json:"compression"`
+	SpillMemBudget int64   `json:"spill_mem_budget,omitempty"`
+	RawSpilled     int64   `json:"raw_spilled_bytes"`
+	StoredSpilled  int64   `json:"stored_spilled_bytes"`
+	Ratio          float64 `json:"ratio"`
+	Blocks         int64   `json:"blocks_written"`
+	Overflows      int64   `json:"overflows,omitempty"`
+	VerifyFailures int64   `json:"verify_failures"`
+	NsPerOp        int64   `json:"ns_per_op"`
+	RecordsPerS    float64 `json:"records_per_s"`
+}
+
 // policyCell is one cell of the policy × distribution matrix: one run
 // generation policy sorting one of the paper's six input distributions.
 type policyCell struct {
@@ -50,20 +68,21 @@ type policyCell struct {
 
 // report is the schema of a BENCH_<n>.json file.
 type report struct {
-	Bench         int          `json:"bench"`
-	Date          time.Time    `json:"date"`
-	GoVersion     string       `json:"go"`
-	GOOS          string       `json:"goos"`
-	GOARCH        string       `json:"goarch"`
-	GOMAXPROCS    int          `json:"gomaxprocs"`
-	Records       int          `json:"records"`
-	Memory        int          `json:"memory_records"`
-	MatrixRecords int          `json:"matrix_records,omitempty"`
-	Baseline      []result     `json:"baseline"`
-	BaselineNote  string       `json:"baseline_note"`
-	Results       []result     `json:"results"`
-	PolicyMatrix  []policyCell `json:"policy_matrix,omitempty"`
-	Notes         []string     `json:"notes,omitempty"`
+	Bench         int           `json:"bench"`
+	Date          time.Time     `json:"date"`
+	GoVersion     string        `json:"go"`
+	GOOS          string        `json:"goos"`
+	GOARCH        string        `json:"goarch"`
+	GOMAXPROCS    int           `json:"gomaxprocs"`
+	Records       int           `json:"records"`
+	Memory        int           `json:"memory_records"`
+	MatrixRecords int           `json:"matrix_records,omitempty"`
+	Baseline      []result      `json:"baseline"`
+	BaselineNote  string        `json:"baseline_note"`
+	Results       []result      `json:"results"`
+	PolicyMatrix  []policyCell  `json:"policy_matrix,omitempty"`
+	StorageMatrix []storageCell `json:"storage_matrix,omitempty"`
+	Notes         []string      `json:"notes,omitempty"`
 }
 
 // elementOnlyReader hides the batch protocol of the wrapped source, forcing
@@ -382,6 +401,96 @@ func main() {
 			"descending input: classic rs generated %d runs, auto %d — %.1fx fewer",
 			rsRev.Runs, autoRev.Runs, float64(rsRev.Runs)/float64(autoRev.Runs)))
 	}
+
+	// Storage matrix: every spill backend over spill streams at the two
+	// compressibility extremes (plus sorted keys in between), full external
+	// sorts at the paper-style budget. "dup" folds keys to 64 values and
+	// zeroes payloads — the dup-heavy, compressible stream; "random" fills
+	// both words from a PRNG — incompressible, the worst case a compressing
+	// backend must not make worse than one frame per block.
+	rng := rand.New(rand.NewSource(42))
+	storageDists := []struct {
+		name string
+		data []record.Record
+	}{
+		{"dup", func() []record.Record {
+			out := make([]record.Record, *mn)
+			for i := range out {
+				out[i] = record.Record{Key: int64(rng.Intn(64)), Aux: 0}
+			}
+			return out
+		}()},
+		{"sorted", func() []record.Record {
+			out := make([]record.Record, *mn)
+			for i := range out {
+				out[i] = record.Record{Key: int64(i), Aux: uint64(i)}
+			}
+			return out
+		}()},
+		{"random", func() []record.Record {
+			out := make([]record.Record, *mn)
+			for i := range out {
+				out[i] = record.Record{Key: int64(rng.Uint64() >> 1), Aux: rng.Uint64()}
+			}
+			return out
+		}()},
+	}
+	type backendSpec struct {
+		comp   string
+		budget int64
+	}
+	backends := []backendSpec{
+		{"raw", 0}, {"none", 0}, {"flate", 0}, {"gzip", 0},
+		{"flate", 4 << 20}, // tiered: runs start in a 4 MiB memory tier
+	}
+	fmt.Printf("\nstorage × distribution matrix (%d records, %d memory):\n", *mn, *mem)
+	ratio := map[string]float64{}
+	for _, dist := range storageDists {
+		for _, be := range backends {
+			c := repro.DefaultConfig(*mem)
+			c.Storage = repro.Storage{Compression: be.comp, MemoryBudgetBytes: be.budget}
+			var stats repro.Stats
+			best := int64(-1)
+			for trial := 0; trial < 2; trial++ {
+				start := time.Now()
+				_, st, err := repro.SortSlice(dist.data, c)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				if ns := time.Since(start).Nanoseconds(); best < 0 || ns < best {
+					best, stats = ns, st
+				}
+			}
+			cell := storageCell{
+				Dataset:        dist.name,
+				Compression:    be.comp,
+				SpillMemBudget: be.budget,
+				RawSpilled:     stats.IO.RawBytesWritten,
+				StoredSpilled:  stats.IO.StoredBytesWritten,
+				Ratio:          stats.IO.CompressionRatio(),
+				Blocks:         stats.IO.BlocksWritten,
+				Overflows:      stats.IO.Overflows,
+				VerifyFailures: stats.IO.VerifyFailures,
+				NsPerOp:        best,
+				RecordsPerS:    float64(*mn) / (float64(best) / 1e9),
+			}
+			rep.StorageMatrix = append(rep.StorageMatrix, cell)
+			fmt.Printf("  %-7s %-6s budget=%-8d %10d raw -> %10d stored (%.2fx) %3d overflows %12d ns\n",
+				cell.Dataset, cell.Compression, cell.SpillMemBudget,
+				cell.RawSpilled, cell.StoredSpilled, cell.Ratio, cell.Overflows, cell.NsPerOp)
+			if be.budget == 0 {
+				ratio[dist.name+"/"+be.comp] = cell.Ratio
+			}
+		}
+	}
+	rep.Notes = append(rep.Notes, fmt.Sprintf(
+		"storage matrix: flate spilled %.2fx fewer bytes than raw on the dup-heavy stream (gzip %.2fx); "+
+			"incompressible random stayed at %.2fx (stored-block fallback caps the overhead at one 20-byte frame per 4 KiB block)",
+		ratio["dup/flate"], ratio["dup/gzip"], ratio["random/flate"]))
+	rep.Notes = append(rep.Notes,
+		"spill integrity: every framed backend CRC32-checksums each block; TestCorruptSpillSurfacesChecksumError "+
+			"(internal/extsort) pins that a flipped byte in a spilled block fails the merge with storage.ErrChecksum instead of returning wrong output")
 
 	var sortNs, topkNs int64
 	for _, r := range rep.Results {

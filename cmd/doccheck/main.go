@@ -1,14 +1,16 @@
-// Command doccheck fails (exit 1) when an exported identifier in the
-// target package lacks a doc comment. CI runs it over the repository root
-// so the public surface of the library never regresses to undocumented;
-// it has no dependencies beyond the standard library's go/ast toolchain.
+// Command doccheck fails (exit 1) when an exported identifier in any of
+// the target packages lacks a doc comment. CI runs it over the repository
+// root plus the storage-facing internal packages (internal/vfs,
+// internal/storage), so neither the public surface nor the spill layer's
+// contract regresses to undocumented; it has no dependencies beyond the
+// standard library's go/ast toolchain.
 //
 // Usage:
 //
-//	go run ./cmd/doccheck [package-dir]   # default: current directory
+//	go run ./cmd/doccheck [package-dir ...]   # default: current directory
 //
 // Checked: every exported type, function, method, constant, variable and
-// struct field declared in non-test files of the package. A constant or
+// struct field declared in non-test files of each package. A constant or
 // variable inside a documented group (a doc comment on the grouped decl)
 // is considered documented, matching godoc's presentation.
 package main
@@ -30,32 +32,33 @@ type finding struct {
 }
 
 func main() {
-	dir := "."
-	if len(os.Args) > 1 {
-		dir = os.Args[1]
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = []string{"."}
 	}
 	fset := token.NewFileSet()
-	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
-		return !strings.HasSuffix(fi.Name(), "_test.go")
-	}, parser.ParseComments)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "doccheck:", err)
-		os.Exit(2)
-	}
-
 	var findings []finding
 	report := func(n ast.Node, what string) {
 		findings = append(findings, finding{pos: fset.Position(n.Pos()), what: what})
 	}
 
-	for _, pkg := range pkgs {
-		for _, file := range pkg.Files {
-			for _, decl := range file.Decls {
-				switch d := decl.(type) {
-				case *ast.FuncDecl:
-					checkFunc(d, report)
-				case *ast.GenDecl:
-					checkGen(d, report)
+	for _, dir := range dirs {
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			os.Exit(2)
+		}
+		for _, pkg := range pkgs {
+			for _, file := range pkg.Files {
+				for _, decl := range file.Decls {
+					switch d := decl.(type) {
+					case *ast.FuncDecl:
+						checkFunc(d, report)
+					case *ast.GenDecl:
+						checkGen(d, report)
+					}
 				}
 			}
 		}

@@ -8,9 +8,16 @@
 //
 //	extsort sort     -in input.rec -out sorted.rec   # full external sort (default)
 //	extsort sort     -policy auto -in input.rec -out sorted.rec
+//	extsort sort     -compress flate -spillmem 67108864 -in input.rec -out sorted.rec
 //	extsort distinct -in input.rec -out distinct.rec # one record per key, ascending
 //	extsort topk     -k 100 -in input.rec -out top.rec
 //	extsort join     -left a.rec -right b.rec -out joined.rec
+//
+// -compress selects the spill framing (raw, none, flate, gzip): any value
+// but raw checksums every spilled block, and flate/gzip compress it, so the
+// sort reports raw-versus-stored spill bytes and fails loudly — never
+// silently wrong — on corrupted spill data. -spillmem keeps runs in memory
+// under the given byte budget, overflowing to the temp directory.
 //
 // Invoking extsort with flags directly (no subcommand) behaves like
 // "extsort sort", preserving the historical CLI. Every subcommand prints
@@ -32,6 +39,7 @@ import (
 	"repro/internal/extsort"
 	"repro/internal/policy"
 	"repro/internal/record"
+	"repro/internal/storage"
 )
 
 func main() {
@@ -56,16 +64,18 @@ func main() {
 
 // sortFlags declares the flags shared by every subcommand that sorts.
 type sortFlags struct {
-	alg     *string
-	policy  *string
-	memory  *int
-	fanIn   *int
-	tempDir *string
-	setup   *string
-	frac    *float64
-	inH     *string
-	outH    *string
-	seed    *int64
+	alg      *string
+	policy   *string
+	memory   *int
+	fanIn    *int
+	tempDir  *string
+	setup    *string
+	frac     *float64
+	inH      *string
+	outH     *string
+	seed     *int64
+	compress *string
+	spillMem *int64
 }
 
 func newSortFlags(fs *flag.FlagSet) *sortFlags {
@@ -81,6 +91,9 @@ func newSortFlags(fs *flag.FlagSet) *sortFlags {
 		inH:     fs.String("inheur", "mean", "2WRS input heuristic"),
 		outH:    fs.String("outheur", "random", "2WRS output heuristic"),
 		seed:    fs.Int64("seed", 1, "seed for randomised heuristics"),
+		compress: fs.String("compress", "raw", "spill framing: "+strings.Join(storage.Compressions(), ", ")+
+			"; any value but raw adds per-block CRC32 checksums, flate/gzip also compress"),
+		spillMem: fs.Int64("spillmem", 0, "keep spilled runs in memory under this byte budget, overflowing to -tmp (0: always on disk)"),
 	}
 }
 
@@ -110,6 +123,9 @@ func (f *sortFlags) config() (repro.Config, func(), error) {
 			return repro.Config{}, nil, err
 		}
 	}
+	if _, err := storage.ParseCompression(*f.compress); err != nil {
+		return repro.Config{}, nil, err
+	}
 	cfg := repro.Config{
 		Algorithm:      alg,
 		Policy:         *f.policy,
@@ -120,6 +136,7 @@ func (f *sortFlags) config() (repro.Config, func(), error) {
 		Input:          inHeur,
 		Output:         outHeur,
 		Seed:           *f.seed,
+		Storage:        repro.Storage{Compression: *f.compress, MemoryBudgetBytes: *f.spillMem},
 	}
 	cleanup := func() {}
 	cfg.TempDir = *f.tempDir
@@ -196,6 +213,27 @@ func printSortStats(alg string, memory int, stats repro.Stats) {
 	}
 	fmt.Printf("merge passes:     %d (%d merge ops over %d inputs)\n",
 		stats.MergePasses, stats.MergeOps, stats.MergeInputs)
+	printIOStats(stats)
+}
+
+// printIOStats reports the spill backend's byte accounting: what the sort
+// actually moved to and from temporary storage.
+func printIOStats(stats repro.Stats) {
+	io := stats.IO
+	if io.BlocksWritten == 0 {
+		return
+	}
+	fmt.Printf("spill backend:    %s\n", stats.Storage)
+	fmt.Printf("spilled:          %d raw bytes -> %d stored (%.2fx) in %d blocks\n",
+		io.RawBytesWritten, io.StoredBytesWritten, io.CompressionRatio(), io.BlocksWritten)
+	fmt.Printf("read back:        %d raw bytes <- %d stored in %d blocks\n",
+		io.RawBytesRead, io.StoredBytesRead, io.BlocksRead)
+	if io.Overflows > 0 || io.MemFiles > 0 || io.DiskFiles > 0 {
+		fmt.Printf("spill tiering:    %d overflows to disk\n", io.Overflows)
+	}
+	if io.VerifyFailures > 0 {
+		fmt.Printf("verify failures:  %d (spilled blocks failed checksum!)\n", io.VerifyFailures)
+	}
 }
 
 func runSort(args []string) {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/record"
 	"repro/internal/runio"
+	"repro/internal/storage"
 	"repro/internal/vfs"
 )
 
@@ -38,7 +39,7 @@ func TestQuickArbitraryInputsProduceValidRuns(t *testing.T) {
 		}
 		union := make(record.Multiset)
 		for _, run := range res.Runs {
-			rc, err := runio.OpenRun(fs, run, 512, codec.Record16{}, record.Less)
+			rc, err := runio.OpenRun(storage.NewRaw(fs), run, 512, codec.Record16{}, record.Less)
 			if err != nil {
 				t.Logf("open failed: %v", err)
 				return false

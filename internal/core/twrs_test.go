@@ -8,6 +8,7 @@ import (
 	"repro/internal/record"
 	"repro/internal/rs"
 	"repro/internal/runio"
+	"repro/internal/storage"
 	"repro/internal/vfs"
 )
 
@@ -34,7 +35,7 @@ func verifyRuns(t *testing.T, fs vfs.FS, runs []runio.Run, input []record.Record
 	union := make(record.Multiset)
 	var total int64
 	for i, run := range runs {
-		r, err := runio.OpenRun(fs, run, 4096, codec.Record16{}, record.Less)
+		r, err := runio.OpenRun(storage.NewRaw(fs), run, 4096, codec.Record16{}, record.Less)
 		if err != nil {
 			t.Fatalf("run %d: %v", i, err)
 		}
@@ -57,7 +58,7 @@ func verifyRuns(t *testing.T, fs vfs.FS, runs []runio.Run, input []record.Record
 		}
 		// Each individual stream must also be sorted on its own.
 		for j, in := range run.Inputs() {
-			rc, err := runio.OpenRun(fs, in, 1024, codec.Record16{}, record.Less)
+			rc, err := runio.OpenRun(storage.NewRaw(fs), in, 1024, codec.Record16{}, record.Less)
 			if err != nil {
 				t.Fatalf("run %d input %d: %v", i, j, err)
 			}

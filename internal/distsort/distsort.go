@@ -17,6 +17,7 @@ import (
 	"repro/internal/heap"
 	"repro/internal/record"
 	"repro/internal/runio"
+	"repro/internal/storage"
 	"repro/internal/vfs"
 )
 
@@ -227,7 +228,7 @@ func sortStream(src record.Reader, dst record.Writer, fs vfs.FS, namer *runio.Na
 			}
 			continue
 		}
-		rc, err := runio.NewReader(fs, b.name, 1<<16, codec.Record16{})
+		rc, err := runio.NewReader(storage.NewRaw(fs), b.name, 1<<16, codec.Record16{})
 		if err != nil {
 			return err
 		}

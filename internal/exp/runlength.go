@@ -7,6 +7,7 @@ import (
 	"repro/internal/record"
 	"repro/internal/rs"
 	"repro/internal/runio"
+	"repro/internal/storage"
 	"repro/internal/vfs"
 )
 
@@ -113,9 +114,10 @@ func Fig54BufferSweep(p Params) ([]BufferSweepPoint, error) {
 // verifySorted double-checks that a generated run set really partitions a
 // dataset into sorted streams; used by the harness self-test.
 func verifySorted(fs vfs.FS, runs []runio.Run) (bool, error) {
+	st := storage.NewRaw(fs)
 	for _, run := range runs {
 		for _, in := range run.Inputs() {
-			rc, err := runio.OpenRun(fs, in, 1<<16, codec.Record16{}, record.Less)
+			rc, err := runio.OpenRun(st, in, 1<<16, codec.Record16{}, record.Less)
 			if err != nil {
 				return false, err
 			}

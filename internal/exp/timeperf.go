@@ -196,7 +196,7 @@ func Fig61FanIn(p Params) ([]FanInPoint, error) {
 			return nil, err
 		}
 		disk.Reset() // charge only the merge, not the setup
-		_, err = merge.Merge(fs, em, runs, discardWriter{}, merge.Config{
+		_, err = merge.Merge(em, runs, discardWriter{}, merge.Config{
 			FanIn:       fanIn,
 			MemoryBytes: p.FanInMergeMemory,
 		})

@@ -20,6 +20,7 @@ import (
 	"repro/internal/record"
 	"repro/internal/rs"
 	"repro/internal/runio"
+	"repro/internal/storage"
 	"repro/internal/stream"
 	"repro/internal/vfs"
 )
@@ -168,6 +169,11 @@ type Config struct {
 	// cancelled through the source: the public API wraps src in a reader
 	// whose batch boundaries check the context.)
 	Cancel func() error
+	// Storage selects the spill backend layered over fs: the zero value is
+	// the historical raw layout; a Compression name turns on checksummed
+	// block framing (optionally compressed), and MemoryBudgetBytes adds an
+	// in-memory tier that overflows to fs.
+	Storage storage.Config
 }
 
 // Recommended returns the paper's recommended end-to-end configuration:
@@ -235,7 +241,18 @@ type Stats struct {
 	// Config.Clock was provided (e.g. backed by iosim.Disk).
 	RunGenSim time.Duration
 	MergeSim  time.Duration
+	// Storage describes the spill backend that ran (e.g. "raw",
+	// "block(flate)"); IO is its byte-level accounting — raw versus stored
+	// bytes moved, block counts, checksum verification failures, and the
+	// memory tier's residency. IO covers both phases once Merge returns.
+	Storage string
+	// IO is the spill backend's I/O accounting snapshot.
+	IO IOStats
 }
+
+// IOStats is the spill backend's I/O accounting, re-exported from
+// internal/storage so Stats can carry it.
+type IOStats = storage.IOStats
 
 // TotalWall returns the end-to-end wall-clock duration.
 func (s Stats) TotalWall() time.Duration { return s.RunGenWall + s.MergeWall }
@@ -253,7 +270,7 @@ func (s Stats) TotalSim() time.Duration { return s.RunGenSim + s.MergeSim }
 // A RunSet owns its run files until exactly one of Merge, OpenMerged (whose
 // Stream then owns them) or Discard is called.
 type RunSet[T any] struct {
-	fs       vfs.FS
+	store    storage.Backend
 	em       *runio.Emitter[T]
 	runs     []runio.Run
 	policies []string // policies[i] names the generator that produced runs[i]
@@ -274,7 +291,11 @@ func GenerateRuns[T any](src stream.Reader[T], fs vfs.FS, cfg Config, ops Ops[T]
 	if cfg.Memory <= 0 {
 		return nil, fmt.Errorf("extsort: memory must be positive, got %d", cfg.Memory)
 	}
-	em := runio.NewEmitter(fs, cfg.Prefix, ops.Codec, ops.Less)
+	store, err := storage.New(fs, cfg.Storage)
+	if err != nil {
+		return nil, err
+	}
+	em := runio.NewEmitterOn(store, cfg.Prefix, ops.Codec, ops.Less)
 	em.PageSize = cfg.PageSize
 	em.PagesPerFile = cfg.PagesPerFile
 	if em.PagesPerFile == 0 && cfg.Clock == nil {
@@ -292,7 +313,8 @@ func GenerateRuns[T any](src stream.Reader[T], fs vfs.FS, cfg Config, ops Ops[T]
 		clock = func() time.Duration { return 0 }
 	}
 
-	rset := &RunSet[T]{fs: fs, em: em, cfg: cfg, ops: ops, clock: clock}
+	rset := &RunSet[T]{store: store, em: em, cfg: cfg, ops: ops, clock: clock}
+	rset.stats.Storage = store.String()
 	simStart, wallStart := clock(), time.Now()
 
 	if cfg.Policy != policy.None {
@@ -301,6 +323,7 @@ func GenerateRuns[T any](src stream.Reader[T], fs vfs.FS, cfg Config, ops Ops[T]
 		// generators at run boundaries.
 		pres, err := policy.Generate(cfg.Policy, src, em, policy.Config{Memory: cfg.Memory, TWRS: cfg.TWRS}, ops.Key)
 		if err != nil {
+			rset.Discard()
 			return nil, err
 		}
 		rset.runs, rset.stats.Records = pres.Runs, pres.Records
@@ -320,18 +343,21 @@ func GenerateRuns[T any](src stream.Reader[T], fs vfs.FS, cfg Config, ops Ops[T]
 		case RS:
 			res, err := rs.Generate(src, em, cfg.Memory)
 			if err != nil {
+				rset.Discard()
 				return nil, err
 			}
 			rset.runs, rset.stats.Records = res.Runs, res.Records
 		case LoadSortStore:
 			res, err := rs.GenerateLSS(src, em, cfg.Memory)
 			if err != nil {
+				rset.Discard()
 				return nil, err
 			}
 			rset.runs, rset.stats.Records = res.Runs, res.Records
 		case TwoWayRS:
 			res, err := core.Generate(src, em, cfg.TWRS, ops.Key)
 			if err != nil {
+				rset.Discard()
 				return nil, err
 			}
 			rset.runs, rset.stats.Records = res.Runs, res.Records
@@ -351,6 +377,7 @@ func GenerateRuns[T any](src stream.Reader[T], fs vfs.FS, cfg Config, ops Ops[T]
 	}
 	rset.stats.RunGenWall = time.Since(wallStart)
 	rset.stats.RunGenSim = clock() - simStart
+	rset.stats.IO = store.Stats()
 	return rset, nil
 }
 
@@ -365,8 +392,18 @@ func (r *RunSet[T]) Runs() []runio.Run { return r.runs }
 func (r *RunSet[T]) RunPolicies() []string { return r.policies }
 
 // Stats returns the statistics accumulated so far: the run-generation half
-// after GenerateRuns, both halves after Merge.
-func (r *RunSet[T]) Stats() Stats { return r.stats }
+// after GenerateRuns, both halves after Merge. The IO accounting is a live
+// snapshot of the spill backend, so a caller draining OpenMerged sees the
+// final merge's reads accumulate.
+func (r *RunSet[T]) Stats() Stats {
+	st := r.stats
+	st.IO = r.store.Stats()
+	return st
+}
+
+// Store exposes the spill backend of this sort, for callers that inspect
+// accounting or file residency directly (tests, benchmarks).
+func (r *RunSet[T]) Store() storage.Backend { return r.store }
 
 // mergeConfig assembles the merge-phase configuration from the sort's.
 func (r *RunSet[T]) mergeConfig() merge.Config {
@@ -390,15 +427,16 @@ func (r *RunSet[T]) mergeConfig() merge.Config {
 func (r *RunSet[T]) OpenMerged() (*merge.Stream[T], error) {
 	// Every run — concatenable or not — is one merge input: runio.OpenRun
 	// interleaves overlapping streams on the fly.
-	return merge.NewStream(r.fs, r.em, r.runs, r.mergeConfig())
+	return merge.NewStream(r.em, r.runs, r.mergeConfig())
 }
 
 // Merge completes the sort: it merges the run set into dst and returns the
 // full two-phase statistics.
 func (r *RunSet[T]) Merge(dst stream.Writer[T]) (Stats, error) {
 	simStart, wallStart := r.clock(), time.Now()
-	ms, err := merge.Merge(r.fs, r.em, r.runs, dst, r.mergeConfig())
+	ms, err := merge.Merge(r.em, r.runs, dst, r.mergeConfig())
 	if err != nil {
+		r.stats.IO = r.store.Stats()
 		return r.stats, err
 	}
 	r.stats.MergeInputs = ms.Inputs
@@ -406,34 +444,78 @@ func (r *RunSet[T]) Merge(dst stream.Writer[T]) (Stats, error) {
 	r.stats.MergeOps = ms.Merges
 	r.stats.MergeWall = time.Since(wallStart)
 	r.stats.MergeSim = r.clock() - simStart
+	r.stats.IO = r.store.Stats()
 	return r.stats, nil
 }
 
-// Discard deletes the run files without merging them, for callers that
-// abandon the sort after phase one. Runs already consumed — a failed
-// OpenMerged may have merged and removed some of them before erroring —
-// are skipped silently; like a failed Merge, intermediate files a partial
-// reduce created are left to the caller's file-system cleanup.
+// isSpillName reports whether name matches the shape the sort's Namer
+// hands out — prefix-NNNN-role, backward chains appending ".N" — so the
+// Discard sweep can recognise this sort's files without ever touching an
+// unrelated file that merely shares the prefix (a user's "sort-mydata.rec"
+// in a shared temp directory must survive a failed sort).
+func isSpillName(prefix, name string) bool {
+	rest, ok := strings.CutPrefix(name, prefix+"-")
+	if !ok {
+		return false
+	}
+	digits := 0
+	for digits < len(rest) && rest[digits] >= '0' && rest[digits] <= '9' {
+		digits++
+	}
+	// The Namer zero-pads sequence numbers to at least four digits.
+	if digits < 4 || digits >= len(rest) || rest[digits] != '-' {
+		return false
+	}
+	return len(rest) > digits+1
+}
+
+// Discard deletes every spill file of this sort without merging: the run
+// manifests, plus — by sweeping the backend for names the sort's Namer
+// produced — any stragglers a failed pass left behind (a half-written run
+// from an aborted generation, intermediate outputs of a failed reduce,
+// orphaned backward chain files). Runs already consumed are skipped
+// silently. After Discard the backend holds no file of this sort, on any
+// tier.
 func (r *RunSet[T]) Discard() error {
 	var first error
 	for _, run := range r.runs {
-		if err := run.Remove(r.fs); err != nil && first == nil && !errors.Is(err, os.ErrNotExist) {
+		if err := run.Remove(r.store); err != nil && first == nil && !errors.Is(err, os.ErrNotExist) {
 			first = err
 		}
 	}
 	r.runs = nil
+	names, err := r.store.Names()
+	if err != nil {
+		if first == nil {
+			first = err
+		}
+		return first
+	}
+	for _, name := range names {
+		if !isSpillName(r.cfg.Prefix, name) {
+			continue
+		}
+		if err := r.store.Remove(name); err != nil && first == nil && !errors.Is(err, os.ErrNotExist) {
+			first = err
+		}
+	}
 	return first
 }
 
 // Sort reads all elements from src, sorts them externally using temporary
 // files on fs, and writes the sorted stream to dst. Ordering, storage and
-// heuristics come from ops. It is GenerateRuns followed by RunSet.Merge.
+// heuristics come from ops. It is GenerateRuns followed by RunSet.Merge; a
+// failed merge discards the run set, so no spill files outlive the error.
 func Sort[T any](src stream.Reader[T], dst stream.Writer[T], fs vfs.FS, cfg Config, ops Ops[T]) (Stats, error) {
 	rset, err := GenerateRuns(src, fs, cfg, ops)
 	if err != nil {
 		return Stats{}, err
 	}
-	return rset.Merge(dst)
+	stats, err := rset.Merge(dst)
+	if err != nil {
+		rset.Discard()
+	}
+	return stats, err
 }
 
 // SortSlice sorts elements in memory-bounded fashion through a MemFS and

@@ -7,7 +7,6 @@ import (
 
 	"repro/internal/runio"
 	"repro/internal/stream"
-	"repro/internal/vfs"
 )
 
 // Engine selects the k-way merge implementation.
@@ -141,9 +140,10 @@ func errBadFanIn(fanIn int) error {
 //
 // Merge is NewStream followed by a batched copy into dst: callers that want
 // the merged order as a pull stream instead of a materialised output use
-// NewStream directly.
-func Merge[T any](fs vfs.FS, em *runio.Emitter[T], inputs []runio.Run, dst stream.Writer[T], cfg Config) (Stats, error) {
-	st, err := NewStream(fs, em, inputs, cfg)
+// NewStream directly. Run files are read and removed through em's storage
+// backend.
+func Merge[T any](em *runio.Emitter[T], inputs []runio.Run, dst stream.Writer[T], cfg Config) (Stats, error) {
+	st, err := NewStream(em, inputs, cfg)
 	if err != nil {
 		return Stats{Inputs: len(inputs)}, err
 	}
@@ -157,7 +157,7 @@ func Merge[T any](fs vfs.FS, em *runio.Emitter[T], inputs []runio.Run, dst strea
 // reduceSequential is the historical schedule: one merge at a time,
 // smallest runs first, the queue re-sorted after every operation so
 // intermediate outputs compete on size with the remaining originals.
-func reduceSequential[T any](fs vfs.FS, em *runio.Emitter[T], queue []depthRun, cfg Config, stats *Stats) ([]depthRun, error) {
+func reduceSequential[T any](em *runio.Emitter[T], queue []depthRun, cfg Config, stats *Stats) ([]depthRun, error) {
 	sortBySize(queue)
 	// Width of the first internal merge so all later ones are full.
 	firstWidth := (len(queue)-1)%(cfg.FanIn-1) + 1
@@ -179,7 +179,7 @@ func reduceSequential[T any](fs vfs.FS, em *runio.Emitter[T], queue []depthRun, 
 			}
 		}
 		queue = queue[width:]
-		out, err := mergeGroup(fs, em, group, em.Namer.Next("merge"), cfg.bufBytes(width), cfg)
+		out, err := mergeGroup(em, group, em.Namer.Next("merge"), cfg.bufBytes(width), cfg)
 		if err != nil {
 			return queue, err
 		}
@@ -196,7 +196,7 @@ func reduceSequential[T any](fs vfs.FS, em *runio.Emitter[T], queue []depthRun, 
 // schedule would, pre-allocates the output file names, and executes the
 // groups — which touch disjoint runs — concurrently on a pool of at most
 // cfg.Workers goroutines.
-func reduceParallel[T any](fs vfs.FS, em *runio.Emitter[T], queue []depthRun, cfg Config, stats *Stats) ([]depthRun, error) {
+func reduceParallel[T any](em *runio.Emitter[T], queue []depthRun, cfg Config, stats *Stats) ([]depthRun, error) {
 	type group struct {
 		runs  []runio.Run
 		width int
@@ -263,7 +263,7 @@ func reduceParallel[T any](fs vfs.FS, em *runio.Emitter[T], queue []depthRun, cf
 				sem <- struct{}{}
 				defer func() { <-sem }()
 				g := groups[gi]
-				out, err := mergeGroup(fs, em, g.runs, g.name, share.bufBytes(g.width), cfg)
+				out, err := mergeGroup(em, g.runs, g.name, share.bufBytes(g.width), cfg)
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
@@ -290,7 +290,7 @@ func reduceParallel[T any](fs vfs.FS, em *runio.Emitter[T], queue []depthRun, cf
 
 // mergeGroup merges one group of runs into a fresh intermediate run under
 // the given pre-allocated name and deletes the consumed inputs.
-func mergeGroup[T any](fs vfs.FS, em *runio.Emitter[T], group []runio.Run, name string, bufBytes int, cfg Config) (runio.Run, error) {
+func mergeGroup[T any](em *runio.Emitter[T], group []runio.Run, name string, bufBytes int, cfg Config) (runio.Run, error) {
 	srcs, err := openInputs(em, group, bufBytes)
 	if err != nil {
 		return runio.Run{}, err
@@ -317,7 +317,7 @@ func mergeGroup[T any](fs vfs.FS, em *runio.Emitter[T], group []runio.Run, name 
 		return runio.Run{}, err
 	}
 	for _, r := range group {
-		if err := r.Remove(fs); err != nil {
+		if err := r.Remove(em.Store); err != nil {
 			return runio.Run{}, err
 		}
 	}

@@ -206,7 +206,7 @@ func TestMergeSinglePass(t *testing.T) {
 	em := runio.RecordEmitter(fs, "m")
 	runs, all := makeRuns(t, fs, em, 5, 100, 1)
 	var out record.SliceWriter
-	stats, err := Merge(fs, em, runs, &out, Config{FanIn: 10, MemoryBytes: 1 << 16})
+	stats, err := Merge(em, runs, &out, Config{FanIn: 10, MemoryBytes: 1 << 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +234,7 @@ func TestMergeMultiPass(t *testing.T) {
 	em := runio.RecordEmitter(fs, "m")
 	runs, all := makeRuns(t, fs, em, 23, 50, 2)
 	var out record.SliceWriter
-	stats, err := Merge(fs, em, runs, &out, Config{FanIn: 3, MemoryBytes: 1 << 14})
+	stats, err := Merge(em, runs, &out, Config{FanIn: 3, MemoryBytes: 1 << 14})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +259,7 @@ func TestMergeSingleRunPassThrough(t *testing.T) {
 	em := runio.RecordEmitter(fs, "m")
 	runs, all := makeRuns(t, fs, em, 1, 64, 3)
 	var out record.SliceWriter
-	stats, err := Merge(fs, em, runs, &out, Config{FanIn: 10, MemoryBytes: 4096})
+	stats, err := Merge(em, runs, &out, Config{FanIn: 10, MemoryBytes: 4096})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +275,7 @@ func TestMergeNoInputs(t *testing.T) {
 	fs := vfs.NewMemFS()
 	em := runio.RecordEmitter(fs, "m")
 	var out record.SliceWriter
-	stats, err := Merge(fs, em, nil, &out, Config{FanIn: 4, MemoryBytes: 4096})
+	stats, err := Merge(em, nil, &out, Config{FanIn: 4, MemoryBytes: 4096})
 	if err != nil || stats.Inputs != 0 || len(out.Recs) != 0 {
 		t.Fatalf("empty merge = (%+v, %v)", stats, err)
 	}
@@ -285,7 +285,7 @@ func TestMergeRejectsBadFanIn(t *testing.T) {
 	fs := vfs.NewMemFS()
 	em := runio.RecordEmitter(fs, "m")
 	var out record.SliceWriter
-	if _, err := Merge(fs, em, nil, &out, Config{FanIn: 1}); err == nil {
+	if _, err := Merge(em, nil, &out, Config{FanIn: 1}); err == nil {
 		t.Fatal("fan-in 1 should be rejected")
 	}
 }
@@ -295,7 +295,7 @@ func TestMergeHeapEngine(t *testing.T) {
 	em := runio.RecordEmitter(fs, "m")
 	runs, all := makeRuns(t, fs, em, 7, 40, 4)
 	var out record.SliceWriter
-	if _, err := Merge(fs, em, runs, &out, Config{FanIn: 3, MemoryBytes: 8192, Engine: EngineHeap}); err != nil {
+	if _, err := Merge(em, runs, &out, Config{FanIn: 3, MemoryBytes: 8192, Engine: EngineHeap}); err != nil {
 		t.Fatal(err)
 	}
 	if !record.IsSorted(out.Recs) || len(out.Recs) != len(all) {
@@ -345,7 +345,7 @@ func TestPolyphaseRecordLevel(t *testing.T) {
 	runsB, allB := makeRuns(t, fs, em, 1, 30, 6)
 	tapes := []*Tape{{Runs: runsA}, {Runs: runsB}, {}}
 	var out record.SliceWriter
-	if err := Polyphase(fs, em, tapes, &out, 4096, Config{FanIn: 10, MemoryBytes: 1 << 14}); err != nil {
+	if err := Polyphase(em, tapes, &out, 4096, Config{FanIn: 10, MemoryBytes: 1 << 14}); err != nil {
 		t.Fatal(err)
 	}
 	all := append(append([]record.Record(nil), allA...), allB...)
@@ -366,7 +366,7 @@ func TestPolyphaseDegenerateDistribution(t *testing.T) {
 	runsB, allB := makeRuns(t, fs, em, 2, 20, 8)
 	tapes := []*Tape{{Runs: runsA}, {Runs: runsB}, {}}
 	var out record.SliceWriter
-	if err := Polyphase(fs, em, tapes, &out, 4096, Config{FanIn: 10, MemoryBytes: 1 << 14}); err != nil {
+	if err := Polyphase(em, tapes, &out, 4096, Config{FanIn: 10, MemoryBytes: 1 << 14}); err != nil {
 		t.Fatal(err)
 	}
 	all := append(append([]record.Record(nil), allA...), allB...)
@@ -381,7 +381,7 @@ func TestPolyphaseNeedsEmptyTape(t *testing.T) {
 	runs, _ := makeRuns(t, fs, em, 2, 10, 9)
 	tapes := []*Tape{{Runs: runs[:1]}, {Runs: runs[1:]}}
 	var out record.SliceWriter
-	if err := Polyphase(fs, em, tapes, &out, 4096, Config{FanIn: 10, MemoryBytes: 1 << 14}); err == nil {
+	if err := Polyphase(em, tapes, &out, 4096, Config{FanIn: 10, MemoryBytes: 1 << 14}); err == nil {
 		t.Fatal("expected error without an empty tape")
 	}
 }
@@ -431,7 +431,7 @@ func TestMergeParallelWorkers(t *testing.T) {
 		em := runio.RecordEmitter(fs, "m")
 		runs, all := makeRuns(t, fs, em, 37, 40, int64(workers))
 		var out record.SliceWriter
-		stats, err := Merge(fs, em, runs, &out, Config{FanIn: 3, MemoryBytes: 1 << 14, Workers: workers})
+		stats, err := Merge(em, runs, &out, Config{FanIn: 3, MemoryBytes: 1 << 14, Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -476,7 +476,7 @@ func TestMergeCancelAborts(t *testing.T) {
 		runs, _ := makeRuns(t, fs, em, 23, 50, 5)
 		cn := &cancelNow{after: 3, err: io.ErrClosedPipe}
 		var out record.SliceWriter
-		_, err := Merge(fs, em, runs, &out, Config{
+		_, err := Merge(em, runs, &out, Config{
 			FanIn: 3, MemoryBytes: 1 << 14, Workers: workers, Cancel: cn.hook,
 		})
 		if err != io.ErrClosedPipe {
@@ -492,7 +492,7 @@ func TestNewStreamMatchesMerge(t *testing.T) {
 	fs := vfs.NewMemFS()
 	em := runio.RecordEmitter(fs, "m")
 	runs, all := makeRuns(t, fs, em, 23, 50, 9)
-	st, err := NewStream(fs, em, runs, Config{FanIn: 3, MemoryBytes: 1 << 14})
+	st, err := NewStream(em, runs, Config{FanIn: 3, MemoryBytes: 1 << 14})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -529,7 +529,7 @@ func TestStreamPartialDrainCleansUp(t *testing.T) {
 	fs := vfs.NewMemFS()
 	em := runio.RecordEmitter(fs, "m")
 	runs, all := makeRuns(t, fs, em, 7, 200, 10)
-	st, err := NewStream(fs, em, runs, Config{FanIn: 10, MemoryBytes: 1 << 14})
+	st, err := NewStream(em, runs, Config{FanIn: 10, MemoryBytes: 1 << 14})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -558,7 +558,7 @@ func TestStreamPartialDrainCleansUp(t *testing.T) {
 func TestStreamEmptyAndCancel(t *testing.T) {
 	fs := vfs.NewMemFS()
 	em := runio.RecordEmitter(fs, "m")
-	st, err := NewStream(fs, em, nil, Config{FanIn: 4, MemoryBytes: 4096})
+	st, err := NewStream(em, nil, Config{FanIn: 4, MemoryBytes: 4096})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -574,7 +574,7 @@ func TestStreamEmptyAndCancel(t *testing.T) {
 
 	runs, _ := makeRuns(t, fs, em, 3, 100, 11)
 	cn := &cancelNow{after: 1, err: io.ErrClosedPipe}
-	st, err = NewStream(fs, em, runs, Config{FanIn: 4, MemoryBytes: 4096, Cancel: cn.hook})
+	st, err = NewStream(em, runs, Config{FanIn: 4, MemoryBytes: 4096, Cancel: cn.hook})
 	if err != nil {
 		t.Fatal(err)
 	}

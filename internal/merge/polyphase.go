@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/runio"
 	"repro/internal/stream"
-	"repro/internal/vfs"
 )
 
 // Polyphase merge (§2.1.2, Gilstad 1960): k+1 tapes, one initially empty.
@@ -13,8 +12,9 @@ import (
 // the output tape until some input tape empties; that tape becomes the next
 // output. The process ends when a single run remains.
 //
-// Tapes are modelled as ordered lists of runs on a vfs.FS, which is exactly
-// how magnetic tape stored them: sequentially, one run after another.
+// Tapes are modelled as ordered lists of runs on the emitter's spill
+// backend, which is exactly how magnetic tape stored them: sequentially,
+// one run after another.
 
 // Tape is an ordered list of runs.
 type Tape struct {
@@ -92,7 +92,7 @@ func PolyphaseCounts(initial []int) ([]PolyphaseStep, error) {
 // Polyphase performs a record-level polyphase merge of the given tapes into
 // a single run written to dst. One tape must start empty. bufBytes is the
 // per-stream buffer budget.
-func Polyphase[T any](fs vfs.FS, em *runio.Emitter[T], tapes []*Tape, dst stream.Writer[T], bufBytes int, cfg Config) error {
+func Polyphase[T any](em *runio.Emitter[T], tapes []*Tape, dst stream.Writer[T], bufBytes int, cfg Config) error {
 	out := -1
 	for i, tp := range tapes {
 		if len(tp.Runs) == 0 {
@@ -128,7 +128,7 @@ func Polyphase[T any](fs vfs.FS, em *runio.Emitter[T], tapes []*Tape, dst stream
 			if err := rc.Close(); err != nil {
 				return err
 			}
-			return lastRun.Remove(fs)
+			return lastRun.Remove(em.Store)
 		}
 		// One step: merge one run from every participating tape until one
 		// of them empties. Tapes already empty at step start do not
@@ -168,7 +168,7 @@ func Polyphase[T any](fs vfs.FS, em *runio.Emitter[T], tapes []*Tape, dst stream
 			if len(group) == 1 {
 				merged = group[0]
 			} else {
-				merged, err = mergeGroup(fs, em, group, em.Namer.Next("merge"), bufBytes, cfg)
+				merged, err = mergeGroup(em, group, em.Namer.Next("merge"), bufBytes, cfg)
 				if err != nil {
 					return err
 				}

@@ -4,8 +4,8 @@ import (
 	"io"
 
 	"repro/internal/runio"
+	"repro/internal/storage"
 	"repro/internal/stream"
-	"repro/internal/vfs"
 )
 
 // Stream is a pull-driven view of a merge: the next element of the globally
@@ -21,7 +21,7 @@ import (
 // remaining run files; it is safe (and required) to Close a Stream that was
 // only partially drained.
 type Stream[T any] struct {
-	fs     vfs.FS
+	store  storage.Backend
 	eng    Source[T]
 	engB   stream.BatchReader[T]
 	finals []runio.Run
@@ -47,11 +47,11 @@ const cancelBatch = 1024
 // Close whether or not the stream was fully drained. On error the reduced
 // queue's files are left to the caller's file system cleanup, matching
 // Merge's behaviour.
-func NewStream[T any](fs vfs.FS, em *runio.Emitter[T], inputs []runio.Run, cfg Config) (*Stream[T], error) {
+func NewStream[T any](em *runio.Emitter[T], inputs []runio.Run, cfg Config) (*Stream[T], error) {
 	if cfg.FanIn < 2 {
 		return nil, errBadFanIn(cfg.FanIn)
 	}
-	st := &Stream[T]{fs: fs, cancel: cfg.Cancel, stats: Stats{Inputs: len(inputs)}}
+	st := &Stream[T]{store: em.Store, cancel: cfg.Cancel, stats: Stats{Inputs: len(inputs)}}
 	if len(inputs) == 0 {
 		return st, nil
 	}
@@ -63,9 +63,9 @@ func NewStream[T any](fs vfs.FS, em *runio.Emitter[T], inputs []runio.Run, cfg C
 
 	var err error
 	if cfg.Workers > 1 {
-		queue, err = reduceParallel(fs, em, queue, cfg, &st.stats)
+		queue, err = reduceParallel(em, queue, cfg, &st.stats)
 	} else {
-		queue, err = reduceSequential(fs, em, queue, cfg, &st.stats)
+		queue, err = reduceSequential(em, queue, cfg, &st.stats)
 	}
 	if err != nil {
 		return nil, err
@@ -152,7 +152,7 @@ func (s *Stream[T]) Close() error {
 		}
 	}
 	for _, r := range s.finals {
-		if err := r.Remove(s.fs); err != nil && first == nil {
+		if err := r.Remove(s.store); err != nil && first == nil {
 			first = err
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/record"
 	"repro/internal/runio"
+	"repro/internal/storage"
 	"repro/internal/vfs"
 )
 
@@ -24,7 +25,7 @@ func verify(t *testing.T, fs vfs.FS, runs []runio.Run, input []record.Record) {
 	t.Helper()
 	union := make(record.Multiset)
 	for i, run := range runs {
-		r, err := runio.OpenRun(fs, run, 1024, codec.Record16{}, record.Less)
+		r, err := runio.OpenRun(storage.NewRaw(fs), run, 1024, codec.Record16{}, record.Less)
 		if err != nil {
 			t.Fatalf("run %d: %v", i, err)
 		}

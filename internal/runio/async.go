@@ -3,15 +3,15 @@ package runio
 import (
 	"sync"
 
-	"repro/internal/vfs"
+	"repro/internal/storage"
 )
 
 // asyncFlusher moves a forward writer's page flushes onto a background
 // goroutine behind a double-buffered channel: while one page buffer is in
-// flight to the file, the writer keeps encoding into the other, so heap and
-// codec work overlap file I/O. Pages are written strictly sequentially from
-// the single flusher goroutine, which keeps the on-disk layout byte-for-byte
-// identical to the synchronous path.
+// flight to the storage backend, the writer keeps encoding into the other,
+// so heap and codec work overlap file I/O. Pages are appended strictly in
+// order from the single flusher goroutine, which keeps the stored layout
+// byte-for-byte identical to the synchronous path.
 type asyncFlusher struct {
 	ch   chan []byte   // filled pages awaiting write, capacity 1
 	free chan []byte   // recycled page buffers, capacity 2
@@ -21,29 +21,27 @@ type asyncFlusher struct {
 	err error // first write failure, surfaced on submit and close
 }
 
-// newAsyncFlusher starts a flusher writing sequentially to f from offset 0.
+// newAsyncFlusher starts a flusher appending blocks to w in submit order.
 // bufCap sizes the spare page buffer handed back on the first submit.
-func newAsyncFlusher(f vfs.File, bufCap int) *asyncFlusher {
+func newAsyncFlusher(w storage.BlockWriter, bufCap int) *asyncFlusher {
 	a := &asyncFlusher{
 		ch:   make(chan []byte, 1),
 		free: make(chan []byte, 2),
 		done: make(chan struct{}),
 	}
 	a.free <- make([]byte, 0, bufCap)
-	go a.run(f)
+	go a.run(w)
 	return a
 }
 
-func (a *asyncFlusher) run(f vfs.File) {
+func (a *asyncFlusher) run(w storage.BlockWriter) {
 	defer close(a.done)
-	var off int64
 	for b := range a.ch {
 		if a.getErr() == nil {
-			if _, err := f.WriteAt(b, off); err != nil {
+			if err := w.Append(b); err != nil {
 				a.setErr(err)
 			}
 		}
-		off += int64(len(b))
 		a.free <- b[:0]
 	}
 }

@@ -7,8 +7,8 @@ import (
 	"io"
 
 	"repro/internal/codec"
+	"repro/internal/storage"
 	"repro/internal/stream"
-	"repro/internal/vfs"
 )
 
 // backwardMagic identifies a backward-format file (Appendix A).
@@ -57,21 +57,24 @@ func backwardFileName(base string, i int) string { return fmt.Sprintf("%s.%d", b
 
 // BackwardWriter writes a stream of elements arriving in *descending* order
 // so that each file reads ascending front-to-back. Encoded bytes fill a
-// one-page buffer from its end; full pages are written at decreasing page
-// positions; when page 1 is reached a header is stamped on page 0 and the
-// next chain file is started. With a variable-width codec an element's
-// encoding may span pages and even files: the continuation bytes land at
-// the tail of the next chain file, which is exactly where an ascending read
-// (files in reverse creation order, each scanned forward) expects them.
+// one-page buffer from its end; full pages are handed to the storage
+// backend at decreasing page positions; when page 1 is reached a header is
+// stamped on page 0 and the next chain file is started. With a
+// variable-width codec an element's encoding may span pages and even files:
+// the continuation bytes land at the tail of the next chain file, which is
+// exactly where an ascending read (files in reverse creation order, each
+// scanned forward) expects them. How pages become bytes on the file system
+// — the historical in-place layout, or checksummed and compressed
+// fixed-size slots — is the backend's business (see internal/storage).
 type BackwardWriter[T any] struct {
-	fs           vfs.FS
+	st           storage.Backend
 	base         string
 	c            codec.Codec[T]
 	less         func(a, b T) bool
 	pageSize     int
 	pagesPerFile int
 
-	cur         vfs.File
+	cur         storage.PageWriter
 	curIndex    int
 	page        []byte
 	posInPage   int
@@ -90,7 +93,7 @@ type BackwardWriter[T any] struct {
 // pagesPerFile must leave room for the header page plus one data page. For
 // fixed-width codecs the page size must hold a whole number of elements,
 // preserving the historical non-spanning layout.
-func NewBackwardWriter[T any](fs vfs.FS, base string, pageSize, pagesPerFile int, c codec.Codec[T], less func(a, b T) bool) (*BackwardWriter[T], error) {
+func NewBackwardWriter[T any](st storage.Backend, base string, pageSize, pagesPerFile int, c codec.Codec[T], less func(a, b T) bool) (*BackwardWriter[T], error) {
 	if pageSize <= 0 {
 		pageSize = DefaultPageSize
 	}
@@ -107,7 +110,7 @@ func NewBackwardWriter[T any](fs vfs.FS, base string, pageSize, pagesPerFile int
 		return nil, fmt.Errorf("runio: pagesPerFile %d must be at least 2 (header + data)", pagesPerFile)
 	}
 	return &BackwardWriter[T]{
-		fs:           fs,
+		st:           st,
 		base:         base,
 		c:            c,
 		less:         less,
@@ -173,11 +176,11 @@ func (w *BackwardWriter[T]) WriteBatch(src []T) error {
 }
 
 func (w *BackwardWriter[T]) openNextFile() error {
-	f, err := w.fs.Create(backwardFileName(w.base, w.files))
+	pw, err := w.st.CreatePaged(backwardFileName(w.base, w.files), w.pageSize, w.pagesPerFile)
 	if err != nil {
 		return err
 	}
-	w.cur = f
+	w.cur = pw
 	w.curIndex = w.files
 	w.files++
 	w.pageIdx = w.pagesPerFile - 1
@@ -186,10 +189,10 @@ func (w *BackwardWriter[T]) openNextFile() error {
 	return nil
 }
 
-// flushPage writes the full page buffer at the current page position and,
-// when the file has no data pages left, finalizes it.
+// flushPage hands the full page buffer to the backend at the current page
+// position and, when the file has no data pages left, finalizes it.
 func (w *BackwardWriter[T]) flushPage() error {
-	if _, err := w.cur.WriteAt(w.page, int64(w.pageIdx)*int64(w.pageSize)); err != nil {
+	if err := w.cur.WritePage(w.pageIdx, w.page); err != nil {
 		return err
 	}
 	w.posInPage = w.pageSize
@@ -204,17 +207,18 @@ func (w *BackwardWriter[T]) flushPage() error {
 // write opens the following chain file.
 func (w *BackwardWriter[T]) finalizeFile() error {
 	startPage := w.pageIdx + 1
-	startPos := w.posInPage
-	if startPos == w.pageSize {
-		// Nothing pending in the buffer: data starts at the first flushed page.
-		startPos = 0
-	} else {
+	startPos := 0
+	if w.posInPage != w.pageSize {
 		// A partial page still sits in the buffer (only possible at Close):
-		// write it in place; data starts inside it.
-		if _, err := w.cur.WriteAt(w.page[w.posInPage:], int64(w.pageIdx)*int64(w.pageSize)+int64(w.posInPage)); err != nil {
+		// store it as this file's lowest page. The backend reports where an
+		// ascending read of that page must start (the raw layout
+		// right-aligns the tail in place; framed slots store exactly the
+		// payload and start at 0).
+		sp, err := w.cur.WriteTail(w.pageIdx, w.page[w.posInPage:])
+		if err != nil {
 			return err
 		}
-		startPage = w.pageIdx
+		startPage, startPos = w.pageIdx, sp
 	}
 	hdr := make([]byte, headerSize)
 	header{
@@ -225,7 +229,7 @@ func (w *BackwardWriter[T]) finalizeFile() error {
 		startPos:  uint32(startPos),
 		records:   w.fileRecords,
 	}.encode(hdr)
-	if _, err := w.cur.WriteAt(hdr, 0); err != nil {
+	if err := w.cur.WriteHeader(hdr); err != nil {
 		return err
 	}
 	err := w.cur.Close()
@@ -256,15 +260,13 @@ func (w *BackwardWriter[T]) Close() error {
 // position. Elements that span file boundaries are reassembled across the
 // transition.
 type BackwardReader[T any] struct {
-	fs       vfs.FS
+	st       storage.Backend
 	base     string
 	c        codec.Codec[T]
 	bufBytes int
 
 	nextFile int // next chain index to open, counting down; -1 when done
-	cur      vfs.File
-	off      int64
-	end      int64
+	cur      storage.PageReader
 	buf      []byte
 	have     int
 	pos      int
@@ -274,9 +276,9 @@ type BackwardReader[T any] struct {
 
 // NewBackwardReader opens a chain of `files` backward files under base.
 // bufBytes of 0 means DefaultPageSize.
-func NewBackwardReader[T any](fs vfs.FS, base string, files, bufBytes int, c codec.Codec[T]) (*BackwardReader[T], error) {
+func NewBackwardReader[T any](st storage.Backend, base string, files, bufBytes int, c codec.Codec[T]) (*BackwardReader[T], error) {
 	return &BackwardReader[T]{
-		fs:       fs,
+		st:       st,
 		base:     base,
 		c:        c,
 		bufBytes: bufSize(bufBytes, c.FixedSize()),
@@ -290,28 +292,30 @@ func (r *BackwardReader[T]) openNext() error {
 	if r.nextFile < 0 {
 		return io.EOF
 	}
-	f, err := r.fs.Open(backwardFileName(r.base, r.nextFile))
+	pr, err := r.st.OpenPaged(backwardFileName(r.base, r.nextFile))
 	if err != nil {
 		return err
 	}
 	hdrBuf := make([]byte, headerSize)
-	if _, err := f.ReadAt(hdrBuf, 0); err != nil && err != io.EOF {
-		f.Close()
+	if err := pr.ReadHeader(hdrBuf); err != nil {
+		pr.Close()
 		return err
 	}
 	hdr, err := decodeHeader(hdrBuf)
 	if err != nil {
-		f.Close()
+		pr.Close()
 		return err
 	}
 	if hdr.index != uint32(r.nextFile) {
-		f.Close()
+		pr.Close()
 		return fmt.Errorf("runio: backward file %s has index %d, want %d",
 			backwardFileName(r.base, r.nextFile), hdr.index, r.nextFile)
 	}
-	r.cur = f
-	r.off = int64(hdr.startPage)*int64(hdr.pageSize) + int64(hdr.startPos)
-	r.end = int64(hdr.pages) * int64(hdr.pageSize)
+	if err := pr.Seek(int(hdr.startPage), int(hdr.startPos), int(hdr.pageSize), int(hdr.pages)); err != nil {
+		pr.Close()
+		return err
+	}
+	r.cur = pr
 	if r.buf == nil {
 		r.buf = make([]byte, r.bufBytes)
 	}
@@ -347,23 +351,17 @@ func (r *BackwardReader[T]) Read() (T, error) {
 		if r.buf != nil && rem == len(r.buf) {
 			r.buf = append(r.buf, make([]byte, len(r.buf))...)
 		}
-		if r.cur != nil && r.off < r.end {
-			want := int64(len(r.buf) - r.have)
-			if remaining := r.end - r.off; remaining < want {
-				want = remaining
-			}
-			n, err := r.cur.ReadAt(r.buf[r.have:r.have+int(want)], r.off)
+		if r.cur != nil {
+			n, err := r.cur.Read(r.buf[r.have:])
 			if err != nil && err != io.EOF {
 				return zero, err
 			}
 			if n > 0 {
-				r.off += int64(n)
 				r.have += n
 				continue
 			}
-			// Short file (possible only for corrupt chains): fall through
-			// to the next file.
-			r.off = r.end
+			// Drained (or a short file in a corrupt chain): fall through to
+			// the next file.
 		}
 		if r.cur != nil {
 			if err := r.cur.Close(); err != nil {
@@ -401,9 +399,9 @@ func (r *BackwardReader[T]) Close() error {
 }
 
 // RemoveBackward deletes the files of a backward chain.
-func RemoveBackward(fs vfs.FS, base string, files int) error {
+func RemoveBackward(st storage.Backend, base string, files int) error {
 	for i := 0; i < files; i++ {
-		if err := fs.Remove(backwardFileName(base, i)); err != nil {
+		if err := st.Remove(backwardFileName(base, i)); err != nil {
 			return err
 		}
 	}

@@ -3,15 +3,18 @@ package runio
 import (
 	"repro/internal/codec"
 	"repro/internal/record"
+	"repro/internal/storage"
 	"repro/internal/vfs"
 )
 
 // Emitter centralises the parameters run-generation algorithms need to
-// create run files: the file system, a name allocator, the element codec
-// and comparator, and buffer/layout sizes.
+// create run files: the spill storage backend, a name allocator, the
+// element codec and comparator, and buffer/layout sizes.
 type Emitter[T any] struct {
-	// FS is where run files are created.
-	FS vfs.FS
+	// Store is the spill backend run files are written to and read from:
+	// the raw pass-through over a vfs.FS, or a framed backend with
+	// checksums, compression and tiering (see internal/storage).
+	Store storage.Backend
 	// Namer allocates unique file names.
 	Namer *Namer
 	// Codec encodes elements for storage.
@@ -22,7 +25,8 @@ type Emitter[T any] struct {
 	WriteBuf int
 	// PageSize and PagesPerFile configure the backward file format
 	// (0: defaults).
-	PageSize     int
+	PageSize int
+	// PagesPerFile is the backward chain file length in pages (0: default).
 	PagesPerFile int
 	// Async moves forward-writer page flushes onto a background goroutine
 	// (double-buffered), overlapping run-generation and merge CPU work with
@@ -31,9 +35,16 @@ type Emitter[T any] struct {
 	Async bool
 }
 
-// NewEmitter returns an Emitter with default sizes.
+// NewEmitter returns an Emitter with default sizes writing through the raw
+// (historical, pass-through) backend on fs.
 func NewEmitter[T any](fs vfs.FS, prefix string, c codec.Codec[T], less func(a, b T) bool) *Emitter[T] {
-	return &Emitter[T]{FS: fs, Namer: NewNamer(prefix), Codec: c, Less: less}
+	return NewEmitterOn[T](storage.NewRaw(fs), prefix, c, less)
+}
+
+// NewEmitterOn returns an Emitter with default sizes writing through the
+// given spill backend.
+func NewEmitterOn[T any](st storage.Backend, prefix string, c codec.Codec[T], less func(a, b T) bool) *Emitter[T] {
+	return &Emitter[T]{Store: st, Namer: NewNamer(prefix), Codec: c, Less: less}
 }
 
 // RecordEmitter returns an Emitter for the historical fixed 16-byte Record
@@ -55,7 +66,7 @@ func (e *Emitter[T]) Forward(role string) (string, *Writer[T], error) {
 // does not touch the Namer, so concurrent merge workers can use it with
 // pre-allocated names.
 func (e *Emitter[T]) NewWriter(name string, bufBytes int) (*Writer[T], error) {
-	w, err := NewWriter(e.FS, name, bufBytes, e.Codec, e.Less)
+	w, err := NewWriter(e.Store, name, bufBytes, e.Codec, e.Less)
 	if err != nil {
 		return nil, err
 	}
@@ -68,12 +79,12 @@ func (e *Emitter[T]) NewWriter(name string, bufBytes int) (*Writer[T], error) {
 // Backward creates a fresh backward (decreasing) stream.
 func (e *Emitter[T]) Backward(role string) (string, *BackwardWriter[T], error) {
 	name := e.Namer.Next(role)
-	w, err := NewBackwardWriter(e.FS, name, e.PageSize, e.PagesPerFile, e.Codec, e.Less)
+	w, err := NewBackwardWriter(e.Store, name, e.PageSize, e.PagesPerFile, e.Codec, e.Less)
 	return name, w, err
 }
 
 // Open returns an ascending reader over the run using the emitter's codec
 // and comparator.
 func (e *Emitter[T]) Open(r Run, bufBytes int) (ReadCloser[T], error) {
-	return OpenRun(e.FS, r, bufBytes, e.Codec, e.Less)
+	return OpenRun(e.Store, r, bufBytes, e.Codec, e.Less)
 }

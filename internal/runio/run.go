@@ -5,8 +5,8 @@ import (
 	"io"
 
 	"repro/internal/codec"
+	"repro/internal/storage"
 	"repro/internal/stream"
-	"repro/internal/vfs"
 )
 
 // Segment is one physical piece of a logical run: either a forward file or a
@@ -25,19 +25,19 @@ type Segment struct {
 
 // OpenSegment returns an ascending reader over the segment with the given
 // buffer size in bytes, decoding elements with c.
-func OpenSegment[T any](fs vfs.FS, s Segment, bufBytes int, c codec.Codec[T]) (ReadCloser[T], error) {
+func OpenSegment[T any](st storage.Backend, s Segment, bufBytes int, c codec.Codec[T]) (ReadCloser[T], error) {
 	if s.Backward {
-		return NewBackwardReader(fs, s.Name, s.Files, bufBytes, c)
+		return NewBackwardReader(st, s.Name, s.Files, bufBytes, c)
 	}
-	return NewReader(fs, s.Name, bufBytes, c)
+	return NewReader(st, s.Name, bufBytes, c)
 }
 
 // Remove deletes the segment's files.
-func (s Segment) Remove(fs vfs.FS) error {
+func (s Segment) Remove(st storage.Backend) error {
 	if s.Backward {
-		return RemoveBackward(fs, s.Name, s.Files)
+		return RemoveBackward(st, s.Name, s.Files)
 	}
-	return fs.Remove(s.Name)
+	return st.Remove(s.Name)
 }
 
 // Run is a logical sorted run: the ascending concatenation of its segments.
@@ -88,9 +88,9 @@ func SingleRun(name string, records int64) Run {
 // single sorted merge input either way. Because overlaps are narrow, the
 // interleaved read pattern still drains mostly one file at a time and stays
 // nearly sequential on disk.
-func OpenRun[T any](fs vfs.FS, r Run, bufBytes int, c codec.Codec[T], less func(a, b T) bool) (ReadCloser[T], error) {
+func OpenRun[T any](st storage.Backend, r Run, bufBytes int, c codec.Codec[T], less func(a, b T) bool) (ReadCloser[T], error) {
 	if r.Concatenable {
-		return &runReader[T]{fs: fs, c: c, segments: r.Segments, bufBytes: bufBytes}, nil
+		return &runReader[T]{st: st, c: c, segments: r.Segments, bufBytes: bufBytes}, nil
 	}
 	var open []ReadCloser[T]
 	nonEmpty := 0
@@ -100,7 +100,7 @@ func OpenRun[T any](fs vfs.FS, r Run, bufBytes int, c codec.Codec[T], less func(
 		}
 	}
 	if nonEmpty == 0 {
-		return &runReader[T]{fs: fs, c: c, bufBytes: bufBytes}, nil
+		return &runReader[T]{st: st, c: c, bufBytes: bufBytes}, nil
 	}
 	per := bufBytes / nonEmpty
 	if per < DefaultPageSize {
@@ -110,7 +110,7 @@ func OpenRun[T any](fs vfs.FS, r Run, bufBytes int, c codec.Codec[T], less func(
 		if s.Records == 0 {
 			continue
 		}
-		rc, err := OpenSegment(fs, s, per, c)
+		rc, err := OpenSegment(st, s, per, c)
 		if err != nil {
 			for _, o := range open {
 				o.Close()
@@ -123,12 +123,12 @@ func OpenRun[T any](fs vfs.FS, r Run, bufBytes int, c codec.Codec[T], less func(
 }
 
 // Remove deletes all files of the run.
-func (r Run) Remove(fs vfs.FS) error {
+func (r Run) Remove(st storage.Backend) error {
 	for _, s := range r.Segments {
 		if s.Records == 0 {
 			continue
 		}
-		if err := s.Remove(fs); err != nil {
+		if err := s.Remove(st); err != nil {
 			return err
 		}
 	}
@@ -138,7 +138,7 @@ func (r Run) Remove(fs vfs.FS) error {
 // runReader concatenates ascending reads of a run's segments, skipping
 // empty ones and opening at most one segment at a time.
 type runReader[T any] struct {
-	fs       vfs.FS
+	st       storage.Backend
 	c        codec.Codec[T]
 	segments []Segment
 	bufBytes int
@@ -159,7 +159,7 @@ func (r *runReader[T]) openNextSegment() error {
 	}
 	seg := r.segments[0]
 	r.segments = r.segments[1:]
-	cur, err := OpenSegment(r.fs, seg, r.bufBytes, r.c)
+	cur, err := OpenSegment(r.st, seg, r.bufBytes, r.c)
 	if err != nil {
 		return err
 	}

@@ -26,6 +26,12 @@
 // A Run is an ordered list of segments (forward or backward); opening a run
 // concatenates ascending reads of its segments, which is how the four 2WRS
 // output streams become one logical sorted run: rev(4) + 3 + rev(2) + 1.
+//
+// Both layouts reach the file system through a storage.Backend: the raw
+// backend reproduces the historical bytes exactly, while the block backend
+// adds per-block CRC32 checksums and optional compression, and a tiered
+// backend keeps runs in memory under a byte budget. runio deals in pages
+// and chain files; how those become bytes at rest is the backend's concern.
 package runio
 
 import (
@@ -34,8 +40,8 @@ import (
 	"io"
 
 	"repro/internal/codec"
+	"repro/internal/storage"
 	"repro/internal/stream"
-	"repro/internal/vfs"
 )
 
 // DefaultPageSize is the file-system page size assumed by the thesis (ext3).
@@ -70,32 +76,33 @@ func bufSize(bufBytes, fixed int) int {
 	return bufBytes
 }
 
-// Writer writes an ascending forward run to a single file through a
-// page-sized buffer. Flushing is synchronous by default; Async moves it to
-// a background goroutine so encoding overlaps file I/O.
+// Writer writes an ascending forward run through a page-sized buffer: each
+// full buffer becomes one block of the storage backend's stream (a plain
+// byte range on the raw backend, a checksummed — optionally compressed —
+// frame on the block backend). Flushing is synchronous by default; Async
+// moves it to a background goroutine so encoding overlaps file I/O.
 type Writer[T any] struct {
-	f      vfs.File
+	w      storage.BlockWriter
 	c      codec.Codec[T]
 	less   func(a, b T) bool
 	buf    []byte
 	target int
-	off    int64
 	count  int64
 	last   T
 	closed bool
 	async  *asyncFlusher
 }
 
-// NewWriter creates the named file on fs and returns a Writer with the given
-// buffer size in bytes (0 means DefaultPageSize), encoding elements with c
-// and validating write order with less.
-func NewWriter[T any](fs vfs.FS, name string, bufBytes int, c codec.Codec[T], less func(a, b T) bool) (*Writer[T], error) {
+// NewWriter creates the named spill stream on st and returns a Writer with
+// the given buffer size in bytes (0 means DefaultPageSize), encoding
+// elements with c and validating write order with less.
+func NewWriter[T any](st storage.Backend, name string, bufBytes int, c codec.Codec[T], less func(a, b T) bool) (*Writer[T], error) {
 	target := bufSize(bufBytes, c.FixedSize())
-	f, err := fs.Create(name)
+	w, err := st.Create(name)
 	if err != nil {
 		return nil, err
 	}
-	return &Writer[T]{f: f, c: c, less: less, buf: make([]byte, 0, target), target: target}, nil
+	return &Writer[T]{w: w, c: c, less: less, buf: make([]byte, 0, target), target: target}, nil
 }
 
 // Async moves page flushing onto a background goroutine behind a
@@ -104,7 +111,7 @@ func NewWriter[T any](fs vfs.FS, name string, bufBytes int, c codec.Codec[T], le
 // chaining. The byte layout produced is identical to the synchronous path.
 func (w *Writer[T]) Async() *Writer[T] {
 	if w.async == nil && !w.closed {
-		w.async = newAsyncFlusher(w.f, cap(w.buf))
+		w.async = newAsyncFlusher(w.w, cap(w.buf))
 	}
 	return w
 }
@@ -162,10 +169,9 @@ func (w *Writer[T]) flush() error {
 		w.buf = next
 		return nil
 	}
-	if _, err := w.f.WriteAt(w.buf, w.off); err != nil {
+	if err := w.w.Append(w.buf); err != nil {
 		return err
 	}
-	w.off += int64(len(w.buf))
 	w.buf = w.buf[:0]
 	return nil
 }
@@ -187,33 +193,32 @@ func (w *Writer[T]) Close() error {
 		}
 	}
 	if err != nil {
-		w.f.Close()
+		w.w.Close()
 		return err
 	}
-	return w.f.Close()
+	return w.w.Close()
 }
 
 // Reader reads a forward run sequentially through a buffer of the given
 // size.
 type Reader[T any] struct {
-	f      vfs.File
+	src    storage.BlockReader
 	c      codec.Codec[T]
 	buf    []byte
 	have   int // valid bytes in buf
 	pos    int // consumed bytes in buf
-	off    int64
 	eof    bool
 	closed bool
 }
 
-// NewReader opens the named forward run on fs with a read buffer of bufBytes
+// NewReader opens the named forward run on st with a read buffer of bufBytes
 // (0 means DefaultPageSize), decoding elements with c.
-func NewReader[T any](fs vfs.FS, name string, bufBytes int, c codec.Codec[T]) (*Reader[T], error) {
-	f, err := fs.Open(name)
+func NewReader[T any](st storage.Backend, name string, bufBytes int, c codec.Codec[T]) (*Reader[T], error) {
+	src, err := st.Open(name)
 	if err != nil {
 		return nil, err
 	}
-	return &Reader[T]{f: f, c: c, buf: make([]byte, bufSize(bufBytes, c.FixedSize()))}, nil
+	return &Reader[T]{src: src, c: c, buf: make([]byte, bufSize(bufBytes, c.FixedSize()))}, nil
 }
 
 // Read returns the next element or io.EOF.
@@ -299,22 +304,21 @@ func (r *Reader[T]) refill() error {
 	if rem == len(r.buf) {
 		r.buf = append(r.buf, make([]byte, len(r.buf))...)
 	}
-	n, err := r.f.ReadAt(r.buf[r.have:], r.off)
+	n, err := r.src.Read(r.buf[r.have:])
 	if err == io.EOF {
 		r.eof = true
 	} else if err != nil {
 		return err
 	}
-	r.off += int64(n)
 	r.have += n
 	return nil
 }
 
-// Close releases the underlying file.
+// Close releases the underlying stream.
 func (r *Reader[T]) Close() error {
 	if r.closed {
 		return stream.ErrClosed
 	}
 	r.closed = true
-	return r.f.Close()
+	return r.src.Close()
 }

@@ -9,12 +9,13 @@ import (
 
 	"repro/internal/codec"
 	"repro/internal/record"
+	"repro/internal/storage"
 	"repro/internal/vfs"
 )
 
 func writeForward(t *testing.T, fs vfs.FS, name string, keys []int64) {
 	t.Helper()
-	w, err := NewWriter(fs, name, 64, codec.Record16{}, record.Less)
+	w, err := NewWriter(storage.NewRaw(fs), name, 64, codec.Record16{}, record.Less)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestForwardRoundTrip(t *testing.T) {
 	fs := vfs.NewMemFS()
 	keys := []int64{1, 2, 2, 3, 10, 100}
 	writeForward(t, fs, "r1", keys)
-	r, err := NewReader(fs, "r1", 64, codec.Record16{})
+	r, err := NewReader(storage.NewRaw(fs), "r1", 64, codec.Record16{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestForwardRoundTrip(t *testing.T) {
 
 func TestForwardWriterRejectsOutOfOrder(t *testing.T) {
 	fs := vfs.NewMemFS()
-	w, _ := NewWriter(fs, "r", 0, codec.Record16{}, record.Less)
+	w, _ := NewWriter(storage.NewRaw(fs), "r", 0, codec.Record16{}, record.Less)
 	defer w.Close()
 	w.Write(record.Record{Key: 5})
 	err := w.Write(record.Record{Key: 4})
@@ -72,7 +73,7 @@ func TestForwardWriterRejectsOutOfOrder(t *testing.T) {
 
 func TestForwardWriterCount(t *testing.T) {
 	fs := vfs.NewMemFS()
-	w, _ := NewWriter(fs, "r", 0, codec.Record16{}, record.Less)
+	w, _ := NewWriter(storage.NewRaw(fs), "r", 0, codec.Record16{}, record.Less)
 	for i := 0; i < 7; i++ {
 		w.Write(record.Record{Key: int64(i)})
 	}
@@ -88,7 +89,7 @@ func TestForwardWriterCount(t *testing.T) {
 func TestForwardEmptyRun(t *testing.T) {
 	fs := vfs.NewMemFS()
 	writeForward(t, fs, "empty", nil)
-	r, err := NewReader(fs, "empty", 0, codec.Record16{})
+	r, err := NewReader(storage.NewRaw(fs), "empty", 0, codec.Record16{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestForwardEmptyRun(t *testing.T) {
 func TestForwardTinyBuffer(t *testing.T) {
 	// A 1-byte requested buffer must be rounded up to one record.
 	fs := vfs.NewMemFS()
-	w, err := NewWriter(fs, "r", 1, codec.Record16{}, record.Less)
+	w, err := NewWriter(storage.NewRaw(fs), "r", 1, codec.Record16{}, record.Less)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestForwardTinyBuffer(t *testing.T) {
 		}
 	}
 	w.Close()
-	r, err := NewReader(fs, "r", 1, codec.Record16{})
+	r, err := NewReader(storage.NewRaw(fs), "r", 1, codec.Record16{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestForwardTinyBuffer(t *testing.T) {
 
 func TestBackwardRoundTripSingleFile(t *testing.T) {
 	fs := vfs.NewMemFS()
-	w, err := NewBackwardWriter(fs, "b", 64, 4, codec.Record16{}, record.Less) // 4 records per page, 3 data pages
+	w, err := NewBackwardWriter(storage.NewRaw(fs), "b", 64, 4, codec.Record16{}, record.Less) // 4 records per page, 3 data pages
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestBackwardRoundTripSingleFile(t *testing.T) {
 	if w.Files() != 1 {
 		t.Fatalf("Files = %d, want 1", w.Files())
 	}
-	r, err := NewBackwardReader(fs, "b", w.Files(), 64, codec.Record16{})
+	r, err := NewBackwardReader(storage.NewRaw(fs), "b", w.Files(), 64, codec.Record16{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestBackwardRoundTripSingleFile(t *testing.T) {
 func TestBackwardRoundTripMultiFile(t *testing.T) {
 	fs := vfs.NewMemFS()
 	// 2 data pages x 4 records = 8 records per file; 30 records -> 4 files.
-	w, err := NewBackwardWriter(fs, "b", 64, 3, codec.Record16{}, record.Less)
+	w, err := NewBackwardWriter(storage.NewRaw(fs), "b", 64, 3, codec.Record16{}, record.Less)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +173,7 @@ func TestBackwardRoundTripMultiFile(t *testing.T) {
 	if w.Files() != 4 {
 		t.Fatalf("Files = %d, want 4", w.Files())
 	}
-	r, _ := NewBackwardReader(fs, "b", w.Files(), 64, codec.Record16{})
+	r, _ := NewBackwardReader(storage.NewRaw(fs), "b", w.Files(), 64, codec.Record16{})
 	got := readAllClosing(t, r)
 	if len(got) != 30 {
 		t.Fatalf("got %d records, want 30", len(got))
@@ -188,7 +189,7 @@ func TestBackwardRoundTripMultiFile(t *testing.T) {
 func TestBackwardExactlyFullFile(t *testing.T) {
 	fs := vfs.NewMemFS()
 	// Exactly one full file: 2 data pages x 4 records.
-	w, _ := NewBackwardWriter(fs, "b", 64, 3, codec.Record16{}, record.Less)
+	w, _ := NewBackwardWriter(storage.NewRaw(fs), "b", 64, 3, codec.Record16{}, record.Less)
 	for i := 7; i >= 0; i-- {
 		w.Write(record.Record{Key: int64(i)})
 	}
@@ -198,7 +199,7 @@ func TestBackwardExactlyFullFile(t *testing.T) {
 	if w.Files() != 1 {
 		t.Fatalf("Files = %d, want 1", w.Files())
 	}
-	r, _ := NewBackwardReader(fs, "b", 1, 0, codec.Record16{})
+	r, _ := NewBackwardReader(storage.NewRaw(fs), "b", 1, 0, codec.Record16{})
 	got := readAllClosing(t, r)
 	if len(got) != 8 || !record.IsSorted(got) {
 		t.Fatalf("full-file chain broken: %v", got)
@@ -207,14 +208,14 @@ func TestBackwardExactlyFullFile(t *testing.T) {
 
 func TestBackwardEmptyStream(t *testing.T) {
 	fs := vfs.NewMemFS()
-	w, _ := NewBackwardWriter(fs, "b", 64, 3, codec.Record16{}, record.Less)
+	w, _ := NewBackwardWriter(storage.NewRaw(fs), "b", 64, 3, codec.Record16{}, record.Less)
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
 	if w.Files() != 0 {
 		t.Fatalf("Files = %d, want 0", w.Files())
 	}
-	r, _ := NewBackwardReader(fs, "b", 0, 0, codec.Record16{})
+	r, _ := NewBackwardReader(storage.NewRaw(fs), "b", 0, 0, codec.Record16{})
 	if _, err := r.Read(); err != io.EOF {
 		t.Fatalf("empty chain read = %v, want io.EOF", err)
 	}
@@ -223,7 +224,7 @@ func TestBackwardEmptyStream(t *testing.T) {
 
 func TestBackwardWriterRejectsAscending(t *testing.T) {
 	fs := vfs.NewMemFS()
-	w, _ := NewBackwardWriter(fs, "b", 64, 3, codec.Record16{}, record.Less)
+	w, _ := NewBackwardWriter(storage.NewRaw(fs), "b", 64, 3, codec.Record16{}, record.Less)
 	w.Write(record.Record{Key: 5})
 	if err := w.Write(record.Record{Key: 6}); !errors.Is(err, ErrOutOfOrder) {
 		t.Fatalf("ascending write = %v, want ErrOutOfOrder", err)
@@ -232,17 +233,17 @@ func TestBackwardWriterRejectsAscending(t *testing.T) {
 
 func TestBackwardValidatesConfig(t *testing.T) {
 	fs := vfs.NewMemFS()
-	if _, err := NewBackwardWriter(fs, "b", 63, 3, codec.Record16{}, record.Less); err == nil {
+	if _, err := NewBackwardWriter(storage.NewRaw(fs), "b", 63, 3, codec.Record16{}, record.Less); err == nil {
 		t.Fatal("page size not multiple of record size should fail")
 	}
-	if _, err := NewBackwardWriter(fs, "b", 64, 1, codec.Record16{}, record.Less); err == nil {
+	if _, err := NewBackwardWriter(storage.NewRaw(fs), "b", 64, 1, codec.Record16{}, record.Less); err == nil {
 		t.Fatal("pagesPerFile < 2 should fail")
 	}
 }
 
 func TestBackwardHeaderCorruptionDetected(t *testing.T) {
 	fs := vfs.NewMemFS()
-	w, _ := NewBackwardWriter(fs, "b", 64, 3, codec.Record16{}, record.Less)
+	w, _ := NewBackwardWriter(storage.NewRaw(fs), "b", 64, 3, codec.Record16{}, record.Less)
 	for i := 5; i >= 0; i-- {
 		w.Write(record.Record{Key: int64(i)})
 	}
@@ -255,7 +256,7 @@ func TestBackwardHeaderCorruptionDetected(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	r, _ := NewBackwardReader(fs, "b", 1, 0, codec.Record16{})
+	r, _ := NewBackwardReader(storage.NewRaw(fs), "b", 1, 0, codec.Record16{})
 	if _, err := r.Read(); err == nil {
 		t.Fatal("corrupt header should fail the read")
 	}
@@ -270,7 +271,7 @@ func TestBackwardLargeRandomDescending(t *testing.T) {
 		keys[i] = rng.Int63n(1 << 40)
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] > keys[j] })
-	w, _ := NewBackwardWriter(fs, "b", 256, 5, codec.Record16{}, record.Less)
+	w, _ := NewBackwardWriter(storage.NewRaw(fs), "b", 256, 5, codec.Record16{}, record.Less)
 	for _, k := range keys {
 		if err := w.Write(record.Record{Key: k}); err != nil {
 			t.Fatal(err)
@@ -279,7 +280,7 @@ func TestBackwardLargeRandomDescending(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	r, _ := NewBackwardReader(fs, "b", w.Files(), 1024, codec.Record16{})
+	r, _ := NewBackwardReader(storage.NewRaw(fs), "b", w.Files(), 1024, codec.Record16{})
 	got := readAllClosing(t, r)
 	if len(got) != len(keys) {
 		t.Fatalf("got %d records, want %d", len(got), len(keys))
@@ -305,12 +306,12 @@ func TestBackwardLargeRandomDescending(t *testing.T) {
 
 func TestRemoveBackward(t *testing.T) {
 	fs := vfs.NewMemFS()
-	w, _ := NewBackwardWriter(fs, "b", 64, 3, codec.Record16{}, record.Less)
+	w, _ := NewBackwardWriter(storage.NewRaw(fs), "b", 64, 3, codec.Record16{}, record.Less)
 	for i := 20; i >= 0; i-- {
 		w.Write(record.Record{Key: int64(i)})
 	}
 	w.Close()
-	if err := RemoveBackward(fs, "b", w.Files()); err != nil {
+	if err := RemoveBackward(storage.NewRaw(fs), "b", w.Files()); err != nil {
 		t.Fatal(err)
 	}
 	names, _ := fs.Names()
@@ -324,13 +325,13 @@ func TestRunConcatenatesSegments(t *testing.T) {
 	// Build the four 2WRS streams of the §4.5 example shape:
 	// stream4 desc {38,37,36}, stream3 asc {39,40}, stream2 desc {51,50},
 	// stream1 asc {52,53,54}.
-	w4, _ := NewBackwardWriter(fs, "s4", 64, 3, codec.Record16{}, record.Less)
+	w4, _ := NewBackwardWriter(storage.NewRaw(fs), "s4", 64, 3, codec.Record16{}, record.Less)
 	for _, k := range []int64{38, 37, 36} {
 		w4.Write(record.Record{Key: k})
 	}
 	w4.Close()
 	writeForward(t, fs, "s3", []int64{39, 40})
-	w2, _ := NewBackwardWriter(fs, "s2", 64, 3, codec.Record16{}, record.Less)
+	w2, _ := NewBackwardWriter(storage.NewRaw(fs), "s2", 64, 3, codec.Record16{}, record.Less)
 	for _, k := range []int64{51, 50} {
 		w2.Write(record.Record{Key: k})
 	}
@@ -346,7 +347,7 @@ func TestRunConcatenatesSegments(t *testing.T) {
 		},
 		Records: 10,
 	}
-	r, err := OpenRun(fs, run, 256, codec.Record16{}, record.Less)
+	r, err := OpenRun(storage.NewRaw(fs), run, 256, codec.Record16{}, record.Less)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -373,7 +374,7 @@ func TestRunSkipsEmptySegments(t *testing.T) {
 		},
 		Records: 2,
 	}
-	r, _ := OpenRun(fs, run, 0, codec.Record16{}, record.Less)
+	r, _ := OpenRun(storage.NewRaw(fs), run, 0, codec.Record16{}, record.Less)
 	got := readAllClosing(t, r)
 	if len(got) != 2 {
 		t.Fatalf("got %d records, want 2", len(got))
@@ -383,7 +384,7 @@ func TestRunSkipsEmptySegments(t *testing.T) {
 func TestRunRemove(t *testing.T) {
 	fs := vfs.NewMemFS()
 	writeForward(t, fs, "s1", []int64{1})
-	w, _ := NewBackwardWriter(fs, "s4", 64, 3, codec.Record16{}, record.Less)
+	w, _ := NewBackwardWriter(storage.NewRaw(fs), "s4", 64, 3, codec.Record16{}, record.Less)
 	w.Write(record.Record{Key: 0})
 	w.Close()
 	run := Run{Segments: []Segment{
@@ -391,7 +392,7 @@ func TestRunRemove(t *testing.T) {
 		{Name: "s1", Records: 1},
 		{Name: "ghost", Records: 0}, // empty segments have no files
 	}}
-	if err := run.Remove(fs); err != nil {
+	if err := run.Remove(storage.NewRaw(fs)); err != nil {
 		t.Fatal(err)
 	}
 	names, _ := fs.Names()
@@ -419,7 +420,7 @@ func TestNamerUniqueNames(t *testing.T) {
 func TestReaderClosedSemantics(t *testing.T) {
 	fs := vfs.NewMemFS()
 	writeForward(t, fs, "r", []int64{1})
-	r, _ := NewReader(fs, "r", 0, codec.Record16{})
+	r, _ := NewReader(storage.NewRaw(fs), "r", 0, codec.Record16{})
 	r.Close()
 	if _, err := r.Read(); err != record.ErrClosed {
 		t.Fatalf("read after close = %v, want ErrClosed", err)
@@ -441,7 +442,7 @@ func TestBatchReadMatchesElementRead(t *testing.T) {
 	}
 	writeForward(t, fs, "bf", fwdKeys)
 	// Backward chain spanning several files.
-	wb, err := NewBackwardWriter(fs, "bb", 64, 3, codec.Record16{}, record.Less)
+	wb, err := NewBackwardWriter(storage.NewRaw(fs), "bb", 64, 3, codec.Record16{}, record.Less)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -467,14 +468,14 @@ func TestBatchReadMatchesElementRead(t *testing.T) {
 	for _, concat := range []bool{true, false} {
 		run.Concatenable = concat
 		// Element-at-a-time reference.
-		r1, err := OpenRun(fs, run, 256, codec.Record16{}, record.Less)
+		r1, err := OpenRun(storage.NewRaw(fs), run, 256, codec.Record16{}, record.Less)
 		if err != nil {
 			t.Fatal(err)
 		}
 		want := readAllClosing(t, r1)
 
 		for _, batch := range []int{1, 7, 256, 2048} {
-			r2, err := OpenRun(fs, run, 256, codec.Record16{}, record.Less)
+			r2, err := OpenRun(storage.NewRaw(fs), run, 256, codec.Record16{}, record.Less)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -526,7 +527,7 @@ func TestWriteBatchMatchesWrite(t *testing.T) {
 		return keys
 	}())
 
-	w, err := NewWriter(fs, "ba", 64, codec.Record16{}, record.Less)
+	w, err := NewWriter(storage.NewRaw(fs), "ba", 64, codec.Record16{}, record.Less)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -559,7 +560,7 @@ func TestWriteBatchMatchesWrite(t *testing.T) {
 	}
 	// The Aux fields differ between the helpers, so compare structure by
 	// re-reading rather than raw bytes.
-	ra, _ := NewReader(fs, "ba", 0, codec.Record16{})
+	ra, _ := NewReader(storage.NewRaw(fs), "ba", 0, codec.Record16{})
 	got := readAllClosing(t, ra)
 	if len(got) != len(recs) {
 		t.Fatalf("got %d records, want %d", len(got), len(recs))
@@ -574,7 +575,7 @@ func TestWriteBatchMatchesWrite(t *testing.T) {
 // TestWriteBatchRejectsOutOfOrder mirrors the element-path validation.
 func TestWriteBatchRejectsOutOfOrder(t *testing.T) {
 	fs := vfs.NewMemFS()
-	w, err := NewWriter(fs, "oo", 0, codec.Record16{}, record.Less)
+	w, err := NewWriter(storage.NewRaw(fs), "oo", 0, codec.Record16{}, record.Less)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -589,7 +590,7 @@ func TestWriteBatchRejectsOutOfOrder(t *testing.T) {
 // flusher directly: many small flushes, then a read-back.
 func TestAsyncWriterRoundTrip(t *testing.T) {
 	fs := vfs.NewMemFS()
-	w, err := NewWriter(fs, "as", 64, codec.Record16{}, record.Less)
+	w, err := NewWriter(storage.NewRaw(fs), "as", 64, codec.Record16{}, record.Less)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -603,7 +604,7 @@ func TestAsyncWriterRoundTrip(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	r, err := NewReader(fs, "as", 0, codec.Record16{})
+	r, err := NewReader(storage.NewRaw(fs), "as", 0, codec.Record16{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/codec"
+	"repro/internal/storage"
 	"repro/internal/stream"
 	"repro/internal/vfs"
 )
@@ -13,12 +14,15 @@ import (
 // FuzzVarWidthRoundTrip drives the length-prefixed variable-width codec
 // through both on-disk layouts with tiny pages (64 bytes; 3-page backward
 // chain files, i.e. one header plus two data pages), so fuzz-chosen element
-// lengths constantly straddle page and chain-file boundaries. Each input
-// byte contributes one element whose payload length is that byte's value
-// (0–255): a page can hold several elements, an element can span several
-// pages, and the chain can grow to many files. The property is the codec
-// contract itself — whatever lengths the fuzzer picks, both layouts must
-// return exactly the elements written, in ascending order.
+// lengths constantly straddle page and chain-file boundaries — and through
+// every storage backend, so the same boundary-spanning streams also cross
+// checksummed, compressed block frames and the fixed-slot paged layout.
+// Each input byte contributes one element whose payload length is that
+// byte's value (0–255): a page can hold several elements, an element can
+// span several pages, and the chain can grow to many files. The property is
+// the codec contract itself — whatever lengths the fuzzer picks and
+// whatever framing stores them, both layouts must return exactly the
+// elements written, in ascending order, with zero verification failures.
 func FuzzVarWidthRoundTrip(f *testing.F) {
 	f.Add([]byte{0, 1, 2})
 	f.Add([]byte{63, 64, 65})    // straddle one 64-byte page exactly
@@ -50,54 +54,64 @@ func FuzzVarWidthRoundTrip(f *testing.F) {
 			}
 		}
 
-		// Forward layout: ascending writes, ascending reads.
-		fs := vfs.NewMemFS()
-		w, err := NewWriter(fs, "f", 64, codec.Bytes{}, asc)
-		if err != nil {
-			t.Fatal(err)
-		}
-		for _, v := range vals {
-			if err := w.Write(v); err != nil {
+		for _, comp := range []string{"raw", "none", "flate", "gzip"} {
+			st, err := storage.New(vfs.NewMemFS(), storage.Config{Compression: comp})
+			if err != nil {
 				t.Fatal(err)
 			}
-		}
-		if err := w.Close(); err != nil {
-			t.Fatal(err)
-		}
-		r, err := NewReader(fs, "f", 64, codec.Bytes{})
-		if err != nil {
-			t.Fatal(err)
-		}
-		got, err := stream.ReadAll[[]byte](r)
-		if err != nil {
-			t.Fatal(err)
-		}
-		r.Close()
-		check("forward", got)
 
-		// Backward layout: descending writes through the tail-first chain,
-		// ascending reads across the file transitions.
-		bw, err := NewBackwardWriter(fs, "b", 64, 3, codec.Bytes{}, asc)
-		if err != nil {
-			t.Fatal(err)
-		}
-		for i := len(vals) - 1; i >= 0; i-- {
-			if err := bw.Write(vals[i]); err != nil {
+			// Forward layout: ascending writes, ascending reads.
+			w, err := NewWriter(st, "f", 64, codec.Bytes{}, asc)
+			if err != nil {
 				t.Fatal(err)
 			}
+			for _, v := range vals {
+				if err := w.Write(v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			r, err := NewReader(st, "f", 64, codec.Bytes{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := stream.ReadAll[[]byte](r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r.Close()
+			check(comp+"/forward", got)
+
+			// Backward layout: descending writes through the tail-first chain,
+			// ascending reads across the file transitions.
+			bw, err := NewBackwardWriter(st, "b", 64, 3, codec.Bytes{}, asc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := len(vals) - 1; i >= 0; i-- {
+				if err := bw.Write(vals[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := bw.Close(); err != nil {
+				t.Fatal(err)
+			}
+			br, err := NewBackwardReader(st, "b", bw.Files(), 64, codec.Bytes{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err = stream.ReadAll[[]byte](br)
+			if err != nil {
+				t.Fatal(err)
+			}
+			br.Close()
+			check(comp+"/backward", got)
+
+			if vf := st.Stats().VerifyFailures; vf != 0 {
+				t.Fatalf("%s: %d verify failures on clean round trip", comp, vf)
+			}
 		}
-		if err := bw.Close(); err != nil {
-			t.Fatal(err)
-		}
-		br, err := NewBackwardReader(fs, "b", bw.Files(), 64, codec.Bytes{})
-		if err != nil {
-			t.Fatal(err)
-		}
-		got, err = stream.ReadAll[[]byte](br)
-		if err != nil {
-			t.Fatal(err)
-		}
-		br.Close()
-		check("backward", got)
 	})
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/codec"
+	"repro/internal/storage"
 	"repro/internal/stream"
 	"repro/internal/vfs"
 )
@@ -36,7 +37,7 @@ func TestForwardVarWidthRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	vals := randomStrings(2000, rng)
 	sort.Strings(vals)
-	w, err := NewWriter(fs, "s", 64, codec.String{}, lessStr)
+	w, err := NewWriter(storage.NewRaw(fs), "s", 64, codec.String{}, lessStr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestForwardVarWidthRoundTrip(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	r, err := NewReader(fs, "s", 64, codec.String{})
+	r, err := NewReader(storage.NewRaw(fs), "s", 64, codec.String{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestBackwardVarWidthSpanningPagesAndFiles(t *testing.T) {
 	vals := randomStrings(500, rng)
 	sort.Sort(sort.Reverse(sort.StringSlice(vals)))
 
-	w, err := NewBackwardWriter(fs, "b", 64, 3, codec.String{}, lessStr)
+	w, err := NewBackwardWriter(storage.NewRaw(fs), "b", 64, 3, codec.String{}, lessStr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestBackwardVarWidthSpanningPagesAndFiles(t *testing.T) {
 		t.Fatalf("expected a multi-file chain, got %d files", w.Files())
 	}
 
-	r, err := NewBackwardReader(fs, "b", w.Files(), 64, codec.String{})
+	r, err := NewBackwardReader(storage.NewRaw(fs), "b", w.Files(), 64, codec.String{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestBackwardVarWidthElementLargerThanBuffer(t *testing.T) {
 	fs := vfs.NewMemFS()
 	huge := strings.Repeat("z", 700) // spans multiple 3-page 64-byte files
 	vals := []string{huge, "m", "a"}
-	w, err := NewBackwardWriter(fs, "b", 64, 3, codec.String{}, lessStr)
+	w, err := NewBackwardWriter(storage.NewRaw(fs), "b", 64, 3, codec.String{}, lessStr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestBackwardVarWidthElementLargerThanBuffer(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	r, err := NewBackwardReader(fs, "b", w.Files(), 64, codec.String{})
+	r, err := NewBackwardReader(storage.NewRaw(fs), "b", w.Files(), 64, codec.String{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,12 +150,12 @@ func TestBackwardVarWidthElementLargerThanBuffer(t *testing.T) {
 
 func TestVarWidthRunConcatenation(t *testing.T) {
 	fs := vfs.NewMemFS()
-	w4, _ := NewBackwardWriter(fs, "s4", 64, 3, codec.String{}, lessStr)
+	w4, _ := NewBackwardWriter(storage.NewRaw(fs), "s4", 64, 3, codec.String{}, lessStr)
 	for _, v := range []string{"cc", "bb", "aa"} {
 		w4.Write(v)
 	}
 	w4.Close()
-	wf, _ := NewWriter(fs, "s1", 64, codec.String{}, lessStr)
+	wf, _ := NewWriter(storage.NewRaw(fs), "s1", 64, codec.String{}, lessStr)
 	for _, v := range []string{"dd", "ee"} {
 		wf.Write(v)
 	}
@@ -167,7 +168,7 @@ func TestVarWidthRunConcatenation(t *testing.T) {
 		Records:      5,
 		Concatenable: true,
 	}
-	r, err := OpenRun(fs, run, 256, codec.String{}, lessStr)
+	r, err := OpenRun(storage.NewRaw(fs), run, 256, codec.String{}, lessStr)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,449 @@
+package storage
+
+import (
+	"bytes"
+	"compress/flate"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/vfs"
+)
+
+// blockMagic identifies a block frame ("2WSB": two-way sort block).
+const blockMagic = 0x42535732
+
+// frameSize is the fixed length of a block frame header:
+//
+//	magic   uint32  frame marker
+//	codec   uint8   payload codec of this block (stored, flate, gzip)
+//	_       [3]byte reserved, zero
+//	rawLen  uint32  payload length before compression
+//	compLen uint32  payload length as stored (== rawLen for stored blocks)
+//	crc32   uint32  IEEE CRC of the *uncompressed* payload
+const frameSize = 20
+
+// Per-block payload codec ids. A compressing backend falls back to
+// codecStored per block when compression would not shrink the payload, so
+// compLen never exceeds rawLen and incompressible data costs only the frame.
+const (
+	codecStored = 0
+	codecFlate  = 1
+	codecGzip   = 2
+)
+
+// maxBlockLen bounds the payload lengths a frame may claim, so a corrupt
+// frame cannot drive a giant allocation.
+const maxBlockLen = 1 << 30
+
+// frame is the decoded form of a block frame header.
+type frame struct {
+	codec   byte
+	rawLen  int
+	compLen int
+	crc     uint32
+}
+
+func encodeFrame(dst []byte, f frame) {
+	binary.LittleEndian.PutUint32(dst[0:4], blockMagic)
+	dst[4] = f.codec
+	dst[5], dst[6], dst[7] = 0, 0, 0
+	binary.LittleEndian.PutUint32(dst[8:12], uint32(f.rawLen))
+	binary.LittleEndian.PutUint32(dst[12:16], uint32(f.compLen))
+	binary.LittleEndian.PutUint32(dst[16:20], f.crc)
+}
+
+func decodeFrame(src []byte) (frame, error) {
+	if m := binary.LittleEndian.Uint32(src[0:4]); m != blockMagic {
+		return frame{}, fmt.Errorf("%w: bad magic %#x", ErrCorrupt, m)
+	}
+	f := frame{
+		codec:   src[4],
+		rawLen:  int(binary.LittleEndian.Uint32(src[8:12])),
+		compLen: int(binary.LittleEndian.Uint32(src[12:16])),
+		crc:     binary.LittleEndian.Uint32(src[16:20]),
+	}
+	if f.codec > codecGzip {
+		return frame{}, fmt.Errorf("%w: unknown payload codec %d", ErrCorrupt, f.codec)
+	}
+	if f.rawLen < 0 || f.rawLen > maxBlockLen || f.compLen < 0 || f.compLen > f.rawLen {
+		return frame{}, fmt.Errorf("%w: implausible lengths raw=%d comp=%d", ErrCorrupt, f.rawLen, f.compLen)
+	}
+	if f.codec == codecStored && f.compLen != f.rawLen {
+		return frame{}, fmt.Errorf("%w: stored block with comp=%d != raw=%d", ErrCorrupt, f.compLen, f.rawLen)
+	}
+	return f, nil
+}
+
+// compressor turns payloads into (codec, bytes) pairs, reusing one flate or
+// gzip encoder across the blocks of a single writer.
+type compressor struct {
+	comp Compression
+	buf  bytes.Buffer
+	fw   *flate.Writer
+	gw   *gzip.Writer
+}
+
+// compress encodes p per the backend's compression, falling back to a
+// stored block when compression would not shrink it. The returned slice is
+// only valid until the next call.
+func (c *compressor) compress(p []byte) (byte, []byte, error) {
+	if c.comp == None {
+		return codecStored, p, nil
+	}
+	c.buf.Reset()
+	switch c.comp {
+	case Flate:
+		if c.fw == nil {
+			fw, err := flate.NewWriter(&c.buf, flate.BestSpeed)
+			if err != nil {
+				return 0, nil, err
+			}
+			c.fw = fw
+		} else {
+			c.fw.Reset(&c.buf)
+		}
+		if _, err := c.fw.Write(p); err != nil {
+			return 0, nil, err
+		}
+		if err := c.fw.Close(); err != nil {
+			return 0, nil, err
+		}
+		if c.buf.Len() >= len(p) {
+			return codecStored, p, nil
+		}
+		return codecFlate, c.buf.Bytes(), nil
+	case Gzip:
+		if c.gw == nil {
+			gw, err := gzip.NewWriterLevel(&c.buf, gzip.BestSpeed)
+			if err != nil {
+				return 0, nil, err
+			}
+			c.gw = gw
+		} else {
+			c.gw.Reset(&c.buf)
+		}
+		if _, err := c.gw.Write(p); err != nil {
+			return 0, nil, err
+		}
+		if err := c.gw.Close(); err != nil {
+			return 0, nil, err
+		}
+		if c.buf.Len() >= len(p) {
+			return codecStored, p, nil
+		}
+		return codecGzip, c.buf.Bytes(), nil
+	}
+	return 0, nil, fmt.Errorf("storage: compressor for %q", c.comp)
+}
+
+// decompressor inflates block payloads, reusing decoders and the output
+// buffer across the blocks of a single reader.
+type decompressor struct {
+	fr  io.ReadCloser
+	gr  *gzip.Reader
+	out []byte
+}
+
+// decompress returns the raw payload of a block, valid until the next call.
+func (d *decompressor) decompress(f frame, comp []byte) ([]byte, error) {
+	if f.codec == codecStored {
+		return comp, nil
+	}
+	if cap(d.out) < f.rawLen {
+		d.out = make([]byte, f.rawLen)
+	}
+	d.out = d.out[:f.rawLen]
+	var src io.Reader
+	switch f.codec {
+	case codecFlate:
+		if d.fr == nil {
+			d.fr = flate.NewReader(bytes.NewReader(comp)).(io.ReadCloser)
+		} else if err := d.fr.(flate.Resetter).Reset(bytes.NewReader(comp), nil); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		src = d.fr
+	case codecGzip:
+		br := bytes.NewReader(comp)
+		if d.gr == nil {
+			gr, err := gzip.NewReader(br)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+			d.gr = gr
+		} else if err := d.gr.Reset(br); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		src = d.gr
+	}
+	if _, err := io.ReadFull(src, d.out); err != nil {
+		return nil, fmt.Errorf("%w: payload inflates short: %v", ErrCorrupt, err)
+	}
+	return d.out, nil
+}
+
+// blockBackend frames every page in a self-describing, CRC32-checksummed
+// block, optionally compressed. Forward streams are frame concatenations;
+// paged files give every page a fixed-size slot so the tail-first write
+// pattern of the backward format keeps working with variable compressed
+// sizes.
+type blockBackend struct {
+	fs   vfs.FS
+	comp Compression
+	c    *counters
+	desc string
+}
+
+func (b *blockBackend) String() string { return b.desc }
+
+func (b *blockBackend) Stats() IOStats { return b.c.snapshot() }
+
+func (b *blockBackend) Remove(name string) error { return b.fs.Remove(name) }
+
+func (b *blockBackend) Names() ([]string, error) { return b.fs.Names() }
+
+func (b *blockBackend) Create(name string) (BlockWriter, error) {
+	f, err := b.fs.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &blockWriter{f: f, c: b.c, z: compressor{comp: b.comp}}, nil
+}
+
+func (b *blockBackend) Open(name string) (BlockReader, error) {
+	f, err := b.fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &blockReader{f: f, c: b.c}, nil
+}
+
+func (b *blockBackend) CreatePaged(name string, pageSize, pages int) (PageWriter, error) {
+	f, err := b.fs.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &blockPageWriter{f: f, c: b.c, z: compressor{comp: b.comp}, slot: int64(frameSize + pageSize)}, nil
+}
+
+func (b *blockBackend) OpenPaged(name string) (PageReader, error) {
+	f, err := b.fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &blockPageReader{f: f, c: b.c}, nil
+}
+
+// writeBlock frames, checksums and writes one payload at off, returning the
+// stored length.
+func writeBlock(f vfs.File, z *compressor, c *counters, p []byte, off int64) (int, error) {
+	codec, comp, err := z.compress(p)
+	if err != nil {
+		return 0, err
+	}
+	var hdr [frameSize]byte
+	encodeFrame(hdr[:], frame{codec: codec, rawLen: len(p), compLen: len(comp), crc: crc32.ChecksumIEEE(p)})
+	if _, err := f.WriteAt(hdr[:], off); err != nil {
+		return 0, err
+	}
+	if _, err := f.WriteAt(comp, off+frameSize); err != nil {
+		return 0, err
+	}
+	stored := frameSize + len(comp)
+	c.wrote(int64(len(p)), int64(stored))
+	return stored, nil
+}
+
+// readBlock reads, verifies and inflates the block at off. It returns
+// (nil, 0, io.EOF) at a clean end of file.
+func readBlock(f vfs.File, z *decompressor, c *counters, compBuf *[]byte, off int64) (payload []byte, stored int, err error) {
+	var hdr [frameSize]byte
+	n, err := f.ReadAt(hdr[:], off)
+	if n == 0 && err == io.EOF {
+		return nil, 0, io.EOF
+	}
+	if n < frameSize {
+		c.verifyFailures.Add(1)
+		return nil, 0, fmt.Errorf("%w: truncated frame (%d of %d bytes)", ErrCorrupt, n, frameSize)
+	}
+	fr, err := decodeFrame(hdr[:])
+	if err != nil {
+		c.verifyFailures.Add(1)
+		return nil, 0, err
+	}
+	if cap(*compBuf) < fr.compLen {
+		*compBuf = make([]byte, fr.compLen)
+	}
+	comp := (*compBuf)[:fr.compLen]
+	if n, err := f.ReadAt(comp, off+frameSize); n < fr.compLen {
+		c.verifyFailures.Add(1)
+		return nil, 0, fmt.Errorf("%w: truncated payload (%d of %d bytes, read error %v)", ErrCorrupt, n, fr.compLen, err)
+	}
+	raw, err := z.decompress(fr, comp)
+	if err != nil {
+		c.verifyFailures.Add(1)
+		return nil, 0, err
+	}
+	if got := crc32.ChecksumIEEE(raw); got != fr.crc {
+		c.verifyFailures.Add(1)
+		return nil, 0, fmt.Errorf("%w: crc %#x, frame says %#x", ErrChecksum, got, fr.crc)
+	}
+	stored = frameSize + fr.compLen
+	c.read(int64(fr.rawLen), int64(stored))
+	return raw, stored, nil
+}
+
+// blockWriter appends framed blocks back to back.
+type blockWriter struct {
+	f   vfs.File
+	c   *counters
+	z   compressor
+	off int64
+}
+
+func (w *blockWriter) Append(p []byte) error {
+	stored, err := writeBlock(w.f, &w.z, w.c, p, w.off)
+	if err != nil {
+		return err
+	}
+	w.off += int64(stored)
+	return nil
+}
+
+func (w *blockWriter) Close() error { return w.f.Close() }
+
+// blockReader walks a frame concatenation, serving verified payloads.
+type blockReader struct {
+	f       vfs.File
+	c       *counters
+	z       decompressor
+	compBuf []byte
+	payload []byte
+	pos     int
+	off     int64
+	eof     bool
+}
+
+func (r *blockReader) Read(p []byte) (int, error) {
+	for r.pos >= len(r.payload) {
+		if r.eof {
+			return 0, io.EOF
+		}
+		raw, stored, err := readBlock(r.f, &r.z, r.c, &r.compBuf, r.off)
+		if err == io.EOF {
+			r.eof = true
+			continue
+		}
+		if err != nil {
+			return 0, err
+		}
+		// The payload buffer is owned by the decompressor (or compBuf for
+		// stored blocks) and stays valid until the next readBlock.
+		r.payload, r.pos = raw, 0
+		r.off += int64(stored)
+	}
+	n := copy(p, r.payload[r.pos:])
+	r.pos += n
+	return n, nil
+}
+
+func (r *blockReader) Close() error { return r.f.Close() }
+
+// blockPageWriter gives page i the fixed slot [i*(frameSize+pageSize), …):
+// offsets stay computable for the tail-first write pattern while each slot
+// holds a frame plus at most pageSize of (possibly compressed) payload.
+// Slot 0 carries the raw chain header, as page 0 does in the raw layout.
+type blockPageWriter struct {
+	f    vfs.File
+	c    *counters
+	z    compressor
+	slot int64
+}
+
+func (w *blockPageWriter) WritePage(idx int, page []byte) error {
+	_, err := writeBlock(w.f, &w.z, w.c, page, int64(idx)*w.slot)
+	return err
+}
+
+func (w *blockPageWriter) WriteTail(idx int, payload []byte) (int, error) {
+	// Framed slots store exactly the payload: an ascending read starts at
+	// its first byte, so the start position is always 0.
+	_, err := writeBlock(w.f, &w.z, w.c, payload, int64(idx)*w.slot)
+	return 0, err
+}
+
+func (w *blockPageWriter) WriteHeader(hdr []byte) error {
+	if _, err := w.f.WriteAt(hdr, 0); err != nil {
+		return err
+	}
+	w.c.wrote(int64(len(hdr)), int64(len(hdr)))
+	return nil
+}
+
+func (w *blockPageWriter) Close() error { return w.f.Close() }
+
+// blockPageReader streams slot payloads from the start page to the last.
+type blockPageReader struct {
+	f       vfs.File
+	c       *counters
+	z       decompressor
+	compBuf []byte
+	payload []byte
+	pos     int
+	slot    int64
+	next    int
+	last    int
+	skip    int
+	seeked  bool
+}
+
+func (r *blockPageReader) ReadHeader(p []byte) error {
+	n, err := r.f.ReadAt(p, 0)
+	if err != nil && err != io.EOF {
+		return err
+	}
+	if n < len(p) {
+		return fmt.Errorf("%w: short header (%d of %d bytes)", ErrCorrupt, n, len(p))
+	}
+	r.c.read(int64(len(p)), int64(len(p)))
+	return nil
+}
+
+func (r *blockPageReader) Seek(startPage, startPos, pageSize, pages int) error {
+	r.slot = int64(frameSize + pageSize)
+	r.next = startPage
+	r.last = pages - 1
+	r.skip = startPos
+	r.seeked = true
+	return nil
+}
+
+func (r *blockPageReader) Read(p []byte) (int, error) {
+	if !r.seeked {
+		return 0, fmt.Errorf("storage: paged read before Seek")
+	}
+	for r.pos >= len(r.payload) {
+		if r.next > r.last {
+			return 0, io.EOF
+		}
+		raw, _, err := readBlock(r.f, &r.z, r.c, &r.compBuf, int64(r.next)*r.slot)
+		if err == io.EOF {
+			// Short physical file: tolerate like the raw layout and end the
+			// chain file here.
+			return 0, io.EOF
+		}
+		if err != nil {
+			return 0, err
+		}
+		r.next++
+		r.payload, r.pos = raw, r.skip
+		r.skip = 0
+	}
+	n := copy(p, r.payload[r.pos:])
+	r.pos += n
+	return n, nil
+}
+
+func (r *blockPageReader) Close() error { return r.f.Close() }

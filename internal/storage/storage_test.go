@@ -1,0 +1,403 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+// compressions lists every framed mode (everything but Raw).
+var compressions = []Compression{None, Flate, Gzip}
+
+// all lists every backend mode.
+var all = []Compression{Raw, None, Flate, Gzip}
+
+func mustBackend(t *testing.T, fs vfs.FS, cfg Config) Backend {
+	t.Helper()
+	b, err := New(fs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestParseCompression(t *testing.T) {
+	for in, want := range map[string]Compression{
+		"": Raw, "raw": Raw, "none": None, "flate": Flate, "deflate": Flate,
+		"gzip": Gzip, "gz": Gzip, "FLATE": Flate,
+	} {
+		got, err := ParseCompression(in)
+		if err != nil || got != want {
+			t.Errorf("ParseCompression(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseCompression("zstd"); err == nil {
+		t.Error("ParseCompression(zstd) should fail")
+	}
+	if _, err := New(vfs.NewMemFS(), Config{Compression: "bogus"}); err == nil {
+		t.Error("New with bogus compression should fail")
+	}
+	if _, err := New(vfs.NewMemFS(), Config{MemoryBudgetBytes: -1}); err == nil {
+		t.Error("New with negative budget should fail")
+	}
+}
+
+// dupPayload is highly compressible; randPayload is not.
+func dupPayload(n int) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte(i % 16)
+	}
+	return p
+}
+
+func randPayload(n int, seed int64) []byte {
+	p := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(p)
+	return p
+}
+
+func TestForwardStreamRoundTrip(t *testing.T) {
+	for _, comp := range all {
+		t.Run(string(comp), func(t *testing.T) {
+			fs := vfs.NewMemFS()
+			b := mustBackend(t, fs, Config{Compression: string(comp)})
+			blocks := [][]byte{dupPayload(4096), randPayload(4096, 1), dupPayload(100), randPayload(7, 2)}
+			w, err := b.Create("f")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want []byte
+			for _, blk := range blocks {
+				if err := w.Append(blk); err != nil {
+					t.Fatal(err)
+				}
+				want = append(want, blk...)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			r, err := b.Open("f")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := io.ReadAll(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("round trip lost bytes: got %d, want %d", len(got), len(want))
+			}
+			st := b.Stats()
+			if st.RawBytesWritten != int64(len(want)) || st.RawBytesRead != int64(len(want)) {
+				t.Fatalf("raw accounting: wrote %d read %d, want %d", st.RawBytesWritten, st.RawBytesRead, len(want))
+			}
+			if st.BlocksWritten != int64(len(blocks)) {
+				t.Fatalf("blocks written = %d, want %d", st.BlocksWritten, len(blocks))
+			}
+			if st.VerifyFailures != 0 {
+				t.Fatalf("verify failures = %d on clean data", st.VerifyFailures)
+			}
+			if comp == Raw && st.StoredBytesWritten != st.RawBytesWritten {
+				t.Fatalf("raw backend stored %d != raw %d", st.StoredBytesWritten, st.RawBytesWritten)
+			}
+		})
+	}
+}
+
+func TestCompressionShrinksDups(t *testing.T) {
+	for _, comp := range []Compression{Flate, Gzip} {
+		fs := vfs.NewMemFS()
+		b := mustBackend(t, fs, Config{Compression: string(comp)})
+		w, _ := b.Create("f")
+		for i := 0; i < 64; i++ {
+			if err := w.Append(dupPayload(4096)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		w.Close()
+		st := b.Stats()
+		if ratio := st.CompressionRatio(); ratio < 2 {
+			t.Fatalf("%s: compression ratio %.2f on duplicated data, want >= 2", comp, ratio)
+		}
+	}
+}
+
+func TestIncompressibleFallsBackToStored(t *testing.T) {
+	fs := vfs.NewMemFS()
+	b := mustBackend(t, fs, Config{Compression: string(Flate)})
+	w, _ := b.Create("f")
+	payload := randPayload(4096, 3)
+	if err := w.Append(payload); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	st := b.Stats()
+	// A stored block costs exactly the frame on top of the payload: random
+	// data must never expand beyond that.
+	if st.StoredBytesWritten != int64(len(payload)+frameSize) {
+		t.Fatalf("stored %d bytes for a %d-byte incompressible block, want %d",
+			st.StoredBytesWritten, len(payload), len(payload)+frameSize)
+	}
+	r, _ := b.Open("f")
+	got, err := io.ReadAll(r)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("stored fallback round trip: err %v, %d bytes", err, len(got))
+	}
+	r.Close()
+}
+
+func TestChecksumFlipDetected(t *testing.T) {
+	for _, comp := range compressions {
+		t.Run(string(comp), func(t *testing.T) {
+			fs := vfs.NewMemFS()
+			b := mustBackend(t, fs, Config{Compression: string(comp)})
+			w, _ := b.Create("f")
+			if err := w.Append(dupPayload(4096)); err != nil {
+				t.Fatal(err)
+			}
+			w.Close()
+			// Flip one byte of the stored payload, past the frame header.
+			f, err := fs.Open("f")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var cell [1]byte
+			if _, err := f.ReadAt(cell[:], frameSize+3); err != nil {
+				t.Fatal(err)
+			}
+			cell[0] ^= 0xff
+			if _, err := f.WriteAt(cell[:], frameSize+3); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+
+			r, _ := b.Open("f")
+			_, err = io.ReadAll(r)
+			if err == nil {
+				t.Fatal("corrupted block read back without error")
+			}
+			if !errors.Is(err, ErrChecksum) && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("error = %v, want ErrChecksum or ErrCorrupt", err)
+			}
+			r.Close()
+			if b.Stats().VerifyFailures == 0 {
+				t.Fatal("verify failure not counted")
+			}
+		})
+	}
+}
+
+func TestFrameCorruptionDetected(t *testing.T) {
+	fs := vfs.NewMemFS()
+	b := mustBackend(t, fs, Config{Compression: string(None)})
+	w, _ := b.Create("f")
+	w.Append(dupPayload(64))
+	w.Close()
+	f, _ := fs.Open("f")
+	f.(interface {
+		WriteAt([]byte, int64) (int, error)
+	}).WriteAt([]byte{0xde, 0xad}, 0) // clobber the magic
+	f.Close()
+	r, _ := b.Open("f")
+	if _, err := io.ReadAll(r); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("error = %v, want ErrCorrupt", err)
+	}
+	r.Close()
+}
+
+func TestPagedRoundTrip(t *testing.T) {
+	for _, comp := range all {
+		t.Run(string(comp), func(t *testing.T) {
+			fs := vfs.NewMemFS()
+			b := mustBackend(t, fs, Config{Compression: string(comp)})
+			const pageSize, pages = 128, 5
+			pw, err := b.CreatePaged("p", pageSize, pages)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Pages arrive tail-first, as the backward writer produces them.
+			p4, p3, p2 := dupPayload(pageSize), randPayload(pageSize, 4), dupPayload(pageSize)
+			tail := randPayload(40, 5)
+			for idx, page := range map[int][]byte{4: p4, 3: p3, 2: p2} {
+				if err := pw.WritePage(idx, page); err != nil {
+					t.Fatal(err)
+				}
+			}
+			startPos, err := pw.WriteTail(1, tail)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hdr := bytes.Repeat([]byte{7}, 32)
+			if err := pw.WriteHeader(hdr); err != nil {
+				t.Fatal(err)
+			}
+			if err := pw.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			pr, err := b.OpenPaged("p")
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotHdr := make([]byte, 32)
+			if err := pr.ReadHeader(gotHdr); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(gotHdr, hdr) {
+				t.Fatal("header round trip mismatch")
+			}
+			if err := pr.Seek(1, startPos, pageSize, pages); err != nil {
+				t.Fatal(err)
+			}
+			got, err := io.ReadAll(struct{ io.Reader }{pr})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pr.Close()
+			var want []byte
+			want = append(want, tail...)
+			want = append(want, p2...)
+			want = append(want, p3...)
+			want = append(want, p4...)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("paged round trip: got %d bytes, want %d", len(got), len(want))
+			}
+		})
+	}
+}
+
+func TestTieredOverflow(t *testing.T) {
+	disk := vfs.NewMemFS()
+	b := mustBackend(t, disk, Config{MemoryBudgetBytes: 1000})
+	// First file fits in memory.
+	w, _ := b.Create("small")
+	if err := w.Append(dupPayload(256)); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if st := b.Stats(); st.MemFiles != 1 || st.MemBytes != 256 || st.Overflows != 0 {
+		t.Fatalf("after small file: %+v", st)
+	}
+	// Second file blows the budget mid-write and migrates.
+	w, _ = b.Create("big")
+	var wantBig []byte
+	for i := 0; i < 8; i++ {
+		blk := randPayload(256, int64(i))
+		wantBig = append(wantBig, blk...)
+		if err := w.Append(blk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	st := b.Stats()
+	if st.Overflows != 1 {
+		t.Fatalf("overflows = %d, want 1", st.Overflows)
+	}
+	if st.MemFiles != 1 || st.DiskFiles != 1 {
+		t.Fatalf("residency: %+v", st)
+	}
+	// The backing store holds the migrated file; the tier the small one.
+	diskNames, _ := disk.Names()
+	if len(diskNames) != 1 || diskNames[0] != "big" {
+		t.Fatalf("disk names = %v", diskNames)
+	}
+	names, _ := b.Names()
+	if len(names) != 2 {
+		t.Fatalf("union names = %v", names)
+	}
+	// Both files read back intact across tiers.
+	r, err := b.Open("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(r)
+	if err != nil || !bytes.Equal(got, wantBig) {
+		t.Fatalf("migrated file read: err %v, %d bytes want %d", err, len(got), len(wantBig))
+	}
+	r.Close()
+	r, _ = b.Open("small")
+	if got, err := io.ReadAll(r); err != nil || len(got) != 256 {
+		t.Fatalf("mem file read: err %v, %d bytes", err, len(got))
+	}
+	r.Close()
+	// Removal empties both tiers and the accounting.
+	if err := b.Remove("big"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Remove("small"); err != nil {
+		t.Fatal(err)
+	}
+	st = b.Stats()
+	if st.MemFiles != 0 || st.DiskFiles != 0 || st.MemBytes != 0 || st.DiskBytes != 0 {
+		t.Fatalf("after removal: %+v", st)
+	}
+	if names, _ := b.Names(); len(names) != 0 {
+		t.Fatalf("names after removal: %v", names)
+	}
+}
+
+func TestTieredComposesWithCompression(t *testing.T) {
+	disk := vfs.NewMemFS()
+	b := mustBackend(t, disk, Config{Compression: string(Flate), MemoryBudgetBytes: 512})
+	w, _ := b.Create("f")
+	var want []byte
+	for i := 0; i < 64; i++ {
+		blk := randPayload(128, int64(i))
+		want = append(want, blk...)
+		if err := w.Append(blk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	if b.Stats().Overflows != 1 {
+		t.Fatalf("overflows = %d, want 1", b.Stats().Overflows)
+	}
+	r, _ := b.Open("f")
+	got, err := io.ReadAll(r)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("compressed+tiered round trip: err %v, %d bytes want %d", err, len(got), len(want))
+	}
+	r.Close()
+}
+
+// failCreateFS refuses Create, simulating a full or vanished disk.
+type failCreateFS struct{ vfs.FS }
+
+func (f failCreateFS) Create(string) (vfs.File, error) {
+	return nil, errors.New("disk full")
+}
+
+func TestTieredCreateFailureLeavesCountersClean(t *testing.T) {
+	b := mustBackend(t, failCreateFS{vfs.NewMemFS()}, Config{MemoryBudgetBytes: 4})
+	// Fill the memory tier past its budget; the migration to the failing
+	// disk must surface the error.
+	w, err := b.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(dupPayload(64)); err == nil {
+		t.Fatal("migration to a failing disk did not error")
+	}
+	w.Close()
+	// The tier is over budget, so the next Create targets the disk and
+	// fails outright: no counter may move.
+	before := b.Stats()
+	if _, err := b.Create("b"); err == nil {
+		t.Fatal("disk create did not error")
+	}
+	after := b.Stats()
+	if after.DiskFiles != before.DiskFiles || after.MemFiles != before.MemFiles {
+		t.Fatalf("counters moved across a failed create: %+v -> %+v", before, after)
+	}
+	if after.DiskFiles != 0 {
+		t.Fatalf("DiskFiles = %d with no disk file in existence", after.DiskFiles)
+	}
+}

@@ -1,0 +1,245 @@
+package storage
+
+import (
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/vfs"
+)
+
+// tieredFS keeps spill files in an in-memory tier until the tier's total
+// bytes exceed the budget, then migrates the growing file to the backing
+// store mid-write and creates subsequent files there while the tier is
+// full. It implements vfs.FS, so any framing backend composes on top.
+//
+// The lifecycle it supports is the spill lifecycle: a file is written by
+// one goroutine, closed, then opened for reading. Distinct files may be
+// written concurrently (parallel merge workers); a file is never migrated
+// while a reader holds it open.
+type tieredFS struct {
+	mem  *vfs.MemFS
+	disk vfs.FS
+	c    *counters
+
+	mu      sync.Mutex
+	budget  int64
+	entries map[string]*tierEntry
+}
+
+// tierEntry tracks where a file lives and how large it has grown.
+type tierEntry struct {
+	mu     sync.Mutex // serialises migration against the writing handle
+	name   string
+	onDisk bool
+	size   int64
+}
+
+// newTieredFS layers a memory tier of at most budget bytes over disk,
+// accounting residency and overflows in c.
+func newTieredFS(disk vfs.FS, budget int64, c *counters) *tieredFS {
+	return &tieredFS{
+		mem:     vfs.NewMemFS(),
+		disk:    disk,
+		c:       c,
+		budget:  budget,
+		entries: make(map[string]*tierEntry),
+	}
+}
+
+// Create implements vfs.FS. Files start in memory while the tier has
+// headroom and on disk otherwise.
+func (t *tieredFS) Create(name string) (vfs.File, error) {
+	t.mu.Lock()
+	if old, ok := t.entries[name]; ok {
+		// Re-creating truncates: drop the old residency accounting.
+		t.uncountLocked(old)
+		delete(t.entries, name)
+	}
+	toDisk := t.c.memBytes.Load() >= t.budget
+	e := &tierEntry{name: name, onDisk: toDisk}
+	t.entries[name] = e
+	t.mu.Unlock()
+
+	var (
+		f   vfs.File
+		err error
+	)
+	if toDisk {
+		f, err = t.disk.Create(name)
+	} else {
+		f, err = t.mem.Create(name)
+	}
+	if err != nil {
+		t.mu.Lock()
+		delete(t.entries, name)
+		t.mu.Unlock()
+		return nil, err
+	}
+	if toDisk {
+		t.c.diskFiles.Add(1)
+	} else {
+		t.c.memFiles.Add(1)
+	}
+	return &tieredFile{t: t, e: e, f: f}, nil
+}
+
+// Open implements vfs.FS, routing to whichever tier holds the file.
+func (t *tieredFS) Open(name string) (vfs.File, error) {
+	t.mu.Lock()
+	e, ok := t.entries[name]
+	t.mu.Unlock()
+	if ok && !e.onDisk {
+		return t.mem.Open(name)
+	}
+	// Unknown names fall through to the backing store, so pre-existing
+	// files in a shared directory stay reachable.
+	return t.disk.Open(name)
+}
+
+// Remove implements vfs.FS.
+func (t *tieredFS) Remove(name string) error {
+	t.mu.Lock()
+	e, ok := t.entries[name]
+	if ok {
+		t.uncountLocked(e)
+		delete(t.entries, name)
+	}
+	t.mu.Unlock()
+	if ok && !e.onDisk {
+		return t.mem.Remove(name)
+	}
+	return t.disk.Remove(name)
+}
+
+// uncountLocked reverses an entry's residency accounting; t.mu must be held.
+func (t *tieredFS) uncountLocked(e *tierEntry) {
+	if e.onDisk {
+		t.c.diskFiles.Add(-1)
+		t.c.diskBytes.Add(-e.size)
+	} else {
+		t.c.memFiles.Add(-1)
+		t.c.memBytes.Add(-e.size)
+	}
+}
+
+// Names implements vfs.FS: the sorted union of both tiers.
+func (t *tieredFS) Names() ([]string, error) {
+	memNames, err := t.mem.Names()
+	if err != nil {
+		return nil, err
+	}
+	diskNames, err := t.disk.Names()
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool, len(memNames)+len(diskNames))
+	var names []string
+	for _, n := range append(memNames, diskNames...) {
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// tieredFile is a handle whose inner file can migrate from the memory tier
+// to disk between writes.
+type tieredFile struct {
+	t *tieredFS
+	e *tierEntry
+	f vfs.File
+}
+
+func (f *tieredFile) WriteAt(p []byte, off int64) (int, error) {
+	f.e.mu.Lock()
+	defer f.e.mu.Unlock()
+	n, err := f.f.WriteAt(p, off)
+	if err != nil {
+		return n, err
+	}
+	if end := off + int64(n); end > f.e.size {
+		grew := end - f.e.size
+		f.e.size = end
+		if f.e.onDisk {
+			f.t.c.diskBytes.Add(grew)
+		} else if f.t.c.memBytes.Add(grew) > f.t.budget {
+			// This write pushed the memory tier over budget: move this file
+			// — the one growing — to the backing store and keep writing
+			// there.
+			if merr := f.migrateLocked(); merr != nil {
+				return n, merr
+			}
+		}
+	}
+	return n, nil
+}
+
+// migrateLocked copies the file's bytes to the backing store, swaps the
+// inner handle and reassigns residency; f.e.mu must be held.
+func (f *tieredFile) migrateLocked() error {
+	dst, err := f.t.disk.Create(f.e.name)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 1<<20)
+	var off int64
+	for off < f.e.size {
+		want := f.e.size - off
+		if want > int64(len(buf)) {
+			want = int64(len(buf))
+		}
+		n, rerr := f.f.ReadAt(buf[:want], off)
+		if n > 0 {
+			if _, werr := dst.WriteAt(buf[:n], off); werr != nil {
+				dst.Close()
+				return werr
+			}
+			off += int64(n)
+		}
+		if rerr != nil && rerr != io.EOF {
+			dst.Close()
+			return rerr
+		}
+		if n == 0 {
+			break
+		}
+	}
+	if err := f.f.Close(); err != nil {
+		dst.Close()
+		return err
+	}
+	if err := f.t.mem.Remove(f.e.name); err != nil {
+		dst.Close()
+		return err
+	}
+	f.f = dst
+	f.e.onDisk = true
+	f.t.c.memFiles.Add(-1)
+	f.t.c.memBytes.Add(-f.e.size)
+	f.t.c.diskFiles.Add(1)
+	f.t.c.diskBytes.Add(f.e.size)
+	f.t.c.overflows.Add(1)
+	return nil
+}
+
+func (f *tieredFile) ReadAt(p []byte, off int64) (int, error) {
+	f.e.mu.Lock()
+	inner := f.f
+	f.e.mu.Unlock()
+	return inner.ReadAt(p, off)
+}
+
+func (f *tieredFile) Size() (int64, error) {
+	f.e.mu.Lock()
+	defer f.e.mu.Unlock()
+	return f.f.Size()
+}
+
+func (f *tieredFile) Close() error {
+	f.e.mu.Lock()
+	defer f.e.mu.Unlock()
+	return f.f.Close()
+}

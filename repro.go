@@ -56,6 +56,19 @@
 // (OpStats.Sorted reports which path ran). See DESIGN.md §"Operator
 // layer" for the data flow and cost model.
 //
+// # Spill storage
+//
+// How runs reach temporary storage is pluggable too (WithStorage,
+// WithCompression, WithSpillMemory). The default is the paper's raw
+// layout; any named compression ("none", "flate", "gzip") frames every
+// spilled block with a CRC32 checksum — corrupted spill data then fails
+// the merge with a checksum error instead of producing silently wrong
+// output — and the compressed modes shrink the bytes that actually move.
+// A byte budget keeps runs in an in-memory tier that overflows to the
+// temp directory mid-write when it fills. Stats.IO accounts for every
+// spilled byte, raw versus stored, along with block counts, overflow
+// migrations and verification failures. See DESIGN.md §10.
+//
 // # The classic record API
 //
 // The original fixed-record API remains as thin wrappers over
@@ -79,6 +92,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/policy"
 	"repro/internal/record"
+	"repro/internal/storage"
 )
 
 // Record is the unit of the classic API: a 64-bit key ordered ascending and
@@ -92,8 +106,19 @@ type Reader = record.Reader
 type Writer = record.Writer
 
 // Stats reports what a sort did: run counts, average run length, merge
-// passes, and per-phase timings.
+// passes, per-phase timings, and the spill backend's I/O accounting
+// (Stats.IO, an IOStats).
 type Stats = extsort.Stats
+
+// IOStats is the spill backend's byte-level I/O accounting, carried in
+// Stats.IO: raw versus stored bytes moved (the gap is what compression
+// saved), block counts, checksum verification failures, and the memory
+// tier's residency and overflow counts.
+type IOStats = extsort.IOStats
+
+// Storage configures how runs spill to temporary files; see Config.Storage
+// and WithStorage. The zero value is the library's historical raw layout.
+type Storage = storage.Config
 
 // Algorithm selects the run-generation strategy.
 type Algorithm = extsort.Algorithm
@@ -187,6 +212,15 @@ type Config struct {
 	// fully sequential behaviour; 0 (the default) uses GOMAXPROCS. Output
 	// and on-disk run format are identical at every setting.
 	Parallelism int
+	// Storage selects the spill backend. The zero value stores runs in the
+	// historical raw layout. Setting Compression to "none", "flate" or
+	// "gzip" frames every spilled page in a self-describing block with a
+	// CRC32 checksum (compressed for the latter two), so corrupted spill
+	// data surfaces as a checksum error instead of silently wrong output.
+	// A positive MemoryBudgetBytes keeps runs in an in-memory tier of at
+	// most that many bytes, overflowing to TempDir (or the in-process FS)
+	// when the budget is exceeded. Stats.IO reports what the backend did.
+	Storage Storage
 }
 
 // DefaultConfig returns the paper's recommended configuration with the
@@ -243,8 +277,18 @@ func (c Config) Validate() error {
 	if c.Parallelism < 0 {
 		return fmt.Errorf("repro: parallelism must be non-negative, got %d", c.Parallelism)
 	}
+	if _, err := storage.ParseCompression(c.Storage.Compression); err != nil {
+		return fmt.Errorf("repro: unknown compression %q (valid: %s)", c.Storage.Compression, strings.Join(Compressions(), ", "))
+	}
+	if c.Storage.MemoryBudgetBytes < 0 {
+		return fmt.Errorf("repro: storage memory budget must be non-negative, got %d", c.Storage.MemoryBudgetBytes)
+	}
 	return nil
 }
+
+// Compressions lists the valid spill compression names accepted by
+// Config.Storage and WithCompression, in presentation order.
+func Compressions() []string { return storage.Compressions() }
 
 // Policies lists the valid run-generation policy names accepted by
 // Config.Policy and WithPolicy, in presentation order.
@@ -265,6 +309,7 @@ func (c Config) toInternal() extsort.Config {
 		Memory:      c.MemoryRecords,
 		FanIn:       c.FanIn,
 		Parallelism: c.Parallelism,
+		Storage:     c.Storage,
 		TWRS: core.Config{
 			Memory:     c.MemoryRecords,
 			Setup:      c.Setup,

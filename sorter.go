@@ -157,6 +157,37 @@ func WithSeed(seed int64) Option {
 	return func(s *sorterConfig) error { s.cfg.Seed = seed; return nil }
 }
 
+// WithStorage configures the spill backend in one call: the compression
+// framing and the in-memory tier budget. The zero Storage is the historical
+// raw layout with no tier. See Config.Storage for the field semantics and
+// Stats.IO for the resulting accounting.
+func WithStorage(st Storage) Option {
+	return func(s *sorterConfig) error { s.cfg.Storage = st; return nil }
+}
+
+// WithCompression selects the spill compression by name: "raw" (the
+// default: the historical unframed layout), or "none", "flate", "gzip" —
+// which frame every spilled page in a CRC32-checksummed block, compressed
+// for the latter two. Any framed mode turns corrupted spill data into a
+// checksum error at merge time instead of silently wrong output. Unknown
+// names fail at New with an error listing the valid ones (Compressions).
+func WithCompression(name string) Option {
+	return func(s *sorterConfig) error { s.cfg.Storage.Compression = name; return nil }
+}
+
+// WithSpillMemory keeps runs in an in-memory tier of at most budgetBytes
+// bytes, overflowing to the temp directory (or the in-process file system)
+// mid-write once the tier fills. Stats.IO reports residency and overflows.
+func WithSpillMemory(budgetBytes int64) Option {
+	return func(s *sorterConfig) error {
+		if budgetBytes < 0 {
+			return fmt.Errorf("repro: spill memory budget must be non-negative, got %d", budgetBytes)
+		}
+		s.cfg.Storage.MemoryBudgetBytes = budgetBytes
+		return nil
+	}
+}
+
 // WithCodec supplies the codec used to spill runs to disk. Without it, New
 // infers a built-in codec for Record, string, []byte, int64, uint64 and
 // float64 element types and fails for anything else.

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
 	"sort"
 	"strings"
 	"testing"
@@ -295,6 +296,11 @@ func TestConfigValidateTable(t *testing.T) {
 		{"unknown setup", func(c *Config) { c.Setup = BufferSetup(9) }, "setup"},
 		{"unknown input heuristic", func(c *Config) { c.Input = InputHeuristic(99) }, "input heuristic"},
 		{"unknown output heuristic", func(c *Config) { c.Output = OutputHeuristic(99) }, "output heuristic"},
+		{"unknown compression", func(c *Config) { c.Storage.Compression = "zstd" }, "compression"},
+		{"compression flate ok", func(c *Config) { c.Storage.Compression = "flate" }, ""},
+		{"compression raw ok", func(c *Config) { c.Storage.Compression = "raw" }, ""},
+		{"negative spill budget", func(c *Config) { c.Storage.MemoryBudgetBytes = -1 }, "budget"},
+		{"spill budget ok", func(c *Config) { c.Storage.MemoryBudgetBytes = 1 << 20 }, ""},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -482,5 +488,68 @@ func TestSorterCancelledBeforeMerge(t *testing.T) {
 	}
 	if writes != 0 {
 		t.Fatalf("%d elements written although the context died before the merge", writes)
+	}
+}
+
+// TestSorterStorageOptions drives the public storage options end to end: a
+// variable-width sort through every framed backend over a real temp dir,
+// with the tier budget forcing overflows, must produce the same output as
+// the raw layout, account its I/O, and leave the directory empty.
+func TestSorterStorageOptions(t *testing.T) {
+	in := make([]string, 6000)
+	for i := range in {
+		in[i] = fmt.Sprintf("key-%05d", (i*7919)%6000)
+	}
+	var want []string
+	for _, comp := range []string{"raw", "none", "flate", "gzip"} {
+		t.Run(comp, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := New(func(a, b string) bool { return a < b },
+				WithMemoryRecords(256),
+				WithTempDir(dir),
+				WithCompression(comp),
+				WithSpillMemory(8<<10))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, stats, err := s.SortSlice(context.Background(), in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want == nil {
+				want = got
+			} else if len(got) != len(want) {
+				t.Fatalf("%s: %d elements, want %d", comp, len(got), len(want))
+			} else {
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s: element %d = %q, want %q", comp, i, got[i], want[i])
+					}
+				}
+			}
+			if stats.IO.RawBytesWritten == 0 || stats.IO.VerifyFailures != 0 {
+				t.Fatalf("%s: IO accounting %+v", comp, stats.IO)
+			}
+			if stats.IO.Overflows == 0 {
+				t.Fatalf("%s: spill tier never overflowed to disk", comp)
+			}
+			ents, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ents) != 0 {
+				t.Fatalf("%s: temp files left behind: %d entries", comp, len(ents))
+			}
+		})
+	}
+}
+
+// TestWithSpillMemoryRejectsNegative pins the option-level validation.
+func TestWithSpillMemoryRejectsNegative(t *testing.T) {
+	if _, err := New(func(a, b int64) bool { return a < b }, WithSpillMemory(-1)); err == nil {
+		t.Fatal("WithSpillMemory(-1) accepted")
+	}
+	if _, err := New(func(a, b int64) bool { return a < b }, WithCompression("zstd")); err == nil {
+		t.Fatal("WithCompression(zstd) accepted")
 	}
 }
