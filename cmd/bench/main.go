@@ -66,23 +66,39 @@ type policyCell struct {
 	RecordsPerS float64 `json:"records_per_s"`
 }
 
+// selectionCell is one cell of the selection × distribution × k matrix:
+// one selection operator answering one order-statistic query over one of
+// the paper's six distributions. The sort-then-index baseline runs the
+// full sort machinery at the same memory budget and reads the answer out
+// of the sorted result — what every selection cell is trying to beat.
+type selectionCell struct {
+	Dataset     string  `json:"dataset"`
+	Op          string  `json:"op"`
+	K           int     `json:"k,omitempty"`
+	Spilled     bool    `json:"spilled,omitempty"`
+	Swaps       int64   `json:"swaps,omitempty"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	RecordsPerS float64 `json:"records_per_s"`
+}
+
 // report is the schema of a BENCH_<n>.json file.
 type report struct {
-	Bench         int           `json:"bench"`
-	Date          time.Time     `json:"date"`
-	GoVersion     string        `json:"go"`
-	GOOS          string        `json:"goos"`
-	GOARCH        string        `json:"goarch"`
-	GOMAXPROCS    int           `json:"gomaxprocs"`
-	Records       int           `json:"records"`
-	Memory        int           `json:"memory_records"`
-	MatrixRecords int           `json:"matrix_records,omitempty"`
-	Baseline      []result      `json:"baseline"`
-	BaselineNote  string        `json:"baseline_note"`
-	Results       []result      `json:"results"`
-	PolicyMatrix  []policyCell  `json:"policy_matrix,omitempty"`
-	StorageMatrix []storageCell `json:"storage_matrix,omitempty"`
-	Notes         []string      `json:"notes,omitempty"`
+	Bench           int             `json:"bench"`
+	Date            time.Time       `json:"date"`
+	GoVersion       string          `json:"go"`
+	GOOS            string          `json:"goos"`
+	GOARCH          string          `json:"goarch"`
+	GOMAXPROCS      int             `json:"gomaxprocs"`
+	Records         int             `json:"records"`
+	Memory          int             `json:"memory_records"`
+	MatrixRecords   int             `json:"matrix_records,omitempty"`
+	Baseline        []result        `json:"baseline"`
+	BaselineNote    string          `json:"baseline_note"`
+	Results         []result        `json:"results"`
+	PolicyMatrix    []policyCell    `json:"policy_matrix,omitempty"`
+	StorageMatrix   []storageCell   `json:"storage_matrix,omitempty"`
+	SelectionMatrix []selectionCell `json:"selection_matrix,omitempty"`
+	Notes           []string        `json:"notes,omitempty"`
 }
 
 // elementOnlyReader hides the batch protocol of the wrapped source, forcing
@@ -491,6 +507,113 @@ func main() {
 	rep.Notes = append(rep.Notes,
 		"spill integrity: every framed backend CRC32-checksums each block; TestCorruptSpillSurfacesChecksumError "+
 			"(internal/extsort) pins that a flipped byte in a spilled block fails the merge with storage.ErrChecksum instead of returning wrong output")
+
+	// Selection × distribution × k matrix: order-statistic queries over the
+	// paper's six distributions. Every (distribution, k) pair runs the
+	// dualheap Select path at an in-memory budget; each distribution also
+	// runs the full-sort-then-index baseline at the same budget (its cost is
+	// k-independent), and — at the middle k — external Select at the paper
+	// budget (the spill path) plus the soft-heap approximate path and a
+	// three-point Quantiles call. Selection must beat the baseline at k ≪ n.
+	selSorter := func(budget int) *repro.Sorter[record.Record] {
+		s, err := repro.New(record.Less,
+			repro.WithConfig(repro.DefaultConfig(budget)),
+			repro.WithCodec(repro.RecordCodec()),
+			repro.WithKey(record.Key))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return s
+	}
+	// timeSel reports the faster of two runs of one selection query.
+	timeSel := func(run func() (repro.SelectStats, error)) (int64, repro.SelectStats) {
+		best := int64(-1)
+		var stats repro.SelectStats
+		for trial := 0; trial < 2; trial++ {
+			start := time.Now()
+			st, err := run()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if ns := time.Since(start).Nanoseconds(); best < 0 || ns < best {
+				best, stats = ns, st
+			}
+		}
+		return best, stats
+	}
+	selCell := func(dist, op string, k int, ns int64, st repro.SelectStats) selectionCell {
+		cell := selectionCell{
+			Dataset: dist, Op: op, K: k,
+			Spilled: st.Sorted, Swaps: st.Swaps,
+			NsPerOp:     ns,
+			RecordsPerS: float64(*mn) / (float64(ns) / 1e9),
+		}
+		rep.SelectionMatrix = append(rep.SelectionMatrix, cell)
+		fmt.Printf("  %-11s %-15s k=%-8d %12d ns  spilled=%-5v %8d swaps\n",
+			cell.Dataset, cell.Op, cell.K, cell.NsPerOp, cell.Spilled, cell.Swaps)
+		return cell
+	}
+	fmt.Printf("\nselection × distribution × k matrix (%d records, in-memory budget %d / spill budget %d):\n",
+		*mn, *mn, *mem)
+	ks := []int{100, *mn / 64, *mn / 2}
+	for _, dist := range dists {
+		data := repro.Dataset(dist, *mn, 42)
+		name := distName[dist]
+
+		// Full-sort-then-index baseline: sort everything at the same
+		// in-memory budget, read the answer out of the sorted slice. One
+		// cell per distribution — indexing is free, so k doesn't matter.
+		baseNs := int64(-1)
+		for trial := 0; trial < 2; trial++ {
+			start := time.Now()
+			sorted, _, err := repro.SortSlice(data, repro.DefaultConfig(*mn))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			_ = sorted[len(sorted)/2]
+			if ns := time.Since(start).Nanoseconds(); baseNs < 0 || ns < baseNs {
+				baseNs = ns
+			}
+		}
+		baseCell := selCell(name, "sort_then_index", 0, baseNs, repro.SelectStats{})
+
+		var smallK selectionCell
+		for _, k := range ks {
+			ns, st := timeSel(func() (repro.SelectStats, error) {
+				_, st, err := selSorter(*mn).Select(nil, record.NewSliceReader(data), k)
+				return st, err
+			})
+			cell := selCell(name, "select", k, ns, st)
+			if k == ks[0] {
+				smallK = cell
+			}
+		}
+
+		midK := ks[1]
+		ns, st := timeSel(func() (repro.SelectStats, error) {
+			_, st, err := selSorter(*mem).Select(nil, record.NewSliceReader(data), midK)
+			return st, err
+		})
+		selCell(name, "select_spill", midK, ns, st)
+		ns, st = timeSel(func() (repro.SelectStats, error) {
+			_, st, err := selSorter(*mn).ApproxSelect(nil, record.NewSliceReader(data), midK, 0.01)
+			return st, err
+		})
+		selCell(name, "approx_select", midK, ns, st)
+		ns, st = timeSel(func() (repro.SelectStats, error) {
+			_, st, err := selSorter(*mn).Quantiles(nil, record.NewSliceReader(data), []float64{0.5, 0.9, 0.99})
+			return st, err
+		})
+		selCell(name, "quantiles", 0, ns, st)
+
+		rep.Notes = append(rep.Notes, fmt.Sprintf(
+			"selection matrix %s: dualheap select k=%d answered in %d ns vs full-sort-then-index %d ns — %.1fx faster",
+			name, smallK.K, smallK.NsPerOp, baseCell.NsPerOp,
+			float64(baseCell.NsPerOp)/float64(smallK.NsPerOp)))
+	}
 
 	var sortNs, topkNs int64
 	for _, r := range rep.Results {

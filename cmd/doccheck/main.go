@@ -1,9 +1,9 @@
 // Command doccheck fails (exit 1) when an exported identifier in any of
 // the target packages lacks a doc comment. CI runs it over the repository
-// root plus the storage-facing internal packages (internal/vfs,
-// internal/storage), so neither the public surface nor the spill layer's
-// contract regresses to undocumented; it has no dependencies beyond the
-// standard library's go/ast toolchain.
+// root plus the contract-bearing internal packages (internal/vfs,
+// internal/storage, internal/select), so neither the public surface nor
+// the spill and selection layers' contracts regress to undocumented; it
+// has no dependencies beyond the standard library's go/ast toolchain.
 //
 // Usage:
 //

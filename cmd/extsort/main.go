@@ -6,12 +6,16 @@
 //
 // Subcommands:
 //
-//	extsort sort     -in input.rec -out sorted.rec   # full external sort (default)
-//	extsort sort     -policy auto -in input.rec -out sorted.rec
-//	extsort sort     -compress flate -spillmem 67108864 -in input.rec -out sorted.rec
-//	extsort distinct -in input.rec -out distinct.rec # one record per key, ascending
-//	extsort topk     -k 100 -in input.rec -out top.rec
-//	extsort join     -left a.rec -right b.rec -out joined.rec
+//	extsort sort      -in input.rec -out sorted.rec   # full external sort (default)
+//	extsort sort      -policy auto -in input.rec -out sorted.rec
+//	extsort sort      -compress flate -spillmem 67108864 -in input.rec -out sorted.rec
+//	extsort distinct  -in input.rec -out distinct.rec # one record per key, ascending
+//	extsort topk      -k 100 -in input.rec -out top.rec
+//	extsort bottomk   -k 100 -in input.rec -out bottom.rec
+//	extsort select    -k 5000 -in input.rec           # k-th smallest record
+//	extsort select    -k 5000 -approx -eps 0.01 -in input.rec
+//	extsort quantiles -q 0.5,0.9,0.99 -in input.rec
+//	extsort join      -left a.rec -right b.rec -out joined.rec
 //
 // -compress selects the spill framing (raw, none, flate, gzip): any value
 // but raw checksums every spilled block, and flate/gzip compress it, so the
@@ -32,6 +36,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro"
@@ -53,12 +58,16 @@ func main() {
 	switch cmd {
 	case "sort":
 		runSort(args)
-	case "distinct", "topk":
+	case "distinct", "topk", "bottomk":
 		runUnaryOp(cmd, args)
+	case "select":
+		runSelect(args)
+	case "quantiles":
+		runQuantiles(args)
 	case "join":
 		runJoin(args)
 	default:
-		log.Fatalf("unknown subcommand %q (want sort, distinct, topk or join)", cmd)
+		log.Fatalf("unknown subcommand %q (want sort, distinct, topk, bottomk, select, quantiles or join)", cmd)
 	}
 }
 
@@ -261,15 +270,19 @@ func runSort(args []string) {
 	fmt.Printf("total:            %v\n", stats.TotalWall().Round(1e6))
 }
 
-// runUnaryOp drives distinct and topk, which share the single-input shape.
+// runUnaryOp drives distinct, topk and bottomk, which share the
+// single-input, record-file-output shape.
 func runUnaryOp(name string, args []string) {
 	fs := flag.NewFlagSet(name, flag.ExitOnError)
 	sf := newSortFlags(fs)
 	inPath := fs.String("in", "", "input record file (required)")
 	outPath := fs.String("out", "", "output record file (required)")
 	var k *int
-	if name == "topk" {
+	switch name {
+	case "topk":
 		k = fs.Int("k", 100, "number of smallest records to keep")
+	case "bottomk":
+		k = fs.Int("k", 100, "number of largest records to keep")
 	}
 	fs.Parse(args)
 	if *inPath == "" || *outPath == "" {
@@ -301,6 +314,8 @@ func runUnaryOp(name string, args []string) {
 		st, err = s.Distinct(context.Background(), src, out.r)
 	case "topk":
 		st, err = s.TopK(context.Background(), src, *k, out.r)
+	case "bottomk":
+		st, err = s.BottomK(context.Background(), src, *k, out.r)
 	}
 	if err != nil {
 		out.f.Close()
@@ -316,6 +331,113 @@ func runUnaryOp(name string, args []string) {
 		printSortStats(*sf.alg, *sf.memory, st.Sort)
 	} else {
 		fmt.Printf("selection:        bounded heap, no external sort (0 runs spilled)\n")
+	}
+}
+
+// runSelect finds one order statistic and prints it — there is no output
+// file, because the answer is a single record. -approx switches to the
+// soft-heap selection with a corruption budget of -eps.
+func runSelect(args []string) {
+	fs := flag.NewFlagSet("select", flag.ExitOnError)
+	sf := newSortFlags(fs)
+	inPath := fs.String("in", "", "input record file (required)")
+	k := fs.Int("k", 1, "rank to select, 1-based (1 = minimum)")
+	approx := fs.Bool("approx", false, "use the approximate soft-heap selection")
+	eps := fs.Float64("eps", 0.01, "corruption budget for -approx: the returned rank is within [k, k+eps*n]")
+	fs.Parse(args)
+	if *inPath == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	cfg, cleanup, err := sf.config()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cleanup()
+	s, err := sorter(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src, closeIn, err := openIn(*inPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer closeIn()
+
+	var rec repro.Record
+	var st repro.SelectStats
+	if *approx {
+		rec, st, err = s.ApproxSelect(context.Background(), src, *k, *eps)
+	} else {
+		rec, st, err = s.Select(context.Background(), src, *k)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("operator:         select\n")
+	fmt.Printf("rank:             %d of %d records\n", *k, st.In)
+	fmt.Printf("selected:         key=%d aux=%d\n", rec.Key, rec.Aux)
+	switch {
+	case *approx:
+		fmt.Printf("approximation:    eps=%g, rank within [%d, %d], %d items left corrupted\n",
+			*eps, *k, int64(*k)+st.RankErrorBound, st.Corrupted)
+		fmt.Printf("selection:        in-memory soft heap (0 runs spilled)\n")
+	case st.Sorted:
+		printSortStats(*sf.alg, *sf.memory, st.Sort)
+	default:
+		fmt.Printf("selection:        in-memory dualheap (%d root exchanges, 0 runs spilled)\n", st.Swaps)
+	}
+}
+
+// runQuantiles prints the record at each requested quantile: one
+// multiselect pass in memory, or one forward walk of the merged order when
+// the input spills.
+func runQuantiles(args []string) {
+	fs := flag.NewFlagSet("quantiles", flag.ExitOnError)
+	sf := newSortFlags(fs)
+	inPath := fs.String("in", "", "input record file (required)")
+	qArg := fs.String("q", "0.5,0.9,0.99", "comma-separated quantiles in [0,1]")
+	fs.Parse(args)
+	if *inPath == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	var qs []float64
+	for _, part := range strings.Split(*qArg, ",") {
+		q, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			log.Fatalf("bad quantile %q: %v", part, err)
+		}
+		qs = append(qs, q)
+	}
+	cfg, cleanup, err := sf.config()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cleanup()
+	s, err := sorter(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src, closeIn, err := openIn(*inPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer closeIn()
+
+	recs, st, err := s.Quantiles(context.Background(), src, qs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("operator:         quantiles\n")
+	fmt.Printf("consumed:         %d records\n", st.In)
+	for i, q := range qs {
+		fmt.Printf("p%-5s          key=%d aux=%d\n", strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.2f", q*100), "0"), "."), recs[i].Key, recs[i].Aux)
+	}
+	if st.Sorted {
+		printSortStats(*sf.alg, *sf.memory, st.Sort)
+	} else {
+		fmt.Printf("selection:        in-memory multiselect (%d root exchanges, 0 runs spilled)\n", st.Swaps)
 	}
 }
 

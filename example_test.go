@@ -67,6 +67,60 @@ func ExampleSorter_TopK() {
 	// Output: [1 3 7] sorted externally: false
 }
 
+// Select finds one order statistic — here the median — without sorting:
+// within the memory budget a dualheap partition places the k smallest
+// below a pivot and the answer is the bottom heap's root.
+func ExampleSorter_Select() {
+	in := []int64{42, 7, 19, 3, 88, 1, 56, 23, 61}
+	s, err := repro.New(func(a, b int64) bool { return a < b })
+	if err != nil {
+		panic(err)
+	}
+	median, stats, err := s.Select(context.Background(), sliceSource(in), 5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("median:", median, "sorted externally:", stats.Sorted)
+	// Output: median: 23 sorted externally: false
+}
+
+// Quantiles returns several order statistics in one multiselect pass: the
+// array is partitioned recursively at the middle remaining rank, so
+// p50/p90/p99 together cost far less than a sort.
+func ExampleSorter_Quantiles() {
+	in := make([]int64, 1000)
+	for i := range in {
+		in[i] = int64((i * 7919) % 1000) // a permutation of 0..999
+	}
+	s, err := repro.New(func(a, b int64) bool { return a < b },
+		repro.WithMemoryRecords(2048))
+	if err != nil {
+		panic(err)
+	}
+	vals, _, err := s.Quantiles(context.Background(), sliceSource(in), []float64{0.5, 0.9, 0.99})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("p50:", vals[0], "p90:", vals[1], "p99:", vals[2])
+	// Output: p50: 499 p90: 899 p99: 989
+}
+
+// BottomK mirrors TopK through the same direction-parameterized selection
+// core: a bounded min-heap keeps the k largest, ascending on output.
+func ExampleSorter_BottomK() {
+	in := []int64{42, 7, 19, 3, 88, 1, 56, 23}
+	s, err := repro.New(func(a, b int64) bool { return a < b })
+	if err != nil {
+		panic(err)
+	}
+	var out sliceSink[int64]
+	if _, err := s.BottomK(context.Background(), sliceSource(in), 3, &out); err != nil {
+		panic(err)
+	}
+	fmt.Println(out.vals)
+	// Output: [42 56 88]
+}
+
 // Distinct emits one element per equivalence class of the comparator, in
 // ascending order.
 func ExampleSorter_Distinct() {

@@ -1,0 +1,160 @@
+package heap
+
+import "sync"
+
+// This file is the in-place half of the package: binary-heap primitives
+// over a raw element slice, with no Item wrapper and no run tags. They
+// exist for the selection subsystem (internal/select), whose dualheap
+// partition views one array as two opposing heaps and needs to build and
+// repair them directly in the caller's buffer. The hot loops follow the
+// same discipline as the run-tagged sides above: hole-based sifts that
+// write each slot once, bottom-up (Wegener) repair after a root
+// replacement, and state hoisted into locals.
+
+// ordered reports whether a orders strictly ahead of b in the heap's
+// direction: ahead means smaller under less for a min-heap (desc false) and
+// larger for a max-heap (desc true). It is a free function over plain
+// values so the sift loops inline it.
+func ordered[T any](a, b T, less func(a, b T) bool, desc bool) bool {
+	if desc {
+		return less(b, a)
+	}
+	return less(a, b)
+}
+
+// siftDown restores the heap property for the subtree rooted at i, assuming
+// both child subtrees already satisfy it. The displaced root walks down as
+// a hole — one write per level, early exit as soon as neither child orders
+// ahead of it.
+func siftDown[T any](arr []T, i int, desc bool, less func(a, b T) bool) {
+	n := len(arr)
+	it := arr[i]
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		best, bv := l, arr[l]
+		if r := l + 1; r < n && ordered(arr[r], bv, less, desc) {
+			best, bv = r, arr[r]
+		}
+		if !ordered(bv, it, less, desc) {
+			break
+		}
+		arr[i] = bv
+		i = best
+	}
+	arr[i] = it
+}
+
+// parallelBuildMin is the slice length below which a parallel Build falls
+// back to the sequential loop: under ~16k elements the goroutine fan-out
+// and barrier cost more than the heapify they split.
+const parallelBuildMin = 1 << 14
+
+// parallelBuildFan caps the number of concurrently heapified subtrees.
+const parallelBuildFan = 64
+
+// Build establishes the binary-heap property over arr in place using
+// Floyd's bottom-up construction: a max-heap by element when desc is true,
+// a min-heap otherwise. parallelism above 1 splits the build across
+// independent subtrees — the roots of one heap level partition everything
+// below them, so each subtree heapifies on its own goroutine and only the
+// top of the heap is finished sequentially. The resulting heap is valid at
+// every setting; only the internal element placement may differ.
+func Build[T any](arr []T, desc bool, less func(a, b T) bool, parallelism int) {
+	n := len(arr)
+	if parallelism > 1 && n >= parallelBuildMin {
+		// s concurrent subtrees, rooted at the s nodes of one heap level
+		// (indices s-1 .. 2s-2). Capped so each subtree keeps enough work
+		// to pay for its goroutine.
+		s := 1
+		for s < parallelism && s < parallelBuildFan {
+			s <<= 1
+		}
+		for s > 1 && n/s < parallelBuildMin/8 {
+			s >>= 1
+		}
+		if s > 1 {
+			var wg sync.WaitGroup
+			for root := s - 1; root <= 2*s-2 && root < n; root++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					heapifySubtree(arr, r, desc, less)
+				}(root)
+			}
+			wg.Wait()
+			for i := s - 2; i >= 0; i-- {
+				siftDown(arr, i, desc, less)
+			}
+			return
+		}
+	}
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(arr, i, desc, less)
+	}
+}
+
+// heapifySubtree establishes the heap property for the subtree rooted at
+// root: children first, then the root sifts down. Leaves return without
+// recursing, so the recursion visits only internal nodes.
+func heapifySubtree[T any](arr []T, root int, desc bool, less func(a, b T) bool) {
+	l := 2*root + 1
+	if l >= len(arr) {
+		return
+	}
+	heapifySubtree(arr, l, desc, less)
+	if l+1 < len(arr) {
+		heapifySubtree(arr, l+1, desc, less)
+	}
+	siftDown(arr, root, desc, less)
+}
+
+// FixRoot restores the heap property after arr[0] was replaced, using the
+// bottom-up repair of the run-tagged sides: the hole left at the root walks
+// the best-child path to a leaf — one comparison per level — and the
+// replacement element then sifts up from there. The selection subsystem's
+// exchange loop swaps opposing roots, so the replacement almost always
+// belongs near the leaves and the upward walk terminates immediately.
+func FixRoot[T any](arr []T, desc bool, less func(a, b T) bool) {
+	n := len(arr)
+	if n < 2 {
+		return
+	}
+	it := arr[0]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		best, bv := l, arr[l]
+		if r := l + 1; r < n && ordered(arr[r], bv, less, desc) {
+			best, bv = r, arr[r]
+		}
+		arr[i] = bv
+		i = best
+	}
+	for i > 0 {
+		parent := (i - 1) / 2
+		p := arr[parent]
+		if !ordered(it, p, less, desc) {
+			break
+		}
+		arr[i] = p
+		i = parent
+	}
+	arr[i] = it
+}
+
+// ValidSlice reports whether arr satisfies the heap property in the given
+// direction; it exists for tests and invariant checks.
+func ValidSlice[T any](arr []T, desc bool, less func(a, b T) bool) bool {
+	for i := 1; i < len(arr); i++ {
+		if ordered(arr[i], arr[(i-1)/2], less, desc) {
+			return false
+		}
+	}
+	return true
+}

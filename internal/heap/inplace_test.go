@@ -1,0 +1,120 @@
+package heap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func intLess(a, b int) bool { return a < b }
+
+func TestBuildEstablishesHeapBothDirections(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 2, 3, 7, 100, 1023, 4096} {
+		for _, desc := range []bool{false, true} {
+			arr := make([]int, n)
+			for i := range arr {
+				arr[i] = rng.Intn(n + 1)
+			}
+			want := append([]int(nil), arr...)
+			Build(arr, desc, intLess, 1)
+			if !ValidSlice(arr, desc, intLess) {
+				t.Fatalf("n=%d desc=%v: heap property violated", n, desc)
+			}
+			sort.Ints(arr)
+			sort.Ints(want)
+			for i := range arr {
+				if arr[i] != want[i] {
+					t.Fatalf("n=%d desc=%v: Build changed the multiset", n, desc)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildParallelMatchesSequentialValidity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 1 << 16 // above parallelBuildMin so the parallel path runs
+	for _, par := range []int{2, 4, 8, 64} {
+		for _, desc := range []bool{false, true} {
+			arr := make([]int, n)
+			for i := range arr {
+				arr[i] = rng.Intn(n)
+			}
+			sum := 0
+			for _, v := range arr {
+				sum += v
+			}
+			Build(arr, desc, intLess, par)
+			if !ValidSlice(arr, desc, intLess) {
+				t.Fatalf("par=%d desc=%v: heap property violated", par, desc)
+			}
+			got := 0
+			for _, v := range arr {
+				got += v
+			}
+			if got != sum {
+				t.Fatalf("par=%d desc=%v: element multiset changed", par, desc)
+			}
+		}
+	}
+}
+
+func TestBuildRootIsExtreme(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	arr := make([]int, 999)
+	for i := range arr {
+		arr[i] = rng.Intn(1 << 20)
+	}
+	mn, mx := arr[0], arr[0]
+	for _, v := range arr {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	a := append([]int(nil), arr...)
+	Build(a, false, intLess, 1)
+	if a[0] != mn {
+		t.Fatalf("min-heap root = %d, want %d", a[0], mn)
+	}
+	b := append([]int(nil), arr...)
+	Build(b, true, intLess, 1)
+	if b[0] != mx {
+		t.Fatalf("max-heap root = %d, want %d", b[0], mx)
+	}
+}
+
+func TestFixRootRestoresHeap(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, desc := range []bool{false, true} {
+		arr := make([]int, 501)
+		for i := range arr {
+			arr[i] = rng.Intn(1000)
+		}
+		Build(arr, desc, intLess, 1)
+		for trial := 0; trial < 200; trial++ {
+			arr[0] = rng.Intn(1000)
+			FixRoot(arr, desc, intLess)
+			if !ValidSlice(arr, desc, intLess) {
+				t.Fatalf("desc=%v trial %d: heap property violated after FixRoot", desc, trial)
+			}
+		}
+	}
+}
+
+func TestFixRootTinyHeaps(t *testing.T) {
+	FixRoot([]int{}, false, intLess) // must not panic
+	one := []int{7}
+	FixRoot(one, false, intLess)
+	if one[0] != 7 {
+		t.Fatalf("single-element heap changed: %v", one)
+	}
+	two := []int{9, 3}
+	FixRoot(two, false, intLess)
+	if two[0] != 3 || two[1] != 9 {
+		t.Fatalf("two-element min-heap = %v, want [3 9]", two)
+	}
+}

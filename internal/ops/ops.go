@@ -23,14 +23,15 @@ import (
 	"fmt"
 	"io"
 
-	"repro/internal/heap"
+	sel "repro/internal/select"
 	"repro/internal/stream"
 )
 
 // cancelOps is how many element operations pass between cancellation-hook
-// polls in the element-loop operators (TopK, MergeJoin), matching the
-// 1024-op cadence of the public API's context wrappers. The batch operators
-// poll per batch, which is at least as often.
+// polls in the element-loop operators (MergeJoin; TopK inherits the same
+// cadence from sel.Stream), matching the 1024-op cadence of the public
+// API's context wrappers. The batch operators poll per batch, which is at
+// least as often.
 const cancelOps = 1024
 
 // elemRead adapts a batch-native operator to the element-at-a-time Read
@@ -196,42 +197,15 @@ func (g *GroupBy[T]) ReadBatch(dst []T) (int, error) {
 // cancel (nil means never) is polled every cancelOps consumed elements;
 // read reports how many elements were consumed even when an error cut the
 // stream short.
+//
+// TopK is the Smallest direction of internal/select's
+// direction-parameterized threshold-heap core (sel.Stream); BottomK is the
+// same loop with the heap inverted.
 func TopK[T any](src stream.Reader[T], k int, less func(a, b T) bool, cancel func() error) (vals []T, read int64, err error) {
 	if k < 0 {
 		return nil, 0, fmt.Errorf("ops: top-k requires k ≥ 0, got %d", k)
 	}
-	if k == 0 {
-		return nil, 0, nil
-	}
-	h := heap.New(k, true, less) // max-heap: the root is the k-th smallest
-	f := stream.NewFetcher(src, 0)
-	var n int64
-	for {
-		if cancel != nil && n%cancelOps == 0 {
-			if err := cancel(); err != nil {
-				return nil, n, err
-			}
-		}
-		v, ok, err := f.Next()
-		if err != nil {
-			return nil, n, err
-		}
-		if !ok {
-			break
-		}
-		n++
-		if h.Len() < k {
-			h.Push(heap.Item[T]{Rec: v})
-		} else if less(v, h.Peek().Rec) {
-			h.Pop()
-			h.Push(heap.Item[T]{Rec: v})
-		}
-	}
-	out := make([]T, h.Len())
-	for i := len(out) - 1; i >= 0; i-- {
-		out[i] = h.Pop().Rec // max-heap pops descending; fill back to front
-	}
-	return out, n, nil
+	return sel.Stream(src, k, sel.Smallest, less, cancel)
 }
 
 // JoinStats reports what a merge join consumed and produced.

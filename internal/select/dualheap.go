@@ -1,0 +1,61 @@
+package sel
+
+import (
+	"sync"
+
+	"repro/internal/heap"
+)
+
+// Partition is Sepesi's dualheap selection. It rearranges data in place so
+// that data[:k] holds the k smallest elements under less and data[k:] holds
+// the rest, and returns the number of root exchanges it took. On return the
+// two regions are still heaps — data[:k] a max-heap (data[0] is the k-th
+// smallest element) and data[k:] a min-heap (data[k] is the (k+1)-th
+// smallest) — which is what makes the multi-rank recursion in Multiselect
+// cheap: the boundary statistics are already at the roots.
+//
+// The algorithm builds the two opposing heaps around the pivot index and
+// then repeatedly exchanges their roots while the min-heap's root is
+// smaller than the max-heap's: each exchange moves one misplaced pair
+// across the boundary and repairs both heaps along a single root-to-leaf
+// path. It terminates because every exchange strictly shrinks the set of
+// cross-boundary inversions — the pair just swapped can never swap back.
+//
+// parallelism above 1 builds the two heaps concurrently and parallelises
+// each build over independent subtrees; the exchange loop is sequential but
+// touches only O(swaps · log n) elements. k outside (0, len(data)) is a
+// no-op: the empty side has nothing to exchange.
+func Partition[T any](data []T, k int, less func(a, b T) bool, parallelism int) (swaps int64) {
+	n := len(data)
+	if k <= 0 || k >= n {
+		if k == n && n > 0 {
+			// Degenerate full-width selection: callers still rely on
+			// data[0] being the max of data[:k].
+			heap.Build(data, true, less, parallelism)
+		}
+		return 0
+	}
+	bottom, top := data[:k], data[k:]
+	if parallelism > 1 {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			heap.Build(bottom, true, less, parallelism)
+		}()
+		heap.Build(top, false, less, parallelism)
+		wg.Wait()
+	} else {
+		heap.Build(bottom, true, less, 1)
+		heap.Build(top, false, less, 1)
+	}
+	// Exchange loop: while the smallest element above the pivot orders
+	// before the largest element below it, the pair is misplaced.
+	for less(top[0], bottom[0]) {
+		bottom[0], top[0] = top[0], bottom[0]
+		heap.FixRoot(bottom, true, less)
+		heap.FixRoot(top, false, less)
+		swaps++
+	}
+	return swaps
+}

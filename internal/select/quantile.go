@@ -1,0 +1,89 @@
+package sel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Rank converts a quantile q in [0, 1] over n elements to a 1-based rank:
+// the smallest r such that at least a q fraction of the input is ≤ the
+// r-th smallest element, i.e. ⌈q·n⌉ clamped to [1, n]. Rank(0.5, n) is the
+// median's rank, Rank(1, n) is n.
+func Rank(q float64, n int64) int64 {
+	r := int64(math.Ceil(q * float64(n)))
+	if r < 1 {
+		r = 1
+	}
+	if r > n {
+		r = n
+	}
+	return r
+}
+
+// Multiselect places the element of each requested rank at its sorted
+// position: after it returns, data[r-1] is the r-th smallest element under
+// less for every r in ranks. Ranks are 1-based, must be sorted ascending
+// and unique, and must lie in [1, len(data)]; it returns the number of
+// dualheap root exchanges performed across all partitions.
+//
+// The pass recurses on the rank set rather than the array: the array is
+// partitioned at the middle rank, which splits both the data and the
+// remaining ranks in half, so each element participates in at most
+// O(log m) partitions for m ranks — far cheaper than m independent
+// selections and far cheaper than a full sort when m is small.
+func Multiselect[T any](data []T, ranks []int, less func(a, b T) bool, parallelism int) (swaps int64, err error) {
+	n := len(data)
+	for i, r := range ranks {
+		if r < 1 || r > n {
+			return 0, fmt.Errorf("sel: rank %d out of range [1, %d]", r, n)
+		}
+		if i > 0 && r <= ranks[i-1] {
+			return 0, fmt.Errorf("sel: ranks must be sorted ascending and unique, got %d after %d", r, ranks[i-1])
+		}
+	}
+	return multiselect(data, ranks, 0, less, parallelism), nil
+}
+
+// multiselect selects the given global 1-based ranks within data, which is
+// the sub-array starting at global 0-based offset off (so global rank r
+// lives at local index r-1-off once placed).
+func multiselect[T any](data []T, ranks []int, off int, less func(a, b T) bool, parallelism int) (swaps int64) {
+	if len(ranks) == 0 || len(data) == 0 {
+		return 0
+	}
+	mid := len(ranks) / 2
+	k := ranks[mid] - off // local rank of the splitting selection
+	swaps = Partition(data, k, less, parallelism)
+	// Partition leaves the k-th smallest at data[0] (the max-heap root).
+	// Move it to its sorted position k-1; data[:k-1] then holds exactly the
+	// k-1 smaller elements and data[k:] the larger ones, so the two
+	// recursions are independent.
+	data[0], data[k-1] = data[k-1], data[0]
+	swaps += multiselect(data[:k-1], ranks[:mid], off, less, parallelism)
+	swaps += multiselect(data[k:], ranks[mid+1:], off+k, less, parallelism)
+	return swaps
+}
+
+// QuantileRanks maps a set of quantiles over n elements to the
+// deduplicated, ascending rank list Multiselect expects, paired with the
+// index of each quantile's rank in that list (several quantiles may share
+// a rank at small n).
+func QuantileRanks(qs []float64, n int64) (ranks []int, at []int) {
+	at = make([]int, len(qs))
+	order := make([]int, len(qs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return qs[order[a]] < qs[order[b]] })
+	last := -1
+	for _, i := range order {
+		r := int(Rank(qs[i], n))
+		if r != last {
+			ranks = append(ranks, r)
+			last = r
+		}
+		at[i] = len(ranks) - 1
+	}
+	return ranks, at
+}

@@ -1,0 +1,208 @@
+package sel
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the simplified binary soft heap of Kaplan, Tarjan
+// and Zwick ("Soft Heaps Simplified"; applied to selection in "Selection
+// from Heaps, Row-Sorted Matrices and X+Y Using Soft Heaps"). A soft heap
+// is a priority queue that is allowed to corrupt items — raise their
+// apparent key above the true one — in exchange for amortised O(1)
+// inserts and melds. Corruption happens through car-pooling: each node
+// carries a list of items that all travel under one common soft key
+// (ckey), an upper bound on every true key in the list. Lists grow by
+// "double filling" nodes above the corruption threshold rank r, and the
+// parameter r = ⌈log2(1/ε)⌉ + 5 bounds the corrupted items at any time by
+// ε·n after n inserts.
+//
+// Selection needs exactly one consequence of those bounds: extracting k
+// items from a soft heap holding n yields items whose true rank is at most
+// k + εn, because any item ranked below an extracted one is either already
+// out or corrupted. ApproxSelect builds on that in select.go.
+
+// softNode is one node of a soft-heap tree: a rank, a car-pool of items
+// sharing the soft key ckey (every true key in list is ≤ ckey), and up to
+// two children whose ckeys are ≥ it.
+type softNode[T any] struct {
+	rank        int
+	ckey        T
+	list        []T
+	left, right *softNode[T]
+}
+
+func (x *softNode[T]) leaf() bool { return x.left == nil && x.right == nil }
+
+// SoftHeap is a meldable priority queue with a corruption budget: after n
+// Inserts at most ε·n items are corrupted (carry a soft key above their
+// true key). ε = 0 disables corruption entirely, degrading gracefully into
+// an exact — if comparison-heavier — binomial-style heap.
+type SoftHeap[T any] struct {
+	less  func(a, b T) bool
+	r     int            // corruption threshold: nodes of rank ≤ r never double-fill
+	roots []*softNode[T] // ascending rank, at most one tree per rank
+	size  int
+	eps   float64
+}
+
+// NewSoftHeap returns an empty soft heap ordered by less with corruption
+// parameter eps in [0, 1): at most eps·n of the n items inserted are ever
+// corrupted at once. eps = 0 yields an exact heap.
+func NewSoftHeap[T any](eps float64, less func(a, b T) bool) (*SoftHeap[T], error) {
+	if less == nil {
+		return nil, fmt.Errorf("sel: soft heap requires a comparator")
+	}
+	if eps < 0 || eps >= 1 || math.IsNaN(eps) {
+		return nil, fmt.Errorf("sel: corruption budget must be in [0, 1), got %v", eps)
+	}
+	r := math.MaxInt // eps == 0: no rank ever double-fills
+	if eps > 0 {
+		r = int(math.Ceil(math.Log2(1/eps))) + 5
+	}
+	return &SoftHeap[T]{less: less, r: r, eps: eps}, nil
+}
+
+// Len returns the number of items currently stored.
+func (h *SoftHeap[T]) Len() int { return h.size }
+
+// Epsilon returns the heap's corruption budget.
+func (h *SoftHeap[T]) Epsilon() float64 { return h.eps }
+
+// Corrupted counts the items currently corrupted — stored under a soft key
+// strictly above their true key. This is the quantity the soft-heap
+// guarantee bounds: at most ε times the number of Inserts performed, at
+// any moment. (The cumulative number of items that pass through a
+// corrupted state over a full drain is much larger — car-pooling
+// concentrates near the root, so most items are briefly corrupted just
+// before extraction — which is why the observable bound is on the
+// in-heap snapshot, and why this walks the trees instead of counting
+// events.)
+func (h *SoftHeap[T]) Corrupted() int64 {
+	var c int64
+	var walk func(x *softNode[T])
+	walk = func(x *softNode[T]) {
+		if x == nil {
+			return
+		}
+		for _, v := range x.list {
+			if h.less(v, x.ckey) {
+				c++
+			}
+		}
+		walk(x.left)
+		walk(x.right)
+	}
+	for _, rt := range h.roots {
+		walk(rt)
+	}
+	return c
+}
+
+// Insert adds an item in amortised O(1) comparisons beyond the binomial
+// carry chain: a rank-0 singleton tree is melded into the root list,
+// linking equal-rank trees like a binary counter increment.
+func (h *SoftHeap[T]) Insert(v T) {
+	h.size++
+	h.insertTree(&softNode[T]{ckey: v, list: []T{v}})
+}
+
+func (h *SoftHeap[T]) insertTree(n *softNode[T]) {
+	for {
+		i := h.rootIdx(n.rank)
+		if i < 0 {
+			break
+		}
+		m := h.roots[i]
+		h.roots = append(h.roots[:i], h.roots[i+1:]...)
+		n = h.link(n, m)
+	}
+	// Insert keeping the root list sorted by rank.
+	i := len(h.roots)
+	for i > 0 && h.roots[i-1].rank > n.rank {
+		i--
+	}
+	h.roots = append(h.roots, nil)
+	copy(h.roots[i+1:], h.roots[i:])
+	h.roots[i] = n
+}
+
+// rootIdx returns the index of the root with the given rank, or -1.
+func (h *SoftHeap[T]) rootIdx(rank int) int {
+	for i, rt := range h.roots {
+		if rt.rank == rank {
+			return i
+		}
+		if rt.rank > rank {
+			break
+		}
+	}
+	return -1
+}
+
+// link joins two equal-rank trees under a fresh parent one rank higher and
+// fills the parent's list from below.
+func (h *SoftHeap[T]) link(a, b *softNode[T]) *softNode[T] {
+	z := &softNode[T]{rank: a.rank + 1, left: a, right: b}
+	h.defill(z)
+	return z
+}
+
+// defill refills an empty node from its children: once always, and a
+// second time — the double fill that creates corruption by car-pooling two
+// lists under the larger ckey — at even ranks above the threshold r.
+func (h *SoftHeap[T]) defill(x *softNode[T]) {
+	h.fill(x)
+	if x.rank > h.r && x.rank%2 == 0 && !x.leaf() {
+		h.fill(x)
+	}
+}
+
+// fill moves the item list of x's smaller-ckey child into x, adopts that
+// child's ckey (still an upper bound on everything now in x's list), and
+// either deletes the exhausted child (if a leaf) or refills it.
+func (h *SoftHeap[T]) fill(x *softNode[T]) {
+	if x.left == nil {
+		x.left, x.right = x.right, nil
+	}
+	if x.right != nil && h.less(x.right.ckey, x.left.ckey) {
+		x.left, x.right = x.right, x.left
+	}
+	c := x.left
+	x.list = append(x.list, c.list...)
+	c.list = c.list[:0]
+	x.ckey = c.ckey
+	if c.leaf() {
+		x.left, x.right = x.right, nil
+	} else {
+		h.defill(c)
+	}
+}
+
+// ExtractMin removes and returns an item with the minimum soft key. The
+// returned item's true key is at most its soft key; it is the true minimum
+// whenever the item is uncorrupted. The boolean is false on an empty heap.
+func (h *SoftHeap[T]) ExtractMin() (T, bool) {
+	if h.size == 0 {
+		var zero T
+		return zero, false
+	}
+	bi := 0
+	for i := 1; i < len(h.roots); i++ {
+		if h.less(h.roots[i].ckey, h.roots[bi].ckey) {
+			bi = i
+		}
+	}
+	x := h.roots[bi]
+	v := x.list[len(x.list)-1]
+	x.list = x.list[:len(x.list)-1]
+	h.size--
+	if len(x.list) == 0 {
+		if x.leaf() {
+			h.roots = append(h.roots[:bi], h.roots[bi+1:]...)
+		} else {
+			h.defill(x)
+		}
+	}
+	return v, true
+}

@@ -1,0 +1,131 @@
+package sel
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/record"
+)
+
+func TestSoftHeapExactWhenEpsZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	h, err := NewSoftHeap[int](0, func(a, b int) bool { return a < b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	vals := make([]int, n)
+	for i := range vals {
+		vals[i] = rng.Intn(500)
+		h.Insert(vals[i])
+	}
+	sort.Ints(vals)
+	for i, want := range vals {
+		got, ok := h.ExtractMin()
+		if !ok {
+			t.Fatalf("heap empty after %d extractions, want %d", i, n)
+		}
+		if got != want {
+			t.Fatalf("extraction %d = %d, want %d", i, got, want)
+		}
+	}
+	if _, ok := h.ExtractMin(); ok {
+		t.Fatalf("extraction past the end succeeded")
+	}
+}
+
+func TestSoftHeapNeverCorruptsWhenEpsZero(t *testing.T) {
+	h, err := NewSoftHeap[int](0, func(a, b int) bool { return a < b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		h.Insert((i * 613) % 997)
+	}
+	if c := h.Corrupted(); c != 0 {
+		t.Fatalf("eps=0 heap holds %d corrupted items", c)
+	}
+}
+
+func TestSoftHeapValidatesEps(t *testing.T) {
+	less := func(a, b int) bool { return a < b }
+	for _, eps := range []float64{-0.1, 1, 1.5} {
+		if _, err := NewSoftHeap[int](eps, less); err == nil {
+			t.Fatalf("eps=%v accepted", eps)
+		}
+	}
+	if _, err := NewSoftHeap[int](0.5, nil); err == nil {
+		t.Fatalf("nil comparator accepted")
+	}
+}
+
+// TestSoftHeapCorruptionBudget verifies the KTZ guarantee the selection
+// path relies on: extracting k items from a heap of n yields items of true
+// rank ≤ k + εn, on every distribution.
+func TestSoftHeapCorruptionBudget(t *testing.T) {
+	const n = 5000
+	for _, eps := range []float64{0.01, 0.1, 0.3} {
+		for _, kind := range gen.Kinds {
+			t.Run(kind.String(), func(t *testing.T) {
+				recs := genRecords(t, kind, n)
+				ref := sortedCopy(recs)
+				h, err := NewSoftHeap[record.Record](eps, totalLess)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, r := range recs {
+					h.Insert(r)
+				}
+				budget := int(eps * float64(n))
+				rank := func(v record.Record) int {
+					return sort.Search(len(ref), func(i int) bool { return !totalLess(ref[i], v) }) + 1
+				}
+				if c := h.Corrupted(); c > int64(budget) {
+					t.Fatalf("eps=%v: %d corrupted after inserts, budget %d", eps, c, budget)
+				}
+				for k := 1; k <= n; k++ {
+					v, ok := h.ExtractMin()
+					if !ok {
+						t.Fatalf("eps=%v: heap empty after %d extractions", eps, k-1)
+					}
+					if r := rank(v); r > k+budget {
+						t.Fatalf("eps=%v: extraction %d has rank %d > %d+%d", eps, k, r, k, budget)
+					}
+					// The in-heap corruption bound must hold mid-drain too;
+					// probe a few snapshots (the walk is O(n)).
+					if k == n/4 || k == n/2 {
+						if c := h.Corrupted(); c > int64(budget) {
+							t.Fatalf("eps=%v: %d corrupted after %d extractions, budget %d", eps, c, k, budget)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestSoftHeapLenTracksContents(t *testing.T) {
+	h, err := NewSoftHeap[int](0.2, func(a, b int) bool { return a < b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Epsilon() != 0.2 {
+		t.Fatalf("Epsilon = %v", h.Epsilon())
+	}
+	for i := 0; i < 300; i++ {
+		h.Insert(i * 37 % 91)
+		if h.Len() != i+1 {
+			t.Fatalf("Len = %d after %d inserts", h.Len(), i+1)
+		}
+	}
+	for i := 299; i >= 0; i-- {
+		if _, ok := h.ExtractMin(); !ok {
+			t.Fatalf("empty with %d expected remaining", i+1)
+		}
+		if h.Len() != i {
+			t.Fatalf("Len = %d, want %d", h.Len(), i)
+		}
+	}
+}

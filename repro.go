@@ -49,12 +49,32 @@
 //	s.Distinct(ctx, src, dst)                    // one element per equivalence class
 //	s.GroupBy(ctx, src, sameGroup, reduce, dst)  // grouped aggregation
 //	s.TopK(ctx, src, k, dst)                     // k smallest, ascending
+//	s.BottomK(ctx, src, k, dst)                  // k largest, ascending
 //	repro.MergeJoin(ctx, ls, lsrc, rs, rsrc, cmp, join, dst)
 //
-// TopK with k within the memory budget never sorts at all: a bounded
-// max-heap tracks the selection threshold and nothing spills
+// TopK and BottomK with k within the memory budget never sort at all: a
+// bounded heap tracks the selection threshold and nothing spills
 // (OpStats.Sorted reports which path ran). See DESIGN.md §"Operator
 // layer" for the data flow and cost model.
+//
+// # Selection
+//
+// Order-statistic queries answer without sorting. Select partitions in
+// memory with a dualheap and returns the exact k-th smallest element;
+// Quantiles extracts the values at an arbitrary set of quantiles in one
+// pass; ApproxSelect runs soft-heap selection whose rank error is bounded
+// by a corruption budget eps:
+//
+//	v, st, err := s.Select(ctx, src, k)              // exact k-th smallest (1-based)
+//	vs, st, err := s.Quantiles(ctx, src, []float64{0.5, 0.9, 0.99})
+//	v, st, err := s.ApproxSelect(ctx, src, k, 0.01)  // true rank in [k, k+0.01n]
+//
+// Inputs larger than the memory budget spill through the usual run
+// machinery, but the answer is read off the final merge without
+// materialising it — a median query reads back about half the spilled
+// bytes. SelectStats reports the path taken, dualheap exchanges and, for
+// the approximate variant, the rank-error bound. See DESIGN.md
+// §"Selection subsystem".
 //
 // # Spill storage
 //

@@ -1,0 +1,74 @@
+package repro
+
+import (
+	"context"
+	"sort"
+	"testing"
+)
+
+// FuzzSelectRoundTrip drives the selection operators with arbitrary inputs
+// across the in-memory/spill boundary: the memory budget is fuzzed down to
+// the minimum, so the same logical query lands on the dualheap path, the
+// run-generation path, or straddles them between operators — and every
+// answer must match the sort-then-index reference exactly.
+func FuzzSelectRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(1), uint8(1))
+	f.Add([]byte{9, 9, 9, 9, 9, 9}, uint8(3), uint8(0))
+	f.Add([]byte{255, 0, 128, 64, 32, 16, 8, 4, 2, 1, 0, 255}, uint8(7), uint8(255))
+	f.Add([]byte("the quick brown fox jumps over the lazy dog"), uint8(20), uint8(5))
+	f.Fuzz(func(t *testing.T, raw []byte, kb, mem uint8) {
+		n := len(raw)
+		if n == 0 {
+			return
+		}
+		vals := make([]int64, n)
+		for i, b := range raw {
+			vals[i] = int64(int8(b)) // narrow range forces duplicates
+		}
+		ref := append([]int64(nil), vals...)
+		sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+
+		k := int(kb)%n + 1
+		budget := int(mem)%64 + 3 // straddles the spill boundary for most inputs
+		s, err := New(func(a, b int64) bool { return a < b }, WithMemoryRecords(budget), WithSeed(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+
+		got, st, err := s.Select(ctx, newSliceSource(vals), k)
+		if err != nil {
+			t.Fatalf("Select(k=%d, budget=%d): %v", k, budget, err)
+		}
+		if got != ref[k-1] {
+			t.Fatalf("Select(k=%d, budget=%d) = %d, want %d", k, budget, got, ref[k-1])
+		}
+		if wantSpill := n > budget; st.Sorted != wantSpill {
+			t.Fatalf("Select(k=%d, n=%d, budget=%d): Sorted = %v, want %v", k, n, budget, st.Sorted, wantSpill)
+		}
+
+		qs := []float64{0, 0.5, 1}
+		qgot, _, err := s.Quantiles(ctx, newSliceSource(vals), qs)
+		if err != nil {
+			t.Fatalf("Quantiles(budget=%d): %v", budget, err)
+		}
+		qwant := quantileRef(ref, qs)
+		for i := range qwant {
+			if qgot[i] != qwant[i] {
+				t.Fatalf("Quantiles(budget=%d)[%d] = %d, want %d", budget, i, qgot[i], qwant[i])
+			}
+		}
+
+		var bottom sliceSink[int64]
+		if _, err := s.BottomK(ctx, newSliceSource(vals), k, &bottom); err != nil {
+			t.Fatalf("BottomK(k=%d, budget=%d): %v", k, budget, err)
+		}
+		requireEqual(t, "fuzz bottom-k", bottom.vals, ref[n-k:])
+
+		var top sliceSink[int64]
+		if _, err := s.TopK(ctx, newSliceSource(vals), k, &top); err != nil {
+			t.Fatalf("TopK(k=%d, budget=%d): %v", k, budget, err)
+		}
+		requireEqual(t, "fuzz top-k", top.vals, ref[:k])
+	})
+}

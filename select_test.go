@@ -1,0 +1,363 @@
+package repro
+
+import (
+	"context"
+	"sort"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// The selection verification suite mirrors the operator suite: every
+// selection operator, on every one of the paper's six input distributions,
+// against a plain sort-then-index reference — over the fixed-width Record
+// codec and the variable-width string codec, on both sides of the
+// in-memory/spill boundary (the sorters' budget is 256 elements, so the
+// full-size inputs spill and the small ones do not).
+
+func sortedStrs(in []string) []string {
+	s := append([]string(nil), in...)
+	sort.Strings(s)
+	return s
+}
+
+func TestSelectMatchesReferenceAllDistributions(t *testing.T) {
+	n := opTestN(t)
+	for _, kind := range gen.Kinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			in := opRecords(kind, n, 31)
+			ref := sortedRecs(in)
+			for _, k := range []int{1, 2, n / 2, n - 1, n} {
+				got, st, err := recSorter(t).Select(context.Background(), newSliceSource(in), k)
+				if err != nil {
+					t.Fatalf("k=%d: %v", k, err)
+				}
+				if got != ref[k-1] {
+					t.Fatalf("k=%d: got %v, want %v", k, got, ref[k-1])
+				}
+				if !st.Sorted || st.In != int64(n) || st.Sort.Runs < 2 {
+					t.Fatalf("k=%d stats %+v: want a genuine spilled selection", k, st)
+				}
+			}
+
+			strs := opStrings(kind, n, 31)
+			sref := sortedStrs(strs)
+			for _, k := range []int{1, n / 3, n} {
+				got, st, err := strSorter(t).Select(context.Background(), newSliceSource(strs), k)
+				if err != nil {
+					t.Fatalf("strings k=%d: %v", k, err)
+				}
+				if got != sref[k-1] {
+					t.Fatalf("strings k=%d: got %q, want %q", k, got, sref[k-1])
+				}
+				if !st.Sorted {
+					t.Fatalf("strings k=%d: expected the spill path", k)
+				}
+			}
+		})
+	}
+}
+
+func TestSelectInMemoryPath(t *testing.T) {
+	for _, kind := range gen.Kinds {
+		in := opRecords(kind, 200, 32) // within the 256-element budget
+		ref := sortedRecs(in)
+		for _, k := range []int{1, 100, 200} {
+			got, st, err := recSorter(t).Select(context.Background(), newSliceSource(in), k)
+			if err != nil {
+				t.Fatalf("%v k=%d: %v", kind, k, err)
+			}
+			if got != ref[k-1] {
+				t.Fatalf("%v k=%d: got %v, want %v", kind, k, got, ref[k-1])
+			}
+			if st.Sorted || st.Sort.Runs != 0 || st.In != 200 {
+				t.Fatalf("%v k=%d stats %+v: want the in-memory dualheap path", kind, k, st)
+			}
+		}
+	}
+}
+
+func TestSelectValidates(t *testing.T) {
+	s := recSorter(t)
+	if _, _, err := s.Select(context.Background(), newSliceSource([]Record{{}}), 0); err == nil {
+		t.Fatalf("k=0 accepted")
+	}
+	if _, _, err := s.Select(context.Background(), newSliceSource([]Record{{}}), 2); err == nil {
+		t.Fatalf("rank beyond input accepted (in-memory)")
+	}
+	big := opRecords(gen.Random, 1000, 3)
+	if _, _, err := s.Select(context.Background(), newSliceSource(big), 1001); err == nil {
+		t.Fatalf("rank beyond input accepted (spilled)")
+	}
+}
+
+func TestSelectHonoursContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	in := opRecords(gen.Random, 2000, 5)
+	if _, _, err := recSorter(t).Select(ctx, newSliceSource(in), 10); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestQuantilesMatchReferenceAllDistributions(t *testing.T) {
+	n := opTestN(t)
+	qs := []float64{0.5, 0.9, 0.99}
+	for _, kind := range gen.Kinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			in := opRecords(kind, n, 41)
+			ref := sortedRecs(in)
+			want := quantileRef(ref, qs)
+			got, st, err := recSorter(t).Quantiles(context.Background(), newSliceSource(in), qs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireEqual(t, "quantiles", got, want)
+			if !st.Sorted || st.In != int64(n) {
+				t.Fatalf("stats %+v: want a genuine spilled quantile pass", st)
+			}
+
+			// In memory: same reference, small input, multiselect path.
+			small := opRecords(kind, 250, 42)
+			swant := quantileRef(sortedRecs(small), qs)
+			sgot, sst, err := recSorter(t).Quantiles(context.Background(), newSliceSource(small), qs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireEqual(t, "in-memory quantiles", sgot, swant)
+			if sst.Sorted {
+				t.Fatalf("stats %+v: want the in-memory multiselect path", sst)
+			}
+		})
+	}
+}
+
+func TestQuantilesStringsAndUnsortedQs(t *testing.T) {
+	n := opTestN(t)
+	strs := opStrings(gen.MixedBalanced, n, 43)
+	ref := sortedStrs(strs)
+	qs := []float64{0.99, 0, 0.5, 1} // deliberately unsorted, with extremes
+	got, _, err := strSorter(t).Quantiles(context.Background(), newSliceSource(strs), qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqual(t, "string quantiles", got, quantileRef(ref, qs))
+}
+
+// quantileRef picks ⌈q·n⌉-ranked elements (clamped) out of a sorted slice.
+func quantileRef[T any](ref []T, qs []float64) []T {
+	out := make([]T, len(qs))
+	n := len(ref)
+	for i, q := range qs {
+		r := int(q * float64(n))
+		if float64(r) < q*float64(n) {
+			r++
+		}
+		if r < 1 {
+			r = 1
+		}
+		if r > n {
+			r = n
+		}
+		out[i] = ref[r-1]
+	}
+	return out
+}
+
+func TestQuantilesValidate(t *testing.T) {
+	s := recSorter(t)
+	if _, _, err := s.Quantiles(context.Background(), newSliceSource([]Record{{}}), nil); err == nil {
+		t.Fatalf("empty quantile set accepted")
+	}
+	if _, _, err := s.Quantiles(context.Background(), newSliceSource([]Record{{}}), []float64{1.5}); err == nil {
+		t.Fatalf("q > 1 accepted")
+	}
+	if _, _, err := s.Quantiles(context.Background(), newSliceSource[Record](nil), []float64{0.5}); err == nil {
+		t.Fatalf("empty input accepted")
+	}
+}
+
+func TestBottomKMatchesReferenceAllDistributions(t *testing.T) {
+	n := opTestN(t)
+	for _, kind := range gen.Kinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			in := opRecords(kind, n, 51)
+			ref := sortedRecs(in)
+			// Bounded path: k within the 256-element budget.
+			for _, k := range []int{1, 10, 256} {
+				var out sliceSink[Record]
+				st, err := recSorter(t).BottomK(context.Background(), newSliceSource(in), k, &out)
+				if err != nil {
+					t.Fatalf("k=%d: %v", k, err)
+				}
+				requireEqual(t, "bounded bottom-k", out.vals, ref[n-k:])
+				if st.Sorted || st.In != int64(n) || st.Out != int64(k) {
+					t.Fatalf("k=%d stats %+v: want the bounded threshold-heap path", k, st)
+				}
+			}
+			// Spill path: k beyond the budget.
+			k := 600
+			var out sliceSink[Record]
+			st, err := recSorter(t).BottomK(context.Background(), newSliceSource(in), k, &out)
+			if err != nil {
+				t.Fatalf("k=%d: %v", k, err)
+			}
+			requireEqual(t, "spilled bottom-k", out.vals, ref[n-k:])
+			if !st.Sorted || st.Sort.Runs < 2 || st.Out != int64(k) {
+				t.Fatalf("k=%d stats %+v: want a genuine spilled bottom-k", k, st)
+			}
+
+			// Strings, bounded.
+			strs := opStrings(kind, n, 51)
+			sref := sortedStrs(strs)
+			var sout sliceSink[string]
+			if _, err := strSorter(t).BottomK(context.Background(), newSliceSource(strs), 25, &sout); err != nil {
+				t.Fatal(err)
+			}
+			requireEqual(t, "string bottom-k", sout.vals, sref[n-25:])
+		})
+	}
+}
+
+func TestBottomKEdgeCases(t *testing.T) {
+	s := recSorter(t)
+	var out sliceSink[Record]
+	if _, err := s.BottomK(context.Background(), newSliceSource([]Record{{Key: 1}}), -1, &out); err == nil {
+		t.Fatalf("negative k accepted")
+	}
+	st, err := s.BottomK(context.Background(), newSliceSource([]Record{{Key: 1}}), 0, &out)
+	if err != nil || st.Out != 0 || len(out.vals) != 0 {
+		t.Fatalf("k=0: st=%+v err=%v", st, err)
+	}
+	// k larger than the whole input returns everything, both paths.
+	in := opRecords(gen.Random, 100, 6)
+	ref := sortedRecs(in)
+	out.vals = nil
+	if _, err := s.BottomK(context.Background(), newSliceSource(in), 200, &out); err != nil {
+		t.Fatal(err)
+	}
+	requireEqual(t, "k>n bounded", out.vals, ref)
+	big := opRecords(gen.Random, 500, 6)
+	bref := sortedRecs(big)
+	out.vals = nil
+	if _, err := s.BottomK(context.Background(), newSliceSource(big), 400, &out); err != nil {
+		t.Fatal(err)
+	}
+	requireEqual(t, "spilled k close to n", out.vals, bref[100:])
+}
+
+func TestTopKAndBottomKArePerfectMirrors(t *testing.T) {
+	// The two directions share sel.Stream; selecting k smallest of the
+	// negated order must equal the k largest of the original.
+	in := opRecords(gen.Alternating, 1000, 61)
+	ref := sortedRecs(in)
+	var top, bottom sliceSink[Record]
+	if _, err := recSorter(t).TopK(context.Background(), newSliceSource(in), 50, &top); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := recSorter(t).BottomK(context.Background(), newSliceSource(in), 50, &bottom); err != nil {
+		t.Fatal(err)
+	}
+	requireEqual(t, "top", top.vals, ref[:50])
+	requireEqual(t, "bottom", bottom.vals, ref[950:])
+}
+
+func TestApproxSelectRankErrorWithinBudget(t *testing.T) {
+	n := opTestN(t)
+	for _, eps := range []float64{0.01, 0.1} {
+		for _, kind := range gen.Kinds {
+			t.Run(kind.String(), func(t *testing.T) {
+				in := opRecords(kind, n, 71)
+				ref := sortedRecs(in)
+				budget := int64(eps * float64(n))
+				for _, k := range []int{1, n / 100, n / 2, n} {
+					if k < 1 {
+						k = 1
+					}
+					got, st, err := recSorter(t).ApproxSelect(context.Background(), newSliceSource(in), k, eps)
+					if err != nil {
+						t.Fatalf("eps=%v k=%d: %v", eps, k, err)
+					}
+					// Rank bounds under duplicates: at least k elements must be
+					// ≤ got, and fewer than k+⌈εn⌉ strictly below it.
+					le, lt := 0, 0
+					for _, v := range ref {
+						if totalRecLess(v, got) {
+							lt++
+						}
+						if !totalRecLess(got, v) {
+							le++
+						}
+					}
+					if le < k {
+						t.Fatalf("eps=%v k=%d: only %d elements ≤ result, want ≥ %d", eps, k, le, k)
+					}
+					if int64(lt) > int64(k-1)+budget {
+						t.Fatalf("eps=%v k=%d: %d elements below result exceed k-1+%d", eps, k, lt, budget)
+					}
+					if st.RankErrorBound != int64(float64(budget)+0.5) && st.RankErrorBound < budget {
+						t.Fatalf("eps=%v: RankErrorBound = %d, want ≥ %d", eps, st.RankErrorBound, budget)
+					}
+					if st.In != int64(n) || st.Sorted {
+						t.Fatalf("stats %+v: ApproxSelect is an in-memory pass", st)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestApproxSelectExactWhenEpsZero(t *testing.T) {
+	in := opRecords(gen.Random, 1200, 72)
+	ref := sortedRecs(in)
+	for _, k := range []int{1, 600, 1200} {
+		got, st, err := recSorter(t).ApproxSelect(context.Background(), newSliceSource(in), k, 0)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if got != ref[k-1] {
+			t.Fatalf("k=%d: got %v, want %v", k, got, ref[k-1])
+		}
+		if st.Corrupted != 0 || st.RankErrorBound != 0 {
+			t.Fatalf("k=%d stats %+v: eps=0 must be corruption-free", k, st)
+		}
+	}
+}
+
+func TestApproxSelectValidates(t *testing.T) {
+	s := recSorter(t)
+	in := []Record{{Key: 1}}
+	if _, _, err := s.ApproxSelect(context.Background(), newSliceSource(in), 0, 0.1); err == nil {
+		t.Fatalf("k=0 accepted")
+	}
+	if _, _, err := s.ApproxSelect(context.Background(), newSliceSource(in), 1, 1.0); err == nil {
+		t.Fatalf("eps=1 accepted")
+	}
+	if _, _, err := s.ApproxSelect(context.Background(), newSliceSource(in), 2, 0.1); err == nil {
+		t.Fatalf("rank beyond input accepted")
+	}
+}
+
+func TestSelectSpillAgreesWithInMemory(t *testing.T) {
+	// The same input through both paths (budget 256 vs 1<<20) must select
+	// identical elements at every probed rank.
+	in := opRecords(gen.MixedImbalanced, 2000, 81)
+	small := recSorter(t)
+	large := recSorter(t, WithMemoryRecords(1<<20))
+	for _, k := range []int{1, 3, 999, 2000} {
+		a, ast, err := small.Select(context.Background(), newSliceSource(in), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, bst, err := large.Select(context.Background(), newSliceSource(in), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("k=%d: spill %v != in-memory %v", k, a, b)
+		}
+		if !ast.Sorted || bst.Sorted {
+			t.Fatalf("k=%d: paths not exercised as intended (%v, %v)", k, ast.Sorted, bst.Sorted)
+		}
+	}
+}
