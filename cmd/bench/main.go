@@ -28,13 +28,37 @@ import (
 	"repro/internal/stream"
 )
 
-// result is one benchmark measurement.
+// result is one benchmark measurement. Mode records whether the sort ran
+// on normalized keys ("keyed") or comparator calls ("comparator");
+// GenerationNs/MergeNs split the last iteration's wall clock into the run
+// generation and merge phases, attributing keyed wins to the phase that
+// earned them. All three are absent on rows without a sort behind them.
 type result struct {
-	Name        string  `json:"name"`
-	Iters       int     `json:"iters"`
-	NsPerOp     int64   `json:"ns_per_op"`
-	MBPerS      float64 `json:"mb_per_s"`
-	RecordsPerS float64 `json:"records_per_s"`
+	Name         string  `json:"name"`
+	Mode         string  `json:"mode,omitempty"`
+	Iters        int     `json:"iters"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	GenerationNs int64   `json:"generation_ns,omitempty"`
+	MergeNs      int64   `json:"merge_ns,omitempty"`
+	MBPerS       float64 `json:"mb_per_s"`
+	RecordsPerS  float64 `json:"records_per_s"`
+}
+
+// modeOf names a sort's comparison mode from its stats.
+func modeOf(st repro.Stats) string {
+	if st.Keyed {
+		return "keyed"
+	}
+	return "comparator"
+}
+
+// withPhases attaches the mode and per-phase wall clocks of one
+// representative run to a measured result.
+func withPhases(r result, st repro.Stats) result {
+	r.Mode = modeOf(st)
+	r.GenerationNs = st.RunGenWall.Nanoseconds()
+	r.MergeNs = st.MergeWall.Nanoseconds()
+	return r
 }
 
 // storageCell is one cell of the storage matrix: one spill backend sorting
@@ -81,6 +105,20 @@ type selectionCell struct {
 	RecordsPerS float64 `json:"records_per_s"`
 }
 
+// keyedCell is one cell of the keyed × policy × distribution matrix: one
+// run-generation policy sorting one paper distribution in one comparison
+// mode, with the phase split that shows where normalized keys pay.
+type keyedCell struct {
+	Dataset      string  `json:"dataset"`
+	Policy       string  `json:"policy"`
+	Mode         string  `json:"mode"`
+	Runs         int     `json:"runs"`
+	GenerationNs int64   `json:"generation_ns"`
+	MergeNs      int64   `json:"merge_ns"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	RecordsPerS  float64 `json:"records_per_s"`
+}
+
 // report is the schema of a BENCH_<n>.json file.
 type report struct {
 	Bench           int             `json:"bench"`
@@ -96,6 +134,7 @@ type report struct {
 	BaselineNote    string          `json:"baseline_note"`
 	Results         []result        `json:"results"`
 	PolicyMatrix    []policyCell    `json:"policy_matrix,omitempty"`
+	KeyedMatrix     []keyedCell     `json:"keyed_matrix,omitempty"`
 	StorageMatrix   []storageCell   `json:"storage_matrix,omitempty"`
 	SelectionMatrix []selectionCell `json:"selection_matrix,omitempty"`
 	Notes           []string        `json:"notes,omitempty"`
@@ -179,10 +218,31 @@ func main() {
 	recs := repro.Dataset(repro.DatasetRandom, *n, 42)
 	cfg := repro.DefaultConfig(*mem)
 
+	var lastStats repro.Stats
 	sortSlice := func(par int) error {
 		c := cfg
 		c.Parallelism = par
-		_, _, err := repro.SortSlice(recs, c)
+		_, st, err := repro.SortSlice(recs, c)
+		lastStats = st
+		return err
+	}
+	// The keyed/comparator pair at the quick policy — the configuration
+	// where normalized keys rewrite the most work (radix batch sorting plus
+	// the prefix merge) — on the same input and memory budget. Everything
+	// except the comparison mode is held fixed, so the rows are directly
+	// comparable to each other and to the classic sortslice_1m baseline.
+	sortModed := func(opts ...repro.Option) error {
+		c := cfg
+		c.Policy = "quick"
+		s, err := repro.New(record.Less, append([]repro.Option{
+			repro.WithConfig(c),
+			repro.WithCodec(repro.RecordCodec()),
+			repro.WithKey(record.Key)}, opts...)...)
+		if err != nil {
+			return err
+		}
+		_, st, err := s.SortSlice(nil, recs)
+		lastStats = st
 		return err
 	}
 	sortElementOnly := func() error {
@@ -219,8 +279,16 @@ func main() {
 		}
 		if json.Unmarshal(buf, &prior) == nil {
 			rep.Baseline = prior.Results
+			// Backfill the mode column onto baseline rows predating it:
+			// every earlier harness sorted through the comparator.
+			for i := range rep.Baseline {
+				if rep.Baseline[i].Mode == "" {
+					rep.Baseline[i].Mode = "comparator"
+				}
+			}
 			rep.BaselineNote = fmt.Sprintf(
-				"results of BENCH_%d (%s), measured with this harness on the same machine class",
+				"results of BENCH_%d (%s), measured with this harness on the same machine class; "+
+					"mode backfilled to \"comparator\" on rows predating the keyed path",
 				prior.Bench, *basePath)
 		}
 	}
@@ -232,11 +300,16 @@ func main() {
 		}
 	}
 
+	addSort := func(name string, f func() error) {
+		r := measure(name, *n, record.Size, f)
+		rep.Results = append(rep.Results, withPhases(r, lastStats))
+	}
+	addSort("sortslice_1m", func() error { return sortSlice(0) })
+	addSort("sortslice_1m_seq", func() error { return sortSlice(1) })
 	rep.Results = append(rep.Results,
-		measure("sortslice_1m", *n, record.Size, func() error { return sortSlice(0) }),
-		measure("sortslice_1m_seq", *n, record.Size, func() error { return sortSlice(1) }),
-		measure("sortslice_1m_element_seq", *n, record.Size, sortElementOnly),
-	)
+		measure("sortslice_1m_element_seq", *n, record.Size, sortElementOnly))
+	addSort("sortslice_1m_keyed", func() error { return sortModed() })
+	addSort("sortslice_1m_comparator", func() error { return sortModed(repro.WithoutKeys()) })
 	// The in-memory-heavy variant: budget close to the input size, merge
 	// nearly free; tracks the run-generation hot path alone.
 	mem64k := repro.DefaultConfig(1 << 16)
@@ -416,6 +489,83 @@ func main() {
 		rep.Notes = append(rep.Notes, fmt.Sprintf(
 			"descending input: classic rs generated %d runs, auto %d — %.1fx fewer",
 			rsRev.Runs, autoRev.Runs, float64(rsRev.Runs)/float64(autoRev.Runs)))
+	}
+
+	// Keyed × policy × distribution matrix: the policy sweep again, once
+	// per comparison mode, with the generation/merge phase split attached.
+	// Run counts are identical between modes by construction (the keyed
+	// path makes pointwise the same decisions), so the ns columns isolate
+	// what normalized keys are worth per policy and input shape.
+	fmt.Printf("\nkeyed × policy × distribution matrix (%d records, %d memory):\n", *mn, *mem)
+	keyedNs := map[string]int64{}
+	for _, dist := range dists {
+		data := repro.Dataset(dist, *mn, 42)
+		for _, pol := range repro.Policies() {
+			for _, mode := range []string{"keyed", "comparator"} {
+				opts := []repro.Option{
+					repro.WithConfig(func() repro.Config {
+						c := repro.DefaultConfig(*mem)
+						c.Policy = pol
+						return c
+					}()),
+					repro.WithCodec(repro.RecordCodec()),
+					repro.WithKey(record.Key),
+				}
+				if mode == "comparator" {
+					opts = append(opts, repro.WithoutKeys())
+				}
+				var stats repro.Stats
+				best := int64(-1)
+				for trial := 0; trial < 2; trial++ {
+					s, err := repro.New(record.Less, opts...)
+					if err != nil {
+						fmt.Fprintln(os.Stderr, err)
+						os.Exit(1)
+					}
+					start := time.Now()
+					_, st, err := s.SortSlice(nil, data)
+					if err != nil {
+						fmt.Fprintln(os.Stderr, err)
+						os.Exit(1)
+					}
+					if ns := time.Since(start).Nanoseconds(); best < 0 || ns < best {
+						best, stats = ns, st
+					}
+				}
+				cell := keyedCell{
+					Dataset:      distName[dist],
+					Policy:       pol,
+					Mode:         modeOf(stats),
+					Runs:         stats.Runs,
+					GenerationNs: stats.RunGenWall.Nanoseconds(),
+					MergeNs:      stats.MergeWall.Nanoseconds(),
+					NsPerOp:      best,
+					RecordsPerS:  float64(*mn) / (float64(best) / 1e9),
+				}
+				rep.KeyedMatrix = append(rep.KeyedMatrix, cell)
+				keyedNs[cell.Dataset+"/"+pol+"/"+cell.Mode] = best
+				fmt.Printf("  %-11s %-11s %-10s %6d runs %12d ns (gen %12d, merge %12d)\n",
+					cell.Dataset, cell.Policy, cell.Mode, cell.Runs,
+					cell.NsPerOp, cell.GenerationNs, cell.MergeNs)
+			}
+		}
+	}
+	for _, pol := range repro.Policies() {
+		var ratio float64
+		n := 0
+		for _, dist := range dists {
+			k := keyedNs[distName[dist]+"/"+pol+"/keyed"]
+			c := keyedNs[distName[dist]+"/"+pol+"/comparator"]
+			if k > 0 && c > 0 {
+				ratio += float64(c) / float64(k)
+				n++
+			}
+		}
+		if n > 0 {
+			rep.Notes = append(rep.Notes, fmt.Sprintf(
+				"keyed matrix %s: keyed mode averaged %.2fx the comparator mode's throughput across the six distributions",
+				pol, ratio/float64(n)))
+		}
 	}
 
 	// Storage matrix: every spill backend over spill streams at the two
@@ -616,13 +766,34 @@ func main() {
 	}
 
 	var sortNs, topkNs int64
+	var keyedRow, compRow result
 	for _, r := range rep.Results {
 		switch r.Name {
 		case "sortslice_1m":
 			sortNs = r.NsPerOp
 		case "topk100_1m":
 			topkNs = r.NsPerOp
+		case "sortslice_1m_keyed":
+			keyedRow = r
+		case "sortslice_1m_comparator":
+			compRow = r
 		}
+	}
+	if keyedRow.NsPerOp > 0 && compRow.NsPerOp > 0 {
+		note := fmt.Sprintf(
+			"keyed sortslice_1m (quick policy): %.0f records/s keyed vs %.0f comparator — %.2fx; "+
+				"generation %d ns vs %d, merge %d ns vs %d",
+			keyedRow.RecordsPerS, compRow.RecordsPerS,
+			float64(compRow.NsPerOp)/float64(keyedRow.NsPerOp),
+			keyedRow.GenerationNs, compRow.GenerationNs,
+			keyedRow.MergeNs, compRow.MergeNs)
+		for _, b := range rep.Baseline {
+			if b.Name == "sortslice_1m" && b.RecordsPerS > 0 {
+				note += fmt.Sprintf("; %.2fx the previous report's comparator sortslice_1m (%.0f records/s)",
+					keyedRow.RecordsPerS/b.RecordsPerS, b.RecordsPerS)
+			}
+		}
+		rep.Notes = append(rep.Notes, note)
 	}
 	if sortNs > 0 && topkNs > 0 {
 		rep.Notes = append(rep.Notes, fmt.Sprintf(

@@ -56,7 +56,10 @@ type generator[T any] struct {
 	// heuristics (Mean division point, victim gap split, MinDistance
 	// output) use it when present; comparator-only element types degrade
 	// to order-based fallbacks (buffer median, middle split, Random).
-	key       func(T) float64
+	key func(T) float64
+	// pfx caches normalized-key prefixes into double-heap items when the
+	// emitter carries a KeyCodec; nil on the comparator-only path.
+	pfx       func(T) uint64
 	em        *runio.Emitter[T]
 	in        *inputBuffer[T]
 	dh        *heap.DoubleHeap[T]
@@ -147,6 +150,7 @@ func NewStepper[T any](src stream.Reader[T], em *runio.Emitter[T], cfg Config, k
 		cfg:       cfg,
 		less:      less,
 		key:       key,
+		pfx:       em.PrefixFunc(),
 		em:        em,
 		in:        in,
 		dh:        heap.NewDouble(arena, less),
@@ -423,6 +427,9 @@ func (g *generator[T]) insertInput(rec T) {
 		toTop = g.chooseInsertSide(rec)
 	}
 	it := heap.Item[T]{Rec: rec, Run: run}
+	if g.pfx != nil {
+		it.Key = g.pfx(rec)
+	}
 	if toTop {
 		g.dh.PushTop(it)
 	} else {

@@ -8,6 +8,7 @@ package extsort
 import (
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -70,6 +71,17 @@ type Ops[T any] struct {
 	// Key optionally projects elements onto the real line for the numeric
 	// 2WRS heuristics; nil selects comparator-only fallbacks.
 	Key func(T) float64
+	// KeyCodec optionally produces memcmp-ordered normalized key bytes
+	// agreeing with Less (internal/codec). When set and consistent with
+	// Less on a sampled prefix of the input, both phases run keyed: run
+	// generation caches key prefixes (radix-sorting quick batches) and the
+	// merge compares normalized keys instead of calling Less per match. The
+	// sorted output is byte-identical either way.
+	KeyCodec codec.KeyCodec[T]
+	// KeyedExplicit marks KeyCodec as caller-supplied rather than inferred:
+	// a sampled order disagreement between KeyCodec and Less then fails the
+	// sort instead of silently falling back to the comparator.
+	KeyedExplicit bool
 	// ElementBytes estimates the stored size of one element for converting
 	// the record-denominated memory budget into merge buffer bytes. 0 uses
 	// Codec.FixedSize, falling back to 32 for variable-width codecs.
@@ -119,9 +131,86 @@ func (o Ops[T]) elementBytes() int {
 }
 
 // RecordOps returns the Ops for the historical fixed 16-byte Record
-// streams, the instantiation every legacy caller uses.
+// streams, the instantiation every legacy caller uses. The key codec is
+// inferred — record.Less is the natural int64 order on Key — so legacy
+// Record sorts run keyed automatically.
 func RecordOps() Ops[record.Record] {
-	return Ops[record.Record]{Less: record.Less, Codec: codec.Record16{}, Key: record.Key}
+	return Ops[record.Record]{Less: record.Less, Codec: codec.Record16{}, Key: record.Key, KeyCodec: codec.KeyRecord16{}}
+}
+
+// keySampleLen is how many leading elements the keyed path inspects before
+// trusting a KeyCodec: every ordered pair of the sample is checked both
+// ways against the comparator, which catches the realistic failure (a
+// comparator that is not the codec's natural order, e.g. descending)
+// within the first few distinct values.
+const keySampleLen = 64
+
+// pushback re-serves the elements a sampled validation consumed before
+// handing the rest of the stream through. It forwards Sized so pre-sizing
+// consumers still see the full count.
+type pushback[T any] struct {
+	buf  []T
+	pos  int
+	rest stream.Reader[T]
+}
+
+func (p *pushback[T]) Read() (T, error) {
+	if p.pos < len(p.buf) {
+		v := p.buf[p.pos]
+		p.pos++
+		return v, nil
+	}
+	return p.rest.Read()
+}
+
+func (p *pushback[T]) ReadBatch(dst []T) (int, error) {
+	if p.pos < len(p.buf) {
+		n := copy(dst, p.buf[p.pos:])
+		p.pos += n
+		return n, nil
+	}
+	return stream.AsBatchReader(p.rest).ReadBatch(dst)
+}
+
+func (p *pushback[T]) Remaining() int {
+	n := len(p.buf) - p.pos
+	if s, ok := p.rest.(stream.Sized); ok {
+		n += s.Remaining()
+	}
+	return n
+}
+
+// applyKeyCodec decides whether this sort runs keyed: it samples the head
+// of src, checks the codec's byte order against the comparator on every
+// sampled pair, and either arms the emitter (consistent), fails the sort
+// (explicit codec, inconsistent) or falls back to the comparator silently
+// (inferred codec, inconsistent — e.g. a descending comparator over the
+// natural int64 codec). The returned reader re-serves the sample.
+func applyKeyCodec[T any](src stream.Reader[T], em *runio.Emitter[T], ops Ops[T]) (stream.Reader[T], bool, error) {
+	if ops.KeyCodec == nil {
+		return src, false, nil
+	}
+	sample := make([]T, 0, keySampleLen)
+	br := stream.AsBatchReader(src)
+	for len(sample) < keySampleLen {
+		n, err := br.ReadBatch(sample[len(sample):keySampleLen])
+		if err != nil && err != io.EOF {
+			return nil, false, err
+		}
+		sample = sample[:len(sample)+n]
+		if err == io.EOF || n == 0 {
+			break
+		}
+	}
+	out := &pushback[T]{buf: sample, rest: src}
+	if !codec.KeyOrderConsistent(ops.KeyCodec, ops.Less, sample) {
+		if ops.KeyedExplicit {
+			return nil, false, fmt.Errorf("extsort: KeyCodec disagrees with Less on sampled input: normalized key order must match the comparator")
+		}
+		return out, false, nil
+	}
+	em.KeyCodec = ops.KeyCodec
+	return out, true, nil
 }
 
 // Config parameterises a complete external sort.
@@ -228,6 +317,10 @@ type Stats struct {
 	// changes the auto policy made (0 for every fixed policy).
 	Policy         string
 	PolicySwitches int
+	// Keyed reports whether the sort ran on normalized keys (Ops.KeyCodec
+	// accepted by the sampled order check); false means every comparison
+	// went through the comparator.
+	Keyed bool
 	// OverlapRuns counts 2WRS runs whose streams had to merge separately.
 	OverlapRuns int64
 	// MergeInputs, MergePasses and MergeOps describe the merge phase.
@@ -315,6 +408,14 @@ func GenerateRuns[T any](src stream.Reader[T], fs vfs.FS, cfg Config, ops Ops[T]
 
 	rset := &RunSet[T]{store: store, em: em, cfg: cfg, ops: ops, clock: clock}
 	rset.stats.Storage = store.String()
+
+	// Arm the keyed hot path if a key codec is available and survives the
+	// sampled order check against the comparator.
+	src, keyed, err := applyKeyCodec(src, em, ops)
+	if err != nil {
+		return nil, err
+	}
+	rset.stats.Keyed = keyed
 	simStart, wallStart := clock(), time.Now()
 
 	if cfg.Policy != policy.None {

@@ -12,10 +12,16 @@ package heap
 
 import "fmt"
 
-// Item is an element tagged with the run it belongs to.
+// Item is an element tagged with the run it belongs to, plus an optional
+// cached normalized-key prefix (codec.Prefix of the element's key bytes).
+// Keyed run generators fill Key so sift comparisons resolve on an integer
+// compare and call the comparator only on prefix ties; unkeyed callers
+// leave it zero, where every compare ties and falls through to the
+// comparator exactly as before.
 type Item[T any] struct {
 	Rec T
 	Run int
+	Key uint64
 }
 
 // arity is the branching factor of the heaps. With a caller-supplied
@@ -42,11 +48,21 @@ type side[T any] struct {
 }
 
 // beforeItem reports whether a has strictly higher priority than b: lower
-// run first, then the element order in the side's direction. It is a free
-// function over hoisted locals so the hot sift loops inline it.
+// run first, then the cached key prefix in the side's direction, then the
+// element order for prefix ties. Prefix order is a coarsening of the
+// comparator's (codec.Prefix), so the integer compare never contradicts
+// less and the decision sequence is identical to the comparator-only one.
+// It is a free function over hoisted locals so the hot sift loops inline
+// it.
 func beforeItem[T any](a, b Item[T], less func(a, b T) bool, desc bool) bool {
 	if a.Run != b.Run {
 		return a.Run < b.Run
+	}
+	if a.Key != b.Key {
+		if desc {
+			return a.Key > b.Key
+		}
+		return a.Key < b.Key
 	}
 	if desc {
 		return less(b.Rec, a.Rec)

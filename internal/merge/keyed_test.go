@@ -1,0 +1,326 @@
+package merge
+
+import (
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/record"
+	"repro/internal/stream"
+)
+
+// genSource adapts a generic slice to the Source interface.
+type genSource[T any] struct {
+	*stream.SliceReader[T]
+	closed bool
+}
+
+func (s *genSource[T]) Close() error {
+	s.closed = true
+	return nil
+}
+
+func genSrcOf[T any](vals []T) *genSource[T] {
+	return &genSource[T]{SliceReader: stream.NewSliceReader(vals)}
+}
+
+// buildRecordSources produces k sorted record runs with heavy key
+// duplication and distinguishable Aux payloads, so sequence equality
+// between engines checks tie placement, not just key order.
+func buildRecordSources(seed int64, k int) func() []Source[record.Record] {
+	return func() []Source[record.Record] {
+		rng := rand.New(rand.NewSource(seed))
+		srcs := make([]Source[record.Record], k)
+		serial := uint64(0)
+		for i := 0; i < k; i++ {
+			n := rng.Intn(120)
+			recs := make([]record.Record, n)
+			for j := range recs {
+				serial++
+				recs[j] = record.Record{Key: rng.Int63n(64), Aux: serial}
+			}
+			sort.SliceStable(recs, func(a, b int) bool { return recs[a].Key < recs[b].Key })
+			srcs[i] = genSrcOf(recs)
+		}
+		return srcs
+	}
+}
+
+func drainAll[T any](t *testing.T, s Source[T]) []T {
+	t.Helper()
+	var out []T
+	for {
+		v, err := s.Read()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, v)
+	}
+}
+
+// TestPrefixTreeMatchesLoserTree pins the fixed-width keyed engine against
+// the comparator loser tree on duplicate-heavy record runs: the output
+// sequences must be identical element-for-element (Aux included), i.e. the
+// engines make pointwise-equal winner decisions.
+func TestPrefixTreeMatchesLoserTree(t *testing.T) {
+	for trial := int64(0); trial < 20; trial++ {
+		k := 1 + int(trial%9)
+		build := buildRecordSources(trial, k)
+
+		lt, err := NewLoserTree(build(), record.Less)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := drainAll(t, lt)
+		lt.Close()
+
+		pt, err := newPrefixTree(build(), codec.PrefixFunc[record.Record](codec.KeyRecord16{}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := drainAll(t, pt)
+		pt.Close()
+
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: length %d, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: element %d = %+v, want %+v (tie placement differs)",
+					trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestOVCTreeMatchesLoserTree pins the offset-value-coded engine against
+// the comparator loser tree on variable-length string runs built to stress
+// both OVC paths: long shared prefixes (fast-path re-tags) and duplicate
+// keys across sources (equal-code ties).
+func TestOVCTreeMatchesLoserTree(t *testing.T) {
+	words := []string{"", "a", "aa", "aaaaaaaaaaaaaaaab", "aaaaaaaaaaaaaaaac",
+		"prefix/shared/deep/x", "prefix/shared/deep/y", "prefix/shared/z",
+		"zz", "\x00", "\x00\x01"}
+	var totalFast int64
+	for trial := int64(0); trial < 20; trial++ {
+		k := 1 + int(trial%7)
+		build := func() []Source[string] {
+			rng := rand.New(rand.NewSource(trial))
+			srcs := make([]Source[string], k)
+			for i := 0; i < k; i++ {
+				n := rng.Intn(100)
+				vals := make([]string, n)
+				for j := range vals {
+					w := words[rng.Intn(len(words))]
+					if rng.Intn(2) == 0 {
+						w += strings.Repeat("x", rng.Intn(30))
+					}
+					vals[j] = w
+				}
+				sort.Strings(vals)
+				srcs[i] = genSrcOf(vals)
+			}
+			return srcs
+		}
+
+		less := func(a, b string) bool { return a < b }
+		lt, err := NewLoserTree(build(), less)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := drainAll(t, lt)
+		lt.Close()
+
+		ot, err := newOVCTree[string](build(), codec.KeyString{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := drainAll(t, ot)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: length %d, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: element %d = %q, want %q", trial, i, got[i], want[i])
+			}
+		}
+		totalFast += ot.fastPath
+		ot.Close()
+	}
+	// A single-source trial has no matches at all, but across twenty trials
+	// of duplicate-heavy shared-prefix runs the fast path must fire.
+	if totalFast == 0 {
+		t.Fatal("OVC fast path never taken across all trials")
+	}
+}
+
+// TestOVCTreeLongKeysVsFixedEngine runs the OVC engine on a keyspace where
+// the decisive byte sits far past the 8-byte prefix — the regime the
+// fixed-width prefix engine cannot handle and OVC exists for.
+func TestOVCTreeLongKeysVsFixedEngine(t *testing.T) {
+	const shared = "this-shared-prefix-is-much-longer-than-eight-bytes/"
+	build := func() []Source[string] {
+		rng := rand.New(rand.NewSource(99))
+		srcs := make([]Source[string], 6)
+		for i := range srcs {
+			vals := make([]string, 200)
+			for j := range vals {
+				vals[j] = shared + string(rune('a'+rng.Intn(26))) + string(rune('a'+rng.Intn(26)))
+			}
+			sort.Strings(vals)
+			srcs[i] = genSrcOf(vals)
+		}
+		return srcs
+	}
+	less := func(a, b string) bool { return a < b }
+	lt, _ := NewLoserTree(build(), less)
+	want := drainAll(t, lt)
+	lt.Close()
+
+	ot, err := newOVCTree[string](build(), codec.KeyString{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drainAll(t, ot)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("element %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	// Every key shares a 51-byte prefix; with offset-value coding the vast
+	// majority of matches must resolve without touching the key bytes.
+	if ot.fastPath < ot.fullCmp {
+		t.Fatalf("fast path %d < full compares %d on a shared-prefix keyspace",
+			ot.fastPath, ot.fullCmp)
+	}
+	ot.Close()
+}
+
+// TestKeyedEnginesEmptyAndSingle covers the degenerate shapes for both
+// keyed engines: no sources, all-empty sources, and a lone element.
+func TestKeyedEnginesEmptyAndSingle(t *testing.T) {
+	pfx := codec.PrefixFunc[record.Record](codec.KeyRecord16{})
+	pt, err := newPrefixTree[record.Record](nil, pfx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pt.Read(); err != io.EOF {
+		t.Fatalf("empty prefix tree Read = %v, want io.EOF", err)
+	}
+	pt.Close()
+
+	pt2, _ := newPrefixTree([]Source[record.Record]{
+		genSrcOf([]record.Record(nil)),
+		genSrcOf([]record.Record{{Key: 5, Aux: 1}}),
+		genSrcOf([]record.Record(nil)),
+	}, pfx)
+	got := drainAll[record.Record](t, pt2)
+	if len(got) != 1 || got[0].Key != 5 {
+		t.Fatalf("got %v, want the single record", got)
+	}
+	pt2.Close()
+
+	ot, err := newOVCTree[string](nil, codec.KeyString{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := ot.ReadBatch(make([]string, 4)); n != 0 || err != io.EOF {
+		t.Fatalf("empty OVC tree ReadBatch = %d, %v, want io.EOF", n, err)
+	}
+	ot.Close()
+}
+
+// BenchmarkKeyedVsComparatorMerge is the CI microbenchmark guard: the same
+// merge through the comparator loser tree, the prefix engine and the OVC
+// engine. Each keyed iteration also asserts element-for-element equality
+// with the comparator output, so a single -benchtime 1x -short run doubles
+// as a correctness gate.
+func BenchmarkKeyedVsComparatorMerge(b *testing.B) {
+	const k, n = 10, 2000
+	build := func() []Source[record.Record] {
+		rng := rand.New(rand.NewSource(3))
+		srcs := make([]Source[record.Record], k)
+		serial := uint64(0)
+		for i := 0; i < k; i++ {
+			recs := make([]record.Record, n)
+			for j := range recs {
+				serial++
+				recs[j] = record.Record{Key: rng.Int63n(1 << 30), Aux: serial}
+			}
+			sort.SliceStable(recs, func(a, bb int) bool { return recs[a].Key < recs[bb].Key })
+			srcs[i] = genSrcOf(recs)
+		}
+		return srcs
+	}
+	drainB := func(b *testing.B, s Source[record.Record], want []record.Record) []record.Record {
+		out := make([]record.Record, 0, k*n)
+		buf := make([]record.Record, 512)
+		br := stream.AsBatchReader[record.Record](s)
+		for {
+			m, err := br.ReadBatch(buf)
+			out = append(out, buf[:m]...)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		if want != nil {
+			if len(out) != len(want) {
+				b.Fatalf("length %d, want %d", len(out), len(want))
+			}
+			for i := range want {
+				if out[i] != want[i] {
+					b.Fatalf("keyed merge diverged from comparator at element %d: %+v vs %+v",
+						i, out[i], want[i])
+				}
+			}
+		}
+		return out
+	}
+
+	lt, err := NewLoserTree(build(), record.Less)
+	if err != nil {
+		b.Fatal(err)
+	}
+	want := drainB(b, lt, nil)
+	lt.Close()
+
+	b.Run("comparator", func(b *testing.B) {
+		b.SetBytes(int64(k * n * record.Size))
+		for i := 0; i < b.N; i++ {
+			lt, _ := NewLoserTree(build(), record.Less)
+			drainB(b, lt, want)
+			lt.Close()
+		}
+	})
+	b.Run("prefix", func(b *testing.B) {
+		b.SetBytes(int64(k * n * record.Size))
+		for i := 0; i < b.N; i++ {
+			pt, err := newPrefixTree(build(), codec.PrefixFunc[record.Record](codec.KeyRecord16{}))
+			if err != nil {
+				b.Fatal(err)
+			}
+			drainB(b, pt, want)
+			pt.Close()
+		}
+	})
+	b.Run("ovc", func(b *testing.B) {
+		b.SetBytes(int64(k * n * record.Size))
+		for i := 0; i < b.N; i++ {
+			ot, err := newOVCTree[record.Record](build(), codec.KeyRecord16{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			drainB(b, ot, want)
+			ot.Close()
+		}
+	})
+}

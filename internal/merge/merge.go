@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/codec"
 	"repro/internal/runio"
 	"repro/internal/stream"
 )
@@ -78,13 +79,23 @@ type Stats struct {
 	Inputs int
 }
 
-// newEngine builds the configured merge engine over the inputs.
-func newEngine[T any](cfg Config, srcs []Source[T], less func(a, b T) bool) (Source[T], error) {
-	switch cfg.Engine {
-	case EngineHeap:
-		return NewHeapMerger(srcs, less)
+// newEngine builds the configured merge engine over the inputs. When the
+// emitter carries a KeyCodec the default engine merges on normalized keys —
+// a prefix tree when the whole key fits the cached uint64, offset-value
+// coding otherwise (keyed.go) — with output byte-identical to the
+// comparator tree's. EngineHeap stays comparator-driven: it exists as an
+// ablation baseline and measuring it through keys would defeat the point.
+func newEngine[T any](em *runio.Emitter[T], cfg Config, srcs []Source[T]) (Source[T], error) {
+	switch {
+	case cfg.Engine == EngineHeap:
+		return NewHeapMerger(srcs, em.Less)
+	case em.KeyCodec != nil:
+		if fs := em.KeyCodec.FixedKeySize(); fs >= 1 && fs <= 8 {
+			return newPrefixTree(srcs, codec.PrefixFunc(em.KeyCodec))
+		}
+		return newOVCTree(srcs, em.KeyCodec)
 	default:
-		return NewLoserTree(srcs, less)
+		return NewLoserTree(srcs, em.Less)
 	}
 }
 
@@ -295,7 +306,7 @@ func mergeGroup[T any](em *runio.Emitter[T], group []runio.Run, name string, buf
 	if err != nil {
 		return runio.Run{}, err
 	}
-	eng, err := newEngine(cfg, srcs, em.Less)
+	eng, err := newEngine(em, cfg, srcs)
 	if err != nil {
 		return runio.Run{}, err
 	}

@@ -18,6 +18,7 @@ import (
 
 // Tape is an ordered list of runs.
 type Tape struct {
+	// Runs lists the tape's runs head to tail, in merge order.
 	Runs []runio.Run
 }
 

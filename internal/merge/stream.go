@@ -86,7 +86,7 @@ func NewStream[T any](em *runio.Emitter[T], inputs []runio.Run, cfg Config) (*St
 		st.eng = srcs[0]
 		st.stats.Passes = depth
 	} else {
-		st.eng, err = newEngine(cfg, srcs, em.Less)
+		st.eng, err = newEngine(em, cfg, srcs)
 		if err != nil {
 			return nil, err
 		}

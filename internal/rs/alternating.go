@@ -26,11 +26,14 @@ import (
 // steady-state memory is one extra arena over classic RS (documented in
 // DESIGN.md §9's cost model).
 type AltStepper[T any] struct {
-	em      *runio.Emitter[T]
-	in      *stream.Fetcher[T]
-	up      *heap.Heap[T] // min-heap, feeds ascending runs
-	dn      *heap.Heap[T] // max-heap, feeds descending runs
-	down    bool          // direction of the run the next NextRun emits
+	em *runio.Emitter[T]
+	in *stream.Fetcher[T]
+	up *heap.Heap[T] // min-heap, feeds ascending runs
+	dn *heap.Heap[T] // max-heap, feeds descending runs
+	// pfx caches normalized-key prefixes into heap items when the emitter
+	// carries a KeyCodec; nil on the comparator-only path.
+	pfx     func(T) uint64
+	down    bool // direction of the run the next NextRun emits
 	memory  int
 	current int
 }
@@ -49,6 +52,7 @@ func NewAltStepper[T any](src stream.Reader[T], em *runio.Emitter[T], memory int
 		in:     stream.NewFetcher(src, fetchLen(memory)),
 		up:     heap.New(memory, false, less),
 		dn:     heap.New(memory, true, less),
+		pfx:    em.PrefixFunc(),
 		down:   startDown,
 		memory: memory,
 	}, nil
@@ -73,7 +77,11 @@ func (s *AltStepper[T]) fill() error {
 		if !ok {
 			return nil
 		}
-		h.Push(heap.Item[T]{Rec: rec, Run: s.current})
+		it := heap.Item[T]{Rec: rec, Run: s.current}
+		if s.pfx != nil {
+			it.Key = s.pfx(rec)
+		}
+		h.Push(it)
 	}
 	return nil
 }
@@ -122,11 +130,16 @@ func (s *AltStepper[T]) upRun(h *heap.Heap[T]) (runio.Run, error) {
 		if !ok {
 			continue
 		}
-		run := s.current
-		if less(rec, it.Rec) {
-			run = s.current + 1
+		nit := heap.Item[T]{Rec: rec, Run: s.current}
+		if s.pfx != nil {
+			nit.Key = s.pfx(rec)
+			if nit.Key < it.Key || (nit.Key == it.Key && less(rec, it.Rec)) {
+				nit.Run = s.current + 1
+			}
+		} else if less(rec, it.Rec) {
+			nit.Run = s.current + 1
 		}
-		h.Push(heap.Item[T]{Rec: rec, Run: run})
+		h.Push(nit)
 	}
 	if err := w.Close(); err != nil {
 		return runio.Run{}, err
@@ -155,11 +168,18 @@ func (s *AltStepper[T]) downRun(h *heap.Heap[T]) (runio.Run, error) {
 		if !ok {
 			continue
 		}
-		run := s.current
-		if less(it.Rec, rec) {
-			run = s.current + 1
+		nit := heap.Item[T]{Rec: rec, Run: s.current}
+		if s.pfx != nil {
+			// Mirrored decision: a replacement exceeding the record just
+			// written is tagged for the next run.
+			nit.Key = s.pfx(rec)
+			if nit.Key > it.Key || (nit.Key == it.Key && less(it.Rec, rec)) {
+				nit.Run = s.current + 1
+			}
+		} else if less(it.Rec, rec) {
+			nit.Run = s.current + 1
 		}
-		h.Push(heap.Item[T]{Rec: rec, Run: run})
+		h.Push(nit)
 	}
 	if err := w.Close(); err != nil {
 		return runio.Run{}, err

@@ -28,6 +28,20 @@ type QuickStepper[T any] struct {
 	buf    []T
 	memory int
 	eof    bool
+	// Keyed path state: pfx computes the cached normalized-key prefix, and
+	// the two pair buffers (sorted + radix scratch) are reused across runs.
+	pfx     func(T) uint64
+	pairs   []keyed[T]
+	scratch []keyed[T]
+	radix   bool // key is total and ≤ 8 bytes: pure radix, zero compares
+	// radixIfUnique marks complete ≤8-byte keys that do NOT determine the
+	// element (e.g. a record's key field with a payload): radix sort is
+	// attempted first and kept only when the batch has no duplicate keys —
+	// a batch of distinct keys has exactly one ascending permutation, so
+	// any correct sort (radix included) matches the comparator path's.
+	// Duplicates force a rebuild and the comparison sort, whose tie
+	// placement is what the comparator path produces.
+	radixIfUnique bool
 }
 
 // NewQuickStepper returns a QuickStepper over src with a load buffer of
@@ -36,7 +50,15 @@ func NewQuickStepper[T any](src stream.Reader[T], em *runio.Emitter[T], memory i
 	if memory <= 0 {
 		return nil, fmt.Errorf("rs: memory must be positive, got %d", memory)
 	}
-	return &QuickStepper[T]{em: em, br: stream.AsBatchReader(src), memory: memory}, nil
+	s := &QuickStepper[T]{em: em, br: stream.AsBatchReader(src), memory: memory}
+	if kc := em.KeyCodec; kc != nil {
+		s.pfx = em.PrefixFunc()
+		if fs := kc.FixedKeySize(); fs >= 1 && fs <= 8 {
+			s.radix = kc.TotalKey()
+			s.radixIfUnique = !kc.TotalKey()
+		}
+	}
+	return s, nil
 }
 
 // NextRun loads, sorts and stores one memory-sized run; ok is false at end
@@ -62,16 +84,56 @@ func (s *QuickStepper[T]) NextRun() (runio.Run, bool, error) {
 	}
 	buf := s.buf[:fill]
 	less := s.em.Less
-	slices.SortFunc(buf, func(a, b T) int {
-		switch {
-		case less(a, b):
-			return -1
-		case less(b, a):
-			return 1
-		default:
-			return 0
+	if s.pfx != nil {
+		// Keyed batch sort: pair every element with its normalized-key
+		// prefix. A total ≤8-byte key sorts by pure MSD radix (no
+		// comparator at all; ties are byte-identical elements). Otherwise
+		// pdqsort runs over the pairs with the prefix deciding strictly
+		// ordered pairs and the comparator breaking prefix ties — pointwise
+		// the same decisions as the comparator-only sort, hence the same
+		// permutation and byte-identical run contents.
+		if s.pairs == nil {
+			s.pairs = make([]keyed[T], s.memory)
+			if s.radix || s.radixIfUnique {
+				s.scratch = make([]keyed[T], s.memory)
+			}
 		}
-	})
+		pairs := s.pairs[:fill]
+		for i, v := range buf {
+			pairs[i] = keyed[T]{k: s.pfx(v), v: v}
+		}
+		switch {
+		case s.radix:
+			radixSortKeyed(pairs, s.scratch[:fill])
+		case s.radixIfUnique:
+			radixSortKeyed(pairs, s.scratch[:fill])
+			if dupKeys(pairs) {
+				// Equal keys exist, so tie placement matters: restore the
+				// original order from buf and let the comparison sort place
+				// ties exactly as the comparator path would.
+				for i, v := range buf {
+					pairs[i] = keyed[T]{k: s.pfx(v), v: v}
+				}
+				sortPairs(pairs, less)
+			}
+		default:
+			sortPairs(pairs, less)
+		}
+		for i := range pairs {
+			buf[i] = pairs[i].v
+		}
+	} else {
+		slices.SortFunc(buf, func(a, b T) int {
+			switch {
+			case less(a, b):
+				return -1
+			case less(b, a):
+				return 1
+			default:
+				return 0
+			}
+		})
+	}
 	name, w, err := s.em.Forward("quick")
 	if err != nil {
 		return runio.Run{}, false, err
@@ -83,6 +145,39 @@ func (s *QuickStepper[T]) NextRun() (runio.Run, bool, error) {
 		return runio.Run{}, false, err
 	}
 	return runio.SingleRun(name, int64(fill)), true, nil
+}
+
+// sortPairs orders keyed pairs with the standard comparison sort: the
+// cached prefix decides strictly ordered pairs, the comparator breaks
+// prefix ties — pointwise the same decisions as sorting the elements with
+// the comparator alone, hence the same permutation and byte-identical run
+// contents.
+func sortPairs[T any](pairs []keyed[T], less func(a, b T) bool) {
+	slices.SortFunc(pairs, func(a, b keyed[T]) int {
+		switch {
+		case a.k != b.k:
+			if a.k < b.k {
+				return -1
+			}
+			return 1
+		case less(a.v, b.v):
+			return -1
+		case less(b.v, a.v):
+			return 1
+		default:
+			return 0
+		}
+	})
+}
+
+// dupKeys reports whether a sorted pair slice contains a duplicate key.
+func dupKeys[T any](pairs []keyed[T]) bool {
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i].k == pairs[i-1].k {
+			return true
+		}
+	}
+	return false
 }
 
 // Carry returns nil: a QuickStepper holds nothing between runs — every run

@@ -1,0 +1,75 @@
+package rs
+
+// MSD radix sorting for keyed run batches. The QuickStepper pairs each
+// element with its uint64 normalized-key prefix (codec.Prefix); when the key
+// codec is total and at most 8 bytes wide, the prefix IS the key, so the
+// batch can be ordered without a single comparator call: most-significant-
+// digit radix over the prefix bytes, falling back to insertion sort on small
+// buckets. Ties carry byte-identical elements (that is what TotalKey
+// guarantees), so any tie order stores the same run bytes as the
+// comparator path would.
+
+// keyed pairs an element with its cached normalized-key prefix.
+type keyed[T any] struct {
+	k uint64
+	v T
+}
+
+// radixCutoff is the bucket size below which MSD recursion switches to
+// insertion sort on the cached prefixes: small buckets are cheaper to
+// finish in place than to count and scatter again.
+const radixCutoff = 48
+
+// insertionKeyed sorts a small slice ascending by prefix.
+func insertionKeyed[T any](a []keyed[T]) {
+	for i := 1; i < len(a); i++ {
+		x := a[i]
+		j := i - 1
+		for j >= 0 && a[j].k > x.k {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = x
+	}
+}
+
+// radixSortKeyed sorts a ascending by the k field using MSD radix over the
+// bytes of the prefix, most significant first. scratch must be at least as
+// long as a; contents of both are clobbered.
+func radixSortKeyed[T any](a, scratch []keyed[T]) {
+	radixMSD(a, scratch, 56)
+}
+
+// radixMSD sorts one bucket by the byte at the given shift, recursing into
+// sub-buckets at the next byte down.
+func radixMSD[T any](a, scratch []keyed[T], shift uint) {
+	if len(a) <= radixCutoff {
+		insertionKeyed(a)
+		return
+	}
+	var count [256]int
+	for i := range a {
+		count[byte(a[i].k>>shift)]++
+	}
+	var offs [256]int
+	sum := 0
+	for b := 0; b < 256; b++ {
+		offs[b] = sum
+		sum += count[b]
+	}
+	pos := offs
+	for i := range a {
+		b := byte(a[i].k >> shift)
+		scratch[pos[b]] = a[i]
+		pos[b]++
+	}
+	copy(a, scratch[:len(a)])
+	if shift == 0 {
+		return
+	}
+	for b := 0; b < 256; b++ {
+		if count[b] > 1 {
+			radixMSD(a[offs[b]:offs[b]+count[b]], scratch[:count[b]], shift-8)
+		}
+	}
+}

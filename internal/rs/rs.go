@@ -67,9 +67,12 @@ func (r Result) AvgRunLength() float64 {
 // may stop after any run and either continue later or hand the buffered
 // state to a different generator via Carry.
 type Stepper[T any] struct {
-	em         *runio.Emitter[T]
-	in         *stream.Fetcher[T]
-	h          *heap.Heap[T]
+	em *runio.Emitter[T]
+	in *stream.Fetcher[T]
+	h  *heap.Heap[T]
+	// pfx caches normalized-key prefixes into heap items when the emitter
+	// carries a KeyCodec; nil on the comparator-only path.
+	pfx        func(T) uint64
 	currentRun int
 	records    int64
 }
@@ -85,8 +88,9 @@ func NewStepper[T any](src stream.Reader[T], em *runio.Emitter[T], memory int) (
 		em: em,
 		// All input flows through a batched fetch buffer: one ReadBatch per
 		// fetchLen elements instead of an interface call per record.
-		in: stream.NewFetcher(src, fetchLen(memory)),
-		h:  heap.New(memory, false, em.Less),
+		in:  stream.NewFetcher(src, fetchLen(memory)),
+		h:   heap.New(memory, false, em.Less),
+		pfx: em.PrefixFunc(),
 	}, nil
 }
 
@@ -104,7 +108,11 @@ func (s *Stepper[T]) fill() error {
 		if !ok {
 			return nil
 		}
-		s.h.Push(heap.Item[T]{Rec: rec, Run: s.currentRun})
+		it := heap.Item[T]{Rec: rec, Run: s.currentRun}
+		if s.pfx != nil {
+			it.Key = s.pfx(rec)
+		}
+		s.h.Push(it)
 		s.records++
 	}
 	return nil
@@ -143,11 +151,19 @@ func (s *Stepper[T]) NextRun() (runio.Run, bool, error) {
 			continue
 		}
 		s.records++
-		run := s.currentRun
-		if less(rec, it.Rec) {
-			run = s.currentRun + 1
+		nit := heap.Item[T]{Rec: rec, Run: s.currentRun}
+		if s.pfx != nil {
+			// The replacement decision rides the cached prefixes too: the
+			// integer compare decides strictly ordered pairs and only prefix
+			// ties consult the comparator — the same decision either way.
+			nit.Key = s.pfx(rec)
+			if nit.Key < it.Key || (nit.Key == it.Key && less(rec, it.Rec)) {
+				nit.Run = s.currentRun + 1
+			}
+		} else if less(rec, it.Rec) {
+			nit.Run = s.currentRun + 1
 		}
-		s.h.Push(heap.Item[T]{Rec: rec, Run: run})
+		s.h.Push(nit)
 	}
 	if err := w.Close(); err != nil {
 		return runio.Run{}, false, err

@@ -33,6 +33,13 @@ type Emitter[T any] struct {
 	// file I/O. The driver enables it when Parallelism > 1; the bytes
 	// written are identical either way.
 	Async bool
+	// KeyCodec, when set, supplies memcmp-ordered normalized key bytes
+	// consistent with Less (see codec.KeyCodec). Run generators then cache
+	// key prefixes in their heaps and sort batches on the normalized bytes,
+	// and the merge engines compare keys instead of calling Less; the
+	// sorted output is byte-identical either way. The driver sets it only
+	// after the codec passes the sampled order check.
+	KeyCodec codec.KeyCodec[T]
 }
 
 // NewEmitter returns an Emitter with default sizes writing through the raw
@@ -51,6 +58,16 @@ func NewEmitterOn[T any](st storage.Backend, prefix string, c codec.Codec[T], le
 // streams, the instantiation every legacy caller uses.
 func RecordEmitter(fs vfs.FS, prefix string) *Emitter[record.Record] {
 	return NewEmitter[record.Record](fs, prefix, codec.Record16{}, record.Less)
+}
+
+// PrefixFunc returns a closure computing the uint64 normalized-key prefix
+// of an element, or nil when the emitter carries no KeyCodec. Each closure
+// owns its scratch buffer: callers on different goroutines take their own.
+func (e *Emitter[T]) PrefixFunc() func(T) uint64 {
+	if e.KeyCodec == nil {
+		return nil
+	}
+	return codec.PrefixFunc(e.KeyCodec)
 }
 
 // Forward creates a fresh forward run file; role distinguishes streams in

@@ -1,0 +1,267 @@
+package repro
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/record"
+)
+
+// sortKeys sorts the dataset twice — keyed (inferred codec) and with
+// WithoutKeys — under the given policy and asserts the outputs are
+// element-for-element identical, Aux included. Byte-identical output at
+// every setting is the keyed path's core guarantee.
+func sortBothWays(t *testing.T, data []record.Record, policy string) {
+	t.Helper()
+	cfg := DefaultConfig(1 << 10)
+	run := func(opts ...Option) ([]record.Record, Stats) {
+		opts = append([]Option{WithConfig(cfg), WithPolicy(policy)}, opts...)
+		s, err := New(record.Less, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, stats, err := s.SortSlice(context.Background(), data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out, stats
+	}
+	keyed, kst := run()
+	comp, cst := run(WithoutKeys())
+	if !kst.Keyed {
+		t.Fatalf("policy %s: inferred record codec did not engage (Stats.Keyed=false)", policy)
+	}
+	if cst.Keyed {
+		t.Fatalf("policy %s: WithoutKeys still reported Stats.Keyed=true", policy)
+	}
+	if len(keyed) != len(comp) {
+		t.Fatalf("policy %s: keyed %d records vs comparator %d", policy, len(keyed), len(comp))
+	}
+	for i := range comp {
+		if keyed[i] != comp[i] {
+			t.Fatalf("policy %s: outputs diverge at %d: keyed %+v vs comparator %+v",
+				policy, i, keyed[i], comp[i])
+		}
+	}
+}
+
+// TestKeyedMatchesComparatorEverywhere sweeps the six paper distributions
+// across every run-generation policy: the keyed and comparator paths must
+// produce identical output at a budget small enough to force real spills
+// and multi-source merges (and, under quick, the radix batch sort).
+func TestKeyedMatchesComparatorEverywhere(t *testing.T) {
+	dists := map[string]DatasetKind{
+		"sorted": DatasetSorted, "reverse": DatasetReverseSorted,
+		"alternating": DatasetAlternating, "random": DatasetRandom,
+		"mixed": DatasetMixedBalanced, "imbalanced": DatasetMixedImbalanced,
+	}
+	for name, kind := range dists {
+		data := Dataset(kind, 20_000, 42)
+		// Duplicate-heavy variant: fold keys to a tiny space so tie
+		// placement is exercised, with Aux distinguishing the records.
+		dup := make([]record.Record, len(data))
+		for i, r := range data {
+			dup[i] = record.Record{Key: r.Key % 100, Aux: uint64(i)}
+		}
+		for _, policy := range Policies() {
+			t.Run(fmt.Sprintf("%s/%s", name, policy), func(t *testing.T) {
+				sortBothWays(t, data, policy)
+				sortBothWays(t, dup, policy)
+			})
+		}
+	}
+}
+
+// TestKeyedStringsMatchComparator drives the variable-width key path (and
+// with it the offset-value-coded merge) on string elements with long shared
+// prefixes, keyed versus comparator-only.
+func TestKeyedStringsMatchComparator(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	data := make([]string, 20_000)
+	for i := range data {
+		data[i] = fmt.Sprintf("tenant/%04d/object/%06d%s",
+			rng.Intn(40), rng.Intn(1000), strings.Repeat("x", rng.Intn(20)))
+	}
+	cfg := DefaultConfig(1 << 10)
+	for _, policy := range []string{"quick", "2wrs"} {
+		run := func(opts ...Option) ([]string, Stats) {
+			opts = append([]Option{WithConfig(cfg), WithPolicy(policy), WithCodec(StringCodec())}, opts...)
+			s, err := New(func(a, b string) bool { return a < b }, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, stats, err := s.SortSlice(context.Background(), data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out, stats
+		}
+		keyed, kst := run()
+		comp, cst := run(WithoutKeys())
+		if !kst.Keyed || cst.Keyed {
+			t.Fatalf("policy %s: Keyed flags wrong: keyed=%v comp=%v", policy, kst.Keyed, cst.Keyed)
+		}
+		for i := range comp {
+			if keyed[i] != comp[i] {
+				t.Fatalf("policy %s: diverge at %d: %q vs %q", policy, i, keyed[i], comp[i])
+			}
+		}
+	}
+}
+
+// TestExplicitWrongKeyCodecRejected pins satellite behavior: a caller-
+// supplied codec whose byte order contradicts the comparator must fail the
+// sampled validation with an error, not silently sort wrong.
+func TestExplicitWrongKeyCodecRejected(t *testing.T) {
+	desc := func(a, b int64) bool { return b < a }
+	s, err := New(desc, WithConfig(DefaultConfig(1<<10)), WithKeyCodec(Int64KeyCodec()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]int64, 1000)
+	for i := range data {
+		data[i] = int64(i * 7 % 501)
+	}
+	if _, _, err := s.SortSlice(context.Background(), data); err == nil {
+		t.Fatal("ascending key codec against a descending comparator must be rejected")
+	} else if !strings.Contains(err.Error(), "disagrees") {
+		t.Fatalf("unexpected error text: %v", err)
+	}
+}
+
+// TestInferredCodecSilentFallback: the same descending comparator with no
+// explicit codec sorts correctly — the inferred ascending codec fails the
+// sample check and is dropped without an error, Stats.Keyed=false.
+func TestInferredCodecSilentFallback(t *testing.T) {
+	desc := func(a, b int64) bool { return b < a }
+	s, err := New(desc, WithConfig(DefaultConfig(1<<10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]int64, 20_000)
+	rng := rand.New(rand.NewSource(5))
+	for i := range data {
+		data[i] = rng.Int63n(1 << 20)
+	}
+	out, stats, err := s.SortSlice(context.Background(), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Keyed {
+		t.Fatal("descending sort must fall back to the comparator (Stats.Keyed=false)")
+	}
+	if !sort.SliceIsSorted(out, func(i, j int) bool { return out[i] > out[j] }) {
+		t.Fatal("fallback sort produced wrong order")
+	}
+	// Sanity: ascending int64 with the natural comparator does engage.
+	asc, err := New(func(a, b int64) bool { return a < b }, WithConfig(DefaultConfig(1<<10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, stats, err := asc.SortSlice(context.Background(), data); err != nil || !stats.Keyed {
+		t.Fatalf("ascending int64 should run keyed: err=%v keyed=%v", err, stats.Keyed)
+	}
+}
+
+// opaquePair is an element type the library has no inferred key codec for.
+type opaquePair struct {
+	Hi, Lo uint32
+}
+
+type opaquePairCodec struct{}
+
+func (opaquePairCodec) Append(buf []byte, v opaquePair) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, v.Hi)
+	return binary.LittleEndian.AppendUint32(buf, v.Lo)
+}
+
+func (opaquePairCodec) Decode(buf []byte) (opaquePair, int, error) {
+	if len(buf) < 8 {
+		return opaquePair{}, 0, ErrShortCodec
+	}
+	return opaquePair{
+		Hi: binary.LittleEndian.Uint32(buf),
+		Lo: binary.LittleEndian.Uint32(buf[4:]),
+	}, 8, nil
+}
+
+func (opaquePairCodec) FixedSize() int { return 8 }
+
+// TestOpaqueTypeSortsComparatorOnly: a type with no built-in key codec
+// silently takes the comparator path — no error, Stats.Keyed=false.
+func TestOpaqueTypeSortsComparatorOnly(t *testing.T) {
+	less := func(a, b opaquePair) bool {
+		if a.Hi != b.Hi {
+			return a.Hi < b.Hi
+		}
+		return a.Lo < b.Lo
+	}
+	s, err := New(less, WithConfig(DefaultConfig(1<<10)), WithCodec[opaquePair](opaquePairCodec{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	data := make([]opaquePair, 10_000)
+	for i := range data {
+		data[i] = opaquePair{Hi: rng.Uint32() % 64, Lo: rng.Uint32()}
+	}
+	out, stats, err := s.SortSlice(context.Background(), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Keyed {
+		t.Fatal("opaque type must not report Stats.Keyed=true")
+	}
+	if !sort.SliceIsSorted(out, func(i, j int) bool { return less(out[i], out[j]) }) {
+		t.Fatal("opaque sort produced wrong order")
+	}
+
+	// The same type with an explicit composite codec runs keyed: two
+	// big-endian uint32 fields pack the whole element into 8 key bytes.
+	kc, err := CompositeKeyCodec[opaquePair](8, true,
+		func(buf []byte, v opaquePair) []byte { return binary.BigEndian.AppendUint32(buf, v.Hi) },
+		func(buf []byte, v opaquePair) []byte { return binary.BigEndian.AppendUint32(buf, v.Lo) },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, err := New(less, WithConfig(DefaultConfig(1<<10)),
+		WithCodec[opaquePair](opaquePairCodec{}), WithKeyCodec(kc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kout, kstats, err := ks.SortSlice(context.Background(), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !kstats.Keyed {
+		t.Fatal("explicit composite codec did not engage")
+	}
+	for i := range out {
+		if kout[i] != out[i] {
+			t.Fatalf("keyed composite output diverges at %d", i)
+		}
+	}
+}
+
+// TestKeyedPhaseTimingsPopulated: the per-phase wall clocks the benchmark
+// harness records must be live on the keyed path.
+func TestKeyedPhaseTimingsPopulated(t *testing.T) {
+	s, err := New(record.Less, WithConfig(DefaultConfig(1<<10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := s.SortSlice(context.Background(), Dataset(DatasetRandom, 50_000, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Keyed || stats.RunGenWall <= 0 || stats.MergeWall <= 0 {
+		t.Fatalf("stats = keyed=%v rungen=%v merge=%v, want keyed with live phase clocks",
+			stats.Keyed, stats.RunGenWall, stats.MergeWall)
+	}
+}

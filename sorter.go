@@ -64,6 +64,87 @@ func Uint64Codec() Codec[uint64] { return codec.Uint64{} }
 // Float64Codec stores float64 elements as fixed 8-byte words.
 func Float64Codec() Codec[float64] { return codec.Float64{} }
 
+// KeyCodec produces memcmp-ordered normalized key bytes for elements of
+// type T, enabling the comparator-free hot path: run batches sort on cached
+// key prefixes (pure radix when the key is total and at most 8 bytes) and
+// the merge compares normalized keys — via prefix integers or offset-value
+// coding — instead of calling the comparator per match. The contract:
+//
+//	bytes.Compare(AppendKey(nil, a), AppendKey(nil, b)) < 0  ⟺  less(a, b)
+//
+// so equal key bytes imply a tie under the comparator. Every keyed decision
+// is then pointwise equal to the comparator's and the sorted output is
+// byte-identical between the keyed and comparator paths.
+//
+// AppendKey appends v's key bytes onto buf and returns the extended slice.
+// FixedKeySize returns the constant key length for fixed-width keys and 0
+// for variable-width ones. TotalKey reports whether the key bytes determine
+// the element entirely (required before ties may be rearranged, as radix
+// sorting does). See DESIGN.md §12 for the encodings and fallback rules.
+type KeyCodec[T any] interface {
+	AppendKey(buf []byte, v T) []byte
+	FixedKeySize() int
+	TotalKey() bool
+}
+
+// Built-in key codecs, matching the natural (ascending) comparator of each
+// type. A Sorter over these element types infers the codec automatically;
+// the constructors exist for composite keys and for explicitness.
+
+// Int64KeyCodec orders int64 elements ascending: sign-flipped big-endian.
+func Int64KeyCodec() KeyCodec[int64] { return codec.KeyInt64{} }
+
+// Uint64KeyCodec orders uint64 elements ascending: big-endian.
+func Uint64KeyCodec() KeyCodec[uint64] { return codec.KeyUint64{} }
+
+// Float64KeyCodec orders float64 elements by `<`, refined to IEEE 754
+// totalOrder on ties: -NaN < -Inf < … < -0.0 < +0.0 < … < +Inf < +NaN.
+func Float64KeyCodec() KeyCodec[float64] { return codec.KeyFloat64{} }
+
+// StringKeyCodec orders strings lexicographically: the key is the string.
+func StringKeyCodec() KeyCodec[string] { return codec.KeyString{} }
+
+// BytesKeyCodec orders byte slices by bytes.Compare: the key is the slice.
+func BytesKeyCodec() KeyCodec[[]byte] { return codec.KeyBytes{} }
+
+// RecordKeyCodec orders Records by their int64 Key field ascending,
+// matching the package's Record comparator.
+func RecordKeyCodec() KeyCodec[Record] { return codec.KeyRecord16{} }
+
+// Composite key field appenders, for assembling multi-field keys with
+// CompositeKeyCodec. Fields append most significant first; variable-width
+// fields in non-final positions must use the escaped forms so field
+// boundaries compare correctly (0x00 escapes to 0x00 0xFF, fields end with
+// the terminator 0x00 0x01).
+
+// AppendKeyInt64 appends an ascending int64 field (sign-flipped big-endian).
+func AppendKeyInt64(buf []byte, v int64) []byte { return codec.AppendKeyInt64(buf, v) }
+
+// AppendKeyUint64 appends an ascending uint64 field (big-endian).
+func AppendKeyUint64(buf []byte, v uint64) []byte { return codec.AppendKeyUint64(buf, v) }
+
+// AppendKeyFloat64 appends an ascending float64 field (IEEE totalOrder).
+func AppendKeyFloat64(buf []byte, v float64) []byte { return codec.AppendKeyFloat64(buf, v) }
+
+// AppendKeyString appends an escaped, terminated string field.
+func AppendKeyString(buf []byte, v string) []byte { return codec.AppendKeyStringEscaped(buf, v) }
+
+// AppendKeyBytes appends an escaped, terminated byte-slice field.
+func AppendKeyBytes(buf []byte, v []byte) []byte { return codec.AppendKeyBytesEscaped(buf, v) }
+
+// CompositeKeyCodec assembles a KeyCodec from per-field appenders, most
+// significant field first. fixed is the total key width when every field is
+// fixed-width (0 otherwise); total marks keys that determine the element
+// entirely. The contract is the caller's: the concatenated fields must
+// order exactly as the Sorter's comparator does (New's sampled validation
+// rejects codecs that disagree on observed data).
+func CompositeKeyCodec[T any](fixed int, total bool, fields ...func(buf []byte, v T) []byte) (KeyCodec[T], error) {
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("repro: CompositeKeyCodec requires at least one field")
+	}
+	return codec.Composite[T]{Fields: fields, Fixed: fixed, Total: total}, nil
+}
+
 // sorterConfig accumulates options before New freezes them into a Sorter.
 // The codec and key hooks are stashed untyped so that the Option type stays
 // non-generic (ergonomic at call sites); New type-checks them against T.
@@ -71,6 +152,8 @@ type sorterConfig struct {
 	cfg          Config
 	codec        any
 	key          any
+	keyCodec     any
+	noKeys       bool
 	elementBytes int
 }
 
@@ -213,6 +296,37 @@ func WithKey[T any](key func(T) float64) Option {
 	}
 }
 
+// WithKeyCodec supplies normalized key bytes for the element type, turning
+// on the comparator-free hot path (see KeyCodec for the contract and
+// effect). Without it, New infers a built-in key codec for Record, string,
+// []byte, int64, uint64 and float64 element types; other types sort through
+// the comparator with Stats.Keyed reporting false. An explicitly supplied
+// codec that disagrees with the comparator on a sampled prefix of the
+// input fails the sort with an error — an inferred one falls back to the
+// comparator silently (e.g. a descending comparator over int64 elements).
+func WithKeyCodec[T any](kc KeyCodec[T]) Option {
+	return func(s *sorterConfig) error {
+		if kc == nil {
+			return fmt.Errorf("repro: WithKeyCodec(nil)")
+		}
+		s.keyCodec = kc
+		s.noKeys = false
+		return nil
+	}
+}
+
+// WithoutKeys disables the keyed hot path even for element types whose key
+// codec New would infer: every comparison goes through the comparator. The
+// sorted output is byte-identical either way — this exists for ablation
+// measurements and as a hedge against a misbehaving codec.
+func WithoutKeys() Option {
+	return func(s *sorterConfig) error {
+		s.noKeys = true
+		s.keyCodec = nil
+		return nil
+	}
+}
+
 // WithElementBytes estimates the stored size of one element, used to size
 // merge buffers for variable-width codecs (default 32).
 func WithElementBytes(n int) Option {
@@ -248,6 +362,33 @@ func defaultCodecFor[T any]() (Codec[T], error) {
 	return c.(Codec[T]), nil
 }
 
+// defaultKeyCodecFor infers a built-in key codec for well-known element
+// types under their natural comparator; nil means the type is opaque and
+// sorts comparator-only. Inferred codecs are validated against the actual
+// comparator on a sample of the input at sort time and dropped silently on
+// disagreement, so inferring for, say, a descending int64 sort is safe.
+func defaultKeyCodecFor[T any]() codec.KeyCodec[T] {
+	var zero T
+	var kc any
+	switch any(zero).(type) {
+	case Record:
+		kc = codec.KeyRecord16{}
+	case string:
+		kc = codec.KeyString{}
+	case []byte:
+		kc = codec.KeyBytes{}
+	case int64:
+		kc = codec.KeyInt64{}
+	case uint64:
+		kc = codec.KeyUint64{}
+	case float64:
+		kc = codec.KeyFloat64{}
+	default:
+		return nil
+	}
+	return kc.(codec.KeyCodec[T])
+}
+
 // defaultKeyFor infers a numeric projection for well-known element types;
 // nil (with no error) means the type is comparator-only.
 func defaultKeyFor[T any]() func(T) float64 {
@@ -273,11 +414,13 @@ func defaultKeyFor[T any]() func(T) float64 {
 // sorts (concurrent Sort calls each get their own temporary namespace only
 // when TempDir is unset; with a shared TempDir, run them sequentially).
 type Sorter[T any] struct {
-	less         func(a, b T) bool
-	cfg          Config
-	codec        Codec[T]
-	key          func(T) float64
-	elementBytes int
+	less          func(a, b T) bool
+	cfg           Config
+	codec         Codec[T]
+	key           func(T) float64
+	keyCodec      codec.KeyCodec[T]
+	keyedExplicit bool
+	elementBytes  int
 }
 
 // New builds a Sorter ordering elements with less. Options supply the
@@ -329,6 +472,20 @@ func New[T any](less func(a, b T) bool, opts ...Option) (*Sorter[T], error) {
 		s.key = k
 	} else {
 		s.key = defaultKeyFor[T]()
+	}
+	switch {
+	case sc.noKeys:
+		// Comparator-only by request.
+	case sc.keyCodec != nil:
+		kc, ok := sc.keyCodec.(KeyCodec[T])
+		if !ok {
+			var zero T
+			return nil, fmt.Errorf("repro: WithKeyCodec got %T, which does not key element type %T", sc.keyCodec, zero)
+		}
+		s.keyCodec = kc
+		s.keyedExplicit = true
+	default:
+		s.keyCodec = defaultKeyCodecFor[T]()
 	}
 	return s, nil
 }
@@ -466,7 +623,14 @@ func (s *Sorter[T]) Sort(ctx context.Context, src Source[T], dst Sink[T]) (Stats
 		&ctxWriter[T]{ctx: ctx, dst: dst},
 		fs,
 		icfg,
-		extsort.Ops[T]{Less: s.less, Codec: s.codec, Key: s.key, ElementBytes: s.elementBytes},
+		extsort.Ops[T]{
+			Less:          s.less,
+			Codec:         s.codec,
+			Key:           s.key,
+			KeyCodec:      s.keyCodec,
+			KeyedExplicit: s.keyedExplicit,
+			ElementBytes:  s.elementBytes,
+		},
 	)
 	if err != nil && ctx.Err() != nil {
 		return stats, ctx.Err()
