@@ -35,6 +35,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -85,6 +87,12 @@ type sortFlags struct {
 	seed     *int64
 	compress *string
 	spillMem *int64
+
+	// Observability flags, shared by every subcommand.
+	traceOut    *string
+	metricsAddr *string
+	metricsOut  *string
+	progress    *bool
 }
 
 func newSortFlags(fs *flag.FlagSet) *sortFlags {
@@ -103,7 +111,83 @@ func newSortFlags(fs *flag.FlagSet) *sortFlags {
 		compress: fs.String("compress", "raw", "spill framing: "+strings.Join(storage.Compressions(), ", ")+
 			"; any value but raw adds per-block CRC32 checksums, flate/gzip also compress"),
 		spillMem: fs.Int64("spillmem", 0, "keep spilled runs in memory under this byte budget, overflowing to -tmp (0: always on disk)"),
+		traceOut: fs.String("trace-out", "", "write a trace of the run here: Chrome trace_event JSON "+
+			"(open in chrome://tracing or Perfetto), or span JSONL when the path ends in .jsonl"),
+		metricsAddr: fs.String("metrics-addr", "", "serve the live Prometheus metrics endpoint on this "+
+			"address (e.g. :9090) at /metrics while the command runs"),
+		metricsOut: fs.String("metrics-out", "", "write the final Prometheus text exposition here ('-' for stdout)"),
+		progress:   fs.Bool("progress", false, "report live progress (phase, rate, ETA) to stderr every second"),
 	}
+}
+
+// observe wires the observability flags into cfg: a tracer when -trace-out
+// is set, a metrics registry when -metrics-addr or -metrics-out is, a
+// stderr progress reporter for -progress, and the live metrics endpoint.
+// The returned finish func writes the trace and metrics files and stops
+// the endpoint; call it after the subcommand's work is done.
+func (f *sortFlags) observe(cfg *repro.Config) (func(), error) {
+	var tr *repro.Tracer
+	var reg *repro.Metrics
+	if *f.traceOut != "" {
+		tr = repro.NewTracer()
+		cfg.Trace = tr
+	}
+	if *f.metricsAddr != "" || *f.metricsOut != "" {
+		reg = repro.NewMetrics()
+		cfg.Metrics = reg
+	}
+	if *f.progress {
+		cfg.Progress = &repro.ProgressConfig{W: os.Stderr}
+	}
+	var srv *http.Server
+	if *f.metricsAddr != "" {
+		ln, err := net.Listen("tcp", *f.metricsAddr)
+		if err != nil {
+			return nil, err
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		srv = &http.Server{Handler: mux}
+		go srv.Serve(ln)
+		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics\n", ln.Addr())
+	}
+	finish := func() {
+		if tr != nil {
+			out, err := os.Create(*f.traceOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if strings.HasSuffix(*f.traceOut, ".jsonl") {
+				err = tr.WriteSpansJSONL(out)
+			} else {
+				err = tr.WriteChromeTrace(out)
+			}
+			if cerr := out.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *f.metricsOut != "" {
+			w := os.Stdout
+			if *f.metricsOut != "-" {
+				out, err := os.Create(*f.metricsOut)
+				if err != nil {
+					log.Fatal(err)
+				}
+				defer out.Close()
+				w = out
+			}
+			if err := reg.WritePrometheus(w); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if srv != nil {
+			srv.Close()
+		}
+	}
+	return finish, nil
 }
 
 // config resolves the flag values into a repro.Config, allocating (and
@@ -260,6 +344,11 @@ func runSort(args []string) {
 		log.Fatal(err)
 	}
 	defer cleanup()
+	finish, err := sf.observe(&cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer finish()
 	stats, err := repro.SortFile(*inPath, *outPath, cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -294,6 +383,11 @@ func runUnaryOp(name string, args []string) {
 		log.Fatal(err)
 	}
 	defer cleanup()
+	finish, err := sf.observe(&cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer finish()
 	s, err := sorter(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -354,6 +448,11 @@ func runSelect(args []string) {
 		log.Fatal(err)
 	}
 	defer cleanup()
+	finish, err := sf.observe(&cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer finish()
 	s, err := sorter(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -415,6 +514,11 @@ func runQuantiles(args []string) {
 		log.Fatal(err)
 	}
 	defer cleanup()
+	finish, err := sf.observe(&cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer finish()
 	s, err := sorter(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -458,6 +562,11 @@ func runJoin(args []string) {
 		log.Fatal(err)
 	}
 	defer cleanup()
+	finish, err := sf.observe(&cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer finish()
 	ls, err := sorter(cfg)
 	if err != nil {
 		log.Fatal(err)

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/codec"
 	"repro/internal/heap"
+	"repro/internal/obs"
 	"repro/internal/record"
 	"repro/internal/runio"
 	"repro/internal/storage"
@@ -32,6 +33,10 @@ type Config struct {
 	// MaxDepth bounds the recursion (default 64, enough for the
 	// guaranteed-progress midpoint splits to exhaust an int64 key range).
 	MaxDepth int
+	// Trace, when non-nil, records one root "distsort" span plus a
+	// "partition" span per partition pass and a "bucket_sort" span per
+	// in-memory bucket sort. Nil disables tracing at zero cost.
+	Trace *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -119,7 +124,13 @@ func Sort(src record.Reader, dst record.Writer, fs vfs.FS, cfg Config) (Stats, e
 	}
 	var stats Stats
 	namer := runio.NewNamer("bucket")
-	err := sortStream(src, dst, fs, namer, cfg, 0, false, 0, 0, &stats)
+	root := cfg.Trace.Start("distsort", obs.Int("memory", int64(cfg.Memory)), obs.Int("buckets", int64(cfg.Buckets)))
+	err := sortStream(src, dst, fs, namer, cfg, root, 0, false, 0, 0, &stats)
+	if err != nil {
+		root.End(obs.Str("error", err.Error()))
+	} else {
+		root.End(obs.Int("records", stats.Records), obs.Int("partitions", int64(stats.Partitions)))
+	}
 	return stats, err
 }
 
@@ -127,7 +138,7 @@ func Sort(src record.Reader, dst record.Writer, fs vfs.FS, cfg Config) (Stats, e
 // partitioning into buckets and recursing. When the stream's key range is
 // known (rangeKnown with lo..hi), a midpoint split guarantees progress even
 // if the sampled quantiles degenerate on heavily duplicated keys.
-func sortStream(src record.Reader, dst record.Writer, fs vfs.FS, namer *runio.Namer, cfg Config, depth int, rangeKnown bool, lo, hi int64, stats *Stats) error {
+func sortStream(src record.Reader, dst record.Writer, fs vfs.FS, namer *runio.Namer, cfg Config, parent *obs.Span, depth int, rangeKnown bool, lo, hi int64, stats *Stats) error {
 	if depth > stats.MaxDepth {
 		stats.MaxDepth = depth
 	}
@@ -139,11 +150,14 @@ func sortStream(src record.Reader, dst record.Writer, fs vfs.FS, namer *runio.Na
 	for len(sample) < cfg.Memory {
 		rec, err := src.Read()
 		if err == io.EOF {
+			sp := parent.Start("bucket_sort", obs.Int("depth", int64(depth)))
 			heap.Sort(sample, record.Less)
 			if depth == 0 {
 				stats.Records += int64(len(sample))
 			}
-			return record.WriteAll(dst, sample)
+			werr := record.WriteAll(dst, sample)
+			sp.End(obs.Int("records", int64(len(sample))))
+			return werr
 		}
 		if err != nil {
 			return err
@@ -154,6 +168,7 @@ func sortStream(src record.Reader, dst record.Writer, fs vfs.FS, namer *runio.Na
 	// The stream exceeds memory: choose bucket boundaries as quantiles of
 	// the sampled prefix, then distribute the prefix and the rest.
 	stats.Partitions++
+	psp := parent.Start("partition", obs.Int("depth", int64(depth)))
 	sorted := append([]record.Record(nil), sample...)
 	heap.Sort(sorted, record.Less)
 	nb := cfg.Buckets
@@ -219,6 +234,9 @@ func sortStream(src record.Reader, dst record.Writer, fs vfs.FS, namer *runio.Na
 	if depth == 0 {
 		stats.Records = total
 	}
+	// Error paths above simply never end the span; unfinished spans are
+	// not recorded, so an aborted pass leaves no misleading duration.
+	psp.End(obs.Int("buckets", int64(len(buckets))), obs.Int("records", total))
 
 	// Sort each bucket in range order and stream it to dst.
 	for _, b := range buckets {
@@ -247,13 +265,16 @@ func sortStream(src record.Reader, dst record.Writer, fs vfs.FS, namer *runio.Na
 				rc.Close()
 				return err
 			}
+			sp := parent.Start("bucket_sort", obs.Int("depth", int64(depth)))
 			heap.Sort(recs, record.Less)
 			if err := record.WriteAll(dst, recs); err != nil {
+				sp.Drop()
 				rc.Close()
 				return err
 			}
+			sp.End(obs.Int("records", int64(len(recs))))
 		default:
-			if err := sortStream(rc, dst, fs, namer, cfg, depth+1, true, b.min, b.max, stats); err != nil {
+			if err := sortStream(rc, dst, fs, namer, cfg, parent, depth+1, true, b.min, b.max, stats); err != nil {
 				rc.Close()
 				return err
 			}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/gen"
+	"repro/internal/obs"
 	"repro/internal/record"
 	"repro/internal/vfs"
 )
@@ -109,5 +110,46 @@ func TestDistsortTwoBuckets(t *testing.T) {
 	out, _ := sortAll(t, recs, Config{Memory: 500, Buckets: 2})
 	if !record.IsSorted(out) || len(out) != len(recs) {
 		t.Fatal("two-bucket sort wrong")
+	}
+}
+
+// TestDistsortTracing verifies the span taxonomy: one root "distsort"
+// span, one "partition" span per partition pass, and bucket_sort spans
+// parented to the root.
+func TestDistsortTracing(t *testing.T) {
+	tr := obs.New()
+	recs := gen.Generate(gen.Config{Kind: gen.Random, N: 20000, Seed: 7})
+	fs := vfs.NewMemFS()
+	var out record.SliceWriter
+	stats, err := Sort(record.NewSliceReader(recs), &out, fs, Config{Memory: 1000, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := tr.Spans()
+	var root *obs.SpanData
+	partitions, bucketSorts := 0, 0
+	for i := range spans {
+		switch spans[i].Name {
+		case "distsort":
+			root = &spans[i]
+		case "partition":
+			partitions++
+		case "bucket_sort":
+			bucketSorts++
+		}
+	}
+	if root == nil {
+		t.Fatal("no root distsort span")
+	}
+	if partitions != stats.Partitions {
+		t.Fatalf("partition spans = %d, stats.Partitions = %d", partitions, stats.Partitions)
+	}
+	if bucketSorts == 0 {
+		t.Fatal("no bucket_sort spans")
+	}
+	for _, sp := range spans {
+		if sp.Name != "distsort" && sp.Parent != root.ID {
+			t.Fatalf("span %s parented to %d, want root %d", sp.Name, sp.Parent, root.ID)
+		}
 	}
 }

@@ -12,11 +12,13 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/merge"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/record"
 	"repro/internal/rs"
@@ -263,6 +265,17 @@ type Config struct {
 	// block framing (optionally compressed), and MemoryBudgetBytes adds an
 	// in-memory tier that overflows to fs.
 	Storage storage.Config
+	// Trace, when non-nil, records spans for the sort's phases, runs,
+	// merge operations and spill files; export them with the tracer's
+	// WriteChromeTrace/WriteSpansJSONL. Nil disables tracing at zero cost.
+	Trace *obs.Tracer
+	// Metrics, when non-nil, receives live counters, gauges and histograms
+	// under the extsort_* names (internal/obs names.go), kept consistent
+	// with the final Stats/Stats.IO. Nil disables metrics at zero cost.
+	Metrics *obs.Registry
+	// Progress, when non-nil, emits periodic progress lines (phase,
+	// records/sec, ETA) to its writer for the duration of the sort.
+	Progress *obs.Progress
 }
 
 // Recommended returns the paper's recommended end-to-end configuration:
@@ -341,6 +354,13 @@ type Stats struct {
 	Storage string
 	// IO is the spill backend's I/O accounting snapshot.
 	IO IOStats
+	// Elapsed is the end-to-end wall time of the entry point that produced
+	// these stats, including setup outside the phase loops — so it is
+	// always at least the sum of Phases.
+	Elapsed time.Duration
+	// Phases breaks Elapsed into named per-phase wall durations in
+	// execution order (e.g. "generate" then "merge").
+	Phases []PhaseStat
 }
 
 // IOStats is the spill backend's I/O accounting, re-exported from
@@ -370,13 +390,15 @@ type RunSet[T any] struct {
 	cfg      Config
 	ops      Ops[T]
 	clock    func() time.Duration
-	stats    Stats // run-generation half; Merge fills the merge half
+	stats    Stats    // run-generation half; Merge fills the merge half
+	o        *sortObs // nil when observability is off
 }
 
 // GenerateRuns runs phase one only: it consumes src and writes sorted runs
 // to temporary files on fs, returning the RunSet to merge, stream or
 // discard. Configuration defaulting and validation match Sort exactly.
 func GenerateRuns[T any](src stream.Reader[T], fs vfs.FS, cfg Config, ops Ops[T]) (*RunSet[T], error) {
+	entry := time.Now()
 	cfg = cfg.withDefaults()
 	if err := ops.validate(); err != nil {
 		return nil, err
@@ -388,6 +410,10 @@ func GenerateRuns[T any](src stream.Reader[T], fs vfs.FS, cfg Config, ops Ops[T]
 	if err != nil {
 		return nil, err
 	}
+	o := newSortObs(cfg)
+	// Per-spill-file spans ride a decorated backend; block-level I/O
+	// inside a file pays no tracing cost.
+	store = storage.Traced(store, o.tracer())
 	em := runio.NewEmitterOn(store, cfg.Prefix, ops.Codec, ops.Less)
 	em.PageSize = cfg.PageSize
 	em.PagesPerFile = cfg.PagesPerFile
@@ -406,26 +432,40 @@ func GenerateRuns[T any](src stream.Reader[T], fs vfs.FS, cfg Config, ops Ops[T]
 		clock = func() time.Duration { return 0 }
 	}
 
-	rset := &RunSet[T]{store: store, em: em, cfg: cfg, ops: ops, clock: clock}
+	rset := &RunSet[T]{store: store, em: em, cfg: cfg, ops: ops, clock: clock, o: o}
 	rset.stats.Storage = store.String()
 
 	// Arm the keyed hot path if a key codec is available and survives the
 	// sampled order check against the comparator.
 	src, keyed, err := applyKeyCodec(src, em, ops)
 	if err != nil {
+		o.reporter().Stop()
 		return nil, err
 	}
 	rset.stats.Keyed = keyed
+
+	polName := cfg.Algorithm.String()
+	if cfg.Policy != policy.None {
+		polName = cfg.Policy.String()
+	}
+	gsp := o.tracer().Start("generate", obs.Str("policy", polName), obs.Bool("keyed", keyed))
+	src = meterSource(o, src)
+	fail := func(err error) (*RunSet[T], error) {
+		gsp.End(obs.Str("error", err.Error()))
+		rset.Discard()
+		return nil, err
+	}
 	simStart, wallStart := clock(), time.Now()
 
 	if cfg.Policy != policy.None {
 		// Policy-selected run generation: the engine drives one of the four
 		// fixed generators, or the adaptive auto policy that may switch
-		// generators at run boundaries.
-		pres, err := policy.Generate(cfg.Policy, src, em, policy.Config{Memory: cfg.Memory, TWRS: cfg.TWRS}, ops.Key)
+		// generators at run boundaries. Per-run spans and switch events are
+		// recorded by the engine under gsp.
+		pres, err := policy.Generate(cfg.Policy, src, em,
+			policy.Config{Memory: cfg.Memory, TWRS: cfg.TWRS, Span: gsp}, ops.Key)
 		if err != nil {
-			rset.Discard()
-			return nil, err
+			return fail(err)
 		}
 		rset.runs, rset.stats.Records = pres.Runs, pres.Records
 		rset.policies = make([]string, len(pres.Policies))
@@ -440,31 +480,49 @@ func GenerateRuns[T any](src stream.Reader[T], fs vfs.FS, cfg Config, ops Ops[T]
 		rset.stats.Policy = cfg.Policy.String()
 		rset.stats.PolicySwitches = pres.Switches
 	} else {
+		// The legacy Algorithm selection drives the same steppers the
+		// policy engine uses, one NextRun (= one run, one span) at a time.
+		type stepper interface {
+			NextRun() (runio.Run, bool, error)
+			Records() int64
+		}
+		var (
+			gen stepper
+			tw  *core.Stepper[T]
+		)
 		switch cfg.Algorithm {
 		case RS:
-			res, err := rs.Generate(src, em, cfg.Memory)
-			if err != nil {
-				rset.Discard()
-				return nil, err
-			}
-			rset.runs, rset.stats.Records = res.Runs, res.Records
+			gen, err = rs.NewStepper(src, em, cfg.Memory)
 		case LoadSortStore:
-			res, err := rs.GenerateLSS(src, em, cfg.Memory)
-			if err != nil {
-				rset.Discard()
-				return nil, err
-			}
-			rset.runs, rset.stats.Records = res.Runs, res.Records
+			gen, err = rs.NewLSSStepper(src, em, cfg.Memory)
 		case TwoWayRS:
-			res, err := core.Generate(src, em, cfg.TWRS, ops.Key)
-			if err != nil {
-				rset.Discard()
-				return nil, err
-			}
-			rset.runs, rset.stats.Records = res.Runs, res.Records
-			rset.stats.OverlapRuns = res.OverlapRuns
+			tw, err = core.NewStepper(src, em, cfg.TWRS, ops.Key)
+			gen = tw
 		default:
+			gsp.Drop()
+			o.reporter().Stop()
 			return nil, fmt.Errorf("extsort: unknown algorithm %v", cfg.Algorithm)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		for {
+			sp := gsp.Start("run", obs.Str("policy", polName))
+			run, ok, err := gen.NextRun()
+			if err != nil {
+				sp.Drop()
+				return fail(err)
+			}
+			if !ok {
+				sp.Drop()
+				break
+			}
+			sp.End(obs.Int("records", run.Records), obs.Bool("concatenable", run.Concatenable))
+			rset.runs = append(rset.runs, run)
+		}
+		rset.stats.Records = gen.Records()
+		if tw != nil {
+			rset.stats.OverlapRuns = tw.Result().OverlapRuns
 		}
 		rset.stats.Policy = cfg.Algorithm.String()
 		rset.policies = make([]string, len(rset.runs))
@@ -479,6 +537,13 @@ func GenerateRuns[T any](src stream.Reader[T], fs vfs.FS, cfg Config, ops Ops[T]
 	rset.stats.RunGenWall = time.Since(wallStart)
 	rset.stats.RunGenSim = clock() - simStart
 	rset.stats.IO = store.Stats()
+	rset.stats.Elapsed = time.Since(entry)
+	rset.stats.Phases = []PhaseStat{{Name: "generate", Wall: rset.stats.RunGenWall}}
+	gsp.End(obs.Int("runs", int64(rset.stats.Runs)), obs.Int("records", rset.stats.Records))
+	for _, run := range rset.runs {
+		o.observeRun(run.Records)
+	}
+	o.finishGenerate(rset.stats, rset.stats.IO)
 	return rset, nil
 }
 
@@ -507,14 +572,39 @@ func (r *RunSet[T]) Stats() Stats {
 func (r *RunSet[T]) Store() storage.Backend { return r.store }
 
 // mergeConfig assembles the merge-phase configuration from the sort's.
+// With observability on it opens the "merge" phase span, points the
+// progress reporter at the merge, and installs an idempotent OnClose hook
+// that ends the span, records the phase time and syncs the I/O metrics
+// when the merge stream closes (Merge and OpenMerged error paths invoke
+// it too, so the hook always runs exactly once).
 func (r *RunSet[T]) mergeConfig() merge.Config {
-	return merge.Config{
+	mc := merge.Config{
 		FanIn:       r.cfg.FanIn,
 		MemoryBytes: r.cfg.Memory * r.ops.elementBytes(),
 		Engine:      r.cfg.Engine,
 		Workers:     r.cfg.Parallelism,
 		Cancel:      r.cfg.Cancel,
 	}
+	if r.o != nil {
+		sp := r.o.tracer().Start("merge", obs.Int("inputs", int64(len(r.runs))))
+		r.o.reporter().SetPhase("merge", r.stats.Records)
+		start := time.Now()
+		var once sync.Once
+		o := r.o
+		store := r.store
+		mc.Span = sp
+		mc.Metrics = r.cfg.Metrics
+		mc.Progress = o.reporter()
+		mc.OnClose = func() {
+			once.Do(func() {
+				sp.End()
+				o.observeMergePhase(time.Since(start))
+				o.syncIO(store.Stats())
+				o.reporter().Stop()
+			})
+		}
+	}
+	return mc
 }
 
 // OpenMerged runs the intermediate merge passes and returns the final merge
@@ -528,14 +618,25 @@ func (r *RunSet[T]) mergeConfig() merge.Config {
 func (r *RunSet[T]) OpenMerged() (*merge.Stream[T], error) {
 	// Every run — concatenable or not — is one merge input: runio.OpenRun
 	// interleaves overlapping streams on the fly.
-	return merge.NewStream(r.em, r.runs, r.mergeConfig())
+	mc := r.mergeConfig()
+	st, err := merge.NewStream(r.em, r.runs, mc)
+	if err != nil && mc.OnClose != nil {
+		mc.OnClose()
+	}
+	return st, err
 }
 
 // Merge completes the sort: it merges the run set into dst and returns the
 // full two-phase statistics.
 func (r *RunSet[T]) Merge(dst stream.Writer[T]) (Stats, error) {
 	simStart, wallStart := r.clock(), time.Now()
-	ms, err := merge.Merge(r.em, r.runs, dst, r.mergeConfig())
+	mc := r.mergeConfig()
+	ms, err := merge.Merge(r.em, r.runs, dst, mc)
+	if mc.OnClose != nil {
+		// Idempotent: a successful merge already ran it at stream close;
+		// this covers the paths where no stream ever existed.
+		mc.OnClose()
+	}
 	if err != nil {
 		r.stats.IO = r.store.Stats()
 		return r.stats, err
@@ -546,6 +647,8 @@ func (r *RunSet[T]) Merge(dst stream.Writer[T]) (Stats, error) {
 	r.stats.MergeWall = time.Since(wallStart)
 	r.stats.MergeSim = r.clock() - simStart
 	r.stats.IO = r.store.Stats()
+	r.stats.Elapsed += r.stats.MergeWall
+	r.stats.Phases = append(r.stats.Phases, PhaseStat{Name: "merge", Wall: r.stats.MergeWall})
 	return r.stats, nil
 }
 
@@ -578,6 +681,7 @@ func isSpillName(prefix, name string) bool {
 // silently. After Discard the backend holds no file of this sort, on any
 // tier.
 func (r *RunSet[T]) Discard() error {
+	r.o.reporter().Stop()
 	var first error
 	for _, run := range r.runs {
 		if err := run.Remove(r.store); err != nil && first == nil && !errors.Is(err, os.ErrNotExist) {

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/codec"
+	"repro/internal/obs"
 	"repro/internal/runio"
 	"repro/internal/stream"
 )
@@ -40,6 +41,35 @@ type Config struct {
 	// a non-nil return aborts the merge with that error. The driver wires
 	// it to ctx.Err so cancellation fires promptly mid-merge.
 	Cancel func() error
+	// Span, when non-nil, is the enclosing "merge" trace span: every merge
+	// operation records a "merge_op" child under it and the final merge a
+	// "merge_final" child that ends when the Stream closes. Workers > 1 is
+	// safe — spans may end from any goroutine.
+	Span *obs.Span
+	// Metrics, when non-nil, receives the merge-operation counters and the
+	// fan-in histogram (see obs/names.go).
+	Metrics *obs.Registry
+	// Progress, when non-nil, is advanced by every output batch of the
+	// final merge.
+	Progress *obs.Reporter
+	// OnClose, when non-nil, runs when the merge Stream closes; the driver
+	// uses it to end its phase span and sync I/O metrics. Drivers make it
+	// idempotent and also invoke it on NewStream/Merge error paths.
+	OnClose func()
+
+	// Collectors resolved once by NewStream so merge operations (possibly
+	// on worker goroutines) never touch the registry.
+	mOps   *obs.Counter
+	mFanIn *obs.Histogram
+	mMoved *obs.Counter
+}
+
+// resolveMetrics caches the registry lookups on the Config; a nil registry
+// leaves every collector nil (disabled).
+func (c *Config) resolveMetrics() {
+	c.mOps = c.Metrics.Counter(obs.MMergeOps, "Individual k-way merge operations (intermediate and final).")
+	c.mFanIn = c.Metrics.Histogram(obs.MMergeFanIn, "Merge operation fan-in distribution.", obs.FanInBuckets)
+	c.mMoved = c.Metrics.Counter(obs.MMergeRecordsMoved, "Records moved through intermediate merge runs.")
 }
 
 // bufBytes returns the per-stream buffer budget for a merge of the given
@@ -300,8 +330,24 @@ func reduceParallel[T any](em *runio.Emitter[T], queue []depthRun, cfg Config, s
 }
 
 // mergeGroup merges one group of runs into a fresh intermediate run under
-// the given pre-allocated name and deletes the consumed inputs.
+// the given pre-allocated name and deletes the consumed inputs, recording
+// one "merge_op" span and the per-operation metrics.
 func mergeGroup[T any](em *runio.Emitter[T], group []runio.Run, name string, bufBytes int, cfg Config) (runio.Run, error) {
+	sp := cfg.Span.Start("merge_op", obs.Int("width", int64(len(group))))
+	out, err := mergeGroupRaw(em, group, name, bufBytes, cfg)
+	if err != nil {
+		sp.End(obs.Str("error", err.Error()))
+		return out, err
+	}
+	sp.End(obs.Int("records", out.Records))
+	cfg.mOps.Add(1)
+	cfg.mFanIn.Observe(float64(len(group)))
+	cfg.mMoved.Add(out.Records)
+	return out, nil
+}
+
+// mergeGroupRaw is mergeGroup without the instrumentation.
+func mergeGroupRaw[T any](em *runio.Emitter[T], group []runio.Run, name string, bufBytes int, cfg Config) (runio.Run, error) {
 	srcs, err := openInputs(em, group, bufBytes)
 	if err != nil {
 		return runio.Run{}, err

@@ -3,6 +3,7 @@ package merge
 import (
 	"io"
 
+	"repro/internal/obs"
 	"repro/internal/runio"
 	"repro/internal/storage"
 	"repro/internal/stream"
@@ -29,6 +30,14 @@ type Stream[T any] struct {
 	cancel func() error
 	ops    int
 	closed bool
+
+	// Observability: the final-merge span (ended at Close), the output
+	// record counter, the progress reporter and the driver's close hook.
+	// All nil when disabled.
+	fspan   *obs.Span
+	outc    *obs.Counter
+	rep     *obs.Reporter
+	onClose func()
 }
 
 // cancelBatch is how many element-at-a-time reads pass between cancellation
@@ -51,7 +60,11 @@ func NewStream[T any](em *runio.Emitter[T], inputs []runio.Run, cfg Config) (*St
 	if cfg.FanIn < 2 {
 		return nil, errBadFanIn(cfg.FanIn)
 	}
+	cfg.resolveMetrics()
 	st := &Stream[T]{store: em.Store, cancel: cfg.Cancel, stats: Stats{Inputs: len(inputs)}}
+	st.onClose = cfg.OnClose
+	st.outc = cfg.Metrics.Counter(obs.MRecordsOut, "Records delivered by the final merge.")
+	st.rep = cfg.Progress
 	if len(inputs) == 0 {
 		return st, nil
 	}
@@ -92,8 +105,11 @@ func NewStream[T any](em *runio.Emitter[T], inputs []runio.Run, cfg Config) (*St
 		}
 		st.stats.Merges++
 		st.stats.Passes = depth + 1
+		cfg.mOps.Add(1)
+		cfg.mFanIn.Observe(float64(len(st.finals)))
 	}
 	st.engB = stream.AsBatchReader[T](st.eng)
+	st.fspan = cfg.Span.Start("merge_final", obs.Int("width", int64(len(st.finals))))
 	return st, nil
 }
 
@@ -118,7 +134,12 @@ func (s *Stream[T]) Read() (T, error) {
 		}
 	}
 	s.ops++
-	return s.eng.Read()
+	v, err := s.eng.Read()
+	if err == nil {
+		s.outc.Add(1)
+		s.rep.Add(1)
+	}
+	return v, err
 }
 
 // ReadBatch fills dst per the stream.BatchReader contract, polling the
@@ -135,7 +156,12 @@ func (s *Stream[T]) ReadBatch(dst []T) (int, error) {
 			return 0, err
 		}
 	}
-	return s.engB.ReadBatch(dst)
+	n, err := s.engB.ReadBatch(dst)
+	if n > 0 {
+		s.outc.Add(int64(n))
+		s.rep.Add(int64(n))
+	}
+	return n, err
 }
 
 // Close releases the merge engine's sources and deletes the final run
@@ -155,6 +181,10 @@ func (s *Stream[T]) Close() error {
 		if err := r.Remove(s.store); err != nil && first == nil {
 			first = err
 		}
+	}
+	s.fspan.End()
+	if s.onClose != nil {
+		s.onClose()
 	}
 	return first
 }

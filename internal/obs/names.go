@@ -1,0 +1,73 @@
+package obs
+
+// Metric names shared by every instrumented layer, so the extsort driver,
+// the merge engine and the CLIs agree on one namespace. The full table
+// with semantics lives in DESIGN.md §13.
+const (
+	// MRecordsIn counts records read from the sort's input.
+	MRecordsIn = "extsort_records_in_total"
+	// MRecordsOut counts records delivered by the final merge.
+	MRecordsOut = "extsort_records_out_total"
+	// MRuns counts sorted runs emitted by generation.
+	MRuns = "extsort_runs_total"
+	// MRunLength is the distribution of run lengths in records.
+	MRunLength = "extsort_run_length_records"
+	// MPolicySwitches counts mid-stream generator switches by the auto
+	// policy.
+	MPolicySwitches = "extsort_policy_switches_total"
+	// MMergeOps counts individual k-way merge operations (intermediate
+	// and final).
+	MMergeOps = "extsort_merge_ops_total"
+	// MMergeFanIn is the distribution of merge-operation fan-in.
+	MMergeFanIn = "extsort_merge_fan_in"
+	// MMergeRecordsMoved counts records moved by intermediate merges.
+	MMergeRecordsMoved = "extsort_merge_records_moved_total"
+	// MHeapSwaps counts element swaps performed by selection
+	// partitioning.
+	MHeapSwaps = "extsort_heap_swaps_total"
+	// MPhaseSeconds is the per-phase wall time distribution, labelled
+	// phase="generate"|"merge".
+	MPhaseSeconds = "extsort_phase_seconds"
+
+	// MSpillRawBytes counts pre-compression bytes written to spill
+	// storage.
+	MSpillRawBytes = "extsort_spilled_raw_bytes_total"
+	// MSpillStoredBytes counts on-storage bytes written to spill
+	// storage.
+	MSpillStoredBytes = "extsort_spilled_stored_bytes_total"
+	// MReadRawBytes counts post-decompression bytes read back from
+	// spill storage.
+	MReadRawBytes = "extsort_read_raw_bytes_total"
+	// MReadStoredBytes counts on-storage bytes read back from spill
+	// storage.
+	MReadStoredBytes = "extsort_read_stored_bytes_total"
+	// MSpillBlocksWritten counts spill blocks written.
+	MSpillBlocksWritten = "extsort_spill_blocks_written_total"
+	// MSpillBlocksRead counts spill blocks read.
+	MSpillBlocksRead = "extsort_spill_blocks_read_total"
+	// MSpillVerifyFailures counts checksum verification failures on
+	// spill reads.
+	MSpillVerifyFailures = "extsort_spill_verify_failures_total"
+	// MSpillOverflows counts memory-tier overflows migrated to disk.
+	MSpillOverflows = "extsort_spill_overflows_total"
+	// MSpillMemFiles gauges spill files currently in the memory tier.
+	MSpillMemFiles = "extsort_spill_mem_files"
+	// MSpillDiskFiles gauges spill files currently on disk.
+	MSpillDiskFiles = "extsort_spill_disk_files"
+	// MSpillMemBytes gauges bytes currently in the memory tier.
+	MSpillMemBytes = "extsort_spill_mem_bytes"
+	// MSpillDiskBytes gauges bytes currently on disk.
+	MSpillDiskBytes = "extsort_spill_disk_bytes"
+)
+
+// Default bucket bounds for the registry's histograms.
+var (
+	// RunLengthBuckets covers run lengths from cache-sized batches to
+	// tens of millions of records.
+	RunLengthBuckets = []float64{256, 1024, 4096, 16384, 65536, 262144, 1 << 20, 1 << 22, 1 << 24}
+	// FanInBuckets covers merge fan-in up to the usual FanIn limits.
+	FanInBuckets = []float64{2, 4, 8, 16, 32, 64}
+	// PhaseSecondsBuckets covers per-phase wall time from milliseconds
+	// to minutes.
+	PhaseSecondsBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 60}
+)

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Progress configures live progress reporting. A nil *Progress (or a nil
+// W) disables reporting: Start returns a nil *Reporter whose methods are
+// all no-ops.
+type Progress struct {
+	// W receives one progress line per tick, e.g. os.Stderr.
+	W io.Writer
+	// Interval is the tick period; 0 defaults to one second.
+	Interval time.Duration
+}
+
+// Start launches a background reporter printing to p.W until Stop is
+// called. The label prefixes every line.
+func (p *Progress) Start(label string) *Reporter {
+	if p == nil || p.W == nil {
+		return nil
+	}
+	iv := p.Interval
+	if iv <= 0 {
+		iv = time.Second
+	}
+	r := &Reporter{w: p.W, interval: iv, label: label, start: time.Now()}
+	r.total.Store(-1)
+	r.phase.Store(new(string))
+	r.phaseStart.Store(0)
+	r.stop = make(chan struct{})
+	r.wg.Add(1)
+	go r.loop()
+	return r
+}
+
+// Reporter emits periodic progress lines (phase, records/sec, percent
+// complete and ETA when the total is known). A nil *Reporter is the
+// disabled reporter; Add and SetPhase on it are allocation-free no-ops.
+// Reporters are safe for concurrent use.
+type Reporter struct {
+	w        io.Writer
+	interval time.Duration
+	label    string
+	start    time.Time
+
+	processed  atomic.Int64
+	total      atomic.Int64
+	phase      atomic.Pointer[string]
+	phaseStart atomic.Int64 // ns since r.start
+
+	stop chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup
+}
+
+// SetPhase switches the reporter to a new phase; total is the expected
+// record count for the phase, or <0 if unknown. The per-phase counter
+// and rate reset.
+func (r *Reporter) SetPhase(name string, total int64) {
+	if r == nil {
+		return
+	}
+	n := name // copy so the parameter itself never escapes (nil path stays allocation-free)
+	r.phase.Store(&n)
+	r.total.Store(total)
+	r.processed.Store(0)
+	r.phaseStart.Store(int64(time.Since(r.start)))
+}
+
+// Add reports n more records processed in the current phase.
+func (r *Reporter) Add(n int64) {
+	if r == nil {
+		return
+	}
+	r.processed.Add(n)
+}
+
+// Stop halts the ticker and prints a final summary line. Stop is
+// idempotent and safe to call from any goroutine.
+func (r *Reporter) Stop() {
+	if r == nil {
+		return
+	}
+	r.once.Do(func() {
+		close(r.stop)
+		r.wg.Wait()
+		fmt.Fprintf(r.w, "%s: done in %s\n", r.label, time.Since(r.start).Round(time.Millisecond))
+	})
+}
+
+func (r *Reporter) loop() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			r.line()
+		}
+	}
+}
+
+// line prints one progress line for the current phase.
+func (r *Reporter) line() {
+	phase := *r.phase.Load()
+	if phase == "" {
+		phase = "start"
+	}
+	done := r.processed.Load()
+	total := r.total.Load()
+	elapsed := time.Since(r.start) - time.Duration(r.phaseStart.Load())
+	rate := float64(0)
+	if elapsed > 0 {
+		rate = float64(done) / elapsed.Seconds()
+	}
+	if total > 0 && rate > 0 && done <= total {
+		pct := 100 * float64(done) / float64(total)
+		eta := time.Duration(float64(total-done) / rate * float64(time.Second))
+		fmt.Fprintf(r.w, "%s: %s %d/%d records (%.0f%%) %s rec/s eta %s\n",
+			r.label, phase, done, total, pct, humanRate(rate), eta.Round(100*time.Millisecond))
+		return
+	}
+	fmt.Fprintf(r.w, "%s: %s %d records %s rec/s\n", r.label, phase, done, humanRate(rate))
+}
+
+// humanRate formats a records-per-second rate compactly (e.g. "1.3M").
+func humanRate(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.1fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}

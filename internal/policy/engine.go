@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rs"
 	"repro/internal/runio"
 	"repro/internal/stream"
@@ -34,6 +35,10 @@ type Config struct {
 	// structure — a window much smaller than the memory budget can mistake
 	// one ascending tooth of a descending staircase for a sorted stream.
 	Window int
+	// Span, when non-nil, is the enclosing trace span: generation records
+	// one child span per run and one instant event per policy switch
+	// under it. Nil disables tracing at zero cost.
+	Span *obs.Span
 }
 
 func (c Config) probeRecords() int {
@@ -116,18 +121,21 @@ func Generate[T any](kind Kind, src stream.Reader[T], em *runio.Emitter[T], cfg 
 
 // generateFixed drains src through a single generator.
 func generateFixed[T any](kind Kind, src stream.Reader[T], em *runio.Emitter[T], cfg Config, key func(T) float64) (Result, error) {
-	obs := newObserver(src, em.Less, 0)
-	gen, err := newGenerator(kind, false, obs, em, cfg, key)
+	ob := newObserver(src, em.Less, 0)
+	gen, err := newGenerator(kind, false, ob, em, cfg, key)
 	if err != nil {
 		return Result{}, err
 	}
 	var res Result
 	for {
+		sp := cfg.Span.Start("run", obs.Str("policy", kind.String()))
 		run, ok, err := gen.NextRun()
-		res.Records = obs.count
+		res.Records = ob.count
 		if err != nil || !ok {
+			sp.Drop()
 			return res, err
 		}
+		sp.End(obs.Int("records", run.Records), obs.Bool("concatenable", run.Concatenable))
 		res.Runs = append(res.Runs, run)
 		res.Policies = append(res.Policies, kind)
 	}
@@ -154,20 +162,20 @@ func shortRunSlack(memory int) int64 { return int64(memory) + int64(memory)/8 }
 func generateAuto[T any](src stream.Reader[T], em *runio.Emitter[T], cfg Config, key func(T) float64) (Result, error) {
 	less := em.Less
 	window := cfg.window()
-	obs := newObserver(src, less, window)
+	ob := newObserver(src, less, window)
 
-	prefix, err := readPrefix[T](obs, cfg.probeRecords())
+	prefix, err := readPrefix[T](ob, cfg.probeRecords())
 	if err != nil {
 		return Result{}, err
 	}
 	kind, down, _ := choose(Measure(prefix, less))
 
 	var res Result
-	var cur stream.Reader[T] = newPushback[T](prefix, obs)
+	var cur stream.Reader[T] = newPushback[T](prefix, ob)
 	// nextEval throttles the rolling measurement: re-deciding costs a ring
 	// copy plus the inversion subsample, so it runs at most once per window
 	// of fresh input — which is also the switching hysteresis.
-	nextEval := obs.count + int64(window)
+	nextEval := ob.count + int64(window)
 	shortRuns := 0
 	locked := false
 	visited := map[Kind]bool{kind: true}
@@ -178,15 +186,19 @@ func generateAuto[T any](src stream.Reader[T], em *runio.Emitter[T], cfg Config,
 			return res, err
 		}
 		for {
+			sp := cfg.Span.Start("run", obs.Str("policy", kind.String()))
 			run, ok, err := gen.NextRun()
 			if err != nil {
-				res.Records = obs.count
+				sp.Drop()
+				res.Records = ob.count
 				return res, err
 			}
 			if !ok {
-				res.Records = obs.count
+				sp.Drop()
+				res.Records = ob.count
 				return res, nil
 			}
+			sp.End(obs.Int("records", run.Records), obs.Bool("concatenable", run.Concatenable))
 			res.Runs = append(res.Runs, run)
 			res.Policies = append(res.Policies, kind)
 			if run.Records <= shortRunSlack(cfg.Memory) {
@@ -194,11 +206,11 @@ func generateAuto[T any](src stream.Reader[T], em *runio.Emitter[T], cfg Config,
 			} else {
 				shortRuns = 0
 			}
-			if locked || obs.count < nextEval {
+			if locked || ob.count < nextEval {
 				continue
 			}
-			nextEval = obs.count + int64(window)
-			want, wantDown, confident := chooseRolling(obs.stats(), kind, shortRuns)
+			nextEval = ob.count + int64(window)
+			want, wantDown, confident := chooseRolling(ob.stats(), kind, shortRuns)
 			if !confident || want == kind {
 				continue
 			}
@@ -211,9 +223,12 @@ func generateAuto[T any](src stream.Reader[T], em *runio.Emitter[T], cfg Config,
 				}
 			}
 			visited[want] = true
+			cfg.Span.Event("policy_switch",
+				obs.Str("from", kind.String()), obs.Str("to", want.String()),
+				obs.Int("record", ob.count))
 			kind, down = want, wantDown
 			cur = newPushback(gen.Carry(), cur)
-			nextEval = obs.count + int64(window)
+			nextEval = ob.count + int64(window)
 			shortRuns = 0
 			res.Switches++
 			break

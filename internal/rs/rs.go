@@ -201,49 +201,89 @@ func Generate[T any](src stream.Reader[T], em *runio.Emitter[T], memory int) (Re
 	}
 }
 
-// GenerateLSS is the Load-Sort-Store baseline (§2.1.1): fill memory, sort it
-// with any internal sort, store it as a run. Every run has exactly `memory`
-// records except possibly the last.
-func GenerateLSS[T any](src stream.Reader[T], em *runio.Emitter[T], memory int) (Result, error) {
+// LSSStepper is the Load-Sort-Store baseline (§2.1.1) one run at a time:
+// each NextRun fills memory, sorts it with any internal sort and stores it
+// as a run. Every run has exactly `memory` records except possibly the
+// last.
+type LSSStepper[T any] struct {
+	em      *runio.Emitter[T]
+	br      stream.BatchReader[T]
+	buf     []T
+	eof     bool
+	records int64
+}
+
+// NewLSSStepper returns an LSSStepper loading `memory`-element batches
+// from src and writing sorted runs through em.
+func NewLSSStepper[T any](src stream.Reader[T], em *runio.Emitter[T], memory int) (*LSSStepper[T], error) {
 	if memory <= 0 {
-		return Result{}, fmt.Errorf("rs: memory must be positive, got %d", memory)
+		return nil, fmt.Errorf("rs: memory must be positive, got %d", memory)
 	}
-	buf := make([]T, memory)
-	br := stream.AsBatchReader(src)
+	return &LSSStepper[T]{em: em, br: stream.AsBatchReader(src), buf: make([]T, memory)}, nil
+}
+
+// Records returns the number of input elements consumed so far.
+func (s *LSSStepper[T]) Records() int64 { return s.records }
+
+// NextRun writes the next load-sort-store run and returns its manifest;
+// ok is false once the input is exhausted.
+func (s *LSSStepper[T]) NextRun() (runio.Run, bool, error) {
+	if s.eof {
+		return runio.Run{}, false, nil
+	}
+	memory := len(s.buf)
+	// Fill the load buffer with whole batches.
+	fill := 0
+	for fill < memory && !s.eof {
+		n, err := s.br.ReadBatch(s.buf[fill:memory])
+		if err == io.EOF {
+			s.eof = true
+			break
+		}
+		if err != nil {
+			return runio.Run{}, false, err
+		}
+		fill += n
+	}
+	buf := s.buf[:fill]
+	if len(buf) == 0 {
+		return runio.Run{}, false, nil
+	}
+	if len(buf) < memory {
+		s.eof = true
+	}
+	s.records += int64(len(buf))
+	heap.Sort(buf, s.em.Less)
+	name, w, err := s.em.Forward("lss")
+	if err != nil {
+		return runio.Run{}, false, err
+	}
+	if err := stream.WriteAll[T](w, buf); err != nil {
+		return runio.Run{}, false, err
+	}
+	if err := w.Close(); err != nil {
+		return runio.Run{}, false, err
+	}
+	return runio.SingleRun(name, int64(len(buf))), true, nil
+}
+
+// Carry returns nothing: an LSSStepper buffers no records between runs.
+func (s *LSSStepper[T]) Carry() []T { return nil }
+
+// GenerateLSS drains src through an LSSStepper (see LSSStepper for the
+// algorithm).
+func GenerateLSS[T any](src stream.Reader[T], em *runio.Emitter[T], memory int) (Result, error) {
+	s, err := NewLSSStepper(src, em, memory)
+	if err != nil {
+		return Result{}, err
+	}
 	var res Result
 	for {
-		// Fill the load buffer with whole batches.
-		fill, eof := 0, false
-		for fill < memory && !eof {
-			n, err := br.ReadBatch(buf[fill:memory])
-			if err == io.EOF {
-				eof = true
-				break
-			}
-			if err != nil {
-				return res, err
-			}
-			fill += n
-		}
-		buf := buf[:fill]
-		if len(buf) == 0 {
-			return res, nil
-		}
-		res.Records += int64(len(buf))
-		heap.Sort(buf, em.Less)
-		name, w, err := em.Forward("lss")
-		if err != nil {
+		run, ok, err := s.NextRun()
+		res.Records = s.Records()
+		if err != nil || !ok {
 			return res, err
 		}
-		if err := stream.WriteAll[T](w, buf); err != nil {
-			return res, err
-		}
-		if err := w.Close(); err != nil {
-			return res, err
-		}
-		res.Runs = append(res.Runs, runio.SingleRun(name, int64(len(buf))))
-		if len(buf) < memory {
-			return res, nil
-		}
+		res.Runs = append(res.Runs, run)
 	}
 }

@@ -1,0 +1,138 @@
+package repro
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/extsort"
+	"repro/internal/obs"
+)
+
+// This file is the public observability surface: the tracer, metrics
+// registry and progress reporter that Config (or the WithTracer /
+// WithMetrics / WithProgress options) attach to a sort, plus the helper
+// that times public operator calls into Elapsed/Phases statistics. The
+// machinery lives in internal/obs; see DESIGN.md §"Observability" for the
+// span taxonomy, the metric names and the overhead budget.
+
+// Tracer records the spans and instant events of the sorts it is attached
+// to: one "generate" span per sort covering run generation with one child
+// "run" span per emitted run, one "merge" span covering the merge phase
+// with a "merge_op" child per merge operation, "spill_write"/"spill_read"
+// spans on the "spill" track for every spill file, and "policy_switch"
+// events when the adaptive policy changes generator mid-stream. Export
+// the result with WriteChromeTrace (chrome://tracing / Perfetto JSON) or
+// WriteSpansJSONL, or walk Spans and Events directly. A Tracer is safe
+// for concurrent use and may be shared by several sorts; a nil Tracer is
+// a valid no-op.
+type Tracer = obs.Tracer
+
+// Span is one timed interval recorded by a Tracer.
+type Span = obs.Span
+
+// SpanData is the immutable record of a finished Span, as returned by
+// Tracer.Spans.
+type SpanData = obs.SpanData
+
+// TraceEvent is the record of an instant event (e.g. a policy switch), as
+// returned by Tracer.Events.
+type TraceEvent = obs.EventData
+
+// Metrics is a registry of live counters, gauges and histograms that the
+// sorts it is attached to keep current: records in/out, runs emitted and
+// their length distribution, merge operations and fan-in, spill I/O in
+// raw and stored bytes, per-phase wall seconds. Expose it with
+// WritePrometheus or serve it over HTTP with Handler. A Metrics registry
+// is safe for concurrent use and may aggregate several sorts; a nil
+// registry is a valid no-op.
+type Metrics = obs.Registry
+
+// ProgressConfig configures periodic progress reporting: human-readable
+// lines (phase, records processed, rate, ETA when the total is known)
+// written to W every Interval (default 1s).
+type ProgressConfig = obs.Progress
+
+// PhaseStat is one named phase of an operation's elapsed wall time, as
+// reported by Stats.Phases, OpStats.Phases and SelectStats.Phases.
+type PhaseStat = extsort.PhaseStat
+
+// NewTracer returns an empty Tracer whose span timestamps count from now.
+func NewTracer() *Tracer { return obs.New() }
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// WithTracer attaches a trace recorder to the sorter: every subsequent
+// Sort, operator or selection call records its phase, run, merge and
+// spill spans into t. Nil detaches tracing (the default).
+func WithTracer(t *Tracer) Option {
+	return func(s *sorterConfig) error { s.cfg.Trace = t; return nil }
+}
+
+// WithMetrics attaches a metrics registry to the sorter: every subsequent
+// Sort, operator or selection call keeps the registry's counters, gauges
+// and histograms current. Nil detaches metrics (the default).
+func WithMetrics(m *Metrics) Option {
+	return func(s *sorterConfig) error { s.cfg.Metrics = m; return nil }
+}
+
+// WithProgress emits periodic progress lines (phase, records processed,
+// rate, ETA when the input size is known) to w every interval; interval 0
+// defaults to one second. A nil writer disables reporting (the default).
+func WithProgress(w io.Writer, interval time.Duration) Option {
+	return func(s *sorterConfig) error {
+		if w == nil {
+			s.cfg.Progress = nil
+			return nil
+		}
+		s.cfg.Progress = &ProgressConfig{W: w, Interval: interval}
+		return nil
+	}
+}
+
+// opTimer measures one public operator call: its end-to-end wall time,
+// the named phases it passes through, and the operator's root trace span.
+// The zero-cost discipline matches the rest of the layer — with no tracer
+// attached the span calls are nil no-ops and only two time.Now samples
+// per phase remain.
+type opTimer struct {
+	sp      *Span
+	start   time.Time
+	name    string
+	phaseAt time.Time
+	phases  []PhaseStat
+}
+
+// startOp opens the operator's root span and starts the clock.
+func startOp(tr *Tracer, op string, attrs ...obs.Attr) *opTimer {
+	return &opTimer{sp: tr.Start(op, attrs...), start: time.Now()}
+}
+
+// phase closes the currently open phase, if any, and opens a named one.
+func (t *opTimer) phase(name string) {
+	now := time.Now()
+	if t.name != "" {
+		t.phases = append(t.phases, PhaseStat{Name: t.name, Wall: now.Sub(t.phaseAt)})
+	}
+	t.name, t.phaseAt = name, now
+}
+
+// finish closes the open phase, stores the elapsed time and phase
+// breakdown through the given pointers, and ends the root span —
+// annotated with the error when the operation failed.
+func (t *opTimer) finish(elapsed *time.Duration, phases *[]PhaseStat, err error) {
+	t.phase("")
+	*elapsed = time.Since(t.start)
+	*phases = t.phases
+	if err != nil {
+		t.sp.End(obs.Str("error", err.Error()))
+		return
+	}
+	t.sp.End()
+}
+
+// swapsCounter resolves the dualheap swap counter on the sorter's
+// registry (nil when no registry is attached).
+func (s *Sorter[T]) swapsCounter() *obs.Counter {
+	return s.cfg.Metrics.Counter(obs.MHeapSwaps, "Dualheap root exchanges during in-memory selection.")
+}

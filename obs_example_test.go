@@ -1,0 +1,66 @@
+package repro_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro"
+)
+
+// Attaching a tracer records one span per phase, run, merge operation and
+// spill file; export the result with WriteChromeTrace (chrome://tracing /
+// Perfetto) or WriteSpansJSONL, or walk the spans directly.
+func ExampleWithTracer() {
+	tr := repro.NewTracer()
+	s, err := repro.New(func(a, b int64) bool { return a < b },
+		repro.WithMemoryRecords(1_000),
+		repro.WithTracer(tr),
+	)
+	if err != nil {
+		panic(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]int64, 10_000)
+	for i := range vals {
+		vals[i] = rng.Int63()
+	}
+	_, stats, err := s.SortSlice(context.Background(), vals)
+	if err != nil {
+		panic(err)
+	}
+	var runSpans int
+	for _, sp := range tr.Spans() {
+		if sp.Name == "run" {
+			runSpans++
+		}
+	}
+	fmt.Println("one span per run:", runSpans == stats.Runs)
+	// Output: one span per run: true
+}
+
+// Progress reporting writes periodic status lines — phase, records
+// processed, rate, ETA when the input size is known — to any io.Writer,
+// plus a final completion line.
+func ExampleWithProgress() {
+	var log bytes.Buffer
+	s, err := repro.New(func(a, b int64) bool { return a < b },
+		repro.WithMemoryRecords(1_000),
+		repro.WithProgress(&log, 50*time.Millisecond),
+	)
+	if err != nil {
+		panic(err)
+	}
+	vals := make([]int64, 10_000)
+	for i := range vals {
+		vals[i] = int64(len(vals) - i)
+	}
+	if _, _, err := s.SortSlice(context.Background(), vals); err != nil {
+		panic(err)
+	}
+	fmt.Println("completion logged:", strings.Contains(log.String(), "done in"))
+	// Output: completion logged: true
+}

@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/extsort"
 	"repro/internal/merge"
+	"repro/internal/obs"
 	"repro/internal/ops"
 	"repro/internal/stream"
 )
@@ -33,6 +35,13 @@ type OpStats struct {
 	// memory budget selects through a bounded heap instead: Sorted is false,
 	// Sort.Runs is 0, and nothing was spilled.
 	Sorted bool
+	// Elapsed is the end-to-end wall time of the operator call.
+	Elapsed time.Duration
+	// Phases breaks Elapsed into named per-phase wall durations in
+	// execution order: "generate" (run generation and merge setup) when an
+	// external sort ran, then the operator's own drain phase ("distinct",
+	// "groupby", "select", ...). Their sum never exceeds Elapsed.
+	Phases []PhaseStat
 }
 
 // eq derives the equivalence relation of the sorter's comparator: two
@@ -100,10 +109,16 @@ func (s *Sorter[T]) Distinct(ctx context.Context, src Source[T], dst Sink[T]) (O
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	t := startOp(s.cfg.Trace, "distinct")
+	t.phase("generate")
 	st, rset, err := s.openSorted(ctx, src, "distinct")
 	if err != nil {
-		return OpStats{}, ctxErr(ctx, err)
+		stats := OpStats{}
+		err = ctxErr(ctx, err)
+		t.finish(&stats.Elapsed, &stats.Phases, err)
+		return stats, err
 	}
+	t.phase("distinct")
 	d := ops.NewDistinct[T](st, s.eq())
 	out, err := stream.CopyCancel[T](&ctxWriter[T]{ctx: ctx, dst: dst}, d, ctx.Err)
 	cerr := st.Close()
@@ -111,7 +126,9 @@ func (s *Sorter[T]) Distinct(ctx context.Context, src Source[T], dst Sink[T]) (O
 	if err == nil {
 		err = cerr
 	}
-	return stats, ctxErr(ctx, err)
+	err = ctxErr(ctx, err)
+	t.finish(&stats.Elapsed, &stats.Phases, err)
+	return stats, err
 }
 
 // GroupBy sorts src, folds each run of same-group elements into a single
@@ -131,10 +148,16 @@ func (s *Sorter[T]) GroupBy(ctx context.Context, src Source[T], sameGroup func(a
 	if sameGroup == nil {
 		sameGroup = s.eq()
 	}
+	t := startOp(s.cfg.Trace, "groupby")
+	t.phase("generate")
 	st, rset, err := s.openSorted(ctx, src, "groupby")
 	if err != nil {
-		return OpStats{}, ctxErr(ctx, err)
+		stats := OpStats{}
+		err = ctxErr(ctx, err)
+		t.finish(&stats.Elapsed, &stats.Phases, err)
+		return stats, err
 	}
+	t.phase("groupby")
 	g := ops.NewGroupBy[T](st, sameGroup, reduce)
 	out, err := stream.CopyCancel[T](&ctxWriter[T]{ctx: ctx, dst: dst}, g, ctx.Err)
 	cerr := st.Close()
@@ -148,7 +171,9 @@ func (s *Sorter[T]) GroupBy(ctx context.Context, src Source[T], sameGroup func(a
 	if err == nil {
 		err = cerr
 	}
-	return stats, ctxErr(ctx, err)
+	err = ctxErr(ctx, err)
+	t.finish(&stats.Elapsed, &stats.Phases, err)
+	return stats, err
 }
 
 // TopK writes the k smallest elements of src to dst in ascending order.
@@ -171,28 +196,44 @@ func (s *Sorter[T]) TopK(ctx context.Context, src Source[T], k int, dst Sink[T])
 	if k == 0 {
 		return OpStats{}, nil
 	}
+	t := startOp(s.cfg.Trace, "topk", obs.Int("k", int64(k)))
 	if k <= s.cfg.MemoryRecords {
+		t.phase("select")
 		vals, read, err := ops.TopK[T](&ctxReader[T]{ctx: ctx, src: src}, k, s.less, ctx.Err)
 		if err != nil {
-			return OpStats{In: read}, ctxErr(ctx, err)
+			stats := OpStats{In: read}
+			err = ctxErr(ctx, err)
+			t.finish(&stats.Elapsed, &stats.Phases, err)
+			return stats, err
 		}
 		w := &ctxWriter[T]{ctx: ctx, dst: dst}
-		if err := stream.WriteAll[T](w, vals); err != nil {
-			return OpStats{In: read}, ctxErr(ctx, err)
+		err = stream.WriteAll[T](w, vals)
+		stats := OpStats{In: read}
+		if err == nil {
+			stats.Out = int64(len(vals))
 		}
-		return OpStats{In: read, Out: int64(len(vals))}, nil
+		err = ctxErr(ctx, err)
+		t.finish(&stats.Elapsed, &stats.Phases, err)
+		return stats, err
 	}
+	t.phase("generate")
 	st, rset, err := s.openSorted(ctx, src, "topk")
 	if err != nil {
-		return OpStats{}, ctxErr(ctx, err)
+		stats := OpStats{}
+		err = ctxErr(ctx, err)
+		t.finish(&stats.Elapsed, &stats.Phases, err)
+		return stats, err
 	}
+	t.phase("select")
 	out, err := copyN[T](&ctxWriter[T]{ctx: ctx, dst: dst}, st, int64(k), ctx.Err)
 	cerr := st.Close() // abandoning the stream here is what skips the tail
 	stats := OpStats{Sort: opSortStats(rset, st.Stats()), In: rset.Stats().Records, Out: out, Sorted: true}
 	if err == nil {
 		err = cerr
 	}
-	return stats, ctxErr(ctx, err)
+	err = ctxErr(ctx, err)
+	t.finish(&stats.Elapsed, &stats.Phases, err)
+	return stats, err
 }
 
 // copyN streams at most n elements from src to dst, polling cancel between
@@ -239,6 +280,11 @@ type JoinStats struct {
 	// MaxGroup is the largest equal-key right-side group buffered during
 	// the join — its peak per-key memory, in elements.
 	MaxGroup int
+	// Elapsed is the end-to-end wall time of the join call.
+	Elapsed time.Duration
+	// Phases breaks Elapsed into "generate" (both sides' run generation
+	// and merge setup) and "join" (draining the two merged orders).
+	Phases []PhaseStat
 }
 
 // MergeJoin externally sorts both inputs and inner-joins them: for every
@@ -263,15 +309,26 @@ func MergeJoin[L, R, O any](ctx context.Context, left *Sorter[L], lsrc Source[L]
 	if cmp == nil || join == nil {
 		return JoinStats{}, fmt.Errorf("repro: MergeJoin requires cmp and join functions")
 	}
+	// The root join span goes to the left sorter's tracer; each side's
+	// sort spans go to that side's own tracer as usual.
+	t := startOp(left.cfg.Trace, "merge_join")
+	t.phase("generate")
 	lst, lrset, err := left.openSorted(ctx, lsrc, "joinl")
 	if err != nil {
-		return JoinStats{}, ctxErr(ctx, err)
+		stats := JoinStats{}
+		err = ctxErr(ctx, err)
+		t.finish(&stats.Elapsed, &stats.Phases, err)
+		return stats, err
 	}
 	rst, rrset, err := right.openSorted(ctx, rsrc, "joinr")
 	if err != nil {
 		lst.Close()
-		return JoinStats{Left: opSortStats(lrset, lst.Stats())}, ctxErr(ctx, err)
+		stats := JoinStats{Left: opSortStats(lrset, lst.Stats())}
+		err = ctxErr(ctx, err)
+		t.finish(&stats.Elapsed, &stats.Phases, err)
+		return stats, err
 	}
+	t.phase("join")
 	js, err := ops.MergeJoin[L, R, O](lst, rst, cmp, join, &ctxWriter[O]{ctx: ctx, dst: dst}, ctx.Err)
 	lcerr, rcerr := lst.Close(), rst.Close()
 	stats := JoinStats{
@@ -288,5 +345,7 @@ func MergeJoin[L, R, O any](ctx context.Context, left *Sorter[L], lsrc Source[L]
 	if err == nil {
 		err = rcerr
 	}
-	return stats, ctxErr(ctx, err)
+	err = ctxErr(ctx, err)
+	t.finish(&stats.Elapsed, &stats.Phases, err)
+	return stats, err
 }

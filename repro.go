@@ -241,6 +241,20 @@ type Config struct {
 	// most that many bytes, overflowing to TempDir (or the in-process FS)
 	// when the budget is exceeded. Stats.IO reports what the backend did.
 	Storage Storage
+	// Trace, when non-nil, records phase, run, merge and spill spans plus
+	// policy-switch events for every sort run under this configuration;
+	// export with Tracer.WriteChromeTrace or Tracer.WriteSpansJSONL. Nil
+	// (the default) disables tracing at zero cost. See WithTracer.
+	Trace *Tracer
+	// Metrics, when non-nil, keeps the registry's counters, gauges and
+	// histograms current across every sort run under this configuration;
+	// expose with Metrics.WritePrometheus or Metrics.Handler. Nil (the
+	// default) disables metrics at zero cost. See WithMetrics.
+	Metrics *Metrics
+	// Progress, when non-nil, emits periodic progress lines (phase,
+	// records processed, rate, ETA when the input size is known) to
+	// Progress.W every Progress.Interval. See WithProgress.
+	Progress *ProgressConfig
 }
 
 // DefaultConfig returns the paper's recommended configuration with the
@@ -330,6 +344,9 @@ func (c Config) toInternal() extsort.Config {
 		FanIn:       c.FanIn,
 		Parallelism: c.Parallelism,
 		Storage:     c.Storage,
+		Trace:       c.Trace,
+		Metrics:     c.Metrics,
+		Progress:    c.Progress,
 		TWRS: core.Config{
 			Memory:     c.MemoryRecords,
 			Setup:      c.Setup,

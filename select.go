@@ -6,8 +6,10 @@ import (
 	"io"
 	"math"
 	"runtime"
+	"time"
 
 	"repro/internal/merge"
+	"repro/internal/obs"
 	sel "repro/internal/select"
 	"repro/internal/stream"
 )
@@ -43,6 +45,14 @@ type SelectStats struct {
 	// RankErrorBound is ⌈ε·n⌉, the guaranteed bound on how far the
 	// approximate selection's rank may exceed k (ApproxSelect only).
 	RankErrorBound int64
+	// Elapsed is the end-to-end wall time of the selection call.
+	Elapsed time.Duration
+	// Phases breaks Elapsed into named per-phase wall durations in
+	// execution order: "read" (buffering the input), then "partition"
+	// (in-memory dualheap work) or — on the spill path — "generate" (run
+	// generation and merge setup) and "select" (walking the merged
+	// order). Their sum never exceeds Elapsed.
+	Phases []PhaseStat
 }
 
 // parallelism resolves the configured concurrency bound for the in-memory
@@ -164,35 +174,56 @@ func (s *Sorter[T]) Select(ctx context.Context, src Source[T], k int) (T, Select
 	if k < 1 {
 		return zero, SelectStats{}, fmt.Errorf("repro: Select requires rank k ≥ 1, got %d", k)
 	}
+	t := startOp(s.cfg.Trace, "select", obs.Int("k", int64(k)))
+	t.phase("read")
 	buf, fits, err := bufferWithin(ctx, src, s.cfg.MemoryRecords)
 	if err != nil {
-		return zero, SelectStats{In: int64(len(buf))}, ctxErr(ctx, err)
+		stats := SelectStats{In: int64(len(buf))}
+		err = ctxErr(ctx, err)
+		t.finish(&stats.Elapsed, &stats.Phases, err)
+		return zero, stats, err
 	}
 	if fits {
 		n := len(buf)
 		if k > n {
-			return zero, SelectStats{In: int64(n)}, fmt.Errorf("repro: Select rank %d exceeds input size %d", k, n)
+			stats := SelectStats{In: int64(n)}
+			err := fmt.Errorf("repro: Select rank %d exceeds input size %d", k, n)
+			t.finish(&stats.Elapsed, &stats.Phases, err)
+			return zero, stats, err
 		}
+		t.phase("partition")
 		swaps := sel.Partition(buf, k, s.less, s.parallelism())
-		return buf[0], SelectStats{In: int64(n), Swaps: swaps}, nil
+		s.swapsCounter().Add(swaps)
+		stats := SelectStats{In: int64(n), Swaps: swaps}
+		t.finish(&stats.Elapsed, &stats.Phases, nil)
+		return buf[0], stats, nil
 	}
+	t.phase("generate")
 	st, rset, err := s.openSorted(ctx, &chainReader[T]{buf: buf, src: src}, "select")
 	if err != nil {
-		return zero, SelectStats{}, ctxErr(ctx, err)
+		stats := SelectStats{}
+		err = ctxErr(ctx, err)
+		t.finish(&stats.Elapsed, &stats.Phases, err)
+		return zero, stats, err
 	}
 	stats := SelectStats{Sort: opSortStats(rset, st.Stats()), In: rset.Stats().Records, Sorted: true}
 	if int64(k) > stats.In {
 		st.Close()
-		return zero, stats, fmt.Errorf("repro: Select rank %d exceeds input size %d", k, stats.In)
+		err := fmt.Errorf("repro: Select rank %d exceeds input size %d", k, stats.In)
+		t.finish(&stats.Elapsed, &stats.Phases, err)
+		return zero, stats, err
 	}
+	t.phase("select")
 	v, err := selectAt(st, int64(k), ctx.Err)
 	cerr := st.Close() // abandoning the merge here skips the tail past rank k
 	stats.Sort = opSortStats(rset, st.Stats())
 	if err == nil {
 		err = cerr
 	}
+	err = ctxErr(ctx, err)
+	t.finish(&stats.Elapsed, &stats.Phases, err)
 	if err != nil {
-		return zero, stats, ctxErr(ctx, err)
+		return zero, stats, err
 	}
 	return v, stats, nil
 }
@@ -231,31 +262,50 @@ func (s *Sorter[T]) Quantiles(ctx context.Context, src Source[T], qs []float64) 
 			return nil, SelectStats{}, fmt.Errorf("repro: quantile %v outside [0, 1]", q)
 		}
 	}
+	t := startOp(s.cfg.Trace, "quantiles", obs.Int("quantiles", int64(len(qs))))
+	t.phase("read")
 	buf, fits, err := bufferWithin(ctx, src, s.cfg.MemoryRecords)
 	if err != nil {
-		return nil, SelectStats{In: int64(len(buf))}, ctxErr(ctx, err)
+		stats := SelectStats{In: int64(len(buf))}
+		err = ctxErr(ctx, err)
+		t.finish(&stats.Elapsed, &stats.Phases, err)
+		return nil, stats, err
 	}
 	if fits {
 		n := len(buf)
 		if n == 0 {
-			return nil, SelectStats{}, fmt.Errorf("repro: Quantiles of an empty input")
+			stats := SelectStats{}
+			err := fmt.Errorf("repro: Quantiles of an empty input")
+			t.finish(&stats.Elapsed, &stats.Phases, err)
+			return nil, stats, err
 		}
+		t.phase("partition")
 		ranks, at := sel.QuantileRanks(qs, int64(n))
 		swaps, err := sel.Multiselect(buf, ranks, s.less, s.parallelism())
 		if err != nil {
-			return nil, SelectStats{In: int64(n)}, err
+			stats := SelectStats{In: int64(n)}
+			t.finish(&stats.Elapsed, &stats.Phases, err)
+			return nil, stats, err
 		}
+		s.swapsCounter().Add(swaps)
 		out := make([]T, len(qs))
 		for i := range qs {
 			out[i] = buf[ranks[at[i]]-1]
 		}
-		return out, SelectStats{In: int64(n), Swaps: swaps}, nil
+		stats := SelectStats{In: int64(n), Swaps: swaps}
+		t.finish(&stats.Elapsed, &stats.Phases, nil)
+		return out, stats, nil
 	}
+	t.phase("generate")
 	st, rset, err := s.openSorted(ctx, &chainReader[T]{buf: buf, src: src}, "quantiles")
 	if err != nil {
-		return nil, SelectStats{}, ctxErr(ctx, err)
+		stats := SelectStats{}
+		err = ctxErr(ctx, err)
+		t.finish(&stats.Elapsed, &stats.Phases, err)
+		return nil, stats, err
 	}
 	stats := SelectStats{Sort: opSortStats(rset, st.Stats()), In: rset.Stats().Records, Sorted: true}
+	t.phase("select")
 	ranks, at := sel.QuantileRanks(qs, stats.In)
 	picked := make([]T, len(ranks))
 	var pos int64
@@ -275,8 +325,10 @@ func (s *Sorter[T]) Quantiles(ctx context.Context, src Source[T], qs []float64) 
 	if perr == nil {
 		perr = cerr
 	}
+	perr = ctxErr(ctx, perr)
+	t.finish(&stats.Elapsed, &stats.Phases, perr)
 	if perr != nil {
-		return nil, stats, ctxErr(ctx, perr)
+		return nil, stats, perr
 	}
 	out := make([]T, len(qs))
 	for i := range qs {
@@ -301,21 +353,35 @@ func (s *Sorter[T]) BottomK(ctx context.Context, src Source[T], k int, dst Sink[
 	if k == 0 {
 		return OpStats{}, nil
 	}
+	t := startOp(s.cfg.Trace, "bottomk", obs.Int("k", int64(k)))
 	if k <= s.cfg.MemoryRecords {
+		t.phase("select")
 		vals, read, err := sel.Stream[T](&ctxReader[T]{ctx: ctx, src: src}, k, sel.Largest, s.less, ctx.Err)
 		if err != nil {
-			return OpStats{In: read}, ctxErr(ctx, err)
+			stats := OpStats{In: read}
+			err = ctxErr(ctx, err)
+			t.finish(&stats.Elapsed, &stats.Phases, err)
+			return stats, err
 		}
 		w := &ctxWriter[T]{ctx: ctx, dst: dst}
-		if err := stream.WriteAll[T](w, vals); err != nil {
-			return OpStats{In: read}, ctxErr(ctx, err)
+		err = stream.WriteAll[T](w, vals)
+		stats := OpStats{In: read}
+		if err == nil {
+			stats.Out = int64(len(vals))
 		}
-		return OpStats{In: read, Out: int64(len(vals))}, nil
+		err = ctxErr(ctx, err)
+		t.finish(&stats.Elapsed, &stats.Phases, err)
+		return stats, err
 	}
+	t.phase("generate")
 	st, rset, err := s.openSorted(ctx, src, "bottomk")
 	if err != nil {
-		return OpStats{}, ctxErr(ctx, err)
+		stats := OpStats{}
+		err = ctxErr(ctx, err)
+		t.finish(&stats.Elapsed, &stats.Phases, err)
+		return stats, err
 	}
+	t.phase("select")
 	n := rset.Stats().Records
 	skip := n - int64(k)
 	if skip < 0 {
@@ -330,7 +396,9 @@ func (s *Sorter[T]) BottomK(ctx context.Context, src Source[T], k int, dst Sink[
 	if serr == nil {
 		serr = cerr
 	}
-	return stats, ctxErr(ctx, serr)
+	serr = ctxErr(ctx, serr)
+	t.finish(&stats.Elapsed, &stats.Phases, serr)
+	return stats, serr
 }
 
 // ApproxSelect returns an element whose rank is within [k, k+⌈ε·n⌉] — an
@@ -356,15 +424,23 @@ func (s *Sorter[T]) ApproxSelect(ctx context.Context, src Source[T], k int, eps 
 	if err != nil {
 		return zero, SelectStats{}, err
 	}
+	t := startOp(s.cfg.Trace, "approx_select", obs.Int("k", int64(k)))
+	t.phase("read")
 	vals, err := sel.ReadAll[T](&ctxReader[T]{ctx: ctx, src: src}, -1, ctx.Err)
 	if err != nil {
-		return zero, SelectStats{In: int64(len(vals))}, ctxErr(ctx, err)
+		stats := SelectStats{In: int64(len(vals))}
+		err = ctxErr(ctx, err)
+		t.finish(&stats.Elapsed, &stats.Phases, err)
+		return zero, stats, err
 	}
 	n := int64(len(vals))
 	stats := SelectStats{In: n, RankErrorBound: int64(math.Ceil(eps * float64(n)))}
 	if int64(k) > n {
-		return zero, stats, fmt.Errorf("repro: ApproxSelect rank %d exceeds input size %d", k, n)
+		err := fmt.Errorf("repro: ApproxSelect rank %d exceeds input size %d", k, n)
+		t.finish(&stats.Elapsed, &stats.Phases, err)
+		return zero, stats, err
 	}
+	t.phase("select")
 	for _, v := range vals {
 		h.Insert(v)
 	}
@@ -379,5 +455,6 @@ func (s *Sorter[T]) ApproxSelect(ctx context.Context, src Source[T], k int, eps 
 		}
 	}
 	stats.Corrupted = h.Corrupted()
+	t.finish(&stats.Elapsed, &stats.Phases, nil)
 	return best, stats, nil
 }
