@@ -15,8 +15,10 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"runtime"
@@ -163,6 +165,28 @@ func (e *elementOnlyReader) Read() (record.Record, error) { return e.r.Read() }
 type elementOnlyWriter struct{ w *record.SliceWriter }
 
 func (e *elementOnlyWriter) Write(r record.Record) error { return e.w.Write(r) }
+
+// dyingReader serves records until dieAt, then fails — the bench's stand-in
+// for a crash mid-sort; the durability rows resume from what it left behind.
+type dyingReader struct {
+	recs  []record.Record
+	pos   int
+	dieAt int
+}
+
+var errBenchKill = errors.New("bench: simulated crash")
+
+func (d *dyingReader) Read() (record.Record, error) {
+	if d.pos >= len(d.recs) {
+		return record.Record{}, io.EOF
+	}
+	if d.pos >= d.dieAt {
+		return record.Record{}, errBenchKill
+	}
+	r := d.recs[d.pos]
+	d.pos++
+	return r, nil
+}
 
 // discard counts writes of any element type and drops them.
 type discard[T any] struct{ n int64 }
@@ -333,6 +357,59 @@ func main() {
 	mem64k := repro.DefaultConfig(1 << 16)
 	rep.Results = append(rep.Results, measure("sortslice_1m_mem64k", *n, record.Size, func() error {
 		_, _, err := repro.SortSlice(recs, mem64k)
+		return err
+	}))
+
+	// Durability rows: the external sort again under the fixed 2wrs policy
+	// (durable mode rejects the adaptive auto policy) — plain, with a
+	// durable manifest recording every finished run, and as a
+	// kill-at-half-input crash followed by Resume. The plain/durable pair
+	// prices the manifest: a checksummed JSON line per run boundary plus a
+	// content checksum over every spilled byte. The resume row times the
+	// whole crash-and-recover cycle; its note reports how many runs the
+	// recovery reused instead of regenerating.
+	durCfg := cfg
+	durCfg.Policy = "2wrs"
+	durableSorter := func(manifest bool) (*repro.Sorter[record.Record], error) {
+		opts := []repro.Option{
+			repro.WithConfig(durCfg),
+			repro.WithCodec(repro.RecordCodec()),
+			repro.WithKey(record.Key),
+		}
+		if manifest {
+			opts = append(opts, repro.WithManifest())
+		}
+		return repro.New(record.Less, opts...)
+	}
+	addSort("sortslice_1m_2wrs", func() error {
+		s, err := durableSorter(false)
+		if err != nil {
+			return err
+		}
+		_, st, err := s.SortSlice(nil, recs)
+		lastStats = st
+		return err
+	})
+	addSort("sortslice_1m_durable", func() error {
+		s, err := durableSorter(true)
+		if err != nil {
+			return err
+		}
+		_, st, err := s.SortSlice(nil, recs)
+		lastStats = st
+		return err
+	})
+	var resumeStats repro.Stats
+	rep.Results = append(rep.Results, measure("resume_1m_killed_half", *n, record.Size, func() error {
+		s, err := durableSorter(true)
+		if err != nil {
+			return err
+		}
+		var out discard[record.Record]
+		if _, err := s.Sort(nil, &dyingReader{recs: recs, dieAt: *n / 2}, &out); !errors.Is(err, errBenchKill) {
+			return fmt.Errorf("bench: the dying source did not kill the sort: %v", err)
+		}
+		resumeStats, err = s.Resume(nil, record.NewSliceReader(recs), &out)
 		return err
 	}))
 
@@ -784,7 +861,7 @@ func main() {
 	}
 
 	var sortNs, topkNs int64
-	var keyedRow, compRow, obsRow result
+	var keyedRow, compRow, obsRow, plainRow, durableRow, resumeRow result
 	for _, r := range rep.Results {
 		switch r.Name {
 		case "sortslice_1m":
@@ -797,7 +874,26 @@ func main() {
 			compRow = r
 		case "sortslice_1m_keyed_obs":
 			obsRow = r
+		case "sortslice_1m_2wrs":
+			plainRow = r
+		case "sortslice_1m_durable":
+			durableRow = r
+		case "resume_1m_killed_half":
+			resumeRow = r
 		}
+	}
+	if plainRow.NsPerOp > 0 && durableRow.NsPerOp > 0 {
+		note := fmt.Sprintf(
+			"durability: the manifest-enabled 2wrs sort ran at %.3fx the plain 2wrs wall (%d vs %d ns/op) — "+
+				"the price of a checksummed manifest line per run boundary plus content checksums over every spilled byte",
+			float64(durableRow.NsPerOp)/float64(plainRow.NsPerOp), durableRow.NsPerOp, plainRow.NsPerOp)
+		if resumeRow.NsPerOp > 0 && resumeStats.Runs > 0 {
+			note += fmt.Sprintf("; a kill at half input plus Resume completed in %.2fx the durable full-sort wall, "+
+				"recovering %d of %d runs from the manifest instead of regenerating them",
+				float64(resumeRow.NsPerOp)/float64(durableRow.NsPerOp),
+				resumeStats.RunsRecovered, resumeStats.Runs)
+		}
+		rep.Notes = append(rep.Notes, note)
 	}
 	if keyedRow.NsPerOp > 0 && obsRow.NsPerOp > 0 {
 		rep.Notes = append(rep.Notes, fmt.Sprintf(

@@ -23,6 +23,19 @@
 // silently wrong — on corrupted spill data. -spillmem keeps runs in memory
 // under the given byte budget, overflowing to the temp directory.
 //
+// -manifest makes the sort durable: every completed run is recorded in a
+// CRC-guarded manifest in -tmp, and a killed command can be finished with
+// -resume (same flags, same -tmp) instead of restarted — the resumed
+// output is byte-identical to the uninterrupted one:
+//
+//	extsort sort -alg 2wrs -manifest -tmp ./spill -in in.rec -out out.rec
+//	# ... kill -9 mid-sort ...
+//	extsort sort -alg 2wrs -resume   -tmp ./spill -in in.rec -out out.rec
+//
+// Durable mode requires a deterministic -policy/-alg (not auto); a resume
+// under changed flags fails with a configuration-mismatch error rather
+// than mixing incompatible state.
+//
 // Invoking extsort with flags directly (no subcommand) behaves like
 // "extsort sort", preserving the historical CLI. Every subcommand prints
 // the phase statistics the paper reports; the operator subcommands also
@@ -32,6 +45,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -87,6 +101,8 @@ type sortFlags struct {
 	seed     *int64
 	compress *string
 	spillMem *int64
+	manifest *bool
+	resume   *bool
 
 	// Observability flags, shared by every subcommand.
 	traceOut    *string
@@ -111,6 +127,10 @@ func newSortFlags(fs *flag.FlagSet) *sortFlags {
 		compress: fs.String("compress", "raw", "spill framing: "+strings.Join(storage.Compressions(), ", ")+
 			"; any value but raw adds per-block CRC32 checksums, flate/gzip also compress"),
 		spillMem: fs.Int64("spillmem", 0, "keep spilled runs in memory under this byte budget, overflowing to -tmp (0: always on disk)"),
+		manifest: fs.Bool("manifest", false, "record every completed run in a durable manifest in -tmp, so a killed "+
+			"command can be finished with -resume instead of starting over (requires a deterministic -policy/-alg, not auto)"),
+		resume: fs.Bool("resume", false, "resume the durable sort a previous -manifest run left in -tmp: completed runs "+
+			"are validated and reused, the input re-read from the start; implies -manifest and requires -tmp"),
 		traceOut: fs.String("trace-out", "", "write a trace of the run here: Chrome trace_event JSON "+
 			"(open in chrome://tracing or Perfetto), or span JSONL when the path ends in .jsonl"),
 		metricsAddr: fs.String("metrics-addr", "", "serve the live Prometheus metrics endpoint on this "+
@@ -219,6 +239,10 @@ func (f *sortFlags) config() (repro.Config, func(), error) {
 	if _, err := storage.ParseCompression(*f.compress); err != nil {
 		return repro.Config{}, nil, err
 	}
+	if *f.resume && *f.tempDir == "" {
+		return repro.Config{}, nil, fmt.Errorf("-resume requires -tmp: without it each run sorts in a fresh " +
+			"temporary directory, so there is no durable state to pick up")
+	}
 	cfg := repro.Config{
 		Algorithm:      alg,
 		Policy:         *f.policy,
@@ -230,6 +254,8 @@ func (f *sortFlags) config() (repro.Config, func(), error) {
 		Output:         outHeur,
 		Seed:           *f.seed,
 		Storage:        repro.Storage{Compression: *f.compress, MemoryBudgetBytes: *f.spillMem},
+		Manifest:       *f.manifest || *f.resume,
+		Resume:         *f.resume,
 	}
 	cleanup := func() {}
 	cfg.TempDir = *f.tempDir
@@ -329,6 +355,18 @@ func printIOStats(stats repro.Stats) {
 	}
 }
 
+// fatalSortErr exits with err, decorating the durable-sort mismatch case
+// with actionable advice: the codec/compression/generation fingerprints in
+// the manifest did not match the flags of this invocation.
+func fatalSortErr(err error) {
+	if errors.Is(err, repro.ErrManifestMismatch) {
+		log.Fatalf("%v\n\nThe durable manifest in -tmp was written by a sort with a different configuration\n"+
+			"(codec, -compress, -memory, -policy/-alg or heuristics). Rerun with the original flags\n"+
+			"to resume it, or delete the *.manifest file (and its spill files) to start over.", err)
+	}
+	log.Fatal(err)
+}
+
 func runSort(args []string) {
 	fs := flag.NewFlagSet("sort", flag.ExitOnError)
 	sf := newSortFlags(fs)
@@ -351,7 +389,7 @@ func runSort(args []string) {
 	defer finish()
 	stats, err := repro.SortFile(*inPath, *outPath, cfg)
 	if err != nil {
-		log.Fatal(err)
+		fatalSortErr(err)
 	}
 	printSortStats(*sf.alg, *sf.memory, stats)
 	fmt.Printf("run generation:   %v\n", stats.RunGenWall.Round(1e6))
@@ -413,7 +451,7 @@ func runUnaryOp(name string, args []string) {
 	}
 	if err != nil {
 		out.f.Close()
-		log.Fatal(err)
+		fatalSortErr(err)
 	}
 	if err := out.close(); err != nil {
 		log.Fatal(err)

@@ -6,6 +6,14 @@
 //
 // Bucket boundaries are sampled quantiles of a memory-sized prefix, the
 // standard defence against the clustering problem §2.2 warns about.
+//
+// Oversized buckets are handled one of two ways. The historical default
+// re-partitions them recursively. Setting Config.Extsort instead hands each
+// oversized bucket — a shard — to the external merge-sort driver, so shards
+// inherit everything that machinery offers: spill compression and tiering,
+// run-boundary determinism, and durable manifests with crash resume (each
+// shard sorts under its own manifest prefix, so a restarted process reuses
+// the shard runs that reached storage before the crash).
 package distsort
 
 import (
@@ -14,6 +22,7 @@ import (
 	"sort"
 
 	"repro/internal/codec"
+	"repro/internal/extsort"
 	"repro/internal/heap"
 	"repro/internal/obs"
 	"repro/internal/record"
@@ -37,6 +46,16 @@ type Config struct {
 	// "partition" span per partition pass and a "bucket_sort" span per
 	// in-memory bucket sort. Nil disables tracing at zero cost.
 	Trace *obs.Tracer
+	// Extsort, when non-nil, sorts oversized buckets through the external
+	// merge-sort driver instead of recursive partitioning. Each such shard
+	// runs under its own spill prefix derived from Extsort.Prefix, so the
+	// shards inherit the driver's storage backends and — with
+	// Extsort.Manifest set — its durable manifests: a re-run of the same
+	// sort with Extsort.Resume set reuses every shard run that reached
+	// storage (the partition pass is deterministic, so a restarted process
+	// recreates identical buckets and each shard resumes its own
+	// manifest). An unset Memory inherits Config.Memory.
+	Extsort *extsort.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -58,6 +77,47 @@ type Stats struct {
 	Partitions int
 	// MaxDepth is the deepest recursion level reached.
 	MaxDepth int
+	// Shards is the number of oversized buckets delegated to the external
+	// merge-sort driver (always 0 without Config.Extsort).
+	Shards int
+	// ShardRuns is the total number of sorted runs the shards generated.
+	ShardRuns int
+	// ShardRunsRecovered is the number of shard runs reused from durable
+	// manifests rather than regenerated, summed across shards; non-zero
+	// only when Extsort.Resume found committed state to pick up.
+	ShardRunsRecovered int
+}
+
+// shardSort sorts one oversized bucket through the external merge-sort
+// driver. Shards are numbered in encounter order — deterministic, because
+// the partition pass is — so each gets a stable spill prefix and, in
+// durable mode, a stable manifest a restarted process can resume.
+func shardSort(src record.Reader, dst record.Writer, fs vfs.FS, cfg Config, parent *obs.Span, stats *Stats) error {
+	shard := stats.Shards
+	stats.Shards++
+	ecfg := *cfg.Extsort
+	if ecfg.Memory == 0 {
+		ecfg.Memory = cfg.Memory
+	}
+	if ecfg.Prefix == "" {
+		ecfg.Prefix = "shard"
+	}
+	ecfg.Prefix = fmt.Sprintf("%s-%04d", ecfg.Prefix, shard)
+	sp := parent.Start("shard_sort", obs.Int("shard", int64(shard)))
+	rset, err := extsort.GenerateRuns[record.Record](src, fs, ecfg, extsort.RecordOps())
+	if err != nil {
+		sp.Drop()
+		return err
+	}
+	st, err := rset.Merge(dst)
+	if err != nil {
+		sp.Drop()
+		return err
+	}
+	stats.ShardRuns += st.Runs
+	stats.ShardRunsRecovered += st.RunsRecovered
+	sp.End(obs.Int("records", st.Records), obs.Int("runs", int64(st.Runs)), obs.Int("recovered", int64(st.RunsRecovered)))
+	return nil
 }
 
 // bucketFile is an unordered spill file of records.
@@ -273,6 +333,11 @@ func sortStream(src record.Reader, dst record.Writer, fs vfs.FS, namer *runio.Na
 				return err
 			}
 			sp.End(obs.Int("records", int64(len(recs))))
+		case cfg.Extsort != nil:
+			if err := shardSort(rc, dst, fs, cfg, parent, stats); err != nil {
+				rc.Close()
+				return err
+			}
 		default:
 			if err := sortStream(rc, dst, fs, namer, cfg, parent, depth+1, true, b.min, b.max, stats); err != nil {
 				rc.Close()

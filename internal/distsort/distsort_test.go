@@ -1,10 +1,14 @@
 package distsort
 
 import (
+	"errors"
 	"testing"
 
+	"repro/internal/extsort"
 	"repro/internal/gen"
+	"repro/internal/manifest/crashfs"
 	"repro/internal/obs"
+	"repro/internal/policy"
 	"repro/internal/record"
 	"repro/internal/vfs"
 )
@@ -150,6 +154,78 @@ func TestDistsortTracing(t *testing.T) {
 	for _, sp := range spans {
 		if sp.Name != "distsort" && sp.Parent != root.ID {
 			t.Fatalf("span %s parented to %d, want root %d", sp.Name, sp.Parent, root.ID)
+		}
+	}
+}
+
+// TestDistsortShardsThroughExtsort routes oversized buckets through the
+// external merge-sort driver: no recursion happens, and the output is
+// identical to the recursive path's multiset.
+func TestDistsortShardsThroughExtsort(t *testing.T) {
+	recs := gen.Generate(gen.Config{Kind: gen.Random, N: 30000, Seed: 5, Noise: 100})
+	out, stats := sortAll(t, recs, Config{
+		Memory:  1000,
+		Buckets: 4,
+		Extsort: &extsort.Config{Policy: policy.TwoWayRS},
+	})
+	if !record.IsSorted(out) || len(out) != len(recs) {
+		t.Fatal("sharded sort wrong")
+	}
+	if !record.NewMultiset(out).Equal(record.NewMultiset(recs)) {
+		t.Fatal("sharded sort is not a permutation")
+	}
+	if stats.Shards == 0 || stats.ShardRuns == 0 {
+		t.Fatalf("no buckets were delegated: %+v", stats)
+	}
+	if stats.MaxDepth != 0 {
+		t.Fatalf("sharded sort recursed to depth %d", stats.MaxDepth)
+	}
+}
+
+// TestDistsortShardResume crashes a durable sharded sort partway through
+// spill writes and re-runs it in resume mode over the surviving files: the
+// shards must reuse their committed runs (ShardRunsRecovered > 0) and the
+// final output must still be the full sorted permutation.
+func TestDistsortShardResume(t *testing.T) {
+	recs := gen.Generate(gen.Config{Kind: gen.Random, N: 30000, Seed: 6, Noise: 100})
+	mkCfg := func(resume bool) Config {
+		return Config{
+			Memory:  1000,
+			Buckets: 4,
+			Extsort: &extsort.Config{Policy: policy.TwoWayRS, Manifest: true, Resume: resume},
+		}
+	}
+	// Probe: how many bytes does the uninterrupted sort write?
+	probe := crashfs.New(vfs.NewMemFS(), crashfs.Options{FailAfterBytes: -1, FailAfterOps: -1})
+	var probeOut record.SliceWriter
+	if _, err := Sort(record.NewSliceReader(recs), &probeOut, probe, mkCfg(false)); err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	want := probeOut.Recs
+
+	// Crash around 70% of the write volume — far enough that at least one
+	// shard has committed runs, early enough that the sort cannot finish.
+	base := vfs.NewMemFS()
+	cfs := crashfs.New(base, crashfs.Options{FailAfterBytes: probe.Written() * 7 / 10, FailAfterOps: -1, Torn: true})
+	var out record.SliceWriter
+	if _, err := Sort(record.NewSliceReader(recs), &out, cfs, mkCfg(false)); !errors.Is(err, crashfs.ErrCrashed) {
+		t.Fatalf("crashed pass: %v, want ErrCrashed", err)
+	}
+
+	out.Recs = nil
+	stats, err := Sort(record.NewSliceReader(recs), &out, base, mkCfg(true))
+	if err != nil {
+		t.Fatalf("resumed pass: %v", err)
+	}
+	if stats.ShardRunsRecovered == 0 {
+		t.Error("resume regenerated every shard run")
+	}
+	if len(out.Recs) != len(want) {
+		t.Fatalf("resumed %d records, want %d", len(out.Recs), len(want))
+	}
+	for i := range want {
+		if out.Recs[i] != want[i] {
+			t.Fatalf("resumed output differs from uninterrupted sort at %d", i)
 		}
 	}
 }

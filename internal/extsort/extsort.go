@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/codec"
 	"repro/internal/core"
+	"repro/internal/manifest"
 	"repro/internal/merge"
 	"repro/internal/obs"
 	"repro/internal/policy"
@@ -260,6 +261,23 @@ type Config struct {
 	// cancelled through the source: the public API wraps src in a reader
 	// whose batch boundaries check the context.)
 	Cancel func() error
+	// Manifest makes run generation durable: a CRC-guarded manifest file
+	// ("<Prefix>.manifest", written directly on fs beside the spill files)
+	// records each run boundary as it completes, so a crashed or killed
+	// sort can resume from the last boundary instead of restarting (see
+	// internal/manifest and DESIGN.md §14). Manifest mode checkpoints the
+	// generator at every boundary — the run sequence becomes a
+	// deterministic function of (input, config) — and spills the carried
+	// generator state beside the runs; the adaptive auto policy cannot be
+	// checkpointed and is rejected. On error the spill files and manifest
+	// are left in place for Resume, not discarded.
+	Manifest bool
+	// Resume makes GenerateRuns first attempt to resume from the manifest
+	// a previous Manifest-mode pass left behind, falling back to a fresh
+	// manifest-writing pass when none exists. The input source must serve
+	// the same records from the start; resume fast-forwards it to the
+	// recorded position. Implies Manifest.
+	Resume bool
 	// Storage selects the spill backend layered over fs: the zero value is
 	// the historical raw layout; a Compression name turns on checksummed
 	// block framing (optionally compressed), and MemoryBudgetBytes adds an
@@ -330,6 +348,9 @@ type Stats struct {
 	// changes the auto policy made (0 for every fixed policy).
 	Policy         string
 	PolicySwitches int
+	// RunsRecovered is the number of runs a resumed sort recovered intact
+	// from a durable manifest instead of regenerating (0 for fresh sorts).
+	RunsRecovered int
 	// Keyed reports whether the sort ran on normalized keys (Ops.KeyCodec
 	// accepted by the sampled order check); false means every comparison
 	// went through the comparator.
@@ -392,6 +413,11 @@ type RunSet[T any] struct {
 	clock    func() time.Duration
 	stats    Stats    // run-generation half; Merge fills the merge half
 	o        *sortObs // nil when observability is off
+
+	// Manifest-mode state: the base file system the manifest lives on and
+	// the manifest's file name. Both are zero for non-durable sorts.
+	fs           vfs.FS
+	manifestName string
 }
 
 // GenerateRuns runs phase one only: it consumes src and writes sorted runs
@@ -399,6 +425,17 @@ type RunSet[T any] struct {
 // discard. Configuration defaulting and validation match Sort exactly.
 func GenerateRuns[T any](src stream.Reader[T], fs vfs.FS, cfg Config, ops Ops[T]) (*RunSet[T], error) {
 	entry := time.Now()
+	if cfg.Resume {
+		rset, err := Resume(src, fs, cfg, ops)
+		if err == nil || !errors.Is(err, manifest.ErrNoManifest) {
+			return rset, err
+		}
+		// Nothing to resume from yet: run a fresh manifest-writing pass.
+		cfg.Resume, cfg.Manifest = false, true
+	}
+	if cfg.Manifest {
+		return generateManifest(src, fs, cfg, ops, nil)
+	}
 	cfg = cfg.withDefaults()
 	if err := ops.validate(); err != nil {
 		return nil, err
@@ -641,6 +678,10 @@ func (r *RunSet[T]) Merge(dst stream.Writer[T]) (Stats, error) {
 		r.stats.IO = r.store.Stats()
 		return r.stats, err
 	}
+	// The merge consumed the run files, so the manifest no longer
+	// describes anything recoverable; a leftover manifest would only make
+	// a later Resume re-validate, fail and regenerate from scratch.
+	r.removeManifest()
 	r.stats.MergeInputs = ms.Inputs
 	r.stats.MergePasses = ms.Passes
 	r.stats.MergeOps = ms.Merges
@@ -678,11 +719,19 @@ func isSpillName(prefix, name string) bool {
 // produced — any stragglers a failed pass left behind (a half-written run
 // from an aborted generation, intermediate outputs of a failed reduce,
 // orphaned backward chain files). Runs already consumed are skipped
-// silently. After Discard the backend holds no file of this sort, on any
-// tier.
+// silently. A durable sort's manifest and carry snapshots are removed too
+// — Discard abandons the sort, resumable state included — and a second
+// Discard of the same set is a no-op. After Discard the backend holds no
+// file of this sort, on any tier.
 func (r *RunSet[T]) Discard() error {
 	r.o.reporter().Stop()
 	var first error
+	if r.manifestName != "" && r.fs != nil {
+		if err := r.fs.Remove(r.manifestName); err != nil && !errors.Is(err, os.ErrNotExist) {
+			first = err
+		}
+		r.manifestName = ""
+	}
 	for _, run := range r.runs {
 		if err := run.Remove(r.store); err != nil && first == nil && !errors.Is(err, os.ErrNotExist) {
 			first = err
@@ -707,17 +756,29 @@ func (r *RunSet[T]) Discard() error {
 	return first
 }
 
+// removeManifest deletes the sort's manifest file, if it has one, and
+// forgets it so Discard does not try again. Best-effort: a manifest that
+// cannot be removed only costs a failed validation on some later Resume.
+func (r *RunSet[T]) removeManifest() {
+	if r.manifestName != "" && r.fs != nil {
+		r.fs.Remove(r.manifestName)
+	}
+	r.manifestName = ""
+}
+
 // Sort reads all elements from src, sorts them externally using temporary
 // files on fs, and writes the sorted stream to dst. Ordering, storage and
 // heuristics come from ops. It is GenerateRuns followed by RunSet.Merge; a
-// failed merge discards the run set, so no spill files outlive the error.
+// failed merge discards the run set, so no spill files outlive the error —
+// except in Manifest mode, where the spill files and manifest are the
+// sort's resumable state and survive the failure.
 func Sort[T any](src stream.Reader[T], dst stream.Writer[T], fs vfs.FS, cfg Config, ops Ops[T]) (Stats, error) {
 	rset, err := GenerateRuns(src, fs, cfg, ops)
 	if err != nil {
 		return Stats{}, err
 	}
 	stats, err := rset.Merge(dst)
-	if err != nil {
+	if err != nil && rset.manifestName == "" {
 		rset.Discard()
 	}
 	return stats, err

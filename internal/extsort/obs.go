@@ -28,6 +28,7 @@ type sortObs struct {
 	recordsIn *obs.Counter
 	runs      *obs.Counter
 	runLen    *obs.Histogram
+	recovered *obs.Counter
 	switches  *obs.Counter
 	phaseGen  *obs.Histogram
 	phaseMrg  *obs.Histogram
@@ -59,6 +60,7 @@ func newSortObs(cfg Config) *sortObs {
 	o.recordsIn = m.Counter(obs.MRecordsIn, "Records read from the sort input.")
 	o.runs = m.Counter(obs.MRuns, "Sorted runs emitted by generation.")
 	o.runLen = m.Histogram(obs.MRunLength, "Run length distribution in records.", obs.RunLengthBuckets)
+	o.recovered = m.Counter(obs.MRunsRecovered, "Runs recovered from a durable manifest by a resumed sort.")
 	o.switches = m.Counter(obs.MPolicySwitches, "Mid-stream generator switches by the auto policy.")
 	o.phaseGen = m.Histogram(obs.MPhaseSeconds, "Per-phase wall seconds.", obs.PhaseSecondsBuckets,
 		obs.Label{Name: "phase", Value: "generate"})
@@ -115,6 +117,15 @@ func (o *sortObs) observeRun(records int64) {
 	}
 	o.runs.Add(1)
 	o.runLen.Observe(float64(records))
+}
+
+// observeRecovered records runs a resumed sort recovered from a manifest
+// instead of regenerating.
+func (o *sortObs) observeRecovered(n int) {
+	if o == nil || n == 0 {
+		return
+	}
+	o.recovered.Add(int64(n))
 }
 
 // observeMergePhase records the merge phase's wall time.

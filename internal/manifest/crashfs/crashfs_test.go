@@ -1,0 +1,148 @@
+package crashfs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+func readAll(t *testing.T, fs vfs.FS, name string) []byte {
+	t.Helper()
+	f, err := fs.Open(name)
+	if err != nil {
+		t.Fatalf("Open(%q): %v", name, err)
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		t.Fatalf("Size: %v", err)
+	}
+	buf := make([]byte, size)
+	if _, err := f.ReadAt(buf, 0); err != nil && size > 0 {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	return buf
+}
+
+func TestByteBudget(t *testing.T) {
+	base := vfs.NewMemFS()
+	fs := New(base, Options{FailAfterBytes: 10, FailAfterOps: -1})
+	f, err := fs.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("0123456789"), 0); err != nil {
+		t.Fatalf("write within budget: %v", err)
+	}
+	if fs.Crashed() {
+		t.Fatal("crashed before budget exceeded")
+	}
+	n, err := f.WriteAt([]byte("x"), 10)
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write past budget: n=%d err=%v, want ErrCrashed", n, err)
+	}
+	if n != 0 {
+		t.Errorf("non-torn crash landed %d bytes", n)
+	}
+	if !fs.Crashed() || fs.Written() != 10 {
+		t.Errorf("Crashed=%v Written=%d, want true, 10", fs.Crashed(), fs.Written())
+	}
+	if got := readAll(t, base, "a"); !bytes.Equal(got, []byte("0123456789")) {
+		t.Errorf("file = %q", got)
+	}
+}
+
+func TestOpBudget(t *testing.T) {
+	fs := New(vfs.NewMemFS(), Options{FailAfterBytes: -1, FailAfterOps: 2})
+	f, err := fs.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := f.WriteAt([]byte("ok"), int64(2*i)); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	if _, err := f.WriteAt([]byte("no"), 4); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("third op: %v, want ErrCrashed", err)
+	}
+}
+
+func TestTornWrite(t *testing.T) {
+	base := vfs.NewMemFS()
+	fs := New(base, Options{FailAfterBytes: 7, FailAfterOps: -1, Torn: true})
+	f, err := fs.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.WriteAt([]byte("0123456789"), 0)
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("torn write: %v, want ErrCrashed", err)
+	}
+	if n != 7 {
+		t.Errorf("torn prefix = %d bytes, want 7", n)
+	}
+	if got := readAll(t, base, "a"); !bytes.Equal(got, []byte("0123456")) {
+		t.Errorf("file = %q, want torn prefix \"0123456\"", got)
+	}
+}
+
+func TestPostCrashBehavior(t *testing.T) {
+	base := vfs.NewMemFS()
+	// Land one file fully, then crash on the next write.
+	fs := New(base, Options{FailAfterBytes: 5, FailAfterOps: -1})
+	f, err := fs.Create("keep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("alive"), 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	g, err := fs.Create("dead")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.WriteAt([]byte("x"), 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crash write: %v", err)
+	}
+	// Every further mutation fails...
+	if _, err := fs.Create("more"); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash Create: %v", err)
+	}
+	if err := fs.Remove("keep"); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash Remove: %v", err)
+	}
+	if _, err := g.WriteAt([]byte("y"), 1); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash WriteAt: %v", err)
+	}
+	// ...but reads and listings pass through: the disk outlives the process.
+	if got := readAll(t, fs, "keep"); !bytes.Equal(got, []byte("alive")) {
+		t.Errorf("post-crash read = %q", got)
+	}
+	names, err := fs.Names()
+	if err != nil {
+		t.Fatalf("post-crash Names: %v", err)
+	}
+	if len(names) != 2 {
+		t.Errorf("names = %v, want keep and dead", names)
+	}
+}
+
+func TestUnlimitedBudgets(t *testing.T) {
+	fs := New(vfs.NewMemFS(), Options{FailAfterBytes: -1, FailAfterOps: -1})
+	f, err := fs.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if _, err := f.WriteAt(make([]byte, 100), int64(100*i)); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if fs.Crashed() {
+		t.Error("crashed with unlimited budgets")
+	}
+}

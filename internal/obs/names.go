@@ -12,6 +12,9 @@ const (
 	MRuns = "extsort_runs_total"
 	// MRunLength is the distribution of run lengths in records.
 	MRunLength = "extsort_run_length_records"
+	// MRunsRecovered counts runs recovered from a durable manifest by a
+	// resumed sort instead of being regenerated.
+	MRunsRecovered = "extsort_runs_recovered_total"
 	// MPolicySwitches counts mid-stream generator switches by the auto
 	// policy.
 	MPolicySwitches = "extsort_policy_switches_total"

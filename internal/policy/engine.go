@@ -102,6 +102,18 @@ func newGenerator[T any](kind Kind, down bool, src stream.Reader[T], em *runio.E
 	}
 }
 
+// NewFixed constructs the concrete generator for one of the four fixed
+// policy kinds, exposed for drivers that step run boundaries themselves —
+// the resumable (manifest) generation path restarts a fresh generator at
+// every boundary so the run sequence is a deterministic function of the
+// input and the configuration. down selects the Alternating policy's next
+// run direction (a restarted alternating generator alternates by run
+// parity); the other kinds ignore it. Auto is not constructible here: its
+// adaptive state (rolling window, visited set) cannot be checkpointed.
+func NewFixed[T any](kind Kind, down bool, src stream.Reader[T], em *runio.Emitter[T], cfg Config, key func(T) float64) (Generator[T], error) {
+	return newGenerator(kind, down, src, em, cfg, key)
+}
+
 // Generate runs the given policy over src, writing runs through em. key
 // optionally projects elements onto the real line for the 2WRS numeric
 // heuristics; nil selects the comparator-only fallbacks.

@@ -86,6 +86,8 @@ type BackwardWriter[T any] struct {
 	files   int
 	last    T
 	closed  bool
+	track   func(records int64, sum uint64)
+	sum     uint64
 }
 
 // NewBackwardWriter returns a writer for a descending stream stored under
@@ -141,6 +143,12 @@ func (w *BackwardWriter[T]) Write(r T) error {
 	// current position, continuing into lower pages (and, on rollover, the
 	// next chain file) until the whole element is placed.
 	pending := w.c.Append(w.scratch[:0], r)
+	if w.track != nil {
+		// The content checksum sums per-element CRC32s, so it is the same
+		// value an ascending re-read computes despite the descending write
+		// order (see contentSum).
+		w.sum = contentSum(w.sum, pending)
+	}
 	w.scratch = pending[:0]
 	for len(pending) > 0 {
 		if w.cur == nil {
@@ -243,16 +251,26 @@ func (w *BackwardWriter[T]) Count() int64 { return w.count }
 // Files returns the number of chain files created so far.
 func (w *BackwardWriter[T]) Files() int { return w.files }
 
+// Track arranges for fn to receive the element count and the
+// order-insensitive content checksum when the chain closes successfully;
+// see Writer.Track.
+func (w *BackwardWriter[T]) Track(fn func(records int64, sum uint64)) { w.track = fn }
+
 // Close flushes the partially filled file, if any, and finalizes the chain.
 func (w *BackwardWriter[T]) Close() error {
 	if w.closed {
 		return stream.ErrClosed
 	}
 	w.closed = true
-	if w.cur == nil {
-		return nil
+	if w.cur != nil {
+		if err := w.finalizeFile(); err != nil {
+			return err
+		}
 	}
-	return w.finalizeFile()
+	if w.track != nil {
+		w.track(w.count, w.sum)
+	}
+	return nil
 }
 
 // BackwardReader reads a backward-format chain in ascending order: files in

@@ -1,6 +1,8 @@
 package runio
 
 import (
+	"sync"
+
 	"repro/internal/codec"
 	"repro/internal/record"
 	"repro/internal/storage"
@@ -40,6 +42,15 @@ type Emitter[T any] struct {
 	// sorted output is byte-identical either way. The driver sets it only
 	// after the codec passes the sampled order check.
 	KeyCodec codec.KeyCodec[T]
+	// Checksums, when set, makes every writer the emitter creates track the
+	// order-insensitive content checksum of its stream (Writer.Track) and
+	// records it under the stream's name for Sum. Resumable sorts use the
+	// sums to commit run content in the manifest; off (the default) no
+	// per-element CRC is ever computed.
+	Checksums bool
+
+	mu   sync.Mutex
+	sums map[string]uint64
 }
 
 // NewEmitter returns an Emitter with default sizes writing through the raw
@@ -90,6 +101,9 @@ func (e *Emitter[T]) NewWriter(name string, bufBytes int) (*Writer[T], error) {
 	if e.Async {
 		w.Async()
 	}
+	if e.Checksums {
+		w.Track(func(_ int64, sum uint64) { e.noteSum(name, sum) })
+	}
 	return w, nil
 }
 
@@ -97,7 +111,29 @@ func (e *Emitter[T]) NewWriter(name string, bufBytes int) (*Writer[T], error) {
 func (e *Emitter[T]) Backward(role string) (string, *BackwardWriter[T], error) {
 	name := e.Namer.Next(role)
 	w, err := NewBackwardWriter(e.Store, name, e.PageSize, e.PagesPerFile, e.Codec, e.Less)
+	if err == nil && e.Checksums {
+		w.Track(func(_ int64, sum uint64) { e.noteSum(name, sum) })
+	}
 	return name, w, err
+}
+
+// noteSum records a closed stream's content checksum under its name.
+func (e *Emitter[T]) noteSum(name string, sum uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.sums == nil {
+		e.sums = make(map[string]uint64)
+	}
+	e.sums[name] = sum
+}
+
+// Sum returns the content checksum recorded for the named stream, if the
+// emitter ran with Checksums on and the stream's writer closed cleanly.
+func (e *Emitter[T]) Sum(name string) (uint64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	sum, ok := e.sums[name]
+	return sum, ok
 }
 
 // Open returns an ascending reader over the run using the emitter's codec

@@ -37,6 +37,7 @@ package runio
 import (
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"repro/internal/codec"
@@ -91,6 +92,18 @@ type Writer[T any] struct {
 	last   T
 	closed bool
 	async  *asyncFlusher
+	track  func(records int64, sum uint64)
+	sum    uint64
+}
+
+// contentSum folds one encoded element into an order-insensitive content
+// checksum: the 64-bit sum of per-element CRC32s. Because addition
+// commutes, the ascending forward writer, the descending backward writer
+// and an ascending validation re-read all compute the same value for the
+// same element multiset — which is what lets one checksum definition cover
+// every run layout (see internal/manifest).
+func contentSum(sum uint64, encoded []byte) uint64 {
+	return sum + uint64(crc32.ChecksumIEEE(encoded))
 }
 
 // NewWriter creates the named spill stream on st and returns a Writer with
@@ -116,6 +129,13 @@ func (w *Writer[T]) Async() *Writer[T] {
 	return w
 }
 
+// Track arranges for fn to receive the element count and the
+// order-insensitive content checksum (the 64-bit sum of per-element
+// CRC32s over the encoded bytes) when the writer closes successfully. It
+// must be installed before the first Write; the per-element CRC cost is
+// paid only when a tracker is installed.
+func (w *Writer[T]) Track(fn func(records int64, sum uint64)) { w.track = fn }
+
 // Write appends r to the run. Elements must arrive in non-decreasing order.
 func (w *Writer[T]) Write(r T) error {
 	if w.closed {
@@ -125,7 +145,11 @@ func (w *Writer[T]) Write(r T) error {
 		return fmt.Errorf("%w: forward run got %v after %v", ErrOutOfOrder, r, w.last)
 	}
 	w.last = r
+	prev := len(w.buf)
 	w.buf = w.c.Append(w.buf, r)
+	if w.track != nil {
+		w.sum = contentSum(w.sum, w.buf[prev:])
+	}
 	w.count++
 	if len(w.buf) >= w.target {
 		return w.flush()
@@ -146,7 +170,11 @@ func (w *Writer[T]) WriteBatch(src []T) error {
 			return fmt.Errorf("%w: forward run got %v after %v", ErrOutOfOrder, r, w.last)
 		}
 		w.last = r
+		prev := len(w.buf)
 		w.buf = w.c.Append(w.buf, r)
+		if w.track != nil {
+			w.sum = contentSum(w.sum, w.buf[prev:])
+		}
 		w.count++
 		if len(w.buf) >= w.target {
 			if err := w.flush(); err != nil {
@@ -196,7 +224,13 @@ func (w *Writer[T]) Close() error {
 		w.w.Close()
 		return err
 	}
-	return w.w.Close()
+	if err := w.w.Close(); err != nil {
+		return err
+	}
+	if w.track != nil {
+		w.track(w.count, w.sum)
+	}
+	return nil
 }
 
 // Reader reads a forward run sequentially through a buffer of the given

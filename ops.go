@@ -57,9 +57,13 @@ func (s *Sorter[T]) eq() func(a, b T) bool {
 // prefix namespaces this operator's temporary files so concurrent phases —
 // e.g. the two sides of a MergeJoin sharing a TempDir — cannot collide.
 func (s *Sorter[T]) openSorted(ctx context.Context, src Source[T], prefix string) (*merge.Stream[T], *extsort.RunSet[T], error) {
-	fs, err := s.cfg.filesystem()
-	if err != nil {
-		return nil, nil, err
+	fs := s.fs
+	if fs == nil {
+		var err error
+		fs, err = s.cfg.filesystem()
+		if err != nil {
+			return nil, nil, err
+		}
 	}
 	icfg := s.cfg.toInternal()
 	icfg.Cancel = ctx.Err

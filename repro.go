@@ -110,6 +110,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/extsort"
 	"repro/internal/gen"
+	"repro/internal/manifest"
 	"repro/internal/policy"
 	"repro/internal/record"
 	"repro/internal/storage"
@@ -139,6 +140,28 @@ type IOStats = extsort.IOStats
 // Storage configures how runs spill to temporary files; see Config.Storage
 // and WithStorage. The zero value is the library's historical raw layout.
 type Storage = storage.Config
+
+// Durable-sort sentinel errors, matched with errors.Is against failures of
+// Sorter.Resume (and of durable Sort calls). See Config.Manifest.
+var (
+	// ErrNoManifest: the spill directory holds no manifest — there is no
+	// durable state to resume. Sorter.Resume handles this itself by
+	// starting fresh; the sentinel is for callers of the lower layers.
+	ErrNoManifest = manifest.ErrNoManifest
+	// ErrManifestMismatch: the manifest was written under a different
+	// codec, compression or generation configuration than the resuming
+	// sort's. Resuming would mix incompatible state, so nothing is reused.
+	ErrManifestMismatch = manifest.ErrMismatch
+	// ErrManifestCorrupt: the manifest's header is unreadable or from an
+	// unknown format version. (Damage confined to the tail is not an
+	// error: the intact prefix is resumed and the tail regenerated.)
+	ErrManifestCorrupt = manifest.ErrCorrupt
+	// ErrRunChecksum: a spill file referenced by the manifest is present
+	// but its contents do not match the recorded checksum. The sort
+	// refuses to resume rather than risk wrong output; discard the spill
+	// directory and rerun.
+	ErrRunChecksum = manifest.ErrChecksum
+)
 
 // Algorithm selects the run-generation strategy.
 type Algorithm = extsort.Algorithm
@@ -255,6 +278,25 @@ type Config struct {
 	// records processed, rate, ETA when the input size is known) to
 	// Progress.W every Progress.Interval. See WithProgress.
 	Progress *ProgressConfig
+	// Manifest makes run generation durable: every completed run is
+	// recorded in a CRC-guarded manifest file alongside the spill files,
+	// so a sort killed mid-generation can be picked up with Sorter.Resume
+	// (or the -resume CLI flag) instead of starting over. Durable sorts
+	// restart the run generator at every run boundary, making the run
+	// sequence a pure function of input and configuration; the resumed
+	// output is byte-identical to an uninterrupted sort. Requires a
+	// deterministic policy — Validate rejects the adaptive "auto" policy,
+	// whose probing decisions are not replayable. See DESIGN.md §14.
+	Manifest bool
+	// Resume makes every sort under this configuration first look for a
+	// durable manifest left by an interrupted earlier sort and continue
+	// from its last committed run boundary (the source must re-serve the
+	// original input from the start). With no manifest present the sort
+	// simply runs fresh. Resume implies Manifest. Most callers use
+	// Sorter.Resume instead; the config flag exists for the operator layer
+	// (Distinct, TopK, …) and the classic wrappers, which have no separate
+	// resume entry point.
+	Resume bool
 }
 
 // DefaultConfig returns the paper's recommended configuration with the
@@ -317,7 +359,24 @@ func (c Config) Validate() error {
 	if c.Storage.MemoryBudgetBytes < 0 {
 		return fmt.Errorf("repro: storage memory budget must be non-negative, got %d", c.Storage.MemoryBudgetBytes)
 	}
+	if c.Manifest || c.Resume {
+		if kind, err := policy.Parse(c.Policy); err == nil && kind == policy.Auto {
+			return fmt.Errorf("repro: durable manifests require a deterministic policy; %q probes the input and is not replayable (pick one of: %s)",
+				c.Policy, strings.Join(deterministicPolicies(), ", "))
+		}
+	}
 	return nil
+}
+
+// deterministicPolicies lists the policy names valid under Config.Manifest.
+func deterministicPolicies() []string {
+	var out []string
+	for _, name := range Policies() {
+		if kind, err := policy.Parse(name); err == nil && kind != policy.Auto {
+			out = append(out, name)
+		}
+	}
+	return out
 }
 
 // Compressions lists the valid spill compression names accepted by
@@ -347,6 +406,8 @@ func (c Config) toInternal() extsort.Config {
 		Trace:       c.Trace,
 		Metrics:     c.Metrics,
 		Progress:    c.Progress,
+		Manifest:    c.Manifest || c.Resume,
+		Resume:      c.Resume,
 		TWRS: core.Config{
 			Memory:     c.MemoryRecords,
 			Setup:      c.Setup,

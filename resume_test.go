@@ -1,0 +1,229 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// dyingSource serves records but fails once pos reaches dieAt, simulating
+// an input that breaks mid-sort (and with it, a sort that must be resumed).
+type dyingSource struct {
+	recs  []Record
+	pos   int
+	dieAt int
+}
+
+var errSourceDied = errors.New("repro_test: source died")
+
+func (d *dyingSource) Read() (Record, error) {
+	if d.pos >= len(d.recs) {
+		return Record{}, io.EOF
+	}
+	if d.pos >= d.dieAt {
+		return Record{}, errSourceDied
+	}
+	r := d.recs[d.pos]
+	d.pos++
+	return r, nil
+}
+
+func shuffledRecords(n int, seed int64) []Record {
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{Key: int64(rng.Intn(n / 2)), Aux: uint64(i)}
+	}
+	return recs
+}
+
+// TestSorterResume is the public happy path: a durable Sort dies on its
+// source, Resume finishes the job from the committed runs, and the result
+// matches an uninterrupted sort exactly.
+func TestSorterResume(t *testing.T) {
+	recs := shuffledRecords(4000, 1)
+	mk := func() (*Sorter[Record], error) {
+		return New(func(a, b Record) bool { return a.Key < b.Key },
+			WithMemoryRecords(256),
+			WithPolicy("2wrs"),
+			WithManifest())
+	}
+	s, err := mk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := func() ([]Record, Stats, error) {
+		clean, err := mk()
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		return clean.SortSlice(context.Background(), recs)
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var out sliceSink[Record]
+	if _, err := s.Sort(context.Background(), &dyingSource{recs: recs, dieAt: 3000}, &out); !errors.Is(err, errSourceDied) {
+		t.Fatalf("interrupted Sort: %v, want errSourceDied", err)
+	}
+
+	out.vals = nil
+	stats, err := s.Resume(context.Background(), &dyingSource{recs: recs, dieAt: len(recs) + 1}, &out)
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	if stats.RunsRecovered == 0 {
+		t.Error("Resume regenerated everything: RunsRecovered = 0")
+	}
+	if len(out.vals) != len(want) {
+		t.Fatalf("resumed %d records, want %d", len(out.vals), len(want))
+	}
+	for i := range want {
+		if out.vals[i] != want[i] {
+			t.Fatalf("resumed output differs at %d: %v != %v", i, out.vals[i], want[i])
+		}
+	}
+}
+
+// TestSorterResumeAcrossProcessBoundary drives resume through a real temp
+// directory — the state a killed process leaves on disk — with a fresh
+// Sorter standing in for the restarted process.
+func TestSorterResumeAcrossProcessBoundary(t *testing.T) {
+	dir := t.TempDir()
+	recs := shuffledRecords(4000, 2)
+	mk := func() *Sorter[Record] {
+		s, err := New(func(a, b Record) bool { return a.Key < b.Key },
+			WithMemoryRecords(256),
+			WithPolicy("2wrs"),
+			WithTempDir(dir),
+			WithManifest())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	var out sliceSink[Record]
+	if _, err := mk().Sort(context.Background(), &dyingSource{recs: recs, dieAt: 3000}, &out); !errors.Is(err, errSourceDied) {
+		t.Fatalf("interrupted Sort: %v", err)
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "*.manifest"))
+	if err != nil || len(names) != 1 {
+		t.Fatalf("manifest files on disk: %v, %v", names, err)
+	}
+
+	out.vals = nil
+	stats, err := mk().Resume(context.Background(), &dyingSource{recs: recs, dieAt: len(recs) + 1}, &out)
+	if err != nil {
+		t.Fatalf("Resume in new sorter: %v", err)
+	}
+	if stats.RunsRecovered == 0 {
+		t.Error("cross-process Resume recovered nothing")
+	}
+	if !sort.SliceIsSorted(out.vals, func(i, j int) bool { return out.vals[i].Key < out.vals[j].Key }) {
+		t.Error("resumed output is not sorted")
+	}
+	if len(out.vals) != len(recs) {
+		t.Errorf("resumed %d records, want %d", len(out.vals), len(recs))
+	}
+	// The successful merge consumed the durable state.
+	if names, _ := filepath.Glob(filepath.Join(dir, "*.manifest")); len(names) != 0 {
+		t.Errorf("manifest left behind after successful resume: %v", names)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("spill files left behind: %v", entries)
+	}
+}
+
+// TestSorterResumeMismatch pins the typed error a resume under a changed
+// configuration must fail with.
+func TestSorterResumeMismatch(t *testing.T) {
+	dir := t.TempDir()
+	recs := shuffledRecords(4000, 3)
+	mk := func(compression string) *Sorter[Record] {
+		s, err := New(func(a, b Record) bool { return a.Key < b.Key },
+			WithMemoryRecords(256),
+			WithPolicy("2wrs"),
+			WithTempDir(dir),
+			WithCompression(compression),
+			WithManifest())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	var out sliceSink[Record]
+	if _, err := mk("raw").Sort(context.Background(), &dyingSource{recs: recs, dieAt: 3000}, &out); !errors.Is(err, errSourceDied) {
+		t.Fatalf("interrupted Sort: %v", err)
+	}
+	_, err := mk("flate").Resume(context.Background(), &dyingSource{recs: recs, dieAt: len(recs) + 1}, &out)
+	if !errors.Is(err, ErrManifestMismatch) {
+		t.Fatalf("resume under changed compression: %v, want ErrManifestMismatch", err)
+	}
+}
+
+// TestManifestConfigValidation pins the config-level rules for durable
+// sorts: Resume demands WithManifest, and the adaptive auto policy — whose
+// run boundaries are not replayable — is rejected outright.
+func TestManifestConfigValidation(t *testing.T) {
+	s, err := New(func(a, b Record) bool { return a.Key < b.Key }, WithMemoryRecords(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Resume(context.Background(), &dyingSource{}, &sliceSink[Record]{}); err == nil {
+		t.Error("Resume on a non-durable Sorter succeeded")
+	}
+	_, err = New(func(a, b Record) bool { return a.Key < b.Key },
+		WithMemoryRecords(256), WithManifest()) // default policy is auto
+	if err == nil {
+		t.Error("New accepted WithManifest under the auto policy")
+	}
+	cfg := DefaultConfig(256)
+	cfg.Manifest = true
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("Manifest with the legacy algorithm path: %v", err)
+	}
+	cfg.Policy = "auto"
+	if err := cfg.Validate(); err == nil {
+		t.Error("Validate accepted Manifest with the auto policy")
+	}
+}
+
+// ExampleSorter_Resume shows the durable-sort workflow: sort, crash,
+// resume.
+func ExampleSorter_Resume() {
+	recs := shuffledRecords(2000, 9)
+	s, err := New(func(a, b Record) bool { return a.Key < b.Key },
+		WithMemoryRecords(128),
+		WithPolicy("2wrs"),
+		WithManifest()) // record every finished run in a durable manifest
+	if err != nil {
+		panic(err)
+	}
+	var out sliceSink[Record]
+	// The input dies mid-sort: the runs generated so far stay on disk.
+	_, err = s.Sort(context.Background(), &dyingSource{recs: recs, dieAt: 1500}, &out)
+	fmt.Println("sort failed:", err != nil)
+	// Resume re-serves the input from the start; committed runs are
+	// reused, not regenerated.
+	stats, err := s.Resume(context.Background(), &dyingSource{recs: recs, dieAt: len(recs) + 1}, &out)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("recovered runs:", stats.RunsRecovered > 0)
+	fmt.Println("sorted:", sort.SliceIsSorted(out.vals, func(i, j int) bool { return out.vals[i].Key < out.vals[j].Key }))
+	// Output:
+	// sort failed: true
+	// recovered runs: true
+	// sorted: true
+}

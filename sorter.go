@@ -271,6 +271,19 @@ func WithSpillMemory(budgetBytes int64) Option {
 	}
 }
 
+// WithManifest makes the sorter's sorts durable: every completed run is
+// recorded in a CRC-guarded manifest next to the spill files, and a sort
+// that died mid-generation — process kill, cancelled context, failed source
+// — can be finished by Sorter.Resume without regenerating the runs that
+// already reached storage. See Config.Manifest for the determinism
+// requirements and DESIGN.md §14 for the recovery rules. With no TempDir
+// the Sorter keeps one in-process file system for all its sorts (rather
+// than one per Sort call) so Resume can see what a failed Sort left behind;
+// with a TempDir, resumability extends across process restarts.
+func WithManifest() Option {
+	return func(s *sorterConfig) error { s.cfg.Manifest = true; return nil }
+}
+
 // WithCodec supplies the codec used to spill runs to disk. Without it, New
 // infers a built-in codec for Record, string, []byte, int64, uint64 and
 // float64 element types and fails for anything else.
@@ -421,6 +434,7 @@ type Sorter[T any] struct {
 	keyCodec      codec.KeyCodec[T]
 	keyedExplicit bool
 	elementBytes  int
+	fs            vfs.FS // stable spill FS for durable sorters; nil otherwise
 }
 
 // New builds a Sorter ordering elements with less. Options supply the
@@ -486,6 +500,15 @@ func New[T any](less func(a, b T) bool, opts ...Option) (*Sorter[T], error) {
 		s.keyedExplicit = true
 	default:
 		s.keyCodec = defaultKeyCodecFor[T]()
+	}
+	if s.cfg.Manifest || s.cfg.Resume {
+		// Durable sorts need a file system that outlives one Sort call, or
+		// there would be nothing for Resume to pick up.
+		fs, err := s.cfg.filesystem()
+		if err != nil {
+			return nil, err
+		}
+		s.fs = fs
 	}
 	return s, nil
 }
@@ -609,15 +632,45 @@ func (c Config) filesystem() (vfs.FS, error) {
 // context is honoured between batches in both phases: a cancelled context
 // aborts the sort promptly with ctx.Err().
 func (s *Sorter[T]) Sort(ctx context.Context, src Source[T], dst Sink[T]) (Stats, error) {
+	return s.sort(ctx, src, dst, false)
+}
+
+// Resume finishes a durable sort that a previous Sort (in this process or,
+// with a TempDir, in an earlier one) left interrupted: completed runs are
+// validated against the manifest and reused, the input is rewound to the
+// last committed run boundary, and generation continues from there. src
+// must re-serve the original input from the start — Resume skips what the
+// committed runs already consumed. The output is byte-identical to what the
+// uninterrupted sort would have produced; Stats.RunsRecovered reports how
+// many runs were reused. When no manifest exists (nothing to resume, or a
+// crash predated the first run) Resume simply runs a fresh durable sort. A
+// manifest written under a different codec, compression or generation
+// configuration fails with ErrManifestMismatch rather than mixing
+// incompatible state.
+func (s *Sorter[T]) Resume(ctx context.Context, src Source[T], dst Sink[T]) (Stats, error) {
+	if !s.cfg.Manifest && !s.cfg.Resume {
+		return Stats{}, fmt.Errorf("repro: Resume requires a Sorter built with WithManifest")
+	}
+	return s.sort(ctx, src, dst, true)
+}
+
+func (s *Sorter[T]) sort(ctx context.Context, src Source[T], dst Sink[T], resume bool) (Stats, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	fs, err := s.cfg.filesystem()
-	if err != nil {
-		return Stats{}, err
+	fs := s.fs
+	if fs == nil {
+		var err error
+		fs, err = s.cfg.filesystem()
+		if err != nil {
+			return Stats{}, err
+		}
 	}
 	icfg := s.cfg.toInternal()
 	icfg.Cancel = ctx.Err
+	if resume {
+		icfg.Resume = true
+	}
 	stats, err := extsort.Sort[T](
 		&ctxReader[T]{ctx: ctx, src: src},
 		&ctxWriter[T]{ctx: ctx, dst: dst},
