@@ -103,6 +103,7 @@ type sortFlags struct {
 	spillMem *int64
 	manifest *bool
 	resume   *bool
+	shards   *int
 
 	// Observability flags, shared by every subcommand.
 	traceOut    *string
@@ -131,6 +132,8 @@ func newSortFlags(fs *flag.FlagSet) *sortFlags {
 			"command can be finished with -resume instead of starting over (requires a deterministic -policy/-alg, not auto)"),
 		resume: fs.Bool("resume", false, "resume the durable sort a previous -manifest run left in -tmp: completed runs "+
 			"are validated and reused, the input re-read from the start; implies -manifest and requires -tmp"),
+		shards: fs.Int("shards", 0, "split the sort into this many range-partitioned shards that sort concurrently "+
+			"and concatenate in key order, skipping the final cross-shard merge (0 or 1: ordinary single-stream sort)"),
 		traceOut: fs.String("trace-out", "", "write a trace of the run here: Chrome trace_event JSON "+
 			"(open in chrome://tracing or Perfetto), or span JSONL when the path ends in .jsonl"),
 		metricsAddr: fs.String("metrics-addr", "", "serve the live Prometheus metrics endpoint on this "+
@@ -256,6 +259,7 @@ func (f *sortFlags) config() (repro.Config, func(), error) {
 		Storage:        repro.Storage{Compression: *f.compress, MemoryBudgetBytes: *f.spillMem},
 		Manifest:       *f.manifest || *f.resume,
 		Resume:         *f.resume,
+		Shards:         *f.shards,
 	}
 	cleanup := func() {}
 	cfg.TempDir = *f.tempDir
@@ -322,6 +326,9 @@ func printSortStats(alg string, memory int, stats repro.Stats) {
 		fmt.Printf("policy switches:  %d (mid-stream, at run boundaries)\n", stats.PolicySwitches)
 	}
 	fmt.Printf("records:          %d\n", stats.Records)
+	if stats.Shards > 0 {
+		fmt.Printf("shards:           %d (records per shard: %v)\n", stats.Shards, stats.ShardRecords)
+	}
 	fmt.Printf("runs:             %d\n", stats.Runs)
 	if stats.Runs > 0 {
 		fmt.Printf("avg run length:   %.1f records (%.2fx memory)\n",

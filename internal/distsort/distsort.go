@@ -1,355 +1,412 @@
-// Package distsort implements the external distribution (bucket) sort of
-// §2.2 of the thesis, the other classic approach to external sorting: a
-// partition pass routes records into key-range buckets whose ranges do not
-// overlap, oversized buckets recurse, and in-memory sorting of each bucket
-// followed by concatenation yields the result — no merge phase at all.
+// Package distsort implements a sharded, range-partitioned distribution
+// sort on top of the extsort driver.
 //
-// Bucket boundaries are sampled quantiles of a memory-sized prefix, the
-// standard defence against the clustering problem §2.2 warns about.
+// The engine samples a memory-sized prefix of the input, picks S-1
+// splitters at the sample's quantile ranks (sel.Multiselect), and
+// range-partitions the stream into S non-overlapping shards. Each shard is
+// sorted concurrently on its own goroutine by its own extsort run — its own
+// temp-file prefix, its own carved share of the memory budget, and in
+// durable mode its own manifest — and because the shard key ranges are
+// disjoint the shard outputs are simply concatenated in splitter order: no
+// final cross-shard k-way merge ever touches the data.
 //
-// Oversized buckets are handled one of two ways. The historical default
-// re-partitions them recursively. Setting Config.Extsort instead hands each
-// oversized bucket — a shard — to the external merge-sort driver, so shards
-// inherit everything that machinery offers: spill compression and tiering,
-// run-boundary determinism, and durable manifests with crash resume (each
-// shard sorts under its own manifest prefix, so a restarted process reuses
-// the shard runs that reached storage before the crash).
+// Comparator-equal splitters are collapsed into bands whose ties are
+// spread round-robin across the band's shards, so heavily duplicated
+// inputs (including all-equal keys) cannot degenerate into one giant
+// shard. The partition pass is deterministic — same input, same
+// configuration, same routing — which is what lets a crashed durable sort
+// resume: the partition replays, each shard's extsort recovers its own
+// manifest runs, and only the unfinished shards regenerate.
 package distsort
 
 import (
 	"fmt"
 	"io"
-	"sort"
+	"runtime"
+	"time"
 
-	"repro/internal/codec"
 	"repro/internal/extsort"
-	"repro/internal/heap"
 	"repro/internal/obs"
-	"repro/internal/record"
-	"repro/internal/runio"
-	"repro/internal/storage"
+	"repro/internal/stream"
 	"repro/internal/vfs"
 )
 
-// Config parameterises the sort.
+const (
+	// feedBatch is the element batch size handed between the partition
+	// loop, the shard channels and the concatenation drain.
+	feedBatch = 1024
+	// feedDepth is the per-shard channel depth in batches; it bounds the
+	// records in flight per shard to feedDepth*feedBatch.
+	feedDepth = 4
+)
+
+// Config configures one sharded sort.
 type Config struct {
-	// Memory is the in-memory budget in records; buckets at most this
-	// large are sorted in memory.
-	Memory int
-	// Buckets is the partition fan-out (default 10, mirroring the merge
-	// fan-in of the thesis experiments).
-	Buckets int
-	// MaxDepth bounds the recursion (default 64, enough for the
-	// guaranteed-progress midpoint splits to exhaust an int64 key range).
-	MaxDepth int
-	// Trace, when non-nil, records one root "distsort" span plus a
-	// "partition" span per partition pass and a "bucket_sort" span per
-	// in-memory bucket sort. Nil disables tracing at zero cost.
-	Trace *obs.Tracer
-	// Extsort, when non-nil, sorts oversized buckets through the external
-	// merge-sort driver instead of recursive partitioning. Each such shard
-	// runs under its own spill prefix derived from Extsort.Prefix, so the
-	// shards inherit the driver's storage backends and — with
-	// Extsort.Manifest set — its durable manifests: a re-run of the same
-	// sort with Extsort.Resume set reuses every shard run that reached
-	// storage (the partition pass is deterministic, so a restarted process
-	// recreates identical buckets and each shard resumes its own
-	// manifest). An unset Memory inherits Config.Memory.
-	Extsort *extsort.Config
-}
-
-func (c Config) withDefaults() Config {
-	if c.Buckets < 2 {
-		c.Buckets = 10
-	}
-	if c.MaxDepth == 0 {
-		c.MaxDepth = 64
-	}
-	return c
-}
-
-// Stats reports the work done.
-type Stats struct {
-	// Records sorted.
-	Records int64
-	// Partitions is the number of partition passes executed (including
-	// recursive ones).
-	Partitions int
-	// MaxDepth is the deepest recursion level reached.
-	MaxDepth int
-	// Shards is the number of oversized buckets delegated to the external
-	// merge-sort driver (always 0 without Config.Extsort).
+	// Shards is the number of range shards S. Zero picks the extsort
+	// parallelism (GOMAXPROCS when that is also unset); one bypasses
+	// partitioning entirely and delegates to a single extsort run.
+	// Durable sorts (Manifest or Resume set) must pick explicitly,
+	// because the automatic count could differ across restarts and
+	// orphan the previous attempt's per-shard manifests.
 	Shards int
-	// ShardRuns is the total number of sorted runs the shards generated.
-	ShardRuns int
-	// ShardRunsRecovered is the number of shard runs reused from durable
-	// manifests rather than regenerated, summed across shards; non-zero
-	// only when Extsort.Resume found committed state to pick up.
-	ShardRunsRecovered int
+
+	// SampleLimit caps how many records of the input's head are buffered
+	// to choose the splitters. Zero means Extsort.Memory. An input that
+	// fits entirely within the limit is sorted by one full-budget extsort
+	// run instead of being sharded.
+	SampleLimit int
+
+	// Extsort is the per-shard sort configuration template. Memory is
+	// the total budget in records and is carved evenly across the
+	// shards; Prefix namespaces the whole sort and each shard appends
+	// its own "-sNN" suffix, so shard spill files and manifests never
+	// collide. Manifest gives every shard its own durable manifest;
+	// Resume replays the partition and recovers per shard. Trace and
+	// Metrics are shared by the partition pass and all shards.
+	Extsort extsort.Config
 }
 
-// shardSort sorts one oversized bucket through the external merge-sort
-// driver. Shards are numbered in encounter order — deterministic, because
-// the partition pass is — so each gets a stable spill prefix and, in
-// durable mode, a stable manifest a restarted process can resume.
-func shardSort(src record.Reader, dst record.Writer, fs vfs.FS, cfg Config, parent *obs.Span, stats *Stats) error {
-	shard := stats.Shards
-	stats.Shards++
-	ecfg := *cfg.Extsort
-	if ecfg.Memory == 0 {
-		ecfg.Memory = cfg.Memory
+// shardResult is one shard goroutine's outcome.
+type shardResult struct {
+	stats extsort.Stats
+	ok    bool
+}
+
+// Sort range-partitions src into shards, sorts them concurrently and
+// concatenates the shard outputs into dst in splitter order. The returned
+// stats aggregate all shards; Shards and ShardRecords describe the
+// partitioning itself.
+//
+// When comparator-equal elements are bitwise identical (always true for
+// total keys), the output is byte-identical to a single unsharded extsort
+// run over the same input; otherwise it is the same multiset in the same
+// comparator order with ties possibly permuted.
+func Sort[T any](src stream.Reader[T], dst stream.Writer[T], fs vfs.FS, cfg Config, ops extsort.Ops[T]) (extsort.Stats, error) {
+	entry := time.Now()
+	shards := cfg.Shards
+	if shards <= 0 {
+		if cfg.Extsort.Manifest || cfg.Extsort.Resume {
+			return extsort.Stats{}, fmt.Errorf("distsort: durable sorts need an explicit shard count, got %d", cfg.Shards)
+		}
+		shards = cfg.Extsort.Parallelism
 	}
-	if ecfg.Prefix == "" {
-		ecfg.Prefix = "shard"
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
 	}
-	ecfg.Prefix = fmt.Sprintf("%s-%04d", ecfg.Prefix, shard)
-	sp := parent.Start("shard_sort", obs.Int("shard", int64(shard)))
-	rset, err := extsort.GenerateRuns[record.Record](src, fs, ecfg, extsort.RecordOps())
+	if cfg.Extsort.Memory <= 0 {
+		return extsort.Stats{}, fmt.Errorf("distsort: memory must be positive, got %d", cfg.Extsort.Memory)
+	}
+	if shards == 1 {
+		return extsort.Sort(src, dst, fs, cfg.Extsort, ops)
+	}
+	limit := cfg.SampleLimit
+	if limit <= 0 {
+		limit = cfg.Extsort.Memory
+	}
+	if min := 2 * shards; limit < min {
+		limit = min
+	}
+	sample, fits, err := readPrefix(src, limit, cfg.Extsort.Cancel)
 	if err != nil {
+		return extsort.Stats{}, err
+	}
+	if fits {
+		// The whole input fit inside the sample: one full-budget sort is
+		// cheaper than S tiny ones and trivially identical to the
+		// unsharded output. Deterministic, so a resumed sort re-takes
+		// the same branch.
+		return extsort.Sort(stream.NewSliceReader(sample), dst, fs, cfg.Extsort, ops)
+	}
+	rt, err := newRouter(sample, shards, ops, cfg.Extsort.Parallelism)
+	if err != nil {
+		return extsort.Stats{}, err
+	}
+	return shardedSort(entry, sample, src, dst, fs, cfg, ops, shards, rt)
+}
+
+// shardedSort runs the partition loop, the S concurrent shard sorts and
+// the in-order concatenation drain, and aggregates the statistics.
+func shardedSort[T any](entry time.Time, sample []T, src stream.Reader[T], dst stream.Writer[T], fs vfs.FS, cfg Config, ops extsort.Ops[T], shards int, rt *router[T]) (extsort.Stats, error) {
+	tr := cfg.Extsort.Trace
+	cancel := cfg.Extsort.Cancel
+	fail := newFailure()
+	feeds := make([]chan []T, shards)
+	outs := make([]chan []T, shards)
+	for i := range feeds {
+		feeds[i] = make(chan []T, feedDepth)
+		outs[i] = make(chan []T, feedDepth)
+	}
+	results := make([]shardResult, shards)
+	done := make(chan struct{})
+	for i := 0; i < shards; i++ {
+		go func(i int) {
+			defer func() { done <- struct{}{} }()
+			runShard(i, feeds[i], outs[i], fs, shardConfig(cfg, shards, i), ops, fail, &results[i])
+		}(i)
+	}
+
+	// Partition overlaps run generation: shards consume their feeds while
+	// the loop is still routing, so the "partition" phase covers both.
+	psp := tr.StartOn("shard_partition", "shard_partition",
+		obs.Int("shards", int64(shards)), obs.Int("sample", int64(len(sample))), obs.Int("splitters", int64(len(rt.bounds))))
+	partStart := time.Now()
+	counts, perr := partition(sample, src, feeds, rt, fail, cancel)
+	partWall := time.Since(partStart)
+	if perr != nil {
+		fail.fail(perr)
+		psp.Drop()
+	} else {
+		psp.End(obs.Int("max_shard", maxOf(counts)))
+	}
+
+	// Concatenate: the shard ranges are disjoint and ordered, so draining
+	// each output channel in shard order is the merge.
+	drainStart := time.Now()
+	if perr == nil {
+		if derr := drain(dst, outs, fail, cancel); derr != nil {
+			fail.fail(derr)
+		}
+	}
+	drainWall := time.Since(drainStart)
+	for i := 0; i < shards; i++ {
+		<-done
+	}
+	if err := fail.get(); err != nil {
+		return extsort.Stats{}, err
+	}
+
+	st := extsort.Stats{
+		Shards:       shards,
+		ShardRecords: counts,
+		Keyed:        results[0].stats.Keyed,
+		Policy:       results[0].stats.Policy,
+		Storage:      results[0].stats.Storage,
+		RunGenWall:   partWall,
+		MergeWall:    drainWall,
+	}
+	for _, r := range results {
+		s := r.stats
+		st.Records += s.Records
+		st.Runs += s.Runs
+		st.RunsRecovered += s.RunsRecovered
+		st.PolicySwitches += s.PolicySwitches
+		st.OverlapRuns += s.OverlapRuns
+		st.MergeInputs += s.MergeInputs
+		st.MergeOps += s.MergeOps
+		if s.MergePasses > st.MergePasses {
+			st.MergePasses = s.MergePasses
+		}
+		addIO(&st.IO, s.IO)
+	}
+	if st.Runs > 0 {
+		st.AvgRunLength = float64(st.Records) / float64(st.Runs)
+	}
+	st.Phases = []extsort.PhaseStat{
+		{Name: "partition", Wall: partWall},
+		{Name: "merge", Wall: drainWall},
+	}
+	st.Elapsed = time.Since(entry)
+	if m := cfg.Extsort.Metrics; m != nil {
+		m.Counter(obs.MShards, "Range shards executed by distribution sorts.").Add(int64(shards))
+		h := m.Histogram(obs.MShardRecords, "Records routed to each range shard.", obs.RunLengthBuckets)
+		for _, c := range counts {
+			h.Observe(float64(c))
+		}
+	}
+	return st, nil
+}
+
+// shardConfig carves shard i's extsort configuration out of the template:
+// an even share of the memory budget, a namespaced spill prefix (which in
+// durable mode also namespaces the shard's manifest), and a share of the
+// merge parallelism. The progress reporter stays with the driver — S
+// concurrent sorts reporting phases would interleave meaninglessly.
+func shardConfig(cfg Config, shards, i int) extsort.Config {
+	scfg := cfg.Extsort
+	scfg.Memory = cfg.Extsort.Memory / shards
+	if scfg.Memory < 1 {
+		scfg.Memory = 1
+	}
+	base := scfg.Prefix
+	if base == "" {
+		base = "sort"
+	}
+	scfg.Prefix = fmt.Sprintf("%s-s%02d", base, i)
+	par := scfg.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	scfg.Parallelism = par / shards
+	if scfg.Parallelism < 1 {
+		scfg.Parallelism = 1
+	}
+	scfg.Progress = nil
+	return scfg
+}
+
+// runShard sorts one shard: generate runs from the feed channel, then
+// merge them into the output channel for the drain to concatenate.
+func runShard[T any](i int, feed <-chan []T, out chan<- []T, fs vfs.FS, scfg extsort.Config, ops extsort.Ops[T], fail *failure, res *shardResult) {
+	tr := scfg.Trace
+	sp := tr.StartOn("shard_sort", fmt.Sprintf("shard %02d", i), obs.Int("shard", int64(i)))
+	in := &chanReader[T]{ch: feed, done: fail.done}
+	rset, err := extsort.GenerateRuns(in, fs, scfg, ops)
+	if err != nil {
+		close(out)
+		fail.fail(fmt.Errorf("distsort: shard %d: %w", i, err))
 		sp.Drop()
-		return err
+		return
 	}
-	st, err := rset.Merge(dst)
+	w := &chanWriter[T]{ch: out, done: fail.done, buf: make([]T, 0, feedBatch)}
+	st, err := rset.Merge(w)
+	res.stats = st
+	if err == nil {
+		err = w.flushClose()
+	} else {
+		close(out)
+		if !scfg.Manifest {
+			// Non-durable shards have nothing to resume from; sweep the
+			// leftover run files. Durable shards keep them for Resume.
+			rset.Discard()
+		}
+	}
 	if err != nil {
+		fail.fail(fmt.Errorf("distsort: shard %d: %w", i, err))
 		sp.Drop()
-		return err
+		return
 	}
-	stats.ShardRuns += st.Runs
-	stats.ShardRunsRecovered += st.RunsRecovered
-	sp.End(obs.Int("records", st.Records), obs.Int("runs", int64(st.Runs)), obs.Int("recovered", int64(st.RunsRecovered)))
-	return nil
+	sp.End(obs.Int("records", st.Records), obs.Int("runs", int64(st.Runs)))
+	res.ok = true
 }
 
-// bucketFile is an unordered spill file of records.
-type bucketFile struct {
-	name  string
-	f     vfs.File
-	buf   []byte
-	used  int
-	off   int64
-	count int64
-	min   int64
-	max   int64
-}
-
-func newBucketFile(fs vfs.FS, name string) (*bucketFile, error) {
-	f, err := fs.Create(name)
-	if err != nil {
-		return nil, err
+// partition replays the sampled prefix in its original input order, then
+// the rest of src, routing every element to exactly one shard feed.
+func partition[T any](sample []T, src stream.Reader[T], feeds []chan []T, rt *router[T], fail *failure, cancel func() error) ([]int64, error) {
+	counts := make([]int64, len(feeds))
+	pend := make([][]T, len(feeds))
+	for i := range pend {
+		pend[i] = make([]T, 0, feedBatch)
 	}
-	return &bucketFile{name: name, f: f, buf: make([]byte, 64*record.Size)}, nil
-}
-
-func (b *bucketFile) write(r record.Record) error {
-	if b.count == 0 || r.Key < b.min {
-		b.min = r.Key
+	send := func(i int) error {
+		b := pend[i]
+		pend[i] = make([]T, 0, feedBatch)
+		select {
+		case feeds[i] <- b:
+			return nil
+		case <-fail.done:
+			return fail.get()
+		}
 	}
-	if b.count == 0 || r.Key > b.max {
-		b.max = r.Key
-	}
-	record.Encode(b.buf[b.used:], r)
-	b.used += record.Size
-	b.count++
-	if b.used == len(b.buf) {
-		return b.flush()
-	}
-	return nil
-}
-
-func (b *bucketFile) flush() error {
-	if b.used == 0 {
+	route := func(batch []T) error {
+		for _, v := range batch {
+			i := rt.route(v)
+			counts[i]++
+			pend[i] = append(pend[i], v)
+			if len(pend[i]) >= feedBatch {
+				if err := send(i); err != nil {
+					return err
+				}
+			}
+		}
 		return nil
 	}
-	if _, err := b.f.WriteAt(b.buf[:b.used], b.off); err != nil {
-		return err
-	}
-	b.off += int64(b.used)
-	b.used = 0
-	return nil
-}
-
-func (b *bucketFile) close() error {
-	if err := b.flush(); err != nil {
-		b.f.Close()
-		return err
-	}
-	return b.f.Close()
-}
-
-// Sort distribution-sorts src into dst using temporary bucket files on fs.
-func Sort(src record.Reader, dst record.Writer, fs vfs.FS, cfg Config) (Stats, error) {
-	cfg = cfg.withDefaults()
-	if cfg.Memory <= 0 {
-		return Stats{}, fmt.Errorf("distsort: memory must be positive, got %d", cfg.Memory)
-	}
-	var stats Stats
-	namer := runio.NewNamer("bucket")
-	root := cfg.Trace.Start("distsort", obs.Int("memory", int64(cfg.Memory)), obs.Int("buckets", int64(cfg.Buckets)))
-	err := sortStream(src, dst, fs, namer, cfg, root, 0, false, 0, 0, &stats)
-	if err != nil {
-		root.End(obs.Str("error", err.Error()))
-	} else {
-		root.End(obs.Int("records", stats.Records), obs.Int("partitions", int64(stats.Partitions)))
-	}
-	return stats, err
-}
-
-// sortStream sorts one record stream: in memory when it fits, otherwise by
-// partitioning into buckets and recursing. When the stream's key range is
-// known (rangeKnown with lo..hi), a midpoint split guarantees progress even
-// if the sampled quantiles degenerate on heavily duplicated keys.
-func sortStream(src record.Reader, dst record.Writer, fs vfs.FS, namer *runio.Namer, cfg Config, parent *obs.Span, depth int, rangeKnown bool, lo, hi int64, stats *Stats) error {
-	if depth > stats.MaxDepth {
-		stats.MaxDepth = depth
-	}
-	if depth > cfg.MaxDepth {
-		return fmt.Errorf("distsort: recursion depth %d exceeded (pathological key distribution)", depth)
-	}
-	// Buffer up to Memory records; if the stream ends first, sort in memory.
-	sample := make([]record.Record, 0, cfg.Memory)
-	for len(sample) < cfg.Memory {
-		rec, err := src.Read()
-		if err == io.EOF {
-			sp := parent.Start("bucket_sort", obs.Int("depth", int64(depth)))
-			heap.Sort(sample, record.Less)
-			if depth == 0 {
-				stats.Records += int64(len(sample))
-			}
-			werr := record.WriteAll(dst, sample)
-			sp.End(obs.Int("records", int64(len(sample))))
-			return werr
+	poll := func() error {
+		if cancel != nil {
+			return cancel()
 		}
-		if err != nil {
-			return err
-		}
-		sample = append(sample, rec)
+		return nil
 	}
-
-	// The stream exceeds memory: choose bucket boundaries as quantiles of
-	// the sampled prefix, then distribute the prefix and the rest.
-	stats.Partitions++
-	psp := parent.Start("partition", obs.Int("depth", int64(depth)))
-	sorted := append([]record.Record(nil), sample...)
-	heap.Sort(sorted, record.Less)
-	nb := cfg.Buckets
-	// Candidate bounds: sample quantiles, deduplicated and strictly
-	// increasing (duplicated keys collapse quantiles). bucket i holds keys
-	// < bounds[i]; the last bucket is unbounded above.
-	var bounds []int64
-	for i := 1; i < nb; i++ {
-		b := sorted[len(sorted)*i/nb].Key
-		if b > sorted[0].Key && (len(bounds) == 0 || b > bounds[len(bounds)-1]) {
-			bounds = append(bounds, b)
+	for off := 0; off < len(sample); off += feedBatch {
+		end := off + feedBatch
+		if end > len(sample) {
+			end = len(sample)
+		}
+		if err := poll(); err != nil {
+			return counts, err
+		}
+		if err := route(sample[off:end]); err != nil {
+			return counts, err
 		}
 	}
-	if len(bounds) == 0 && rangeKnown && hi > lo {
-		// Degenerate sample (all one key) over a known non-trivial range:
-		// split the range down the middle — both halves are non-empty
-		// because the range endpoints were observed, so this always makes
-		// progress.
-		bounds = []int64{lo + (hi-lo)/2 + 1}
-	}
-	if len(bounds) == 0 {
-		// Sample all-equal and no known range: separate the sampled key
-		// from anything above it; the recursion will have a known range.
-		bounds = []int64{sorted[0].Key + 1}
-	}
-
-	buckets := make([]*bucketFile, len(bounds)+1)
-	for i := range buckets {
-		b, err := newBucketFile(fs, namer.Next(fmt.Sprintf("d%d", depth)))
-		if err != nil {
-			return err
-		}
-		buckets[i] = b
-	}
-	route := func(r record.Record) error {
-		i := sort.Search(len(bounds), func(j int) bool { return r.Key < bounds[j] })
-		return buckets[i].write(r)
-	}
-	for _, r := range sample {
-		if err := route(r); err != nil {
-			return err
-		}
-	}
+	br := stream.AsBatchReader(src)
+	batch := make([]T, feedBatch)
 	for {
-		rec, err := src.Read()
+		if err := poll(); err != nil {
+			return counts, err
+		}
+		n, err := br.ReadBatch(batch)
+		if n > 0 {
+			if rerr := route(batch[:n]); rerr != nil {
+				return counts, rerr
+			}
+		}
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return err
-		}
-		if err := route(rec); err != nil {
-			return err
+			return counts, err
 		}
 	}
-	var total int64
-	for _, b := range buckets {
-		if err := b.close(); err != nil {
-			return err
+	for i := range pend {
+		if len(pend[i]) > 0 {
+			if err := send(i); err != nil {
+				return counts, err
+			}
 		}
-		total += b.count
+		close(feeds[i])
 	}
-	if depth == 0 {
-		stats.Records = total
-	}
-	// Error paths above simply never end the span; unfinished spans are
-	// not recorded, so an aborted pass leaves no misleading duration.
-	psp.End(obs.Int("buckets", int64(len(buckets))), obs.Int("records", total))
+	return counts, nil
+}
 
-	// Sort each bucket in range order and stream it to dst.
-	for _, b := range buckets {
-		if b.count == 0 {
-			if err := fs.Remove(b.name); err != nil {
-				return err
+// drain concatenates the shard outputs into dst in shard order.
+func drain[T any](dst stream.Writer[T], outs []chan []T, fail *failure, cancel func() error) error {
+	bw := stream.AsBatchWriter(dst)
+	for i := range outs {
+	shard:
+		for {
+			select {
+			case b, ok := <-outs[i]:
+				if !ok {
+					break shard
+				}
+				if err := bw.WriteBatch(b); err != nil {
+					return err
+				}
+				if cancel != nil {
+					if err := cancel(); err != nil {
+						return err
+					}
+				}
+			case <-fail.done:
+				return fail.get()
 			}
-			continue
-		}
-		rc, err := runio.NewReader(storage.NewRaw(fs), b.name, 1<<16, codec.Record16{})
-		if err != nil {
-			return err
-		}
-		switch {
-		case b.min == b.max:
-			// A constant-key bucket is sorted by definition; stream it
-			// through regardless of size (this is what caps recursion on
-			// heavily duplicated keys).
-			if _, err := record.Copy(dst, rc); err != nil {
-				rc.Close()
-				return err
-			}
-		case b.count <= int64(cfg.Memory):
-			recs, err := record.ReadAll(rc)
-			if err != nil {
-				rc.Close()
-				return err
-			}
-			sp := parent.Start("bucket_sort", obs.Int("depth", int64(depth)))
-			heap.Sort(recs, record.Less)
-			if err := record.WriteAll(dst, recs); err != nil {
-				sp.Drop()
-				rc.Close()
-				return err
-			}
-			sp.End(obs.Int("records", int64(len(recs))))
-		case cfg.Extsort != nil:
-			if err := shardSort(rc, dst, fs, cfg, parent, stats); err != nil {
-				rc.Close()
-				return err
-			}
-		default:
-			if err := sortStream(rc, dst, fs, namer, cfg, parent, depth+1, true, b.min, b.max, stats); err != nil {
-				rc.Close()
-				return err
-			}
-		}
-		if err := rc.Close(); err != nil {
-			return err
-		}
-		if err := fs.Remove(b.name); err != nil {
-			return err
 		}
 	}
 	return nil
+}
+
+// addIO accumulates one shard's I/O accounting into the aggregate.
+func addIO(dst *extsort.IOStats, s extsort.IOStats) {
+	dst.BlocksWritten += s.BlocksWritten
+	dst.BlocksRead += s.BlocksRead
+	dst.RawBytesWritten += s.RawBytesWritten
+	dst.StoredBytesWritten += s.StoredBytesWritten
+	dst.RawBytesRead += s.RawBytesRead
+	dst.StoredBytesRead += s.StoredBytesRead
+	dst.VerifyFailures += s.VerifyFailures
+	dst.MemFiles += s.MemFiles
+	dst.DiskFiles += s.DiskFiles
+	dst.MemBytes += s.MemBytes
+	dst.DiskBytes += s.DiskBytes
+}
+
+// maxOf returns the largest count, or zero for an empty slice.
+func maxOf(counts []int64) int64 {
+	var m int64
+	for _, c := range counts {
+		if c > m {
+			m = c
+		}
+	}
+	return m
 }

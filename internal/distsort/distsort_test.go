@@ -2,230 +2,335 @@ package distsort
 
 import (
 	"errors"
+	"fmt"
+	"slices"
+	"strings"
+	"sync/atomic"
 	"testing"
 
+	"repro/internal/codec"
 	"repro/internal/extsort"
 	"repro/internal/gen"
-	"repro/internal/manifest/crashfs"
 	"repro/internal/obs"
-	"repro/internal/policy"
 	"repro/internal/record"
+	"repro/internal/stream"
 	"repro/internal/vfs"
 )
 
-func sortAll(t *testing.T, recs []record.Record, cfg Config) ([]record.Record, Stats) {
+// recordDataset derives a dataset from one of the six generator
+// distributions with Aux a pure function of Key, so comparator-equal
+// records are bitwise identical and sharded output must be byte-identical
+// to the unsharded sort — not merely an equal multiset.
+func recordDataset(kind gen.Kind, n int) []record.Record {
+	recs := gen.Generate(gen.Config{Kind: kind, N: n, Seed: 7, Noise: 1000})
+	for i := range recs {
+		recs[i].Aux = uint64(recs[i].Key) * 0x9E3779B97F4A7C15
+	}
+	return recs
+}
+
+// stringDataset maps a record distribution onto variable-width strings
+// that sort in the same key order.
+func stringDataset(kind gen.Kind, n int) []string {
+	recs := gen.Generate(gen.Config{Kind: kind, N: n, Seed: 11, Noise: 1000})
+	out := make([]string, n)
+	for i, r := range recs {
+		// Zero-padded hex of the biased key keeps lexicographic order
+		// equal to numeric order; the suffix varies the width.
+		out[i] = fmt.Sprintf("%016x/%0*d", uint64(r.Key)^(1<<63), 1+i%7, i%997)
+	}
+	return out
+}
+
+func recOps() extsort.Ops[record.Record] { return extsort.RecordOps() }
+
+func strOps() extsort.Ops[string] {
+	return extsort.Ops[string]{Less: func(a, b string) bool { return a < b }, Codec: codec.String{}}
+}
+
+// runSharded sorts vals with the sharded engine on a fresh MemFS.
+func runSharded[T any](t *testing.T, vals []T, cfg Config, ops extsort.Ops[T]) ([]T, extsort.Stats) {
 	t.Helper()
-	fs := vfs.NewMemFS()
-	var out record.SliceWriter
-	stats, err := Sort(record.NewSliceReader(recs), &out, fs, cfg)
+	var out stream.SliceWriter[T]
+	st, err := Sort(stream.NewSliceReader(vals), &out, vfs.NewMemFS(), cfg, ops)
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("distsort.Sort: %v", err)
 	}
-	names, _ := fs.Names()
-	if len(names) != 0 {
-		t.Fatalf("bucket files left behind: %v", names)
-	}
-	return out.Recs, stats
+	return out.Vals, st
 }
 
-func TestDistsortAllDatasets(t *testing.T) {
+// runUnsharded sorts vals with a single extsort run under the same
+// template configuration — the byte-identity reference.
+func runUnsharded[T any](t *testing.T, vals []T, ecfg extsort.Config, ops extsort.Ops[T]) []T {
+	t.Helper()
+	var out stream.SliceWriter[T]
+	if _, err := extsort.Sort(stream.NewSliceReader(vals), &out, vfs.NewMemFS(), ecfg, ops); err != nil {
+		t.Fatalf("extsort.Sort: %v", err)
+	}
+	return out.Vals
+}
+
+func shardedCfg(shards, memory int) Config {
+	return Config{Shards: shards, Extsort: extsort.Config{Memory: memory}}
+}
+
+// TestShardedEquivalenceMatrix pins the engine's central guarantee across
+// all six generator distributions, fixed- and variable-width codecs, and
+// keyed versus comparator partitioning: the sharded output is
+// byte-identical to the single-threaded extsort run.
+func TestShardedEquivalenceMatrix(t *testing.T) {
+	n, memory, shards := 6000, 500, 4
+	if testing.Short() {
+		n = 3000
+	}
 	for _, kind := range gen.Kinds {
-		recs := gen.Generate(gen.Config{Kind: kind, N: 20000, Seed: 4, Noise: 100})
-		out, stats := sortAll(t, recs, Config{Memory: 1000})
-		if !record.IsSorted(out) {
-			t.Fatalf("%v: output not sorted", kind)
-		}
-		if !record.NewMultiset(out).Equal(record.NewMultiset(recs)) {
-			t.Fatalf("%v: output is not a permutation", kind)
-		}
-		if stats.Records != 20000 {
-			t.Fatalf("%v: stats.Records = %d", kind, stats.Records)
-		}
-		if stats.Partitions == 0 {
-			t.Fatalf("%v: expected at least one partition pass", kind)
-		}
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			t.Run("record16_keyed", func(t *testing.T) {
+				equivCase(t, recordDataset(kind, n), shardedCfg(shards, memory), recOps())
+			})
+			t.Run("record16_comparator", func(t *testing.T) {
+				ops := recOps()
+				ops.KeyCodec = nil
+				equivCase(t, recordDataset(kind, n), shardedCfg(shards, memory), ops)
+			})
+			t.Run("string_keyed", func(t *testing.T) {
+				ops := strOps()
+				ops.KeyCodec = codec.KeyString{}
+				equivCase(t, stringDataset(kind, n), shardedCfg(shards, memory), ops)
+			})
+			t.Run("string_comparator", func(t *testing.T) {
+				equivCase(t, stringDataset(kind, n), shardedCfg(shards, memory), strOps())
+			})
+		})
 	}
 }
 
-func TestDistsortFitsInMemory(t *testing.T) {
-	recs := gen.Generate(gen.Config{Kind: gen.Random, N: 100, Seed: 1})
-	out, stats := sortAll(t, recs, Config{Memory: 1000})
-	if !record.IsSorted(out) || len(out) != 100 {
-		t.Fatal("in-memory path wrong")
+func equivCase[T comparable](t *testing.T, vals []T, cfg Config, ops extsort.Ops[T]) {
+	t.Helper()
+	want := runUnsharded(t, vals, cfg.Extsort, ops)
+	got, st := runSharded(t, vals, cfg, ops)
+	if !slices.Equal(got, want) {
+		t.Fatalf("sharded output differs from unsharded (%d vs %d records)", len(got), len(want))
 	}
-	if stats.Partitions != 0 {
-		t.Fatalf("in-memory sort should not partition, got %d", stats.Partitions)
+	if st.Shards != cfg.Shards {
+		t.Fatalf("Shards = %d, want %d", st.Shards, cfg.Shards)
 	}
-}
-
-func TestDistsortRecursesOnSkew(t *testing.T) {
-	// 90% of keys inside a narrow band forces an oversized bucket.
-	recs := make([]record.Record, 30000)
-	g := gen.New(gen.Config{Kind: gen.Random, N: 30000, Seed: 7})
-	for i := range recs {
-		r, _ := g.Read()
-		if i%10 != 0 {
-			r.Key = 5_000_000 + r.Key%1000 // narrow band
-		}
-		r.Aux = uint64(i)
-		recs[i] = r
+	var sum int64
+	for _, c := range st.ShardRecords {
+		sum += c
 	}
-	out, stats := sortAll(t, recs, Config{Memory: 1000, Buckets: 4})
-	if !record.IsSorted(out) || len(out) != len(recs) {
-		t.Fatal("skewed sort wrong")
-	}
-	if stats.MaxDepth < 1 {
-		t.Fatalf("expected recursion on skewed data, depth = %d", stats.MaxDepth)
+	if sum != int64(len(vals)) || st.Records != int64(len(vals)) {
+		t.Fatalf("ShardRecords sum = %d, Records = %d, want %d", sum, st.Records, len(vals))
 	}
 }
 
-func TestDistsortConstantKeys(t *testing.T) {
-	// All-equal keys larger than memory: the constant-bucket fast path
-	// must prevent infinite recursion.
-	recs := make([]record.Record, 5000)
-	for i := range recs {
-		recs[i] = record.Record{Key: 42, Aux: uint64(i)}
-	}
-	out, _ := sortAll(t, recs, Config{Memory: 500})
-	if len(out) != 5000 || !record.IsSorted(out) {
-		t.Fatal("constant-key sort wrong")
-	}
-	if !record.NewMultiset(out).Equal(record.NewMultiset(recs)) {
-		t.Fatal("constant-key sort lost records")
+func TestShardedEmpty(t *testing.T) {
+	got, _ := runSharded(t, nil, shardedCfg(4, 100), recOps())
+	if len(got) != 0 {
+		t.Fatalf("sorted %d records from empty input", len(got))
 	}
 }
 
-func TestDistsortEmpty(t *testing.T) {
-	out, stats := sortAll(t, nil, Config{Memory: 100})
-	if len(out) != 0 || stats.Records != 0 {
-		t.Fatal("empty sort wrong")
+func TestShardedFitsInMemory(t *testing.T) {
+	// 80 records against a 100-record budget: the sample swallows the
+	// whole input and the engine must delegate to one full-budget sort.
+	vals := recordDataset(gen.Random, 80)
+	cfg := shardedCfg(4, 100)
+	want := runUnsharded(t, vals, cfg.Extsort, recOps())
+	got, st := runSharded(t, vals, cfg, recOps())
+	if !slices.Equal(got, want) {
+		t.Fatal("in-memory delegation output differs")
+	}
+	if st.Shards != 0 {
+		t.Fatalf("Shards = %d for a delegated in-memory sort, want 0", st.Shards)
 	}
 }
 
-func TestDistsortRejectsBadMemory(t *testing.T) {
-	var out record.SliceWriter
-	if _, err := Sort(record.NewSliceReader(nil), &out, vfs.NewMemFS(), Config{}); err == nil {
-		t.Fatal("memory 0 should be rejected")
+func TestShardedSingleShardDelegates(t *testing.T) {
+	vals := recordDataset(gen.Random, 2000)
+	cfg := shardedCfg(1, 200)
+	want := runUnsharded(t, vals, cfg.Extsort, recOps())
+	got, st := runSharded(t, vals, cfg, recOps())
+	if !slices.Equal(got, want) {
+		t.Fatal("single-shard output differs")
+	}
+	if st.Shards != 0 {
+		t.Fatalf("Shards = %d for shards=1, want 0 (plain sort)", st.Shards)
 	}
 }
 
-func TestDistsortTwoBuckets(t *testing.T) {
-	recs := gen.Generate(gen.Config{Kind: gen.Random, N: 10000, Seed: 8})
-	out, _ := sortAll(t, recs, Config{Memory: 500, Buckets: 2})
-	if !record.IsSorted(out) || len(out) != len(recs) {
-		t.Fatal("two-bucket sort wrong")
+func TestShardedRejectsBadMemory(t *testing.T) {
+	var out stream.SliceWriter[record.Record]
+	_, err := Sort[record.Record](stream.NewSliceReader(recordDataset(gen.Random, 10)), &out,
+		vfs.NewMemFS(), Config{Shards: 2}, recOps())
+	if err == nil || !strings.Contains(err.Error(), "memory") {
+		t.Fatalf("err = %v, want memory validation error", err)
 	}
 }
 
-// TestDistsortTracing verifies the span taxonomy: one root "distsort"
-// span, one "partition" span per partition pass, and bucket_sort spans
-// parented to the root.
-func TestDistsortTracing(t *testing.T) {
+func TestShardedDurableNeedsExplicitShards(t *testing.T) {
+	cfg := Config{Extsort: extsort.Config{Memory: 100, Manifest: true}}
+	var out stream.SliceWriter[record.Record]
+	_, err := Sort[record.Record](stream.NewSliceReader(recordDataset(gen.Random, 10)), &out,
+		vfs.NewMemFS(), cfg, recOps())
+	if err == nil || !strings.Contains(err.Error(), "explicit shard count") {
+		t.Fatalf("err = %v, want explicit shard count error", err)
+	}
+}
+
+func TestShardedStatsAndPhases(t *testing.T) {
+	vals := recordDataset(gen.Random, 6000)
+	_, st := runSharded(t, vals, shardedCfg(4, 500), recOps())
+	if st.Runs <= 0 || st.AvgRunLength <= 0 {
+		t.Fatalf("Runs = %d, AvgRunLength = %v", st.Runs, st.AvgRunLength)
+	}
+	if len(st.Phases) != 2 || st.Phases[0].Name != "partition" || st.Phases[1].Name != "merge" {
+		t.Fatalf("Phases = %+v, want partition then merge", st.Phases)
+	}
+	if got := st.Phases[0].Wall + st.Phases[1].Wall; got > st.Elapsed {
+		t.Fatalf("phase sum %v exceeds Elapsed %v", got, st.Elapsed)
+	}
+	if !st.Keyed {
+		t.Fatal("record sort with KeyRecord16 should report Keyed")
+	}
+}
+
+func TestShardedTracingAndMetrics(t *testing.T) {
 	tr := obs.New()
-	recs := gen.Generate(gen.Config{Kind: gen.Random, N: 20000, Seed: 7})
-	fs := vfs.NewMemFS()
-	var out record.SliceWriter
-	stats, err := Sort(record.NewSliceReader(recs), &out, fs, Config{Memory: 1000, Trace: tr})
-	if err != nil {
-		t.Fatal(err)
-	}
+	reg := obs.NewRegistry()
+	cfg := shardedCfg(4, 500)
+	cfg.Extsort.Trace = tr
+	cfg.Extsort.Metrics = reg
+	vals := recordDataset(gen.Random, 6000)
+	_, st := runSharded(t, vals, cfg, recOps())
+
 	spans := tr.Spans()
-	var root *obs.SpanData
-	partitions, bucketSorts := 0, 0
-	for i := range spans {
-		switch spans[i].Name {
-		case "distsort":
-			root = &spans[i]
-		case "partition":
-			partitions++
-		case "bucket_sort":
-			bucketSorts++
-		}
-	}
-	if root == nil {
-		t.Fatal("no root distsort span")
-	}
-	if partitions != stats.Partitions {
-		t.Fatalf("partition spans = %d, stats.Partitions = %d", partitions, stats.Partitions)
-	}
-	if bucketSorts == 0 {
-		t.Fatal("no bucket_sort spans")
-	}
+	var partition, shardSpans int
 	for _, sp := range spans {
-		if sp.Name != "distsort" && sp.Parent != root.ID {
-			t.Fatalf("span %s parented to %d, want root %d", sp.Name, sp.Parent, root.ID)
+		switch sp.Track {
+		case "shard_partition":
+			partition++
+		case "shard_sort":
+			shardSpans++
 		}
+	}
+	if partition != 1 {
+		t.Fatalf("shard_partition spans = %d, want 1", partition)
+	}
+	if shardSpans != cfg.Shards {
+		t.Fatalf("shard_sort spans = %d, want %d", shardSpans, cfg.Shards)
+	}
+	if got := reg.Counter(obs.MShards, "").Value(); got != int64(cfg.Shards) {
+		t.Fatalf("%s = %d, want %d", obs.MShards, got, cfg.Shards)
+	}
+	if got := reg.Counter(obs.MRecordsIn, "").Value(); got != st.Records {
+		t.Fatalf("%s = %d, want %d", obs.MRecordsIn, got, st.Records)
 	}
 }
 
-// TestDistsortShardsThroughExtsort routes oversized buckets through the
-// external merge-sort driver: no recursion happens, and the output is
-// identical to the recursive path's multiset.
-func TestDistsortShardsThroughExtsort(t *testing.T) {
-	recs := gen.Generate(gen.Config{Kind: gen.Random, N: 30000, Seed: 5, Noise: 100})
-	out, stats := sortAll(t, recs, Config{
-		Memory:  1000,
-		Buckets: 4,
-		Extsort: &extsort.Config{Policy: policy.TwoWayRS},
-	})
-	if !record.IsSorted(out) || len(out) != len(recs) {
-		t.Fatal("sharded sort wrong")
+// failReader errors after yielding a fixed number of elements.
+type failReader struct {
+	vals []record.Record
+	pos  int
+}
+
+var errSrcBroken = errors.New("distsort_test: source broken")
+
+func (f *failReader) Read() (record.Record, error) {
+	if f.pos >= len(f.vals) {
+		return record.Record{}, errSrcBroken
 	}
-	if !record.NewMultiset(out).Equal(record.NewMultiset(recs)) {
-		t.Fatal("sharded sort is not a permutation")
-	}
-	if stats.Shards == 0 || stats.ShardRuns == 0 {
-		t.Fatalf("no buckets were delegated: %+v", stats)
-	}
-	if stats.MaxDepth != 0 {
-		t.Fatalf("sharded sort recursed to depth %d", stats.MaxDepth)
+	v := f.vals[f.pos]
+	f.pos++
+	return v, nil
+}
+
+func TestShardedSourceErrorPropagates(t *testing.T) {
+	vals := recordDataset(gen.Random, 4000)
+	var out stream.SliceWriter[record.Record]
+	_, err := Sort[record.Record](&failReader{vals: vals}, &out, vfs.NewMemFS(),
+		shardedCfg(4, 500), recOps())
+	if !errors.Is(err, errSrcBroken) {
+		t.Fatalf("err = %v, want errSrcBroken", err)
 	}
 }
 
-// TestDistsortShardResume crashes a durable sharded sort partway through
-// spill writes and re-runs it in resume mode over the surviving files: the
-// shards must reuse their committed runs (ShardRunsRecovered > 0) and the
-// final output must still be the full sorted permutation.
-func TestDistsortShardResume(t *testing.T) {
-	recs := gen.Generate(gen.Config{Kind: gen.Random, N: 30000, Seed: 6, Noise: 100})
-	mkCfg := func(resume bool) Config {
-		return Config{
-			Memory:  1000,
-			Buckets: 4,
-			Extsort: &extsort.Config{Policy: policy.TwoWayRS, Manifest: true, Resume: resume},
+func TestShardedCancel(t *testing.T) {
+	vals := recordDataset(gen.Random, 6000)
+	var calls atomic.Int64 // Cancel is polled by the partition loop and every shard
+	errCancelled := errors.New("distsort_test: cancelled")
+	cfg := shardedCfg(4, 500)
+	cfg.Extsort.Cancel = func() error {
+		if calls.Add(1) > 3 {
+			return errCancelled
 		}
+		return nil
 	}
-	// Probe: how many bytes does the uninterrupted sort write?
-	probe := crashfs.New(vfs.NewMemFS(), crashfs.Options{FailAfterBytes: -1, FailAfterOps: -1})
-	var probeOut record.SliceWriter
-	if _, err := Sort(record.NewSliceReader(recs), &probeOut, probe, mkCfg(false)); err != nil {
-		t.Fatalf("probe: %v", err)
+	var out stream.SliceWriter[record.Record]
+	_, err := Sort[record.Record](stream.NewSliceReader(vals), &out, vfs.NewMemFS(), cfg, recOps())
+	if !errors.Is(err, errCancelled) {
+		t.Fatalf("err = %v, want errCancelled", err)
 	}
-	want := probeOut.Recs
+}
 
-	// Crash around 70% of the write volume — far enough that at least one
-	// shard has committed runs, early enough that the sort cannot finish.
-	base := vfs.NewMemFS()
-	cfs := crashfs.New(base, crashfs.Options{FailAfterBytes: probe.Written() * 7 / 10, FailAfterOps: -1, Torn: true})
-	var out record.SliceWriter
-	if _, err := Sort(record.NewSliceReader(recs), &out, cfs, mkCfg(false)); !errors.Is(err, crashfs.ErrCrashed) {
-		t.Fatalf("crashed pass: %v, want ErrCrashed", err)
-	}
+// failWriter fails after accepting a fixed number of elements, exercising
+// the drain error path while shard merges are still producing.
+type failWriter struct {
+	n     int
+	limit int
+}
 
-	out.Recs = nil
-	stats, err := Sort(record.NewSliceReader(recs), &out, base, mkCfg(true))
+var errDstBroken = errors.New("distsort_test: destination broken")
+
+func (w *failWriter) Write(record.Record) error {
+	w.n++
+	if w.n > w.limit {
+		return errDstBroken
+	}
+	return nil
+}
+
+func TestShardedDestinationErrorPropagates(t *testing.T) {
+	vals := recordDataset(gen.Random, 6000)
+	_, err := Sort[record.Record](stream.NewSliceReader(vals), &failWriter{limit: 100},
+		vfs.NewMemFS(), shardedCfg(4, 500), recOps())
+	if !errors.Is(err, errDstBroken) {
+		t.Fatalf("err = %v, want errDstBroken", err)
+	}
+}
+
+// TestShardedSpillHygiene checks that a successful sharded sort leaves the
+// temp file system empty: every shard's spill files and manifests are
+// consumed or removed.
+func TestShardedSpillHygiene(t *testing.T) {
+	fs := vfs.NewMemFS()
+	vals := recordDataset(gen.Random, 6000)
+	var out stream.SliceWriter[record.Record]
+	if _, err := Sort[record.Record](stream.NewSliceReader(vals), &out, fs,
+		shardedCfg(4, 500), recOps()); err != nil {
+		t.Fatalf("Sort: %v", err)
+	}
+	names, err := fs.Names()
 	if err != nil {
-		t.Fatalf("resumed pass: %v", err)
+		t.Fatalf("Names: %v", err)
 	}
-	if stats.ShardRunsRecovered == 0 {
-		t.Error("resume regenerated every shard run")
+	if len(names) != 0 {
+		t.Fatalf("leftover temp files after successful sort: %v", names)
 	}
-	if len(out.Recs) != len(want) {
-		t.Fatalf("resumed %d records, want %d", len(out.Recs), len(want))
+}
+
+// TestShardedLargeBatchReader checks the engine against a source that
+// implements ReadBatch, covering the batched partition path end to end.
+func TestShardedLargeBatchReader(t *testing.T) {
+	vals := recordDataset(gen.MixedBalanced, 20000)
+	cfg := shardedCfg(8, 1000)
+	want := runUnsharded(t, vals, cfg.Extsort, recOps())
+	got, st := runSharded(t, vals, cfg, recOps())
+	if !slices.Equal(got, want) {
+		t.Fatal("sharded output differs from unsharded")
 	}
-	for i := range want {
-		if out.Recs[i] != want[i] {
-			t.Fatalf("resumed output differs from uninterrupted sort at %d", i)
-		}
+	if st.Shards != 8 || len(st.ShardRecords) != 8 {
+		t.Fatalf("Shards = %d, ShardRecords = %v", st.Shards, st.ShardRecords)
 	}
 }

@@ -1,0 +1,104 @@
+package distsort
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"repro/internal/record"
+)
+
+// checkBalanced pins the skew guarantee: max shard <= 2*ceil(n/shards).
+func checkBalanced(t *testing.T, counts []int64, n, shards int) {
+	t.Helper()
+	var max, sum int64
+	for _, c := range counts {
+		sum += c
+		if c > max {
+			max = c
+		}
+	}
+	if sum != int64(n) {
+		t.Fatalf("ShardRecords sum = %d, want %d", sum, n)
+	}
+	bound := 2 * int64((n+shards-1)/shards)
+	if max > bound {
+		t.Fatalf("max shard = %d records, bound = %d (counts %v)", max, bound, counts)
+	}
+}
+
+// skewCase sorts sharded and unsharded and checks byte-identity plus the
+// imbalance bound.
+func skewCase(t *testing.T, vals []record.Record, shards, memory int) {
+	t.Helper()
+	cfg := shardedCfg(shards, memory)
+	want := runUnsharded(t, vals, cfg.Extsort, recOps())
+	got, st := runSharded(t, vals, cfg, recOps())
+	if !slices.Equal(got, want) {
+		t.Fatal("sharded output differs from unsharded on skewed input")
+	}
+	checkBalanced(t, st.ShardRecords, len(vals), shards)
+}
+
+// TestShardedAllEqualKeys: every record identical. The splitters collapse
+// to one value whose tie band spans shards 0..S-2, so the round-robin
+// fallback — not a single degenerate shard — must absorb the input.
+func TestShardedAllEqualKeys(t *testing.T) {
+	n := 8000
+	vals := make([]record.Record, n)
+	for i := range vals {
+		vals[i] = record.Record{Key: 42, Aux: 7}
+	}
+	skewCase(t, vals, 4, 500)
+}
+
+// TestShardedDuplicateHeavy: 99% of the input is one key. Aux is fixed so
+// comparator ties stay bitwise identical and byte-identity must hold even
+// though the duplicates are spread across a whole band of shards.
+func TestShardedDuplicateHeavy(t *testing.T) {
+	n := 8000
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]record.Record, n)
+	for i := range vals {
+		if rng.Intn(100) == 0 {
+			k := rng.Int63n(1 << 40)
+			vals[i] = record.Record{Key: k, Aux: uint64(k) * 0x9E3779B97F4A7C15}
+		} else {
+			vals[i] = record.Record{Key: 1 << 41, Aux: 5}
+		}
+	}
+	skewCase(t, vals, 8, 800)
+}
+
+// TestShardedClusteredAdversarial: the key space collapses into a few
+// tight clusters separated by huge empty gaps — the clustering problem
+// §2.2 warns about. Quantile splitters must land inside the clusters and
+// split them rather than leaving one shard with everything.
+func TestShardedClusteredAdversarial(t *testing.T) {
+	n := 9000
+	centers := []int64{1 << 20, 1 << 40, 1 << 60}
+	rng := rand.New(rand.NewSource(9))
+	vals := make([]record.Record, n)
+	for i := range vals {
+		k := centers[rng.Intn(len(centers))] + rng.Int63n(4)
+		vals[i] = record.Record{Key: k, Aux: uint64(k) * 0x9E3779B97F4A7C15}
+	}
+	skewCase(t, vals, 4, 600)
+	skewCase(t, vals, 8, 600)
+}
+
+// TestShardedIdenticalClusters: clusters with zero internal jitter, so
+// the splitter list holds a handful of distinct values with duplicated
+// slots — the dedup path plus per-value tie bands together must keep the
+// partition balanced.
+func TestShardedIdenticalClusters(t *testing.T) {
+	n := 8000
+	centers := []int64{100, 200, 300, 400, 500}
+	rng := rand.New(rand.NewSource(21))
+	vals := make([]record.Record, n)
+	for i := range vals {
+		k := centers[rng.Intn(len(centers))]
+		vals[i] = record.Record{Key: k, Aux: uint64(k)}
+	}
+	skewCase(t, vals, 8, 800)
+}

@@ -259,7 +259,9 @@ type Config struct {
 	// Cancel, when set, is polled between batches in the merge phase; a
 	// non-nil return aborts the sort with that error. (Run generation is
 	// cancelled through the source: the public API wraps src in a reader
-	// whose batch boundaries check the context.)
+	// whose batch boundaries check the context.) It must be safe for
+	// concurrent use: parallel intermediate merges — and the shards of a
+	// sharded sort (internal/distsort) — poll it from their own goroutines.
 	Cancel func() error
 	// Manifest makes run generation durable: a CRC-guarded manifest file
 	// ("<Prefix>.manifest", written directly on fs beside the spill files)
@@ -351,6 +353,13 @@ type Stats struct {
 	// RunsRecovered is the number of runs a resumed sort recovered intact
 	// from a durable manifest instead of regenerating (0 for fresh sorts).
 	RunsRecovered int
+	// Shards is the number of range shards a sharded distribution sort
+	// (internal/distsort) partitioned the input into; zero for plain
+	// single-stream sorts.
+	Shards int
+	// ShardRecords is a sharded sort's per-shard record count in shard
+	// (= splitter) order; nil for plain sorts.
+	ShardRecords []int64
 	// Keyed reports whether the sort ran on normalized keys (Ops.KeyCodec
 	// accepted by the sampled order check); false means every comparison
 	// went through the comparator.
@@ -427,10 +436,12 @@ func GenerateRuns[T any](src stream.Reader[T], fs vfs.FS, cfg Config, ops Ops[T]
 	entry := time.Now()
 	if cfg.Resume {
 		rset, err := Resume(src, fs, cfg, ops)
-		if err == nil || !errors.Is(err, manifest.ErrNoManifest) {
+		if err == nil || !(errors.Is(err, manifest.ErrNoManifest) || errors.Is(err, manifest.ErrNoHeader)) {
 			return rset, err
 		}
-		// Nothing to resume from yet: run a fresh manifest-writing pass.
+		// Nothing to resume from yet — no manifest, or one truncated by a
+		// crash before its header record became durable, which carries zero
+		// adoptable state: run a fresh manifest-writing pass.
 		cfg.Resume, cfg.Manifest = false, true
 	}
 	if cfg.Manifest {
@@ -725,6 +736,10 @@ func isSpillName(prefix, name string) bool {
 // file of this sort, on any tier.
 func (r *RunSet[T]) Discard() error {
 	r.o.reporter().Stop()
+	// A failed generation can abandon its current run writer with a
+	// background flusher still appending; join those goroutines before
+	// removing the files they write to.
+	r.em.AbortOpen()
 	var first error
 	if r.manifestName != "" && r.fs != nil {
 		if err := r.fs.Remove(r.manifestName); err != nil && !errors.Is(err, os.ErrNotExist) {

@@ -296,7 +296,11 @@ func (r *RunSet[T]) generateDurable(src stream.Reader[T], rec *recovered[T], ent
 		man.Close()
 		o.reporter().Stop()
 		// Unlike the non-durable path there is no Discard here: the spill
-		// files and manifest are exactly the state Resume needs.
+		// files and manifest are exactly the state Resume needs. But an
+		// abandoned run writer's background flusher must still be joined,
+		// or it would keep appending to the surviving files while a later
+		// Resume reads them.
+		em.AbortOpen()
 		return nil, err
 	}
 
@@ -643,7 +647,19 @@ func Resume[T any](src stream.Reader[T], fs vfs.FS, cfg Config, ops Ops[T]) (*Ru
 	}
 	if st.Committed && valid == len(st.Runs) {
 		// Generation had finished and every run survived: adopt the whole
-		// set without reading the input at all.
+		// set without reading the input at all. A crash after commit can
+		// still leave half-written merge scratch behind, so sweep spill
+		// files the manifest does not reference before adopting.
+		ref := referencedNames(st.Runs)
+		names, err := rset.store.Names()
+		if err != nil {
+			return rset.abortSetup(err)
+		}
+		for _, name := range names {
+			if isSpillName(cfg.Prefix, name) && !ref[name] {
+				rset.store.Remove(name)
+			}
+		}
 		return rset.adoptCommitted(st, entry), nil
 	}
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/gen"
@@ -181,11 +182,10 @@ func TestNoSpillLeaksOnErrors(t *testing.T) {
 				fs := vfs.NewMemFS()
 				cfg := Recommended(300)
 				cfg.Storage = storage.Config{Compression: comp, MemoryBudgetBytes: budget}
-				cfg.FanIn = 2 // force several merge passes
-				calls := 0
+				cfg.FanIn = 2          // force several merge passes
+				var calls atomic.Int64 // Cancel is polled from parallel merge goroutines
 				cfg.Cancel = func() error {
-					calls++
-					if calls > 3 {
+					if calls.Add(1) > 3 {
 						return errMidStream
 					}
 					return nil

@@ -46,6 +46,13 @@ var ErrNoManifest = errors.New("manifest: no manifest")
 // file exists but carries no usable state at all.
 var ErrCorrupt = errors.New("manifest: corrupt manifest")
 
+// ErrNoHeader is the ErrCorrupt case where no header record could be read
+// at all — typically a manifest truncated by a crash during its very first
+// write. It matches ErrCorrupt via errors.Is; resume-or-fresh callers
+// additionally match it to treat such a file as "no recoverable state",
+// since nothing in a header-less manifest can ever be adopted.
+var ErrNoHeader = fmt.Errorf("%w: no readable header record", ErrCorrupt)
+
 // ErrChecksum reports spill data that does not match the checksum its
 // manifest record committed — genuine corruption, never resumed past.
 var ErrChecksum = errors.New("manifest: run data checksum mismatch")
@@ -388,7 +395,7 @@ func Decode(data []byte) (*State, error) {
 		pos = nl + 1
 	}
 	if !sawHeader {
-		return nil, fmt.Errorf("%w: no readable header record", ErrCorrupt)
+		return nil, ErrNoHeader
 	}
 	st.TornBytes += int64(len(data) - pos)
 	return st, nil

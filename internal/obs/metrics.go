@@ -172,9 +172,12 @@ func labelsKey(labels []Label) string {
 	return b.String()
 }
 
-// lookup returns the series for name+labels, creating family and series
-// as needed. It panics if the name is reused with a different kind.
-func (r *Registry) lookup(name, help string, kind metricKind, labels []Label) *series {
+// lookup returns the series for name+labels, creating family, series and
+// collector as needed — all under the registry lock, so concurrent sorts
+// (e.g. the shards of a sharded sort) can resolve the same series safely.
+// It panics if the name is reused with a different kind. buckets is used
+// only when a histogram series is created.
+func (r *Registry) lookup(name, help string, kind metricKind, buckets []float64, labels []Label) *series {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	f := r.families[name]
@@ -193,6 +196,15 @@ func (r *Registry) lookup(name, help string, kind metricKind, labels []Label) *s
 		}
 	}
 	s := &series{labels: append([]Label(nil), labels...)}
+	switch kind {
+	case kindCounter:
+		s.c = &Counter{}
+	case kindGauge:
+		s.g = &Gauge{}
+	case kindHistogram:
+		s.h = &Histogram{bounds: append([]float64(nil), buckets...)}
+		s.h.counts = make([]atomic.Int64, len(buckets)+1)
+	}
 	f.series = append(f.series, s)
 	return s
 }
@@ -203,11 +215,7 @@ func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
 	if r == nil {
 		return nil
 	}
-	s := r.lookup(name, help, kindCounter, labels)
-	if s.c == nil {
-		s.c = &Counter{}
-	}
-	return s.c
+	return r.lookup(name, help, kindCounter, nil, labels).c
 }
 
 // Gauge returns the gauge series for name+labels, registering it on
@@ -216,11 +224,7 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 	if r == nil {
 		return nil
 	}
-	s := r.lookup(name, help, kindGauge, labels)
-	if s.g == nil {
-		s.g = &Gauge{}
-	}
-	return s.g
+	return r.lookup(name, help, kindGauge, nil, labels).g
 }
 
 // Histogram returns the histogram series for name+labels with the given
@@ -230,12 +234,7 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Lab
 	if r == nil {
 		return nil
 	}
-	s := r.lookup(name, help, kindHistogram, labels)
-	if s.h == nil {
-		s.h = &Histogram{bounds: append([]float64(nil), buckets...)}
-		s.h.counts = make([]atomic.Int64, len(buckets)+1)
-	}
-	return s.h
+	return r.lookup(name, help, kindHistogram, buckets, labels).h
 }
 
 func escapeLabel(v string) string {

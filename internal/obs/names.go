@@ -51,6 +51,13 @@ const (
 	// MSpillVerifyFailures counts checksum verification failures on
 	// spill reads.
 	MSpillVerifyFailures = "extsort_spill_verify_failures_total"
+	// MShards counts range shards executed by sharded distribution
+	// sorts (internal/distsort).
+	MShards = "distsort_shards_total"
+	// MShardRecords is the distribution of records routed to each range
+	// shard by the partition pass.
+	MShardRecords = "distsort_shard_records"
+
 	// MSpillOverflows counts memory-tier overflows migrated to disk.
 	MSpillOverflows = "extsort_spill_overflows_total"
 	// MSpillMemFiles gauges spill files currently in the memory tier.

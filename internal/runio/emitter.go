@@ -51,7 +51,12 @@ type Emitter[T any] struct {
 
 	mu   sync.Mutex
 	sums map[string]uint64
+	open map[aborter]struct{}
 }
+
+// aborter is the live-writer handle the emitter tracks: anything that can
+// be force-closed on a failure path.
+type aborter interface{ abort() }
 
 // NewEmitter returns an Emitter with default sizes writing through the raw
 // (historical, pass-through) backend on fs.
@@ -104,7 +109,43 @@ func (e *Emitter[T]) NewWriter(name string, bufBytes int) (*Writer[T], error) {
 	if e.Checksums {
 		w.Track(func(_ int64, sum uint64) { e.noteSum(name, sum) })
 	}
+	w.onFinish = func() { e.untrackOpen(w) }
+	e.trackOpen(w)
 	return w, nil
+}
+
+func (e *Emitter[T]) trackOpen(w aborter) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.open == nil {
+		e.open = make(map[aborter]struct{})
+	}
+	e.open[w] = struct{}{}
+}
+
+func (e *Emitter[T]) untrackOpen(w aborter) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.open, w)
+}
+
+// AbortOpen force-closes every forward writer the emitter created that is
+// still open: buffered pages are dropped, background flusher goroutines
+// are joined, and the underlying files closed. Failure paths call it
+// before sweeping (or abandoning) spill files, so no flusher is still
+// appending to a file being removed — the race a run generator invites
+// when a source error makes it abandon its current writer mid-run.
+func (e *Emitter[T]) AbortOpen() {
+	e.mu.Lock()
+	ws := make([]aborter, 0, len(e.open))
+	for w := range e.open {
+		ws = append(ws, w)
+	}
+	e.open = nil
+	e.mu.Unlock()
+	for _, w := range ws {
+		w.abort()
+	}
 }
 
 // Backward creates a fresh backward (decreasing) stream.

@@ -94,6 +94,10 @@ type Writer[T any] struct {
 	async  *asyncFlusher
 	track  func(records int64, sum uint64)
 	sum    uint64
+	// onFinish, when set, runs once when the writer stops being live —
+	// at the top of Close or abort. The Emitter uses it to drop the
+	// writer from its open-writer tracking.
+	onFinish func()
 }
 
 // contentSum folds one encoded element into an order-insensitive content
@@ -214,6 +218,9 @@ func (w *Writer[T]) Close() error {
 		return stream.ErrClosed
 	}
 	w.closed = true
+	if w.onFinish != nil {
+		w.onFinish()
+	}
 	err := w.flush()
 	if w.async != nil {
 		if aerr := w.async.close(); err == nil {
@@ -231,6 +238,26 @@ func (w *Writer[T]) Close() error {
 		w.track(w.count, w.sum)
 	}
 	return nil
+}
+
+// abort force-closes a writer an error path abandoned: buffered data is
+// dropped, the background flusher (if any) is drained and joined, and the
+// underlying file is closed. Errors are ignored — the caller is about to
+// remove or invalidate the file anyway. The join is the point: after abort
+// no goroutine of this writer touches the file, so a Discard sweep cannot
+// race an in-flight page append.
+func (w *Writer[T]) abort() {
+	if w.closed {
+		return
+	}
+	w.closed = true
+	if w.onFinish != nil {
+		w.onFinish()
+	}
+	if w.async != nil {
+		w.async.close()
+	}
+	w.w.Close()
 }
 
 // Reader reads a forward run sequentially through a buffer of the given

@@ -255,6 +255,18 @@ type Config struct {
 	// fully sequential behaviour; 0 (the default) uses GOMAXPROCS. Output
 	// and on-disk run format are identical at every setting.
 	Parallelism int
+	// Shards, when above 1, turns the sort into a range-partitioned
+	// distribution sort: a memory-sized prefix of the input is sampled for
+	// Shards-1 quantile splitters, the input is partitioned into that many
+	// non-overlapping key ranges, each range sorts concurrently on its own
+	// goroutine with its own run files and share of the memory budget, and
+	// the shard outputs are concatenated in splitter order — no final
+	// cross-shard merge. The sorted output is byte-identical to the
+	// single-stream sort whenever comparator-equal elements are bitwise
+	// identical. 0 and 1 run the ordinary single-stream sort. Durable
+	// sharded sorts (Manifest/Resume) keep one manifest per shard and
+	// resume only the unfinished shards. See DESIGN.md §15.
+	Shards int
 	// Storage selects the spill backend. The zero value stores runs in the
 	// historical raw layout. Setting Compression to "none", "flate" or
 	// "gzip" frames every spilled page in a self-describing block with a
@@ -352,6 +364,9 @@ func (c Config) Validate() error {
 	}
 	if c.Parallelism < 0 {
 		return fmt.Errorf("repro: parallelism must be non-negative, got %d", c.Parallelism)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("repro: shards must be non-negative, got %d", c.Shards)
 	}
 	if _, err := storage.ParseCompression(c.Storage.Compression); err != nil {
 		return fmt.Errorf("repro: unknown compression %q (valid: %s)", c.Storage.Compression, strings.Join(Compressions(), ", "))

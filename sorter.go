@@ -6,6 +6,7 @@ import (
 	"os"
 
 	"repro/internal/codec"
+	"repro/internal/distsort"
 	"repro/internal/extsort"
 	"repro/internal/record"
 	"repro/internal/stream"
@@ -231,6 +232,20 @@ func WithParallelism(n int) Option {
 			return fmt.Errorf("repro: parallelism must be non-negative, got %d", n)
 		}
 		s.cfg.Parallelism = n
+		return nil
+	}
+}
+
+// WithShards splits the sort into n range-partitioned shards that sort
+// concurrently and concatenate in key order, skipping the final cross-shard
+// merge (see Config.Shards for the full semantics and the byte-identity
+// caveat). 0 and 1 keep the ordinary single-stream sort.
+func WithShards(n int) Option {
+	return func(s *sorterConfig) error {
+		if n < 0 {
+			return fmt.Errorf("repro: shards must be non-negative, got %d", n)
+		}
+		s.cfg.Shards = n
 		return nil
 	}
 }
@@ -671,20 +686,24 @@ func (s *Sorter[T]) sort(ctx context.Context, src Source[T], dst Sink[T], resume
 	if resume {
 		icfg.Resume = true
 	}
-	stats, err := extsort.Sort[T](
-		&ctxReader[T]{ctx: ctx, src: src},
-		&ctxWriter[T]{ctx: ctx, dst: dst},
-		fs,
-		icfg,
-		extsort.Ops[T]{
-			Less:          s.less,
-			Codec:         s.codec,
-			Key:           s.key,
-			KeyCodec:      s.keyCodec,
-			KeyedExplicit: s.keyedExplicit,
-			ElementBytes:  s.elementBytes,
-		},
-	)
+	ops := extsort.Ops[T]{
+		Less:          s.less,
+		Codec:         s.codec,
+		Key:           s.key,
+		KeyCodec:      s.keyCodec,
+		KeyedExplicit: s.keyedExplicit,
+		ElementBytes:  s.elementBytes,
+	}
+	reader := &ctxReader[T]{ctx: ctx, src: src}
+	writer := &ctxWriter[T]{ctx: ctx, dst: dst}
+	var stats Stats
+	var err error
+	if s.cfg.Shards > 1 {
+		stats, err = distsort.Sort[T](reader, writer, fs,
+			distsort.Config{Shards: s.cfg.Shards, Extsort: icfg}, ops)
+	} else {
+		stats, err = extsort.Sort[T](reader, writer, fs, icfg, ops)
+	}
 	if err != nil && ctx.Err() != nil {
 		return stats, ctx.Err()
 	}
